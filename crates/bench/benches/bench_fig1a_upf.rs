@@ -1,0 +1,22 @@
+//! Criterion bench for Fig. 1a: the UPF pipeline per-packet cost at each
+//! MTU, and the full figure regeneration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use px_upf::upf_throughput_bps;
+
+fn bench_fig1a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1a_upf");
+    g.sample_size(10);
+    for mtu in [1500usize, 9000] {
+        g.bench_with_input(BenchmarkId::new("upf_pipeline", mtu), &mtu, |b, &mtu| {
+            b.iter(|| upf_throughput_bps(std::hint::black_box(mtu), 100, 5_000));
+        });
+    }
+    g.bench_function("figure_rows", |b| {
+        b.iter(|| px_bench::fig1a::run(px_bench::Scale::Quick));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1a);
+criterion_main!(benches);

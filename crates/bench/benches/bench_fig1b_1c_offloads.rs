@@ -1,0 +1,36 @@
+//! Criterion bench for Figs. 1b/1c: the RX saturation model across the
+//! offload matrix and the concurrency sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use px_sim::calib;
+use px_sim::nic::{rx_saturation_bps, RxConfig};
+
+fn bench_offload_matrix(c: &mut Criterion) {
+    let m = calib::endpoint_model();
+    let mut g = c.benchmark_group("fig1b_1c_offloads");
+    g.bench_function("rx_model_matrix", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &(mtu, lro, gro) in &[
+                (1500usize, false, false),
+                (1500, true, true),
+                (9000, false, false),
+                (9000, true, true),
+            ] {
+                for flows in [1usize, 4, 32] {
+                    acc += rx_saturation_bps(
+                        &m,
+                        &RxConfig { mtu, lro, gro, flows: std::hint::black_box(flows) },
+                    );
+                }
+            }
+            acc
+        });
+    });
+    g.bench_function("fig1b_rows", |b| b.iter(|| px_bench::fig1b::run(px_bench::Scale::Quick)));
+    g.bench_function("fig1c_rows", |b| b.iter(|| px_bench::fig1c::run(px_bench::Scale::Quick)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_offload_matrix);
+criterion_main!(benches);

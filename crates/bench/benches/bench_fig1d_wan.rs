@@ -1,0 +1,25 @@
+//! Criterion bench for Fig. 1d: the event-driven WAN TCP simulation
+//! (2 s of simulated time per iteration; throughput of the simulator
+//! itself, not of TCP).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use px_sim::Nanos;
+use px_workload::iperf::IperfPair;
+
+fn bench_wan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1d_wan");
+    g.sample_size(10);
+    for mtu in [1500usize, 9000] {
+        g.bench_with_input(BenchmarkId::new("wan_2s_sim", mtu), &mtu, |b, &mtu| {
+            b.iter(|| {
+                let mut pair = IperfPair::paper_wan(std::hint::black_box(mtu));
+                pair.duration = Nanos::from_secs(2);
+                pair.run_tcp().aggregate_bps
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wan);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for Fig. 5a: the PXGW multi-core TCP pipeline — the
+//! real merge engines over an RSS-sharded trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use px_core::pipeline::{run_pipeline, PipelineConfig, SystemVariant, WorkloadKind};
+
+fn bench_fig5a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5a_pxgw_tcp");
+    g.sample_size(10);
+    for (label, variant) in [
+        ("baseline", SystemVariant::BaselineGro),
+        ("px", SystemVariant::Px),
+        ("px_hdr", SystemVariant::PxHeaderOnly),
+    ] {
+        g.bench_with_input(BenchmarkId::new("pipeline_8core", label), &variant, |b, &v| {
+            b.iter(|| {
+                let mut cfg = PipelineConfig::fig5(v, WorkloadKind::Tcp, 8);
+                cfg.trace_pkts = 10_000;
+                cfg.n_flows = 200;
+                run_pipeline(std::hint::black_box(cfg)).throughput_bps
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5a);
+criterion_main!(benches);

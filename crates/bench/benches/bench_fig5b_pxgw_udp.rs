@@ -1,0 +1,26 @@
+//! Criterion bench for Fig. 5b: the PXGW caravan (UDP) pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use px_core::pipeline::{run_pipeline, PipelineConfig, SystemVariant, WorkloadKind};
+
+fn bench_fig5b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5b_pxgw_udp");
+    g.sample_size(10);
+    for (label, variant) in [
+        ("px", SystemVariant::Px),
+        ("px_hdr", SystemVariant::PxHeaderOnly),
+    ] {
+        g.bench_with_input(BenchmarkId::new("pipeline_8core", label), &variant, |b, &v| {
+            b.iter(|| {
+                let mut cfg = PipelineConfig::fig5(v, WorkloadKind::Udp, 8);
+                cfg.trace_pkts = 10_000;
+                cfg.n_flows = 200;
+                run_pipeline(std::hint::black_box(cfg)).throughput_bps
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5b);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Fig. 5c: the b-network receiver model (TCP
+//! offload matrix + caravan UDP_GRO path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use px_sim::calib;
+use px_sim::nic::{rx_caravan_bps, rx_saturation_bps, RxConfig};
+
+fn bench_fig5c(c: &mut Criterion) {
+    let m = calib::endpoint_model();
+    let mut g = c.benchmark_group("fig5c_receiver");
+    g.bench_function("figure_rows", |b| {
+        b.iter(|| px_bench::fig5c::run(px_bench::Scale::Quick));
+    });
+    g.bench_function("caravan_rx_model", |b| {
+        b.iter(|| rx_caravan_bps(&m, std::hint::black_box(8860), 6, 100));
+    });
+    g.bench_function("tcp_rx_model_100flows", |b| {
+        b.iter(|| {
+            rx_saturation_bps(
+                &m,
+                &RxConfig { mtu: std::hint::black_box(9000), lro: true, gro: true, flows: 100 },
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5c);
+criterion_main!(benches);

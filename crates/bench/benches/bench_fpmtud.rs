@@ -1,0 +1,45 @@
+//! Criterion bench for §5.3: one full F-PMTUD discovery (network build +
+//! probe + fragment + report) vs a PLPMTUD binary search, per iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use px_pmtud::fpmtud::{FpmtudDaemon, FpmtudProber, ProberConfig};
+use px_pmtud::plpmtud::{PlpmtudConfig, PlpmtudProber};
+use px_pmtud::topology::{build_path, Hop, DAEMON_ADDR, PROBER_ADDR};
+use px_sim::Nanos;
+
+fn hops() -> Vec<Hop> {
+    vec![Hop::new(9000, 100), Hop::new(1500, 10_000), Hop::new(1500, 100)]
+}
+
+fn bench_fpmtud(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fpmtud");
+    g.bench_function("fpmtud_discovery", |b| {
+        b.iter(|| {
+            let prober = FpmtudProber::new(ProberConfig {
+                addr: PROBER_ADDR,
+                dst: DAEMON_ADDR,
+                probe_size: 9000,
+                timeout: Nanos::from_secs(2),
+                max_tries: 3,
+            });
+            let daemon = FpmtudDaemon::new(DAEMON_ADDR);
+            let (mut net, p, _) = build_path(1, prober, daemon, &hops(), false);
+            net.run_until(Nanos::from_secs(5));
+            net.node_ref::<FpmtudProber>(p).outcome.clone()
+        });
+    });
+    g.bench_function("plpmtud_discovery", |b| {
+        b.iter(|| {
+            let prober =
+                PlpmtudProber::new(PlpmtudConfig::scamper(PROBER_ADDR, DAEMON_ADDR, 9000));
+            let daemon = FpmtudDaemon::new(DAEMON_ADDR);
+            let (mut net, p, _) = build_path(2, prober, daemon, &hops(), false);
+            net.run_until(Nanos::from_secs(120));
+            net.node_ref::<PlpmtudProber>(p).outcome.clone()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fpmtud);
+criterion_main!(benches);

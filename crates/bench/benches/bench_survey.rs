@@ -1,0 +1,25 @@
+//! Criterion bench for the §5.3 fragment-delivery survey: packet-level
+//! probe cost per server (real fragmentation + reassembly each).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use px_pmtud::survey::{run_survey, SurveyConfig};
+
+fn bench_survey(c: &mut Criterion) {
+    let mut g = c.benchmark_group("survey");
+    let n = 5_000usize;
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("probe_5k_servers", |b| {
+        b.iter(|| {
+            run_survey(SurveyConfig {
+                n_servers: std::hint::black_box(n),
+                failure_prob: 59.0 / 389_428.0,
+                lasthop_frac: 15.0 / 59.0,
+                seed: 7,
+            })
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_survey);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for Table 1: the server CPU accounting model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use px_workload::axel::{axel_cpu_pct, table1, AxelConfig};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_axel");
+    g.bench_function("full_table", |b| {
+        b.iter(|| table1(std::hint::black_box(&[1, 10, 100])));
+    });
+    g.bench_function("single_cell", |b| {
+        b.iter(|| axel_cpu_pct(&AxelConfig::six_legacy(), std::hint::black_box(100)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

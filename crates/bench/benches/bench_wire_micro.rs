@@ -1,0 +1,93 @@
+//! Microbenches of the wire-format primitives every packet crosses:
+//! checksum, Toeplitz RSS, TCP coalesce, TSO split, IPv4 fragmentation,
+//! caravan bundling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use px_sim::nic::{try_coalesce, tso_split};
+use px_wire::caravan::CaravanBuilder;
+use px_wire::checksum;
+use px_wire::frag::fragment;
+use px_wire::ipv4::Ipv4Repr;
+use px_wire::tcp::{SeqNum, TcpFlags, TcpRepr};
+use px_wire::{FlowKey, IpProtocol, RssHasher, UdpRepr};
+use std::net::Ipv4Addr;
+
+const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+fn tcp_pkt(seq: u32, len: usize) -> Vec<u8> {
+    let repr = TcpRepr {
+        src_port: 5000,
+        dst_port: 80,
+        seq: SeqNum(seq),
+        ack: SeqNum(1),
+        flags: TcpFlags::ACK,
+        window: 1024,
+        options: vec![],
+    };
+    let seg = repr.build_segment(SRC, DST, &vec![0xAB; len]);
+    Ipv4Repr::new(SRC, DST, IpProtocol::Tcp, seg.len())
+        .build_packet(&seg)
+        .unwrap()
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_micro");
+
+    let data = vec![0xA5u8; 1500];
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("checksum_1500B", |b| {
+        b.iter(|| checksum::checksum(std::hint::black_box(&data)))
+    });
+
+    let h = RssHasher::microsoft();
+    let key = FlowKey::tcp(SRC, 40000, DST, 80);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("toeplitz_hash", |b| {
+        b.iter(|| h.hash(std::hint::black_box(&key)))
+    });
+
+    let a = tcp_pkt(0, 1460);
+    let bpkt = tcp_pkt(1460, 1460);
+    g.bench_function("tcp_coalesce_pair", |b| {
+        b.iter(|| try_coalesce(std::hint::black_box(&a), &bpkt, 9000).unwrap())
+    });
+
+    let jumbo = tcp_pkt(0, 8760);
+    g.bench_function("tso_split_9000_to_1500", |b| {
+        b.iter(|| tso_split(std::hint::black_box(&jumbo), 1500).unwrap())
+    });
+
+    let big_udp = {
+        let dg = UdpRepr { src_port: 1, dst_port: 2 }
+            .build_datagram(SRC, DST, &vec![0u8; 8000])
+            .unwrap();
+        Ipv4Repr::new(SRC, DST, IpProtocol::Udp, dg.len())
+            .build_packet(&dg)
+            .unwrap()
+    };
+    g.bench_function("ipv4_fragment_8000_to_1500", |b| {
+        b.iter(|| fragment(std::hint::black_box(&big_udp), 1500).unwrap())
+    });
+
+    let dgram = UdpRepr { src_port: 5000, dst_port: 4433 }
+        .build_datagram(SRC, DST, &vec![0u8; 1172])
+        .unwrap();
+    g.bench_function("caravan_bundle_7_datagrams", |b| {
+        b.iter(|| {
+            let mut cb = CaravanBuilder::new(8972);
+            for _ in 0..7 {
+                if !cb.fits(&dgram) {
+                    break;
+                }
+                cb.push(std::hint::black_box(&dgram)).unwrap();
+            }
+            cb.finish()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! figures [--quick] [exp ...]
+//! ```
+//!
+//! With no experiment names, runs everything. Experiments: fig1a fig1b
+//! fig1c fig1d table1 fig5a fig5b fig5c sender fpmtud survey summary.
+
+use px_bench::Scale;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "figures — regenerate the paper's tables and figures\n\n             USAGE: figures [--quick] [EXPERIMENT ...]\n\n             EXPERIMENTS:\n               fig1a    5G UPF throughput vs MTU\n               fig1b    single-flow RX offload matrix\n               fig1c    RX throughput vs concurrent flows\n               fig1d    WAN single-flow TCP (full simulation)\n               table1   server CPU: 1x9000B vs 6x1500B connections\n               fig5a    PXGW TCP throughput / conversion yield\n               fig5b    PXGW UDP (PX-caravan)\n               fig5c    b-network receiver throughput\n               sender   §5.2 sender-only upgrade over the WAN\n               fpmtud   §5.3 F-PMTUD vs PLPMTUD pairwise probing\n               survey   §5.3 fragment-delivery survey\n               fairness extension: MTU-mix bottleneck sharing (§6)\n               summary  every headline number, paper vs measured\n\n             With no experiment names, everything runs. --quick shrinks\n             workloads for CI."
+        );
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = [
+        "fig1a", "fig1b", "fig1c", "fig1d", "table1", "fig5a", "fig5b", "fig5c", "sender",
+        "fpmtud", "survey", "fairness", "summary",
+    ];
+    let run_list: Vec<&str> = if selected.is_empty() {
+        all.to_vec()
+    } else {
+        selected
+    };
+
+    println!(
+        "PacketExpress figure harness — scale: {:?}\n",
+        scale
+    );
+    for name in run_list {
+        let t0 = Instant::now();
+        let table = match name {
+            "fig1a" => px_bench::fig1a::render(&px_bench::fig1a::run(scale)),
+            "fig1b" => px_bench::fig1b::render(&px_bench::fig1b::run(scale)),
+            "fig1c" => px_bench::fig1c::render(&px_bench::fig1c::run(scale)),
+            "fig1d" => px_bench::fig1d::render(&px_bench::fig1d::run(scale)),
+            "table1" => px_bench::table1::render(&px_bench::table1::run(scale)),
+            "fig5a" => px_bench::fig5a::render(&px_bench::fig5a::run(scale)),
+            "fig5b" => px_bench::fig5b::render(&px_bench::fig5b::run(scale)),
+            "fig5c" => {
+                let (rows, udp) = px_bench::fig5c::run(scale);
+                px_bench::fig5c::render(&rows, &udp)
+            }
+            "sender" => px_bench::sender::render(&px_bench::sender::run(scale)),
+            "fpmtud" => px_bench::fpmtud::render(&px_bench::fpmtud::run(scale)),
+            "survey" => px_bench::survey::render(&px_bench::survey::run(scale)),
+            "fairness" => px_bench::fairness::render(&px_bench::fairness::run(scale)),
+            "summary" => px_bench::summary::render(&px_bench::summary::run(scale)),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        };
+        println!("{table}");
+        println!("  [{name} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,219 @@
+//! Extension experiment — the paper's §6 open question:
+//!
+//! > "Does a large MTU affect network congestion and how do we ensure
+//! > fair bandwidth allocation in the mix of small and large-MTU
+//! > senders?"
+//!
+//! We run N legacy (1500 B MSS) and N jumbo (9000 B MSS via PXGW) flows
+//! through one shared bottleneck and measure the bandwidth split and
+//! Jain's fairness index. Loss-based congestion control grows cwnd in
+//! MSS units, so jumbo senders are expected to take a super-proportional
+//! share — quantifying exactly how regressive the mix is (and therefore
+//! how much a deployment would need pacing/AQM to compensate).
+
+use crate::Scale;
+use px_core::gateway::{GatewayConfig, PxGateway, EXTERNAL_PORT, INTERNAL_PORT};
+use px_sim::link::LinkConfig;
+use px_sim::netem::Netem;
+use px_sim::network::Network;
+use px_sim::node::PortId;
+use px_sim::router::Router;
+use px_sim::Nanos;
+use px_tcp::conn::ConnConfig;
+use px_tcp::host::{Host, HostConfig};
+use std::net::Ipv4Addr;
+
+const LEGACY_NET: [u8; 2] = [10, 3];
+const JUMBO_NET: [u8; 2] = [10, 1];
+const SINK_NET: [u8; 2] = [198, 51];
+
+/// Result of one fairness run.
+#[derive(Debug, Clone)]
+pub struct FairnessReport {
+    /// Flows per class.
+    pub flows_per_class: usize,
+    /// Per-flow goodput of the legacy (1500 B) class, bits/sec.
+    pub legacy_flow_bps: Vec<f64>,
+    /// Per-flow goodput of the jumbo (9 KB, PXGW-translated) class.
+    pub jumbo_flow_bps: Vec<f64>,
+    /// Share of the aggregate taken by the jumbo class.
+    pub jumbo_share: f64,
+    /// Jain's fairness index over all flows (1.0 = perfectly fair).
+    pub jain_index: f64,
+}
+
+/// Jain's fairness index: (Σx)² / (n·Σx²).
+pub fn jain(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+/// Runs `n` legacy + `n` jumbo flows into one receiver behind a shared
+/// bottleneck. The jumbo senders live in a b-network behind a PXGW; the
+/// legacy senders connect directly. All flows share the bottleneck
+/// router's egress link and queue.
+pub fn run_mix(n: usize, bottleneck_bps: u64, duration: Nanos, seed: u64) -> FairnessReport {
+    let mut net = Network::new(seed);
+    let legacy_host = net.add_node(Host::new(HostConfig::new(
+        Ipv4Addr::new(LEGACY_NET[0], LEGACY_NET[1], 0, 1),
+        1500,
+    )));
+    let jumbo_host = net.add_node(Host::new(HostConfig::new(
+        Ipv4Addr::new(JUMBO_NET[0], JUMBO_NET[1], 0, 1),
+        9000,
+    )));
+    let gw = net.add_node(PxGateway::new(GatewayConfig { steer: None, ..Default::default() }));
+    let sink = net.add_node(Host::new(HostConfig::new(
+        Ipv4Addr::new(SINK_NET[0], SINK_NET[1], 0, 2),
+        1500,
+    )));
+    // Bottleneck router: port 0 = legacy senders, 1 = gateway (jumbo
+    // senders), 2 = shared egress towards the sink.
+    let mut router = Router::new(Ipv4Addr::new(10, 254, 0, 1), vec![1500, 1500, 1500]);
+    router.add_route(Ipv4Addr::new(LEGACY_NET[0], LEGACY_NET[1], 0, 0), 16, PortId(0));
+    router.add_route(Ipv4Addr::new(JUMBO_NET[0], JUMBO_NET[1], 0, 0), 16, PortId(1));
+    router.add_route(Ipv4Addr::new(SINK_NET[0], SINK_NET[1], 0, 0), 16, PortId(2));
+    let rt = net.add_node(router);
+
+    let fast = |mtu| LinkConfig::new(10_000_000_000, Nanos::from_micros(50), mtu);
+    net.connect((legacy_host, PortId(0)), (rt, PortId(0)), fast(1500));
+    net.connect((jumbo_host, PortId(0)), (gw, INTERNAL_PORT), fast(9000));
+    net.connect((gw, EXTERNAL_PORT), (rt, PortId(1)), fast(1500));
+    // The shared bottleneck: finite rate, WAN delay, droptail queue.
+    net.connect(
+        (rt, PortId(2)),
+        (sink, PortId(0)),
+        LinkConfig::new(bottleneck_bps, Nanos::from_millis(5), 1500)
+            .with_netem(Netem::delay(Nanos::from_millis(5)))
+            .with_queue(256 * 1500),
+    );
+
+    let sink_addr = Ipv4Addr::new(SINK_NET[0], SINK_NET[1], 0, 2);
+    for i in 0..n as u16 {
+        net.node_mut::<Host>(sink).listen(
+            8000 + i,
+            ConnConfig::new((sink_addr, 8000 + i), (Ipv4Addr::UNSPECIFIED, 0), 1500),
+        );
+        net.node_mut::<Host>(sink).listen(
+            9000 + i,
+            ConnConfig::new((sink_addr, 9000 + i), (Ipv4Addr::UNSPECIFIED, 0), 1500),
+        );
+        net.node_mut::<Host>(legacy_host).connect_at(
+            (i as u64) * 500_000,
+            ConnConfig::new(
+                (Ipv4Addr::new(LEGACY_NET[0], LEGACY_NET[1], 0, 1), 20000 + i),
+                (sink_addr, 8000 + i),
+                1500,
+            )
+            .sending(u64::MAX),
+            Some(duration.0),
+        );
+        net.node_mut::<Host>(jumbo_host).connect_at(
+            (i as u64) * 500_000 + 250_000,
+            ConnConfig::new(
+                (Ipv4Addr::new(JUMBO_NET[0], JUMBO_NET[1], 0, 1), 20000 + i),
+                (sink_addr, 9000 + i),
+                9000,
+            )
+            .sending(u64::MAX),
+            Some(duration.0),
+        );
+    }
+    net.run_until(duration + Nanos::from_secs(1));
+
+    let stats = net.node_ref::<Host>(sink).tcp_stats();
+    let secs = duration.as_secs_f64();
+    let mut legacy_flow_bps = Vec::new();
+    let mut jumbo_flow_bps = Vec::new();
+    for st in &stats {
+        assert_eq!(st.integrity_errors, 0);
+        let bps = st.bytes_received as f64 * 8.0 / secs;
+        if (8000..9000).contains(&st.local_port) {
+            legacy_flow_bps.push(bps);
+        } else {
+            jumbo_flow_bps.push(bps);
+        }
+    }
+    let lsum: f64 = legacy_flow_bps.iter().sum();
+    let jsum: f64 = jumbo_flow_bps.iter().sum();
+    let all: Vec<f64> = legacy_flow_bps.iter().chain(&jumbo_flow_bps).copied().collect();
+    FairnessReport {
+        flows_per_class: n,
+        legacy_flow_bps,
+        jumbo_flow_bps,
+        jumbo_share: jsum / (jsum + lsum),
+        jain_index: jain(&all),
+    }
+}
+
+/// Runs the fairness sweep.
+pub fn run(scale: Scale) -> Vec<FairnessReport> {
+    let (duration, counts): (Nanos, &[usize]) = match scale {
+        Scale::Full => (Nanos::from_secs(30), &[1, 2, 4]),
+        Scale::Quick => (Nanos::from_secs(10), &[2]),
+    };
+    counts
+        .iter()
+        .map(|&n| run_mix(n, 1_000_000_000, duration, 71 + n as u64))
+        .collect()
+}
+
+/// Renders the report.
+pub fn render(rows: &[FairnessReport]) -> String {
+    let mut out = String::new();
+    out.push_str("Extension — MTU-mix fairness at a shared 1 Gbps bottleneck (§6 open question)\n");
+    out.push_str("  flows/class | legacy avg  | jumbo avg   | jumbo share | Jain\n");
+    out.push_str("  ------------+-------------+-------------+-------------+------\n");
+    for r in rows {
+        let lavg = r.legacy_flow_bps.iter().sum::<f64>() / r.legacy_flow_bps.len().max(1) as f64;
+        let javg = r.jumbo_flow_bps.iter().sum::<f64>() / r.jumbo_flow_bps.len().max(1) as f64;
+        out.push_str(&format!(
+            "  {:11} | {:>11} | {:>11} | {:10.1}% | {:.2}\n",
+            r.flows_per_class,
+            crate::fmt_bps(lavg),
+            crate::fmt_bps(javg),
+            100.0 * r.jumbo_share,
+            r.jain_index
+        ));
+    }
+    out.push_str("  (not in the paper: quantifies its §6 concern — loss-based cc favours large-MSS flows)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_index_properties() {
+        assert!((jain(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!(jain(&[1.0, 0.0, 0.0]) < 0.34);
+        assert!((jain(&[]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jumbo_senders_take_a_superproportional_share() {
+        let rows = run(Scale::Quick);
+        let r = &rows[0];
+        assert_eq!(r.legacy_flow_bps.len(), r.flows_per_class);
+        assert_eq!(r.jumbo_flow_bps.len(), r.flows_per_class);
+        // Everyone got something; the link is shared.
+        assert!(r.legacy_flow_bps.iter().all(|&b| b > 1e6));
+        assert!(r.jumbo_flow_bps.iter().all(|&b| b > 1e6));
+        // The paper's concern materialises: jumbo flows beat their fair
+        // 50% share, and overall fairness is visibly imperfect.
+        assert!(
+            r.jumbo_share > 0.55,
+            "jumbo share {} should exceed fair share",
+            r.jumbo_share
+        );
+        assert!(r.jain_index < 0.999, "mix cannot be perfectly fair");
+        // Utilisation sanity: the bottleneck is actually saturated-ish.
+        let total: f64 = r.legacy_flow_bps.iter().chain(&r.jumbo_flow_bps).sum();
+        assert!(total > 0.5e9, "aggregate {total}");
+    }
+}

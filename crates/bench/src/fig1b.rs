@@ -1,0 +1,87 @@
+//! Fig. 1b — "Impact of G/LRO (single flow)".
+//!
+//! Single-flow receive throughput on one core across the offload matrix.
+//! Paper: with both GRO and LRO, a 1500 B flow reaches 50.1 Gbps —
+//! *more* than a 9 KB flow with no offloads, which motivates §2.2's
+//! question "is a large MTU really necessary for endpoints?".
+
+use crate::Scale;
+use px_sim::calib;
+use px_sim::nic::{rx_saturation_bps, RxConfig};
+
+/// One configuration row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Human-readable configuration label.
+    pub label: &'static str,
+    /// Wire MTU.
+    pub mtu: usize,
+    /// LRO enabled.
+    pub lro: bool,
+    /// GRO enabled.
+    pub gro: bool,
+    /// Single-core RX throughput, bits/sec.
+    pub throughput_bps: f64,
+}
+
+/// Runs the offload matrix (scale-independent: closed-form model).
+pub fn run(_scale: Scale) -> Vec<Row> {
+    let m = calib::endpoint_model();
+    let configs: [(&'static str, usize, bool, bool); 7] = [
+        ("1500B, none", 1500, false, false),
+        ("1500B, GRO", 1500, false, true),
+        ("1500B, LRO", 1500, true, false),
+        ("1500B, G/LRO", 1500, true, true),
+        ("9000B, none", 9000, false, false),
+        ("9000B, GRO", 9000, false, true),
+        ("9000B, G/LRO", 9000, true, true),
+    ];
+    configs
+        .iter()
+        .map(|&(label, mtu, lro, gro)| Row {
+            label,
+            mtu,
+            lro,
+            gro,
+            throughput_bps: rx_saturation_bps(&m, &RxConfig { mtu, lro, gro, flows: 1 }),
+        })
+        .collect()
+}
+
+/// Renders the paper-style table.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Fig 1b — single-flow RX throughput vs offloads (1 core)\n");
+    out.push_str("  config         | throughput\n");
+    out.push_str("  ---------------+-----------\n");
+    for r in rows {
+        out.push_str(&format!("  {:14} | {}\n", r.label, crate::fmt_bps(r.throughput_bps)));
+    }
+    out.push_str("  paper: 1500B + G/LRO = 50.1 Gbps > 9000B without offloads\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_fig1b() {
+        let rows = run(Scale::Quick);
+        let find = |label: &str| {
+            rows.iter()
+                .find(|r| r.label == label)
+                .unwrap()
+                .throughput_bps
+        };
+        let glro_1500 = find("1500B, G/LRO");
+        assert!((glro_1500 / 1e9 - 50.1).abs() < 1.5, "{glro_1500}");
+        // The paper's crossover: G/LRO at 1500 beats bare 9000.
+        assert!(find("9000B, none") < glro_1500);
+        // Offloads help monotonically at 1500.
+        assert!(find("1500B, none") < find("1500B, GRO"));
+        assert!(find("1500B, GRO") < find("1500B, LRO"));
+        // Jumbo with offloads is best overall.
+        assert!(find("9000B, G/LRO") > glro_1500);
+    }
+}

@@ -1,0 +1,89 @@
+//! Fig. 1c — "Impact of concurrent flows".
+//!
+//! Aggregate single-core RX throughput as the flow count grows. Paper:
+//! G/LRO at 1500 B loses 31% of its throughput with only 4 concurrent
+//! flows (interleaving breaks up aggregation), while the 9 KB
+//! configuration loses just 7% (its benefit never depended on
+//! aggregation).
+
+use crate::Scale;
+use px_sim::calib;
+use px_sim::nic::{rx_saturation_bps, RxConfig};
+
+/// One flow-count point.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Concurrent flows.
+    pub flows: usize,
+    /// 1500 B + G/LRO throughput, bits/sec.
+    pub glro_1500_bps: f64,
+    /// Drop vs the single-flow value, fraction.
+    pub glro_1500_drop: f64,
+    /// 9000 B (no RX offloads) throughput, bits/sec.
+    pub jumbo_bps: f64,
+    /// Drop vs the single-flow value, fraction.
+    pub jumbo_drop: f64,
+}
+
+/// Runs the concurrency sweep.
+pub fn run(_scale: Scale) -> Vec<Row> {
+    let m = calib::endpoint_model();
+    let glro = |flows| {
+        rx_saturation_bps(&m, &RxConfig { mtu: 1500, lro: true, gro: true, flows })
+    };
+    let jumbo = |flows| {
+        rx_saturation_bps(&m, &RxConfig { mtu: 9000, lro: false, gro: false, flows })
+    };
+    let (g1, j1) = (glro(1), jumbo(1));
+    [1usize, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&flows| {
+            let g = glro(flows);
+            let j = jumbo(flows);
+            Row {
+                flows,
+                glro_1500_bps: g,
+                glro_1500_drop: 1.0 - g / g1,
+                jumbo_bps: j,
+                jumbo_drop: 1.0 - j / j1,
+            }
+        })
+        .collect()
+}
+
+/// Renders the paper-style table.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Fig 1c — aggregate RX throughput vs concurrent flows (1 core)\n");
+    out.push_str("  flows | 1500B+G/LRO        | 9000B (no offloads)\n");
+    out.push_str("  ------+--------------------+--------------------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "  {:5} | {:>9} (-{:4.1}%) | {:>9} (-{:4.1}%)\n",
+            r.flows,
+            crate::fmt_bps(r.glro_1500_bps),
+            100.0 * r.glro_1500_drop,
+            crate::fmt_bps(r.jumbo_bps),
+            100.0 * r.jumbo_drop,
+        ));
+    }
+    out.push_str("  paper: -31% at 4 flows for G/LRO vs -7% for 9000B\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_fig1c() {
+        let rows = run(Scale::Quick);
+        let at4 = rows.iter().find(|r| r.flows == 4).unwrap();
+        assert!((at4.glro_1500_drop - 0.31).abs() < 0.04, "{}", at4.glro_1500_drop);
+        assert!((at4.jumbo_drop - 0.07).abs() < 0.03, "{}", at4.jumbo_drop);
+        // G/LRO keeps degrading with more flows; jumbo stays mild.
+        let at32 = rows.iter().find(|r| r.flows == 32).unwrap();
+        assert!(at32.glro_1500_drop > at4.glro_1500_drop);
+        assert!(at32.jumbo_drop < 0.25);
+    }
+}

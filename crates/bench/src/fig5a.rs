@@ -1,0 +1,134 @@
+//! Fig. 5a — PXGW TCP throughput (TP) and conversion yield (CY).
+//!
+//! 800 bidirectional TCP flows through the gateway, cores swept 1→8,
+//! three systems: the DPDK-GRO baseline, PX, and PX with header-only
+//! DMA. Paper at 8 cores: baseline 167 Gbps / 76% CY; PX 1.09 Tbps /
+//! 93%; PX+header-only 1.45 Tbps / 94%.
+
+use crate::Scale;
+use px_core::pipeline::{run_pipeline, PipelineConfig, SystemVariant, WorkloadKind};
+
+/// One (system, cores) cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// System label.
+    pub system: &'static str,
+    /// Core count.
+    pub cores: usize,
+    /// Forwarding throughput, bits/sec.
+    pub throughput_bps: f64,
+    /// Conversion yield (fraction of output packets at iMTU size).
+    pub conversion_yield: f64,
+    /// Whether the memory bus (not the CPU) was the binding constraint.
+    pub bus_bound: bool,
+}
+
+fn systems() -> [(&'static str, SystemVariant); 3] {
+    [
+        ("baseline-GRO", SystemVariant::BaselineGro),
+        ("PX", SystemVariant::Px),
+        ("PX+header-only", SystemVariant::PxHeaderOnly),
+    ]
+}
+
+/// Runs the sweep for a workload kind (shared with Fig. 5b).
+pub fn run_kind(scale: Scale, workload: WorkloadKind) -> Vec<Row> {
+    let trace_pkts = match scale {
+        Scale::Full => 120_000,
+        Scale::Quick => 25_000,
+    };
+    let mut rows = Vec::new();
+    for (label, variant) in systems() {
+        for cores in [1usize, 2, 4, 8] {
+            let mut cfg = PipelineConfig::fig5(variant, workload, cores);
+            cfg.trace_pkts = trace_pkts;
+            let rep = run_pipeline(cfg);
+            rows.push(Row {
+                system: label,
+                cores,
+                throughput_bps: rep.throughput_bps,
+                conversion_yield: rep.conversion_yield,
+                bus_bound: rep.membus_bound_bps < rep.cpu_bound_bps,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs Fig. 5a (TCP).
+pub fn run(scale: Scale) -> Vec<Row> {
+    run_kind(scale, WorkloadKind::Tcp)
+}
+
+/// Renders the paper-style table.
+pub fn render(rows: &[Row]) -> String {
+    render_titled(rows, "Fig 5a — PXGW TCP throughput / conversion yield (800 flows)",
+        "  paper @8 cores: baseline 167 Gbps/76%, PX 1.09 Tbps/93%, PX+hdr 1.45 Tbps/94%")
+}
+
+pub(crate) fn render_titled(rows: &[Row], title: &str, footer: &str) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str("  system         | cores | throughput  | CY    | bound\n");
+    out.push_str("  ---------------+-------+-------------+-------+------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "  {:14} | {:5} | {:>11} | {:>5} | {}\n",
+            r.system,
+            r.cores,
+            crate::fmt_bps(r.throughput_bps),
+            crate::pct(r.conversion_yield),
+            if r.bus_bound { "mem" } else { "cpu" },
+        ));
+    }
+    out.push_str(footer);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell<'a>(rows: &'a [Row], system: &str, cores: usize) -> &'a Row {
+        rows.iter()
+            .find(|r| r.system == system && r.cores == cores)
+            .unwrap()
+    }
+
+    #[test]
+    fn reproduces_fig5a_at_8_cores() {
+        let rows = run(Scale::Quick);
+        let base = cell(&rows, "baseline-GRO", 8);
+        let px = cell(&rows, "PX", 8);
+        let hdr = cell(&rows, "PX+header-only", 8);
+        // Throughput anchors (generous bands at Quick scale).
+        assert!((base.throughput_bps / 1e9 - 167.0).abs() < 30.0, "base {}", base.throughput_bps);
+        assert!((px.throughput_bps / 1e12 - 1.09).abs() < 0.08, "px {}", px.throughput_bps);
+        assert!((hdr.throughput_bps / 1e12 - 1.45).abs() < 0.15, "hdr {}", hdr.throughput_bps);
+        // Yields: baseline well below PX; PX near the paper's 93%.
+        assert!(base.conversion_yield < px.conversion_yield);
+        assert!(px.conversion_yield > 0.85, "px CY {}", px.conversion_yield);
+        assert!(base.conversion_yield > 0.5 && base.conversion_yield < 0.9,
+            "base CY {}", base.conversion_yield);
+        // The defining regime change: PX is bus-bound at 8 cores,
+        // header-only DMA makes it CPU-bound.
+        assert!(px.bus_bound);
+        assert!(!hdr.bus_bound);
+    }
+
+    #[test]
+    fn scaling_shapes() {
+        let rows = run(Scale::Quick);
+        // PX+hdr scales near-linearly in cores.
+        let t1 = cell(&rows, "PX+header-only", 1).throughput_bps;
+        let t8 = cell(&rows, "PX+header-only", 8).throughput_bps;
+        let ratio = t8 / t1;
+        assert!(ratio > 6.0 && ratio < 9.0, "8-core scaling {ratio}");
+        // PX flattens once the bus saturates.
+        let px4 = cell(&rows, "PX", 4).throughput_bps;
+        let px8 = cell(&rows, "PX", 8).throughput_bps;
+        assert!(px8 / px4 < 1.7, "bus cap flattens scaling: {}", px8 / px4);
+    }
+}

@@ -1,0 +1,61 @@
+//! Fig. 5b — PXGW UDP (PX-caravan) throughput and conversion yield.
+//!
+//! Same sweep as Fig. 5a with 800 bidirectional UDP flows. Paper: "the
+//! peak throughput is slightly lower [than TCP] due to the absence of
+//! LRO and TSO benefits. Nevertheless, the conversion yield remains
+//! comparable to TCP, thanks to delayed merging. Enabling header-only
+//! DMA also improves the maximum throughput."
+
+use crate::fig5a::{render_titled, run_kind, Row};
+use crate::Scale;
+use px_core::pipeline::WorkloadKind;
+
+/// Runs Fig. 5b (UDP).
+pub fn run(scale: Scale) -> Vec<Row> {
+    run_kind(scale, WorkloadKind::Udp)
+}
+
+/// Renders the paper-style table.
+pub fn render(rows: &[Row]) -> String {
+    render_titled(
+        rows,
+        "Fig 5b — PXGW UDP (PX-caravan) throughput / conversion yield (800 flows)",
+        "  paper: peak slightly below TCP; CY comparable; header-only DMA still helps\n  (baseline CY is 0% for UDP by construction: GRO-style merging cannot\n  legally merge datagrams — the problem PX-caravan exists to solve)",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell<'a>(rows: &'a [Row], system: &str, cores: usize) -> &'a Row {
+        rows.iter()
+            .find(|r| r.system == system && r.cores == cores)
+            .unwrap()
+    }
+
+    #[test]
+    fn reproduces_fig5b_shape() {
+        let udp = run(Scale::Quick);
+        let tcp = crate::fig5a::run(Scale::Quick);
+        for sys in ["PX", "PX+header-only"] {
+            let u = cell(&udp, sys, 8);
+            let t = cell(&tcp, sys, 8);
+            assert!(
+                u.throughput_bps < t.throughput_bps,
+                "{sys}: UDP peak must be below TCP ({} vs {})",
+                u.throughput_bps,
+                t.throughput_bps
+            );
+            // "slightly lower", not collapsed.
+            assert!(u.throughput_bps > 0.4 * t.throughput_bps);
+            // "conversion yield remains comparable to TCP".
+            assert!(u.conversion_yield > t.conversion_yield - 0.12,
+                "{sys}: CY {} vs TCP {}", u.conversion_yield, t.conversion_yield);
+        }
+        // Header-only DMA improves the UDP maximum too.
+        let px = cell(&udp, "PX", 8);
+        let hdr = cell(&udp, "PX+header-only", 8);
+        assert!(hdr.throughput_bps > px.throughput_bps);
+    }
+}

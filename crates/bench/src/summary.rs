@@ -1,0 +1,240 @@
+//! The paper-vs-measured summary: every headline number from the
+//! abstract/intro cross-checked against our reproduction in one table.
+
+use crate::Scale;
+
+/// One headline claim.
+#[derive(Debug, Clone)]
+pub struct Claim {
+    /// Where in the paper the number appears.
+    pub source: &'static str,
+    /// What is claimed.
+    pub what: &'static str,
+    /// The paper's value.
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// Unit/format hint: "x" for ratios, "Tbps", "Gbps", "%".
+    pub unit: &'static str,
+}
+
+impl Claim {
+    /// Relative deviation from the paper's value.
+    pub fn deviation(&self) -> f64 {
+        (self.measured - self.paper).abs() / self.paper
+    }
+}
+
+/// Runs every experiment at the given scale and assembles the claims.
+pub fn run(scale: Scale) -> Vec<Claim> {
+    let mut claims = Vec::new();
+
+    // Fig 1a / §1: "a 5G UPF achieves 5.6× higher throughput with 9 KB
+    // MTU ... reaching 208 Gbps on a single CPU core".
+    let fig1a = crate::fig1a::run(scale);
+    let r9000 = fig1a.iter().find(|r| r.mtu == 9000).unwrap();
+    claims.push(Claim {
+        source: "Fig 1a",
+        what: "UPF 9KB single-core throughput",
+        paper: 208.0,
+        measured: r9000.throughput_bps / 1e9,
+        unit: "Gbps",
+    });
+    claims.push(Claim {
+        source: "Fig 1a",
+        what: "UPF 9KB vs 1500B speedup",
+        paper: 5.6,
+        measured: r9000.speedup,
+        unit: "x",
+    });
+
+    // Fig 1b: 1500B + G/LRO = 50.1 Gbps.
+    let fig1b = crate::fig1b::run(scale);
+    let glro = fig1b.iter().find(|r| r.label == "1500B, G/LRO").unwrap();
+    claims.push(Claim {
+        source: "Fig 1b",
+        what: "1500B+G/LRO single-flow RX",
+        paper: 50.1,
+        measured: glro.throughput_bps / 1e9,
+        unit: "Gbps",
+    });
+
+    // Fig 1c: drops at 4 flows.
+    let fig1c = crate::fig1c::run(scale);
+    let at4 = fig1c.iter().find(|r| r.flows == 4).unwrap();
+    claims.push(Claim {
+        source: "Fig 1c",
+        what: "G/LRO throughput drop @4 flows",
+        paper: 31.0,
+        measured: 100.0 * at4.glro_1500_drop,
+        unit: "%",
+    });
+    claims.push(Claim {
+        source: "Fig 1c",
+        what: "9KB throughput drop @4 flows",
+        paper: 7.0,
+        measured: 100.0 * at4.jumbo_drop,
+        unit: "%",
+    });
+
+    // Fig 1d / §2.2: 9KB beats 1500B+G/LRO by 5.4x in the WAN.
+    let fig1d = crate::fig1d::run(scale);
+    let wan9 = fig1d.iter().find(|r| r.mtu == 9000).unwrap();
+    claims.push(Claim {
+        source: "Fig 1d",
+        what: "WAN 9KB vs 1500B+G/LRO",
+        paper: 5.4,
+        measured: wan9.ratio,
+        unit: "x",
+    });
+
+    // Table 1: 2.88x CPU at 100 sessions.
+    let t1 = crate::table1::run(scale);
+    let r100 = t1.iter().find(|r| r.sessions == 100).unwrap();
+    claims.push(Claim {
+        source: "Table 1",
+        what: "parallel-conns CPU penalty @100",
+        paper: 2.88,
+        measured: r100.legacy6_pct / r100.jumbo_pct,
+        unit: "x",
+    });
+
+    // Fig 5a: the three 8-core anchors.
+    let fig5a = crate::fig5a::run(scale);
+    let cell = |sys: &str| {
+        fig5a
+            .iter()
+            .find(|r| r.system == sys && r.cores == 8)
+            .unwrap()
+    };
+    claims.push(Claim {
+        source: "Fig 5a",
+        what: "PXGW TCP throughput (8 cores)",
+        paper: 1.09,
+        measured: cell("PX").throughput_bps / 1e12,
+        unit: "Tbps",
+    });
+    claims.push(Claim {
+        source: "Fig 5a",
+        what: "PXGW+hdr-DMA TCP throughput",
+        paper: 1.45,
+        measured: cell("PX+header-only").throughput_bps / 1e12,
+        unit: "Tbps",
+    });
+    claims.push(Claim {
+        source: "Fig 5a",
+        what: "baseline GRO throughput",
+        paper: 167.0,
+        measured: cell("baseline-GRO").throughput_bps / 1e9,
+        unit: "Gbps",
+    });
+    claims.push(Claim {
+        source: "Fig 5a",
+        what: "PX conversion yield",
+        paper: 93.0,
+        measured: 100.0 * cell("PX").conversion_yield,
+        unit: "%",
+    });
+    claims.push(Claim {
+        source: "Fig 5a",
+        what: "baseline conversion yield",
+        paper: 76.0,
+        measured: 100.0 * cell("baseline-GRO").conversion_yield,
+        unit: "%",
+    });
+
+    // §5.2 sender: 2.5x.
+    let sender = crate::sender::run(scale);
+    claims.push(Claim {
+        source: "§5.2",
+        what: "sender-only upgrade WAN gain",
+        paper: 2.5,
+        measured: sender[1].ratio,
+        unit: "x",
+    });
+
+    // Fig 5c: receiver gains + caravan.
+    let (fig5c, udp) = crate::fig5c::run(scale);
+    let glro = fig5c.iter().find(|r| r.label == "+LRO+GRO").unwrap();
+    claims.push(Claim {
+        source: "Fig 5c",
+        what: "receiver gain with G/LRO",
+        paper: 1.8,
+        measured: glro.gain,
+        unit: "x",
+    });
+    claims.push(Claim {
+        source: "Fig 5c",
+        what: "caravan+UDP_GRO vs 1500B UDP",
+        paper: 2.4,
+        measured: udp.gain,
+        unit: "x",
+    });
+
+    // §5.3: Utah-UMass speedup + survey success.
+    let pm = crate::fpmtud::run(scale);
+    if let Some(m) = pm.iter().find(|r| r.from == "Utah" && r.to == "UMass") {
+        claims.push(Claim {
+            source: "§5.3",
+            what: "F-PMTUD vs PLPMTUD (Utah-UMass)",
+            paper: 368.0,
+            measured: m.speedup,
+            unit: "x",
+        });
+    }
+    let sv = crate::survey::run(scale);
+    claims.push(Claim {
+        source: "§5.3",
+        what: "fragmented-request success rate",
+        paper: 99.98,
+        measured: sv.success_pct(),
+        unit: "%",
+    });
+
+    claims
+}
+
+/// Renders the summary table.
+pub fn render(claims: &[Claim]) -> String {
+    let mut out = String::new();
+    out.push_str("Summary — paper vs measured (every headline number)\n");
+    out.push_str("  source  | claim                            | paper    | measured | dev\n");
+    out.push_str("  --------+----------------------------------+----------+----------+------\n");
+    for c in claims {
+        out.push_str(&format!(
+            "  {:7} | {:32} | {:6.2} {:4} | {:6.2} {:4} | {:4.0}%\n",
+            c.source,
+            c.what,
+            c.paper,
+            c.unit,
+            c.measured,
+            c.unit,
+            100.0 * c.deviation()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every headline claim reproduces within a factor-level tolerance
+    /// (the shape criterion: who wins and by roughly what factor).
+    #[test]
+    fn all_headlines_within_tolerance() {
+        let claims = run(Scale::Quick);
+        assert!(claims.len() >= 14);
+        for c in &claims {
+            assert!(
+                c.deviation() < 0.45,
+                "{} / {}: paper {} measured {} ({}% off)",
+                c.source,
+                c.what,
+                c.paper,
+                c.measured,
+                (100.0 * c.deviation()) as i64
+            );
+        }
+    }
+}

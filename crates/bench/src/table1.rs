@@ -1,0 +1,56 @@
+//! Table 1 — server-side CPU: one 9 KB connection vs six parallel
+//! 1500 B connections per download session.
+
+use crate::Scale;
+use px_workload::axel;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Concurrent download sessions.
+    pub sessions: usize,
+    /// CPU% for 1 connection at 9000 B MTU.
+    pub jumbo_pct: f64,
+    /// CPU% for 6 connections at 1500 B MTU.
+    pub legacy6_pct: f64,
+}
+
+/// Runs the table.
+pub fn run(_scale: Scale) -> Vec<Row> {
+    axel::table1(&[1, 10, 100])
+        .into_iter()
+        .map(|(sessions, jumbo_pct, legacy6_pct)| Row { sessions, jumbo_pct, legacy6_pct })
+        .collect()
+}
+
+/// Renders the paper-style table.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1 — server CPU: 1 conn (9000B) vs 6 conns (1500B)\n");
+    out.push_str("  sessions | 1 conn 9000B | 6 conn 1500B\n");
+    out.push_str("  ---------+--------------+-------------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "  {:8} | {:11.2}% | {:11.2}%\n",
+            r.sessions, r.jumbo_pct, r.legacy6_pct
+        ));
+    }
+    out.push_str("  paper: 20.20/19.52, 22.12/34.53, 34.72/100.00 (2.88x at 100)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table1() {
+        let rows = run(Scale::Quick);
+        assert_eq!(rows.len(), 3);
+        let r100 = rows[2];
+        assert_eq!(r100.sessions, 100);
+        assert_eq!(r100.legacy6_pct, 100.0);
+        let ratio = r100.legacy6_pct / r100.jumbo_pct;
+        assert!((ratio - 2.88).abs() < 0.35, "ratio {ratio}");
+    }
+}

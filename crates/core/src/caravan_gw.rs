@@ -1,0 +1,417 @@
+//! The gateway side of PX-caravan: bundling UDP datagrams into jumbo
+//! outer packets on entry to the b-network, unbundling on exit.
+//!
+//! UDP cannot be merged transparently (datagram boundaries are
+//! application state — QUIC breaks otherwise, §3), so the gateway
+//! *tunnels* instead: whole datagrams, headers included, are concatenated
+//! into the payload of one outer UDP/IP packet whose ToS byte is set to
+//! [`CARAVAN_TOS`] (§4.1, Fig. 3). Receivers in the b-network unbundle
+//! (the UDP_GRO-style path in [`px_tcp::udp`]); if the packet leaves the
+//! b-network first, the egress PXGW restores the original datagrams.
+//!
+//! §5's evaluation configures the gateway "to merge consecutive UDP
+//! packets using the IP ID field to be compatible with UDP_GRO"; the
+//! `require_consecutive_ip_id` knob reproduces that policy.
+//!
+//! F-PMTUD probes (recognisable by their well-known destination port)
+//! are never bundled: the prober's packet must traverse routers as-is so
+//! fragmentation reveals the path MTU (§4.2).
+
+use crate::flowtable::FlowTable;
+use px_sim::stats::SizeHistogram;
+use px_wire::caravan::{split_bundle, CaravanBuilder};
+use px_wire::ipv4::{Ipv4Packet, Ipv4Repr, CARAVAN_TOS};
+use px_wire::udp::UdpDatagram;
+use px_wire::{FlowKey, IpProtocol, UdpRepr};
+use std::net::Ipv4Addr;
+
+/// Caravan engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CaravanConfig {
+    /// Internal MTU: cap for the outer packet.
+    pub imtu: usize,
+    /// Hold time for partial bundles (delayed merging), nanoseconds.
+    pub hold_ns: u64,
+    /// Flow-table capacity.
+    pub table_capacity: usize,
+    /// Only bundle datagrams whose IP IDs are consecutive (UDP_GRO
+    /// compatibility mode used in the paper's evaluation).
+    pub require_consecutive_ip_id: bool,
+    /// Destination port whose packets bypass bundling (F-PMTUD probes).
+    pub probe_port: u16,
+}
+
+impl Default for CaravanConfig {
+    fn default() -> Self {
+        CaravanConfig {
+            imtu: px_wire::JUMBO_MTU,
+            hold_ns: 50_000,
+            table_capacity: 65536,
+            require_consecutive_ip_id: true,
+            probe_port: crate::gateway::FPMTUD_PORT,
+        }
+    }
+}
+
+/// Counters for the caravan engine.
+#[derive(Debug, Default, Clone)]
+pub struct CaravanStats {
+    /// Inbound UDP packets seen.
+    pub pkts_in: u64,
+    /// Datagrams bundled into caravans.
+    pub bundled: u64,
+    /// Caravan packets emitted.
+    pub caravans_out: u64,
+    /// Packets passed through unbundled (probes, singletons, non-UDP).
+    pub passthrough: u64,
+    /// Caravans unbundled on the outbound side.
+    pub unbundled: u64,
+    /// Inner datagrams restored on the outbound side.
+    pub inner_out: u64,
+    /// Output size distribution (inbound direction).
+    pub out_sizes: SizeHistogram,
+}
+
+impl CaravanStats {
+    /// Fraction of emitted (inbound-direction) packets that are
+    /// iMTU-sized, by the same ≥ `imtu − (emtu − 28) + 1` rule as TCP.
+    pub fn conversion_yield(&self, imtu: usize, emtu: usize) -> f64 {
+        self.out_sizes.fraction_at_least(imtu - (emtu - 28) + 1)
+    }
+}
+
+#[derive(Debug)]
+struct PendingBundle {
+    builder: CaravanBuilder,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    deadline: u64,
+    next_ip_id: u16,
+    /// The original single packet, kept so a 1-datagram "bundle" can be
+    /// emitted verbatim rather than pointlessly tunnelled.
+    first_pkt: Option<Vec<u8>>,
+}
+
+/// The PX-caravan gateway engine.
+#[derive(Debug)]
+pub struct CaravanEngine {
+    /// Configuration.
+    pub cfg: CaravanConfig,
+    table: FlowTable<PendingBundle>,
+    out_ident: u16,
+    /// Counters.
+    pub stats: CaravanStats,
+}
+
+impl CaravanEngine {
+    /// Creates a caravan engine.
+    pub fn new(cfg: CaravanConfig) -> Self {
+        CaravanEngine {
+            cfg,
+            table: FlowTable::new(cfg.table_capacity),
+            out_ident: 1,
+            stats: CaravanStats::default(),
+        }
+    }
+
+    /// Flow-table lookups (cost accounting).
+    pub fn lookups(&self) -> u64 {
+        self.table.lookups
+    }
+
+    fn bundle_budget(&self) -> usize {
+        self.cfg.imtu - 28 // outer IPv4 (20) + outer UDP (8)
+    }
+
+    fn emit_pending(&mut self, out: &mut Vec<Vec<u8>>, p: PendingBundle) {
+        if p.builder.count() == 1 {
+            // Single datagram: forward the original packet untouched.
+            if let Some(orig) = p.first_pkt {
+                self.stats.passthrough += 1;
+                self.stats.out_sizes.record(orig.len());
+                out.push(orig);
+                return;
+            }
+        }
+        let bundle = p.builder.finish();
+        let dgram = UdpRepr { src_port: p.src_port, dst_port: p.dst_port }
+            .build_datagram(p.src, p.dst, &bundle)
+            .expect("bundle within UDP limits");
+        let mut ip = Ipv4Repr::new(p.src, p.dst, IpProtocol::Udp, dgram.len());
+        ip.tos = CARAVAN_TOS;
+        ip.ident = self.out_ident;
+        self.out_ident = self.out_ident.wrapping_add(1);
+        let pkt = ip.build_packet(&dgram).expect("within IP limits");
+        self.stats.caravans_out += 1;
+        self.stats.out_sizes.record(pkt.len());
+        out.push(pkt);
+    }
+
+    /// Processes one packet entering the b-network. Returns packets to
+    /// forward (possibly empty while a bundle is being held).
+    pub fn push_inbound(&mut self, now: u64, pkt: Vec<u8>) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        self.stats.pkts_in += 1;
+
+        let parsed = (|| {
+            let ip = Ipv4Packet::new_checked(&pkt[..]).ok()?;
+            if ip.protocol() != IpProtocol::Udp || ip.is_fragment() || ip.tos() == CARAVAN_TOS {
+                return None;
+            }
+            let udp = UdpDatagram::new_checked(ip.payload()).ok()?;
+            if udp.dst_port() == self.cfg.probe_port {
+                return None; // F-PMTUD probes pass through untouched
+            }
+            Some((
+                FlowKey::udp(ip.src(), udp.src_port(), ip.dst(), udp.dst_port()),
+                ip.ident(),
+                ip.src(),
+                ip.dst(),
+                udp.src_port(),
+                udp.dst_port(),
+                ip.payload()[..udp.length()].to_vec(),
+            ))
+        })();
+        let Some((key, ip_id, src, dst, sport, dport, dgram)) = parsed else {
+            self.stats.passthrough += 1;
+            self.stats.out_sizes.record(pkt.len());
+            out.push(pkt);
+            return out;
+        };
+
+        if dgram.len() > self.bundle_budget() {
+            // Too large to bundle with anything.
+            self.stats.passthrough += 1;
+            self.stats.out_sizes.record(pkt.len());
+            out.push(pkt);
+            return out;
+        }
+
+        if let Some(p) = self.table.get_mut(&key) {
+            let id_ok = !self.cfg.require_consecutive_ip_id || ip_id == p.next_ip_id;
+            if id_ok && p.builder.fits(&dgram) {
+                p.builder.push(&dgram).expect("checked fits");
+                p.next_ip_id = ip_id.wrapping_add(1);
+                p.first_pkt = None;
+                self.stats.bundled += 1;
+                // Emit when no further eMTU-sized datagram can fit.
+                if p.builder.len() + dgram.len() > self.bundle_budget() {
+                    let p = self.table.remove(&key).expect("present");
+                    self.emit_pending(&mut out, p);
+                }
+                return out;
+            }
+            // Can't extend: flush and start fresh below.
+            let p = self.table.remove(&key).expect("present");
+            self.emit_pending(&mut out, p);
+        }
+
+        let mut builder = CaravanBuilder::new(self.bundle_budget());
+        builder.push(&dgram).expect("fits empty bundle");
+        self.stats.bundled += 1;
+        let pending = PendingBundle {
+            builder,
+            src,
+            dst,
+            src_port: sport,
+            dst_port: dport,
+            deadline: now + self.cfg.hold_ns,
+            next_ip_id: ip_id.wrapping_add(1),
+            first_pkt: Some(pkt),
+        };
+        if let Some((_, victim)) = self.table.insert(key, pending) {
+            self.emit_pending(&mut out, victim);
+        }
+        out
+    }
+
+    /// Processes one packet leaving the b-network: caravans are restored
+    /// to their original datagrams; everything else passes through.
+    pub fn push_outbound(&mut self, pkt: Vec<u8>) -> Vec<Vec<u8>> {
+        let parsed = (|| {
+            let ip = Ipv4Packet::new_checked(&pkt[..]).ok()?;
+            if ip.protocol() != IpProtocol::Udp || ip.tos() != CARAVAN_TOS || ip.is_fragment() {
+                return None;
+            }
+            let udp = UdpDatagram::new_checked(ip.payload()).ok()?;
+            Some((ip.src(), ip.dst(), udp.payload().to_vec()))
+        })();
+        let Some((src, dst, bundle)) = parsed else {
+            return vec![pkt];
+        };
+        let Ok(inner) = split_bundle(&bundle) else {
+            // Corrupt bundle: drop rather than forward garbage.
+            return vec![];
+        };
+        self.stats.unbundled += 1;
+        let mut out = Vec::with_capacity(inner.len());
+        for dg in inner {
+            let mut ip = Ipv4Repr::new(src, dst, IpProtocol::Udp, dg.len());
+            ip.ident = self.out_ident;
+            self.out_ident = self.out_ident.wrapping_add(1);
+            if let Ok(p) = ip.build_packet(dg) {
+                self.stats.inner_out += 1;
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Emits every bundle whose hold timer expired.
+    pub fn poll(&mut self, now: u64) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let expired = self.table.take_matching(|_, p| p.deadline <= now);
+        for (_, p) in expired {
+            self.emit_pending(&mut out, p);
+        }
+        out
+    }
+
+    /// The earliest pending deadline, if any.
+    pub fn next_deadline(&mut self) -> Option<u64> {
+        self.table.iter_mut().map(|(_, p)| p.deadline).min()
+    }
+
+    /// Drains everything.
+    pub fn flush_all(&mut self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for (_, p) in self.table.drain() {
+            self.emit_pending(&mut out, p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 9);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 3);
+
+    fn udp_pkt(sport: u16, payload_len: usize, ip_id: u16) -> Vec<u8> {
+        let dg = UdpRepr { src_port: sport, dst_port: 4433 }
+            .build_datagram(SRC, DST, &vec![0xCD; payload_len])
+            .unwrap();
+        let mut ip = Ipv4Repr::new(SRC, DST, IpProtocol::Udp, dg.len());
+        ip.ident = ip_id;
+        ip.build_packet(&dg).unwrap()
+    }
+
+    #[test]
+    fn bundles_consecutive_datagrams_into_one_caravan() {
+        let mut eng = CaravanEngine::new(CaravanConfig::default());
+        let mut out = Vec::new();
+        for i in 0..7u16 {
+            out.extend(eng.push_inbound(0, udp_pkt(5000, 1172, i)));
+        }
+        assert_eq!(out.len(), 1, "7×1200B datagrams fill one 9000B caravan");
+        let caravan = &out[0];
+        assert!(caravan.len() <= 9000);
+        let ip = Ipv4Packet::new_checked(&caravan[..]).unwrap();
+        assert_eq!(ip.tos(), CARAVAN_TOS);
+        assert!(ip.verify_checksum());
+        // Round-trip: unbundling restores 7 datagrams.
+        let restored = eng.push_outbound(caravan.clone());
+        assert_eq!(restored.len(), 7);
+        for p in &restored {
+            let ip = Ipv4Packet::new_checked(&p[..]).unwrap();
+            assert_eq!(ip.tos(), 0);
+            let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+            assert_eq!(udp.payload().len(), 1172);
+            assert!(udp.verify_checksum(ip.src(), ip.dst()));
+        }
+    }
+
+    #[test]
+    fn hold_timer_flushes_partial_bundles() {
+        let cfg = CaravanConfig { hold_ns: 1000, ..Default::default() };
+        let mut eng = CaravanEngine::new(cfg);
+        assert!(eng.push_inbound(0, udp_pkt(5000, 500, 0)).is_empty());
+        assert!(eng.push_inbound(10, udp_pkt(5000, 500, 1)).is_empty());
+        assert!(eng.poll(999).is_empty());
+        let out = eng.poll(1001);
+        assert_eq!(out.len(), 1);
+        let ip = Ipv4Packet::new_checked(&out[0][..]).unwrap();
+        assert_eq!(ip.tos(), CARAVAN_TOS);
+        let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+        assert_eq!(split_bundle(udp.payload()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn singleton_flush_passes_original_packet() {
+        let cfg = CaravanConfig { hold_ns: 100, ..Default::default() };
+        let mut eng = CaravanEngine::new(cfg);
+        let orig = udp_pkt(5000, 500, 0);
+        assert!(eng.push_inbound(0, orig.clone()).is_empty());
+        let out = eng.poll(u64::MAX);
+        assert_eq!(out, vec![orig], "no pointless tunnelling of singletons");
+    }
+
+    #[test]
+    fn nonconsecutive_ip_id_breaks_bundle_in_compat_mode() {
+        let mut eng = CaravanEngine::new(CaravanConfig::default());
+        eng.push_inbound(0, udp_pkt(5000, 500, 0));
+        // Jump in IP ID: previous bundle flushed (as original packet).
+        let out = eng.push_inbound(1, udp_pkt(5000, 500, 7));
+        assert_eq!(out.len(), 1);
+        assert_eq!(eng.stats.passthrough, 1);
+        // Without compat mode, the same pattern keeps bundling.
+        let mut eng2 = CaravanEngine::new(CaravanConfig {
+            require_consecutive_ip_id: false,
+            ..Default::default()
+        });
+        eng2.push_inbound(0, udp_pkt(5000, 500, 0));
+        assert!(eng2.push_inbound(1, udp_pkt(5000, 500, 7)).is_empty());
+    }
+
+    #[test]
+    fn probe_port_bypasses_bundling() {
+        let cfg = CaravanConfig::default();
+        let mut eng = CaravanEngine::new(cfg);
+        let dg = UdpRepr { src_port: 9, dst_port: cfg.probe_port }
+            .build_datagram(SRC, DST, &[0u8; 100])
+            .unwrap();
+        let pkt = Ipv4Repr::new(SRC, DST, IpProtocol::Udp, dg.len())
+            .build_packet(&dg)
+            .unwrap();
+        let out = eng.push_inbound(0, pkt.clone());
+        assert_eq!(out, vec![pkt], "probes forwarded unmerged");
+    }
+
+    #[test]
+    fn flows_do_not_mix() {
+        let mut eng = CaravanEngine::new(CaravanConfig {
+            require_consecutive_ip_id: false,
+            ..Default::default()
+        });
+        for i in 0..3 {
+            eng.push_inbound(0, udp_pkt(5000, 500, i));
+            eng.push_inbound(0, udp_pkt(6000, 500, i));
+        }
+        let out = eng.flush_all();
+        assert_eq!(out.len(), 2);
+        for p in &out {
+            let ip = Ipv4Packet::new_checked(&p[..]).unwrap();
+            let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+            assert!(px_wire::caravan::bundle_is_single_flow(udp.payload()).unwrap());
+        }
+    }
+
+    #[test]
+    fn oversize_datagram_passes_through() {
+        let mut eng = CaravanEngine::new(CaravanConfig::default());
+        let big = udp_pkt(5000, 8980, 0); // > bundle budget
+        let out = eng.push_inbound(0, big.clone());
+        assert_eq!(out, vec![big]);
+    }
+
+    #[test]
+    fn outbound_noncaravan_passes_through() {
+        let mut eng = CaravanEngine::new(CaravanConfig::default());
+        let plain = udp_pkt(5000, 500, 0);
+        assert_eq!(eng.push_outbound(plain.clone()), vec![plain]);
+    }
+}

@@ -1,0 +1,222 @@
+//! The PXGW flow table: bounded, LRU-evicting, per-flow state storage.
+//!
+//! §3 of the paper: "packet merging requires identifying flows and
+//! determining whether incoming packets are contiguous and mergeable,
+//! which inevitably introduces per-flow state … it is essential … to
+//! adopt data structures that support fast lookup of adjacent packets
+//! under a large number of flows."
+//!
+//! This table is a hash map with an intrusive LRU list over its entries.
+//! Capacity is fixed at construction; inserting into a full table evicts
+//! the least-recently-used flow (its state is returned to the caller so
+//! pending merges can be flushed rather than dropped). Lookups are
+//! counted so the cycle model can price them.
+
+use px_wire::FlowKey;
+use std::collections::HashMap;
+
+/// A bounded per-flow state table with LRU eviction.
+#[derive(Debug)]
+pub struct FlowTable<V> {
+    map: HashMap<FlowKey, Entry<V>>,
+    /// Monotone use-counter implementing LRU ordering.
+    clock: u64,
+    capacity: usize,
+    /// Total lookups performed (for cost accounting).
+    pub lookups: u64,
+    /// Evictions performed.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+impl<V> FlowTable<V> {
+    /// Creates a table holding at most `capacity` flows.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        FlowTable {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            clock: 0,
+            capacity,
+            lookups: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a flow, refreshing its LRU position.
+    pub fn get_mut(&mut self, key: &FlowKey) -> Option<&mut V> {
+        self.lookups += 1;
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = clock;
+            &mut e.value
+        })
+    }
+
+    /// Looks up without refreshing (diagnostics).
+    pub fn peek(&self, key: &FlowKey) -> Option<&V> {
+        self.map.get(key).map(|e| &e.value)
+    }
+
+    /// Inserts (or replaces) a flow's state. If the table is full, the
+    /// least-recently-used entry is evicted and returned as
+    /// `(key, state)` so the caller can flush it.
+    pub fn insert(&mut self, key: FlowKey, value: V) -> Option<(FlowKey, V)> {
+        self.lookups += 1;
+        self.clock += 1;
+        let mut evicted = None;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            // Evict the LRU entry.
+            if let Some((&victim, _)) = self.map.iter().min_by_key(|(_, e)| e.last_used) {
+                let entry = self.map.remove(&victim).expect("victim exists");
+                self.evictions += 1;
+                evicted = Some((victim, entry.value));
+            }
+        }
+        self.map.insert(key, Entry { value, last_used: self.clock });
+        evicted
+    }
+
+    /// Removes a flow, returning its state.
+    pub fn remove(&mut self, key: &FlowKey) -> Option<V> {
+        self.map.remove(key).map(|e| e.value)
+    }
+
+    /// Iterates over `(key, &mut state)` pairs (e.g. to flush deadlines).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&FlowKey, &mut V)> {
+        self.map.iter_mut().map(|(k, e)| (k, &mut e.value))
+    }
+
+    /// Drains the whole table (shutdown flush).
+    pub fn drain(&mut self) -> Vec<(FlowKey, V)> {
+        self.map.drain().map(|(k, e)| (k, e.value)).collect()
+    }
+
+    /// Removes every entry for which `pred` returns true, returning them.
+    pub fn take_matching(&mut self, mut pred: impl FnMut(&FlowKey, &V) -> bool) -> Vec<(FlowKey, V)> {
+        let keys: Vec<FlowKey> = self
+            .map
+            .iter()
+            .filter(|(k, e)| pred(k, &e.value))
+            .map(|(k, _)| *k)
+            .collect();
+        keys.into_iter()
+            .map(|k| {
+                let e = self.map.remove(&k).expect("key just seen");
+                (k, e.value)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(i: u16) -> FlowKey {
+        FlowKey::tcp(Ipv4Addr::new(10, 0, 0, 1), 1000 + i, Ipv4Addr::new(10, 0, 0, 2), 80)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t: FlowTable<u32> = FlowTable::new(4);
+        assert!(t.insert(key(1), 11).is_none());
+        assert_eq!(t.get_mut(&key(1)), Some(&mut 11));
+        *t.get_mut(&key(1)).unwrap() = 12;
+        assert_eq!(t.remove(&key(1)), Some(12));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_returns_victim() {
+        let mut t: FlowTable<u32> = FlowTable::new(3);
+        t.insert(key(1), 1);
+        t.insert(key(2), 2);
+        t.insert(key(3), 3);
+        // Touch 1 so 2 becomes LRU.
+        t.get_mut(&key(1));
+        let evicted = t.insert(key(4), 4).expect("table full");
+        assert_eq!(evicted, (key(2), 2));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.evictions, 1);
+        assert!(t.peek(&key(2)).is_none());
+        assert!(t.peek(&key(1)).is_some());
+    }
+
+    #[test]
+    fn reinsert_existing_does_not_evict() {
+        let mut t: FlowTable<u32> = FlowTable::new(2);
+        t.insert(key(1), 1);
+        t.insert(key(2), 2);
+        assert!(t.insert(key(1), 10).is_none(), "replacement, not growth");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_counting() {
+        let mut t: FlowTable<u32> = FlowTable::new(2);
+        t.insert(key(1), 1);
+        t.get_mut(&key(1));
+        t.get_mut(&key(9)); // miss also counts
+        assert_eq!(t.lookups, 3);
+    }
+
+    #[test]
+    fn take_matching_and_drain() {
+        let mut t: FlowTable<u32> = FlowTable::new(10);
+        for i in 0..6 {
+            t.insert(key(i), u32::from(i));
+        }
+        let evens = t.take_matching(|_, v| v % 2 == 0);
+        assert_eq!(evens.len(), 3);
+        assert_eq!(t.len(), 3);
+        let rest = t.drain();
+        assert_eq!(rest.len(), 3);
+        assert!(t.is_empty());
+    }
+
+    /// Model-based test: the table behaves like a plain HashMap as long
+    /// as capacity is never exceeded.
+    #[test]
+    fn model_equivalence_under_capacity() {
+        use std::collections::HashMap;
+        let mut t: FlowTable<u64> = FlowTable::new(1000);
+        let mut model: HashMap<FlowKey, u64> = HashMap::new();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for step in 0..5000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = key((x % 500) as u16);
+            match x % 3 {
+                0 => {
+                    t.insert(k, step);
+                    model.insert(k, step);
+                }
+                1 => {
+                    assert_eq!(t.get_mut(&k).copied(), model.get(&k).copied());
+                }
+                _ => {
+                    assert_eq!(t.remove(&k), model.remove(&k));
+                }
+            }
+        }
+        assert_eq!(t.len(), model.len());
+    }
+}

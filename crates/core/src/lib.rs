@@ -1,0 +1,51 @@
+//! # px-core — PacketExpress: the PXGW MTU-translating gateway
+//!
+//! The paper's primary contribution. A *PXGW* sits at the border of a
+//! "beneficiary network" (b-network) that runs a large internal MTU
+//! (iMTU, e.g. 9 KB) while its neighbours stay at the legacy external MTU
+//! (eMTU, 1500 B), and translates packet sizes in both directions so
+//! neither side notices:
+//!
+//! * **TCP, inbound (eMTU → iMTU)** — [`merge::MergeEngine`] coalesces
+//!   contiguous same-flow segments into jumbo segments (NIC-LRO-style),
+//!   with *delayed merging* to maximise the fraction of full iMTU packets;
+//! * **TCP, outbound (iMTU → eMTU)** — [`split::SplitEngine`] TSO-splits
+//!   jumbo segments back to wire size;
+//! * **MSS rewriting** — [`mss`] raises the MSS option in handshake
+//!   segments entering the b-network, so inside hosts send jumbo segments
+//!   even though the outside peer advertised 1460 B;
+//! * **UDP** — [`caravan_gw::CaravanEngine`] bundles datagrams into
+//!   PX-caravan packets (boundaries preserved; QUIC-safe) and unbundles
+//!   them on the way out;
+//! * **small-flow steering** — [`steer::FlowClassifier`] hairpins mice
+//!   flows past the merge machinery (paper §3/§4.1);
+//! * **multi-core scaling** — [`pipeline`] models the RSS-sharded,
+//!   memory-bus-constrained datapath of Fig. 5a/5b, including the
+//!   header-only-DMA variant;
+//! * **iMTU advertisement** — [`advert`] implements §4.2's explicit
+//!   per-network iMTU exchange so adjacent b-networks skip translation.
+//!
+//! [`gateway::PxGateway`] packages the engines as a two-port
+//! [`px_sim::Node`] for end-to-end simulations, and
+//! [`baseline::BaselineGateway`] reimplements the paper's comparison
+//! point (DPDK GRO library forwarding).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod advert;
+pub mod baseline;
+pub mod caravan_gw;
+pub mod flowtable;
+pub mod gateway;
+pub mod merge;
+pub mod mss;
+pub mod pipeline;
+pub mod pmtud_client;
+pub mod split;
+pub mod steer;
+
+pub use flowtable::FlowTable;
+pub use gateway::{GatewayConfig, PxGateway};
+pub use merge::{MergeConfig, MergeEngine};
+pub use split::SplitEngine;

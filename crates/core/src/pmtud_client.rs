@@ -1,0 +1,192 @@
+//! The PXGW-resident F-PMTUD client (§4.2's second mechanism).
+//!
+//! "Another approach is to find the path MTU directly over an end-to-end
+//! path" — here the *gateway* is the prober: for each external
+//! destination it forwards traffic to, it sends one iMTU-sized, DF-clear
+//! probe. If the destination (or its gateway/host stack) runs the F-PMTUD
+//! daemon, the report reveals the real path MTU:
+//!
+//! * **smaller than the configured eMTU** (a tunnel or legacy hop on the
+//!   path): the split engine cuts to the discovered size, avoiding
+//!   downstream fragmentation entirely;
+//! * **larger than the eMTU** (the path is jumbo-capable end to end, e.g.
+//!   an un-advertised b-network): jumbo segments leave *untranslated up
+//!   to the discovered PMTU*, extending the large-MTU path segment with
+//!   no explicit peering configuration.
+//!
+//! Destinations that never answer keep the static eMTU — the safe
+//! default.
+
+use px_wire::fpmtud::{parse_report, probe_payload, FPMTUD_PORT};
+use px_wire::ipv4::{Ipv4Packet, Ipv4Repr};
+use px_wire::udp::UdpDatagram;
+use px_wire::{IpProtocol, UdpRepr};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Floor for discovered PMTUs (RFC 791 minimum reassembly size region —
+/// anything below this is treated as a bogus report).
+pub const MIN_PLAUSIBLE_PMTU: usize = 576;
+
+/// The gateway's per-destination PMTU learner.
+#[derive(Debug)]
+pub struct PmtudClient {
+    /// The gateway's own address (probe source; reports come back here).
+    pub addr: Ipv4Addr,
+    /// Probe size — the iMTU, so jumbo-capable paths can be discovered.
+    pub probe_size: usize,
+    cache: HashMap<Ipv4Addr, usize>,
+    pending: HashMap<u32, Ipv4Addr>,
+    probed: HashMap<Ipv4Addr, ()>,
+    next_id: u32,
+    ident: u16,
+    /// Probes emitted.
+    pub probes_sent: u64,
+    /// Reports consumed.
+    pub reports_received: u64,
+}
+
+impl PmtudClient {
+    /// Creates a client probing with `probe_size`-byte probes from `addr`.
+    pub fn new(addr: Ipv4Addr, probe_size: usize) -> Self {
+        PmtudClient {
+            addr,
+            probe_size,
+            cache: HashMap::new(),
+            pending: HashMap::new(),
+            probed: HashMap::new(),
+            next_id: 1,
+            ident: 0x9d00,
+            probes_sent: 0,
+            reports_received: 0,
+        }
+    }
+
+    /// The discovered PMTU towards `dst`, if known.
+    pub fn pmtu_for(&self, dst: Ipv4Addr) -> Option<usize> {
+        self.cache.get(&dst).copied()
+    }
+
+    /// Returns a probe packet for `dst` if it has not been probed yet.
+    pub fn maybe_probe(&mut self, dst: Ipv4Addr) -> Option<Vec<u8>> {
+        if self.probed.contains_key(&dst) {
+            return None;
+        }
+        self.probed.insert(dst, ());
+        let id = self.next_id;
+        self.next_id += 1;
+        let payload = probe_payload(id, self.probe_size);
+        let dg = UdpRepr { src_port: FPMTUD_PORT, dst_port: FPMTUD_PORT }
+            .build_datagram(self.addr, dst, &payload)
+            .ok()?;
+        let mut ip = Ipv4Repr::new(self.addr, dst, IpProtocol::Udp, dg.len());
+        ip.dont_frag = false;
+        ip.ident = self.ident;
+        self.ident = self.ident.wrapping_add(1);
+        let pkt = ip.build_packet(&dg).ok()?;
+        self.pending.insert(id, dst);
+        self.probes_sent += 1;
+        Some(pkt)
+    }
+
+    /// Consumes an inbound packet if it is a report addressed to us;
+    /// returns whether it was consumed.
+    pub fn try_ingest(&mut self, pkt: &[u8]) -> bool {
+        let Ok(ip) = Ipv4Packet::new_checked(pkt) else {
+            return false;
+        };
+        if ip.dst() != self.addr || ip.protocol() != IpProtocol::Udp {
+            return false;
+        }
+        let Ok(udp) = UdpDatagram::new_checked(ip.payload()) else {
+            return false;
+        };
+        if udp.dst_port() != FPMTUD_PORT {
+            return false;
+        }
+        let Some((id, sizes)) = parse_report(udp.payload()) else {
+            return false;
+        };
+        let Some(dst) = self.pending.remove(&id) else {
+            return true; // a report, but stale/unknown — still consume it
+        };
+        if let Some(&pmtu) = sizes.iter().max() {
+            if pmtu >= MIN_PLAUSIBLE_PMTU {
+                self.cache.insert(dst, pmtu);
+                self.reports_received += 1;
+            }
+        }
+        true
+    }
+
+    /// Number of destinations with a discovered PMTU.
+    pub fn known(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use px_wire::fpmtud::report_payload;
+
+    const GW: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 5);
+
+    fn report_pkt(from: Ipv4Addr, to: Ipv4Addr, id: u32, sizes: &[usize]) -> Vec<u8> {
+        let dg = UdpRepr { src_port: FPMTUD_PORT, dst_port: FPMTUD_PORT }
+            .build_datagram(from, to, &report_payload(id, sizes))
+            .unwrap();
+        Ipv4Repr::new(from, to, IpProtocol::Udp, dg.len())
+            .build_packet(&dg)
+            .unwrap()
+    }
+
+    #[test]
+    fn probe_once_then_learn_from_report() {
+        let mut c = PmtudClient::new(GW, 9000);
+        let probe = c.maybe_probe(DST).expect("first sight probes");
+        assert_eq!(probe.len(), 9000);
+        assert!(c.maybe_probe(DST).is_none(), "probe once per destination");
+        assert_eq!(c.pmtu_for(DST), None);
+        // The daemon saw three fragments, largest 1400.
+        let report = report_pkt(DST, GW, 1, &[1400, 1400, 720]);
+        assert!(c.try_ingest(&report));
+        assert_eq!(c.pmtu_for(DST), Some(1400));
+        assert_eq!(c.known(), 1);
+    }
+
+    #[test]
+    fn jumbo_path_discovered() {
+        let mut c = PmtudClient::new(GW, 9000);
+        c.maybe_probe(DST);
+        let report = report_pkt(DST, GW, 1, &[9000]);
+        c.try_ingest(&report);
+        assert_eq!(c.pmtu_for(DST), Some(9000), "jumbo-capable path learned");
+    }
+
+    #[test]
+    fn bogus_and_foreign_reports_handled() {
+        let mut c = PmtudClient::new(GW, 9000);
+        c.maybe_probe(DST);
+        // Implausibly small sizes are ignored (attack/bug resilience).
+        let tiny = report_pkt(DST, GW, 1, &[64]);
+        assert!(c.try_ingest(&tiny));
+        assert_eq!(c.pmtu_for(DST), None);
+        // Unknown probe id: consumed but not cached.
+        c.maybe_probe(Ipv4Addr::new(9, 9, 9, 9));
+        let stale = report_pkt(DST, GW, 999, &[1500]);
+        assert!(c.try_ingest(&stale));
+        // Not addressed to us: not consumed.
+        let other = report_pkt(DST, Ipv4Addr::new(1, 2, 3, 4), 2, &[1500]);
+        assert!(!c.try_ingest(&other));
+        // Ordinary traffic: not consumed.
+        let dg = UdpRepr { src_port: 1, dst_port: 80 }
+            .build_datagram(DST, GW, b"hello")
+            .unwrap();
+        let plain = Ipv4Repr::new(DST, GW, IpProtocol::Udp, dg.len())
+            .build_packet(&dg)
+            .unwrap();
+        assert!(!c.try_ingest(&plain));
+    }
+}

@@ -1,0 +1,234 @@
+//! The PXGW split engine: iMTU → eMTU segmentation.
+//!
+//! Splitting is stateless and "inherently scalable" (§3): every jumbo
+//! packet can be cut independently. TCP packets are TSO-split (sequence
+//! numbers advance, checksums recomputed, FIN/PSH only on the last
+//! piece); non-TCP packets that exceed the eMTU fall back to IPv4
+//! fragmentation when DF allows (UDP caravans never reach this engine —
+//! [`crate::caravan_gw`] unbundles them first).
+
+use px_sim::nic::tso_split;
+use px_sim::stats::SizeHistogram;
+use px_wire::frag;
+use px_wire::ipv4::Ipv4Packet;
+use px_wire::IpProtocol;
+
+/// Split-engine counters.
+#[derive(Debug, Default, Clone)]
+pub struct SplitStats {
+    /// Input packets.
+    pub pkts_in: u64,
+    /// Packets that required splitting.
+    pub split: u64,
+    /// TCP wire segments produced by splitting.
+    pub segments_out: u64,
+    /// Non-TCP packets IPv4-fragmented.
+    pub fragmented: u64,
+    /// Oversize packets with DF set that had to be dropped (the gateway
+    /// counts these; a correctly configured b-network produces none for
+    /// TCP because MSS rewriting bounds segment sizes).
+    pub dropped_df: u64,
+    /// Output size distribution.
+    pub out_sizes: SizeHistogram,
+}
+
+/// The split engine.
+#[derive(Debug)]
+pub struct SplitEngine {
+    /// External MTU to split down to.
+    pub emtu: usize,
+    /// Counters.
+    pub stats: SplitStats,
+}
+
+impl SplitEngine {
+    /// Creates a split engine targeting `emtu`.
+    pub fn new(emtu: usize) -> Self {
+        SplitEngine { emtu, stats: SplitStats::default() }
+    }
+
+    /// Processes one packet leaving the b-network; returns wire packets
+    /// that all fit within the eMTU.
+    pub fn push(&mut self, pkt: Vec<u8>) -> Vec<Vec<u8>> {
+        let mtu = self.emtu;
+        self.push_to(pkt, mtu)
+    }
+
+    /// Like [`Self::push`] but with a per-destination target MTU (the
+    /// PMTUD-aware path: split only as far down as the discovered path
+    /// MTU requires).
+    pub fn push_to(&mut self, pkt: Vec<u8>, mtu: usize) -> Vec<Vec<u8>> {
+        self.stats.pkts_in += 1;
+        if pkt.len() <= mtu {
+            self.stats.out_sizes.record(pkt.len());
+            return vec![pkt];
+        }
+        let Ok(ip) = Ipv4Packet::new_checked(&pkt[..]) else {
+            // Unparseable oversize packet: drop.
+            self.stats.dropped_df += 1;
+            return vec![];
+        };
+        match ip.protocol() {
+            IpProtocol::Tcp => match tso_split(&pkt, mtu) {
+                Ok(segs) => {
+                    self.stats.split += 1;
+                    self.stats.segments_out += segs.len() as u64;
+                    for s in &segs {
+                        self.stats.out_sizes.record(s.len());
+                    }
+                    segs
+                }
+                Err(_) => {
+                    self.stats.dropped_df += 1;
+                    vec![]
+                }
+            },
+            _ => match frag::fragment(&pkt, mtu) {
+                Ok(frags) => {
+                    self.stats.split += 1;
+                    self.stats.fragmented += 1;
+                    for f in &frags {
+                        self.stats.out_sizes.record(f.len());
+                    }
+                    frags
+                }
+                Err(_) => {
+                    // DF set on an oversize non-TCP packet.
+                    self.stats.dropped_df += 1;
+                    vec![]
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use px_wire::ipv4::Ipv4Repr;
+    use px_wire::tcp::{SeqNum, TcpFlags, TcpRepr, TcpSegment};
+    use px_wire::UdpRepr;
+    use std::net::Ipv4Addr;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 2);
+    const DST: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
+
+    fn jumbo_tcp(len: usize) -> Vec<u8> {
+        let mut payload = vec![0u8; len];
+        px_tcp::fill_pattern(7777, &mut payload);
+        let mut flags = TcpFlags::ACK;
+        flags.psh = true;
+        let repr = TcpRepr {
+            src_port: 80,
+            dst_port: 5000,
+            seq: SeqNum(7777),
+            ack: SeqNum(1),
+            flags,
+            window: 5000,
+            options: vec![],
+        };
+        let seg = repr.build_segment(SRC, DST, &payload);
+        Ipv4Repr::new(SRC, DST, IpProtocol::Tcp, seg.len())
+            .build_packet(&seg)
+            .unwrap()
+    }
+
+    #[test]
+    fn jumbo_tcp_splits_to_emtu() {
+        let mut eng = SplitEngine::new(1500);
+        let out = eng.push(jumbo_tcp(8760));
+        assert_eq!(out.len(), 6);
+        for (i, p) in out.iter().enumerate() {
+            assert!(p.len() <= 1500);
+            let ip = Ipv4Packet::new_checked(&p[..]).unwrap();
+            assert!(ip.verify_checksum());
+            let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+            assert!(tcp.verify_checksum(ip.src(), ip.dst()));
+            assert_eq!(tcp.flags().psh, i == out.len() - 1);
+        }
+        // Stream content preserved across the split.
+        let mut off = 7777u64;
+        for p in &out {
+            let ip = Ipv4Packet::new_checked(&p[..]).unwrap();
+            let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+            assert_eq!(px_tcp::verify_pattern(off, tcp.payload()), None);
+            off += tcp.payload().len() as u64;
+        }
+        assert_eq!(eng.stats.segments_out, 6);
+    }
+
+    #[test]
+    fn small_packets_pass_through() {
+        let mut eng = SplitEngine::new(1500);
+        let pkt = jumbo_tcp(100);
+        let out = eng.push(pkt.clone());
+        assert_eq!(out, vec![pkt]);
+        assert_eq!(eng.stats.split, 0);
+    }
+
+    #[test]
+    fn oversize_udp_fragments_when_df_clear() {
+        let dg = UdpRepr { src_port: 1, dst_port: 2 }
+            .build_datagram(SRC, DST, &vec![0u8; 4000])
+            .unwrap();
+        let pkt = Ipv4Repr::new(SRC, DST, IpProtocol::Udp, dg.len())
+            .build_packet(&dg)
+            .unwrap();
+        let mut eng = SplitEngine::new(1500);
+        let out = eng.push(pkt);
+        assert!(out.len() >= 3);
+        assert_eq!(eng.stats.fragmented, 1);
+    }
+
+    #[test]
+    fn oversize_udp_with_df_drops() {
+        let dg = UdpRepr { src_port: 1, dst_port: 2 }
+            .build_datagram(SRC, DST, &vec![0u8; 4000])
+            .unwrap();
+        let mut repr = Ipv4Repr::new(SRC, DST, IpProtocol::Udp, dg.len());
+        repr.dont_frag = true;
+        let pkt = repr.build_packet(&dg).unwrap();
+        let mut eng = SplitEngine::new(1500);
+        assert!(eng.push(pkt).is_empty());
+        assert_eq!(eng.stats.dropped_df, 1);
+    }
+
+    #[test]
+    fn merge_then_split_is_identity_on_the_stream() {
+        // Six segments → merge → one jumbo → split → six segments, same
+        // byte stream.
+        use crate::merge::{MergeConfig, MergeEngine};
+        let mut merge = MergeEngine::new(MergeConfig::default());
+        let mut jumbo = Vec::new();
+        for i in 0..6u32 {
+            let mut payload = vec![0u8; 1460];
+            px_tcp::fill_pattern(u64::from(i) * 1460, &mut payload);
+            let repr = TcpRepr {
+                src_port: 5000,
+                dst_port: 80,
+                seq: SeqNum(i * 1460),
+                ack: SeqNum(1),
+                flags: TcpFlags::ACK,
+                window: 5000,
+                options: vec![],
+            };
+            let seg = repr.build_segment(SRC, DST, &payload);
+            let pkt = Ipv4Repr::new(SRC, DST, IpProtocol::Tcp, seg.len())
+                .build_packet(&seg)
+                .unwrap();
+            jumbo.extend(merge.push(0, pkt));
+        }
+        assert_eq!(jumbo.len(), 1);
+        let mut split = SplitEngine::new(1500);
+        let back = split.push(jumbo.pop().unwrap());
+        assert_eq!(back.len(), 6);
+        let mut off = 0u64;
+        for p in &back {
+            let ip = Ipv4Packet::new_checked(&p[..]).unwrap();
+            let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+            assert_eq!(px_tcp::verify_pattern(off, tcp.payload()), None);
+            off += tcp.payload().len() as u64;
+        }
+        assert_eq!(off, 6 * 1460);
+    }
+}

@@ -1,0 +1,184 @@
+//! Small-flow steering.
+//!
+//! §3: "packets from small flows — typically unmergeable — consume CPU
+//! resources and interfere with the merging of large flows … traffic
+//! classification techniques that separate merge-friendly large flows
+//! from small, sporadic flows will be necessary." §4.1 lists "steering
+//! of small flows to prevent performance degradation using hairpin".
+//!
+//! The classifier is a windowed packet counter: a flow that has moved
+//! fewer than `elephant_pkts` packets in the current window is a *mouse*
+//! and is hairpinned — forwarded NIC-to-NIC without entering the merge
+//! engine (on real hardware this path never touches the CPU). Flows that
+//! cross the threshold are *elephants* and get merged.
+
+use crate::flowtable::FlowTable;
+use px_wire::FlowKey;
+
+/// Classification verdict for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowClass {
+    /// Sparse/small flow: hairpin past the merge engine.
+    Mouse,
+    /// Bulk flow: worth per-flow merge state.
+    Elephant,
+}
+
+/// Classifier configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SteerConfig {
+    /// Packets within one window after which a flow becomes an elephant.
+    pub elephant_pkts: u32,
+    /// Window length in nanoseconds (counters reset each window).
+    pub window_ns: u64,
+    /// Classifier table capacity (mice evicted first by LRU).
+    pub table_capacity: usize,
+}
+
+impl Default for SteerConfig {
+    fn default() -> Self {
+        SteerConfig {
+            elephant_pkts: 8,
+            window_ns: 10_000_000, // 10 ms
+            table_capacity: 1 << 16,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FlowCounter {
+    pkts: u32,
+    window_start: u64,
+    elephant: bool,
+}
+
+/// The windowed elephant/mouse classifier.
+#[derive(Debug)]
+pub struct FlowClassifier {
+    /// Configuration.
+    pub cfg: SteerConfig,
+    table: FlowTable<FlowCounter>,
+    /// Packets classified as mouse.
+    pub mouse_pkts: u64,
+    /// Packets classified as elephant.
+    pub elephant_pkts_seen: u64,
+}
+
+impl FlowClassifier {
+    /// Creates a classifier.
+    pub fn new(cfg: SteerConfig) -> Self {
+        FlowClassifier {
+            cfg,
+            table: FlowTable::new(cfg.table_capacity),
+            mouse_pkts: 0,
+            elephant_pkts_seen: 0,
+        }
+    }
+
+    /// Classifies one packet of `key` arriving at `now`.
+    ///
+    /// A flow keeps its elephant status for the rest of the window in
+    /// which it earned it (hysteresis: flapping between classes would
+    /// reorder its packets between the merge and hairpin paths).
+    pub fn classify(&mut self, now: u64, key: &FlowKey) -> FlowClass {
+        let cfg = self.cfg;
+        if let Some(c) = self.table.get_mut(key) {
+            if now.saturating_sub(c.window_start) >= cfg.window_ns {
+                // New window: elephants must re-earn their status, but
+                // carry over a head start so steady bulk flows never flap.
+                c.window_start = now;
+                c.pkts = if c.elephant { cfg.elephant_pkts } else { 0 };
+                c.elephant = c.pkts >= cfg.elephant_pkts;
+            }
+            c.pkts = c.pkts.saturating_add(1);
+            if c.pkts >= cfg.elephant_pkts {
+                c.elephant = true;
+            }
+            let verdict = if c.elephant { FlowClass::Elephant } else { FlowClass::Mouse };
+            match verdict {
+                FlowClass::Mouse => self.mouse_pkts += 1,
+                FlowClass::Elephant => self.elephant_pkts_seen += 1,
+            }
+            return verdict;
+        }
+        self.table.insert(
+            *key,
+            FlowCounter { pkts: 1, window_start: now, elephant: false },
+        );
+        self.mouse_pkts += 1;
+        FlowClass::Mouse
+    }
+
+    /// Number of tracked flows.
+    pub fn tracked(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(p: u16) -> FlowKey {
+        FlowKey::tcp(Ipv4Addr::new(1, 1, 1, 1), p, Ipv4Addr::new(2, 2, 2, 2), 80)
+    }
+
+    #[test]
+    fn sparse_flow_stays_mouse() {
+        let mut c = FlowClassifier::new(SteerConfig::default());
+        for i in 0..5 {
+            assert_eq!(c.classify(i * 1000, &key(1)), FlowClass::Mouse);
+        }
+        assert_eq!(c.mouse_pkts, 5);
+    }
+
+    #[test]
+    fn bulk_flow_promotes_to_elephant() {
+        let cfg = SteerConfig::default();
+        let mut c = FlowClassifier::new(cfg);
+        let mut verdicts = Vec::new();
+        for i in 0..20 {
+            verdicts.push(c.classify(i, &key(1)));
+        }
+        assert_eq!(verdicts[0], FlowClass::Mouse);
+        assert!(verdicts[19] == FlowClass::Elephant);
+        let promoted_at = verdicts.iter().position(|v| *v == FlowClass::Elephant).unwrap();
+        assert_eq!(promoted_at as u32, cfg.elephant_pkts - 1);
+    }
+
+    #[test]
+    fn elephant_keeps_status_across_windows_if_busy() {
+        let cfg = SteerConfig { window_ns: 1000, ..Default::default() };
+        let mut c = FlowClassifier::new(cfg);
+        for i in 0..20 {
+            c.classify(i, &key(1));
+        }
+        // Next window: still elephant on the first packet (head start).
+        assert_eq!(c.classify(2000, &key(1)), FlowClass::Elephant);
+    }
+
+    #[test]
+    fn idle_mouse_resets_each_window() {
+        let cfg = SteerConfig { window_ns: 1000, elephant_pkts: 4, ..Default::default() };
+        let mut c = FlowClassifier::new(cfg);
+        // 3 packets per window, forever: never promoted.
+        for w in 0..10u64 {
+            for i in 0..3u64 {
+                let v = c.classify(w * 1000 + i, &key(1));
+                assert_eq!(v, FlowClass::Mouse, "window {w} pkt {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn flows_tracked_independently() {
+        let mut c = FlowClassifier::new(SteerConfig::default());
+        for i in 0..20 {
+            c.classify(i, &key(1));
+        }
+        assert_eq!(c.classify(100, &key(2)), FlowClass::Mouse);
+        assert_eq!(c.classify(101, &key(1)), FlowClass::Elephant);
+        assert_eq!(c.tracked(), 2);
+    }
+}

@@ -1,0 +1,358 @@
+//! F-PMTUD: one-round-trip, ICMP-free path-MTU discovery (paper §4.2).
+//!
+//! The prober sends a single UDP probe, **DF clear**, sized to the MTU of
+//! its own first hop. Routers along the path fragment it wherever their
+//! egress MTU is smaller — that is ordinary IPv4 behaviour, no special
+//! support needed. The daemon at the destination reassembles the probe,
+//! *records the size of every fragment it received*, and reports the
+//! sizes back in one UDP response. The prober concludes:
+//!
+//! > PMTU = size of the largest fragment (or the whole probe if it
+//! > arrived unfragmented)
+//!
+//! because the largest surviving fragment is exactly as big as the
+//! narrowest link allowed. One RTT, no ICMP, works through blackholes.
+
+use crate::{ECHO_PORT, FPMTUD_PORT};
+pub use px_wire::fpmtud::{parse_report, probe_payload, report_payload, ECHO_MAGIC, PROBE_MAGIC, REPORT_MAGIC};
+use px_sim::node::{Ctx, Node, PortId};
+use px_sim::Nanos;
+use px_wire::frag::{ReassemblyResult, Reassembler};
+use px_wire::ipv4::{Ipv4Packet, Ipv4Repr};
+use px_wire::udp::UdpDatagram;
+use px_wire::{IpProtocol, PacketBuf, UdpRepr};
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+
+/// The outcome of one probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// Discovery succeeded in a single round trip.
+    Discovered {
+        /// The discovered path MTU.
+        pmtu: usize,
+        /// Wall-clock (simulated) time from probe to report.
+        elapsed: Nanos,
+        /// The sizes of all fragments the daemon received.
+        fragment_sizes: Vec<usize>,
+        /// How many probes were sent (1 unless a probe was lost).
+        probes_sent: u32,
+    },
+    /// All retries timed out (probe or report lost repeatedly).
+    TimedOut {
+        /// Probes sent before giving up.
+        probes_sent: u32,
+    },
+}
+
+/// The F-PMTUD daemon: reassembles probes, reports fragment sizes, and
+/// additionally serves DF-probe echoes on [`ECHO_PORT`] for the baseline
+/// probers.
+pub struct FpmtudDaemon {
+    /// The daemon's address.
+    pub addr: Ipv4Addr,
+    reasm: Reassembler,
+    ident: u16,
+    /// Probes answered.
+    pub reports_sent: u64,
+    /// Echo acks served.
+    pub echoes_sent: u64,
+}
+
+impl FpmtudDaemon {
+    /// Creates a daemon bound to `addr`.
+    pub fn new(addr: Ipv4Addr) -> Self {
+        FpmtudDaemon {
+            addr,
+            reasm: Reassembler::new(),
+            ident: 0x4400,
+            reports_sent: 0,
+            echoes_sent: 0,
+        }
+    }
+
+    fn send_udp(&mut self, ctx: &mut Ctx<'_>, dst: Ipv4Addr, sport: u16, dport: u16, payload: &[u8]) {
+        let dg = UdpRepr { src_port: sport, dst_port: dport }
+            .build_datagram(self.addr, dst, payload)
+            .expect("small payload");
+        let mut ip = Ipv4Repr::new(self.addr, dst, IpProtocol::Udp, dg.len());
+        ip.ident = self.ident;
+        self.ident = self.ident.wrapping_add(1);
+        if let Ok(pkt) = ip.build_packet(&dg) {
+            ctx.send(PortId(0), PacketBuf::from_payload(&pkt));
+        }
+    }
+
+    fn handle_complete(&mut self, ctx: &mut Ctx<'_>, packet: &[u8], sizes: Vec<usize>) {
+        let Ok(ip) = Ipv4Packet::new_checked(packet) else {
+            return;
+        };
+        if ip.dst() != self.addr || ip.protocol() != IpProtocol::Udp {
+            return;
+        }
+        let Ok(udp) = UdpDatagram::new_checked(ip.payload()) else {
+            return;
+        };
+        match udp.dst_port() {
+            FPMTUD_PORT => {
+                let pl = udp.payload();
+                if pl.len() < 8 || pl[0..4] != PROBE_MAGIC {
+                    return;
+                }
+                let probe_id = u32::from_be_bytes(pl[4..8].try_into().unwrap());
+                let report = report_payload(probe_id, &sizes);
+                self.reports_sent += 1;
+                self.send_udp(ctx, ip.src(), FPMTUD_PORT, udp.src_port(), &report);
+            }
+            ECHO_PORT => {
+                // DF-probe echo for PLPMTUD/classic verification: ack with
+                // the first 8 payload bytes (the prober's id block).
+                let mut ack = Vec::with_capacity(12);
+                ack.extend_from_slice(&ECHO_MAGIC);
+                ack.extend_from_slice(&udp.payload()[..udp.payload().len().min(8)]);
+                self.echoes_sent += 1;
+                self.send_udp(ctx, ip.src(), ECHO_PORT, udp.src_port(), &ack);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Node for FpmtudDaemon {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: PacketBuf) {
+        let bytes = pkt.as_slice().to_vec();
+        match self.reasm.push(&bytes, ctx.now.0) {
+            Ok(ReassemblyResult::NotFragmented(p)) => {
+                let size = p.len();
+                self.handle_complete(ctx, &p, vec![size]);
+            }
+            Ok(ReassemblyResult::Complete { packet, fragment_sizes }) => {
+                self.handle_complete(ctx, &packet, fragment_sizes);
+            }
+            Ok(ReassemblyResult::Incomplete) | Err(_) => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Prober configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProberConfig {
+    /// Our address.
+    pub addr: Ipv4Addr,
+    /// Destination (daemon) address.
+    pub dst: Ipv4Addr,
+    /// Probe size: the eMTU of our first hop (§4.2 sends "a dummy UDP
+    /// packet sized to the eMTU of the next hop").
+    pub probe_size: usize,
+    /// Per-probe timeout.
+    pub timeout: Nanos,
+    /// Max probes before giving up (covers probe/report loss).
+    pub max_tries: u32,
+}
+
+/// The F-PMTUD prober.
+pub struct FpmtudProber {
+    /// Configuration.
+    pub cfg: ProberConfig,
+    next_id: u32,
+    sent_at: HashMap<u32, Nanos>,
+    tries: u32,
+    ident: u16,
+    started_at: Nanos,
+    /// Result, once known.
+    pub outcome: Option<ProbeOutcome>,
+}
+
+impl FpmtudProber {
+    /// Creates a prober; it fires its first probe at simulation start.
+    pub fn new(cfg: ProberConfig) -> Self {
+        FpmtudProber {
+            cfg,
+            next_id: 1,
+            sent_at: HashMap::new(),
+            tries: 0,
+            ident: 0x7700,
+            started_at: Nanos::ZERO,
+            outcome: None,
+        }
+    }
+
+    fn send_probe(&mut self, ctx: &mut Ctx<'_>) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.tries += 1;
+        let payload = probe_payload(id, self.cfg.probe_size);
+        let dg = UdpRepr { src_port: FPMTUD_PORT, dst_port: FPMTUD_PORT }
+            .build_datagram(self.cfg.addr, self.cfg.dst, &payload)
+            .expect("probe fits UDP");
+        let mut ip = Ipv4Repr::new(self.cfg.addr, self.cfg.dst, IpProtocol::Udp, dg.len());
+        ip.dont_frag = false; // the whole point: let routers fragment it
+        ip.ident = self.ident;
+        self.ident = self.ident.wrapping_add(1);
+        let pkt = ip.build_packet(&dg).expect("probe fits IP");
+        self.sent_at.insert(id, ctx.now);
+        ctx.send(PortId(0), PacketBuf::from_payload(&pkt));
+        ctx.set_timer(self.cfg.timeout, u64::from(id));
+    }
+}
+
+impl Node for FpmtudProber {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.started_at = ctx.now;
+        self.send_probe(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: PacketBuf) {
+        if self.outcome.is_some() {
+            return;
+        }
+        let bytes = pkt.as_slice();
+        let Ok(ip) = Ipv4Packet::new_checked(bytes) else {
+            return;
+        };
+        if ip.protocol() != IpProtocol::Udp || ip.dst() != self.cfg.addr {
+            return;
+        }
+        let Ok(udp) = UdpDatagram::new_checked(ip.payload()) else {
+            return;
+        };
+        let Some((id, sizes)) = parse_report(udp.payload()) else {
+            return;
+        };
+        let Some(sent) = self.sent_at.remove(&id) else {
+            return;
+        };
+        let pmtu = sizes.iter().copied().max().unwrap_or(0);
+        self.outcome = Some(ProbeOutcome::Discovered {
+            pmtu,
+            elapsed: ctx.now - sent,
+            fragment_sizes: sizes,
+            probes_sent: self.tries,
+        });
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.outcome.is_some() {
+            return;
+        }
+        let id = token as u32;
+        if self.sent_at.remove(&id).is_none() {
+            return; // already answered
+        }
+        if self.tries >= self.cfg.max_tries {
+            self.outcome = Some(ProbeOutcome::TimedOut { probes_sent: self.tries });
+            return;
+        }
+        self.send_probe(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{build_path, true_pmtu, Hop, DAEMON_ADDR, PROBER_ADDR};
+
+    fn run(hops: &[Hop], blackholes: bool) -> ProbeOutcome {
+        let prober = FpmtudProber::new(ProberConfig {
+            addr: PROBER_ADDR,
+            dst: DAEMON_ADDR,
+            probe_size: hops[0].mtu,
+            timeout: Nanos::from_secs(2),
+            max_tries: 3,
+        });
+        let daemon = FpmtudDaemon::new(DAEMON_ADDR);
+        let (mut net, p, _d) = build_path(7, prober, daemon, hops, blackholes);
+        net.run_until(Nanos::from_secs(10));
+        net.node_ref::<FpmtudProber>(p).outcome.clone().expect("finished")
+    }
+
+    #[test]
+    fn discovers_pmtu_through_fragmenting_path() {
+        // The paper's Fig. 4 scenario: 9 KB probe, hops narrow to 1000 B.
+        let hops = [
+            Hop::new(9000, 100),
+            Hop::new(4000, 200),
+            Hop::new(1000, 300),
+            Hop::new(1500, 100),
+        ];
+        match run(&hops, false) {
+            ProbeOutcome::Discovered { pmtu, fragment_sizes, probes_sent, .. } => {
+                // Largest fragment ≤ narrowest MTU, within 8-byte rounding.
+                let truth = true_pmtu(&hops);
+                assert!(pmtu <= truth && pmtu > truth - 28, "pmtu {pmtu} vs {truth}");
+                assert!(fragment_sizes.len() > 1);
+                assert_eq!(probes_sent, 1, "single round trip");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn works_identically_through_icmp_blackholes() {
+        let hops = [
+            Hop::new(9000, 100),
+            Hop::new(2000, 200),
+            Hop::new(1500, 100),
+        ];
+        let open = run(&hops, false);
+        let dark = run(&hops, true);
+        let pmtu_of = |o: &ProbeOutcome| match o {
+            ProbeOutcome::Discovered { pmtu, .. } => *pmtu,
+            _ => panic!("should discover"),
+        };
+        assert_eq!(pmtu_of(&open), pmtu_of(&dark), "blackholes are irrelevant");
+    }
+
+    #[test]
+    fn unfragmented_probe_reports_full_size() {
+        let hops = [Hop::new(1500, 100), Hop::new(1500, 100), Hop::new(1500, 100)];
+        match run(&hops, false) {
+            ProbeOutcome::Discovered { pmtu, fragment_sizes, .. } => {
+                assert_eq!(pmtu, 1500);
+                assert_eq!(fragment_sizes, vec![1500]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_rtt_latency() {
+        let hops = [Hop::new(9000, 5000), Hop::new(1500, 20_000), Hop::new(1500, 5000)];
+        match run(&hops, false) {
+            ProbeOutcome::Discovered { elapsed, .. } => {
+                let one_way = crate::topology::path_delay(&hops);
+                // Elapsed ≈ 2 × one-way (serialization is µs-scale here).
+                assert!(elapsed >= one_way + one_way);
+                assert!(elapsed < one_way + one_way + Nanos::from_millis(1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_wire_roundtrip() {
+        let sizes = vec![996, 996, 996, 532];
+        let bytes = report_payload(42, &sizes);
+        assert_eq!(parse_report(&bytes), Some((42, sizes)));
+        assert_eq!(parse_report(&bytes[..5]), None);
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(parse_report(&bad), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Topology builders for PMTUD experiments: linear WAN paths of routers
+//! with per-hop MTUs, optional ICMP blackholes, and per-hop delays.
+
+use px_sim::link::LinkConfig;
+use px_sim::network::Network;
+use px_sim::node::{Node, NodeId, PortId};
+use px_sim::router::Router;
+use px_sim::time::Nanos;
+use std::net::Ipv4Addr;
+
+/// Address of the probing endpoint in built paths.
+pub const PROBER_ADDR: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+/// Address of the destination endpoint in built paths.
+pub const DAEMON_ADDR: Ipv4Addr = Ipv4Addr::new(10, 0, 99, 1);
+
+/// Description of one hop (router-to-router or router-to-host link).
+#[derive(Debug, Clone, Copy)]
+pub struct Hop {
+    /// The link MTU on this hop.
+    pub mtu: usize,
+    /// One-way propagation delay of this hop.
+    pub delay: Nanos,
+}
+
+impl Hop {
+    /// A hop with the given MTU and delay in microseconds.
+    pub fn new(mtu: usize, delay_us: u64) -> Self {
+        Hop { mtu, delay: Nanos::from_micros(delay_us) }
+    }
+}
+
+/// Builds a linear path `prober_node — R1 — R2 … Rn — daemon_node`.
+///
+/// `hops[i]` is the link *after* router i (so `hops[0]` is the
+/// prober-side access link, and each router's egress MTU towards the
+/// daemon is the next hop's MTU). With `blackholes`, every router
+/// suppresses ICMP.
+///
+/// Returns the network plus the node ids of the two endpoints.
+pub fn build_path<P: Node, D: Node>(
+    seed: u64,
+    prober: P,
+    daemon: D,
+    hops: &[Hop],
+    blackholes: bool,
+) -> (Network, NodeId, NodeId) {
+    assert!(hops.len() >= 2, "need at least access + destination hops");
+    let mut net = Network::new(seed);
+    let p = net.add_node(prober);
+    let d = net.add_node(daemon);
+
+    let n_routers = hops.len() - 1;
+    let mut routers = Vec::new();
+    for i in 0..n_routers {
+        let mut r = Router::new(
+            Ipv4Addr::new(10, 0, 50, (i + 1) as u8),
+            // Port 0 faces the prober side, port 1 the daemon side.
+            vec![hops[i].mtu, hops[i + 1].mtu],
+        );
+        r.add_route(Ipv4Addr::new(10, 0, 0, 0), 24, PortId(0));
+        r.add_route(Ipv4Addr::new(10, 0, 99, 0), 24, PortId(1));
+        // Router ICMP sources also need reverse routes.
+        r.add_route(Ipv4Addr::new(10, 0, 50, 0), 24, PortId(0));
+        if blackholes {
+            r.icmp_blackhole = true;
+        }
+        routers.push(net.add_node(r));
+    }
+
+    // Wire: prober -(hops[0])- R1 -(hops[1])- R2 ... Rn -(hops[n])- daemon.
+    let bw = 10_000_000_000;
+    let first = LinkConfig::new(bw, hops[0].delay, hops[0].mtu);
+    net.connect((p, PortId(0)), (routers[0], PortId(0)), first);
+    for i in 0..n_routers - 1 {
+        let cfg = LinkConfig::new(bw, hops[i + 1].delay, hops[i + 1].mtu);
+        net.connect((routers[i], PortId(1)), (routers[i + 1], PortId(0)), cfg);
+    }
+    let last = hops[hops.len() - 1];
+    let cfg = LinkConfig::new(bw, last.delay, last.mtu);
+    net.connect((routers[n_routers - 1], PortId(1)), (d, PortId(0)), cfg);
+
+    (net, p, d)
+}
+
+/// The true path MTU of a hop list (what discovery should find).
+pub fn true_pmtu(hops: &[Hop]) -> usize {
+    hops.iter().map(|h| h.mtu).min().expect("non-empty")
+}
+
+/// The one-way delay of the whole path.
+pub fn path_delay(hops: &[Hop]) -> Nanos {
+    hops.iter().fold(Nanos::ZERO, |acc, h| acc + h.delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers() {
+        let hops = [Hop::new(9000, 10), Hop::new(1500, 20), Hop::new(4000, 5)];
+        assert_eq!(true_pmtu(&hops), 1500);
+        assert_eq!(path_delay(&hops), Nanos::from_micros(35));
+    }
+}

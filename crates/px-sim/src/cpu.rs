@@ -1,0 +1,164 @@
+//! CPU modelling: a cycle cost model plus a single-core server queue.
+//!
+//! Throughput in the paper's evaluation is CPU-bound (the testbed has
+//! 1.6 Tbps of NIC capacity but measures how much of it software can
+//! drive), so the simulator prices every packet-processing step in
+//! *cycles* and converts cycles to time through the core's clock. The
+//! constants live in [`crate::calib`] with their derivations.
+
+use crate::time::Nanos;
+
+/// The cycle cost model shared by all experiments. See [`crate::calib`]
+/// for the calibrated instances and the derivation of every constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Core clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Irreducible per-wire-packet cost (interrupt/NAPI amortisation,
+    /// ring accounting) paid for every packet on the wire regardless of
+    /// offloads.
+    pub wire_pkt: f64,
+    /// Cost of posting/reaping one DMA descriptor. Paid per wire packet
+    /// without LRO, per merged unit with LRO (the NIC coalesces
+    /// completions).
+    pub descriptor: f64,
+    /// Protocol processing (IP + TCP/UDP) per *protocol unit* — one wire
+    /// packet without aggregation, one merged super-packet with LRO/GRO.
+    pub proto_unit: f64,
+    /// Software GRO merge test per segment (paid only when GRO runs,
+    /// i.e. GRO enabled and the NIC did not already coalesce via LRO).
+    pub gro_per_seg: f64,
+    /// Per-byte cost of moving payload through the host (DMA touch +
+    /// copy-to-user), in cycles/byte.
+    pub per_byte: f64,
+    /// One exact-match or LPM table lookup (flow table, PDR table, FIB).
+    pub lookup: f64,
+    /// Per-connection wakeup overhead (epoll/event-loop bookkeeping),
+    /// paid once per connection per service round.
+    pub conn_wakeup: f64,
+    /// Extra per-protocol-unit cost at full flow-state cache pressure
+    /// (scaled by a concurrency factor in the RX model).
+    pub cache_miss: f64,
+}
+
+impl CostModel {
+    /// Converts cycles to time on this core.
+    pub fn cycles_to_time(&self, cycles: f64) -> Nanos {
+        Nanos::from_secs_f64(cycles / self.freq_hz)
+    }
+
+    /// Throughput (bits/sec) of one core spending `cycles_per_byte` on
+    /// average for every payload byte it moves.
+    pub fn bps_at(&self, cycles_per_byte: f64) -> f64 {
+        8.0 * self.freq_hz / cycles_per_byte
+    }
+}
+
+/// A single CPU core modelled as a FIFO server: work is admitted with a
+/// cycle price and completes when the core gets to it.
+#[derive(Debug, Clone)]
+pub struct CpuServer {
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+    busy_until: Nanos,
+    busy_cycles: f64,
+    /// Maximum backlog (delay between now and `busy_until`) before new
+    /// work is refused — models a bounded RX ring.
+    pub max_backlog: Nanos,
+    dropped: u64,
+}
+
+impl CpuServer {
+    /// Creates an idle core.
+    pub fn new(freq_hz: f64, max_backlog: Nanos) -> Self {
+        CpuServer {
+            freq_hz,
+            busy_until: Nanos::ZERO,
+            busy_cycles: 0.0,
+            max_backlog,
+            dropped: 0,
+        }
+    }
+
+    /// Admits `cycles` of work at `now`; returns its completion time, or
+    /// `None` if the backlog bound would be exceeded (the packet is
+    /// dropped at the ring).
+    pub fn admit(&mut self, now: Nanos, cycles: f64) -> Option<Nanos> {
+        let start = self.busy_until.max(now);
+        if start.saturating_sub(now) > self.max_backlog {
+            self.dropped += 1;
+            return None;
+        }
+        let dur = Nanos::from_secs_f64(cycles / self.freq_hz);
+        self.busy_until = start + dur;
+        self.busy_cycles += cycles;
+        Some(self.busy_until)
+    }
+
+    /// When the core next goes idle.
+    pub fn busy_until(&self) -> Nanos {
+        self.busy_until
+    }
+
+    /// Cycles of admitted work so far.
+    pub fn busy_cycles(&self) -> f64 {
+        self.busy_cycles
+    }
+
+    /// Work units refused at the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Fraction of `elapsed` the core spent busy.
+    pub fn utilization(&self, elapsed: Nanos) -> f64 {
+        if elapsed == Nanos::ZERO {
+            return 0.0;
+        }
+        (self.busy_cycles / self.freq_hz / elapsed.as_secs_f64()).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib;
+
+    #[test]
+    fn admit_serialises_work() {
+        let mut cpu = CpuServer::new(1e9, Nanos::from_millis(10)); // 1 GHz
+        let t1 = cpu.admit(Nanos::ZERO, 1000.0).unwrap(); // 1 µs of work
+        let t2 = cpu.admit(Nanos::ZERO, 1000.0).unwrap();
+        assert_eq!(t1, Nanos::from_micros(1));
+        assert_eq!(t2, Nanos::from_micros(2));
+        // Work arriving after the core went idle starts immediately.
+        let t3 = cpu.admit(Nanos::from_micros(10), 1000.0).unwrap();
+        assert_eq!(t3, Nanos::from_micros(11));
+    }
+
+    #[test]
+    fn backlog_bound_drops() {
+        let mut cpu = CpuServer::new(1e9, Nanos::from_micros(1));
+        cpu.admit(Nanos::ZERO, 1500.0).unwrap(); // busy until 1.5 µs
+        assert!(cpu.admit(Nanos::ZERO, 100.0).is_none());
+        assert_eq!(cpu.dropped(), 1);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut cpu = CpuServer::new(1e9, Nanos::from_secs(1));
+        cpu.admit(Nanos::ZERO, 500_000.0).unwrap(); // 0.5 ms of work
+        let u = cpu.utilization(Nanos::from_millis(1));
+        assert!((u - 0.5).abs() < 1e-9);
+        assert_eq!(cpu.busy_cycles(), 500_000.0);
+    }
+
+    #[test]
+    fn cost_model_conversions() {
+        let m = calib::endpoint_model();
+        assert_eq!(m.cycles_to_time(m.freq_hz), Nanos::from_secs(1));
+        // 0.5 cycles/byte at 3 GHz = 48 Gbps.
+        let bps = m.bps_at(0.5);
+        assert!((bps - 8.0 * m.freq_hz / 0.5).abs() < 1.0);
+    }
+}

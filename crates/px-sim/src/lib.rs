@@ -1,0 +1,54 @@
+//! # px-sim — deterministic discrete-event network simulator
+//!
+//! The substrate every PacketExpress experiment runs on. The paper's
+//! evaluation used a DPDK testbed with ConnectX-7 400 GbE NICs; this crate
+//! replaces that hardware with a simulator that is *byte-accurate at the
+//! packet level* (real IPv4/TCP/UDP packets flow through it) and
+//! *calibrated at the performance level* (a CPU-cycle cost model, NIC
+//! offload engines, and a shared memory bus reproduce where the hardware
+//! bottlenecks are).
+//!
+//! Design rules, after smoltcp: simple and robust over clever; fully
+//! deterministic — all randomness flows from one seeded PRNG, so a seed
+//! identifies a run exactly.
+//!
+//! Main pieces:
+//!
+//! * [`network::Network`] — the event loop; owns nodes and links.
+//! * [`node::Node`] — trait implemented by hosts, routers, gateways.
+//! * [`link::Link`] — bandwidth/propagation/queueing/MTU/loss.
+//! * [`netem::Netem`] — Linux-netem-style impairments (delay, jitter,
+//!   loss) used to emulate the WAN of §5.2.
+//! * [`router::Router`] — IPv4 forwarding with TTL, fragmentation,
+//!   ICMP generation, and configurable ICMP blackholes.
+//! * [`nic`] — LRO/GRO/TSO/GSO/RSS offload engines.
+//! * [`cpu::CostModel`] / [`calib`] — the calibrated cycle model.
+//! * [`membus::MemBus`] — shared memory-bandwidth timeline (what
+//!   header-only DMA relieves).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod calib;
+pub mod cpu;
+pub mod event;
+pub mod link;
+pub mod membus;
+pub mod netem;
+pub mod network;
+pub mod nic;
+pub mod node;
+pub mod pcap;
+pub mod router;
+pub mod stats;
+pub mod time;
+
+pub use cpu::{CostModel, CpuServer};
+pub use link::{Link, LinkConfig};
+pub use membus::MemBus;
+pub use netem::Netem;
+pub use network::Network;
+pub use node::{Ctx, Node, NodeId, PortId};
+pub use router::Router;
+pub use stats::NetStats;
+pub use time::Nanos;

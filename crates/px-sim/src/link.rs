@@ -1,0 +1,267 @@
+//! Point-to-point links: bandwidth, propagation delay, a drop-tail byte
+//! queue, an MTU, and optional netem impairment.
+//!
+//! The transmission model is analytic rather than per-byte: each direction
+//! keeps a `next_free` timestamp; a packet handed to the link begins
+//! serializing at `max(now, next_free)` and finishes one transmission time
+//! later. The implied queue occupancy is `(next_free - now) · bw`, and the
+//! packet is drop-tailed when that exceeds the configured queue capacity.
+//! This is exact for FIFO links and avoids one event per byte.
+
+use crate::netem::Netem;
+use crate::node::{NodeId, PortId};
+use crate::stats::NetStats;
+use crate::time::Nanos;
+use rand::rngs::SmallRng;
+
+/// Static link parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Capacity in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub propagation: Nanos,
+    /// Largest frame the link carries; larger packets are dropped and
+    /// counted (senders are expected to respect the MTU or fragment).
+    pub mtu: usize,
+    /// Drop-tail queue capacity in bytes (per direction).
+    pub queue_bytes: usize,
+    /// Impairment profile (delay/jitter/loss), applied per direction.
+    pub netem: Netem,
+}
+
+impl LinkConfig {
+    /// A clean link with the given rate, delay and MTU and a queue sized
+    /// to one bandwidth-delay product (min 256 KB).
+    pub fn new(bandwidth_bps: u64, propagation: Nanos, mtu: usize) -> Self {
+        let bdp = (bandwidth_bps as f64 / 8.0 * propagation.as_secs_f64()) as usize;
+        LinkConfig {
+            bandwidth_bps,
+            propagation,
+            mtu,
+            queue_bytes: bdp.max(256 * 1024),
+            netem: Netem::none(),
+        }
+    }
+
+    /// Sets the netem profile.
+    pub fn with_netem(mut self, netem: Netem) -> Self {
+        self.netem = netem;
+        self
+    }
+
+    /// Sets the queue capacity.
+    pub fn with_queue(mut self, bytes: usize) -> Self {
+        self.queue_bytes = bytes;
+        self
+    }
+}
+
+/// Dynamic per-direction state.
+#[derive(Debug, Clone, Copy, Default)]
+struct Direction {
+    next_free: Nanos,
+}
+
+/// A bidirectional point-to-point link between two node ports.
+#[derive(Debug)]
+pub struct Link {
+    /// Configuration (symmetric for both directions).
+    pub config: LinkConfig,
+    /// Endpoint A.
+    pub a: (NodeId, PortId),
+    /// Endpoint B.
+    pub b: (NodeId, PortId),
+    dirs: [Direction; 2],
+}
+
+/// Identifies which endpoint is transmitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSide {
+    /// Transmission from endpoint A towards B.
+    FromA,
+    /// Transmission from endpoint B towards A.
+    FromB,
+}
+
+/// The outcome of handing a packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// The packet will be delivered at the given time.
+    Deliver(Nanos),
+    /// Dropped: exceeds the link MTU.
+    DropMtu,
+    /// Dropped: the queue is full.
+    DropQueue,
+    /// Dropped: random loss (netem).
+    DropLoss,
+}
+
+impl Link {
+    /// Creates a link between two endpoints.
+    pub fn new(config: LinkConfig, a: (NodeId, PortId), b: (NodeId, PortId)) -> Self {
+        Link { config, a, b, dirs: [Direction::default(); 2] }
+    }
+
+    /// The receiving endpoint for a given side.
+    pub fn receiver(&self, side: LinkSide) -> (NodeId, PortId) {
+        match side {
+            LinkSide::FromA => self.b,
+            LinkSide::FromB => self.a,
+        }
+    }
+
+    /// Hands a packet of `bytes` to the link at `now`. Returns what
+    /// happened; on `Deliver`, the time the last byte arrives at the
+    /// receiver.
+    pub fn transmit(
+        &mut self,
+        now: Nanos,
+        side: LinkSide,
+        bytes: usize,
+        rng: &mut SmallRng,
+        stats: &mut NetStats,
+    ) -> TxOutcome {
+        if bytes > self.config.mtu {
+            stats.pkts_dropped_mtu += 1;
+            return TxOutcome::DropMtu;
+        }
+        let dir = &mut self.dirs[match side {
+            LinkSide::FromA => 0,
+            LinkSide::FromB => 1,
+        }];
+        // Implied queue occupancy if we enqueue now.
+        let backlog = dir.next_free.saturating_sub(now);
+        let queued_bytes = (backlog.as_secs_f64() * self.config.bandwidth_bps as f64 / 8.0) as usize;
+        if queued_bytes + bytes > self.config.queue_bytes {
+            stats.pkts_dropped_queue += 1;
+            return TxOutcome::DropQueue;
+        }
+        if self.config.netem.drops(rng) {
+            stats.pkts_lost += 1;
+            return TxOutcome::DropLoss;
+        }
+        let start = now.max(dir.next_free);
+        let tx = Nanos::tx_time(bytes, self.config.bandwidth_bps);
+        dir.next_free = start + tx;
+        let arrival =
+            dir.next_free + self.config.propagation + self.config.netem.latency(rng);
+        stats.pkts_delivered += 1;
+        stats.bytes_delivered += bytes as u64;
+        TxOutcome::Deliver(arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ends() -> ((NodeId, PortId), (NodeId, PortId)) {
+        ((NodeId(0), PortId(0)), (NodeId(1), PortId(0)))
+    }
+
+    #[test]
+    fn serialization_plus_propagation() {
+        let (a, b) = ends();
+        // 1 Gbps, 1 ms propagation: a 1250-byte packet takes 10 µs to
+        // serialize, so it arrives at 1.01 ms.
+        let mut link = Link::new(
+            LinkConfig::new(1_000_000_000, Nanos::from_millis(1), 1500),
+            a,
+            b,
+        );
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut stats = NetStats::default();
+        match link.transmit(Nanos::ZERO, LinkSide::FromA, 1250, &mut rng, &mut stats) {
+            TxOutcome::Deliver(at) => assert_eq!(at, Nanos::from_micros(10) + Nanos::from_millis(1)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(link.receiver(LinkSide::FromA), b);
+        assert_eq!(link.receiver(LinkSide::FromB), a);
+    }
+
+    #[test]
+    fn back_to_back_packets_queue() {
+        let (a, b) = ends();
+        let mut link = Link::new(
+            LinkConfig::new(1_000_000_000, Nanos::ZERO, 1500),
+            a,
+            b,
+        );
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut stats = NetStats::default();
+        let t1 = match link.transmit(Nanos::ZERO, LinkSide::FromA, 1250, &mut rng, &mut stats) {
+            TxOutcome::Deliver(at) => at,
+            other => panic!("{other:?}"),
+        };
+        let t2 = match link.transmit(Nanos::ZERO, LinkSide::FromA, 1250, &mut rng, &mut stats) {
+            TxOutcome::Deliver(at) => at,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(t2 - t1, Nanos::from_micros(10)); // one serialization apart
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let (a, b) = ends();
+        let mut link = Link::new(LinkConfig::new(1_000_000_000, Nanos::ZERO, 1500), a, b);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut stats = NetStats::default();
+        let t1 = match link.transmit(Nanos::ZERO, LinkSide::FromA, 1250, &mut rng, &mut stats) {
+            TxOutcome::Deliver(at) => at,
+            other => panic!("{other:?}"),
+        };
+        let t2 = match link.transmit(Nanos::ZERO, LinkSide::FromB, 1250, &mut rng, &mut stats) {
+            TxOutcome::Deliver(at) => at,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(t1, t2); // no cross-direction interference
+    }
+
+    #[test]
+    fn oversize_packet_dropped() {
+        let (a, b) = ends();
+        let mut link = Link::new(LinkConfig::new(1_000_000_000, Nanos::ZERO, 1500), a, b);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut stats = NetStats::default();
+        assert_eq!(
+            link.transmit(Nanos::ZERO, LinkSide::FromA, 9000, &mut rng, &mut stats),
+            TxOutcome::DropMtu
+        );
+        assert_eq!(stats.pkts_dropped_mtu, 1);
+    }
+
+    #[test]
+    fn queue_overflow_droptails() {
+        let (a, b) = ends();
+        let cfg = LinkConfig::new(1_000_000, Nanos::ZERO, 1500).with_queue(3000);
+        let mut link = Link::new(cfg, a, b);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut stats = NetStats::default();
+        let mut drops = 0;
+        for _ in 0..10 {
+            if link.transmit(Nanos::ZERO, LinkSide::FromA, 1000, &mut rng, &mut stats)
+                == TxOutcome::DropQueue
+            {
+                drops += 1;
+            }
+        }
+        assert!(drops >= 6, "expected most packets to drop, got {drops}");
+        assert_eq!(stats.pkts_dropped_queue, drops);
+    }
+
+    #[test]
+    fn netem_loss_applies() {
+        let (a, b) = ends();
+        let cfg = LinkConfig::new(1_000_000_000, Nanos::ZERO, 1500)
+            .with_netem(Netem::delay_loss(Nanos::ZERO, 1.0));
+        let mut link = Link::new(cfg, a, b);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut stats = NetStats::default();
+        assert_eq!(
+            link.transmit(Nanos::ZERO, LinkSide::FromA, 100, &mut rng, &mut stats),
+            TxOutcome::DropLoss
+        );
+    }
+}

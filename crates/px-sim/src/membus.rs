@@ -1,0 +1,82 @@
+//! A shared memory-bandwidth timeline.
+//!
+//! The PXGW evaluation's "+ header-only DMA" variant (Fig. 5a/5b) works
+//! because keeping payloads in NIC memory [Pismenny et al., ASPLOS '22]
+//! stops them from crossing the host memory bus twice (RX DMA in, TX DMA
+//! out). We model the bus as a single shared FIFO resource: every DMA
+//! reserves bus time proportional to the bytes moved, and a packet's
+//! processing cannot complete before its bus reservation drains. When the
+//! CPU cores could go faster than the bus, the bus becomes the bottleneck
+//! — exactly the regime the paper reports PX (without header-only DMA)
+//! operating in at 8 cores.
+
+use crate::time::Nanos;
+
+/// A shared memory bus with a fixed byte bandwidth.
+#[derive(Debug, Clone)]
+pub struct MemBus {
+    /// Usable bandwidth in bytes/sec.
+    pub bytes_per_sec: f64,
+    next_free: Nanos,
+    bytes_moved: u64,
+}
+
+impl MemBus {
+    /// Creates an idle bus.
+    pub fn new(bytes_per_sec: f64) -> Self {
+        MemBus { bytes_per_sec, next_free: Nanos::ZERO, bytes_moved: 0 }
+    }
+
+    /// Reserves bus time for `bytes` starting no earlier than `now`;
+    /// returns when the transfer completes.
+    pub fn reserve(&mut self, now: Nanos, bytes: u64) -> Nanos {
+        let start = self.next_free.max(now);
+        let dur = Nanos::from_secs_f64(bytes as f64 / self.bytes_per_sec);
+        self.next_free = start + dur;
+        self.bytes_moved += bytes;
+        self.next_free
+    }
+
+    /// Total bytes moved.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Fraction of `elapsed` the bus spent busy.
+    pub fn utilization(&self, elapsed: Nanos) -> f64 {
+        if elapsed == Nanos::ZERO {
+            return 0.0;
+        }
+        (self.bytes_moved as f64 / self.bytes_per_sec / elapsed.as_secs_f64()).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservations_serialise() {
+        let mut bus = MemBus::new(1e9); // 1 GB/s
+        let t1 = bus.reserve(Nanos::ZERO, 1_000_000); // 1 ms
+        let t2 = bus.reserve(Nanos::ZERO, 1_000_000);
+        assert_eq!(t1, Nanos::from_millis(1));
+        assert_eq!(t2, Nanos::from_millis(2));
+        assert_eq!(bus.bytes_moved(), 2_000_000);
+    }
+
+    #[test]
+    fn idle_gap_respected() {
+        let mut bus = MemBus::new(1e9);
+        bus.reserve(Nanos::ZERO, 1000);
+        let t = bus.reserve(Nanos::from_millis(5), 1000);
+        assert_eq!(t, Nanos::from_millis(5) + Nanos::from_micros(1));
+    }
+
+    #[test]
+    fn utilization() {
+        let mut bus = MemBus::new(1e9);
+        bus.reserve(Nanos::ZERO, 500_000);
+        assert!((bus.utilization(Nanos::from_millis(1)) - 0.5).abs() < 1e-9);
+    }
+}

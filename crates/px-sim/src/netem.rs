@@ -1,0 +1,115 @@
+//! Linux `tc-netem`-style impairments: fixed delay, uniform jitter, and
+//! i.i.d. random loss.
+//!
+//! The paper's WAN experiments (§5.2) configure netem with "10 ms of delay
+//! and a 0.01% loss rate"; attaching a [`Netem`] to a simulated link
+//! reproduces exactly that.
+
+use crate::time::Nanos;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// An impairment profile applied to packets traversing a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Netem {
+    /// Fixed one-way delay added to every packet.
+    pub delay: Nanos,
+    /// Uniform jitter in `[0, jitter]` added on top of `delay`.
+    pub jitter: Nanos,
+    /// Independent per-packet drop probability in `[0, 1]`.
+    pub loss: f64,
+}
+
+impl Default for Netem {
+    fn default() -> Self {
+        Netem { delay: Nanos::ZERO, jitter: Nanos::ZERO, loss: 0.0 }
+    }
+}
+
+impl Netem {
+    /// No impairment at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The paper's §5.2 WAN profile: 10 ms delay, 0.01% loss.
+    pub fn paper_wan() -> Self {
+        Netem {
+            delay: Nanos::from_millis(10),
+            jitter: Nanos::ZERO,
+            loss: 1e-4,
+        }
+    }
+
+    /// Fixed delay only.
+    pub fn delay(delay: Nanos) -> Self {
+        Netem { delay, ..Self::default() }
+    }
+
+    /// Fixed delay plus loss.
+    pub fn delay_loss(delay: Nanos, loss: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&loss));
+        Netem { delay, jitter: Nanos::ZERO, loss }
+    }
+
+    /// Decides whether a packet is dropped.
+    pub fn drops(&self, rng: &mut SmallRng) -> bool {
+        self.loss > 0.0 && rng.gen::<f64>() < self.loss
+    }
+
+    /// Samples the extra latency for one packet.
+    pub fn latency(&self, rng: &mut SmallRng) -> Nanos {
+        if self.jitter == Nanos::ZERO {
+            self.delay
+        } else {
+            self.delay + Nanos(rng.gen_range(0..=self.jitter.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn loss_rate_statistics() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let netem = Netem::delay_loss(Nanos::ZERO, 0.1);
+        let n = 100_000;
+        let dropped = (0..n).filter(|_| netem.drops(&mut rng)).count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "measured {rate}");
+    }
+
+    #[test]
+    fn zero_loss_never_drops() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let netem = Netem::delay(Nanos::from_millis(10));
+        assert!((0..1000).all(|_| !netem.drops(&mut rng)));
+    }
+
+    #[test]
+    fn jitter_bounded_and_varies() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let netem = Netem {
+            delay: Nanos::from_millis(1),
+            jitter: Nanos::from_millis(2),
+            loss: 0.0,
+        };
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            let l = netem.latency(&mut rng);
+            assert!(l >= Nanos::from_millis(1) && l <= Nanos::from_millis(3));
+            distinct.insert(l.0);
+        }
+        assert!(distinct.len() > 10, "jitter should vary");
+    }
+
+    #[test]
+    fn paper_profile() {
+        let p = Netem::paper_wan();
+        assert_eq!(p.delay, Nanos::from_millis(10));
+        assert_eq!(p.loss, 1e-4);
+    }
+}

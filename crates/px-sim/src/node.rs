@@ -1,0 +1,104 @@
+//! The [`Node`] trait and the per-callback context ([`Ctx`]) through which
+//! nodes interact with the simulation.
+//!
+//! A node never touches the network directly: it records *actions*
+//! (packets to emit, timers to arm) in the context, and the event loop
+//! applies them after the callback returns. This keeps borrows simple and
+//! the execution order deterministic.
+
+use crate::stats::NetStats;
+use crate::time::Nanos;
+use px_wire::PacketBuf;
+use rand::rngs::SmallRng;
+use std::any::Any;
+
+/// Identifies a node within one [`crate::network::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifies a port (attachment point for a link) on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub usize);
+
+/// The context handed to every node callback.
+pub struct Ctx<'a> {
+    /// Current simulated time.
+    pub now: Nanos,
+    /// The simulation's seeded PRNG (sole source of randomness).
+    pub rng: &'a mut SmallRng,
+    /// Global counters.
+    pub stats: &'a mut NetStats,
+    pub(crate) out: Vec<(PortId, PacketBuf)>,
+    pub(crate) timers: Vec<(Nanos, u64)>,
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(now: Nanos, rng: &'a mut SmallRng, stats: &'a mut NetStats) -> Self {
+        Ctx { now, rng, stats, out: Vec::new(), timers: Vec::new() }
+    }
+
+    /// Emits `pkt` on `port`. The packet starts serializing onto the
+    /// attached link immediately (or queues behind packets already on it).
+    pub fn send(&mut self, port: PortId, pkt: PacketBuf) {
+        self.out.push((port, pkt));
+    }
+
+    /// Arms a timer to fire `delay` from now, passing `token` back to
+    /// [`Node::on_timer`].
+    pub fn set_timer(&mut self, delay: Nanos, token: u64) {
+        self.timers.push((self.now + delay, token));
+    }
+
+    /// Arms a timer at an absolute time.
+    pub fn set_timer_at(&mut self, at: Nanos, token: u64) {
+        debug_assert!(at >= self.now);
+        self.timers.push((at, token));
+    }
+
+    /// Consumes the context, releasing its borrows and yielding the
+    /// recorded actions for the event loop to apply.
+    pub(crate) fn into_actions(self) -> (Vec<(PortId, PacketBuf)>, Vec<(Nanos, u64)>) {
+        (self.out, self.timers)
+    }
+}
+
+/// A simulation participant: host, router, gateway, middlebox.
+///
+/// Nodes must also be `Any` so experiment harnesses can downcast them back
+/// to their concrete type after the run to read results.
+pub trait Node: Any {
+    /// Called when a packet finishes arriving on `port`.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: PacketBuf);
+
+    /// Called when a timer armed via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// Called once when the simulation starts, before any packet flows.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// Upcast for downcasting back to the concrete type.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ctx_records_actions_in_order() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut stats = NetStats::default();
+        let mut ctx = Ctx::new(Nanos(100), &mut rng, &mut stats);
+        ctx.send(PortId(0), PacketBuf::from_payload(b"a"));
+        ctx.send(PortId(1), PacketBuf::from_payload(b"b"));
+        ctx.set_timer(Nanos(10), 42);
+        ctx.set_timer_at(Nanos(500), 43);
+        assert_eq!(ctx.out.len(), 2);
+        assert_eq!(ctx.out[0].0, PortId(0));
+        assert_eq!(ctx.timers, vec![(Nanos(110), 42), (Nanos(500), 43)]);
+    }
+}

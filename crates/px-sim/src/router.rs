@@ -1,0 +1,355 @@
+//! An IPv4 router node: longest-prefix forwarding, TTL handling, egress
+//! fragmentation, and ICMP generation — with a configurable **ICMP
+//! blackhole** mode that silently suppresses the *fragmentation needed*
+//! messages classic PMTUD depends on (§3 of the paper: "many routers and
+//! middleboxes are configured to suppress ICMP messages").
+//!
+//! The simulator carries bare IPv4 packets on links (no Ethernet framing;
+//! MTUs are IP-level, matching how the paper quotes them).
+
+use crate::node::{Ctx, Node, PortId};
+use px_wire::frag;
+use px_wire::icmpv4::Icmpv4Message;
+use px_wire::ipv4::{Ipv4Packet, Ipv4Repr};
+use px_wire::{IpProtocol, PacketBuf};
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+/// One forwarding-table entry.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteEntry {
+    /// Network prefix.
+    pub prefix: Ipv4Addr,
+    /// Prefix length in bits.
+    pub len: u8,
+    /// Egress port.
+    pub port: PortId,
+}
+
+impl RouteEntry {
+    fn matches(&self, addr: Ipv4Addr) -> bool {
+        if self.len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - u32::from(self.len));
+        (u32::from(addr) & mask) == (u32::from(self.prefix) & mask)
+    }
+}
+
+/// An IPv4 router.
+pub struct Router {
+    /// This router's address (ICMP source).
+    pub addr: Ipv4Addr,
+    /// Per-port egress MTUs (index = port number).
+    pub port_mtu: Vec<usize>,
+    routes: Vec<RouteEntry>,
+    /// When set, the router never generates ICMP errors — the "ICMP
+    /// blackhole" misconfiguration that breaks classic PMTUD.
+    pub icmp_blackhole: bool,
+    /// Packets forwarded.
+    pub forwarded: u64,
+    /// Packets dropped (any reason).
+    pub dropped: u64,
+}
+
+impl Router {
+    /// Creates a router with the given address and per-port MTUs.
+    pub fn new(addr: Ipv4Addr, port_mtu: Vec<usize>) -> Self {
+        Router {
+            addr,
+            port_mtu,
+            routes: Vec::new(),
+            icmp_blackhole: false,
+            forwarded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Adds a route. More-specific prefixes win regardless of insertion
+    /// order.
+    pub fn add_route(&mut self, prefix: Ipv4Addr, len: u8, port: PortId) -> &mut Self {
+        assert!(len <= 32);
+        assert!(
+            (port.0) < self.port_mtu.len(),
+            "route points at a port without an MTU"
+        );
+        self.routes.push(RouteEntry { prefix, len, port });
+        self
+    }
+
+    /// Configures this router as an ICMP blackhole.
+    pub fn with_blackhole(mut self) -> Self {
+        self.icmp_blackhole = true;
+        self
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<PortId> {
+        self.routes
+            .iter()
+            .filter(|r| r.matches(dst))
+            .max_by_key(|r| r.len)
+            .map(|r| r.port)
+    }
+
+    /// Builds and emits an ICMP error back towards `orig_src`, unless
+    /// blackholed. `original` is the offending packet's bytes.
+    fn send_icmp(&mut self, ctx: &mut Ctx<'_>, original: &[u8], msg: Icmpv4Message) {
+        if self.icmp_blackhole {
+            ctx.stats.icmp_suppressed += 1;
+            return;
+        }
+        let orig = Ipv4Packet::new_unchecked(original);
+        let dst = orig.src();
+        let Some(port) = self.lookup(dst) else {
+            return;
+        };
+        let body = msg.to_bytes();
+        let repr = Ipv4Repr::new(self.addr, dst, IpProtocol::Icmp, body.len());
+        if let Ok(pkt) = repr.build_packet(&body) {
+            ctx.stats.icmp_generated += 1;
+            ctx.send(port, PacketBuf::from_payload(&pkt));
+        }
+    }
+}
+
+impl Node for Router {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: PacketBuf) {
+        let bytes = pkt.as_slice().to_vec();
+        let Ok(ip) = Ipv4Packet::new_checked(&bytes[..]) else {
+            self.dropped += 1;
+            return;
+        };
+        // TTL.
+        if ip.ttl() <= 1 {
+            self.dropped += 1;
+            let excerpt = Icmpv4Message::excerpt_of(&bytes);
+            self.send_icmp(
+                ctx,
+                &bytes,
+                Icmpv4Message::TimeExceeded { code: 0, original: excerpt },
+            );
+            return;
+        }
+        // Route.
+        let Some(out_port) = self.lookup(ip.dst()) else {
+            self.dropped += 1;
+            let excerpt = Icmpv4Message::excerpt_of(&bytes);
+            self.send_icmp(
+                ctx,
+                &bytes,
+                Icmpv4Message::Unreachable { code: 0, original: excerpt },
+            );
+            return;
+        };
+        let mtu = self.port_mtu[out_port.0];
+
+        // Decrement TTL in place (patches the checksum incrementally).
+        let mut fwd = bytes.clone();
+        Ipv4Packet::new_unchecked(&mut fwd[..]).decrement_ttl();
+
+        let total_len = ip.total_len();
+        if total_len <= mtu {
+            self.forwarded += 1;
+            ctx.send(out_port, PacketBuf::from_payload(&fwd));
+            return;
+        }
+        if ip.dont_frag() {
+            // RFC 1191: drop and report the next-hop MTU — unless this
+            // router is an ICMP blackhole, in which case the packet just
+            // vanishes (the failure mode F-PMTUD is immune to).
+            self.dropped += 1;
+            ctx.stats.pkts_dropped_df += 1;
+            let excerpt = Icmpv4Message::excerpt_of(&bytes);
+            self.send_icmp(
+                ctx,
+                &bytes,
+                Icmpv4Message::FragNeeded { next_hop_mtu: mtu as u16, original: excerpt },
+            );
+            return;
+        }
+        match frag::fragment(&fwd, mtu) {
+            Ok(frags) => {
+                self.forwarded += 1;
+                ctx.stats.fragments_created += frags.len() as u64;
+                for f in frags {
+                    ctx.send(out_port, PacketBuf::from_payload(&f));
+                }
+            }
+            Err(_) => {
+                self.dropped += 1;
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+    use crate::network::Network;
+    use crate::node::NodeId;
+    use crate::time::Nanos;
+
+    /// Collects every packet it receives.
+    #[derive(Default)]
+    pub struct Collector {
+        pub pkts: Vec<Vec<u8>>,
+    }
+    impl Node for Collector {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, pkt: PacketBuf) {
+            self.pkts.push(pkt.as_slice().to_vec());
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends a fixed set of packets at start.
+    pub struct Injector {
+        pub pkts: Vec<Vec<u8>>,
+    }
+    impl Node for Injector {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for p in self.pkts.drain(..) {
+                ctx.send(PortId(0), PacketBuf::from_payload(&p));
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _pkt: PacketBuf) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 2, 1);
+
+    fn udp_ip_packet(payload_len: usize, df: bool) -> Vec<u8> {
+        let seg = px_wire::UdpRepr { src_port: 9, dst_port: 9 }
+            .build_datagram(A, B, &vec![0xAB; payload_len])
+            .unwrap();
+        let mut repr = Ipv4Repr::new(A, B, IpProtocol::Udp, seg.len());
+        repr.dont_frag = df;
+        repr.ident = 0x600D;
+        repr.build_packet(&seg).unwrap()
+    }
+
+    /// host A -- router -- host B, router egress MTU 1500 on B's side.
+    fn topo(blackhole: bool) -> (Network, NodeId, NodeId, NodeId) {
+        let mut net = Network::new(3);
+        let src = net.add_node(Injector { pkts: vec![] });
+        let mut router = Router::new(Ipv4Addr::new(10, 0, 0, 254), vec![9000, 1500]);
+        router.add_route(Ipv4Addr::new(10, 0, 1, 0), 24, PortId(0));
+        router.add_route(Ipv4Addr::new(10, 0, 2, 0), 24, PortId(1));
+        if blackhole {
+            router.icmp_blackhole = true;
+        }
+        let r = net.add_node(router);
+        let dst = net.add_node(Collector::default());
+        net.connect((src, PortId(0)), (r, PortId(0)), LinkConfig::new(10_000_000_000, Nanos(1000), 9000));
+        net.connect((r, PortId(1)), (dst, PortId(0)), LinkConfig::new(10_000_000_000, Nanos(1000), 1500));
+        (net, src, r, dst)
+    }
+
+    #[test]
+    fn forwards_and_decrements_ttl() {
+        let (mut net, src, _r, dst) = topo(false);
+        net.node_mut::<Injector>(src).pkts = vec![udp_ip_packet(100, false)];
+        net.run_until(Nanos::from_millis(1));
+        let got = &net.node_ref::<Collector>(dst).pkts;
+        assert_eq!(got.len(), 1);
+        let ip = Ipv4Packet::new_checked(&got[0][..]).unwrap();
+        assert_eq!(ip.ttl(), 63);
+        assert!(ip.verify_checksum());
+    }
+
+    #[test]
+    fn fragments_oversize_packets_at_egress() {
+        let (mut net, src, _r, dst) = topo(false);
+        net.node_mut::<Injector>(src).pkts = vec![udp_ip_packet(4000, false)];
+        net.run_until(Nanos::from_millis(1));
+        let got = &net.node_ref::<Collector>(dst).pkts;
+        assert!(got.len() >= 3);
+        assert!(got.iter().all(|p| p.len() <= 1500));
+        assert_eq!(net.stats().fragments_created, got.len() as u64);
+        // They reassemble to the original payload.
+        let mut re = px_wire::frag::Reassembler::new();
+        let mut complete = None;
+        for p in got {
+            if let px_wire::frag::ReassemblyResult::Complete { packet, .. } =
+                re.push(p, 0).unwrap()
+            {
+                complete = Some(packet);
+            }
+        }
+        let packet = complete.expect("reassembles");
+        let ip = Ipv4Packet::new_checked(&packet[..]).unwrap();
+        assert_eq!(ip.total_len(), 20 + 8 + 4000);
+    }
+
+    #[test]
+    fn df_packet_elicits_frag_needed() {
+        let (mut net, src, _r, _dst) = topo(false);
+        net.node_mut::<Injector>(src).pkts = vec![udp_ip_packet(4000, true)];
+        net.run_until(Nanos::from_millis(1));
+        assert_eq!(net.stats().pkts_dropped_df, 1);
+        assert_eq!(net.stats().icmp_generated, 1);
+    }
+
+    #[test]
+    fn blackhole_suppresses_icmp() {
+        let (mut net, src, _r, dst) = topo(true);
+        net.node_mut::<Injector>(src).pkts = vec![udp_ip_packet(4000, true)];
+        net.run_until(Nanos::from_millis(1));
+        assert_eq!(net.stats().icmp_generated, 0);
+        assert_eq!(net.stats().icmp_suppressed, 1);
+        assert!(net.node_ref::<Collector>(dst).pkts.is_empty());
+    }
+
+    #[test]
+    fn no_route_drops() {
+        let mut r = Router::new(Ipv4Addr::new(1, 1, 1, 1), vec![1500]);
+        r.add_route(Ipv4Addr::new(10, 0, 1, 0), 24, PortId(0));
+        assert_eq!(r.lookup(Ipv4Addr::new(10, 0, 1, 5)), Some(PortId(0)));
+        assert_eq!(r.lookup(Ipv4Addr::new(192, 168, 0, 1)), None);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut r = Router::new(Ipv4Addr::new(1, 1, 1, 1), vec![1500, 1500, 1500]);
+        r.add_route(Ipv4Addr::new(0, 0, 0, 0), 0, PortId(0)); // default
+        r.add_route(Ipv4Addr::new(10, 0, 0, 0), 8, PortId(1));
+        r.add_route(Ipv4Addr::new(10, 0, 2, 0), 24, PortId(2));
+        assert_eq!(r.lookup(Ipv4Addr::new(8, 8, 8, 8)), Some(PortId(0)));
+        assert_eq!(r.lookup(Ipv4Addr::new(10, 9, 9, 9)), Some(PortId(1)));
+        assert_eq!(r.lookup(Ipv4Addr::new(10, 0, 2, 77)), Some(PortId(2)));
+    }
+
+    #[test]
+    fn ttl_expiry_generates_time_exceeded() {
+        let (mut net, src, _r, dst) = topo(false);
+        let mut pkt = udp_ip_packet(100, false);
+        {
+            let mut ip = Ipv4Packet::new_unchecked(&mut pkt[..]);
+            ip.set_ttl(1);
+            ip.fill_checksum();
+        }
+        net.node_mut::<Injector>(src).pkts = vec![pkt];
+        net.run_until(Nanos::from_millis(1));
+        assert!(net.node_ref::<Collector>(dst).pkts.is_empty());
+        assert_eq!(net.stats().icmp_generated, 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Simulated time: a nanosecond counter.
+//!
+//! Everything in the simulator is stamped in [`Nanos`]. Wall-clock time
+//! never enters the simulation — determinism depends on it.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in (or duration of) simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// Time zero.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// The largest representable time (used as "never").
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    /// From fractional seconds (rounds to the nearest nanosecond).
+    pub fn from_secs_f64(s: f64) -> Nanos {
+        debug_assert!(s >= 0.0);
+        Nanos((s * 1e9).round() as u64)
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The later of two times.
+    pub fn max(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.max(rhs.0))
+    }
+
+    /// The earlier of two times.
+    pub fn min(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.min(rhs.0))
+    }
+
+    /// The time to serialize `bytes` onto a link of `bits_per_sec`.
+    pub fn tx_time(bytes: usize, bits_per_sec: u64) -> Nanos {
+        debug_assert!(bits_per_sec > 0);
+        // bytes * 8 * 1e9 / bps, in u128 to avoid overflow at Tbps scales.
+        let ns = (bytes as u128 * 8 * 1_000_000_000) / bits_per_sec as u128;
+        Nanos(ns as u64)
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        debug_assert!(self.0 >= rhs.0, "time went backwards");
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}µs", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Nanos::from_secs(2), Nanos(2_000_000_000));
+        assert_eq!(Nanos::from_millis(3), Nanos(3_000_000));
+        assert_eq!(Nanos::from_micros(4), Nanos(4_000));
+        assert_eq!(Nanos::from_secs_f64(0.5), Nanos(500_000_000));
+    }
+
+    #[test]
+    fn tx_time_examples_from_the_paper() {
+        // §2: "in a 400 Gbps network, transmitting a 9 KB packet takes only
+        // 0.18 µs, and even a 64 KB packet takes 1.31 µs".
+        let t9k = Nanos::tx_time(9000, 400_000_000_000);
+        assert_eq!(t9k, Nanos(180));
+        let t64k = Nanos::tx_time(65536, 400_000_000_000);
+        assert!((t64k.0 as f64 - 1310.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos(100);
+        let b = Nanos(30);
+        assert_eq!(a + b, Nanos(130));
+        assert_eq!(a - b, Nanos(70));
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Nanos(130));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Nanos(5).to_string(), "5ns");
+        assert_eq!(Nanos(5_000).to_string(), "5.000µs");
+        assert_eq!(Nanos(5_000_000).to_string(), "5.000ms");
+        assert_eq!(Nanos::from_secs(5).to_string(), "5.000s");
+    }
+
+    #[test]
+    fn no_overflow_at_tbps() {
+        // 64 KB at 1.6 Tbps — the paper's top-end NIC speed.
+        let t = Nanos::tx_time(65536, 1_600_000_000_000);
+        assert!(t.0 > 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Congestion control.
+//!
+//! [`Reno`] implements RFC 5681 with Appropriate Byte Counting (RFC 3465)
+//! — the algorithm the paper's §2.1 reasons about: "the congestion window
+//! increases by one maximum segment size (MSS) per acknowledgment [in slow
+//! start], and in the congestion avoidance phase, the window grows by one
+//! MSS per round-trip time". With ABC, growth is per *byte acknowledged*,
+//! so a 9000 B MSS ramps the window 6× faster than 1500 B — the mechanism
+//! behind the 2.5× sender-side gain of §5.2.
+//!
+//! [`Cubic`] is included as the modern default for comparison/ablation.
+
+/// The congestion-control interface a [`crate::TcpConnection`] drives.
+///
+/// All quantities are in bytes. `now_ns` is simulated time.
+pub trait CongestionControl: std::fmt::Debug + Send {
+    /// Current congestion window in bytes.
+    fn cwnd(&self) -> u64;
+
+    /// Current slow-start threshold in bytes.
+    fn ssthresh(&self) -> u64;
+
+    /// Called for every ACK that advances `snd_una` by `acked` bytes
+    /// while not in recovery.
+    fn on_ack(&mut self, now_ns: u64, acked: u64, rtt_ns: Option<u64>);
+
+    /// Called when fast retransmit triggers (3 duplicate ACKs).
+    /// `flight` is the number of bytes outstanding.
+    fn on_fast_retransmit(&mut self, now_ns: u64, flight: u64);
+
+    /// Called when the retransmission timer fires.
+    fn on_rto(&mut self, now_ns: u64, flight: u64);
+
+    /// Whether the sender is in slow start.
+    fn in_slow_start(&self) -> bool {
+        self.cwnd() < self.ssthresh()
+    }
+}
+
+/// RFC 5681 NewReno-style congestion control with RFC 3465 ABC.
+#[derive(Debug, Clone)]
+pub struct Reno {
+    mss: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    /// ABC limit: at most `limit × MSS` of growth per ACK in slow start
+    /// (L = 2·MSS per RFC 3465).
+    abc_limit: u64,
+    /// Accumulated acked bytes for congestion-avoidance growth.
+    bytes_acked: u64,
+}
+
+impl Reno {
+    /// Creates Reno with the standard initial window (RFC 6928: IW10).
+    pub fn new(mss: u64) -> Self {
+        debug_assert!(mss > 0);
+        Reno {
+            mss,
+            cwnd: 10 * mss,
+            ssthresh: u64::MAX / 2,
+            abc_limit: 2 * mss,
+            bytes_acked: 0,
+        }
+    }
+
+    /// The connection's MSS.
+    pub fn mss(&self) -> u64 {
+        self.mss
+    }
+}
+
+impl CongestionControl for Reno {
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, _now_ns: u64, acked: u64, _rtt_ns: Option<u64>) {
+        if self.cwnd < self.ssthresh {
+            // Slow start with ABC: cwnd += min(acked, L).
+            self.cwnd += acked.min(self.abc_limit);
+        } else {
+            // Congestion avoidance with byte counting: one MSS per cwnd
+            // of acknowledged bytes (≈ one MSS per RTT).
+            self.bytes_acked += acked;
+            while self.bytes_acked >= self.cwnd {
+                self.bytes_acked -= self.cwnd;
+                self.cwnd += self.mss;
+            }
+        }
+    }
+
+    fn on_fast_retransmit(&mut self, _now_ns: u64, flight: u64) {
+        self.ssthresh = (flight / 2).max(2 * self.mss);
+        self.cwnd = self.ssthresh;
+        self.bytes_acked = 0;
+    }
+
+    fn on_rto(&mut self, _now_ns: u64, flight: u64) {
+        self.ssthresh = (flight / 2).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.bytes_acked = 0;
+    }
+}
+
+/// CUBIC (RFC 9438), the Linux default — implemented as the ablation
+/// comparator for the WAN experiments (the paper's testbed runs Linux
+/// defaults).
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    mss: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    w_max: f64,
+    epoch_start_ns: Option<u64>,
+    k: f64,
+    /// CUBIC C constant (RFC 9438 §4.1), in segments/sec³.
+    c: f64,
+    beta: f64,
+}
+
+impl Cubic {
+    /// Creates CUBIC with standard constants (C = 0.4, β = 0.7).
+    pub fn new(mss: u64) -> Self {
+        Cubic {
+            mss,
+            cwnd: 10 * mss,
+            ssthresh: u64::MAX / 2,
+            w_max: 0.0,
+            epoch_start_ns: None,
+            k: 0.0,
+            c: 0.4,
+            beta: 0.7,
+        }
+    }
+
+    fn w_cubic(&self, t_secs: f64) -> f64 {
+        // In segments.
+        self.c * (t_secs - self.k).powi(3) + self.w_max
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, now_ns: u64, acked: u64, _rtt_ns: Option<u64>) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd += acked.min(2 * self.mss);
+            return;
+        }
+        let epoch = *self.epoch_start_ns.get_or_insert_with(|| {
+            // New epoch: compute K from the current state.
+            let w_max_seg = (self.w_max / self.mss as f64).max(1.0);
+            let cwnd_seg = self.cwnd as f64 / self.mss as f64;
+            self.k = ((w_max_seg - cwnd_seg).max(0.0) / self.c).cbrt();
+            now_ns
+        });
+        let t = (now_ns - epoch) as f64 / 1e9;
+        let target_seg = self.w_cubic(t).max(self.cwnd as f64 / self.mss as f64 + 0.01);
+        let target = (target_seg * self.mss as f64) as u64;
+        // Approach the target, at most doubling per RTT-ish step.
+        if target > self.cwnd {
+            let inc = ((target - self.cwnd) as f64 * acked as f64 / self.cwnd as f64) as u64;
+            self.cwnd += inc.min(acked);
+        }
+    }
+
+    fn on_fast_retransmit(&mut self, _now_ns: u64, flight: u64) {
+        self.w_max = flight as f64;
+        self.ssthresh = ((flight as f64 * self.beta) as u64).max(2 * self.mss);
+        self.cwnd = self.ssthresh;
+        self.epoch_start_ns = None;
+    }
+
+    fn on_rto(&mut self, _now_ns: u64, flight: u64) {
+        self.w_max = flight as f64;
+        self.ssthresh = ((flight as f64 * self.beta) as u64).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.epoch_start_ns = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reno_slow_start_doubles_per_rtt() {
+        let mss = 1500;
+        let mut cc = Reno::new(mss);
+        assert!(cc.in_slow_start());
+        let start = cc.cwnd();
+        // One RTT: ack everything in flight, one ack per 2 segments.
+        let mut acked = 0;
+        while acked < start {
+            let chunk = (2 * mss).min(start - acked);
+            cc.on_ack(0, chunk, None);
+            acked += chunk;
+        }
+        assert_eq!(cc.cwnd(), 2 * start, "slow start doubles cwnd per RTT");
+    }
+
+    #[test]
+    fn reno_ca_grows_one_mss_per_rtt() {
+        let mss = 1500;
+        let mut cc = Reno::new(mss);
+        cc.on_fast_retransmit(0, 100 * mss); // -> CA at 50 MSS
+        let w = cc.cwnd();
+        assert!(!cc.in_slow_start());
+        // Ack one full window.
+        let mut acked = 0;
+        while acked < w {
+            cc.on_ack(0, mss, None);
+            acked += mss;
+        }
+        assert_eq!(cc.cwnd(), w + mss, "CA adds one MSS per window acked");
+    }
+
+    #[test]
+    fn larger_mss_ramps_proportionally_faster() {
+        // The §2.1 claim: growth per RTT scales with MSS.
+        let mut small = Reno::new(1500);
+        let mut big = Reno::new(9000);
+        small.on_fast_retransmit(0, 200 * 1500);
+        big.on_fast_retransmit(0, (200.0 * 9000.0) as u64);
+        let (w_s, w_b) = (small.cwnd(), big.cwnd());
+        for _ in 0..100 {
+            small.on_ack(0, w_s, None);
+            big.on_ack(0, w_b, None);
+        }
+        let growth_small = small.cwnd() - w_s;
+        let growth_big = big.cwnd() - w_b;
+        assert_eq!(growth_big / growth_small, 6, "9000/1500 = 6× faster ramp");
+    }
+
+    #[test]
+    fn rto_collapses_to_one_mss() {
+        let mut cc = Reno::new(1500);
+        cc.on_ack(0, 30000, None);
+        cc.on_rto(0, 60000);
+        assert_eq!(cc.cwnd(), 1500);
+        assert_eq!(cc.ssthresh(), 30000);
+    }
+
+    #[test]
+    fn fast_retransmit_halves() {
+        let mut cc = Reno::new(1500);
+        cc.on_fast_retransmit(0, 100_000);
+        assert_eq!(cc.cwnd(), 50_000);
+        assert_eq!(cc.ssthresh(), 50_000);
+        // Floor at 2 MSS.
+        cc.on_fast_retransmit(0, 1000);
+        assert_eq!(cc.cwnd(), 3000);
+    }
+
+    #[test]
+    fn cubic_recovers_toward_wmax() {
+        let mss = 1500u64;
+        let mut cc = Cubic::new(mss);
+        // Leave slow start via a loss at 100 segments in flight.
+        cc.on_fast_retransmit(0, 100 * mss);
+        let after_loss = cc.cwnd();
+        assert!(after_loss < 100 * mss);
+        // Ack steadily for simulated seconds; cwnd must grow back above
+        // the post-loss value and approach/exceed w_max eventually.
+        let mut now = 0u64;
+        for _ in 0..4000 {
+            now += 5_000_000; // 5 ms per ack
+            let w = cc.cwnd();
+            cc.on_ack(now, mss, None);
+            assert!(cc.cwnd() >= w, "cubic never shrinks on ACK");
+        }
+        assert!(cc.cwnd() > after_loss);
+        assert!(cc.cwnd() as f64 >= 0.95 * (100 * mss) as f64);
+    }
+
+    #[test]
+    fn cubic_slow_start_grows() {
+        let mut cc = Cubic::new(1500);
+        let w0 = cc.cwnd();
+        cc.on_ack(0, 3000, None);
+        assert!(cc.cwnd() > w0);
+        assert!(cc.in_slow_start());
+    }
+}

@@ -1,0 +1,1342 @@
+//! The TCP connection state machine.
+//!
+//! A [`TcpConnection`] is a *pure* state machine: packets in, packets out,
+//! no simulator types. The [`crate::Host`] node drives it from the event
+//! loop. It implements the pieces the PacketExpress evaluation depends on:
+//!
+//! * handshake with **MSS negotiation** — the sender's segment size is
+//!   `min(own MTU − 40, peer-advertised MSS)`, which is exactly the value
+//!   PXGW manipulates;
+//! * RFC 5681/3465 congestion control (pluggable, Reno or CUBIC);
+//! * RFC 6298 RTO with Karn's rule and exponential backoff;
+//! * fast retransmit / NewReno-style recovery on 3 duplicate ACKs;
+//! * window scaling, delayed ACKs, FIN teardown.
+//!
+//! Payload bytes are the deterministic stream pattern
+//! ([`crate::pattern_byte`]); receivers verify every in-order byte, so the
+//! whole test suite doubles as an end-to-end integrity check on anything
+//! (PXGW!) that rewrites packets in flight.
+
+use crate::cc::{CongestionControl, Cubic, Reno};
+use crate::{fill_pattern, verify_pattern};
+use px_wire::ipv4::Ipv4Repr;
+use px_wire::tcp::{SeqNum, TcpFlags, TcpOption, TcpRepr, TcpSegment};
+use px_wire::IpProtocol;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Which congestion-control algorithm a connection runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcAlgo {
+    /// RFC 5681 + ABC.
+    Reno,
+    /// RFC 9438.
+    Cubic,
+}
+
+/// Connection configuration.
+#[derive(Debug, Clone)]
+pub struct ConnConfig {
+    /// Local address and port.
+    pub local: (Ipv4Addr, u16),
+    /// Remote address and port.
+    pub remote: (Ipv4Addr, u16),
+    /// Local interface MTU; our advertised MSS is `mtu − 40`.
+    pub mtu: usize,
+    /// Total bytes this side will send (`u64::MAX` = unlimited).
+    pub tx_total: u64,
+    /// Congestion control algorithm.
+    pub cc: CcAlgo,
+    /// Our window-scale shift (RFC 7323).
+    pub window_scale: u8,
+    /// Receive window we advertise, in bytes (pre-scaling).
+    pub rcv_window: u32,
+    /// Minimum RTO in nanoseconds (Linux default: 200 ms).
+    pub min_rto_ns: u64,
+    /// Delayed-ACK timeout in nanoseconds (0 = ACK immediately).
+    pub delack_ns: u64,
+    /// Build TSO super-segments (up to 64 KB) instead of MSS-sized ones.
+    /// The host NIC model splits them to wire MTU on transmit.
+    pub tso: bool,
+    /// Record received payload bytes (for content assertions in tests).
+    pub record_rx: bool,
+}
+
+impl ConnConfig {
+    /// A sensible default configuration for the given endpoints and MTU.
+    pub fn new(local: (Ipv4Addr, u16), remote: (Ipv4Addr, u16), mtu: usize) -> Self {
+        ConnConfig {
+            local,
+            remote,
+            mtu,
+            tx_total: 0,
+            cc: CcAlgo::Reno,
+            window_scale: 10,
+            rcv_window: 64 << 20,
+            min_rto_ns: 200_000_000,
+            delack_ns: 40_000_000,
+            tso: false,
+            record_rx: false,
+        }
+    }
+
+    /// Sets the bytes to transmit.
+    pub fn sending(mut self, bytes: u64) -> Self {
+        self.tx_total = bytes;
+        self
+    }
+}
+
+/// TCP connection states (RFC 793 §3.2, TIME-WAIT collapsed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Passive open, waiting for SYN.
+    Listen,
+    /// Active open, SYN sent.
+    SynSent,
+    /// SYN received, SYN-ACK sent.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// We sent FIN, awaiting its ACK.
+    FinWait1,
+    /// Our FIN is acked, awaiting peer FIN.
+    FinWait2,
+    /// Peer sent FIN first; we still may send.
+    CloseWait,
+    /// We sent FIN after CloseWait.
+    LastAck,
+    /// Both FINs crossed.
+    Closing,
+    /// Fully closed.
+    Closed,
+}
+
+/// Aggregate counters a connection maintains.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConnStats {
+    /// Bytes the peer has acknowledged (sender goodput).
+    pub bytes_acked: u64,
+    /// In-order bytes received.
+    pub bytes_received: u64,
+    /// Data segments sent (excluding retransmissions).
+    pub segments_sent: u64,
+    /// Retransmitted segments (fast + timeout).
+    pub retransmits: u64,
+    /// RTO firings.
+    pub rtos: u64,
+    /// Fast retransmits.
+    pub fast_retransmits: u64,
+    /// Payload bytes that failed pattern verification.
+    pub integrity_errors: u64,
+    /// When the connection reached Established (ns), if ever.
+    pub established_at_ns: Option<u64>,
+}
+
+const TSO_MAX: usize = 65536 - 120; // leave room for headers within u16 IP len
+
+/// A TCP connection endpoint.
+#[derive(Debug)]
+pub struct TcpConnection {
+    /// Configuration this connection was created with.
+    pub cfg: ConnConfig,
+    state: ConnState,
+    cc: Box<dyn CongestionControl>,
+
+    // --- sender ---
+    iss: u32,
+    snd_una: u64,
+    snd_nxt: u64,
+    fin_sent: bool,
+    fin_acked: bool,
+    peer_mss: usize,
+    peer_wscale: u8,
+    peer_wnd: u64,
+    dup_acks: u32,
+    in_recovery: bool,
+    recover: u64,
+    /// SACK scoreboard: disjoint, merged (stream offset → length) ranges
+    /// the peer has reported holding above `snd_una`.
+    sacked: BTreeMap<u64, u64>,
+    sacked_bytes: u64,
+    /// Hole-retransmission cursor for the current recovery episode.
+    rtx_next: u64,
+
+    // --- RTT/RTO (RFC 6298) ---
+    srtt_ns: Option<f64>,
+    rttvar_ns: f64,
+    rto_ns: u64,
+    rto_backoff: u32,
+    rto_deadline: Option<u64>,
+    timing: Option<(u64, u64)>, // (stream offset end, sent_at)
+
+    // --- receiver ---
+    irs: Option<u32>,
+    rcv_nxt: u64,
+    ooo: BTreeMap<u64, Vec<u8>>, // offset -> payload (or empty Vec when not recording)
+    ooo_len: BTreeMap<u64, usize>,
+    fin_received_at: Option<u64>, // stream offset of peer FIN
+    pending_ack_segs: u32,
+    ack_deadline: Option<u64>,
+    rx_record: Vec<u8>,
+
+    ip_ident: u16,
+    app_closed: bool,
+    syn_sent_at: u64,
+    /// Path-MTU clamp learned from ICMP fragmentation-needed (RFC 1191):
+    /// caps the effective MSS below the negotiated value.
+    path_mtu_clamp: Option<usize>,
+    /// Counters.
+    pub stats: ConnStats,
+}
+
+impl TcpConnection {
+    /// Creates a connection in `Listen` (passive) state.
+    pub fn listen(cfg: ConnConfig, iss: u32) -> Self {
+        Self::new_inner(cfg, iss, ConnState::Listen)
+    }
+
+    /// Creates a connection ready for an active open (call [`Self::open`]).
+    pub fn client(cfg: ConnConfig, iss: u32) -> Self {
+        Self::new_inner(cfg, iss, ConnState::Closed)
+    }
+
+    fn new_inner(cfg: ConnConfig, iss: u32, state: ConnState) -> Self {
+        let own_mss = cfg.mtu.saturating_sub(40).max(64);
+        let cc: Box<dyn CongestionControl> = match cfg.cc {
+            CcAlgo::Reno => Box::new(Reno::new(own_mss as u64)),
+            CcAlgo::Cubic => Box::new(Cubic::new(own_mss as u64)),
+        };
+        TcpConnection {
+            cfg,
+            state,
+            cc,
+            iss,
+            snd_una: 0,
+            snd_nxt: 0,
+            fin_sent: false,
+            fin_acked: false,
+            peer_mss: own_mss, // refined at handshake
+            peer_wscale: 0,
+            peer_wnd: 65535,
+            dup_acks: 0,
+            in_recovery: false,
+            recover: 0,
+            sacked: BTreeMap::new(),
+            sacked_bytes: 0,
+            rtx_next: 0,
+            srtt_ns: None,
+            rttvar_ns: 0.0,
+            rto_ns: 1_000_000_000,
+            rto_backoff: 1,
+            rto_deadline: None,
+            timing: None,
+            irs: None,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            ooo_len: BTreeMap::new(),
+            fin_received_at: None,
+            pending_ack_segs: 0,
+            ack_deadline: None,
+            rx_record: Vec::new(),
+            ip_ident: iss as u16,
+            app_closed: false,
+            syn_sent_at: 0,
+            path_mtu_clamp: None,
+            stats: ConnStats::default(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ConnState {
+        self.state
+    }
+
+    /// Whether the connection has fully closed.
+    pub fn is_closed(&self) -> bool {
+        self.state == ConnState::Closed
+    }
+
+    /// Our advertised MSS (own MTU − 40).
+    pub fn own_mss(&self) -> usize {
+        self.cfg.mtu.saturating_sub(40).max(64)
+    }
+
+    /// The segment size actually in use after negotiation:
+    /// `min(own MSS, peer MSS)` — the value PXGW's rewriting raises —
+    /// further capped by any RFC 1191 path-MTU clamp.
+    pub fn effective_mss(&self) -> usize {
+        let negotiated = self.own_mss().min(self.peer_mss);
+        match self.path_mtu_clamp {
+            Some(mtu) => negotiated.min(mtu.saturating_sub(40).max(64)),
+            None => negotiated,
+        }
+    }
+
+    /// RFC 1191 reaction to an ICMP *fragmentation needed*: clamp the
+    /// effective MSS to the reported next-hop MTU and retransmit from
+    /// the cumulative ACK so oversized in-flight segments are replaced.
+    pub fn clamp_path_mtu(&mut self, now: u64, next_hop_mtu: usize) -> Vec<Vec<u8>> {
+        if next_hop_mtu < 68 {
+            return vec![]; // implausible (attack or garbage)
+        }
+        let current = self.path_mtu_clamp.unwrap_or(usize::MAX);
+        if next_hop_mtu >= current {
+            return vec![]; // stale/duplicate report
+        }
+        self.path_mtu_clamp = Some(next_hop_mtu);
+        // Everything beyond snd_una may have been dropped at the narrow
+        // hop; rewind and resend at the new segment size.
+        self.snd_nxt = self.snd_una;
+        self.sacked.clear();
+        self.sacked_bytes = 0;
+        self.rtx_next = self.snd_una;
+        self.in_recovery = false;
+        self.pump(now)
+    }
+
+    /// The peer's advertised MSS (what arrived in its SYN, possibly
+    /// rewritten by a PXGW on the path).
+    pub fn peer_mss(&self) -> usize {
+        self.peer_mss
+    }
+
+    /// Recorded received bytes (only when `record_rx`).
+    pub fn received_data(&self) -> &[u8] {
+        &self.rx_record
+    }
+
+    /// Current congestion window, bytes.
+    pub fn cwnd(&self) -> u64 {
+        self.cc.cwnd()
+    }
+
+    /// Marks the application side closed; a FIN goes out once all data is
+    /// delivered.
+    pub fn close(&mut self, now: u64) -> Vec<Vec<u8>> {
+        self.app_closed = true;
+        self.pump(now)
+    }
+
+    /// Stops producing data immediately (iPerf's duration elapsing): caps
+    /// the stream at what has already been sent and closes.
+    pub fn stop_sending(&mut self, now: u64) -> Vec<Vec<u8>> {
+        if self.cfg.tx_total > self.snd_nxt {
+            self.cfg.tx_total = self.snd_nxt;
+        }
+        self.app_closed = true;
+        self.pump(now)
+    }
+
+    // ------------------------------------------------------------------
+    // Packet construction
+    // ------------------------------------------------------------------
+
+    fn wire_seq(&self, off: u64) -> SeqNum {
+        SeqNum(self.iss.wrapping_add(1).wrapping_add(off as u32))
+    }
+
+    /// Maps a wire sequence number to a receive-stream offset, computed
+    /// relative to `rcv_nxt` so streams longer than 2^31 bytes never
+    /// overflow the 32-bit wire space diff.
+    fn rx_stream_off(&self, seq: SeqNum) -> i64 {
+        let irs = self.irs.expect("established");
+        let ref_wire = SeqNum(irs.wrapping_add(1).wrapping_add(self.rcv_nxt as u32));
+        self.rcv_nxt as i64 + seq.diff(ref_wire)
+    }
+
+    /// Maps a wire sequence number to a send-stream offset, relative to
+    /// `snd_una` (same wrap-safety argument).
+    fn tx_stream_off(&self, seq: SeqNum) -> i64 {
+        let ref_wire = self.wire_seq(self.snd_una);
+        self.snd_una as i64 + seq.diff(ref_wire)
+    }
+
+    fn wire_ack(&self) -> SeqNum {
+        match self.irs {
+            Some(irs) => {
+                let fin_extra = match self.fin_received_at {
+                    Some(f) if self.rcv_nxt >= f => 1,
+                    _ => 0,
+                };
+                SeqNum(
+                    irs.wrapping_add(1)
+                        .wrapping_add(self.rcv_nxt as u32)
+                        .wrapping_add(fin_extra),
+                )
+            }
+            None => SeqNum(0),
+        }
+    }
+
+    fn adv_window(&self) -> u16 {
+        let w = (self.cfg.rcv_window as u64) >> self.cfg.window_scale;
+        w.min(65535) as u16
+    }
+
+    fn build(&mut self, flags: TcpFlags, seq: SeqNum, payload: &[u8], opts: Vec<TcpOption>) -> Vec<u8> {
+        let repr = TcpRepr {
+            src_port: self.cfg.local.1,
+            dst_port: self.cfg.remote.1,
+            seq,
+            ack: if flags.ack { self.wire_ack() } else { SeqNum(0) },
+            flags,
+            window: self.adv_window(),
+            options: opts,
+        };
+        let seg = repr.build_segment(self.cfg.local.0, self.cfg.remote.0, payload);
+        let mut ip = Ipv4Repr::new(self.cfg.local.0, self.cfg.remote.0, IpProtocol::Tcp, seg.len());
+        ip.ident = self.ip_ident;
+        self.ip_ident = self.ip_ident.wrapping_add(1);
+        // Endpoint TCP sets DF (PMTUD behaviour); PXGW-translated paths
+        // rely on MSS rewriting rather than fragmentation for TCP.
+        ip.dont_frag = true;
+        ip.build_packet(&seg).expect("segment within IP limits")
+    }
+
+    fn syn_options(&self) -> Vec<TcpOption> {
+        vec![
+            TcpOption::Mss(self.own_mss() as u16),
+            TcpOption::WindowScale(self.cfg.window_scale),
+            TcpOption::SackPermitted,
+        ]
+    }
+
+    /// Active open: emits the SYN.
+    pub fn open(&mut self, now: u64) -> Vec<Vec<u8>> {
+        assert_eq!(self.state, ConnState::Closed, "open() on a used connection");
+        self.state = ConnState::SynSent;
+        self.syn_sent_at = now;
+        let syn = self.build(TcpFlags::SYN, SeqNum(self.iss), &[], self.syn_options());
+        self.arm_rto(now);
+        vec![syn]
+    }
+
+    // ------------------------------------------------------------------
+    // RTO machinery
+    // ------------------------------------------------------------------
+
+    fn arm_rto(&mut self, now: u64) {
+        let rto = self.rto_ns.saturating_mul(u64::from(self.rto_backoff));
+        self.rto_deadline = Some(now.saturating_add(rto));
+    }
+
+    fn disarm_rto(&mut self) {
+        self.rto_deadline = None;
+    }
+
+    fn rtt_sample(&mut self, sample_ns: u64) {
+        const ALPHA: f64 = 1.0 / 8.0;
+        const BETA: f64 = 1.0 / 4.0;
+        let r = sample_ns as f64;
+        match self.srtt_ns {
+            None => {
+                self.srtt_ns = Some(r);
+                self.rttvar_ns = r / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar_ns = (1.0 - BETA) * self.rttvar_ns + BETA * (srtt - r).abs();
+                self.srtt_ns = Some((1.0 - ALPHA) * srtt + ALPHA * r);
+            }
+        }
+        let rto = self.srtt_ns.unwrap() + (4.0 * self.rttvar_ns).max(1e6);
+        self.rto_ns = (rto as u64).clamp(self.cfg.min_rto_ns, 60_000_000_000);
+    }
+
+    // ------------------------------------------------------------------
+    // Transmit path
+    // ------------------------------------------------------------------
+
+    /// Outstanding bytes, RFC 6675 "pipe"-style: what was sent but is
+    /// neither cumulatively acked nor SACKed.
+    fn flight(&self) -> u64 {
+        (self.snd_nxt - self.snd_una).saturating_sub(self.sacked_bytes)
+    }
+
+    /// Inserts a SACKed range (merging neighbours) into the scoreboard.
+    fn sack_insert(&mut self, mut start: u64, mut end: u64) {
+        start = start.max(self.snd_una);
+        end = end.min(self.snd_nxt);
+        if start >= end {
+            return;
+        }
+        // Absorb every overlapping/adjacent existing range.
+        let overlapping: Vec<u64> = self
+            .sacked
+            .range(..=end)
+            .filter(|(&o, &l)| o + l >= start)
+            .map(|(&o, _)| o)
+            .collect();
+        for o in overlapping {
+            let l = self.sacked.remove(&o).expect("present");
+            self.sacked_bytes -= l;
+            start = start.min(o);
+            end = end.max(o + l);
+        }
+        self.sacked.insert(start, end - start);
+        self.sacked_bytes += end - start;
+    }
+
+    /// Drops scoreboard state at or below `snd_una`.
+    fn sack_prune(&mut self) {
+        let una = self.snd_una;
+        let stale: Vec<u64> = self.sacked.range(..una).map(|(&o, _)| o).collect();
+        for o in stale {
+            let l = self.sacked.remove(&o).expect("present");
+            self.sacked_bytes -= l;
+            if o + l > una {
+                // Partially covered: keep the tail.
+                self.sacked.insert(una, o + l - una);
+                self.sacked_bytes += o + l - una;
+            }
+        }
+        self.rtx_next = self.rtx_next.max(una);
+    }
+
+    /// SACK-based loss repair: retransmits up to `budget` un-SACKed
+    /// segments between the cursor and the *highest SACKed byte* — data
+    /// above the last SACK block is merely in flight, not lost
+    /// (RFC 6675's IsLost condition, simplified).
+    fn retransmit_holes(&mut self, now: u64, budget: usize, out: &mut Vec<Vec<u8>>) {
+        let mss = self.effective_mss() as u64;
+        let high_sacked = self
+            .sacked
+            .last_key_value()
+            .map(|(&o, &l)| o + l)
+            .unwrap_or(self.snd_una);
+        let limit = self.recover.min(high_sacked);
+        let mut cursor = self.rtx_next.max(self.snd_una);
+        let mut sent = 0usize;
+        while sent < budget && cursor < limit {
+            // Skip any SACKed range covering the cursor.
+            if let Some((&o, &l)) = self.sacked.range(..=cursor).next_back() {
+                if cursor < o + l {
+                    cursor = o + l;
+                    continue;
+                }
+            }
+            // The hole ends at the next SACKed block or the repair limit.
+            let next_sacked = self
+                .sacked
+                .range(cursor..)
+                .next()
+                .map(|(&o, _)| o)
+                .unwrap_or(limit);
+            let end = (cursor + mss).min(next_sacked).min(limit);
+            if end <= cursor {
+                break;
+            }
+            let len = (end - cursor) as usize;
+            let mut payload = vec![0u8; len];
+            fill_pattern(cursor, &mut payload);
+            let mut flags = TcpFlags::ACK;
+            flags.psh = true;
+            let seq = self.wire_seq(cursor);
+            out.push(self.build(flags, seq, &payload, vec![]));
+            self.stats.retransmits += 1;
+            self.timing = None; // Karn's rule
+            sent += 1;
+            cursor = end;
+        }
+        self.rtx_next = cursor;
+        if sent > 0 {
+            self.arm_rto(now);
+        }
+    }
+
+    fn sender_done(&self) -> bool {
+        self.snd_nxt >= self.cfg.tx_total
+    }
+
+    /// RFC 3042: one new MSS-sized segment beyond cwnd on an early
+    /// duplicate ACK (bounded by the peer window and available data).
+    fn limited_transmit(&mut self, now: u64) -> Vec<Vec<u8>> {
+        let mss = self.effective_mss();
+        if self.snd_nxt >= self.cfg.tx_total {
+            return vec![];
+        }
+        if self.snd_nxt - self.snd_una + mss as u64 > self.peer_wnd {
+            return vec![];
+        }
+        let remaining = (self.cfg.tx_total - self.snd_nxt).min(mss as u64) as usize;
+        let off = self.snd_nxt;
+        let mut payload = vec![0u8; remaining];
+        fill_pattern(off, &mut payload);
+        let mut flags = TcpFlags::ACK;
+        flags.psh = true;
+        let seq = self.wire_seq(off);
+        let pkt = self.build(flags, seq, &payload, vec![]);
+        self.snd_nxt += remaining as u64;
+        self.stats.segments_sent += 1;
+        self.arm_rto(now);
+        vec![pkt]
+    }
+
+    /// Sends whatever the window currently allows. Returns wire packets.
+    fn pump(&mut self, now: u64) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        if !matches!(
+            self.state,
+            ConnState::Established | ConnState::CloseWait | ConnState::FinWait1
+        ) {
+            return out;
+        }
+        let wnd = self.cc.cwnd().min(self.peer_wnd.max(1));
+        let mss = self.effective_mss();
+        while self.snd_nxt < self.cfg.tx_total && self.flight() < wnd {
+            let avail = (wnd - self.flight()) as usize;
+            let remaining = (self.cfg.tx_total - self.snd_nxt).min(usize::MAX as u64) as usize;
+            let chunk_cap = if self.cfg.tso {
+                // Super-segment: a whole number of MSS units, up to 64 KB.
+                let cap = TSO_MAX.min(avail).min(remaining);
+                if cap >= mss {
+                    (cap / mss) * mss
+                } else {
+                    cap
+                }
+            } else {
+                mss.min(avail).min(remaining)
+            };
+            if chunk_cap == 0 {
+                break;
+            }
+            // Don't send a runt just because the window has a sliver left,
+            // unless it finishes the stream (simplified Nagle).
+            if chunk_cap < mss && (remaining > chunk_cap) {
+                break;
+            }
+            let off = self.snd_nxt;
+            let mut payload = vec![0u8; chunk_cap];
+            fill_pattern(off, &mut payload);
+            let mut flags = TcpFlags::ACK;
+            flags.psh = true;
+            let seq = self.wire_seq(off);
+            let pkt = self.build(flags, seq, &payload, vec![]);
+            out.push(pkt);
+            self.snd_nxt += chunk_cap as u64;
+            self.stats.segments_sent += 1;
+            if self.timing.is_none() {
+                self.timing = Some((self.snd_nxt, now));
+            }
+        }
+        // FIN once everything is sent and the app closed (or tx_total is
+        // finite and fully sent).
+        if self.app_closed && self.sender_done() && !self.fin_sent && self.snd_una == self.snd_nxt
+        {
+            self.fin_sent = true;
+            let mut flags = TcpFlags::ACK;
+            flags.fin = true;
+            let seq = self.wire_seq(self.snd_nxt);
+            let pkt = self.build(flags, seq, &[], vec![]);
+            out.push(pkt);
+            self.state = match self.state {
+                ConnState::CloseWait => ConnState::LastAck,
+                _ => ConnState::FinWait1,
+            };
+        }
+        if (!out.is_empty() || self.flight() > 0) && self.rto_deadline.is_none() {
+            self.arm_rto(now);
+        }
+        out
+    }
+
+    /// Retransmits one segment starting at `snd_una`.
+    fn retransmit_head(&mut self, now: u64) -> Option<Vec<u8>> {
+        if self.state == ConnState::SynSent {
+            let syn = self.build(TcpFlags::SYN, SeqNum(self.iss), &[], self.syn_options());
+            return Some(syn);
+        }
+        if self.fin_sent && self.snd_una == self.snd_nxt {
+            // Only the FIN is outstanding.
+            let mut flags = TcpFlags::ACK;
+            flags.fin = true;
+            let seq = self.wire_seq(self.snd_nxt);
+            return Some(self.build(flags, seq, &[], vec![]));
+        }
+        if self.snd_una >= self.snd_nxt {
+            return None;
+        }
+        let off = self.snd_una;
+        let len = self
+            .effective_mss()
+            .min((self.snd_nxt - off) as usize);
+        let mut payload = vec![0u8; len];
+        fill_pattern(off, &mut payload);
+        let mut flags = TcpFlags::ACK;
+        flags.psh = true;
+        let seq = self.wire_seq(off);
+        self.timing = None; // Karn's rule
+        self.stats.retransmits += 1;
+        let _ = now;
+        Some(self.build(flags, seq, &payload, vec![]))
+    }
+
+    // ------------------------------------------------------------------
+    // Receive path
+    // ------------------------------------------------------------------
+
+    /// Handles one TCP segment (the IP payload). Returns packets to emit.
+    pub fn on_segment(&mut self, now: u64, seg_bytes: &[u8]) -> Vec<Vec<u8>> {
+        let Ok(seg) = TcpSegment::new_checked(seg_bytes) else {
+            return vec![];
+        };
+        let Ok(repr) = TcpRepr::parse(&seg) else {
+            return vec![];
+        };
+        let payload = seg.payload();
+        let mut out = Vec::new();
+
+        match self.state {
+            ConnState::Listen => {
+                if repr.flags.syn && !repr.flags.ack {
+                    self.irs = Some(repr.seq.0);
+                    if let Some(mss) = repr.mss() {
+                        self.peer_mss = usize::from(mss);
+                    }
+                    self.peer_wscale = repr
+                        .options
+                        .iter()
+                        .find_map(|o| match o {
+                            TcpOption::WindowScale(s) => Some(*s),
+                            _ => None,
+                        })
+                        .unwrap_or(0);
+                    self.peer_wnd = u64::from(repr.window) << self.peer_wscale;
+                    self.state = ConnState::SynRcvd;
+                    let synack =
+                        self.build(TcpFlags::SYN_ACK, SeqNum(self.iss), &[], self.syn_options());
+                    out.push(synack);
+                    self.arm_rto(now);
+                }
+                return out;
+            }
+            ConnState::SynSent => {
+                if repr.flags.syn && repr.flags.ack {
+                    // Validate the ack of our SYN.
+                    if repr.ack != SeqNum(self.iss.wrapping_add(1)) {
+                        return out;
+                    }
+                    self.irs = Some(repr.seq.0);
+                    if let Some(mss) = repr.mss() {
+                        self.peer_mss = usize::from(mss);
+                    }
+                    self.peer_wscale = repr
+                        .options
+                        .iter()
+                        .find_map(|o| match o {
+                            TcpOption::WindowScale(s) => Some(*s),
+                            _ => None,
+                        })
+                        .unwrap_or(0);
+                    self.peer_wnd = u64::from(repr.window) << self.peer_wscale;
+                    self.state = ConnState::Established;
+                    self.stats.established_at_ns = Some(now);
+                    self.disarm_rto();
+                    self.rto_backoff = 1;
+                    // Handshake RTT sample.
+                    self.rtt_sample(now.saturating_sub(self.syn_sent_at).max(1));
+                    let ack = self.build(TcpFlags::ACK, self.wire_seq(0), &[], vec![]);
+                    out.push(ack);
+                    out.extend(self.pump(now));
+                }
+                return out;
+            }
+            ConnState::SynRcvd => {
+                if repr.flags.rst {
+                    self.state = ConnState::Closed;
+                    self.disarm_rto();
+                    return out;
+                }
+                if repr.flags.ack && repr.ack == SeqNum(self.iss.wrapping_add(1)) {
+                    self.state = ConnState::Established;
+                    self.stats.established_at_ns = Some(now);
+                    self.disarm_rto();
+                    self.rto_backoff = 1;
+                    out.extend(self.pump(now));
+                    // Fall through to process any piggybacked data below.
+                } else if !repr.flags.syn {
+                    return out;
+                }
+            }
+            ConnState::Closed => return out,
+            _ => {}
+        }
+
+        if repr.flags.rst {
+            self.state = ConnState::Closed;
+            self.disarm_rto();
+            self.ack_deadline = None;
+            return out;
+        }
+
+        // --- ACK processing (sender side) ---
+        if repr.flags.ack {
+            self.peer_wnd = u64::from(repr.window) << self.peer_wscale;
+            // Ingest SACK blocks into the scoreboard.
+            for opt in &repr.options {
+                if let TcpOption::Sack(blocks) = opt {
+                    for &(s, e) in blocks {
+                        let (so, eo) = (self.tx_stream_off(s), self.tx_stream_off(e));
+                        if so >= 0 && eo > so {
+                            self.sack_insert(so as u64, eo as u64);
+                        }
+                    }
+                }
+            }
+            // Wire ack relative to snd_una, tolerant of 32-bit wrap.
+            let una_wire = self.wire_seq(self.snd_una);
+            let delta = repr.ack.diff(una_wire);
+            if delta > 0 {
+                let mut advance = delta as u64;
+                let flight_total = self.snd_nxt - self.snd_una;
+                // FIN occupies one sequence number.
+                let fin_covered = self.fin_sent && advance > flight_total;
+                if fin_covered {
+                    advance -= 1;
+                    self.fin_acked = true;
+                }
+                if advance > flight_total {
+                    if self.fin_sent {
+                        advance = flight_total;
+                    } else {
+                        // The ACK covers data beyond snd_nxt: an RTO
+                        // rewound the send pointer (go-back-N) but the
+                        // original transmissions arrived after all. Jump
+                        // forward instead of resending what the receiver
+                        // already holds.
+                        self.snd_nxt = self.snd_una + advance;
+                    }
+                }
+                self.snd_una += advance;
+                self.sack_prune();
+                self.stats.bytes_acked = self.snd_una;
+                self.dup_acks = 0;
+                self.rto_backoff = 1;
+                // RTT sample.
+                if let Some((end, sent_at)) = self.timing {
+                    if self.snd_una >= end {
+                        self.rtt_sample(now.saturating_sub(sent_at).max(1));
+                        self.timing = None;
+                    }
+                }
+                if self.in_recovery {
+                    if self.snd_una >= self.recover {
+                        self.in_recovery = false;
+                    } else {
+                        // Partial ack: repair further holes (SACK-guided).
+                        self.retransmit_holes(now, 2, &mut out);
+                    }
+                } else if advance > 0 {
+                    self.cc.on_ack(now, advance, None);
+                }
+                if self.flight() == 0 && (!self.fin_sent || self.fin_acked) {
+                    self.disarm_rto();
+                } else {
+                    self.arm_rto(now);
+                }
+                if fin_covered || self.fin_acked {
+                    self.state = match self.state {
+                        ConnState::FinWait1 => ConnState::FinWait2,
+                        ConnState::LastAck => ConnState::Closed,
+                        ConnState::Closing => ConnState::Closed,
+                        s => s,
+                    };
+                    if self.state == ConnState::Closed {
+                        self.disarm_rto();
+                        self.ack_deadline = None;
+                    }
+                }
+            } else if delta == 0 && payload.is_empty() && !repr.flags.syn && !repr.flags.fin {
+                // Duplicate ACK. Count it as a loss signal only when it
+                // carries SACK blocks — a real hole means the receiver
+                // holds out-of-order data and reports it (RFC 2018). A
+                // bare duplicate number without SACK is the signature of
+                // *duplicate data* (e.g. a spurious retransmission), and
+                // reacting to it creates retransmission storms.
+                let has_sack = repr
+                    .options
+                    .iter()
+                    .any(|o| matches!(o, TcpOption::Sack(b) if !b.is_empty()));
+                if self.snd_nxt > self.snd_una && has_sack {
+                    self.dup_acks += 1;
+                    if self.dup_acks < 3 && !self.in_recovery {
+                        // RFC 3042 limited transmit: send one new segment
+                        // per early duplicate ACK to keep the ACK clock
+                        // alive — without it, small windows (common at
+                        // jumbo MSS) never produce the third dupack and
+                        // fall back to a full RTO.
+                        out.extend(self.limited_transmit(now));
+                    }
+                    if self.dup_acks == 3 && !self.in_recovery {
+                        self.in_recovery = true;
+                        self.recover = self.snd_nxt;
+                        self.rtx_next = self.snd_una;
+                        self.cc.on_fast_retransmit(now, self.flight());
+                        self.stats.fast_retransmits += 1;
+                        self.retransmit_holes(now, 2, &mut out);
+                    } else if self.in_recovery {
+                        // Each duplicate ACK lets us repair more holes.
+                        self.retransmit_holes(now, 2, &mut out);
+                    }
+                }
+            }
+        }
+
+        // --- data reception ---
+        if !payload.is_empty() {
+            if self.irs.is_some() {
+                let off = self.rx_stream_off(repr.seq);
+                // Judge orderliness against rcv_nxt *before* ingest moves it.
+                let in_order = off >= 0 && (off as u64) == self.rcv_nxt;
+                if off >= 0 {
+                    self.ingest(off as u64, payload);
+                }
+                // ACK policy.
+                self.pending_ack_segs += 1;
+                let out_of_order = !in_order || !self.ooo_len.is_empty();
+                let must_ack_now = out_of_order
+                    || self.pending_ack_segs >= 2
+                    || repr.flags.fin
+                    || self.cfg.delack_ns == 0;
+                if must_ack_now {
+                    out.push(self.make_ack());
+                } else if self.ack_deadline.is_none() {
+                    self.ack_deadline = Some(now + self.cfg.delack_ns);
+                }
+            }
+        }
+
+        // --- FIN reception ---
+        if repr.flags.fin {
+            if self.irs.is_some() {
+                let fin_off = self.rx_stream_off(repr.seq) + payload.len() as i64;
+                if fin_off >= 0 {
+                    self.fin_received_at = Some(fin_off as u64);
+                }
+            }
+            if self.fin_received_at == Some(self.rcv_nxt) {
+                out.push(self.make_ack());
+                self.state = match self.state {
+                    ConnState::Established => ConnState::CloseWait,
+                    ConnState::FinWait1 => ConnState::Closing,
+                    ConnState::FinWait2 => ConnState::Closed,
+                    s => s,
+                };
+                if self.state == ConnState::Closed {
+                    self.disarm_rto();
+                    self.ack_deadline = None;
+                }
+                // An iperf-style receiver with nothing to send closes too.
+                if self.state == ConnState::CloseWait && self.sender_done() {
+                    self.app_closed = true;
+                }
+            }
+        }
+
+        out.extend(self.pump(now));
+        out
+    }
+
+    fn make_ack(&mut self) -> Vec<u8> {
+        self.pending_ack_segs = 0;
+        self.ack_deadline = None;
+        let seq = self.wire_seq(self.snd_nxt);
+        let opts = match (self.irs, self.ooo_len.is_empty()) {
+            (Some(irs), false) => {
+                // RFC 2018: report out-of-order data so the sender can
+                // repair exactly the holes (merge adjacent ranges, send
+                // up to 3 blocks).
+                let base = irs.wrapping_add(1);
+                let mut blocks: Vec<(u64, u64)> = Vec::new();
+                for (&off, &len) in &self.ooo_len {
+                    match blocks.last_mut() {
+                        Some((_, e)) if *e >= off => *e = (*e).max(off + len as u64),
+                        _ => blocks.push((off, off + len as u64)),
+                    }
+                }
+                let sack = blocks
+                    .into_iter()
+                    .take(3)
+                    .map(|(s, e)| {
+                        (
+                            SeqNum(base.wrapping_add(s as u32)),
+                            SeqNum(base.wrapping_add(e as u32)),
+                        )
+                    })
+                    .collect();
+                vec![TcpOption::Sack(sack)]
+            }
+            _ => vec![],
+        };
+        self.build(TcpFlags::ACK, seq, &[], opts)
+    }
+
+    fn ingest(&mut self, off: u64, payload: &[u8]) {
+        let end = off + payload.len() as u64;
+        if end <= self.rcv_nxt {
+            return; // complete duplicate
+        }
+        // Trim the already-received prefix.
+        let (off, payload) = if off < self.rcv_nxt {
+            let skip = (self.rcv_nxt - off) as usize;
+            (self.rcv_nxt, &payload[skip..])
+        } else {
+            (off, payload)
+        };
+        // Verify against the deterministic stream pattern.
+        if let Some(err_at) = verify_pattern(off, payload) {
+            // Tests that send literal app data disable pattern checking by
+            // using record mode; flag otherwise.
+            if !self.cfg.record_rx {
+                self.stats.integrity_errors += 1;
+                let _ = err_at;
+            }
+        }
+        if off == self.rcv_nxt {
+            self.deliver(off, payload);
+            // Drain contiguous out-of-order segments.
+            loop {
+                let Some((&o, _)) = self.ooo_len.first_key_value() else {
+                    break;
+                };
+                if o > self.rcv_nxt {
+                    break;
+                }
+                let len = self.ooo_len.remove(&o).unwrap();
+                let data = self.ooo.remove(&o).unwrap_or_default();
+                let end = o + len as u64;
+                if end <= self.rcv_nxt {
+                    continue;
+                }
+                let skip = (self.rcv_nxt - o) as usize;
+                if self.cfg.record_rx && !data.is_empty() {
+                    let tail = data[skip.min(data.len())..].to_vec();
+                    self.deliver(self.rcv_nxt, &tail);
+                } else {
+                    let advance = len - skip;
+                    self.rcv_nxt += advance as u64;
+                    self.stats.bytes_received += advance as u64;
+                }
+            }
+        } else {
+            // Out of order: stash (data only in record mode).
+            self.ooo_len.entry(off).or_insert(payload.len());
+            if self.cfg.record_rx {
+                self.ooo.entry(off).or_insert_with(|| payload.to_vec());
+            }
+        }
+    }
+
+    fn deliver(&mut self, off: u64, payload: &[u8]) {
+        debug_assert_eq!(off, self.rcv_nxt);
+        self.rcv_nxt += payload.len() as u64;
+        self.stats.bytes_received += payload.len() as u64;
+        if self.cfg.record_rx {
+            self.rx_record.extend_from_slice(payload);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Periodic tick: fires RTO and delayed-ACK deadlines. Returns packets
+    /// to emit.
+    pub fn on_tick(&mut self, now: u64) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        if self.state == ConnState::Closed {
+            return out;
+        }
+        if let Some(dl) = self.ack_deadline {
+            if now >= dl {
+                out.push(self.make_ack());
+            }
+        }
+        if let Some(dl) = self.rto_deadline {
+            if now >= dl {
+                self.stats.rtos += 1;
+                self.rto_backoff = (self.rto_backoff * 2).min(64);
+                self.in_recovery = false;
+                self.dup_acks = 0;
+                match self.state {
+                    ConnState::SynSent | ConnState::SynRcvd => {
+                        // Retransmit handshake segment.
+                        let pkt = if self.state == ConnState::SynSent {
+                            self.build(TcpFlags::SYN, SeqNum(self.iss), &[], self.syn_options())
+                        } else {
+                            self.build(TcpFlags::SYN_ACK, SeqNum(self.iss), &[], self.syn_options())
+                        };
+                        out.push(pkt);
+                        self.arm_rto(now);
+                    }
+                    _ => {
+                        self.cc.on_rto(now, self.flight().max(1));
+                        // RFC 2018 §8: an RTO must not trust the
+                        // scoreboard (the receiver may have reneged).
+                        self.sacked.clear();
+                        self.sacked_bytes = 0;
+                        self.rtx_next = self.snd_una;
+                        // Go-back-N: rewind and let the window refill.
+                        self.snd_nxt = self.snd_una;
+                        if let Some(pkt) = self.retransmit_head(now) {
+                            out.push(pkt);
+                        } else {
+                            out.extend(self.pump(now));
+                        }
+                        self.arm_rto(now);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Internal state dump for diagnostics.
+    #[doc(hidden)]
+    pub fn debug_state(&self) -> String {
+        format!(
+            "una={} nxt={} recover={} in_rec={} dup={} sacked={}({}) rtx_next={} rcv_nxt={} ooo={} fin_rx={:?}",
+            self.snd_una, self.snd_nxt, self.recover, self.in_recovery, self.dup_acks,
+            self.sacked_bytes, self.sacked.len(), self.rtx_next, self.rcv_nxt,
+            self.ooo_len.len(), self.fin_received_at
+        )
+    }
+
+    /// The earliest pending timer deadline (testing/diagnostics).
+    pub fn next_deadline(&self) -> Option<u64> {
+        match (self.rto_deadline, self.ack_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const S: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn pair(mtu_c: usize, mtu_s: usize, tx: u64) -> (TcpConnection, TcpConnection) {
+        let ccfg = ConnConfig::new((C, 40000), (S, 80), mtu_c).sending(tx);
+        let scfg = ConnConfig::new((S, 80), (C, 40000), mtu_s);
+        (
+            TcpConnection::client(ccfg, 1_000_000),
+            TcpConnection::listen(scfg, 9_000_000),
+        )
+    }
+
+    /// Runs a lossless in-memory exchange (with timer ticks) until true
+    /// quiescence: no packets in flight and no pending deadlines.
+    fn exchange(a: &mut TcpConnection, b: &mut TcpConnection, first: Vec<Vec<u8>>) -> usize {
+        let mut now = 0u64;
+        let mut to_b: Vec<Vec<u8>> = first;
+        let mut to_a: Vec<Vec<u8>> = Vec::new();
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            assert!(rounds < 200_000, "exchange did not quiesce");
+            now += 1_000_000; // 1 ms per half-round
+            let mut next_to_a = Vec::new();
+            for pkt in to_b.drain(..) {
+                let ip = px_wire::ipv4::Ipv4Packet::new_checked(&pkt[..]).unwrap();
+                next_to_a.extend(b.on_segment(now, ip.payload()));
+            }
+            let mut next_to_b = Vec::new();
+            for pkt in to_a.drain(..) {
+                let ip = px_wire::ipv4::Ipv4Packet::new_checked(&pkt[..]).unwrap();
+                next_to_b.extend(a.on_segment(now, ip.payload()));
+            }
+            next_to_b.extend(a.on_tick(now));
+            next_to_a.extend(b.on_tick(now));
+            to_a = next_to_a;
+            to_b = next_to_b;
+            if to_a.is_empty()
+                && to_b.is_empty()
+                && a.next_deadline().is_none()
+                && b.next_deadline().is_none()
+            {
+                break;
+            }
+        }
+        rounds
+    }
+
+    #[test]
+    fn handshake_negotiates_mss() {
+        let (mut c, mut s) = pair(9000, 1500, 0);
+        let syn = c.open(0);
+        exchange(&mut c, &mut s, syn);
+        assert_eq!(c.state(), ConnState::Established);
+        assert_eq!(s.state(), ConnState::Established);
+        assert_eq!(c.own_mss(), 8960);
+        assert_eq!(s.own_mss(), 1460);
+        // Both sides converge on the minimum.
+        assert_eq!(c.effective_mss(), 1460);
+        assert_eq!(s.effective_mss(), 1460);
+    }
+
+    #[test]
+    fn bulk_transfer_delivers_all_bytes_intact() {
+        let total = 500_000u64;
+        let (mut c, mut s) = pair(1500, 1500, total);
+        c.app_closed = true; // close after sending everything
+        let syn = c.open(0);
+        exchange(&mut c, &mut s, syn);
+        assert_eq!(s.stats.bytes_received, total);
+        assert_eq!(s.stats.integrity_errors, 0);
+        assert_eq!(c.stats.bytes_acked, total);
+        assert_eq!(c.state(), ConnState::Closed);
+        assert_eq!(s.state(), ConnState::Closed);
+    }
+
+    #[test]
+    fn jumbo_mss_used_when_both_sides_support_it() {
+        let total = 200_000u64;
+        let (mut c, mut s) = pair(9000, 9000, total);
+        let syn = c.open(0);
+        exchange(&mut c, &mut s, syn);
+        assert_eq!(c.effective_mss(), 8960);
+        assert_eq!(s.stats.bytes_received, total);
+        // Fewer segments than a 1500-MTU transfer would need.
+        assert!(c.stats.segments_sent <= total / 8960 + 12);
+    }
+
+    #[test]
+    fn retransmission_repairs_a_dropped_segment() {
+        let total = 100_000u64;
+        let (mut c, mut s) = pair(1500, 1500, total);
+        c.app_closed = true;
+        let mut now = 0u64;
+        let mut to_s = c.open(now);
+        let mut to_c: Vec<Vec<u8>> = Vec::new();
+        let mut dropped_one = false;
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            assert!(rounds < 200_000, "did not finish");
+            now += 500_000;
+            let mut next_to_c = Vec::new();
+            for pkt in to_s.drain(..) {
+                // Drop exactly one data segment mid-flight.
+                if !dropped_one && pkt.len() > 600 && c.stats.segments_sent > 10 {
+                    dropped_one = true;
+                    continue;
+                }
+                let ip = px_wire::ipv4::Ipv4Packet::new_checked(&pkt[..]).unwrap();
+                next_to_c.extend(s.on_segment(now, ip.payload()));
+            }
+            let mut next_to_s = Vec::new();
+            for pkt in to_c.drain(..) {
+                let ip = px_wire::ipv4::Ipv4Packet::new_checked(&pkt[..]).unwrap();
+                next_to_s.extend(c.on_segment(now, ip.payload()));
+            }
+            next_to_s.extend(c.on_tick(now));
+            next_to_c.extend(s.on_tick(now));
+            to_c = next_to_c;
+            to_s = next_to_s;
+            if to_c.is_empty() && to_s.is_empty() {
+                break;
+            }
+        }
+        assert!(dropped_one);
+        assert_eq!(s.stats.bytes_received, total);
+        assert_eq!(s.stats.integrity_errors, 0);
+        assert!(c.stats.retransmits >= 1);
+        assert_eq!(c.state(), ConnState::Closed);
+    }
+
+    #[test]
+    fn cwnd_growth_rate_scales_with_mss() {
+        // Direct check of the §2.1/§5.2 mechanism inside the connection.
+        let (mut c9, mut s9) = pair(9000, 9000, 10_000_000);
+        let syn = c9.open(0);
+        // Handshake only (no data pump yet because window limits).
+        exchange_n(&mut c9, &mut s9, syn, 4);
+        let (mut c1, mut s1) = pair(1500, 1500, 10_000_000);
+        let syn = c1.open(0);
+        exchange_n(&mut c1, &mut s1, syn, 4);
+        assert!(c9.cwnd() >= 6 * c1.cwnd() / 2, "IW and growth scale with MSS");
+    }
+
+    fn exchange_n(a: &mut TcpConnection, b: &mut TcpConnection, first: Vec<Vec<u8>>, n: usize) {
+        let mut to_b = first;
+        let mut to_a: Vec<Vec<u8>> = Vec::new();
+        for round in 0..n {
+            let now = (round as u64 + 1) * 1_000_000;
+            let mut next_to_a = Vec::new();
+            for pkt in to_b.drain(..) {
+                let ip = px_wire::ipv4::Ipv4Packet::new_checked(&pkt[..]).unwrap();
+                next_to_a.extend(b.on_segment(now, ip.payload()));
+            }
+            let mut next_to_b = Vec::new();
+            for pkt in to_a.drain(..) {
+                let ip = px_wire::ipv4::Ipv4Packet::new_checked(&pkt[..]).unwrap();
+                next_to_b.extend(a.on_segment(now, ip.payload()));
+            }
+            to_a = next_to_a;
+            to_b = next_to_b;
+        }
+    }
+
+    #[test]
+    fn tso_sends_super_segments() {
+        let total = 300_000u64;
+        let ccfg = ConnConfig {
+            tso: true,
+            ..ConnConfig::new((C, 40000), (S, 80), 1500).sending(total)
+        };
+        let scfg = ConnConfig::new((S, 80), (C, 40000), 1500);
+        let mut c = TcpConnection::client(ccfg, 7);
+        let mut s = TcpConnection::listen(scfg, 9);
+        let syn = c.open(0);
+        exchange(&mut c, &mut s, syn);
+        assert_eq!(s.stats.bytes_received, total);
+        // Far fewer (super-)segments than MSS-sized sending would need.
+        assert!(
+            c.stats.segments_sent < total / 1460 / 4,
+            "sent {} segments",
+            c.stats.segments_sent
+        );
+    }
+
+    #[test]
+    fn syn_retransmits_on_loss() {
+        let (mut c, _s) = pair(1500, 1500, 0);
+        let syn = c.open(0);
+        assert_eq!(syn.len(), 1);
+        // No reply: first RTO fires at the initial 1 s.
+        let out = c.on_tick(999_999_999);
+        assert!(out.is_empty());
+        let out = c.on_tick(1_000_000_001);
+        assert_eq!(out.len(), 1, "SYN retransmitted");
+        assert_eq!(c.stats.rtos, 1);
+        // Backoff doubles.
+        let out = c.on_tick(2_000_000_001);
+        assert!(out.is_empty(), "second RTO not yet due (backoff)");
+        let out = c.on_tick(3_100_000_001);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn out_of_order_segments_reassemble() {
+        let (mut c, mut s) = pair(1500, 1500, 0);
+        let syn = c.open(0);
+        exchange(&mut c, &mut s, syn); // handshake only, no data yet
+        assert_eq!(c.state(), ConnState::Established);
+        // Now release 5000 bytes and collect the segments ourselves.
+        c.cfg.tx_total = 5000;
+        let mut segs = c.pump(10_000_000);
+        assert!(segs.len() >= 3, "expected several segments");
+        segs.reverse();
+        let mut acks = Vec::new();
+        for pkt in &segs {
+            let ip = px_wire::ipv4::Ipv4Packet::new_checked(&pkt[..]).unwrap();
+            acks.extend(s.on_segment(11_000_000, ip.payload()));
+        }
+        assert_eq!(s.stats.bytes_received, 5000);
+        assert_eq!(s.stats.integrity_errors, 0);
+        assert!(!acks.is_empty());
+    }
+}

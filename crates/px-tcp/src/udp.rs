@@ -1,0 +1,172 @@
+//! UDP sockets for simulated hosts, including UDP_GRO-style reception and
+//! PX-caravan unbundling.
+//!
+//! The paper modifies receiver network stacks to "interpret the PX-caravan
+//! packets for UDP as UDP_GRO payload" (§5). [`UdpSocket::deliver_bundle`]
+//! is that modification: one outer packet arrives, every inner datagram is
+//! delivered to the application individually, boundaries intact.
+
+use px_wire::caravan;
+use px_wire::udp::UdpDatagram;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Receive-side statistics for one UDP socket.
+#[derive(Debug, Clone, Default)]
+pub struct UdpFlowStats {
+    /// Application datagrams received (inner datagrams for caravans).
+    pub datagrams: u64,
+    /// Application payload bytes received.
+    pub payload_bytes: u64,
+    /// Caravan bundles unbundled.
+    pub bundles: u64,
+    /// Datagrams that arrived malformed (bad length fields, etc.).
+    pub malformed: u64,
+    /// Distribution of received datagram payload sizes.
+    pub size_counts: BTreeMap<usize, u64>,
+    /// Sent datagrams.
+    pub sent: u64,
+    /// Sent payload bytes.
+    pub sent_bytes: u64,
+}
+
+/// A bound UDP socket on a [`crate::Host`].
+#[derive(Debug)]
+pub struct UdpSocket {
+    /// The local port this socket is bound to.
+    pub port: u16,
+    /// Whether to keep received payloads (tests/examples).
+    pub record: bool,
+    /// Recorded payloads, in delivery order (only when `record`).
+    pub received: Vec<Vec<u8>>,
+    /// Statistics.
+    pub stats: UdpFlowStats,
+}
+
+impl UdpSocket {
+    /// Creates a socket bound to `port`.
+    pub fn bind(port: u16) -> Self {
+        UdpSocket {
+            port,
+            record: false,
+            received: Vec::new(),
+            stats: UdpFlowStats::default(),
+        }
+    }
+
+    /// Enables payload recording.
+    pub fn recording(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// Delivers one plain UDP datagram (header + payload), verifying its
+    /// checksum against the pseudo-header — corruption anywhere on the
+    /// path (including inside a caravan bundle) is caught here.
+    pub fn deliver(&mut self, src: Ipv4Addr, dst: Ipv4Addr, datagram: &[u8]) {
+        match UdpDatagram::new_checked(datagram) {
+            Ok(dg) => {
+                if !dg.verify_checksum(src, dst) {
+                    self.stats.malformed += 1;
+                    return;
+                }
+                let payload = dg.payload();
+                self.stats.datagrams += 1;
+                self.stats.payload_bytes += payload.len() as u64;
+                *self.stats.size_counts.entry(payload.len()).or_insert(0) += 1;
+                if self.record {
+                    self.received.push(payload.to_vec());
+                }
+            }
+            Err(_) => self.stats.malformed += 1,
+        }
+    }
+
+    /// Delivers a PX-caravan bundle (the payload of the outer UDP): every
+    /// inner datagram reaches the application individually — the UDP_GRO
+    /// receive path of the paper's modified stack.
+    pub fn deliver_bundle(&mut self, src: Ipv4Addr, dst: Ipv4Addr, bundle: &[u8]) {
+        match caravan::split_bundle(bundle) {
+            Ok(inner) => {
+                self.stats.bundles += 1;
+                for dg in inner {
+                    self.deliver(src, dst, dg);
+                }
+            }
+            Err(_) => self.stats.malformed += 1,
+        }
+    }
+
+    /// Records an application send of `payload_len` bytes.
+    pub fn note_sent(&mut self, payload_len: usize) {
+        self.stats.sent += 1;
+        self.stats.sent_bytes += payload_len as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use px_wire::udp::UdpRepr;
+    use px_wire::caravan::CaravanBuilder;
+    use std::net::Ipv4Addr;
+
+    const A: Ipv4Addr = Ipv4Addr::new(1, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(1, 0, 0, 2);
+
+    fn dg(payload: &[u8]) -> Vec<u8> {
+        UdpRepr { src_port: 1111, dst_port: 5001 }
+            .build_datagram(A, B, payload)
+            .unwrap()
+    }
+
+    #[test]
+    fn plain_delivery_counts_and_records() {
+        let mut s = UdpSocket::bind(5001).recording();
+        s.deliver(A, B, &dg(b"one"));
+        s.deliver(A, B, &dg(b"four"));
+        assert_eq!(s.stats.datagrams, 2);
+        assert_eq!(s.stats.payload_bytes, 7);
+        assert_eq!(s.received, vec![b"one".to_vec(), b"four".to_vec()]);
+        assert_eq!(s.stats.size_counts[&3], 1);
+    }
+
+    #[test]
+    fn bundle_delivery_preserves_boundaries_and_order() {
+        let mut b = CaravanBuilder::new(9000);
+        b.push(&dg(b"alpha")).unwrap();
+        b.push(&dg(b"beta")).unwrap();
+        b.push(&dg(b"gamma")).unwrap();
+        let bundle = b.finish();
+        let mut s = UdpSocket::bind(5001).recording();
+        s.deliver_bundle(A, B, &bundle);
+        assert_eq!(s.stats.bundles, 1);
+        assert_eq!(s.stats.datagrams, 3);
+        assert_eq!(
+            s.received,
+            vec![b"alpha".to_vec(), b"beta".to_vec(), b"gamma".to_vec()]
+        );
+    }
+
+    #[test]
+    fn malformed_input_counted_not_panicking() {
+        let mut s = UdpSocket::bind(5001);
+        s.deliver(A, B, &[1, 2, 3]); // truncated header
+        let mut junk = dg(b"x");
+        junk[4..6].copy_from_slice(&1u16.to_be_bytes()); // bad length
+        s.deliver_bundle(A, B, &junk);
+        assert_eq!(s.stats.malformed, 2);
+        assert_eq!(s.stats.datagrams, 0);
+    }
+
+    #[test]
+    fn corrupted_datagram_rejected_by_checksum() {
+        let mut s = UdpSocket::bind(5001).recording();
+        let mut d = dg(b"payload-bytes");
+        let n = d.len() - 3;
+        d[n] ^= 0x40; // flip a payload bit
+        s.deliver(A, B, &d);
+        assert_eq!(s.stats.malformed, 1);
+        assert!(s.received.is_empty());
+    }
+}

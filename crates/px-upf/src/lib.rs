@@ -1,0 +1,29 @@
+//! # px-upf — a 5G user-plane function substrate
+//!
+//! The paper demonstrates middlebox benefits of large MTUs on the OMEC
+//! UPF (Fig. 1a): a BESS/DPDK datapath that, per packet, parses headers,
+//! matches packet-detection rules, applies forwarding-action rules
+//! (GTP-U encap/decap), meters QoS, and counts usage — never touching
+//! the payload. That header-only cost profile is why "UPF throughput
+//! scales almost linearly with MTU size".
+//!
+//! This crate rebuilds that datapath:
+//!
+//! * [`rules`] — PDR/FAR/QER tables and the session model (3GPP TS
+//!   29.244 shapes, simplified to what the datapath reads per packet);
+//! * [`pipeline`] — a BESS-like module chain processing *real packets*
+//!   (real GTP-U headers via [`px_wire::gtpu`]), with per-module cycle
+//!   prices whose sum is pinned to the calibrated Fig. 1a anchor;
+//! * [`throughput`](pipeline::upf_throughput_bps) — the single-core
+//!   saturation throughput used to regenerate Fig. 1a.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod node;
+pub mod pipeline;
+pub mod rules;
+
+pub use node::UpfNode;
+pub use pipeline::{upf_throughput_bps, UpfPipeline};
+pub use rules::{Direction, Far, FarAction, Pdr, Qer, SessionTable};

@@ -1,0 +1,395 @@
+//! The BESS-like UPF datapath: a fixed module chain processing real
+//! packets, each module priced in cycles.
+//!
+//! Chain (mirroring the OMEC/BESS UPF):
+//!
+//! ```text
+//! RX → Parser → SessionLookup (PDR) → QER policer → FAR apply
+//!    → Counters → TX
+//! ```
+//!
+//! The per-module cycle prices sum exactly to the calibrated Fig. 1a
+//! fixed cost ([`px_sim::calib::upf_cycles`]); a unit test enforces the
+//! identity, so re-tuning calibration forces this table to follow.
+
+use crate::rules::{FarAction, SessionTable};
+use px_sim::calib;
+use px_wire::gtpu::{GtpuRepr, GTPU_PORT};
+use px_wire::ipv4::{Ipv4Packet, Ipv4Repr};
+use px_wire::udp::UdpDatagram;
+use px_wire::{IpProtocol, UdpRepr};
+use std::net::Ipv4Addr;
+
+/// Per-module cycle prices. Their sum must equal the fixed part of
+/// [`calib::upf_cycles`] (enforced by `module_costs_match_calibration`).
+pub mod cost {
+    /// RX descriptor + mbuf bookkeeping.
+    pub const RX: f64 = 80.0;
+    /// Header parsing (Ethernet/IP/UDP/GTP-U).
+    pub const PARSER: f64 = 150.0;
+    /// PDR classification (hash lookup into the session table).
+    pub const PDR_LOOKUP: f64 = 300.0;
+    /// QER token-bucket update.
+    pub const QER: f64 = 85.0;
+    /// FAR application: GTP-U encap or decap (header-only work).
+    pub const FAR: f64 = 120.0;
+    /// Usage-reporting counters.
+    pub const COUNTERS: f64 = 70.0;
+    /// FIB lookup + TX descriptor.
+    pub const TX: f64 = 150.0;
+    /// Per-byte DMA touch (cycles/byte).
+    pub const PER_BYTE: f64 = 0.0092;
+
+    /// The fixed per-packet sum.
+    pub const FIXED_SUM: f64 = RX + PARSER + PDR_LOOKUP + QER + FAR + COUNTERS + TX;
+}
+
+/// The outcome of pushing one packet through the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpfVerdict {
+    /// Forwarded; the (possibly re-encapsulated) output packet.
+    Forward(Vec<u8>),
+    /// Dropped: no matching PDR.
+    NoRule,
+    /// Dropped: QER policing.
+    Policed,
+    /// Dropped: malformed.
+    Malformed,
+}
+
+/// Per-pipeline counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct UpfStats {
+    /// Packets in.
+    pub pkts_in: u64,
+    /// Packets forwarded.
+    pub pkts_out: u64,
+    /// Bytes forwarded (input sizes).
+    pub bytes_in: u64,
+    /// Drops for the three causes.
+    pub no_rule: u64,
+    /// QER drops.
+    pub policed: u64,
+    /// Malformed drops.
+    pub malformed: u64,
+    /// Total cycles spent.
+    pub cycles: f64,
+}
+
+/// The single-core UPF pipeline.
+#[derive(Debug)]
+pub struct UpfPipeline {
+    /// Installed rules.
+    pub table: SessionTable,
+    /// The UPF's N3 (access-side) address, used as the GTP-U source.
+    pub n3_addr: Ipv4Addr,
+    /// Counters.
+    pub stats: UpfStats,
+    ident: u16,
+}
+
+impl UpfPipeline {
+    /// Creates a pipeline.
+    pub fn new(n3_addr: Ipv4Addr, table: SessionTable) -> Self {
+        UpfPipeline { table, n3_addr, stats: UpfStats::default(), ident: 0x5500 }
+    }
+
+    /// Processes one packet arriving on the access (N3) side: expects
+    /// IPv4/UDP:2152/GTP-U, decapsulates, forwards the inner packet.
+    pub fn push_uplink(&mut self, now_ns: u64, pkt: &[u8]) -> UpfVerdict {
+        self.stats.pkts_in += 1;
+        self.stats.bytes_in += pkt.len() as u64;
+        self.stats.cycles += cost::RX + cost::PARSER + cost::PER_BYTE * pkt.len() as f64;
+
+        let parsed = (|| {
+            let ip = Ipv4Packet::new_checked(pkt).ok()?;
+            if ip.protocol() != IpProtocol::Udp {
+                return None;
+            }
+            let udp = UdpDatagram::new_checked(ip.payload()).ok()?;
+            if udp.dst_port() != GTPU_PORT {
+                return None;
+            }
+            let (gtpu, inner) = GtpuRepr::parse(udp.payload()).ok()?;
+            Some((gtpu.teid, inner.to_vec()))
+        })();
+        let Some((teid, inner)) = parsed else {
+            self.stats.malformed += 1;
+            return UpfVerdict::Malformed;
+        };
+
+        self.stats.cycles += cost::PDR_LOOKUP;
+        let Some(pdr) = self.table.match_uplink(teid).copied() else {
+            self.stats.no_rule += 1;
+            return UpfVerdict::NoRule;
+        };
+        self.stats.cycles += cost::QER;
+        if !self.table.meter(pdr.qer_id, now_ns, pkt.len()) {
+            self.stats.policed += 1;
+            return UpfVerdict::Policed;
+        }
+        self.stats.cycles += cost::FAR + cost::COUNTERS + cost::TX;
+        match self.table.far(pdr.far_id).map(|f| f.action) {
+            Some(FarAction::Decapsulate) => {
+                self.stats.pkts_out += 1;
+                UpfVerdict::Forward(inner)
+            }
+            Some(FarAction::Drop) | None => {
+                self.stats.no_rule += 1;
+                UpfVerdict::NoRule
+            }
+            Some(FarAction::Encapsulate { .. }) => {
+                // An uplink PDR pointing at an encap FAR is a control-plane
+                // bug; treat as no-rule.
+                self.stats.no_rule += 1;
+                UpfVerdict::NoRule
+            }
+        }
+    }
+
+    /// Processes one packet arriving on the data-network (N6) side:
+    /// classifies by destination UE address and GTP-U-encapsulates it
+    /// towards the gNodeB.
+    pub fn push_downlink(&mut self, now_ns: u64, pkt: &[u8]) -> UpfVerdict {
+        self.stats.pkts_in += 1;
+        self.stats.bytes_in += pkt.len() as u64;
+        self.stats.cycles += cost::RX + cost::PARSER + cost::PER_BYTE * pkt.len() as f64;
+
+        let Ok(ip) = Ipv4Packet::new_checked(pkt) else {
+            self.stats.malformed += 1;
+            return UpfVerdict::Malformed;
+        };
+        let ue = ip.dst();
+
+        self.stats.cycles += cost::PDR_LOOKUP;
+        let Some(pdr) = self.table.match_downlink(ue).copied() else {
+            self.stats.no_rule += 1;
+            return UpfVerdict::NoRule;
+        };
+        self.stats.cycles += cost::QER;
+        if !self.table.meter(pdr.qer_id, now_ns, pkt.len()) {
+            self.stats.policed += 1;
+            return UpfVerdict::Policed;
+        }
+        self.stats.cycles += cost::FAR + cost::COUNTERS + cost::TX;
+        match self.table.far(pdr.far_id).map(|f| f.action) {
+            Some(FarAction::Encapsulate { peer, teid }) => {
+                let gtpu = GtpuRepr::encapsulate(teid, &pkt[..ip.total_len()])
+                    .expect("inner fits");
+                let dg = UdpRepr { src_port: GTPU_PORT, dst_port: GTPU_PORT }
+                    .build_datagram(self.n3_addr, peer, &gtpu)
+                    .expect("fits");
+                let mut outer = Ipv4Repr::new(self.n3_addr, peer, IpProtocol::Udp, dg.len());
+                outer.ident = self.ident;
+                self.ident = self.ident.wrapping_add(1);
+                match outer.build_packet(&dg) {
+                    Ok(out) => {
+                        self.stats.pkts_out += 1;
+                        UpfVerdict::Forward(out)
+                    }
+                    Err(_) => {
+                        self.stats.malformed += 1;
+                        UpfVerdict::Malformed
+                    }
+                }
+            }
+            _ => {
+                self.stats.no_rule += 1;
+                UpfVerdict::NoRule
+            }
+        }
+    }
+
+    /// Single-core throughput implied by the cycles spent so far.
+    pub fn throughput_bps(&self) -> f64 {
+        if self.stats.cycles <= 0.0 {
+            return 0.0;
+        }
+        self.stats.bytes_in as f64 * 8.0 * calib::FREQ_HZ / self.stats.cycles
+    }
+}
+
+/// The Fig. 1a quantity: single-core UPF throughput at a given MTU,
+/// measured by pushing a real uplink workload (GTP-U packets sized to
+/// the MTU) from `n_flows` sessions through the pipeline.
+pub fn upf_throughput_bps(mtu: usize, n_flows: usize, pkts: usize) -> f64 {
+    let mut table = SessionTable::new();
+    let gnb = Ipv4Addr::new(10, 30, 0, 1);
+    for i in 0..n_flows {
+        let ue = Ipv4Addr::new(10, 45, (i / 250) as u8, (i % 250) as u8 + 1);
+        crate::rules::install_session(&mut table, i as u32, 0x1000 + i as u32, ue, gnb);
+    }
+    let n3 = Ipv4Addr::new(10, 30, 0, 254);
+    let mut upf = UpfPipeline::new(n3, table);
+
+    // Pre-build one uplink packet per flow (MTU-sized outer packet).
+    let dn = Ipv4Addr::new(8, 8, 8, 8);
+    let packets: Vec<Vec<u8>> = (0..n_flows)
+        .map(|i| {
+            let ue = Ipv4Addr::new(10, 45, (i / 250) as u8, (i % 250) as u8 + 1);
+            // inner = MTU - outer IP(20) - outer UDP(8) - GTP-U(8)
+            let inner_len = mtu - 36;
+            let inner_payload = vec![0u8; inner_len - 28];
+            let dg = UdpRepr { src_port: 40000, dst_port: 443 }
+                .build_datagram(ue, dn, &inner_payload)
+                .expect("fits");
+            let inner = Ipv4Repr::new(ue, dn, IpProtocol::Udp, dg.len())
+                .build_packet(&dg)
+                .expect("fits");
+            let gtpu = GtpuRepr::encapsulate(0x1000 + i as u32, &inner).expect("fits");
+            let outer_dg = UdpRepr { src_port: GTPU_PORT, dst_port: GTPU_PORT }
+                .build_datagram(gnb, n3, &gtpu)
+                .expect("fits");
+            Ipv4Repr::new(gnb, n3, IpProtocol::Udp, outer_dg.len())
+                .build_packet(&outer_dg)
+                .expect("fits")
+        })
+        .collect();
+
+    for i in 0..pkts {
+        let v = upf.push_uplink(i as u64, &packets[i % n_flows]);
+        debug_assert!(matches!(v, UpfVerdict::Forward(_)));
+    }
+    upf.throughput_bps()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::install_session;
+
+    /// The per-module prices must sum to the calibrated anchor.
+    #[test]
+    fn module_costs_match_calibration() {
+        let fixed = calib::upf_cycles(0);
+        assert!(
+            (cost::FIXED_SUM - fixed).abs() < 1e-9,
+            "module sum {} vs calib {}",
+            cost::FIXED_SUM,
+            fixed
+        );
+    }
+
+    fn setup() -> (UpfPipeline, Ipv4Addr, Ipv4Addr) {
+        let mut table = SessionTable::new();
+        let ue = Ipv4Addr::new(10, 45, 0, 1);
+        let gnb = Ipv4Addr::new(10, 30, 0, 1);
+        install_session(&mut table, 0, 0x100, ue, gnb);
+        (UpfPipeline::new(Ipv4Addr::new(10, 30, 0, 254), table), ue, gnb)
+    }
+
+    fn uplink_pkt(ue: Ipv4Addr, gnb: Ipv4Addr, n3: Ipv4Addr, teid: u32) -> Vec<u8> {
+        let dn = Ipv4Addr::new(8, 8, 8, 8);
+        let dg = UdpRepr { src_port: 40000, dst_port: 443 }
+            .build_datagram(ue, dn, b"hello-upf")
+            .unwrap();
+        let inner = Ipv4Repr::new(ue, dn, IpProtocol::Udp, dg.len())
+            .build_packet(&dg)
+            .unwrap();
+        let gtpu = GtpuRepr::encapsulate(teid, &inner).unwrap();
+        let outer = UdpRepr { src_port: GTPU_PORT, dst_port: GTPU_PORT }
+            .build_datagram(gnb, n3, &gtpu)
+            .unwrap();
+        Ipv4Repr::new(gnb, n3, IpProtocol::Udp, outer.len())
+            .build_packet(&outer)
+            .unwrap()
+    }
+
+    #[test]
+    fn uplink_decapsulates() {
+        let (mut upf, ue, gnb) = setup();
+        let pkt = uplink_pkt(ue, gnb, upf.n3_addr, 0x100);
+        match upf.push_uplink(0, &pkt) {
+            UpfVerdict::Forward(inner) => {
+                let ip = Ipv4Packet::new_checked(&inner[..]).unwrap();
+                assert_eq!(ip.src(), ue);
+                assert_eq!(ip.protocol(), IpProtocol::Udp);
+                let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+                assert_eq!(udp.payload(), b"hello-upf");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(upf.stats.pkts_out, 1);
+    }
+
+    #[test]
+    fn downlink_encapsulates_and_roundtrips() {
+        let (mut upf, ue, gnb) = setup();
+        let dn = Ipv4Addr::new(8, 8, 8, 8);
+        let dg = UdpRepr { src_port: 443, dst_port: 40000 }
+            .build_datagram(dn, ue, b"down")
+            .unwrap();
+        let pkt = Ipv4Repr::new(dn, ue, IpProtocol::Udp, dg.len())
+            .build_packet(&dg)
+            .unwrap();
+        match upf.push_downlink(0, &pkt) {
+            UpfVerdict::Forward(outer) => {
+                let ip = Ipv4Packet::new_checked(&outer[..]).unwrap();
+                assert_eq!(ip.dst(), gnb);
+                let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+                assert_eq!(udp.dst_port(), GTPU_PORT);
+                let (g, inner) = GtpuRepr::parse(udp.payload()).unwrap();
+                assert_eq!(g.teid, 0x100);
+                assert_eq!(inner, &pkt[..]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_teid_and_ue_drop() {
+        let (mut upf, ue, gnb) = setup();
+        let pkt = uplink_pkt(ue, gnb, upf.n3_addr, 0xBAD);
+        assert_eq!(upf.push_uplink(0, &pkt), UpfVerdict::NoRule);
+        let dg = UdpRepr { src_port: 1, dst_port: 2 }
+            .build_datagram(gnb, Ipv4Addr::new(10, 45, 9, 9), b"x")
+            .unwrap();
+        let pkt = Ipv4Repr::new(gnb, Ipv4Addr::new(10, 45, 9, 9), IpProtocol::Udp, dg.len())
+            .build_packet(&dg)
+            .unwrap();
+        assert_eq!(upf.push_downlink(0, &pkt), UpfVerdict::NoRule);
+        assert_eq!(upf.stats.no_rule, 2);
+    }
+
+    #[test]
+    fn malformed_counted() {
+        let (mut upf, _, _) = setup();
+        assert_eq!(upf.push_uplink(0, &[0u8; 10]), UpfVerdict::Malformed);
+        // Non-GTP-U UDP also counts as malformed on the N3 side.
+        let dg = UdpRepr { src_port: 1, dst_port: 53 }
+            .build_datagram(Ipv4Addr::new(1, 1, 1, 1), upf.n3_addr, b"dns")
+            .unwrap();
+        let pkt = Ipv4Repr::new(Ipv4Addr::new(1, 1, 1, 1), upf.n3_addr, IpProtocol::Udp, dg.len())
+            .build_packet(&dg)
+            .unwrap();
+        assert_eq!(upf.push_uplink(0, &pkt), UpfVerdict::Malformed);
+    }
+
+    /// The Fig. 1a anchor, reproduced through the real pipeline.
+    #[test]
+    fn fig1a_anchor_through_pipeline() {
+        let t9000 = upf_throughput_bps(9000, 100, 20_000);
+        let t1500 = upf_throughput_bps(1500, 100, 20_000);
+        assert!((t9000 / 1e9 - 208.0).abs() < 8.0, "9 KB: {} Gbps", t9000 / 1e9);
+        let speedup = t9000 / t1500;
+        assert!((speedup - 5.6).abs() < 0.3, "speedup {speedup}");
+    }
+
+    #[test]
+    fn policer_drops_over_rate() {
+        let mut table = SessionTable::new();
+        let ue = Ipv4Addr::new(10, 45, 0, 1);
+        let gnb = Ipv4Addr::new(10, 30, 0, 1);
+        install_session(&mut table, 0, 0x100, ue, gnb);
+        // Override the QER with a tight policer.
+        table.install_qer(crate::rules::Qer { id: 5000, mbr_bps: 8_000, burst_bytes: 200 });
+        let mut upf = UpfPipeline::new(Ipv4Addr::new(10, 30, 0, 254), table);
+        let pkt = uplink_pkt(ue, gnb, upf.n3_addr, 0x100);
+        // The packet (~100 B) passes once on the initial burst, then gets
+        // policed at time 0.
+        assert!(matches!(upf.push_uplink(0, &pkt), UpfVerdict::Forward(_)));
+        assert!(matches!(upf.push_uplink(0, &pkt), UpfVerdict::Forward(_)));
+        assert_eq!(upf.push_uplink(0, &pkt), UpfVerdict::Policed);
+        assert!(upf.stats.policed >= 1);
+    }
+}

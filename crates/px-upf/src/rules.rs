@@ -1,0 +1,263 @@
+//! PDR/FAR/QER rule tables — the 3GPP TS 29.244 objects the UPF datapath
+//! consults for every packet, reduced to the fields the fast path reads.
+//!
+//! * A **PDR** (packet detection rule) classifies a packet to a session:
+//!   uplink packets match on the GTP-U TEID, downlink packets on the UE
+//!   IP address. Highest precedence wins.
+//! * A **FAR** (forwarding action rule) says what to do: decapsulate and
+//!   route to the data network (uplink), or encapsulate towards the
+//!   gNodeB tunnel (downlink).
+//! * A **QER** (QoS enforcement rule) meters the flow against its
+//!   bitrate; we implement a token bucket.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Traffic direction through the UPF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// UE → data network (arrives GTP-U encapsulated on N3).
+    Uplink,
+    /// Data network → UE (arrives plain on N6).
+    Downlink,
+}
+
+/// A packet detection rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Pdr {
+    /// Rule id.
+    pub id: u32,
+    /// Precedence (lower wins, per TS 29.244).
+    pub precedence: u32,
+    /// Uplink match: the local TEID, if this is an uplink PDR.
+    pub teid: Option<u32>,
+    /// Downlink match: the UE address, if this is a downlink PDR.
+    pub ue_addr: Option<Ipv4Addr>,
+    /// The FAR this PDR points at.
+    pub far_id: u32,
+    /// The QER applied.
+    pub qer_id: u32,
+}
+
+/// What a FAR does to a matched packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FarAction {
+    /// Strip the GTP-U header and forward the inner packet (uplink).
+    Decapsulate,
+    /// Wrap the packet in GTP-U towards `(peer, teid)` (downlink).
+    Encapsulate {
+        /// gNodeB address.
+        peer: Ipv4Addr,
+        /// Remote tunnel id.
+        teid: u32,
+    },
+    /// Drop (e.g. session paused).
+    Drop,
+}
+
+/// A forwarding action rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Far {
+    /// Rule id.
+    pub id: u32,
+    /// The action.
+    pub action: FarAction,
+}
+
+/// A QoS enforcement rule: a token-bucket policer.
+#[derive(Debug, Clone, Copy)]
+pub struct Qer {
+    /// Rule id.
+    pub id: u32,
+    /// Maximum bitrate in bits/sec (`u64::MAX` = unmetered).
+    pub mbr_bps: u64,
+    /// Bucket depth in bytes.
+    pub burst_bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BucketState {
+    tokens: f64,
+    last_ns: u64,
+}
+
+/// The UPF's installed rules, indexed for the fast path.
+#[derive(Debug, Default)]
+pub struct SessionTable {
+    uplink: HashMap<u32, Pdr>,       // teid -> pdr
+    downlink: HashMap<Ipv4Addr, Pdr>, // ue addr -> pdr
+    fars: HashMap<u32, Far>,
+    qers: HashMap<u32, Qer>,
+    buckets: HashMap<u32, BucketState>,
+}
+
+impl SessionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs one session's rules (one uplink + one downlink PDR is the
+    /// common shape).
+    pub fn install_pdr(&mut self, pdr: Pdr) {
+        match (pdr.teid, pdr.ue_addr) {
+            (Some(teid), _) => {
+                // Keep the highest-precedence (lowest value) rule.
+                let replace = self
+                    .uplink
+                    .get(&teid)
+                    .map(|old| pdr.precedence < old.precedence)
+                    .unwrap_or(true);
+                if replace {
+                    self.uplink.insert(teid, pdr);
+                }
+            }
+            (None, Some(addr)) => {
+                let replace = self
+                    .downlink
+                    .get(&addr)
+                    .map(|old| pdr.precedence < old.precedence)
+                    .unwrap_or(true);
+                if replace {
+                    self.downlink.insert(addr, pdr);
+                }
+            }
+            (None, None) => {}
+        }
+    }
+
+    /// Installs a FAR.
+    pub fn install_far(&mut self, far: Far) {
+        self.fars.insert(far.id, far);
+    }
+
+    /// Installs a QER.
+    pub fn install_qer(&mut self, qer: Qer) {
+        self.qers.insert(qer.id, qer);
+        self.buckets.insert(
+            qer.id,
+            BucketState { tokens: qer.burst_bytes as f64, last_ns: 0 },
+        );
+    }
+
+    /// Uplink classification by TEID.
+    pub fn match_uplink(&self, teid: u32) -> Option<&Pdr> {
+        self.uplink.get(&teid)
+    }
+
+    /// Downlink classification by UE address.
+    pub fn match_downlink(&self, ue: Ipv4Addr) -> Option<&Pdr> {
+        self.downlink.get(&ue)
+    }
+
+    /// FAR lookup.
+    pub fn far(&self, id: u32) -> Option<&Far> {
+        self.fars.get(&id)
+    }
+
+    /// Meters `bytes` against QER `id` at time `now_ns`; returns whether
+    /// the packet conforms (false = police/drop).
+    pub fn meter(&mut self, id: u32, now_ns: u64, bytes: usize) -> bool {
+        let Some(qer) = self.qers.get(&id) else {
+            return true; // no QER installed: pass
+        };
+        if qer.mbr_bps == u64::MAX {
+            return true;
+        }
+        let bucket = self.buckets.get_mut(&id).expect("installed together");
+        let dt = now_ns.saturating_sub(bucket.last_ns) as f64 / 1e9;
+        bucket.last_ns = now_ns;
+        bucket.tokens =
+            (bucket.tokens + dt * qer.mbr_bps as f64 / 8.0).min(qer.burst_bytes as f64);
+        if bucket.tokens >= bytes as f64 {
+            bucket.tokens -= bytes as f64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of installed sessions (uplink PDRs).
+    pub fn sessions(&self) -> usize {
+        self.uplink.len()
+    }
+}
+
+/// Installs a standard session: uplink TEID `teid`, UE `ue`, gNodeB
+/// `gnb`, unmetered.
+pub fn install_session(table: &mut SessionTable, idx: u32, teid: u32, ue: Ipv4Addr, gnb: Ipv4Addr) {
+    let far_ul = 1000 + idx * 2;
+    let far_dl = far_ul + 1;
+    let qer = 5000 + idx;
+    table.install_far(Far { id: far_ul, action: FarAction::Decapsulate });
+    table.install_far(Far { id: far_dl, action: FarAction::Encapsulate { peer: gnb, teid } });
+    table.install_qer(Qer { id: qer, mbr_bps: u64::MAX, burst_bytes: 1 << 20 });
+    table.install_pdr(Pdr {
+        id: idx * 2,
+        precedence: 100,
+        teid: Some(teid),
+        ue_addr: None,
+        far_id: far_ul,
+        qer_id: qer,
+    });
+    table.install_pdr(Pdr {
+        id: idx * 2 + 1,
+        precedence: 100,
+        teid: None,
+        ue_addr: Some(ue),
+        far_id: far_dl,
+        qer_id: qer,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_install_and_match() {
+        let mut t = SessionTable::new();
+        let ue = Ipv4Addr::new(10, 45, 0, 1);
+        let gnb = Ipv4Addr::new(10, 30, 0, 1);
+        install_session(&mut t, 0, 0x100, ue, gnb);
+        assert_eq!(t.sessions(), 1);
+        let up = t.match_uplink(0x100).expect("uplink PDR");
+        assert_eq!(t.far(up.far_id).unwrap().action, FarAction::Decapsulate);
+        let down = t.match_downlink(ue).expect("downlink PDR");
+        match t.far(down.far_id).unwrap().action {
+            FarAction::Encapsulate { peer, teid } => {
+                assert_eq!(peer, gnb);
+                assert_eq!(teid, 0x100);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(t.match_uplink(0x999).is_none());
+    }
+
+    #[test]
+    fn precedence_keeps_strongest_rule() {
+        let mut t = SessionTable::new();
+        t.install_pdr(Pdr { id: 1, precedence: 200, teid: Some(7), ue_addr: None, far_id: 1, qer_id: 1 });
+        t.install_pdr(Pdr { id: 2, precedence: 50, teid: Some(7), ue_addr: None, far_id: 2, qer_id: 1 });
+        t.install_pdr(Pdr { id: 3, precedence: 300, teid: Some(7), ue_addr: None, far_id: 3, qer_id: 1 });
+        assert_eq!(t.match_uplink(7).unwrap().far_id, 2);
+    }
+
+    #[test]
+    fn token_bucket_meters() {
+        let mut t = SessionTable::new();
+        t.install_qer(Qer { id: 1, mbr_bps: 8_000_000, burst_bytes: 10_000 }); // 1 MB/s
+        // Burst passes up to the bucket depth.
+        assert!(t.meter(1, 0, 10_000));
+        assert!(!t.meter(1, 0, 1000), "bucket drained");
+        // After 1 ms, 1000 bytes of tokens accrued.
+        assert!(t.meter(1, 1_000_000, 1000));
+        assert!(!t.meter(1, 1_000_000, 1));
+    }
+
+    #[test]
+    fn missing_qer_passes() {
+        let mut t = SessionTable::new();
+        assert!(t.meter(42, 0, 1_000_000));
+    }
+}

@@ -1,0 +1,248 @@
+//! A packet buffer with headroom, so encapsulation (prepending an outer
+//! header) and decapsulation (stripping one) never copy the payload.
+//!
+//! This mirrors what every serious datapath does (`mbuf` in DPDK, `skb` in
+//! Linux): the payload sits at a configurable offset inside a larger
+//! allocation, and headers are pushed in front of it or pulled off it by
+//! moving the start cursor.
+
+use crate::error::{Error, Result};
+
+/// Default headroom reserved in front of the payload.
+///
+/// Enough for Ethernet + outer IPv4 + outer UDP + GTP-U — the deepest
+/// encapsulation stack any PacketExpress component builds.
+pub const DEFAULT_HEADROOM: usize = 64;
+
+/// An owned packet buffer with headroom.
+///
+/// ```
+/// use px_wire::PacketBuf;
+/// let mut pkt = PacketBuf::from_payload(b"hello");
+/// pkt.push_front(&[0xAA, 0xBB]).unwrap();   // encapsulate
+/// assert_eq!(pkt.as_slice(), &[0xAA, 0xBB, b'h', b'e', b'l', b'l', b'o']);
+/// let hdr = pkt.pull_front(2).unwrap();      // decapsulate
+/// assert_eq!(hdr, vec![0xAA, 0xBB]);
+/// assert_eq!(pkt.as_slice(), b"hello");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketBuf {
+    data: Vec<u8>,
+    /// Offset of the first live byte in `data`.
+    head: usize,
+}
+
+impl PacketBuf {
+    /// Creates an empty buffer with the given headroom reserved.
+    pub fn with_headroom(headroom: usize) -> Self {
+        PacketBuf {
+            data: vec![0; headroom],
+            head: headroom,
+        }
+    }
+
+    /// Creates a buffer holding a copy of `payload`, with
+    /// [`DEFAULT_HEADROOM`] reserved in front of it.
+    pub fn from_payload(payload: &[u8]) -> Self {
+        let mut data = Vec::with_capacity(DEFAULT_HEADROOM + payload.len());
+        data.resize(DEFAULT_HEADROOM, 0);
+        data.extend_from_slice(payload);
+        PacketBuf {
+            data,
+            head: DEFAULT_HEADROOM,
+        }
+    }
+
+    /// Creates a zero-filled buffer of `len` live bytes with
+    /// [`DEFAULT_HEADROOM`] in front, for in-place header construction.
+    pub fn zeroed(len: usize) -> Self {
+        PacketBuf {
+            data: vec![0; DEFAULT_HEADROOM + len],
+            head: DEFAULT_HEADROOM,
+        }
+    }
+
+    /// Number of live bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// Whether the buffer holds no live bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remaining headroom in front of the live bytes.
+    pub fn headroom(&self) -> usize {
+        self.head
+    }
+
+    /// The live bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+
+    /// The live bytes, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data[self.head..]
+    }
+
+    /// Prepends `header` in front of the live bytes.
+    ///
+    /// Uses headroom when available; falls back to a copy (re-allocating
+    /// fresh headroom) when not, so it never fails for reasonable sizes.
+    pub fn push_front(&mut self, header: &[u8]) -> Result<()> {
+        if header.len() <= self.head {
+            let start = self.head - header.len();
+            self.data[start..self.head].copy_from_slice(header);
+            self.head = start;
+            Ok(())
+        } else {
+            // Slow path: rebuild with fresh headroom.
+            let mut data = Vec::with_capacity(DEFAULT_HEADROOM + header.len() + self.len());
+            data.resize(DEFAULT_HEADROOM, 0);
+            data.extend_from_slice(header);
+            data.extend_from_slice(self.as_slice());
+            self.data = data;
+            self.head = DEFAULT_HEADROOM;
+            Ok(())
+        }
+    }
+
+    /// Reserves `len` zeroed bytes in front of the live bytes and returns
+    /// the buffer ready for in-place header writing via `as_mut_slice`.
+    pub fn push_front_zeroed(&mut self, len: usize) -> Result<()> {
+        if len <= self.head {
+            let start = self.head - len;
+            self.data[start..self.head].fill(0);
+            self.head = start;
+            Ok(())
+        } else {
+            let zeros = vec![0u8; len];
+            self.push_front(&zeros)
+        }
+    }
+
+    /// Removes and returns the first `len` live bytes (decapsulation).
+    pub fn pull_front(&mut self, len: usize) -> Result<Vec<u8>> {
+        if len > self.len() {
+            return Err(Error::Truncated);
+        }
+        let out = self.data[self.head..self.head + len].to_vec();
+        self.head += len;
+        Ok(out)
+    }
+
+    /// Drops the first `len` live bytes without copying them out.
+    pub fn advance(&mut self, len: usize) -> Result<()> {
+        if len > self.len() {
+            return Err(Error::Truncated);
+        }
+        self.head += len;
+        Ok(())
+    }
+
+    /// Appends bytes at the tail.
+    pub fn extend_from_slice(&mut self, tail: &[u8]) {
+        self.data.extend_from_slice(tail);
+    }
+
+    /// Truncates the live bytes to `len` (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.data.truncate(self.head + len);
+        }
+    }
+
+    /// Consumes the buffer and returns the live bytes as a `Vec<u8>`.
+    pub fn into_vec(mut self) -> Vec<u8> {
+        self.data.drain(..self.head);
+        self.data
+    }
+}
+
+impl From<Vec<u8>> for PacketBuf {
+    fn from(payload: Vec<u8>) -> Self {
+        PacketBuf::from_payload(&payload)
+    }
+}
+
+impl AsRef<[u8]> for PacketBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsMut<[u8]> for PacketBuf {
+    fn as_mut(&mut self) -> &mut [u8] {
+        self.as_mut_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_payload_roundtrip() {
+        let p = PacketBuf::from_payload(b"abc");
+        assert_eq!(p.as_slice(), b"abc");
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.headroom(), DEFAULT_HEADROOM);
+    }
+
+    #[test]
+    fn push_pull_symmetry() {
+        let mut p = PacketBuf::from_payload(b"payload");
+        p.push_front(b"hdr").unwrap();
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.pull_front(3).unwrap(), b"hdr".to_vec());
+        assert_eq!(p.as_slice(), b"payload");
+    }
+
+    #[test]
+    fn push_front_exhausts_headroom_then_reallocates() {
+        let mut p = PacketBuf::with_headroom(4);
+        p.extend_from_slice(b"x");
+        p.push_front(&[1, 2, 3, 4]).unwrap(); // fits exactly
+        assert_eq!(p.headroom(), 0);
+        p.push_front(&[9]).unwrap(); // must reallocate
+        assert_eq!(p.as_slice(), &[9, 1, 2, 3, 4, b'x']);
+        assert_eq!(p.headroom(), DEFAULT_HEADROOM);
+    }
+
+    #[test]
+    fn pull_beyond_len_fails() {
+        let mut p = PacketBuf::from_payload(b"ab");
+        assert_eq!(p.pull_front(3).unwrap_err(), Error::Truncated);
+        assert_eq!(p.as_slice(), b"ab"); // untouched on error
+    }
+
+    #[test]
+    fn advance_and_truncate() {
+        let mut p = PacketBuf::from_payload(b"abcdef");
+        p.advance(2).unwrap();
+        assert_eq!(p.as_slice(), b"cdef");
+        p.truncate(2);
+        assert_eq!(p.as_slice(), b"cd");
+        p.truncate(10); // no-op
+        assert_eq!(p.as_slice(), b"cd");
+    }
+
+    #[test]
+    fn zeroed_and_into_vec() {
+        let mut p = PacketBuf::zeroed(4);
+        p.as_mut_slice().copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(p.into_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn push_front_zeroed_clears_stale_bytes() {
+        let mut p = PacketBuf::from_payload(b"xy");
+        p.push_front(&[0xFF; 8]).unwrap();
+        p.pull_front(8).unwrap();
+        p.push_front_zeroed(8).unwrap();
+        assert_eq!(&p.as_slice()[..8], &[0u8; 8]);
+    }
+}

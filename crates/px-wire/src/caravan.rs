@@ -1,0 +1,232 @@
+//! PX-caravan: the paper's UDP tunnelling format (Fig. 3).
+//!
+//! UDP datagrams cannot be merged or split transparently — applications
+//! (QUIC in particular) depend on datagram boundaries. PX-caravan instead
+//! *bundles* multiple UDP datagrams of one flow into a single large outer
+//! UDP packet:
+//!
+//! ```text
+//! | outer IP (ToS = CARAVAN_TOS, len = whole bundle) | outer UDP |
+//! |   inner UDP hdr #1 | payload #1                              |
+//! |   inner UDP hdr #2 | payload #2                              |
+//! |   ...                                                        |
+//! ```
+//!
+//! The outer headers carry the entire length; each inner UDP header
+//! carries its own datagram's length, so the receiver can walk the bundle
+//! and recover every original datagram intact. The outer IP header's ToS
+//! field is set to [`crate::ipv4::CARAVAN_TOS`] to mark the tunnelling.
+//!
+//! This module implements the *format*; the gateway-side merge policy
+//! (same-flow detection, delayed merging, IP-ID-based UDP_GRO
+//! compatibility) lives in `px-core::caravan_gw`, and the host-side
+//! unbundling in `px-tcp`'s UDP stack.
+
+use crate::error::{Error, Result};
+use crate::udp::{self, UdpDatagram};
+
+/// Maximum number of inner datagrams one caravan may carry. Matches the
+/// Linux UDP_GRO segment cap so the modified-receiver path of the paper's
+/// evaluation ("interpret the PX-caravan packets ... as UDP_GRO payload")
+/// stays compatible.
+pub const MAX_INNER: usize = 64;
+
+/// Accumulates UDP datagrams into a caravan bundle under a size budget.
+///
+/// The builder accepts complete inner datagrams (UDP header + payload,
+/// exactly as they arrived in the legacy network) and emits the
+/// concatenated bundle that becomes the *payload of the outer UDP*.
+#[derive(Debug, Clone)]
+pub struct CaravanBuilder {
+    buf: Vec<u8>,
+    count: usize,
+    budget: usize,
+}
+
+impl CaravanBuilder {
+    /// Creates a builder whose bundle (inner datagrams only, outer headers
+    /// excluded) must stay within `budget` bytes.
+    pub fn new(budget: usize) -> Self {
+        CaravanBuilder {
+            buf: Vec::with_capacity(budget),
+            count: 0,
+            budget,
+        }
+    }
+
+    /// Whether `datagram` (a complete UDP datagram) would still fit.
+    pub fn fits(&self, datagram: &[u8]) -> bool {
+        self.count < MAX_INNER && self.buf.len() + datagram.len() <= self.budget
+    }
+
+    /// Appends a complete inner UDP datagram. The datagram's own length
+    /// field must match its byte length (validated).
+    pub fn push(&mut self, datagram: &[u8]) -> Result<()> {
+        let dg = UdpDatagram::new_checked(datagram)?;
+        if dg.length() != datagram.len() {
+            return Err(Error::Malformed);
+        }
+        if !self.fits(datagram) {
+            return Err(Error::BufferTooSmall);
+        }
+        self.buf.extend_from_slice(datagram);
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Number of inner datagrams bundled so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Bundled bytes so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been bundled yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Finishes the bundle, returning the outer-UDP payload bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Walks a caravan bundle (the payload of the outer UDP) and returns each
+/// inner datagram as a subslice. Fails if the bundle does not parse into
+/// an exact sequence of well-formed UDP datagrams.
+pub fn split_bundle(bundle: &[u8]) -> Result<Vec<&[u8]>> {
+    let mut out = Vec::new();
+    let mut rest = bundle;
+    while !rest.is_empty() {
+        if rest.len() < udp::HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let len = usize::from(u16::from_be_bytes([rest[4], rest[5]]));
+        if len < udp::HEADER_LEN || len > rest.len() {
+            return Err(Error::Malformed);
+        }
+        if out.len() == MAX_INNER {
+            return Err(Error::FieldRange);
+        }
+        out.push(&rest[..len]);
+        rest = &rest[len..];
+    }
+    Ok(out)
+}
+
+/// Validates that every inner datagram of a bundle shares the same UDP
+/// ports (caravans bundle one flow, or at least one destination — the
+/// strict same-flow variant is what PXGW produces by default).
+pub fn bundle_is_single_flow(bundle: &[u8]) -> Result<bool> {
+    let inner = split_bundle(bundle)?;
+    let mut ports = None;
+    for dg in inner {
+        let v = UdpDatagram::new_checked(dg)?;
+        let p = (v.src_port(), v.dst_port());
+        match ports {
+            None => ports = Some(p),
+            Some(q) if q != p => return Ok(false),
+            _ => {}
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udp::UdpRepr;
+    use std::net::Ipv4Addr;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(1, 1, 1, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(2, 2, 2, 2);
+
+    fn dg(sp: u16, dp: u16, payload: &[u8]) -> Vec<u8> {
+        UdpRepr { src_port: sp, dst_port: dp }
+            .build_datagram(SRC, DST, payload)
+            .unwrap()
+    }
+
+    #[test]
+    fn bundle_roundtrip_preserves_boundaries() {
+        let d1 = dg(5000, 443, b"quic-datagram-one");
+        let d2 = dg(5000, 443, b"two");
+        let d3 = dg(5000, 443, &[0u8; 1200]);
+        let mut b = CaravanBuilder::new(9000);
+        b.push(&d1).unwrap();
+        b.push(&d2).unwrap();
+        b.push(&d3).unwrap();
+        assert_eq!(b.count(), 3);
+        let bundle = b.finish();
+        let inner = split_bundle(&bundle).unwrap();
+        assert_eq!(inner, vec![&d1[..], &d2[..], &d3[..]]);
+        assert!(bundle_is_single_flow(&bundle).unwrap());
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let d = dg(1, 2, &[0u8; 1000]);
+        let mut b = CaravanBuilder::new(2100);
+        assert!(b.fits(&d));
+        b.push(&d).unwrap();
+        b.push(&d).unwrap();
+        assert!(!b.fits(&d));
+        assert_eq!(b.push(&d).unwrap_err(), Error::BufferTooSmall);
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn max_inner_enforced() {
+        let d = dg(1, 2, b"");
+        let mut b = CaravanBuilder::new(1 << 20);
+        for _ in 0..MAX_INNER {
+            b.push(&d).unwrap();
+        }
+        assert_eq!(b.push(&d).unwrap_err(), Error::BufferTooSmall);
+    }
+
+    #[test]
+    fn inconsistent_length_field_rejected() {
+        let mut d = dg(1, 2, b"abc");
+        d.extend_from_slice(&[0; 4]); // trailing junk not covered by len
+        let mut b = CaravanBuilder::new(9000);
+        assert_eq!(b.push(&d).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn split_rejects_truncated_tail() {
+        let d = dg(1, 2, b"abcdef");
+        let mut bundle = d.clone();
+        bundle.extend_from_slice(&d[..5]); // half a header
+        assert_eq!(split_bundle(&bundle).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn split_rejects_bad_inner_length() {
+        let mut d = dg(1, 2, b"abcdef");
+        d[4..6].copy_from_slice(&3u16.to_be_bytes()); // shorter than header
+        assert_eq!(split_bundle(&d).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn mixed_flows_detected() {
+        let d1 = dg(5000, 443, b"a");
+        let d2 = dg(5001, 443, b"b");
+        let mut b = CaravanBuilder::new(9000);
+        b.push(&d1).unwrap();
+        b.push(&d2).unwrap();
+        assert!(!bundle_is_single_flow(&b.finish()).unwrap());
+    }
+
+    #[test]
+    fn empty_bundle_splits_to_nothing() {
+        assert!(split_bundle(&[]).unwrap().is_empty());
+        let b = CaravanBuilder::new(100);
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+}

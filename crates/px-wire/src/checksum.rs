@@ -1,0 +1,137 @@
+//! Internet checksum (RFC 1071) helpers, including the incremental update
+//! rule from RFC 1624 that PXGW uses when it rewrites single header fields
+//! (e.g. the MSS option or an IP ID) without re-summing the whole packet.
+
+use std::net::Ipv4Addr;
+
+/// Computes the one's-complement sum of `data` folded to 16 bits, without
+/// the final negation. Odd trailing bytes are padded with zero per RFC 1071.
+pub fn ones_complement_sum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    fold(sum)
+}
+
+fn fold(mut sum: u32) -> u16 {
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Computes the Internet checksum of `data` (the negated folded sum).
+pub fn checksum(data: &[u8]) -> u16 {
+    !ones_complement_sum(data)
+}
+
+/// Combines partial one's-complement sums, as if their source buffers had
+/// been concatenated (both parts must be even-length, which holds for all
+/// uses in this crate: headers and pseudo-headers are even).
+pub fn combine(a: u16, b: u16) -> u16 {
+    fold(u32::from(a) + u32::from(b))
+}
+
+/// The TCP/UDP pseudo-header sum for IPv4 (RFC 793 §3.1, RFC 768).
+pub fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, length: u16) -> u16 {
+    let s = src.octets();
+    let d = dst.octets();
+    let mut sum: u32 = 0;
+    sum += u32::from(u16::from_be_bytes([s[0], s[1]]));
+    sum += u32::from(u16::from_be_bytes([s[2], s[3]]));
+    sum += u32::from(u16::from_be_bytes([d[0], d[1]]));
+    sum += u32::from(u16::from_be_bytes([d[2], d[3]]));
+    sum += u32::from(protocol);
+    sum += u32::from(length);
+    fold(sum)
+}
+
+/// Computes a transport-layer checksum over pseudo-header + segment bytes.
+pub fn transport_checksum(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    protocol: u8,
+    segment: &[u8],
+) -> u16 {
+    let pseudo = pseudo_header_sum(src, dst, protocol, segment.len() as u16);
+    !combine(pseudo, ones_complement_sum(segment))
+}
+
+/// RFC 1624 incremental checksum update: returns the new checksum after a
+/// 16-bit word at some position changed from `old_word` to `new_word`.
+///
+/// Uses the corrected equation `HC' = ~(~HC + ~m + m')` (eqn. 3), which is
+/// safe for all corner cases including results of 0xFFFF.
+pub fn incremental_update(old_checksum: u16, old_word: u16, new_word: u16) -> u16 {
+    let sum = u32::from(!old_checksum) + u32::from(!old_word) + u32::from(new_word);
+    !fold(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Example from RFC 1071 §3: words 0x0001 0xf203 0xf4f5 0xf6f7
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(ones_complement_sum(&data), 0xddf2);
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(ones_complement_sum(&[0xAB]), 0xAB00);
+    }
+
+    #[test]
+    fn verify_is_zero_sum() {
+        // A buffer containing its own correct checksum sums to 0xFFFF.
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let ck = checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(ones_complement_sum(&data), 0xFFFF);
+    }
+
+    #[test]
+    fn combine_matches_concatenation() {
+        let a = [1u8, 2, 3, 4, 5, 6];
+        let b = [7u8, 8, 9, 10];
+        let whole: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(
+            combine(ones_complement_sum(&a), ones_complement_sum(&b)),
+            ones_complement_sum(&whole)
+        );
+    }
+
+    #[test]
+    fn incremental_update_matches_recompute() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x54, 0xbe, 0xef, 0x40, 0x00, 0x40, 0x06, 0, 0];
+        let ck = checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+
+        // Change the ID word 0xbeef -> 0x1234 and update incrementally.
+        let updated = incremental_update(ck, 0xbeef, 0x1234);
+        data[4..6].copy_from_slice(&0x1234u16.to_be_bytes());
+        data[10..12].copy_from_slice(&[0, 0]);
+        assert_eq!(updated, checksum(&data));
+    }
+
+    #[test]
+    fn pseudo_header_known_vector() {
+        // Hand-computed: 10.0.0.1 -> 10.0.0.2, UDP(17), length 8.
+        let sum = pseudo_header_sum(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            17,
+            8,
+        );
+        // 0x0a00 + 0x0001 + 0x0a00 + 0x0002 + 0x0011 + 0x0008 = 0x141c
+        assert_eq!(sum, 0x141c);
+    }
+}

@@ -1,0 +1,41 @@
+//! Error types shared by every wire-format parser in this crate.
+
+use core::fmt;
+
+/// Errors produced while parsing or emitting wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is shorter than the fixed header of the format.
+    Truncated,
+    /// A length field points outside the buffer, or header length fields
+    /// are inconsistent with each other.
+    Malformed,
+    /// A checksum did not verify.
+    Checksum,
+    /// A version or type field identifies a format this crate does not
+    /// implement (e.g. IPv6 where IPv4 was expected).
+    Unsupported,
+    /// The caller-provided buffer is too small to emit into.
+    BufferTooSmall,
+    /// A field value is out of the representable range (e.g. a payload
+    /// larger than 65535 bytes for a UDP length field).
+    FieldRange,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "buffer truncated"),
+            Error::Malformed => write!(f, "malformed header"),
+            Error::Checksum => write!(f, "checksum mismatch"),
+            Error::Unsupported => write!(f, "unsupported format"),
+            Error::BufferTooSmall => write!(f, "output buffer too small"),
+            Error::FieldRange => write!(f, "field value out of range"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = core::result::Result<T, Error>;

@@ -1,0 +1,232 @@
+//! Ethernet II framing.
+//!
+//! PacketExpress operates at the network border, so frames matter mostly as
+//! the unit the NIC model DMAs; we still implement real parsing/emission so
+//! the simulator carries byte-accurate frames end to end.
+
+use crate::error::{Error, Result};
+use core::fmt;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// A convenience constructor from the last octet (lab-style addressing
+    /// `02:00:00:00:00:xx`, locally administered).
+    pub fn from_index(idx: u8) -> Self {
+        MacAddr([0x02, 0, 0, 0, 0, idx])
+    }
+
+    /// Whether the multicast (group) bit is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// EtherType values this crate understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806) — parsed but not otherwise processed.
+    Arp,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(e: EtherType) -> u16 {
+        match e {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+/// Length of the Ethernet II header.
+pub const HEADER_LEN: usize = 14;
+
+/// A typed view over an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        EthernetFrame { buffer }
+    }
+
+    /// Wraps a buffer, checking it is long enough to hold the header.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(EthernetFrame { buffer })
+    }
+
+    /// Destination MAC.
+    pub fn dst(&self) -> MacAddr {
+        let b = self.buffer.as_ref();
+        MacAddr(b[0..6].try_into().unwrap())
+    }
+
+    /// Source MAC.
+    pub fn src(&self) -> MacAddr {
+        let b = self.buffer.as_ref();
+        MacAddr(b[6..12].try_into().unwrap())
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[12], b[13]]).into()
+    }
+
+    /// The frame payload (everything after the header).
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+
+    /// Releases the inner buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Sets the destination MAC.
+    pub fn set_dst(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[0..6].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the source MAC.
+    pub fn set_src(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[6..12].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the EtherType.
+    pub fn set_ethertype(&mut self, e: EtherType) {
+        self.buffer.as_mut()[12..14].copy_from_slice(&u16::from(e).to_be_bytes());
+    }
+
+    /// The payload, mutably.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+/// A parsed, plain-Rust representation of an Ethernet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetRepr {
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// EtherType of the payload.
+    pub ethertype: EtherType,
+}
+
+impl EthernetRepr {
+    /// Parses the header from a frame view.
+    pub fn parse<T: AsRef<[u8]>>(frame: &EthernetFrame<T>) -> Result<Self> {
+        Ok(EthernetRepr {
+            src: frame.src(),
+            dst: frame.dst(),
+            ethertype: frame.ethertype(),
+        })
+    }
+
+    /// Emits this header into the front of `frame`.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, frame: &mut EthernetFrame<T>) {
+        frame.set_src(self.src);
+        frame.set_dst(self.dst);
+        frame.set_ethertype(self.ethertype);
+    }
+
+    /// Serializes the header as 14 bytes.
+    pub fn to_bytes(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[0..6].copy_from_slice(&self.dst.0);
+        out[6..12].copy_from_slice(&self.src.0);
+        out[12..14].copy_from_slice(&u16::from(self.ethertype).to_be_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_emit_roundtrip() {
+        let repr = EthernetRepr {
+            src: MacAddr::from_index(1),
+            dst: MacAddr::from_index(2),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut buf = vec![0u8; HEADER_LEN + 4];
+        let mut frame = EthernetFrame::new_checked(&mut buf[..]).unwrap();
+        repr.emit(&mut frame);
+        frame.payload_mut().copy_from_slice(b"data");
+
+        let frame = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(EthernetRepr::parse(&frame).unwrap(), repr);
+        assert_eq!(frame.payload(), b"data");
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        assert_eq!(
+            EthernetFrame::new_checked(&[0u8; 13][..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn to_bytes_layout() {
+        let repr = EthernetRepr {
+            src: MacAddr([1, 2, 3, 4, 5, 6]),
+            dst: MacAddr([7, 8, 9, 10, 11, 12]),
+            ethertype: EtherType::Other(0x88B5),
+        };
+        let b = repr.to_bytes();
+        assert_eq!(&b[0..6], &[7, 8, 9, 10, 11, 12]); // dst first on the wire
+        assert_eq!(&b[6..12], &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(&b[12..14], &[0x88, 0xB5]);
+    }
+
+    #[test]
+    fn multicast_and_display() {
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::from_index(3).is_multicast());
+        assert_eq!(MacAddr::from_index(3).to_string(), "02:00:00:00:00:03");
+    }
+}

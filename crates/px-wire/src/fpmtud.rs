@@ -1,0 +1,100 @@
+//! The F-PMTUD wire format (paper §4.2): probe and report payloads, plus
+//! the protocol's well-known ports.
+//!
+//! This lives in `px-wire` because three independent components speak it:
+//! the standalone prober/daemon nodes in `px-pmtud`, the PXGW (which must
+//! recognise probes to exempt them from caravan bundling, and can itself
+//! probe destinations to learn per-path split sizes), and hosts that run
+//! the daemon alongside their regular stacks.
+
+/// Well-known UDP port of the F-PMTUD daemon ("a dummy UDP packet … to
+/// the destination node with a well-known port").
+pub const FPMTUD_PORT: u16 = 3198;
+
+/// UDP echo port served by daemons for DF-probe acknowledgments
+/// (PLPMTUD and classic-PMTUD verification).
+pub const ECHO_PORT: u16 = 3197;
+
+/// Magic prefix of a probe payload.
+pub const PROBE_MAGIC: [u8; 4] = *b"FPMP";
+/// Magic prefix of a report payload.
+pub const REPORT_MAGIC: [u8; 4] = *b"FPMR";
+/// Magic prefix of an echo-ack payload (served on [`ECHO_PORT`]).
+pub const ECHO_MAGIC: [u8; 4] = *b"FPME";
+
+/// Builds a probe payload: magic + probe id + zero padding so the whole
+/// IP packet is `probe_size` bytes (20 B IP + 8 B UDP + payload).
+pub fn probe_payload(probe_id: u32, probe_size: usize) -> Vec<u8> {
+    let udp_payload_len = probe_size.saturating_sub(20 + 8).max(8);
+    let mut p = vec![0u8; udp_payload_len];
+    p[0..4].copy_from_slice(&PROBE_MAGIC);
+    p[4..8].copy_from_slice(&probe_id.to_be_bytes());
+    p
+}
+
+/// Parses a probe payload, returning its id.
+pub fn parse_probe(data: &[u8]) -> Option<u32> {
+    if data.len() < 8 || data[0..4] != PROBE_MAGIC {
+        return None;
+    }
+    Some(u32::from_be_bytes(data[4..8].try_into().ok()?))
+}
+
+/// Serializes a fragment-size report: magic + probe id + count + sizes.
+pub fn report_payload(probe_id: u32, sizes: &[usize]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10 + sizes.len() * 2);
+    out.extend_from_slice(&REPORT_MAGIC);
+    out.extend_from_slice(&probe_id.to_be_bytes());
+    out.extend_from_slice(&(sizes.len() as u16).to_be_bytes());
+    for &s in sizes {
+        out.extend_from_slice(&(s.min(65535) as u16).to_be_bytes());
+    }
+    out
+}
+
+/// Parses a report payload into (probe id, fragment sizes).
+pub fn parse_report(data: &[u8]) -> Option<(u32, Vec<usize>)> {
+    if data.len() < 10 || data[0..4] != REPORT_MAGIC {
+        return None;
+    }
+    let id = u32::from_be_bytes(data[4..8].try_into().ok()?);
+    let n = usize::from(u16::from_be_bytes(data[8..10].try_into().ok()?));
+    if data.len() < 10 + 2 * n {
+        return None;
+    }
+    let sizes = (0..n)
+        .map(|i| usize::from(u16::from_be_bytes(data[10 + 2 * i..12 + 2 * i].try_into().unwrap())))
+        .collect();
+    Some((id, sizes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_roundtrip_and_size() {
+        let p = probe_payload(77, 1500);
+        assert_eq!(p.len(), 1500 - 28);
+        assert_eq!(parse_probe(&p), Some(77));
+        assert_eq!(parse_probe(&p[..7]), None);
+        let mut bad = p.clone();
+        bad[0] = b'X';
+        assert_eq!(parse_probe(&bad), None);
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let sizes = vec![996, 996, 532];
+        let r = report_payload(9, &sizes);
+        assert_eq!(parse_report(&r), Some((9, sizes)));
+        assert_eq!(parse_report(&r[..9]), None);
+    }
+
+    #[test]
+    fn tiny_probe_still_carries_id() {
+        let p = probe_payload(1, 10); // below headers: floor at 8 bytes
+        assert_eq!(p.len(), 8);
+        assert_eq!(parse_probe(&p), Some(1));
+    }
+}

@@ -1,0 +1,375 @@
+//! IPv4 fragmentation and reassembly (RFC 791 §3.2).
+//!
+//! This is the substrate F-PMTUD rides on: a router that must forward a
+//! packet larger than the egress MTU (and DF clear) calls [`fragment`];
+//! the destination host feeds fragments into a [`Reassembler`]. The
+//! F-PMTUD daemon additionally inspects the *sizes* of the fragments it
+//! receives — the largest fragment's total length reveals the smallest
+//! MTU on the path.
+
+use crate::error::{Error, Result};
+use crate::flow::IpProtocol;
+use crate::ipv4::Ipv4Packet;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Fragments a complete IPv4 packet so every fragment's total length is
+/// ≤ `mtu`. Works on already-fragmented packets too (offsets accumulate,
+/// the MF bit of the final piece preserves the original's MF).
+///
+/// Returns [`Error::FieldRange`] if the packet has DF set and does not
+/// fit (the caller — a router — should then drop it and, if it is not an
+/// ICMP-suppressing hop, emit a *fragmentation needed* message).
+pub fn fragment(packet: &[u8], mtu: usize) -> Result<Vec<Vec<u8>>> {
+    let pkt = Ipv4Packet::new_checked(packet)?;
+    if pkt.total_len() <= mtu {
+        return Ok(vec![packet[..pkt.total_len()].to_vec()]);
+    }
+    if pkt.dont_frag() {
+        return Err(Error::FieldRange);
+    }
+    let header_len = pkt.header_len();
+    if mtu < header_len + 8 {
+        return Err(Error::FieldRange);
+    }
+    // Payload bytes per fragment must be a multiple of 8 (except the last).
+    let max_payload = (mtu - header_len) / 8 * 8;
+    let payload = pkt.payload();
+    let base_offset = pkt.frag_offset();
+    let original_mf = pkt.more_frags();
+
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < payload.len() {
+        let take = max_payload.min(payload.len() - off);
+        let last = off + take == payload.len();
+        let mut frag = vec![0u8; header_len + take];
+        frag[..header_len].copy_from_slice(&packet[..header_len]);
+        frag[header_len..].copy_from_slice(&payload[off..off + take]);
+        let mut fp = Ipv4Packet::new_unchecked(&mut frag[..]);
+        fp.set_total_len((header_len + take) as u16);
+        fp.set_frag_fields(false, !last || original_mf, base_offset + off);
+        fp.fill_checksum();
+        out.push(frag);
+        off += take;
+    }
+    Ok(out)
+}
+
+/// Key identifying one datagram's fragments (RFC 791: src, dst, protocol,
+/// identification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FragKey {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Transport protocol.
+    pub proto: IpProtocol,
+    /// IP identification field.
+    pub ident: u16,
+}
+
+#[derive(Debug)]
+struct PartialDatagram {
+    /// Received payload ranges: (start, bytes).
+    pieces: Vec<(usize, Vec<u8>)>,
+    /// Total payload length, known once the MF=0 fragment arrives.
+    total_payload: Option<usize>,
+    /// Copy of the first-fragment header (offset 0), used to rebuild.
+    first_header: Option<Vec<u8>>,
+    /// Sizes of every fragment as received (total lengths), in arrival
+    /// order — what the F-PMTUD daemon reports.
+    fragment_sizes: Vec<usize>,
+    /// Creation timestamp in caller-defined time units.
+    created_at: u64,
+}
+
+/// Outcome of feeding one fragment to the reassembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReassemblyResult {
+    /// The input was not a fragment; returned unchanged.
+    NotFragmented(Vec<u8>),
+    /// More fragments are still outstanding.
+    Incomplete,
+    /// The datagram is complete: the rebuilt packet and the sizes of all
+    /// of its fragments in arrival order.
+    Complete {
+        /// The reassembled IPv4 packet.
+        packet: Vec<u8>,
+        /// Total length of every fragment, in arrival order.
+        fragment_sizes: Vec<usize>,
+    },
+}
+
+/// An IPv4 reassembly buffer with timeout-based eviction.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    partial: HashMap<FragKey, PartialDatagram>,
+}
+
+/// Default reassembly timeout, in nanoseconds (15 s, the classic value).
+pub const REASSEMBLY_TIMEOUT_NS: u64 = 15_000_000_000;
+
+impl Reassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of in-progress datagrams.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Feeds one IPv4 packet (fragment or not). `now` is the caller's
+    /// clock in nanoseconds (used only for expiry bookkeeping).
+    pub fn push(&mut self, packet: &[u8], now: u64) -> Result<ReassemblyResult> {
+        let pkt = Ipv4Packet::new_checked(packet)?;
+        if !pkt.is_fragment() {
+            return Ok(ReassemblyResult::NotFragmented(
+                packet[..pkt.total_len()].to_vec(),
+            ));
+        }
+        let key = FragKey {
+            src: pkt.src(),
+            dst: pkt.dst(),
+            proto: pkt.protocol(),
+            ident: pkt.ident(),
+        };
+        let offset = pkt.frag_offset();
+        let payload = pkt.payload().to_vec();
+        let entry = self.partial.entry(key).or_insert_with(|| PartialDatagram {
+            pieces: Vec::new(),
+            total_payload: None,
+            first_header: None,
+            fragment_sizes: Vec::new(),
+            created_at: now,
+        });
+        entry.fragment_sizes.push(pkt.total_len());
+        if !pkt.more_frags() {
+            entry.total_payload = Some(offset + payload.len());
+        }
+        if offset == 0 {
+            entry.first_header = Some(packet[..pkt.header_len()].to_vec());
+        }
+        // Drop exact duplicates; overlapping non-identical fragments keep
+        // first-arrival bytes (BSD-style "first wins" for the overlap).
+        if !entry.pieces.iter().any(|(o, p)| *o == offset && p.len() == payload.len()) {
+            entry.pieces.push((offset, payload));
+        }
+
+        if let Some(total) = entry.total_payload {
+            if Self::is_complete(&entry.pieces, total) && entry.first_header.is_some() {
+                let entry = self.partial.remove(&key).unwrap();
+                return Ok(Self::rebuild(entry));
+            }
+        }
+        Ok(ReassemblyResult::Incomplete)
+    }
+
+    fn is_complete(pieces: &[(usize, Vec<u8>)], total: usize) -> bool {
+        let mut covered = 0usize;
+        let mut sorted: Vec<_> = pieces.iter().map(|(o, p)| (*o, p.len())).collect();
+        sorted.sort_unstable();
+        for (off, len) in sorted {
+            if off > covered {
+                return false; // hole
+            }
+            covered = covered.max(off + len);
+        }
+        covered >= total
+    }
+
+    fn rebuild(entry: PartialDatagram) -> ReassemblyResult {
+        let total = entry.total_payload.expect("checked complete");
+        let header = entry.first_header.expect("checked complete");
+        let header_len = header.len();
+        let mut packet = vec![0u8; header_len + total];
+        packet[..header_len].copy_from_slice(&header);
+        // Later writes for overlapping ranges do not matter: is_complete
+        // guarantees full coverage, and first-wins only affects pathological
+        // overlap which we write in arrival order (first piece last so it
+        // wins).
+        for (off, piece) in entry.pieces.iter().rev() {
+            packet[header_len + off..header_len + off + piece.len()].copy_from_slice(piece);
+        }
+        let mut pkt = Ipv4Packet::new_unchecked(&mut packet[..]);
+        pkt.set_total_len((header_len + total) as u16);
+        pkt.set_frag_fields(false, false, 0);
+        pkt.fill_checksum();
+        ReassemblyResult::Complete {
+            packet,
+            fragment_sizes: entry.fragment_sizes,
+        }
+    }
+
+    /// Evicts partial datagrams older than `timeout_ns`, returning how
+    /// many were dropped (hosts emit ICMP time-exceeded code 1 for these;
+    /// our simulator just counts them).
+    pub fn expire(&mut self, now: u64, timeout_ns: u64) -> usize {
+        let before = self.partial.len();
+        self.partial
+            .retain(|_, p| now.saturating_sub(p.created_at) < timeout_ns);
+        before - self.partial.len()
+    }
+}
+
+/// Convenience: fragment a packet down a *path* of MTUs, as a chain of
+/// routers would, returning the fragments that arrive at the destination.
+///
+/// Each hop fragments anything exceeding its MTU; fragments of fragments
+/// compose correctly because [`fragment`] preserves offsets and MF.
+pub fn fragment_along_path(packet: &[u8], path_mtus: &[usize]) -> Result<Vec<Vec<u8>>> {
+    let mut in_flight = vec![packet.to_vec()];
+    for &mtu in path_mtus {
+        let mut next = Vec::new();
+        for p in &in_flight {
+            next.extend(fragment(p, mtu)?);
+        }
+        in_flight = next;
+    }
+    Ok(in_flight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::Ipv4Repr;
+
+    fn build(src: u8, payload_len: usize, ident: u16, df: bool) -> Vec<u8> {
+        let payload: Vec<u8> = (0..payload_len).map(|i| (i % 251) as u8).collect();
+        let mut repr = Ipv4Repr::new(
+            Ipv4Addr::new(10, 0, 0, src),
+            Ipv4Addr::new(10, 0, 9, 9),
+            IpProtocol::Udp,
+            payload_len,
+        );
+        repr.ident = ident;
+        repr.dont_frag = df;
+        repr.build_packet(&payload).unwrap()
+    }
+
+    #[test]
+    fn small_packet_passes_unfragmented() {
+        let p = build(1, 100, 7, false);
+        let frags = fragment(&p, 1500).unwrap();
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0], p);
+    }
+
+    #[test]
+    fn fragments_fit_mtu_and_reassemble() {
+        let p = build(1, 4000, 42, false);
+        let frags = fragment(&p, 1500).unwrap();
+        assert!(frags.len() >= 3);
+        for f in &frags {
+            assert!(f.len() <= 1500);
+            let v = Ipv4Packet::new_checked(&f[..]).unwrap();
+            assert!(v.verify_checksum());
+        }
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for f in &frags {
+            match r.push(f, 0).unwrap() {
+                ReassemblyResult::Complete { packet, fragment_sizes } => {
+                    done = Some((packet, fragment_sizes))
+                }
+                ReassemblyResult::Incomplete => {}
+                ReassemblyResult::NotFragmented(_) => panic!("should be fragments"),
+            }
+        }
+        let (packet, sizes) = done.expect("reassembly must complete");
+        assert_eq!(packet, p);
+        assert_eq!(sizes.len(), frags.len());
+    }
+
+    #[test]
+    fn df_packet_refuses_fragmentation() {
+        let p = build(1, 4000, 1, true);
+        assert_eq!(fragment(&p, 1500).unwrap_err(), Error::FieldRange);
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_fragments() {
+        let p = build(2, 5000, 77, false);
+        let mut frags = fragment(&p, 1400).unwrap();
+        frags.reverse();
+        let dup = frags[1].clone();
+        frags.insert(2, dup);
+        let mut r = Reassembler::new();
+        let mut complete = 0;
+        for f in &frags {
+            if let ReassemblyResult::Complete { packet, .. } = r.push(f, 0).unwrap() {
+                assert_eq!(packet, p);
+                complete += 1;
+            }
+        }
+        assert_eq!(complete, 1);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn refragmentation_composes() {
+        // 9000 -> 3000 -> 1000, as two successive narrower hops would do.
+        let p = build(3, 8800, 9, false);
+        let arrived = fragment_along_path(&p, &[3000, 1000]).unwrap();
+        assert!(arrived.iter().all(|f| f.len() <= 1000));
+        let mut r = Reassembler::new();
+        let mut result = None;
+        for f in &arrived {
+            if let ReassemblyResult::Complete { packet, fragment_sizes } = r.push(f, 0).unwrap() {
+                result = Some((packet, fragment_sizes));
+            }
+        }
+        let (packet, sizes) = result.expect("must reassemble");
+        assert_eq!(packet, p);
+        // Largest fragment reveals the narrowest MTU (within 8-byte rounding).
+        let largest = *sizes.iter().max().unwrap();
+        assert!(largest <= 1000 && largest > 1000 - 8 - 20);
+    }
+
+    #[test]
+    fn interleaved_datagrams_keep_separate_state() {
+        let p1 = build(1, 3000, 100, false);
+        let p2 = build(1, 3000, 101, false); // same flow, different ident
+        let f1 = fragment(&p1, 1500).unwrap();
+        let f2 = fragment(&p2, 1500).unwrap();
+        let mut r = Reassembler::new();
+        let mut seen = Vec::new();
+        for f in f1.iter().zip(f2.iter()).flat_map(|(a, b)| [a, b]) {
+            if let ReassemblyResult::Complete { packet, .. } = r.push(f, 0).unwrap() {
+                seen.push(packet);
+            }
+        }
+        assert_eq!(seen.len(), 2);
+        assert!(seen.contains(&p1) && seen.contains(&p2));
+    }
+
+    #[test]
+    fn expiry_drops_stale_partials() {
+        let p = build(4, 3000, 5, false);
+        let frags = fragment(&p, 1500).unwrap();
+        let mut r = Reassembler::new();
+        r.push(&frags[0], 0).unwrap();
+        assert_eq!(r.pending(), 1);
+        assert_eq!(r.expire(REASSEMBLY_TIMEOUT_NS - 1, REASSEMBLY_TIMEOUT_NS), 0);
+        assert_eq!(r.expire(REASSEMBLY_TIMEOUT_NS, REASSEMBLY_TIMEOUT_NS), 1);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn mtu_smaller_than_header_plus_8_rejected() {
+        let p = build(1, 100, 7, false);
+        assert_eq!(fragment(&p, 24).unwrap_err(), Error::FieldRange);
+    }
+
+    #[test]
+    fn fragment_offsets_are_8_aligned() {
+        let p = build(5, 7777, 3, false);
+        for f in fragment(&p, 1500).unwrap() {
+            let v = Ipv4Packet::new_checked(&f[..]).unwrap();
+            assert_eq!(v.frag_offset() % 8, 0);
+        }
+    }
+}

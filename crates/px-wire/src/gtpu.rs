@@ -1,0 +1,133 @@
+//! GTP-U (GPRS Tunnelling Protocol, user plane — 3GPP TS 29.281).
+//!
+//! The 5G UPF of Fig. 1a encapsulates/decapsulates user traffic in GTP-U
+//! over UDP port 2152. We implement the mandatory 8-byte header (version 1,
+//! PT=1, no optional fields) plus the G-PDU message type, which is all the
+//! OMEC UPF datapath touches per packet.
+
+use crate::error::{Error, Result};
+
+/// GTP-U well-known UDP port.
+pub const GTPU_PORT: u16 = 2152;
+
+/// Mandatory GTP-U header length (no optional fields).
+pub const HEADER_LEN: usize = 8;
+
+/// Message type for a G-PDU (encapsulated user packet).
+pub const MSG_GPDU: u8 = 255;
+
+/// Message type for an echo request (path management).
+pub const MSG_ECHO_REQUEST: u8 = 1;
+
+/// A parsed GTP-U header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GtpuRepr {
+    /// Message type ([`MSG_GPDU`] for user traffic).
+    pub msg_type: u8,
+    /// Tunnel endpoint identifier.
+    pub teid: u32,
+    /// Payload length (the length field; excludes the mandatory header).
+    pub payload_len: usize,
+}
+
+impl GtpuRepr {
+    /// A G-PDU header for the given tunnel and payload size.
+    pub fn gpdu(teid: u32, payload_len: usize) -> Self {
+        GtpuRepr { msg_type: MSG_GPDU, teid, payload_len }
+    }
+
+    /// Parses a GTP-U header from the front of a UDP payload, returning
+    /// the repr and the encapsulated payload slice.
+    pub fn parse(data: &[u8]) -> Result<(Self, &[u8])> {
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let flags = data[0];
+        let version = flags >> 5;
+        let pt = (flags >> 4) & 1;
+        if version != 1 || pt != 1 {
+            return Err(Error::Unsupported);
+        }
+        if flags & 0b0000_0111 != 0 {
+            // E/S/PN optional fields present: not supported by this UPF.
+            return Err(Error::Unsupported);
+        }
+        let msg_type = data[1];
+        let len = usize::from(u16::from_be_bytes([data[2], data[3]]));
+        if HEADER_LEN + len > data.len() {
+            return Err(Error::Malformed);
+        }
+        let teid = u32::from_be_bytes(data[4..8].try_into().unwrap());
+        Ok((
+            GtpuRepr { msg_type, teid, payload_len: len },
+            &data[HEADER_LEN..HEADER_LEN + len],
+        ))
+    }
+
+    /// Serializes the header (8 bytes).
+    pub fn to_bytes(&self) -> Result<[u8; HEADER_LEN]> {
+        if self.payload_len > usize::from(u16::MAX) {
+            return Err(Error::FieldRange);
+        }
+        let mut out = [0u8; HEADER_LEN];
+        out[0] = 0b0011_0000; // version 1, PT=1, no optional fields
+        out[1] = self.msg_type;
+        out[2..4].copy_from_slice(&(self.payload_len as u16).to_be_bytes());
+        out[4..8].copy_from_slice(&self.teid.to_be_bytes());
+        Ok(out)
+    }
+
+    /// Encapsulates `payload` behind a G-PDU header.
+    pub fn encapsulate(teid: u32, payload: &[u8]) -> Result<Vec<u8>> {
+        let hdr = GtpuRepr::gpdu(teid, payload.len()).to_bytes()?;
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&hdr);
+        out.extend_from_slice(payload);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encap_parse_roundtrip() {
+        let inner = b"an entire user ip packet";
+        let wire = GtpuRepr::encapsulate(0xDEAD_BEEF, inner).unwrap();
+        let (repr, payload) = GtpuRepr::parse(&wire).unwrap();
+        assert_eq!(repr.teid, 0xDEAD_BEEF);
+        assert_eq!(repr.msg_type, MSG_GPDU);
+        assert_eq!(payload, inner);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut wire = GtpuRepr::encapsulate(1, b"x").unwrap();
+        wire[0] = 0b0101_0000; // version 2
+        assert_eq!(GtpuRepr::parse(&wire).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn optional_fields_rejected() {
+        let mut wire = GtpuRepr::encapsulate(1, b"x").unwrap();
+        wire[0] |= 0b0000_0010; // S flag
+        assert_eq!(GtpuRepr::parse(&wire).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn length_validation() {
+        let mut wire = GtpuRepr::encapsulate(1, b"abc").unwrap();
+        wire[2..4].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(GtpuRepr::parse(&wire).unwrap_err(), Error::Malformed);
+        assert_eq!(GtpuRepr::parse(&wire[..4]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn trailing_bytes_ignored() {
+        let mut wire = GtpuRepr::encapsulate(7, b"inner").unwrap();
+        wire.extend_from_slice(&[0xFF; 3]);
+        let (_, payload) = GtpuRepr::parse(&wire).unwrap();
+        assert_eq!(payload, b"inner");
+    }
+}

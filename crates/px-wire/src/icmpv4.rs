@@ -1,0 +1,205 @@
+//! ICMPv4 messages (RFC 792): echo request/reply and the
+//! destination-unreachable family — in particular *fragmentation needed*
+//! (type 3, code 4) with the next-hop MTU field from RFC 1191, which
+//! classic PMTUD depends on and whose suppression ("ICMP blackholes") is
+//! exactly what motivates F-PMTUD.
+
+use crate::checksum;
+use crate::error::{Error, Result};
+
+/// Minimum ICMP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A decoded ICMPv4 message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Icmpv4Message {
+    /// Echo request (type 8): identifier, sequence, payload.
+    EchoRequest {
+        /// Echo identifier.
+        ident: u16,
+        /// Echo sequence number.
+        seq: u16,
+        /// Echo payload.
+        payload: Vec<u8>,
+    },
+    /// Echo reply (type 0): identifier, sequence, payload.
+    EchoReply {
+        /// Echo identifier.
+        ident: u16,
+        /// Echo sequence number.
+        seq: u16,
+        /// Echo payload.
+        payload: Vec<u8>,
+    },
+    /// Destination unreachable — fragmentation needed and DF set
+    /// (type 3, code 4) with the RFC 1191 next-hop MTU, plus the leading
+    /// bytes of the offending packet (IP header + 8).
+    FragNeeded {
+        /// MTU of the next hop that could not forward the packet.
+        next_hop_mtu: u16,
+        /// Original IP header + first 8 payload bytes of the dropped packet.
+        original: Vec<u8>,
+    },
+    /// Destination unreachable with another code.
+    Unreachable {
+        /// The unreachable code (0 = net, 1 = host, 3 = port, …).
+        code: u8,
+        /// Original IP header + first 8 payload bytes.
+        original: Vec<u8>,
+    },
+    /// Time exceeded (type 11), as emitted when TTL hits zero.
+    TimeExceeded {
+        /// Code (0 = TTL exceeded in transit, 1 = reassembly timeout).
+        code: u8,
+        /// Original IP header + first 8 payload bytes.
+        original: Vec<u8>,
+    },
+}
+
+impl Icmpv4Message {
+    /// Parses an ICMP message from the IP payload, verifying the checksum.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if checksum::ones_complement_sum(data) != 0xFFFF {
+            return Err(Error::Checksum);
+        }
+        let ty = data[0];
+        let code = data[1];
+        match (ty, code) {
+            (8, 0) | (0, 0) => {
+                let ident = u16::from_be_bytes([data[4], data[5]]);
+                let seq = u16::from_be_bytes([data[6], data[7]]);
+                let payload = data[8..].to_vec();
+                if ty == 8 {
+                    Ok(Icmpv4Message::EchoRequest { ident, seq, payload })
+                } else {
+                    Ok(Icmpv4Message::EchoReply { ident, seq, payload })
+                }
+            }
+            (3, 4) => Ok(Icmpv4Message::FragNeeded {
+                next_hop_mtu: u16::from_be_bytes([data[6], data[7]]),
+                original: data[8..].to_vec(),
+            }),
+            (3, c) => Ok(Icmpv4Message::Unreachable {
+                code: c,
+                original: data[8..].to_vec(),
+            }),
+            (11, c) => Ok(Icmpv4Message::TimeExceeded {
+                code: c,
+                original: data[8..].to_vec(),
+            }),
+            _ => Err(Error::Unsupported),
+        }
+    }
+
+    /// Serializes the message (with checksum) as an IP payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; HEADER_LEN];
+        match self {
+            Icmpv4Message::EchoRequest { ident, seq, payload }
+            | Icmpv4Message::EchoReply { ident, seq, payload } => {
+                out[0] = if matches!(self, Icmpv4Message::EchoRequest { .. }) { 8 } else { 0 };
+                out[4..6].copy_from_slice(&ident.to_be_bytes());
+                out[6..8].copy_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(payload);
+            }
+            Icmpv4Message::FragNeeded { next_hop_mtu, original } => {
+                out[0] = 3;
+                out[1] = 4;
+                out[6..8].copy_from_slice(&next_hop_mtu.to_be_bytes());
+                out.extend_from_slice(original);
+            }
+            Icmpv4Message::Unreachable { code, original } => {
+                out[0] = 3;
+                out[1] = *code;
+                out.extend_from_slice(original);
+            }
+            Icmpv4Message::TimeExceeded { code, original } => {
+                out[0] = 11;
+                out[1] = *code;
+                out.extend_from_slice(original);
+            }
+        }
+        let ck = checksum::checksum(&out);
+        out[2..4].copy_from_slice(&ck.to_be_bytes());
+        out
+    }
+
+    /// Builds the "original datagram" excerpt RFC 792 requires: the full
+    /// IP header plus the first 8 bytes of its payload.
+    pub fn excerpt_of(ip_packet: &[u8]) -> Vec<u8> {
+        let hlen = if ip_packet.len() >= 1 {
+            usize::from(ip_packet[0] & 0x0F) * 4
+        } else {
+            0
+        };
+        let take = (hlen + 8).min(ip_packet.len());
+        ip_packet[..take].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let msg = Icmpv4Message::EchoRequest {
+            ident: 0x4242,
+            seq: 7,
+            payload: b"abcdefgh".to_vec(),
+        };
+        let bytes = msg.to_bytes();
+        assert_eq!(Icmpv4Message::parse(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn frag_needed_roundtrip_with_mtu() {
+        let msg = Icmpv4Message::FragNeeded {
+            next_hop_mtu: 1492,
+            original: vec![0x45, 0, 0, 40],
+        };
+        let bytes = msg.to_bytes();
+        match Icmpv4Message::parse(&bytes).unwrap() {
+            Icmpv4Message::FragNeeded { next_hop_mtu, original } => {
+                assert_eq!(next_hop_mtu, 1492);
+                assert_eq!(original, vec![0x45, 0, 0, 40]);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_enforced() {
+        let mut bytes = Icmpv4Message::EchoReply { ident: 1, seq: 2, payload: vec![] }.to_bytes();
+        bytes[4] ^= 0xFF;
+        assert_eq!(Icmpv4Message::parse(&bytes).unwrap_err(), Error::Checksum);
+    }
+
+    #[test]
+    fn unknown_type_unsupported() {
+        let mut bytes = vec![99u8, 0, 0, 0, 0, 0, 0, 0];
+        let ck = checksum::checksum(&bytes);
+        bytes[2..4].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(Icmpv4Message::parse(&bytes).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn excerpt_is_header_plus_8() {
+        let mut ip = vec![0x45u8; 20];
+        ip.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        let ex = Icmpv4Message::excerpt_of(&ip);
+        assert_eq!(ex.len(), 28);
+        assert_eq!(&ex[20..], &[1, 2, 3, 4, 5, 6, 7, 8]);
+        // Short packets are taken whole.
+        assert_eq!(Icmpv4Message::excerpt_of(&[0x45, 1, 2]).len(), 3);
+    }
+
+    #[test]
+    fn time_exceeded_roundtrip() {
+        let msg = Icmpv4Message::TimeExceeded { code: 0, original: vec![0x45; 28] };
+        assert_eq!(Icmpv4Message::parse(&msg.to_bytes()).unwrap(), msg);
+    }
+}

@@ -1,0 +1,213 @@
+//! UDP datagrams (RFC 768).
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use crate::flow::IpProtocol;
+use std::net::Ipv4Addr;
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A typed view over a UDP datagram (header + payload, no IP header).
+#[derive(Debug, Clone)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        UdpDatagram { buffer }
+    }
+
+    /// Wraps a buffer, validating the length field against the buffer.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let dg = UdpDatagram { buffer };
+        let b = dg.buffer.as_ref();
+        if b.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let len = dg.length();
+        if len < HEADER_LEN || len > b.len() {
+            return Err(Error::Malformed);
+        }
+        Ok(dg)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// The length field (header + payload).
+    pub fn length(&self) -> usize {
+        let b = self.buffer.as_ref();
+        usize::from(u16::from_be_bytes([b[4], b[5]]))
+    }
+
+    /// The checksum field.
+    pub fn checksum_field(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]])
+    }
+
+    /// The payload (respects the length field).
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..self.length()]
+    }
+
+    /// Verifies the checksum (a zero field means "no checksum" and passes,
+    /// per RFC 768).
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        if self.checksum_field() == 0 {
+            return true;
+        }
+        let b = &self.buffer.as_ref()[..self.length()];
+        let pseudo =
+            checksum::pseudo_header_sum(src, dst, IpProtocol::Udp.into(), b.len() as u16);
+        checksum::combine(pseudo, checksum::ones_complement_sum(b)) == 0xFFFF
+    }
+
+    /// Releases the inner buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the length field.
+    pub fn set_length(&mut self, len: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Zeroes, computes, and writes the checksum (0 results are emitted as
+    /// 0xFFFF per RFC 768).
+    pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        let len = self.length();
+        let b = self.buffer.as_mut();
+        b[6..8].copy_from_slice(&[0, 0]);
+        let mut ck = checksum::transport_checksum(src, dst, IpProtocol::Udp.into(), &b[..len]);
+        if ck == 0 {
+            ck = 0xFFFF;
+        }
+        b[6..8].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+/// A parsed, plain-Rust UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+impl UdpRepr {
+    /// Parses a datagram view into a repr.
+    pub fn parse<T: AsRef<[u8]>>(dg: &UdpDatagram<T>) -> Result<Self> {
+        Ok(UdpRepr {
+            src_port: dg.src_port(),
+            dst_port: dg.dst_port(),
+        })
+    }
+
+    /// Builds a complete datagram with a valid checksum.
+    pub fn build_datagram(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) -> Result<Vec<u8>> {
+        let total = HEADER_LEN + payload.len();
+        if total > usize::from(u16::MAX) {
+            return Err(Error::FieldRange);
+        }
+        let mut buf = vec![0u8; total];
+        buf[HEADER_LEN..].copy_from_slice(payload);
+        let mut dg = UdpDatagram::new_unchecked(&mut buf[..]);
+        dg.set_src_port(self.src_port);
+        dg.set_dst_port(self.dst_port);
+        dg.set_length(total as u16);
+        dg.fill_checksum(src, dst);
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 2);
+
+    #[test]
+    fn build_parse_roundtrip() {
+        let repr = UdpRepr { src_port: 5353, dst_port: 53 };
+        let buf = repr.build_datagram(SRC, DST, b"query").unwrap();
+        let dg = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(dg.verify_checksum(SRC, DST));
+        assert_eq!(UdpRepr::parse(&dg).unwrap(), repr);
+        assert_eq!(dg.payload(), b"query");
+        assert_eq!(dg.length(), 13);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let mut buf = repr.build_datagram(SRC, DST, b"payload").unwrap();
+        buf[10] ^= 0xFF;
+        let dg = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(!dg.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn zero_checksum_means_disabled() {
+        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let mut buf = repr.build_datagram(SRC, DST, b"x").unwrap();
+        buf[6..8].copy_from_slice(&[0, 0]);
+        let dg = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(dg.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn length_field_validation() {
+        assert_eq!(
+            UdpDatagram::new_checked(&[0u8; 7][..]).unwrap_err(),
+            Error::Truncated
+        );
+        let mut buf = vec![0u8; 12];
+        buf[4..6].copy_from_slice(&20u16.to_be_bytes()); // longer than buffer
+        assert_eq!(UdpDatagram::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        buf[4..6].copy_from_slice(&4u16.to_be_bytes()); // shorter than header
+        assert_eq!(UdpDatagram::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn trailing_bytes_ignored_by_payload() {
+        let repr = UdpRepr { src_port: 9, dst_port: 10 };
+        let mut buf = repr.build_datagram(SRC, DST, b"ab").unwrap();
+        buf.extend_from_slice(&[0xCC; 5]);
+        let dg = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(dg.payload(), b"ab");
+    }
+
+    #[test]
+    fn oversize_payload_rejected() {
+        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let big = vec![0u8; 65536];
+        assert_eq!(repr.build_datagram(SRC, DST, &big).unwrap_err(), Error::FieldRange);
+    }
+}

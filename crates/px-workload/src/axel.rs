@@ -1,0 +1,142 @@
+//! Table 1: server CPU — one 9 KB-MTU connection vs. six parallel
+//! 1500 B-MTU connections per download session (`axel`-style).
+//!
+//! Both configurations deliver the same per-session goodput; the paper
+//! measures the server's CPU as the number of concurrent sessions grows
+//! and finds parallel connections cost 2.88× more cycles at 100 sessions.
+//!
+//! Model: `CPU% = min(100, base + S · session_cycles / capacity)`.
+//!
+//! `session_cycles` is mechanistic ([`crate::cpuacct`]): per-byte DMA,
+//! per-TSO-unit protocol work, per-wire-packet NIC work, per-ACK
+//! processing — all of which the 1500 B/6-connection configuration pays
+//! ≈6× more often per byte. On top of that, parallel connections carry a
+//! **per-extra-connection overhead** (scheduler wakeups, socket cache
+//! footprint, range-request bookkeeping) that the mechanistic terms do
+//! not capture; its value is the single fitted constant in this module,
+//! calibrated against Table 1 (see `MULTI_CONN_CYCLES`). The `base` term
+//! is the measurement harness' idle/polling floor, also read off the
+//! table.
+
+use crate::cpuacct::{tx_cycles_per_sec, TxConfig};
+use px_sim::calib;
+
+/// Idle/polling CPU floor of the measured server, percent (Table 1's
+/// 1-session rows sit just above it).
+pub const BASE_PCT: f64 = 19.6;
+
+/// Per-session goodput both configurations deliver (bits/sec).
+pub const SESSION_BPS: f64 = 2e9;
+
+/// The measured server's capacity: 16 cores at the calibrated clock.
+pub const SERVER_CORES: f64 = 16.0;
+
+/// Fitted per-additional-connection cost (cycles/sec at [`SESSION_BPS`]):
+/// scheduling, socket cache footprint, and HTTP range-request bookkeeping
+/// of the parallel-download pattern. The one free parameter of this
+/// model, calibrated so the 6-connection column of Table 1 reproduces.
+pub const MULTI_CONN_CYCLES: f64 = 117.0e6;
+
+/// One download-session configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AxelConfig {
+    /// TCP connections per session (axel -n).
+    pub conns: usize,
+    /// Wire MTU of the session's path.
+    pub mtu: usize,
+}
+
+impl AxelConfig {
+    /// The paper's single-connection jumbo configuration.
+    pub fn single_jumbo() -> Self {
+        AxelConfig { conns: 1, mtu: 9000 }
+    }
+
+    /// The paper's 6-connection legacy configuration.
+    pub fn six_legacy() -> Self {
+        AxelConfig { conns: 6, mtu: 1500 }
+    }
+}
+
+/// Cycles/sec one session costs the server.
+pub fn session_cycles_per_sec(cfg: &AxelConfig) -> f64 {
+    let m = calib::endpoint_model();
+    let per_conn_bps = SESSION_BPS / cfg.conns as f64;
+    let mech: f64 = cfg.conns as f64
+        * tx_cycles_per_sec(&m, &TxConfig { bps: per_conn_bps, mtu: cfg.mtu, tso: true });
+    let extra = MULTI_CONN_CYCLES * (cfg.conns.saturating_sub(1)) as f64;
+    mech + extra
+}
+
+/// Server CPU percentage with `sessions` concurrent sessions.
+pub fn axel_cpu_pct(cfg: &AxelConfig, sessions: usize) -> f64 {
+    let capacity = SERVER_CORES * calib::FREQ_HZ;
+    let pct = BASE_PCT + 100.0 * sessions as f64 * session_cycles_per_sec(cfg) / capacity;
+    pct.min(100.0)
+}
+
+/// The whole of Table 1: rows are session counts, columns the two
+/// configurations.
+pub fn table1(sessions: &[usize]) -> Vec<(usize, f64, f64)> {
+    sessions
+        .iter()
+        .map(|&s| {
+            (
+                s,
+                axel_cpu_pct(&AxelConfig::single_jumbo(), s),
+                axel_cpu_pct(&AxelConfig::six_legacy(), s),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table 1:
+    /// | sessions | 1 conn (9000B) | 6 conn (1500B) |
+    /// |    1     |     20.20%     |     19.52%     |
+    /// |   10     |     22.12%     |     34.53%     |
+    /// |  100     |     34.72%     |    100.00%     |
+    #[test]
+    fn reproduces_table1_shape() {
+        let t = table1(&[1, 10, 100]);
+        let (s1, j1, l1) = t[0];
+        let (_, j10, l10) = t[1];
+        let (_, j100, l100) = t[2];
+        assert_eq!(s1, 1);
+        // 1 session: both within a few points of each other and of ~20%.
+        assert!((j1 - 20.2).abs() < 2.0, "jumbo@1 {j1}");
+        assert!((l1 - 19.52).abs() < 2.5, "legacy@1 {l1}");
+        // 10 sessions: parallel connections pull ahead.
+        assert!((j10 - 22.12).abs() < 2.0, "jumbo@10 {j10}");
+        assert!((l10 - 34.53).abs() < 3.0, "legacy@10 {l10}");
+        // 100 sessions: parallel saturates; jumbo stays around a third.
+        assert!((j100 - 34.72).abs() < 3.0, "jumbo@100 {j100}");
+        assert_eq!(l100, 100.0, "legacy@100 saturates");
+        // The headline: ≈2.88× more CPU at 100 sessions.
+        let ratio = l100 / j100;
+        assert!((ratio - 2.88).abs() < 0.35, "ratio {ratio}");
+    }
+
+    #[test]
+    fn monotone_in_sessions_and_conns() {
+        let jumbo = AxelConfig::single_jumbo();
+        assert!(axel_cpu_pct(&jumbo, 1) < axel_cpu_pct(&jumbo, 50));
+        let more_conns = AxelConfig { conns: 12, mtu: 1500 };
+        assert!(
+            session_cycles_per_sec(&AxelConfig::six_legacy())
+                < session_cycles_per_sec(&more_conns)
+        );
+    }
+
+    #[test]
+    fn jumbo_single_conn_is_cheapest_per_session() {
+        let jumbo = session_cycles_per_sec(&AxelConfig::single_jumbo());
+        let legacy1 = session_cycles_per_sec(&AxelConfig { conns: 1, mtu: 1500 });
+        let legacy6 = session_cycles_per_sec(&AxelConfig::six_legacy());
+        assert!(jumbo < legacy1, "even one legacy conn pays more per-packet work");
+        assert!(legacy1 < legacy6);
+    }
+}

@@ -1,0 +1,84 @@
+//! Endpoint transmit-side CPU accounting.
+//!
+//! The receive side is covered by [`px_sim::nic::rx_saturation_bps`];
+//! this module prices the *transmit* path, which Table 1 and the "large
+//! MTU reduces the CPU cycles for both endpoints" claim of §2.2 depend
+//! on. Components, per second, for a connection sending `bps`:
+//!
+//! * per byte: DMA touch (sendfile-style zero-copy transmit — the server
+//!   serves a static file);
+//! * per TSO super-segment (64 KB): one protocol traversal + descriptor;
+//! * per wire packet: irreducible NIC work — **this is the term a large
+//!   MTU shrinks** (6× fewer packets at 9000 B);
+//! * per received ACK: header parse + state update — also 6× fewer with
+//!   jumbo segments, because ACKs are per-2-segments.
+
+use px_sim::cpu::CostModel;
+
+/// Transmit-side accounting inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct TxConfig {
+    /// Goodput in bits/sec.
+    pub bps: f64,
+    /// Wire MTU.
+    pub mtu: usize,
+    /// TSO enabled (64 KB super-segments).
+    pub tso: bool,
+}
+
+/// Cycles per second the transmit path of one connection consumes.
+pub fn tx_cycles_per_sec(m: &CostModel, cfg: &TxConfig) -> f64 {
+    let bytes_per_sec = cfg.bps / 8.0;
+    let mss = (cfg.mtu - 40) as f64;
+    let wire_pps = bytes_per_sec / mss;
+    let unit = if cfg.tso { 65536.0 } else { mss };
+    let units_per_sec = bytes_per_sec / unit;
+    let acks_per_sec = wire_pps / 2.0;
+    // Zero-copy transmit: the payload is DMA-touched once (~0.15 of the
+    // full per-byte constant, which includes the copy the RX path pays).
+    let tx_per_byte = 0.4 * m.per_byte;
+    bytes_per_sec * tx_per_byte
+        + units_per_sec * (m.proto_unit + m.descriptor)
+        + wire_pps * m.wire_pkt
+        + acks_per_sec * ack_cycles(m)
+}
+
+/// Cycles to process one incoming pure ACK (parse + cumulative-ack state
+/// update + descriptor).
+pub fn ack_cycles(m: &CostModel) -> f64 {
+    m.descriptor + 0.3 * m.proto_unit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use px_sim::calib;
+
+    #[test]
+    fn jumbo_mtu_cuts_tx_cycles() {
+        let m = calib::endpoint_model();
+        let legacy = tx_cycles_per_sec(&m, &TxConfig { bps: 2e9, mtu: 1500, tso: true });
+        let jumbo = tx_cycles_per_sec(&m, &TxConfig { bps: 2e9, mtu: 9000, tso: true });
+        assert!(jumbo < legacy, "jumbo {jumbo} vs legacy {legacy}");
+        // The per-packet + per-ack terms shrink ~6×; per-byte is equal, so
+        // the total improves but less than 6×.
+        let ratio = legacy / jumbo;
+        assert!(ratio > 1.2 && ratio < 6.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn tso_cuts_protocol_traversals() {
+        let m = calib::endpoint_model();
+        let tso = tx_cycles_per_sec(&m, &TxConfig { bps: 2e9, mtu: 1500, tso: true });
+        let no_tso = tx_cycles_per_sec(&m, &TxConfig { bps: 2e9, mtu: 1500, tso: false });
+        assert!(tso < no_tso);
+    }
+
+    #[test]
+    fn cycles_scale_linearly_with_rate() {
+        let m = calib::endpoint_model();
+        let one = tx_cycles_per_sec(&m, &TxConfig { bps: 1e9, mtu: 1500, tso: true });
+        let two = tx_cycles_per_sec(&m, &TxConfig { bps: 2e9, mtu: 1500, tso: true });
+        assert!((two / one - 2.0).abs() < 1e-9);
+    }
+}

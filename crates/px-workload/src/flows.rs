@@ -1,0 +1,129 @@
+//! Flow-size distributions.
+//!
+//! §2.2: "the majority of flows in the WAN are short-lived, which implies
+//! that only a fraction of the flows require very high bandwidth". The
+//! steering experiments need such a mix: many mice, few elephants, with
+//! the elephants carrying most of the bytes. We use a bounded Pareto
+//! (the standard heavy-tail model for flow sizes) plus a convenience
+//! mice/elephant mixture.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A flow-size distribution.
+#[derive(Debug, Clone, Copy)]
+pub enum FlowSizeDist {
+    /// Every flow is exactly this many bytes.
+    Fixed(u64),
+    /// Bounded Pareto with shape `alpha` on `[min, max]`.
+    BoundedPareto {
+        /// Tail index (1.1–1.3 is typical for WAN flow sizes).
+        alpha: f64,
+        /// Smallest flow, bytes.
+        min: u64,
+        /// Largest flow, bytes.
+        max: u64,
+    },
+    /// A mice/elephants mixture: with probability `mice_frac` a uniform
+    /// mouse in `[2 KB, 64 KB]`, otherwise a uniform elephant in
+    /// `[1 MB, 100 MB]`.
+    MiceElephants {
+        /// Fraction of flows that are mice.
+        mice_frac: f64,
+    },
+}
+
+impl FlowSizeDist {
+    /// Samples one flow size.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        match *self {
+            FlowSizeDist::Fixed(n) => n,
+            FlowSizeDist::BoundedPareto { alpha, min, max } => {
+                // Inverse-CDF sampling of the bounded Pareto.
+                let (l, h) = (min as f64, max as f64);
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let la = l.powf(alpha);
+                let ha = h.powf(alpha);
+                let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha);
+                (x as u64).clamp(min, max)
+            }
+            FlowSizeDist::MiceElephants { mice_frac } => {
+                if rng.gen::<f64>() < mice_frac {
+                    rng.gen_range(2_048..=65_536)
+                } else {
+                    rng.gen_range(1_000_000..=100_000_000)
+                }
+            }
+        }
+    }
+
+    /// Samples `n` flows.
+    pub fn sample_n(&self, rng: &mut SmallRng, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Summary of a sampled flow population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowMixSummary {
+    /// Number of flows.
+    pub flows: usize,
+    /// Total bytes.
+    pub total_bytes: u64,
+    /// Fraction of flows smaller than 100 KB.
+    pub mice_fraction: f64,
+    /// Fraction of bytes carried by the largest 10% of flows.
+    pub top_decile_byte_share: f64,
+}
+
+/// Summarises a flow-size sample.
+pub fn summarize(sizes: &[u64]) -> FlowMixSummary {
+    let mut sorted = sizes.to_vec();
+    sorted.sort_unstable();
+    let total: u64 = sorted.iter().sum();
+    let mice = sorted.iter().filter(|&&s| s < 100_000).count();
+    let top_n = (sorted.len() / 10).max(1);
+    let top_bytes: u64 = sorted.iter().rev().take(top_n).sum();
+    FlowMixSummary {
+        flows: sizes.len(),
+        total_bytes: total,
+        mice_fraction: mice as f64 / sizes.len().max(1) as f64,
+        top_decile_byte_share: top_bytes as f64 / total.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounded_pareto_respects_bounds_and_tail() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = FlowSizeDist::BoundedPareto { alpha: 1.2, min: 1_000, max: 1_000_000_000 };
+        let sizes = d.sample_n(&mut rng, 20_000);
+        assert!(sizes.iter().all(|&s| (1_000..=1_000_000_000).contains(&s)));
+        let s = summarize(&sizes);
+        // Heavy tail: top 10% of flows carry the majority of bytes.
+        assert!(s.top_decile_byte_share > 0.5, "share {}", s.top_decile_byte_share);
+        // Most flows are small.
+        assert!(s.mice_fraction > 0.5, "mice {}", s.mice_fraction);
+    }
+
+    #[test]
+    fn mice_elephants_mixture_fraction() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = FlowSizeDist::MiceElephants { mice_frac: 0.9 };
+        let sizes = d.sample_n(&mut rng, 10_000);
+        let s = summarize(&sizes);
+        assert!((s.mice_fraction - 0.9).abs() < 0.02);
+        assert!(s.top_decile_byte_share > 0.9);
+    }
+
+    #[test]
+    fn fixed_is_fixed() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let d = FlowSizeDist::Fixed(12345);
+        assert!(d.sample_n(&mut rng, 100).iter().all(|&s| s == 12345));
+    }
+}

@@ -1,0 +1,26 @@
+//! # px-workload — workload generation and CPU accounting
+//!
+//! The traffic and measurement side of the evaluation:
+//!
+//! * [`iperf`] — builders that stand up N bidirectional iPerf-style
+//!   TCP/UDP flows between simulated host pairs (the 800-flow workload
+//!   of §5) and harvest their statistics;
+//! * [`flows`] — flow-size distributions (heavy-tailed mice/elephants)
+//!   for the steering experiments;
+//! * [`axel`] — the Table 1 comparison: server-side CPU of one jumbo-MTU
+//!   connection vs. six parallel legacy-MTU connections per download
+//!   session (what the `axel` download accelerator does);
+//! * [`cpuacct`] — endpoint transmit-side CPU accounting on the
+//!   calibrated cost model.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod axel;
+pub mod cpuacct;
+pub mod flows;
+pub mod iperf;
+
+pub use axel::{axel_cpu_pct, AxelConfig};
+pub use flows::FlowSizeDist;
+pub use iperf::{IperfPair, IperfReport};

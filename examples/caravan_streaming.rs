@@ -1,0 +1,79 @@
+//! PX-caravan: a QUIC-like UDP media stream crossing into a b-network.
+//!
+//! UDP datagrams cannot be merged transparently — the receiver
+//! application depends on datagram boundaries. PX-caravan tunnels whole
+//! datagrams inside one jumbo outer packet instead; the (modified)
+//! receiver stack unbundles them, so the application sees exactly the
+//! datagrams the sender emitted, while every switch and NIC in the
+//! b-network handled 6× fewer packets.
+//!
+//! Run with: `cargo run --release --example caravan_streaming`
+
+use packet_express::core::gateway::{GatewayConfig, PxGateway, EXTERNAL_PORT, INTERNAL_PORT};
+use packet_express::sim::link::LinkConfig;
+use packet_express::sim::network::Network;
+use packet_express::sim::node::PortId;
+use packet_express::sim::Nanos;
+use packet_express::tcp::host::{Host, HostConfig, UdpFlowCfg};
+use packet_express::tcp::udp::UdpSocket;
+use std::net::Ipv4Addr;
+
+const STREAMER: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 7); // legacy CDN edge
+const VIEWER: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 9); // inside the b-network
+
+fn main() {
+    let mut net = Network::new(21);
+    let cdn = net.add_node(Host::new(HostConfig::new(STREAMER, 1500)));
+    let gw = net.add_node(PxGateway::new(GatewayConfig { steer: None, ..Default::default() }));
+    let mut viewer_cfg = HostConfig::new(VIEWER, 9000);
+    viewer_cfg.caravan_rx = true; // the paper's modified receiver stack
+    let viewer = net.add_node(Host::new(viewer_cfg));
+
+    net.connect(
+        (cdn, PortId(0)),
+        (gw, EXTERNAL_PORT),
+        LinkConfig::new(10_000_000_000, Nanos::from_micros(200), 1500),
+    );
+    net.connect(
+        (gw, INTERNAL_PORT),
+        (viewer, PortId(0)),
+        LinkConfig::new(10_000_000_000, Nanos::from_micros(50), 9000),
+    );
+
+    // A 300 Mbps "8K video" stream of 1172-byte datagrams (a QUIC-like
+    // payload size), for two seconds.
+    net.node_mut::<Host>(viewer).udp_bind(UdpSocket::bind(4433).recording());
+    net.node_mut::<Host>(cdn).add_udp_flow(UdpFlowCfg {
+        local_port: 7000,
+        dst: VIEWER,
+        dst_port: 4433,
+        rate_bps: 300_000_000,
+        payload: 1172,
+        start_ns: 0,
+        stop_ns: Nanos::from_secs(2).0,
+    });
+
+    net.run_until(Nanos::from_secs(3));
+
+    let gwn = net.node_ref::<PxGateway>(gw);
+    let sock = net.node_ref::<Host>(viewer).udp_socket(4433).unwrap();
+
+    println!("── PX-caravan streaming ──────────────────────────────────");
+    println!("datagrams sent      : {}", net.node_ref::<Host>(cdn).udp_socket(7000).unwrap().stats.sent);
+    println!("caravans built      : {}", gwn.caravan.stats.caravans_out);
+    println!("datagrams bundled   : {}", gwn.caravan.stats.bundled);
+    println!("bundles unbundled   : {} (at the viewer's UDP_GRO path)", sock.stats.bundles);
+    println!("datagrams delivered : {}", sock.stats.datagrams);
+    println!("malformed           : {}", sock.stats.malformed);
+    let intact = sock.received.iter().all(|p| p.len() == 1172);
+    println!("boundaries intact   : {intact}");
+    println!(
+        "packets on b-net wire: {} (vs {} legacy) → {:.1}x fewer",
+        gwn.caravan.stats.caravans_out + gwn.caravan.stats.passthrough,
+        gwn.caravan.stats.pkts_in,
+        gwn.caravan.stats.pkts_in as f64
+            / (gwn.caravan.stats.caravans_out + gwn.caravan.stats.passthrough).max(1) as f64
+    );
+    assert!(intact && sock.stats.malformed == 0);
+    println!("\nOK — every datagram arrived individually, boundaries preserved.");
+}

@@ -1,0 +1,40 @@
+//! The Fig. 5a experiment in miniature: PXGW forwarding throughput and
+//! conversion yield across core counts, for the DPDK-GRO baseline, PX,
+//! and PX with header-only DMA.
+//!
+//! The trace is real packets (800 TCP flows, bursty arrivals), the RSS
+//! sharding is a real Toeplitz hash, and the merge engines are the real
+//! PXGW code; only CPU cycles and the memory bus are modelled (see
+//! px-sim::calib for the calibration).
+//!
+//! Run with: `cargo run --release --example gateway_pipeline`
+
+use packet_express::core::pipeline::{
+    run_pipeline, PipelineConfig, SystemVariant, WorkloadKind,
+};
+
+fn main() {
+    println!("── PXGW datapath: throughput / conversion yield ──────────");
+    println!("  system          | cores | throughput  |  CY   | bound");
+    println!("  ----------------+-------+-------------+-------+------");
+    for (label, variant) in [
+        ("baseline-GRO", SystemVariant::BaselineGro),
+        ("PX", SystemVariant::Px),
+        ("PX+header-only", SystemVariant::PxHeaderOnly),
+    ] {
+        for cores in [1usize, 2, 4, 8] {
+            let mut cfg = PipelineConfig::fig5(variant, WorkloadKind::Tcp, cores);
+            cfg.trace_pkts = 60_000;
+            let rep = run_pipeline(cfg);
+            println!(
+                "  {:15} | {:5} | {:8.2} Gbps | {:4.1}% | {}",
+                label,
+                cores,
+                rep.throughput_bps / 1e9,
+                100.0 * rep.conversion_yield,
+                if rep.membus_bound_bps < rep.cpu_bound_bps { "mem" } else { "cpu" },
+            );
+        }
+    }
+    println!("\npaper @8 cores: baseline 167 Gbps/76% · PX 1.09 Tbps/93% · PX+hdr 1.45 Tbps/94%");
+}

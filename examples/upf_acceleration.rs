@@ -1,0 +1,27 @@
+//! Fig. 1a live: how much faster does a 5G UPF run with jumbo frames?
+//!
+//! The UPF datapath (GTP-U decap, PDR/FAR/QER lookups, counters) never
+//! touches payload bytes, so its single-core throughput scales almost
+//! linearly with packet size — the paper's strongest middlebox argument
+//! for larger MTUs.
+//!
+//! Run with: `cargo run --release --example upf_acceleration`
+
+use packet_express::upf::upf_throughput_bps;
+
+fn main() {
+    println!("── 5G UPF single-core throughput vs MTU (800 sessions) ───");
+    println!("  MTU (B) | throughput | speedup");
+    println!("  --------+------------+--------");
+    let base = upf_throughput_bps(1500, 800, 60_000);
+    for mtu in [1500usize, 2500, 4500, 6000, 7500, 9000] {
+        let tp = upf_throughput_bps(mtu, 800, 60_000);
+        println!(
+            "  {:7} | {:7.1} Gbps | {:.2}x",
+            mtu,
+            tp / 1e9,
+            tp / base
+        );
+    }
+    println!("\npaper: 208 Gbps at 9000 B — 5.6x over the legacy MTU (Fig. 1a)");
+}

@@ -1,0 +1,142 @@
+//! §4.2 "Explicit iMTU advertisement": two adjacent b-networks exchange
+//! iMTU adverts through their PXGWs and then forward jumbo traffic across
+//! the border *untranslated* — extending the large-MTU path segment.
+
+use packet_express::core::advert::BorderPolicy;
+use packet_express::core::gateway::{GatewayConfig, PxGateway, EXTERNAL_PORT, INTERNAL_PORT};
+use packet_express::sim::link::LinkConfig;
+use packet_express::sim::network::Network;
+use packet_express::sim::node::{NodeId, PortId};
+use packet_express::sim::Nanos;
+use packet_express::tcp::conn::ConnConfig;
+use packet_express::tcp::host::{Host, HostConfig};
+use std::net::Ipv4Addr;
+
+const A: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 1); // b-network 1
+const B: Ipv4Addr = Ipv4Addr::new(10, 2, 0, 1); // b-network 2
+
+/// host A (9000) — gw1 — [border link] — gw2 — host B (9000).
+fn peering_topo(asn: bool, border_mtu: usize) -> (Network, NodeId, NodeId, NodeId, NodeId) {
+    let mut net = Network::new(31);
+    let host_a = net.add_node(Host::new(HostConfig::new(A, 9000)));
+    let gw_cfg = |asn_v: Option<u32>| GatewayConfig {
+        steer: None,
+        asn: asn_v,
+        advert_interval_ns: 100_000_000, // fast refresh for the test
+        ..Default::default()
+    };
+    let gw1 = net.add_node(PxGateway::new(gw_cfg(asn.then_some(64512))));
+    let gw2 = net.add_node(PxGateway::new(gw_cfg(asn.then_some(64513))));
+    let host_b = net.add_node(Host::new(HostConfig::new(B, 9000)));
+    net.connect(
+        (host_a, PortId(0)),
+        (gw1, INTERNAL_PORT),
+        LinkConfig::new(40_000_000_000, Nanos::from_micros(20), 9000),
+    );
+    net.connect(
+        (gw1, EXTERNAL_PORT),
+        (gw2, EXTERNAL_PORT),
+        LinkConfig::new(40_000_000_000, Nanos::from_micros(500), border_mtu),
+    );
+    net.connect(
+        (gw2, INTERNAL_PORT),
+        (host_b, PortId(0)),
+        LinkConfig::new(40_000_000_000, Nanos::from_micros(20), 9000),
+    );
+    (net, host_a, gw1, gw2, host_b)
+}
+
+fn run_transfer(net: &mut Network, host_a: NodeId, host_b: NodeId, total: u64) {
+    net.node_mut::<Host>(host_b)
+        .listen(80, ConnConfig::new((B, 80), (A, 0), 9000));
+    net.node_mut::<Host>(host_a).connect_at(
+        1_000_000, // after the first adverts
+        ConnConfig::new((A, 40000), (B, 80), 9000).sending(total),
+        Some(Nanos::from_secs(20).0),
+    );
+    net.run_until(Nanos::from_secs(10));
+}
+
+#[test]
+fn adverts_establish_passthrough_and_jumbos_cross_untouched() {
+    let (mut net, host_a, gw1, gw2, host_b) = peering_topo(true, 9000);
+    run_transfer(&mut net, host_a, host_b, 3_000_000);
+    // Both gateways learned each other.
+    let now = net.now().0;
+    let g1 = net.node_ref::<PxGateway>(gw1);
+    let g2 = net.node_ref::<PxGateway>(gw2);
+    assert_eq!(g1.neighbor_asn, Some(64513));
+    assert_eq!(g2.neighbor_asn, Some(64512));
+    assert!(matches!(g1.border_policy(now), BorderPolicy::PassThrough { up_to: 9000 }));
+    // Jumbo segments crossed the border without splitting.
+    assert!(g1.passthrough_out > 0, "jumbos crossed untranslated");
+    assert_eq!(g1.split.stats.split, 0, "nothing was split at gw1");
+    // And delivery is intact.
+    let st = &net.node_ref::<Host>(host_b).tcp_stats()[0];
+    assert_eq!(st.bytes_received, 3_000_000);
+    assert_eq!(st.integrity_errors, 0);
+    // MSS negotiation never needed rewriting: both ends are jumbo.
+    assert_eq!(st.effective_mss, 8960);
+}
+
+#[test]
+fn without_adverts_the_border_translates() {
+    let (mut net, host_a, gw1, _gw2, host_b) = peering_topo(false, 1500);
+    run_transfer(&mut net, host_a, host_b, 2_000_000);
+    let g1 = net.node_ref::<PxGateway>(gw1);
+    assert_eq!(g1.neighbor_asn, None);
+    assert!(matches!(g1.border_policy(net.now().0), BorderPolicy::Translate));
+    assert_eq!(g1.passthrough_out, 0);
+    assert!(g1.split.stats.split > 0, "jumbos were split for the border");
+    let st = &net.node_ref::<Host>(host_b).tcp_stats()[0];
+    assert_eq!(st.bytes_received, 2_000_000);
+    assert_eq!(st.integrity_errors, 0);
+}
+
+/// A smaller-iMTU neighbour caps the pass-through size: 4000-byte jumbo
+/// frames cross, 9000-byte ones are split.
+#[test]
+fn passthrough_respects_the_smaller_imtu() {
+    let mut net = Network::new(33);
+    let host_a = net.add_node(Host::new(HostConfig::new(A, 9000)));
+    let gw1 = net.add_node(PxGateway::new(GatewayConfig {
+        steer: None,
+        asn: Some(64512),
+        advert_interval_ns: 100_000_000,
+        ..Default::default()
+    }));
+    // Neighbour runs a 4000 B iMTU.
+    let gw2 = net.add_node(PxGateway::new(GatewayConfig {
+        imtu: 4000,
+        steer: None,
+        asn: Some(64513),
+        advert_interval_ns: 100_000_000,
+        ..Default::default()
+    }));
+    let host_b = net.add_node(Host::new(HostConfig::new(B, 4000)));
+    net.connect(
+        (host_a, PortId(0)),
+        (gw1, INTERNAL_PORT),
+        LinkConfig::new(40_000_000_000, Nanos::from_micros(20), 9000),
+    );
+    net.connect(
+        (gw1, EXTERNAL_PORT),
+        (gw2, EXTERNAL_PORT),
+        LinkConfig::new(40_000_000_000, Nanos::from_micros(500), 9000),
+    );
+    net.connect(
+        (gw2, INTERNAL_PORT),
+        (host_b, PortId(0)),
+        LinkConfig::new(40_000_000_000, Nanos::from_micros(20), 4000),
+    );
+    run_transfer(&mut net, host_a, host_b, 2_000_000);
+    let now = net.now().0;
+    let g1 = net.node_ref::<PxGateway>(gw1);
+    assert!(
+        matches!(g1.border_policy(now), BorderPolicy::PassThrough { up_to: 4000 }),
+        "policy capped at the neighbour's iMTU"
+    );
+    let st = &net.node_ref::<Host>(host_b).tcp_stats()[0];
+    assert_eq!(st.bytes_received, 2_000_000);
+    assert_eq!(st.integrity_errors, 0);
+}

@@ -1,0 +1,229 @@
+//! Property-based tests (proptest) on the system's core invariants:
+//!
+//! * IPv4 fragment ∘ reassemble ≡ identity, for arbitrary payloads and
+//!   arbitrary MTU ladders;
+//! * PXGW merge ∘ split ≡ identity on the TCP byte stream;
+//! * caravan bundle ∘ unbundle ≡ identity on datagram sequences;
+//! * incremental checksum update ≡ full recomputation;
+//! * Toeplitz RSS keeps both directions of a flow on one queue
+//!   (symmetric key);
+//! * fragmentation never emits oversize or misaligned fragments.
+
+use packet_express::core::merge::{MergeConfig, MergeEngine};
+use packet_express::core::split::SplitEngine;
+use packet_express::sim::nic;
+use packet_express::wire::caravan::{split_bundle, CaravanBuilder};
+use packet_express::wire::checksum;
+use packet_express::wire::frag::{fragment_along_path, ReassemblyResult, Reassembler};
+use packet_express::wire::ipv4::{Ipv4Packet, Ipv4Repr};
+use packet_express::wire::tcp::{SeqNum, TcpFlags, TcpRepr, TcpSegment};
+use packet_express::wire::{FlowKey, IpProtocol, RssHasher, UdpRepr};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fragmenting down an arbitrary ladder of MTUs and reassembling
+    /// recovers the original packet exactly.
+    #[test]
+    fn fragment_reassemble_identity(
+        payload in proptest::collection::vec(any::<u8>(), 1..20_000),
+        mtus in proptest::collection::vec(100usize..9000, 1..4),
+        ident in any::<u16>(),
+    ) {
+        let mut repr = Ipv4Repr::new(SRC, DST, IpProtocol::Udp, payload.len());
+        repr.ident = ident;
+        let pkt = repr.build_packet(&payload).unwrap();
+        let frags = fragment_along_path(&pkt, &mtus).unwrap();
+        // Every fragment respects the narrowest MTU seen so far and is
+        // 8-byte aligned.
+        let min_mtu = *mtus.iter().min().unwrap();
+        for f in &frags {
+            prop_assert!(f.len() <= min_mtu.max(28));
+            let v = Ipv4Packet::new_checked(&f[..]).unwrap();
+            prop_assert!(v.verify_checksum());
+            prop_assert_eq!(v.frag_offset() % 8, 0);
+        }
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for f in &frags {
+            if let ReassemblyResult::Complete { packet, .. } = r.push(f, 0).unwrap() {
+                out = Some(packet);
+            }
+        }
+        let out = if frags.len() == 1 { frags[0].clone() } else { out.expect("reassembles") };
+        prop_assert_eq!(out, pkt);
+    }
+
+    /// Coalescing contiguous TCP segments and TSO-splitting the result
+    /// preserves the byte stream exactly, for arbitrary chunkings.
+    #[test]
+    fn merge_split_identity(
+        chunks in proptest::collection::vec(1usize..2000, 1..12),
+        base_seq in any::<u32>(),
+        out_mtu in 600usize..1500,
+    ) {
+        let total: usize = chunks.iter().sum();
+        let mut stream = vec![0u8; total];
+        for (i, b) in stream.iter_mut().enumerate() {
+            *b = ((i as u64 * 31 + 7) % 251) as u8;
+        }
+        // Build segments along the chunk boundaries.
+        let mut pkts = Vec::new();
+        let mut off = 0usize;
+        for &c in &chunks {
+            let repr = TcpRepr {
+                src_port: 5000,
+                dst_port: 80,
+                seq: SeqNum(base_seq.wrapping_add(off as u32)),
+                ack: SeqNum(1),
+                flags: TcpFlags::ACK,
+                window: 1024,
+                options: vec![],
+            };
+            let seg = repr.build_segment(SRC, DST, &stream[off..off + c]);
+            pkts.push(Ipv4Repr::new(SRC, DST, IpProtocol::Tcp, seg.len()).build_packet(&seg).unwrap());
+            off += c;
+        }
+        // Merge as far as the engine will (64 KB cap like LRO).
+        let mut merged: Vec<Vec<u8>> = Vec::new();
+        for p in pkts {
+            match merged.last() {
+                Some(last) => match nic::try_coalesce(last, &p, 65000) {
+                    Some(m) => *merged.last_mut().unwrap() = m,
+                    None => merged.push(p),
+                },
+                None => merged.push(p),
+            }
+        }
+        // Split back to wire size and re-read the stream.
+        let mut rebuilt = Vec::with_capacity(total);
+        for m in merged {
+            for w in nic::tso_split(&m, out_mtu).unwrap() {
+                let ip = Ipv4Packet::new_checked(&w[..]).unwrap();
+                prop_assert!(w.len() <= out_mtu);
+                prop_assert!(ip.verify_checksum());
+                let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+                prop_assert!(tcp.verify_checksum(SRC, DST));
+                rebuilt.extend_from_slice(tcp.payload());
+            }
+        }
+        prop_assert_eq!(rebuilt, stream);
+    }
+
+    /// The PXGW engines themselves: merge∘split over a full engine pass
+    /// preserves stream bytes and order.
+    #[test]
+    fn gateway_engines_identity(
+        n_segs in 1usize..20,
+        seg_len in 100usize..1460,
+    ) {
+        let mut merge = MergeEngine::new(MergeConfig::default());
+        let mut split = SplitEngine::new(1500);
+        let mut stream = Vec::new();
+        let mut out_pkts = Vec::new();
+        for i in 0..n_segs {
+            let mut payload = vec![0u8; seg_len];
+            for (j, b) in payload.iter_mut().enumerate() {
+                *b = (((i * seg_len + j) as u64 * 17 + 3) % 251) as u8;
+            }
+            stream.extend_from_slice(&payload);
+            let repr = TcpRepr {
+                src_port: 6000,
+                dst_port: 80,
+                seq: SeqNum((i * seg_len) as u32),
+                ack: SeqNum(1),
+                flags: TcpFlags::ACK,
+                window: 1024,
+                options: vec![],
+            };
+            let seg = repr.build_segment(SRC, DST, &payload);
+            let pkt = Ipv4Repr::new(SRC, DST, IpProtocol::Tcp, seg.len()).build_packet(&seg).unwrap();
+            out_pkts.extend(merge.push((i as u64) * 1000, pkt));
+        }
+        out_pkts.extend(merge.flush_all());
+        let mut rebuilt = Vec::new();
+        for p in out_pkts {
+            for w in split.push(p) {
+                let ip = Ipv4Packet::new_checked(&w[..]).unwrap();
+                let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+                rebuilt.extend_from_slice(tcp.payload());
+            }
+        }
+        prop_assert_eq!(rebuilt, stream);
+    }
+
+    /// Caravan bundle/unbundle preserves every datagram and their order.
+    #[test]
+    fn caravan_identity(
+        lens in proptest::collection::vec(0usize..1400, 1..16),
+    ) {
+        let mut datagrams = Vec::new();
+        for (i, &l) in lens.iter().enumerate() {
+            let payload: Vec<u8> = (0..l).map(|j| ((i * 7 + j) % 256) as u8).collect();
+            datagrams.push(
+                UdpRepr { src_port: 5000, dst_port: 4433 }
+                    .build_datagram(SRC, DST, &payload)
+                    .unwrap(),
+            );
+        }
+        // Bundle greedily into caravans.
+        let mut bundles = Vec::new();
+        let mut b = CaravanBuilder::new(8972);
+        for d in &datagrams {
+            if !b.fits(d) {
+                bundles.push(b.finish());
+                b = CaravanBuilder::new(8972);
+            }
+            b.push(d).unwrap();
+        }
+        if !b.is_empty() {
+            bundles.push(b.finish());
+        }
+        let mut restored = Vec::new();
+        for bundle in &bundles {
+            for d in split_bundle(bundle).unwrap() {
+                restored.push(d.to_vec());
+            }
+        }
+        prop_assert_eq!(restored, datagrams);
+    }
+
+    /// RFC 1624 incremental checksum update matches full recomputation
+    /// for arbitrary 16-bit word rewrites.
+    #[test]
+    fn incremental_checksum_equivalence(
+        mut data in proptest::collection::vec(any::<u8>(), 4..256),
+        word_idx in 0usize..100,
+        new_word in any::<u16>(),
+    ) {
+        if data.len() % 2 == 1 {
+            data.push(0);
+        }
+        let idx = (word_idx % (data.len() / 2)) * 2;
+        let old_ck = checksum::checksum(&data);
+        let old_word = u16::from_be_bytes([data[idx], data[idx + 1]]);
+        data[idx..idx + 2].copy_from_slice(&new_word.to_be_bytes());
+        let updated = checksum::incremental_update(old_ck, old_word, new_word);
+        prop_assert_eq!(updated, checksum::checksum(&data));
+    }
+
+    /// With the symmetric RSS key, both directions of any flow map to
+    /// the same queue for any queue count.
+    #[test]
+    fn symmetric_rss_is_bidirectional(
+        a in any::<u32>(),
+        b in any::<u32>(),
+        pa in any::<u16>(),
+        pb in any::<u16>(),
+        queues in 1usize..64,
+    ) {
+        let h = RssHasher::symmetric();
+        let k = FlowKey::tcp(Ipv4Addr::from(a), pa, Ipv4Addr::from(b), pb);
+        prop_assert_eq!(h.queue_for(&k, queues), h.queue_for(&k.reversed(), queues));
+    }
+}
