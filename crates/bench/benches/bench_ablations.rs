@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use px_core::flowtable::FlowTable;
 use px_core::merge::{MergeConfig, MergeEngine};
-use px_core::pipeline::{run_pipeline, PipelineConfig, SystemVariant, WorkloadKind, TraceGen};
+use px_core::pipeline::{run_pipeline, PipelineConfig, SystemVariant, TraceGen, WorkloadKind};
 use px_wire::FlowKey;
 use std::net::Ipv4Addr;
 
@@ -56,7 +56,10 @@ struct LinearTable<V> {
 
 impl<V> LinearTable<V> {
     fn get_mut(&mut self, key: &FlowKey) -> Option<&mut V> {
-        self.entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 }
 
@@ -85,7 +88,11 @@ fn bench_flowtable(c: &mut Criterion) {
     });
     g.bench_function("linear_scan_800flows", |b| {
         let mut t = LinearTable {
-            entries: keys.iter().enumerate().map(|(i, k)| (*k, i as u64)).collect(),
+            entries: keys
+                .iter()
+                .enumerate()
+                .map(|(i, k)| (*k, i as u64))
+                .collect(),
         };
         let mut i = 0usize;
         b.iter(|| {
@@ -161,9 +168,15 @@ fn bench_steering(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_steering");
     g.sample_size(10);
     for (label, steer) in [("with_steering", true), ("without_steering", false)] {
-        g.bench_with_input(BenchmarkId::new("mixed_trace", label), &steer, |b, &steer| {
-            b.iter(|| steering_ablation::run_with_steering(std::hint::black_box(&trace), steer));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("mixed_trace", label),
+            &steer,
+            |b, &steer| {
+                b.iter(|| {
+                    steering_ablation::run_with_steering(std::hint::black_box(&trace), steer)
+                });
+            },
+        );
     }
     g.finish();
 }

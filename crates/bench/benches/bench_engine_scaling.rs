@@ -1,0 +1,44 @@
+//! Criterion bench for the real threaded engine: forwarded bytes/sec of
+//! the Parallel-mode PXGW datapath as worker threads sweep 1 → 8.
+//!
+//! Throughput is reported in input bytes, so the per-core scaling curve
+//! is directly comparable to the modeled Fig. 5a CPU-bound line (minus
+//! this host's thread/channel overheads, which are the point of
+//! measuring).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use px_core::engine::{run_engine, EngineConfig, EngineMode};
+use px_core::pipeline::{PipelineConfig, SystemVariant, WorkloadKind};
+
+const TRACE_PKTS: usize = 20_000;
+const N_FLOWS: usize = 200;
+
+fn bench_cfg(workload: WorkloadKind, cores: usize) -> EngineConfig {
+    let mut pipe = PipelineConfig::fig5(SystemVariant::Px, workload, cores);
+    pipe.trace_pkts = TRACE_PKTS;
+    pipe.n_flows = N_FLOWS;
+    EngineConfig::new(pipe, EngineMode::Parallel)
+}
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    for (label, workload) in [("tcp", WorkloadKind::Tcp), ("udp", WorkloadKind::Udp)] {
+        let mut g = c.benchmark_group(format!("engine_scaling_{label}"));
+        g.sample_size(10);
+        // Input bytes per run: the trace is eMTU-sized packets.
+        let emtu = px_wire::LEGACY_MTU as u64;
+        g.throughput(Throughput::Bytes(TRACE_PKTS as u64 * emtu));
+        for cores in [1usize, 2, 4, 8] {
+            g.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, &cores| {
+                b.iter(|| {
+                    let rep = run_engine(std::hint::black_box(bench_cfg(workload, cores)));
+                    assert_eq!(rep.totals.pkts_in, TRACE_PKTS as u64);
+                    rep.throughput_bps
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_engine_scaling);
+criterion_main!(benches);

@@ -20,15 +20,24 @@ fn bench_offload_matrix(c: &mut Criterion) {
                 for flows in [1usize, 4, 32] {
                     acc += rx_saturation_bps(
                         &m,
-                        &RxConfig { mtu, lro, gro, flows: std::hint::black_box(flows) },
+                        &RxConfig {
+                            mtu,
+                            lro,
+                            gro,
+                            flows: std::hint::black_box(flows),
+                        },
                     );
                 }
             }
             acc
         });
     });
-    g.bench_function("fig1b_rows", |b| b.iter(|| px_bench::fig1b::run(px_bench::Scale::Quick)));
-    g.bench_function("fig1c_rows", |b| b.iter(|| px_bench::fig1c::run(px_bench::Scale::Quick)));
+    g.bench_function("fig1b_rows", |b| {
+        b.iter(|| px_bench::fig1b::run(px_bench::Scale::Quick))
+    });
+    g.bench_function("fig1c_rows", |b| {
+        b.iter(|| px_bench::fig1c::run(px_bench::Scale::Quick))
+    });
     g.finish();
 }
 

@@ -12,14 +12,18 @@ fn bench_fig5a(c: &mut Criterion) {
         ("px", SystemVariant::Px),
         ("px_hdr", SystemVariant::PxHeaderOnly),
     ] {
-        g.bench_with_input(BenchmarkId::new("pipeline_8core", label), &variant, |b, &v| {
-            b.iter(|| {
-                let mut cfg = PipelineConfig::fig5(v, WorkloadKind::Tcp, 8);
-                cfg.trace_pkts = 10_000;
-                cfg.n_flows = 200;
-                run_pipeline(std::hint::black_box(cfg)).throughput_bps
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("pipeline_8core", label),
+            &variant,
+            |b, &v| {
+                b.iter(|| {
+                    let mut cfg = PipelineConfig::fig5(v, WorkloadKind::Tcp, 8);
+                    cfg.trace_pkts = 10_000;
+                    cfg.n_flows = 200;
+                    run_pipeline(std::hint::black_box(cfg)).throughput_bps
+                });
+            },
+        );
     }
     g.finish();
 }

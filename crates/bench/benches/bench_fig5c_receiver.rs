@@ -18,7 +18,12 @@ fn bench_fig5c(c: &mut Criterion) {
         b.iter(|| {
             rx_saturation_bps(
                 &m,
-                &RxConfig { mtu: std::hint::black_box(9000), lro: true, gro: true, flows: 100 },
+                &RxConfig {
+                    mtu: std::hint::black_box(9000),
+                    lro: true,
+                    gro: true,
+                    flows: 100,
+                },
             )
         });
     });

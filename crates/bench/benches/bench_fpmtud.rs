@@ -8,7 +8,11 @@ use px_pmtud::topology::{build_path, Hop, DAEMON_ADDR, PROBER_ADDR};
 use px_sim::Nanos;
 
 fn hops() -> Vec<Hop> {
-    vec![Hop::new(9000, 100), Hop::new(1500, 10_000), Hop::new(1500, 100)]
+    vec![
+        Hop::new(9000, 100),
+        Hop::new(1500, 10_000),
+        Hop::new(1500, 100),
+    ]
 }
 
 fn bench_fpmtud(c: &mut Criterion) {
@@ -30,8 +34,7 @@ fn bench_fpmtud(c: &mut Criterion) {
     });
     g.bench_function("plpmtud_discovery", |b| {
         b.iter(|| {
-            let prober =
-                PlpmtudProber::new(PlpmtudConfig::scamper(PROBER_ADDR, DAEMON_ADDR, 9000));
+            let prober = PlpmtudProber::new(PlpmtudConfig::scamper(PROBER_ADDR, DAEMON_ADDR, 9000));
             let daemon = FpmtudDaemon::new(DAEMON_ADDR);
             let (mut net, p, _) = build_path(2, prober, daemon, &hops(), false);
             net.run_until(Nanos::from_secs(120));

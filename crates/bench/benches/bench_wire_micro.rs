@@ -59,9 +59,12 @@ fn bench_wire(c: &mut Criterion) {
     });
 
     let big_udp = {
-        let dg = UdpRepr { src_port: 1, dst_port: 2 }
-            .build_datagram(SRC, DST, &vec![0u8; 8000])
-            .unwrap();
+        let dg = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        }
+        .build_datagram(SRC, DST, &vec![0u8; 8000])
+        .unwrap();
         Ipv4Repr::new(SRC, DST, IpProtocol::Udp, dg.len())
             .build_packet(&dg)
             .unwrap()
@@ -70,9 +73,12 @@ fn bench_wire(c: &mut Criterion) {
         b.iter(|| fragment(std::hint::black_box(&big_udp), 1500).unwrap())
     });
 
-    let dgram = UdpRepr { src_port: 5000, dst_port: 4433 }
-        .build_datagram(SRC, DST, &vec![0u8; 1172])
-        .unwrap();
+    let dgram = UdpRepr {
+        src_port: 5000,
+        dst_port: 4433,
+    }
+    .build_datagram(SRC, DST, &vec![0u8; 1172])
+    .unwrap();
     g.bench_function("caravan_bundle_7_datagrams", |b| {
         b.iter(|| {
             let mut cb = CaravanBuilder::new(8972);

@@ -14,7 +14,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "figures — regenerate the paper's tables and figures\n\n             USAGE: figures [--quick] [EXPERIMENT ...]\n\n             EXPERIMENTS:\n               fig1a    5G UPF throughput vs MTU\n               fig1b    single-flow RX offload matrix\n               fig1c    RX throughput vs concurrent flows\n               fig1d    WAN single-flow TCP (full simulation)\n               table1   server CPU: 1x9000B vs 6x1500B connections\n               fig5a    PXGW TCP throughput / conversion yield\n               fig5b    PXGW UDP (PX-caravan)\n               fig5c    b-network receiver throughput\n               sender   §5.2 sender-only upgrade over the WAN\n               fpmtud   §5.3 F-PMTUD vs PLPMTUD pairwise probing\n               survey   §5.3 fragment-delivery survey\n               fairness extension: MTU-mix bottleneck sharing (§6)\n               summary  every headline number, paper vs measured\n\n             With no experiment names, everything runs. --quick shrinks\n             workloads for CI."
+            "figures — regenerate the paper's tables and figures\n\n             USAGE: figures [--quick] [EXPERIMENT ...]\n\n             EXPERIMENTS:\n               fig1a    5G UPF throughput vs MTU\n               fig1b    single-flow RX offload matrix\n               fig1c    RX throughput vs concurrent flows\n               fig1d    WAN single-flow TCP (full simulation)\n               table1   server CPU: 1x9000B vs 6x1500B connections\n               fig5a    PXGW TCP throughput / conversion yield\n               fig5b    PXGW UDP (PX-caravan)\n               fig5c    b-network receiver throughput\n               engine   modeled PXGW vs real threaded datapath\n               sender   §5.2 sender-only upgrade over the WAN\n               fpmtud   §5.3 F-PMTUD vs PLPMTUD pairwise probing\n               survey   §5.3 fragment-delivery survey\n               fairness extension: MTU-mix bottleneck sharing (§6)\n               summary  every headline number, paper vs measured\n\n             With no experiment names, everything runs. --quick shrinks\n             workloads for CI."
         );
         return;
     }
@@ -26,8 +26,8 @@ fn main() {
         .map(String::as_str)
         .collect();
     let all = [
-        "fig1a", "fig1b", "fig1c", "fig1d", "table1", "fig5a", "fig5b", "fig5c", "sender",
-        "fpmtud", "survey", "fairness", "summary",
+        "fig1a", "fig1b", "fig1c", "fig1d", "table1", "fig5a", "fig5b", "fig5c", "engine",
+        "sender", "fpmtud", "survey", "fairness", "summary",
     ];
     let run_list: Vec<&str> = if selected.is_empty() {
         all.to_vec()
@@ -35,10 +35,7 @@ fn main() {
         selected
     };
 
-    println!(
-        "PacketExpress figure harness — scale: {:?}\n",
-        scale
-    );
+    println!("PacketExpress figure harness — scale: {:?}\n", scale);
     for name in run_list {
         let t0 = Instant::now();
         let table = match name {
@@ -53,6 +50,7 @@ fn main() {
                 let (rows, udp) = px_bench::fig5c::run(scale);
                 px_bench::fig5c::render(&rows, &udp)
             }
+            "engine" => px_bench::engine_cmp::render(&px_bench::engine_cmp::run(scale)),
             "sender" => px_bench::sender::render(&px_bench::sender::run(scale)),
             "fpmtud" => px_bench::fpmtud::render(&px_bench::fpmtud::run(scale)),
             "survey" => px_bench::survey::render(&px_bench::survey::run(scale)),

@@ -66,7 +66,10 @@ pub fn run_mix(n: usize, bottleneck_bps: u64, duration: Nanos, seed: u64) -> Fai
         Ipv4Addr::new(JUMBO_NET[0], JUMBO_NET[1], 0, 1),
         9000,
     )));
-    let gw = net.add_node(PxGateway::new(GatewayConfig { steer: None, ..Default::default() }));
+    let gw = net.add_node(PxGateway::new(GatewayConfig {
+        steer: None,
+        ..Default::default()
+    }));
     let sink = net.add_node(Host::new(HostConfig::new(
         Ipv4Addr::new(SINK_NET[0], SINK_NET[1], 0, 2),
         1500,
@@ -74,8 +77,16 @@ pub fn run_mix(n: usize, bottleneck_bps: u64, duration: Nanos, seed: u64) -> Fai
     // Bottleneck router: port 0 = legacy senders, 1 = gateway (jumbo
     // senders), 2 = shared egress towards the sink.
     let mut router = Router::new(Ipv4Addr::new(10, 254, 0, 1), vec![1500, 1500, 1500]);
-    router.add_route(Ipv4Addr::new(LEGACY_NET[0], LEGACY_NET[1], 0, 0), 16, PortId(0));
-    router.add_route(Ipv4Addr::new(JUMBO_NET[0], JUMBO_NET[1], 0, 0), 16, PortId(1));
+    router.add_route(
+        Ipv4Addr::new(LEGACY_NET[0], LEGACY_NET[1], 0, 0),
+        16,
+        PortId(0),
+    );
+    router.add_route(
+        Ipv4Addr::new(JUMBO_NET[0], JUMBO_NET[1], 0, 0),
+        16,
+        PortId(1),
+    );
     router.add_route(Ipv4Addr::new(SINK_NET[0], SINK_NET[1], 0, 0), 16, PortId(2));
     let rt = net.add_node(router);
 
@@ -140,7 +151,11 @@ pub fn run_mix(n: usize, bottleneck_bps: u64, duration: Nanos, seed: u64) -> Fai
     }
     let lsum: f64 = legacy_flow_bps.iter().sum();
     let jsum: f64 = jumbo_flow_bps.iter().sum();
-    let all: Vec<f64> = legacy_flow_bps.iter().chain(&jumbo_flow_bps).copied().collect();
+    let all: Vec<f64> = legacy_flow_bps
+        .iter()
+        .chain(&jumbo_flow_bps)
+        .copied()
+        .collect();
     FairnessReport {
         flows_per_class: n,
         legacy_flow_bps,
@@ -180,7 +195,9 @@ pub fn render(rows: &[FairnessReport]) -> String {
             r.jain_index
         ));
     }
-    out.push_str("  (not in the paper: quantifies its §6 concern — loss-based cc favours large-MSS flows)\n");
+    out.push_str(
+        "  (not in the paper: quantifies its §6 concern — loss-based cc favours large-MSS flows)\n",
+    );
     out
 }
 

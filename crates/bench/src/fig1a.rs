@@ -29,7 +29,11 @@ pub fn run(scale: Scale) -> Vec<Row> {
     mtus.iter()
         .map(|&mtu| {
             let tp = upf_throughput_bps(mtu, flows, pkts);
-            Row { mtu, throughput_bps: tp, speedup: tp / base }
+            Row {
+                mtu,
+                throughput_bps: tp,
+                speedup: tp / base,
+            }
         })
         .collect()
 }

@@ -43,7 +43,15 @@ pub fn run(_scale: Scale) -> Vec<Row> {
             mtu,
             lro,
             gro,
-            throughput_bps: rx_saturation_bps(&m, &RxConfig { mtu, lro, gro, flows: 1 }),
+            throughput_bps: rx_saturation_bps(
+                &m,
+                &RxConfig {
+                    mtu,
+                    lro,
+                    gro,
+                    flows: 1,
+                },
+            ),
         })
         .collect()
 }
@@ -55,7 +63,11 @@ pub fn render(rows: &[Row]) -> String {
     out.push_str("  config         | throughput\n");
     out.push_str("  ---------------+-----------\n");
     for r in rows {
-        out.push_str(&format!("  {:14} | {}\n", r.label, crate::fmt_bps(r.throughput_bps)));
+        out.push_str(&format!(
+            "  {:14} | {}\n",
+            r.label,
+            crate::fmt_bps(r.throughput_bps)
+        ));
     }
     out.push_str("  paper: 1500B + G/LRO = 50.1 Gbps > 9000B without offloads\n");
     out

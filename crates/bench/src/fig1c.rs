@@ -29,10 +29,26 @@ pub struct Row {
 pub fn run(_scale: Scale) -> Vec<Row> {
     let m = calib::endpoint_model();
     let glro = |flows| {
-        rx_saturation_bps(&m, &RxConfig { mtu: 1500, lro: true, gro: true, flows })
+        rx_saturation_bps(
+            &m,
+            &RxConfig {
+                mtu: 1500,
+                lro: true,
+                gro: true,
+                flows,
+            },
+        )
     };
     let jumbo = |flows| {
-        rx_saturation_bps(&m, &RxConfig { mtu: 9000, lro: false, gro: false, flows })
+        rx_saturation_bps(
+            &m,
+            &RxConfig {
+                mtu: 9000,
+                lro: false,
+                gro: false,
+                flows,
+            },
+        )
     };
     let (g1, j1) = (glro(1), jumbo(1));
     [1usize, 2, 4, 8, 16, 32]
@@ -79,7 +95,11 @@ mod tests {
     fn reproduces_fig1c() {
         let rows = run(Scale::Quick);
         let at4 = rows.iter().find(|r| r.flows == 4).unwrap();
-        assert!((at4.glro_1500_drop - 0.31).abs() < 0.04, "{}", at4.glro_1500_drop);
+        assert!(
+            (at4.glro_1500_drop - 0.31).abs() < 0.04,
+            "{}",
+            at4.glro_1500_drop
+        );
         assert!((at4.jumbo_drop - 0.07).abs() < 0.03, "{}", at4.jumbo_drop);
         // G/LRO keeps degrading with more flows; jumbo stays mild.
         let at32 = rows.iter().find(|r| r.flows == 32).unwrap();

@@ -54,7 +54,12 @@ pub fn run(scale: Scale) -> Vec<Row> {
         if mtu == 1500 {
             base = bps;
         }
-        rows.push(Row { mtu, throughput_bps: bps, ratio: bps / base, retransmits: rtx });
+        rows.push(Row {
+            mtu,
+            throughput_bps: bps,
+            ratio: bps / base,
+            retransmits: rtx,
+        });
     }
     rows
 }

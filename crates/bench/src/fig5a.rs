@@ -62,8 +62,11 @@ pub fn run(scale: Scale) -> Vec<Row> {
 
 /// Renders the paper-style table.
 pub fn render(rows: &[Row]) -> String {
-    render_titled(rows, "Fig 5a — PXGW TCP throughput / conversion yield (800 flows)",
-        "  paper @8 cores: baseline 167 Gbps/76%, PX 1.09 Tbps/93%, PX+hdr 1.45 Tbps/94%")
+    render_titled(
+        rows,
+        "Fig 5a — PXGW TCP throughput / conversion yield (800 flows)",
+        "  paper @8 cores: baseline 167 Gbps/76%, PX 1.09 Tbps/93%, PX+hdr 1.45 Tbps/94%",
+    )
 }
 
 pub(crate) fn render_titled(rows: &[Row], title: &str, footer: &str) -> String {
@@ -104,14 +107,29 @@ mod tests {
         let px = cell(&rows, "PX", 8);
         let hdr = cell(&rows, "PX+header-only", 8);
         // Throughput anchors (generous bands at Quick scale).
-        assert!((base.throughput_bps / 1e9 - 167.0).abs() < 30.0, "base {}", base.throughput_bps);
-        assert!((px.throughput_bps / 1e12 - 1.09).abs() < 0.08, "px {}", px.throughput_bps);
-        assert!((hdr.throughput_bps / 1e12 - 1.45).abs() < 0.15, "hdr {}", hdr.throughput_bps);
+        assert!(
+            (base.throughput_bps / 1e9 - 167.0).abs() < 30.0,
+            "base {}",
+            base.throughput_bps
+        );
+        assert!(
+            (px.throughput_bps / 1e12 - 1.09).abs() < 0.08,
+            "px {}",
+            px.throughput_bps
+        );
+        assert!(
+            (hdr.throughput_bps / 1e12 - 1.45).abs() < 0.15,
+            "hdr {}",
+            hdr.throughput_bps
+        );
         // Yields: baseline well below PX; PX near the paper's 93%.
         assert!(base.conversion_yield < px.conversion_yield);
         assert!(px.conversion_yield > 0.85, "px CY {}", px.conversion_yield);
-        assert!(base.conversion_yield > 0.5 && base.conversion_yield < 0.9,
-            "base CY {}", base.conversion_yield);
+        assert!(
+            base.conversion_yield > 0.5 && base.conversion_yield < 0.9,
+            "base CY {}",
+            base.conversion_yield
+        );
         // The defining regime change: PX is bus-bound at 8 cores,
         // header-only DMA makes it CPU-bound.
         assert!(px.bus_bound);

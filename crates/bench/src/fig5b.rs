@@ -50,8 +50,12 @@ mod tests {
             // "slightly lower", not collapsed.
             assert!(u.throughput_bps > 0.4 * t.throughput_bps);
             // "conversion yield remains comparable to TCP".
-            assert!(u.conversion_yield > t.conversion_yield - 0.12,
-                "{sys}: CY {} vs TCP {}", u.conversion_yield, t.conversion_yield);
+            assert!(
+                u.conversion_yield > t.conversion_yield - 0.12,
+                "{sys}: CY {} vs TCP {}",
+                u.conversion_yield,
+                t.conversion_yield
+            );
         }
         // Header-only DMA improves the UDP maximum too.
         let px = cell(&udp, "PX", 8);

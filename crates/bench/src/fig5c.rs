@@ -47,18 +47,50 @@ pub fn run(_scale: Scale) -> (Vec<Row>, UdpRow) {
     let rows = configs
         .iter()
         .map(|&(label, lro, gro)| {
-            let legacy =
-                rx_saturation_bps(&m, &RxConfig { mtu: 1500, lro, gro, flows });
-            let pxgw = rx_saturation_bps(&m, &RxConfig { mtu: 9000, lro, gro, flows });
-            Row { label, legacy_bps: legacy, pxgw_bps: pxgw, gain: pxgw / legacy }
+            let legacy = rx_saturation_bps(
+                &m,
+                &RxConfig {
+                    mtu: 1500,
+                    lro,
+                    gro,
+                    flows,
+                },
+            );
+            let pxgw = rx_saturation_bps(
+                &m,
+                &RxConfig {
+                    mtu: 9000,
+                    lro,
+                    gro,
+                    flows,
+                },
+            );
+            Row {
+                label,
+                legacy_bps: legacy,
+                pxgw_bps: pxgw,
+                gain: pxgw / legacy,
+            }
         })
         .collect();
     // UDP: plain 1500 B datagrams vs ~8.9 KB caravans of 6 datagrams.
-    let legacy_udp = rx_saturation_bps(&m, &RxConfig { mtu: 1500, lro: false, gro: false, flows });
+    let legacy_udp = rx_saturation_bps(
+        &m,
+        &RxConfig {
+            mtu: 1500,
+            lro: false,
+            gro: false,
+            flows,
+        },
+    );
     let caravan = rx_caravan_bps(&m, 8860, 6, flows);
     (
         rows,
-        UdpRow { legacy_bps: legacy_udp, caravan_bps: caravan, gain: caravan / legacy_udp },
+        UdpRow {
+            legacy_bps: legacy_udp,
+            caravan_bps: caravan,
+            gain: caravan / legacy_udp,
+        },
     )
 }
 
@@ -97,7 +129,11 @@ mod tests {
         // With offloads enabled the translation gain sits in (or near)
         // the paper's 1.5–1.8× band.
         let glro = rows.iter().find(|r| r.label == "+LRO+GRO").unwrap();
-        assert!(glro.gain > 1.4 && glro.gain < 2.2, "G/LRO gain {}", glro.gain);
+        assert!(
+            glro.gain > 1.4 && glro.gain < 2.2,
+            "G/LRO gain {}",
+            glro.gain
+        );
         let lro = rows.iter().find(|r| r.label == "+LRO").unwrap();
         assert!(lro.gain > 1.3, "LRO gain {}", lro.gain);
         // Receivers without offloads benefit the most (§5.2: "the TCP

@@ -72,7 +72,10 @@ pub struct Row {
 fn hops_for(a: usize, b: usize) -> Vec<Hop> {
     vec![
         Hop::new(SITES[a].1, 20),
-        Hop { mtu: core_mtu(a, b), delay: Nanos(DELAY_US[a][b] * 1000) },
+        Hop {
+            mtu: core_mtu(a, b),
+            delay: Nanos(DELAY_US[a][b] * 1000),
+        },
         Hop::new(SITES[b].1, 20),
     ]
 }
@@ -147,8 +150,12 @@ pub fn run(scale: Scale) -> Vec<Row> {
 pub fn render(rows: &[Row]) -> String {
     let mut out = String::new();
     out.push_str("§5.3 — F-PMTUD vs PLPMTUD (Scamper), pairwise site probing\n");
-    out.push_str("  pair                 | true | F-PMTUD (time)     | PLPMTUD (time)     | speedup\n");
-    out.push_str("  ---------------------+------+--------------------+--------------------+--------\n");
+    out.push_str(
+        "  pair                 | true | F-PMTUD (time)     | PLPMTUD (time)     | speedup\n",
+    );
+    out.push_str(
+        "  ---------------------+------+--------------------+--------------------+--------\n",
+    );
     for r in rows {
         out.push_str(&format!(
             "  {:9} → {:9} | {:4} | {:4} ({:>9}) | {:4} ({:>9}) | {:.0}x\n",
@@ -198,7 +205,13 @@ mod tests {
             // exceeds the PMTU (probing actually searches), the speedup
             // is enormous; flat jumbo-to-jumbo paths tie.
             if r.true_pmtu < 9000 && SITES.iter().any(|s| s.0 == r.from && s.1 == 9000) {
-                assert!(r.speedup > 50.0, "{}→{} speedup {}", r.from, r.to, r.speedup);
+                assert!(
+                    r.speedup > 50.0,
+                    "{}→{} speedup {}",
+                    r.from,
+                    r.to,
+                    r.speedup
+                );
             }
         }
         // The paper's marquee pair: Utah ↔ UMass, hundreds of times faster.

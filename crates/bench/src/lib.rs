@@ -17,13 +17,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod engine_cmp;
+pub mod fairness;
 pub mod fig1a;
 pub mod fig1b;
 pub mod fig1c;
 pub mod fig1d;
 pub mod fig5a;
 pub mod fig5b;
-pub mod fairness;
 pub mod fig5c;
 pub mod fpmtud;
 pub mod sender;

@@ -92,7 +92,12 @@ pub fn run(scale: Scale) -> Vec<Row> {
     let (base_bps, base_mss) = run_one(1500, duration, seeds);
     let (jumbo_bps, jumbo_mss) = run_one(9000, duration, seeds);
     vec![
-        Row { imtu: 1500, throughput_bps: base_bps, ratio: 1.0, sender_mss: base_mss },
+        Row {
+            imtu: 1500,
+            throughput_bps: base_bps,
+            ratio: 1.0,
+            sender_mss: base_mss,
+        },
         Row {
             imtu: 9000,
             throughput_bps: jumbo_bps,

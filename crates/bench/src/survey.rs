@@ -31,7 +31,10 @@ pub fn render(r: &SurveyReport) -> String {
         r.success_pct()
     ));
     out.push_str(&format!("  failed on fragments   : {}\n", r.failed));
-    out.push_str(&format!("  last-hop AS filtering : {}\n", r.lasthop_filtered));
+    out.push_str(&format!(
+        "  last-hop AS filtering : {}\n",
+        r.lasthop_filtered
+    ));
     out.push_str("  paper: 389,428 probed; 99.98% responded; 59 failed; 15 last-hop-filtered\n");
     out
 }

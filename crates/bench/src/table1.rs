@@ -19,7 +19,11 @@ pub struct Row {
 pub fn run(_scale: Scale) -> Vec<Row> {
     axel::table1(&[1, 10, 100])
         .into_iter()
-        .map(|(sessions, jumbo_pct, legacy6_pct)| Row { sessions, jumbo_pct, legacy6_pct })
+        .map(|(sessions, jumbo_pct, legacy6_pct)| Row {
+            sessions,
+            jumbo_pct,
+            legacy6_pct,
+        })
         .collect()
 }
 

@@ -99,8 +99,13 @@ impl NeighborTable {
         match self.entries.get(&advert.asn) {
             Some(e) if e.advert.seq >= advert.seq => false,
             _ => {
-                self.entries
-                    .insert(advert.asn, NeighborEntry { advert, received_at_ns: now_ns });
+                self.entries.insert(
+                    advert.asn,
+                    NeighborEntry {
+                        advert,
+                        received_at_ns: now_ns,
+                    },
+                );
                 true
             }
         }
@@ -118,7 +123,9 @@ impl NeighborTable {
                 // Forward untranslated up to the *smaller* of the two
                 // iMTUs (the neighbour may be larger than us; our own
                 // packets are already bounded by our iMTU).
-                BorderPolicy::PassThrough { up_to: e.advert.imtu.min(own_imtu) }
+                BorderPolicy::PassThrough {
+                    up_to: e.advert.imtu.min(own_imtu),
+                }
             }
             None => BorderPolicy::Translate,
         }
@@ -141,7 +148,12 @@ mod tests {
     use super::*;
 
     fn advert(asn: u32, imtu: u32, seq: u32) -> ImtuAdvert {
-        ImtuAdvert { asn, imtu, seq, ttl_secs: 30 }
+        ImtuAdvert {
+            asn,
+            imtu,
+            seq,
+            ttl_secs: 30,
+        }
     }
 
     #[test]
@@ -187,7 +199,10 @@ mod tests {
         assert!(!t.ingest(1, advert(1, 4000, 5)), "same seq ignored");
         assert!(!t.ingest(1, advert(1, 4000, 4)), "older seq ignored");
         assert!(t.ingest(1, advert(1, 4000, 6)));
-        assert_eq!(t.policy(1, 1, 9000), BorderPolicy::PassThrough { up_to: 4000 });
+        assert_eq!(
+            t.policy(1, 1, 9000),
+            BorderPolicy::PassThrough { up_to: 4000 }
+        );
     }
 
     #[test]

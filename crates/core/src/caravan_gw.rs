@@ -136,9 +136,12 @@ impl CaravanEngine {
             }
         }
         let bundle = p.builder.finish();
-        let dgram = UdpRepr { src_port: p.src_port, dst_port: p.dst_port }
-            .build_datagram(p.src, p.dst, &bundle)
-            .expect("bundle within UDP limits");
+        let dgram = UdpRepr {
+            src_port: p.src_port,
+            dst_port: p.dst_port,
+        }
+        .build_datagram(p.src, p.dst, &bundle)
+        .expect("bundle within UDP limits");
         let mut ip = Ipv4Repr::new(p.src, p.dst, IpProtocol::Udp, dgram.len());
         ip.tos = CARAVAN_TOS;
         ip.ident = self.out_ident;
@@ -292,9 +295,12 @@ mod tests {
     const DST: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 3);
 
     fn udp_pkt(sport: u16, payload_len: usize, ip_id: u16) -> Vec<u8> {
-        let dg = UdpRepr { src_port: sport, dst_port: 4433 }
-            .build_datagram(SRC, DST, &vec![0xCD; payload_len])
-            .unwrap();
+        let dg = UdpRepr {
+            src_port: sport,
+            dst_port: 4433,
+        }
+        .build_datagram(SRC, DST, &vec![0xCD; payload_len])
+        .unwrap();
         let mut ip = Ipv4Repr::new(SRC, DST, IpProtocol::Udp, dg.len());
         ip.ident = ip_id;
         ip.build_packet(&dg).unwrap()
@@ -327,7 +333,10 @@ mod tests {
 
     #[test]
     fn hold_timer_flushes_partial_bundles() {
-        let cfg = CaravanConfig { hold_ns: 1000, ..Default::default() };
+        let cfg = CaravanConfig {
+            hold_ns: 1000,
+            ..Default::default()
+        };
         let mut eng = CaravanEngine::new(cfg);
         assert!(eng.push_inbound(0, udp_pkt(5000, 500, 0)).is_empty());
         assert!(eng.push_inbound(10, udp_pkt(5000, 500, 1)).is_empty());
@@ -342,7 +351,10 @@ mod tests {
 
     #[test]
     fn singleton_flush_passes_original_packet() {
-        let cfg = CaravanConfig { hold_ns: 100, ..Default::default() };
+        let cfg = CaravanConfig {
+            hold_ns: 100,
+            ..Default::default()
+        };
         let mut eng = CaravanEngine::new(cfg);
         let orig = udp_pkt(5000, 500, 0);
         assert!(eng.push_inbound(0, orig.clone()).is_empty());
@@ -371,9 +383,12 @@ mod tests {
     fn probe_port_bypasses_bundling() {
         let cfg = CaravanConfig::default();
         let mut eng = CaravanEngine::new(cfg);
-        let dg = UdpRepr { src_port: 9, dst_port: cfg.probe_port }
-            .build_datagram(SRC, DST, &[0u8; 100])
-            .unwrap();
+        let dg = UdpRepr {
+            src_port: 9,
+            dst_port: cfg.probe_port,
+        }
+        .build_datagram(SRC, DST, &[0u8; 100])
+        .unwrap();
         let pkt = Ipv4Repr::new(SRC, DST, IpProtocol::Udp, dg.len())
             .build_packet(&dg)
             .unwrap();

@@ -1,0 +1,518 @@
+//! The *real* multi-core sharded PXGW datapath engine.
+//!
+//! Where [`crate::pipeline`] prices CPU cycles and the memory bus to
+//! *model* Fig. 5a/5b throughput, this module actually runs the
+//! datapath: the byte-accurate trace from [`crate::pipeline::TraceGen`]
+//! is sharded with the real Toeplitz [`RssHasher`] and fed — in
+//! batches — to one [`CoreEngine`] worker per core. Two modes share
+//! every byte of sharding/batching/processing logic:
+//!
+//! * [`EngineMode::Parallel`] — one OS thread per core, connected to
+//!   the dispatcher by bounded SPSC channels. Wall-clock time over the
+//!   dispatch/process/join region gives a *measured* forwarding rate
+//!   for this host, reported next to the modelled bound.
+//! * [`EngineMode::Deterministic`] — the same per-core batch streams
+//!   executed on the calling thread, one batch per core per round-robin
+//!   turn. Because RSS pins a flow to one core and every hold-timer
+//!   poll happens at a packet arrival timestamp taken from the global
+//!   trace, the per-flow output byte streams are **bit-identical for a
+//!   fixed seed regardless of core count** — the property the
+//!   `engine_equivalence` integration test proves.
+//!
+//! Workers keep private [`CoreCounters`] (nothing shared on the hot
+//! path) and merge them into a [`StatsRegistry`] when they finish.
+//! Per-flow output is summarised by [`FlowDigest`]: an FNV-1a hash over
+//! the length-prefixed L4 payloads of every packet the engine emitted
+//! for that flow. Hashing the L4 payload (not the whole packet) is
+//! deliberate: PX-caravan stamps outer IPv4 `ident` values from an
+//! engine-global counter, so outer headers legitimately differ when
+//! flows interleave differently across cores, while the delivered
+//! payload bytes — what a receiver reassembles — must not.
+
+use crate::baseline::BaselineGateway;
+use crate::caravan_gw::{CaravanConfig, CaravanEngine};
+use crate::merge::{MergeConfig, MergeEngine};
+use crate::pipeline::{PipelineConfig, SystemVariant, TraceGen, WorkloadKind};
+use crossbeam::channel;
+use px_sim::stats::{CoreCounters, StatsRegistry};
+use px_wire::ipv4::Ipv4Packet;
+use px_wire::{FlowKey, IpProtocol, RssHasher};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One core's gateway datapath: the actual translation engine the
+/// pipeline model and the threaded engine both drive.
+pub enum CoreEngine {
+    /// DPDK-GRO-style software merging (the paper's baseline).
+    Baseline(BaselineGateway),
+    /// PXGW TCP delayed merging.
+    Merge(MergeEngine),
+    /// PXGW UDP caravan bundling.
+    Caravan(CaravanEngine),
+}
+
+impl CoreEngine {
+    /// Builds the engine a given system variant / workload pair uses on
+    /// each core (the Fig. 5 configuration: 64 K flow-table entries,
+    /// consecutive-IP-ID caravan packing).
+    pub fn for_variant(
+        variant: SystemVariant,
+        workload: WorkloadKind,
+        imtu: usize,
+        emtu: usize,
+        hold_ns: u64,
+    ) -> Self {
+        match (variant, workload) {
+            (SystemVariant::BaselineGro, _) => CoreEngine::Baseline(BaselineGateway::new(imtu, 64)),
+            (_, WorkloadKind::Tcp) => CoreEngine::Merge(MergeEngine::new(MergeConfig {
+                imtu,
+                emtu,
+                hold_ns,
+                table_capacity: 65536,
+            })),
+            (_, WorkloadKind::Udp) => CoreEngine::Caravan(CaravanEngine::new(CaravanConfig {
+                imtu,
+                hold_ns,
+                table_capacity: 65536,
+                require_consecutive_ip_id: true,
+                probe_port: crate::gateway::FPMTUD_PORT,
+            })),
+        }
+    }
+
+    /// Feeds one input packet at time `now`, polling hold timers first;
+    /// returns any output packets this step produced.
+    pub fn push(&mut self, now: u64, pkt: Vec<u8>) -> Vec<Vec<u8>> {
+        match self {
+            CoreEngine::Baseline(b) => b.push(pkt),
+            CoreEngine::Merge(m) => {
+                let mut out = m.poll(now);
+                out.extend(m.push(now, pkt));
+                out
+            }
+            CoreEngine::Caravan(c) => {
+                let mut out = c.poll(now);
+                out.extend(c.push_inbound(now, pkt));
+                out
+            }
+        }
+    }
+
+    /// Drains every held aggregate (end of trace).
+    pub fn finish(&mut self) -> Vec<Vec<u8>> {
+        match self {
+            CoreEngine::Baseline(b) => b.flush(),
+            CoreEngine::Merge(m) => m.flush_all(),
+            CoreEngine::Caravan(c) => c.flush_all(),
+        }
+    }
+}
+
+/// How the engine schedules its per-core workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Real OS threads fed over bounded channels; wall-clock throughput
+    /// is measured.
+    Parallel,
+    /// Single-threaded round-robin over the identical per-core batch
+    /// streams; bit-identical output for a fixed seed, any core count.
+    Deterministic,
+}
+
+/// Engine run configuration: a pipeline workload plus batching knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// The workload/variant/core-count setup (shared with the model).
+    pub pipe: PipelineConfig,
+    /// Scheduling mode.
+    pub mode: EngineMode,
+    /// Packets per batch handed to a worker (DPDK-style burst).
+    pub batch_pkts: usize,
+    /// Channel capacity in batches (Parallel mode back-pressure).
+    pub channel_batches: usize,
+}
+
+impl EngineConfig {
+    /// Default batching (32-packet bursts, 8 in flight per core).
+    pub fn new(pipe: PipelineConfig, mode: EngineMode) -> Self {
+        EngineConfig {
+            pipe,
+            mode,
+            batch_pkts: 32,
+            channel_batches: 8,
+        }
+    }
+}
+
+/// FNV-1a summary of one flow's engine output.
+///
+/// `fnv` folds in each emitted packet's L4 payload, prefixed by its
+/// length, so reorderings or boundary changes alter the digest even
+/// when total bytes match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowDigest {
+    /// Output packets emitted for this flow.
+    pub pkts: u64,
+    /// Output L4 payload bytes emitted for this flow.
+    pub bytes: u64,
+    /// Running FNV-1a/64 over length-prefixed payloads.
+    pub fnv: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for FlowDigest {
+    fn default() -> Self {
+        FlowDigest {
+            pkts: 0,
+            bytes: 0,
+            fnv: FNV_OFFSET,
+        }
+    }
+}
+
+fn fnv_extend(mut h: u64, bytes: &[u8]) -> u64 {
+    for chunk in [&(bytes.len() as u64).to_le_bytes()[..], bytes] {
+        for &b in chunk {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Returns the flow key and L4-payload range of an output packet, or
+/// `None` for anything unparsable (nothing the engines emit should be).
+fn flow_and_l4_payload(pkt: &[u8]) -> Option<(FlowKey, std::ops::Range<usize>)> {
+    let key = px_sim::nic::flow_key_of(pkt).ok()?;
+    let ip = Ipv4Packet::new_checked(pkt).ok()?;
+    let l4_start = ip.header_len();
+    let l4_hdr = match ip.protocol() {
+        // TCP data offset lives in byte 12 of the TCP header.
+        IpProtocol::Tcp => usize::from(pkt[l4_start + 12] >> 4) * 4,
+        IpProtocol::Udp => 8,
+        _ => return None,
+    };
+    Some((key, l4_start + l4_hdr..ip.total_len().min(pkt.len())))
+}
+
+/// The outcome of an engine run.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Scheduling mode the run used.
+    pub mode: EngineMode,
+    /// Core count.
+    pub cores: usize,
+    /// Wall-clock nanoseconds over the dispatch/process/join region
+    /// (trace generation excluded).
+    pub wall_ns: u64,
+    /// Measured forwarding rate: input bits / wall seconds. Meaningful
+    /// in Parallel mode; in Deterministic mode it is single-thread rate.
+    pub throughput_bps: f64,
+    /// Steady-state conversion yield (drain excluded), computed exactly
+    /// as [`crate::pipeline::run_pipeline`] computes it.
+    pub conversion_yield: f64,
+    /// Aggregate counters over all cores.
+    pub totals: CoreCounters,
+    /// Per-core counter snapshot from the shared registry.
+    pub per_core: Vec<CoreCounters>,
+    /// Per-flow output digests (drain included: the full delivered
+    /// stream).
+    pub flow_digests: BTreeMap<FlowKey, FlowDigest>,
+}
+
+/// One worker's private state: the translation engine plus local
+/// counters and digests. Shared by both modes so their byte behaviour
+/// cannot drift apart.
+struct Worker {
+    engine: CoreEngine,
+    counters: CoreCounters,
+    digests: BTreeMap<FlowKey, FlowDigest>,
+    jumbo_at: usize,
+}
+
+impl Worker {
+    fn new(cfg: &PipelineConfig) -> Self {
+        Worker {
+            engine: CoreEngine::for_variant(
+                cfg.variant,
+                cfg.workload,
+                cfg.imtu,
+                cfg.emtu,
+                cfg.hold_ns,
+            ),
+            counters: CoreCounters::default(),
+            digests: BTreeMap::new(),
+            // Same threshold the pipeline model uses: an output packet
+            // "reached iMTU" when one more eMTU payload would not fit.
+            jumbo_at: cfg.imtu - (cfg.emtu - 40) + 1,
+        }
+    }
+
+    fn account(&mut self, unit: &[u8], inband: bool) {
+        self.counters.pkts_out += 1;
+        self.counters.bytes_out += unit.len() as u64;
+        if inband {
+            self.counters.pkts_out_inband += 1;
+            if unit.len() >= self.jumbo_at {
+                self.counters.jumbo_out_inband += 1;
+            }
+        }
+        if let Some((key, payload)) = flow_and_l4_payload(unit) {
+            let d = self.digests.entry(key).or_default();
+            d.pkts += 1;
+            d.bytes += (payload.end - payload.start) as u64;
+            d.fnv = fnv_extend(d.fnv, &unit[payload]);
+        }
+    }
+
+    fn process_batch(&mut self, batch: Vec<(u64, Vec<u8>)>) {
+        self.counters.batches += 1;
+        for (now, pkt) in batch {
+            self.counters.pkts_in += 1;
+            self.counters.bytes_in += pkt.len() as u64;
+            for unit in self.engine.push(now, pkt) {
+                self.account(&unit, true);
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        for unit in self.engine.finish() {
+            self.account(&unit, false);
+        }
+    }
+}
+
+/// A batch of (arrival-time, packet) pairs bound for one core.
+type Batch = Vec<(u64, Vec<u8>)>;
+
+/// Shards the trace per core into `batch_pkts`-sized batches, in
+/// arrival order, with arrival timestamps derived from the offered
+/// load — the single sharding path both modes consume.
+fn shard_batches(cfg: &EngineConfig, trace: Vec<(FlowKey, Vec<u8>)>) -> Vec<Vec<Batch>> {
+    let rss = RssHasher::symmetric();
+    let cores = cfg.pipe.cores;
+    let inter_arrival_ns = 1e9 / cfg.pipe.offered_pps;
+    let mut per_core: Vec<Vec<Batch>> = vec![Vec::new(); cores];
+    let mut open: Vec<Batch> = vec![Vec::with_capacity(cfg.batch_pkts); cores];
+    for (i, (key, pkt)) in trace.into_iter().enumerate() {
+        let core = rss.queue_for(&key, cores);
+        let now = (i as f64 * inter_arrival_ns) as u64;
+        open[core].push((now, pkt));
+        if open[core].len() >= cfg.batch_pkts {
+            per_core[core].push(std::mem::replace(
+                &mut open[core],
+                Vec::with_capacity(cfg.batch_pkts),
+            ));
+        }
+    }
+    for (core, tail) in open.into_iter().enumerate() {
+        if !tail.is_empty() {
+            per_core[core].push(tail);
+        }
+    }
+    per_core
+}
+
+/// Runs the sharded engine and reports measured throughput, yield,
+/// counters, and per-flow digests.
+pub fn run_engine(cfg: EngineConfig) -> EngineReport {
+    assert!(cfg.pipe.cores > 0, "need at least one core");
+    assert!(cfg.batch_pkts > 0, "batches must hold packets");
+    let pipe = cfg.pipe;
+    let mut tracer = TraceGen::new(
+        pipe.workload,
+        pipe.n_flows,
+        pipe.emtu,
+        pipe.mean_run,
+        pipe.seed,
+    );
+    let trace = tracer.generate(pipe.trace_pkts);
+    let registry = Arc::new(StatsRegistry::new(pipe.cores));
+
+    let (wall_ns, mut digests_per_core) = match cfg.mode {
+        EngineMode::Parallel => run_parallel(&cfg, trace, &registry),
+        EngineMode::Deterministic => run_deterministic(&cfg, trace, &registry),
+    };
+
+    let mut flow_digests: BTreeMap<FlowKey, FlowDigest> = BTreeMap::new();
+    for core_digests in digests_per_core.drain(..) {
+        for (key, d) in core_digests {
+            // RSS pins a flow to exactly one core, so keys never collide
+            // across cores; insert-or-merge keeps this robust anyway.
+            let e = flow_digests.entry(key).or_default();
+            if e.pkts == 0 {
+                *e = d;
+            } else {
+                e.pkts += d.pkts;
+                e.bytes += d.bytes;
+                e.fnv ^= d.fnv;
+            }
+        }
+    }
+
+    let per_core = registry.snapshot();
+    let totals = registry.aggregate();
+    let wall_s = wall_ns as f64 / 1e9;
+    EngineReport {
+        mode: cfg.mode,
+        cores: pipe.cores,
+        wall_ns,
+        throughput_bps: if wall_s > 0.0 {
+            totals.bytes_in as f64 * 8.0 / wall_s
+        } else {
+            0.0
+        },
+        conversion_yield: totals.conversion_yield(),
+        totals,
+        per_core,
+        flow_digests,
+    }
+}
+
+/// Parallel mode: spawn one worker thread per core, stream batches over
+/// bounded channels, join, and merge results. Only the dispatch →
+/// process → join region is timed.
+fn run_parallel(
+    cfg: &EngineConfig,
+    trace: Vec<(FlowKey, Vec<u8>)>,
+    registry: &Arc<StatsRegistry>,
+) -> (u64, Vec<BTreeMap<FlowKey, FlowDigest>>) {
+    let cores = cfg.pipe.cores;
+    let batches = shard_batches(cfg, trace);
+    let start = Instant::now();
+    let mut senders = Vec::with_capacity(cores);
+    let mut handles = Vec::with_capacity(cores);
+    for core in 0..cores {
+        let (tx, rx) = channel::bounded::<Batch>(cfg.channel_batches);
+        senders.push(tx);
+        let registry = Arc::clone(registry);
+        let pipe = cfg.pipe;
+        handles.push(std::thread::spawn(move || {
+            let mut w = Worker::new(&pipe);
+            for batch in rx.iter() {
+                w.process_batch(batch);
+            }
+            w.finish();
+            registry.merge_core(core, &w.counters);
+            w.digests
+        }));
+    }
+    // Round-robin dispatch in arrival order; bounded channels apply
+    // back-pressure when a core falls behind.
+    let max_rounds = batches.iter().map(Vec::len).max().unwrap_or(0);
+    let mut queues: Vec<std::vec::IntoIter<Batch>> =
+        batches.into_iter().map(Vec::into_iter).collect();
+    for _ in 0..max_rounds {
+        for (core, q) in queues.iter_mut().enumerate() {
+            if let Some(batch) = q.next() {
+                senders[core].send(batch).expect("worker alive");
+            }
+        }
+    }
+    drop(senders);
+    let digests: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker must not panic"))
+        .collect();
+    (start.elapsed().as_nanos() as u64, digests)
+}
+
+/// Deterministic mode: the identical batch streams, executed inline —
+/// one batch per core per round, cores in index order, then a drain in
+/// core order.
+fn run_deterministic(
+    cfg: &EngineConfig,
+    trace: Vec<(FlowKey, Vec<u8>)>,
+    registry: &Arc<StatsRegistry>,
+) -> (u64, Vec<BTreeMap<FlowKey, FlowDigest>>) {
+    let cores = cfg.pipe.cores;
+    let batches = shard_batches(cfg, trace);
+    let start = Instant::now();
+    let mut workers: Vec<Worker> = (0..cores).map(|_| Worker::new(&cfg.pipe)).collect();
+    let max_rounds = batches.iter().map(Vec::len).max().unwrap_or(0);
+    let mut queues: Vec<std::vec::IntoIter<Batch>> =
+        batches.into_iter().map(Vec::into_iter).collect();
+    for _ in 0..max_rounds {
+        for (core, q) in queues.iter_mut().enumerate() {
+            if let Some(batch) = q.next() {
+                workers[core].process_batch(batch);
+            }
+        }
+    }
+    let digests = workers
+        .into_iter()
+        .enumerate()
+        .map(|(core, mut w)| {
+            w.finish();
+            registry.merge_core(core, &w.counters);
+            w.digests
+        })
+        .collect();
+    (start.elapsed().as_nanos() as u64, digests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(mode: EngineMode, cores: usize, workload: WorkloadKind) -> EngineReport {
+        let mut pipe = PipelineConfig::fig5(SystemVariant::Px, workload, cores);
+        pipe.trace_pkts = 4_000;
+        pipe.n_flows = 64;
+        run_engine(EngineConfig::new(pipe, mode))
+    }
+
+    #[test]
+    fn deterministic_run_is_repeatable() {
+        let a = small(EngineMode::Deterministic, 4, WorkloadKind::Tcp);
+        let b = small(EngineMode::Deterministic, 4, WorkloadKind::Tcp);
+        assert_eq!(a.flow_digests, b.flow_digests);
+        assert_eq!(a.totals, b.totals);
+    }
+
+    #[test]
+    fn parallel_matches_deterministic_content() {
+        let d = small(EngineMode::Deterministic, 4, WorkloadKind::Tcp);
+        let p = small(EngineMode::Parallel, 4, WorkloadKind::Tcp);
+        assert_eq!(d.flow_digests, p.flow_digests);
+        assert_eq!(d.totals.pkts_out, p.totals.pkts_out);
+        assert_eq!(d.totals.jumbo_out_inband, p.totals.jumbo_out_inband);
+    }
+
+    #[test]
+    fn every_input_packet_is_consumed() {
+        for workload in [WorkloadKind::Tcp, WorkloadKind::Udp] {
+            let r = small(EngineMode::Deterministic, 2, workload);
+            assert_eq!(r.totals.pkts_in, 4_000);
+            assert!(r.totals.pkts_out > 0);
+            let digest_pkts: u64 = r.flow_digests.values().map(|d| d.pkts).sum();
+            assert_eq!(digest_pkts, r.totals.pkts_out);
+        }
+    }
+
+    #[test]
+    fn per_core_counters_sum_to_totals() {
+        let r = small(EngineMode::Parallel, 4, WorkloadKind::Udp);
+        let mut sum = CoreCounters::default();
+        for c in &r.per_core {
+            sum.merge(c);
+        }
+        assert_eq!(sum, r.totals);
+        assert_eq!(r.per_core.len(), 4);
+    }
+
+    #[test]
+    fn digests_separate_payload_changes() {
+        let h0 = fnv_extend(FNV_OFFSET, &[1, 2, 3]);
+        let h1 = fnv_extend(FNV_OFFSET, &[1, 2, 4]);
+        assert_ne!(h0, h1);
+        // Length-prefixing distinguishes [1,2]+[3] from [1]+[2,3].
+        let a = fnv_extend(fnv_extend(FNV_OFFSET, &[1, 2]), &[3]);
+        let b = fnv_extend(fnv_extend(FNV_OFFSET, &[1]), &[2, 3]);
+        assert_ne!(a, b);
+    }
+}

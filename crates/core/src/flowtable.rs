@@ -88,7 +88,13 @@ impl<V> FlowTable<V> {
                 evicted = Some((victim, entry.value));
             }
         }
-        self.map.insert(key, Entry { value, last_used: self.clock });
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: self.clock,
+            },
+        );
         evicted
     }
 
@@ -108,7 +114,10 @@ impl<V> FlowTable<V> {
     }
 
     /// Removes every entry for which `pred` returns true, returning them.
-    pub fn take_matching(&mut self, mut pred: impl FnMut(&FlowKey, &V) -> bool) -> Vec<(FlowKey, V)> {
+    pub fn take_matching(
+        &mut self,
+        mut pred: impl FnMut(&FlowKey, &V) -> bool,
+    ) -> Vec<(FlowKey, V)> {
         let keys: Vec<FlowKey> = self
             .map
             .iter()
@@ -130,7 +139,12 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn key(i: u16) -> FlowKey {
-        FlowKey::tcp(Ipv4Addr::new(10, 0, 0, 1), 1000 + i, Ipv4Addr::new(10, 0, 0, 2), 80)
+        FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1000 + i,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        )
     }
 
     #[test]

@@ -147,9 +147,7 @@ impl PxGateway {
     /// neighbour.
     pub fn border_policy(&self, now_ns: u64) -> BorderPolicy {
         match (self.cfg.asn, self.neighbor_asn) {
-            (Some(_), Some(peer)) => {
-                self.neighbors.policy(now_ns, peer, self.cfg.imtu as u32)
-            }
+            (Some(_), Some(peer)) => self.neighbors.policy(now_ns, peer, self.cfg.imtu as u32),
             _ => BorderPolicy::Translate,
         }
     }
@@ -167,9 +165,12 @@ impl PxGateway {
         // picks it up off the shared border link.
         let src = Ipv4Addr::new(169, 254, (asn >> 8) as u8, asn as u8);
         let dst = Ipv4Addr::new(255, 255, 255, 255);
-        let dg = UdpRepr { src_port: ADVERT_PORT, dst_port: ADVERT_PORT }
-            .build_datagram(src, dst, &advert.to_bytes())
-            .expect("small");
+        let dg = UdpRepr {
+            src_port: ADVERT_PORT,
+            dst_port: ADVERT_PORT,
+        }
+        .build_datagram(src, dst, &advert.to_bytes())
+        .expect("small");
         let ip = Ipv4Repr::new(src, dst, IpProtocol::Udp, dg.len());
         if let Ok(pkt) = ip.build_packet(&dg) {
             ctx.send(EXTERNAL_PORT, PacketBuf::from_payload(&pkt));
@@ -212,7 +213,10 @@ impl PxGateway {
         // advertised so the b-network host will send jumbo segments.
         if self.cfg.rewrite_mss {
             let target = (self.cfg.imtu - 40).min(usize::from(u16::MAX)) as u16;
-            if matches!(raise_mss(&mut pkt, target), crate::mss::MssRewrite::Rewritten { .. }) {
+            if matches!(
+                raise_mss(&mut pkt, target),
+                crate::mss::MssRewrite::Rewritten { .. }
+            ) {
                 self.mss_rewrites += 1;
             }
         }
@@ -228,9 +232,7 @@ impl PxGateway {
         }
         let proto = Ipv4Packet::new_checked(&pkt[..]).map(|ip| ip.protocol());
         let out = match proto {
-            Ok(IpProtocol::Udp) if self.cfg.caravan => {
-                self.caravan.push_inbound(ctx.now.0, pkt)
-            }
+            Ok(IpProtocol::Udp) if self.cfg.caravan => self.caravan.push_inbound(ctx.now.0, pkt),
             _ => self.merge.push(ctx.now.0, pkt),
         };
         for p in out {
@@ -362,7 +364,10 @@ mod tests {
     fn tcp_download_through_gateway_merges_and_stays_intact() {
         // External server sends 3 MB to the internal client: the gateway
         // merges eMTU segments into jumbos.
-        let (mut net, ext, gw, int) = topo(GatewayConfig { steer: None, ..Default::default() });
+        let (mut net, ext, gw, int) = topo(GatewayConfig {
+            steer: None,
+            ..Default::default()
+        });
         let total = 3_000_000u64;
         net.node_mut::<Host>(ext).listen(
             80,
@@ -388,9 +393,13 @@ mod tests {
     fn mss_rewriting_lets_internal_sender_use_jumbo_segments() {
         // Internal client uploads; its peer (external server at MTU 1500)
         // advertises MSS 1460 in the SYN-ACK, which the gateway raises.
-        let (mut net, ext, gw, int) = topo(GatewayConfig { steer: None, ..Default::default() });
+        let (mut net, ext, gw, int) = topo(GatewayConfig {
+            steer: None,
+            ..Default::default()
+        });
         let total = 2_000_000u64;
-        net.node_mut::<Host>(ext).listen(80, ConnConfig::new((EXT, 80), (INT, 0), 1500));
+        net.node_mut::<Host>(ext)
+            .listen(80, ConnConfig::new((EXT, 80), (INT, 0), 1500));
         net.node_mut::<Host>(int).connect_at(
             0,
             ConnConfig::new((INT, 40000), (EXT, 80), 9000).sending(total),
@@ -415,8 +424,12 @@ mod tests {
 
     #[test]
     fn udp_flow_becomes_caravans_and_boundaries_survive() {
-        let (mut net, ext, gw, int) = topo(GatewayConfig { steer: None, ..Default::default() });
-        net.node_mut::<Host>(int).udp_bind(UdpSocket::bind(4433).recording());
+        let (mut net, ext, gw, int) = topo(GatewayConfig {
+            steer: None,
+            ..Default::default()
+        });
+        net.node_mut::<Host>(int)
+            .udp_bind(UdpSocket::bind(4433).recording());
         net.node_mut::<Host>(ext).add_udp_flow(UdpFlowCfg {
             local_port: 7000,
             dst: INT,
@@ -442,7 +455,10 @@ mod tests {
     #[test]
     fn steering_hairpins_sparse_flows() {
         let cfg = GatewayConfig {
-            steer: Some(SteerConfig { elephant_pkts: 1000, ..Default::default() }),
+            steer: Some(SteerConfig {
+                elephant_pkts: 1000,
+                ..Default::default()
+            }),
             ..Default::default()
         };
         let (mut net, ext, gw, int) = topo(cfg);
@@ -466,8 +482,12 @@ mod tests {
 
     #[test]
     fn fpmtud_probe_passes_unmerged() {
-        let (mut net, ext, gw, int) = topo(GatewayConfig { steer: None, ..Default::default() });
-        net.node_mut::<Host>(int).udp_bind(UdpSocket::bind(FPMTUD_PORT).recording());
+        let (mut net, ext, gw, int) = topo(GatewayConfig {
+            steer: None,
+            ..Default::default()
+        });
+        net.node_mut::<Host>(int)
+            .udp_bind(UdpSocket::bind(FPMTUD_PORT).recording());
         net.node_mut::<Host>(ext).add_udp_flow(UdpFlowCfg {
             local_port: 7000,
             dst: INT,

@@ -21,7 +21,9 @@
 //!   flows past the merge machinery (paper §3/§4.1);
 //! * **multi-core scaling** — [`pipeline`] models the RSS-sharded,
 //!   memory-bus-constrained datapath of Fig. 5a/5b, including the
-//!   header-only-DMA variant;
+//!   header-only-DMA variant, and [`engine`] *runs* it: one worker
+//!   thread per core over bounded channels (or a deterministic
+//!   single-threaded schedule with bit-identical output);
 //! * **iMTU advertisement** — [`advert`] implements §4.2's explicit
 //!   per-network iMTU exchange so adjacent b-networks skip translation.
 //!
@@ -36,6 +38,7 @@
 pub mod advert;
 pub mod baseline;
 pub mod caravan_gw;
+pub mod engine;
 pub mod flowtable;
 pub mod gateway;
 pub mod merge;

@@ -148,8 +148,7 @@ impl MergeEngine {
             return (false, true);
         };
         let f = tcp.flags();
-        let shape_ok =
-            f.ack && !f.syn && !f.fin && !f.rst && !f.urg && !tcp.payload().is_empty();
+        let shape_ok = f.ack && !f.syn && !f.fin && !f.rst && !f.urg && !tcp.payload().is_empty();
         if !shape_ok {
             return (false, true);
         }
@@ -227,7 +226,11 @@ impl MergeEngine {
         }
         let evicted = self.table.insert(
             key,
-            Pending { pkt, deadline: now + self.cfg.hold_ns, segs: 1 },
+            Pending {
+                pkt,
+                deadline: now + self.cfg.hold_ns,
+                segs: 1,
+            },
         );
         if let Some((_, p)) = evicted {
             self.stats.flush_evict += 1;
@@ -327,7 +330,11 @@ mod tests {
         for i in 0..6u32 {
             out.extend(eng.push(0, data_pkt(5000, i * seg_payload, seg_payload as usize)));
         }
-        assert_eq!(out.len(), 1, "one full aggregate (6×1460+40 = 8800 ≥ threshold)");
+        assert_eq!(
+            out.len(),
+            1,
+            "one full aggregate (6×1460+40 = 8800 ≥ threshold)"
+        );
         assert_eq!(out[0].len(), 40 + 6 * 1460);
         assert_eq!(total_payload(&out), 6 * 1460);
         // The merged packet has valid checksums and the pattern intact.
@@ -341,7 +348,10 @@ mod tests {
 
     #[test]
     fn hold_timer_flushes_partial_aggregates() {
-        let mut eng = MergeEngine::new(MergeConfig { hold_ns: 1000, ..Default::default() });
+        let mut eng = MergeEngine::new(MergeConfig {
+            hold_ns: 1000,
+            ..Default::default()
+        });
         let mut out = eng.push(0, data_pkt(5000, 0, 1000));
         out.extend(eng.push(10, data_pkt(5000, 1000, 1000)));
         assert!(out.is_empty(), "held");
@@ -388,14 +398,20 @@ mod tests {
 
     #[test]
     fn disabled_hold_emits_immediately() {
-        let mut eng = MergeEngine::new(MergeConfig { hold_ns: 0, ..Default::default() });
+        let mut eng = MergeEngine::new(MergeConfig {
+            hold_ns: 0,
+            ..Default::default()
+        });
         let out = eng.push(0, data_pkt(5000, 0, 1000));
         assert_eq!(out.len(), 1, "no delayed merging: passthrough");
     }
 
     #[test]
     fn eviction_flushes_victim() {
-        let mut eng = MergeEngine::new(MergeConfig { table_capacity: 2, ..Default::default() });
+        let mut eng = MergeEngine::new(MergeConfig {
+            table_capacity: 2,
+            ..Default::default()
+        });
         eng.push(0, data_pkt(5000, 0, 500));
         eng.push(0, data_pkt(5001, 0, 500));
         let out = eng.push(0, data_pkt(5002, 0, 500));
@@ -416,7 +432,10 @@ mod tests {
         out.extend(eng.poll(u64::MAX));
         assert_eq!(out.len(), 2);
         let y = eng.stats.conversion_yield(&cfg);
-        assert!((y - 0.5).abs() < 1e-9, "1 of 2 output packets is jumbo: {y}");
+        assert!(
+            (y - 0.5).abs() < 1e-9,
+            "1 of 2 output packets is jumbo: {y}"
+        );
     }
 
     #[test]
@@ -430,7 +449,10 @@ mod tests {
 
     #[test]
     fn next_deadline_tracks_earliest() {
-        let mut eng = MergeEngine::new(MergeConfig { hold_ns: 100, ..Default::default() });
+        let mut eng = MergeEngine::new(MergeConfig {
+            hold_ns: 100,
+            ..Default::default()
+        });
         assert_eq!(eng.next_deadline(), None);
         eng.push(50, data_pkt(5000, 0, 500));
         eng.push(10, data_pkt(5001, 0, 500));

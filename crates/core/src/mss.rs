@@ -84,7 +84,10 @@ pub fn raise_mss(packet: &mut [u8], target_mss: u16) -> MssRewrite {
                     }
                     packet[i + 2..i + 4].copy_from_slice(&target_mss.to_be_bytes());
                     patch_tcp_checksum(packet, ip_hlen, i + 2, old, target_mss);
-                    return MssRewrite::Rewritten { old, new: target_mss };
+                    return MssRewrite::Rewritten {
+                        old,
+                        new: target_mss,
+                    };
                 }
                 i += len;
             }
@@ -98,7 +101,7 @@ pub fn raise_mss(packet: &mut [u8], target_mss: u16) -> MssRewrite {
 /// changed from `old` to `new`.
 fn patch_tcp_checksum(packet: &mut [u8], ip_hlen: usize, word_off: usize, old: u16, new: u16) {
     let ck_off = ip_hlen + 16;
-    if (word_off - ip_hlen) % 2 == 0 {
+    if (word_off - ip_hlen).is_multiple_of(2) {
         // Aligned 16-bit word: RFC 1624 incremental update.
         let old_ck = u16::from_be_bytes([packet[ck_off], packet[ck_off + 1]]);
         let new_ck = checksum::incremental_update(old_ck, old, new);
@@ -134,7 +137,11 @@ mod tests {
             dst_port: 55000,
             seq: SeqNum(0xAABBCCDD),
             ack: SeqNum(17),
-            flags: if syn { TcpFlags::SYN_ACK } else { TcpFlags::ACK },
+            flags: if syn {
+                TcpFlags::SYN_ACK
+            } else {
+                TcpFlags::ACK
+            },
             window: 64000,
             options,
         };
@@ -155,7 +162,13 @@ mod tests {
         let mut pkt = syn_packet(Some(1460), true);
         assert!(checksums_ok(&pkt));
         let r = raise_mss(&mut pkt, 8960);
-        assert_eq!(r, MssRewrite::Rewritten { old: 1460, new: 8960 });
+        assert_eq!(
+            r,
+            MssRewrite::Rewritten {
+                old: 1460,
+                new: 8960
+            }
+        );
         assert!(checksums_ok(&pkt), "incremental checksum patch must hold");
         // The peer now sees the jumbo MSS.
         let ip = Ipv4Packet::new_checked(&pkt[..]).unwrap();
@@ -183,9 +196,12 @@ mod tests {
 
     #[test]
     fn ignores_udp_and_garbage() {
-        let dg = px_wire::UdpRepr { src_port: 1, dst_port: 2 }
-            .build_datagram(SRC, DST, b"x")
-            .unwrap();
+        let dg = px_wire::UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        }
+        .build_datagram(SRC, DST, b"x")
+        .unwrap();
         let mut pkt = Ipv4Repr::new(SRC, DST, px_wire::IpProtocol::Udp, dg.len())
             .build_packet(&dg)
             .unwrap();

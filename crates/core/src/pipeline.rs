@@ -21,9 +21,7 @@
 //! DMA the 8-core PX configuration is bus-bound (the paper's 1.09 Tbps);
 //! with it, CPU-bound (1.45 Tbps).
 
-use crate::baseline::BaselineGateway;
-use crate::caravan_gw::{CaravanConfig, CaravanEngine};
-use crate::merge::{MergeConfig, MergeEngine};
+use crate::engine::CoreEngine;
 use px_sim::calib;
 use px_wire::ipv4::Ipv4Repr;
 use px_wire::tcp::{SeqNum, TcpFlags, TcpRepr};
@@ -103,7 +101,7 @@ impl PipelineConfig {
             // baseline's ≈76% (sweep: 50 µs → 87%, 130 µs → 94%,
             // 250 µs → 98%).
             hold_ns: 130_000,
-            seed: 0xF16_5A + cores as u64,
+            seed: 0x000F_165A + cores as u64,
         }
     }
 }
@@ -145,7 +143,13 @@ pub struct TraceGen {
 
 impl TraceGen {
     /// Creates a trace generator over `n_flows` flows.
-    pub fn new(workload: WorkloadKind, n_flows: usize, emtu: usize, mean_run: usize, seed: u64) -> Self {
+    pub fn new(
+        workload: WorkloadKind,
+        n_flows: usize,
+        emtu: usize,
+        mean_run: usize,
+        seed: u64,
+    ) -> Self {
         let flows = (0..n_flows)
             .map(|i| {
                 let src = Ipv4Addr::new(198, 51, (i / 250) as u8, (i % 250) as u8 + 1);
@@ -155,7 +159,11 @@ impl TraceGen {
                     WorkloadKind::Tcp => FlowKey::tcp(src, sport, dst, 5201),
                     WorkloadKind::Udp => FlowKey::udp(src, sport, dst, 5201),
                 };
-                FlowGen { key, next_seq: (i as u32) * 1_000_003, next_ip_id: i as u16 }
+                FlowGen {
+                    key,
+                    next_seq: (i as u32) * 1_000_003,
+                    next_ip_id: i as u16,
+                }
             })
             .collect();
         TraceGen {
@@ -193,9 +201,12 @@ impl TraceGen {
             }
             WorkloadKind::Udp => {
                 let payload_len = emtu - 28;
-                let dg = UdpRepr { src_port: f.key.src_port, dst_port: f.key.dst_port }
-                    .build_datagram(f.key.src_ip, f.key.dst_ip, &vec![0xEF; payload_len])
-                    .expect("fits");
+                let dg = UdpRepr {
+                    src_port: f.key.src_port,
+                    dst_port: f.key.dst_port,
+                }
+                .build_datagram(f.key.src_ip, f.key.dst_ip, &vec![0xEF; payload_len])
+                .expect("fits");
                 let mut ip = Ipv4Repr::new(f.key.src_ip, f.key.dst_ip, IpProtocol::Udp, dg.len());
                 ip.ident = f.next_ip_id;
                 f.next_ip_id = f.next_ip_id.wrapping_add(1);
@@ -228,38 +239,6 @@ impl TraceGen {
     }
 }
 
-enum CoreEngine {
-    Baseline(BaselineGateway),
-    Merge(MergeEngine),
-    Caravan(CaravanEngine),
-}
-
-impl CoreEngine {
-    fn push(&mut self, now: u64, pkt: Vec<u8>) -> Vec<Vec<u8>> {
-        match self {
-            CoreEngine::Baseline(b) => b.push(pkt),
-            CoreEngine::Merge(m) => {
-                let mut out = m.poll(now);
-                out.extend(m.push(now, pkt));
-                out
-            }
-            CoreEngine::Caravan(c) => {
-                let mut out = c.poll(now);
-                out.extend(c.push_inbound(now, pkt));
-                out
-            }
-        }
-    }
-
-    fn finish(&mut self) -> Vec<Vec<u8>> {
-        match self {
-            CoreEngine::Baseline(b) => b.flush(),
-            CoreEngine::Merge(m) => m.flush_all(),
-            CoreEngine::Caravan(c) => c.flush_all(),
-        }
-    }
-}
-
 /// Runs the pipeline model and reports throughput + conversion yield.
 pub fn run_pipeline(cfg: PipelineConfig) -> PipelineReport {
     assert!(cfg.cores > 0);
@@ -267,25 +246,10 @@ pub fn run_pipeline(cfg: PipelineConfig) -> PipelineReport {
     let trace = tracer.generate(cfg.trace_pkts);
     let rss = RssHasher::symmetric();
 
-    // Per-core engines.
+    // Per-core engines — the same construction the threaded engine uses.
     let mut engines: Vec<CoreEngine> = (0..cfg.cores)
-        .map(|_| match (cfg.variant, cfg.workload) {
-            (SystemVariant::BaselineGro, _) => {
-                CoreEngine::Baseline(BaselineGateway::new(cfg.imtu, 64))
-            }
-            (_, WorkloadKind::Tcp) => CoreEngine::Merge(MergeEngine::new(MergeConfig {
-                imtu: cfg.imtu,
-                emtu: cfg.emtu,
-                hold_ns: cfg.hold_ns,
-                table_capacity: 65536,
-            })),
-            (_, WorkloadKind::Udp) => CoreEngine::Caravan(CaravanEngine::new(CaravanConfig {
-                imtu: cfg.imtu,
-                hold_ns: cfg.hold_ns,
-                table_capacity: 65536,
-                require_consecutive_ip_id: true,
-                probe_port: crate::gateway::FPMTUD_PORT,
-            })),
+        .map(|_| {
+            CoreEngine::for_variant(cfg.variant, cfg.workload, cfg.imtu, cfg.emtu, cfg.hold_ns)
         })
         .collect();
 
@@ -297,11 +261,11 @@ pub fn run_pipeline(cfg: PipelineConfig) -> PipelineReport {
     let jumbo_at = cfg.imtu - (cfg.emtu - 40) + 1;
 
     let account = |core_cycles: &mut Vec<f64>,
-                       core: usize,
-                       unit: &[u8],
-                       pkts_out: &mut u64,
-                       jumbo_out: &mut u64,
-                       count_yield: bool| {
+                   core: usize,
+                   unit: &[u8],
+                   pkts_out: &mut u64,
+                   jumbo_out: &mut u64,
+                   count_yield: bool| {
         let len = unit.len();
         let segs = (len.saturating_sub(40)).div_ceil(cfg.emtu - 40).max(1);
         let cycles = match (cfg.variant, cfg.workload) {
@@ -331,7 +295,14 @@ pub fn run_pipeline(cfg: PipelineConfig) -> PipelineReport {
         }
         core_bytes[core] += pkt.len() as u64;
         for unit in engines[core].push(now, pkt) {
-            account(&mut core_cycles, core, &unit, &mut pkts_out, &mut jumbo_out, true);
+            account(
+                &mut core_cycles,
+                core,
+                &unit,
+                &mut pkts_out,
+                &mut jumbo_out,
+                true,
+            );
         }
     }
     // The final drain is a finite-trace artifact: its cycles count, but
@@ -339,7 +310,14 @@ pub fn run_pipeline(cfg: PipelineConfig) -> PipelineReport {
     // steady-state conversion yield.
     for (core, eng) in engines.iter_mut().enumerate() {
         for unit in eng.finish() {
-            account(&mut core_cycles, core, &unit, &mut pkts_out, &mut jumbo_out, false);
+            account(
+                &mut core_cycles,
+                core,
+                &unit,
+                &mut pkts_out,
+                &mut jumbo_out,
+                false,
+            );
         }
     }
 
@@ -438,7 +416,11 @@ mod tests {
             px.conversion_yield,
             base.conversion_yield
         );
-        assert!(px.conversion_yield > 0.8, "px yield {}", px.conversion_yield);
+        assert!(
+            px.conversion_yield > 0.8,
+            "px yield {}",
+            px.conversion_yield
+        );
     }
 
     #[test]
@@ -456,7 +438,11 @@ mod tests {
             tcp.throughput_bps
         );
         // "the conversion yield remains comparable to TCP"
-        assert!(udp.conversion_yield > 0.75, "udp yield {}", udp.conversion_yield);
+        assert!(
+            udp.conversion_yield > 0.75,
+            "udp yield {}",
+            udp.conversion_yield
+        );
     }
 
     #[test]

@@ -76,9 +76,12 @@ impl PmtudClient {
         let id = self.next_id;
         self.next_id += 1;
         let payload = probe_payload(id, self.probe_size);
-        let dg = UdpRepr { src_port: FPMTUD_PORT, dst_port: FPMTUD_PORT }
-            .build_datagram(self.addr, dst, &payload)
-            .ok()?;
+        let dg = UdpRepr {
+            src_port: FPMTUD_PORT,
+            dst_port: FPMTUD_PORT,
+        }
+        .build_datagram(self.addr, dst, &payload)
+        .ok()?;
         let mut ip = Ipv4Repr::new(self.addr, dst, IpProtocol::Udp, dg.len());
         ip.dont_frag = false;
         ip.ident = self.ident;
@@ -134,9 +137,12 @@ mod tests {
     const DST: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 5);
 
     fn report_pkt(from: Ipv4Addr, to: Ipv4Addr, id: u32, sizes: &[usize]) -> Vec<u8> {
-        let dg = UdpRepr { src_port: FPMTUD_PORT, dst_port: FPMTUD_PORT }
-            .build_datagram(from, to, &report_payload(id, sizes))
-            .unwrap();
+        let dg = UdpRepr {
+            src_port: FPMTUD_PORT,
+            dst_port: FPMTUD_PORT,
+        }
+        .build_datagram(from, to, &report_payload(id, sizes))
+        .unwrap();
         Ipv4Repr::new(from, to, IpProtocol::Udp, dg.len())
             .build_packet(&dg)
             .unwrap()
@@ -181,9 +187,12 @@ mod tests {
         let other = report_pkt(DST, Ipv4Addr::new(1, 2, 3, 4), 2, &[1500]);
         assert!(!c.try_ingest(&other));
         // Ordinary traffic: not consumed.
-        let dg = UdpRepr { src_port: 1, dst_port: 80 }
-            .build_datagram(DST, GW, b"hello")
-            .unwrap();
+        let dg = UdpRepr {
+            src_port: 1,
+            dst_port: 80,
+        }
+        .build_datagram(DST, GW, b"hello")
+        .unwrap();
         let plain = Ipv4Repr::new(DST, GW, IpProtocol::Udp, dg.len())
             .build_packet(&dg)
             .unwrap();

@@ -44,7 +44,10 @@ pub struct SplitEngine {
 impl SplitEngine {
     /// Creates a split engine targeting `emtu`.
     pub fn new(emtu: usize) -> Self {
-        SplitEngine { emtu, stats: SplitStats::default() }
+        SplitEngine {
+            emtu,
+            stats: SplitStats::default(),
+        }
     }
 
     /// Processes one packet leaving the b-network; returns wire packets
@@ -168,9 +171,12 @@ mod tests {
 
     #[test]
     fn oversize_udp_fragments_when_df_clear() {
-        let dg = UdpRepr { src_port: 1, dst_port: 2 }
-            .build_datagram(SRC, DST, &vec![0u8; 4000])
-            .unwrap();
+        let dg = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        }
+        .build_datagram(SRC, DST, &vec![0u8; 4000])
+        .unwrap();
         let pkt = Ipv4Repr::new(SRC, DST, IpProtocol::Udp, dg.len())
             .build_packet(&dg)
             .unwrap();
@@ -182,9 +188,12 @@ mod tests {
 
     #[test]
     fn oversize_udp_with_df_drops() {
-        let dg = UdpRepr { src_port: 1, dst_port: 2 }
-            .build_datagram(SRC, DST, &vec![0u8; 4000])
-            .unwrap();
+        let dg = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        }
+        .build_datagram(SRC, DST, &vec![0u8; 4000])
+        .unwrap();
         let mut repr = Ipv4Repr::new(SRC, DST, IpProtocol::Udp, dg.len());
         repr.dont_frag = true;
         let pkt = repr.build_packet(&dg).unwrap();

@@ -94,7 +94,11 @@ impl FlowClassifier {
             if c.pkts >= cfg.elephant_pkts {
                 c.elephant = true;
             }
-            let verdict = if c.elephant { FlowClass::Elephant } else { FlowClass::Mouse };
+            let verdict = if c.elephant {
+                FlowClass::Elephant
+            } else {
+                FlowClass::Mouse
+            };
             match verdict {
                 FlowClass::Mouse => self.mouse_pkts += 1,
                 FlowClass::Elephant => self.elephant_pkts_seen += 1,
@@ -103,7 +107,11 @@ impl FlowClassifier {
         }
         self.table.insert(
             *key,
-            FlowCounter { pkts: 1, window_start: now, elephant: false },
+            FlowCounter {
+                pkts: 1,
+                window_start: now,
+                elephant: false,
+            },
         );
         self.mouse_pkts += 1;
         FlowClass::Mouse
@@ -143,13 +151,19 @@ mod tests {
         }
         assert_eq!(verdicts[0], FlowClass::Mouse);
         assert!(verdicts[19] == FlowClass::Elephant);
-        let promoted_at = verdicts.iter().position(|v| *v == FlowClass::Elephant).unwrap();
+        let promoted_at = verdicts
+            .iter()
+            .position(|v| *v == FlowClass::Elephant)
+            .unwrap();
         assert_eq!(promoted_at as u32, cfg.elephant_pkts - 1);
     }
 
     #[test]
     fn elephant_keeps_status_across_windows_if_busy() {
-        let cfg = SteerConfig { window_ns: 1000, ..Default::default() };
+        let cfg = SteerConfig {
+            window_ns: 1000,
+            ..Default::default()
+        };
         let mut c = FlowClassifier::new(cfg);
         for i in 0..20 {
             c.classify(i, &key(1));
@@ -160,7 +174,11 @@ mod tests {
 
     #[test]
     fn idle_mouse_resets_each_window() {
-        let cfg = SteerConfig { window_ns: 1000, elephant_pkts: 4, ..Default::default() };
+        let cfg = SteerConfig {
+            window_ns: 1000,
+            elephant_pkts: 4,
+            ..Default::default()
+        };
         let mut c = FlowClassifier::new(cfg);
         // 3 packets per window, forever: never promoted.
         for w in 0..10u64 {

@@ -98,10 +98,14 @@ impl ClassicProber {
         self.tries_at_size += 1;
         let payload_len = self.estimate - 28;
         let mut payload = vec![0u8; payload_len];
-        payload[..4.min(payload_len)].copy_from_slice(&self.seq.to_be_bytes()[..4.min(payload_len)]);
-        let dg = UdpRepr { src_port: ECHO_PORT, dst_port: ECHO_PORT }
-            .build_datagram(self.cfg.addr, self.cfg.dst, &payload)
-            .expect("fits");
+        payload[..4.min(payload_len)]
+            .copy_from_slice(&self.seq.to_be_bytes()[..4.min(payload_len)]);
+        let dg = UdpRepr {
+            src_port: ECHO_PORT,
+            dst_port: ECHO_PORT,
+        }
+        .build_datagram(self.cfg.addr, self.cfg.dst, &payload)
+        .expect("fits");
         let mut ip = Ipv4Repr::new(self.cfg.addr, self.cfg.dst, IpProtocol::Udp, dg.len());
         ip.dont_frag = true; // the defining property of classic PMTUD
         ip.ident = self.ident;
@@ -199,7 +203,10 @@ mod tests {
         let daemon = FpmtudDaemon::new(DAEMON_ADDR);
         let (mut net, p, _d) = build_path(11, prober, daemon, hops, blackholes);
         net.run_until(Nanos::from_secs(30));
-        net.node_ref::<ClassicProber>(p).outcome.clone().expect("finished")
+        net.node_ref::<ClassicProber>(p)
+            .outcome
+            .clone()
+            .expect("finished")
     }
 
     #[test]
@@ -211,7 +218,12 @@ mod tests {
             Hop::new(1500, 100),
         ];
         match run(&hops, false) {
-            ClassicOutcome::Discovered { pmtu, probes_sent, icmp_seen, .. } => {
+            ClassicOutcome::Discovered {
+                pmtu,
+                probes_sent,
+                icmp_seen,
+                ..
+            } => {
                 assert_eq!(pmtu, 1500, "exact PMTU via ICMP feedback");
                 assert_eq!(icmp_seen, 2, "one lowering per narrower hop");
                 assert_eq!(probes_sent, 3);
@@ -222,9 +234,16 @@ mod tests {
 
     #[test]
     fn blackhole_defeats_classic_pmtud() {
-        let hops = [Hop::new(9000, 100), Hop::new(1500, 100), Hop::new(1500, 100)];
+        let hops = [
+            Hop::new(9000, 100),
+            Hop::new(1500, 100),
+            Hop::new(1500, 100),
+        ];
         match run(&hops, true) {
-            ClassicOutcome::Blackholed { stuck_at, probes_sent } => {
+            ClassicOutcome::Blackholed {
+                stuck_at,
+                probes_sent,
+            } => {
                 assert_eq!(stuck_at, 9000, "never learned the real PMTU");
                 assert_eq!(probes_sent, 2);
             }
@@ -236,7 +255,12 @@ mod tests {
     fn flat_path_confirms_first_probe() {
         let hops = [Hop::new(1500, 100), Hop::new(1500, 100)];
         match run(&hops, false) {
-            ClassicOutcome::Discovered { pmtu, probes_sent, icmp_seen, .. } => {
+            ClassicOutcome::Discovered {
+                pmtu,
+                probes_sent,
+                icmp_seen,
+                ..
+            } => {
                 assert_eq!(pmtu, 1500);
                 assert_eq!(probes_sent, 1);
                 assert_eq!(icmp_seen, 0);

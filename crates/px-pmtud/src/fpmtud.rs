@@ -14,17 +14,18 @@
 //! narrowest link allowed. One RTT, no ICMP, works through blackholes.
 
 use crate::{ECHO_PORT, FPMTUD_PORT};
-pub use px_wire::fpmtud::{parse_report, probe_payload, report_payload, ECHO_MAGIC, PROBE_MAGIC, REPORT_MAGIC};
 use px_sim::node::{Ctx, Node, PortId};
 use px_sim::Nanos;
-use px_wire::frag::{ReassemblyResult, Reassembler};
+pub use px_wire::fpmtud::{
+    parse_report, probe_payload, report_payload, ECHO_MAGIC, PROBE_MAGIC, REPORT_MAGIC,
+};
+use px_wire::frag::{Reassembler, ReassemblyResult};
 use px_wire::ipv4::{Ipv4Packet, Ipv4Repr};
 use px_wire::udp::UdpDatagram;
 use px_wire::{IpProtocol, PacketBuf, UdpRepr};
 use std::any::Any;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
-
 
 /// The outcome of one probe.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,10 +74,20 @@ impl FpmtudDaemon {
         }
     }
 
-    fn send_udp(&mut self, ctx: &mut Ctx<'_>, dst: Ipv4Addr, sport: u16, dport: u16, payload: &[u8]) {
-        let dg = UdpRepr { src_port: sport, dst_port: dport }
-            .build_datagram(self.addr, dst, payload)
-            .expect("small payload");
+    fn send_udp(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dst: Ipv4Addr,
+        sport: u16,
+        dport: u16,
+        payload: &[u8],
+    ) {
+        let dg = UdpRepr {
+            src_port: sport,
+            dst_port: dport,
+        }
+        .build_datagram(self.addr, dst, payload)
+        .expect("small payload");
         let mut ip = Ipv4Repr::new(self.addr, dst, IpProtocol::Udp, dg.len());
         ip.ident = self.ident;
         self.ident = self.ident.wrapping_add(1);
@@ -128,7 +139,10 @@ impl Node for FpmtudDaemon {
                 let size = p.len();
                 self.handle_complete(ctx, &p, vec![size]);
             }
-            Ok(ReassemblyResult::Complete { packet, fragment_sizes }) => {
+            Ok(ReassemblyResult::Complete {
+                packet,
+                fragment_sizes,
+            }) => {
                 self.handle_complete(ctx, &packet, fragment_sizes);
             }
             Ok(ReassemblyResult::Incomplete) | Err(_) => {}
@@ -191,9 +205,12 @@ impl FpmtudProber {
         self.next_id += 1;
         self.tries += 1;
         let payload = probe_payload(id, self.cfg.probe_size);
-        let dg = UdpRepr { src_port: FPMTUD_PORT, dst_port: FPMTUD_PORT }
-            .build_datagram(self.cfg.addr, self.cfg.dst, &payload)
-            .expect("probe fits UDP");
+        let dg = UdpRepr {
+            src_port: FPMTUD_PORT,
+            dst_port: FPMTUD_PORT,
+        }
+        .build_datagram(self.cfg.addr, self.cfg.dst, &payload)
+        .expect("probe fits UDP");
         let mut ip = Ipv4Repr::new(self.cfg.addr, self.cfg.dst, IpProtocol::Udp, dg.len());
         ip.dont_frag = false; // the whole point: let routers fragment it
         ip.ident = self.ident;
@@ -249,7 +266,9 @@ impl Node for FpmtudProber {
             return; // already answered
         }
         if self.tries >= self.cfg.max_tries {
-            self.outcome = Some(ProbeOutcome::TimedOut { probes_sent: self.tries });
+            self.outcome = Some(ProbeOutcome::TimedOut {
+                probes_sent: self.tries,
+            });
             return;
         }
         self.send_probe(ctx);
@@ -279,7 +298,10 @@ mod tests {
         let daemon = FpmtudDaemon::new(DAEMON_ADDR);
         let (mut net, p, _d) = build_path(7, prober, daemon, hops, blackholes);
         net.run_until(Nanos::from_secs(10));
-        net.node_ref::<FpmtudProber>(p).outcome.clone().expect("finished")
+        net.node_ref::<FpmtudProber>(p)
+            .outcome
+            .clone()
+            .expect("finished")
     }
 
     #[test]
@@ -292,7 +314,12 @@ mod tests {
             Hop::new(1500, 100),
         ];
         match run(&hops, false) {
-            ProbeOutcome::Discovered { pmtu, fragment_sizes, probes_sent, .. } => {
+            ProbeOutcome::Discovered {
+                pmtu,
+                fragment_sizes,
+                probes_sent,
+                ..
+            } => {
                 // Largest fragment ≤ narrowest MTU, within 8-byte rounding.
                 let truth = true_pmtu(&hops);
                 assert!(pmtu <= truth && pmtu > truth - 28, "pmtu {pmtu} vs {truth}");
@@ -321,9 +348,17 @@ mod tests {
 
     #[test]
     fn unfragmented_probe_reports_full_size() {
-        let hops = [Hop::new(1500, 100), Hop::new(1500, 100), Hop::new(1500, 100)];
+        let hops = [
+            Hop::new(1500, 100),
+            Hop::new(1500, 100),
+            Hop::new(1500, 100),
+        ];
         match run(&hops, false) {
-            ProbeOutcome::Discovered { pmtu, fragment_sizes, .. } => {
+            ProbeOutcome::Discovered {
+                pmtu,
+                fragment_sizes,
+                ..
+            } => {
                 assert_eq!(pmtu, 1500);
                 assert_eq!(fragment_sizes, vec![1500]);
             }
@@ -333,7 +368,11 @@ mod tests {
 
     #[test]
     fn one_rtt_latency() {
-        let hops = [Hop::new(9000, 5000), Hop::new(1500, 20_000), Hop::new(1500, 5000)];
+        let hops = [
+            Hop::new(9000, 5000),
+            Hop::new(1500, 20_000),
+            Hop::new(1500, 5000),
+        ];
         match run(&hops, false) {
             ProbeOutcome::Discovered { elapsed, .. } => {
                 let one_way = crate::topology::path_delay(&hops);

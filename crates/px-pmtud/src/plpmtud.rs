@@ -78,7 +78,7 @@ impl PlpmtudConfig {
 pub struct PlpmtudProber {
     /// Configuration.
     pub cfg: PlpmtudConfig,
-    low: usize,  // largest size proven to work
+    low: usize, // largest size proven to work
     low_confirmed: bool,
     high: usize, // smallest size proven (or assumed) too big, minus nothing
     current: usize,
@@ -118,9 +118,12 @@ impl PlpmtudProber {
         let payload_len = self.current - 28;
         let mut payload = vec![0u8; payload_len];
         payload[..4].copy_from_slice(&self.seq.to_be_bytes());
-        let dg = UdpRepr { src_port: ECHO_PORT, dst_port: ECHO_PORT }
-            .build_datagram(self.cfg.addr, self.cfg.dst, &payload)
-            .expect("fits");
+        let dg = UdpRepr {
+            src_port: ECHO_PORT,
+            dst_port: ECHO_PORT,
+        }
+        .build_datagram(self.cfg.addr, self.cfg.dst, &payload)
+        .expect("fits");
         let mut ip = Ipv4Repr::new(self.cfg.addr, self.cfg.dst, IpProtocol::Udp, dg.len());
         ip.dont_frag = true; // probes must not be fragmented (RFC 4821 §3)
         ip.ident = self.ident;
@@ -132,21 +135,19 @@ impl PlpmtudProber {
 
     fn next_size(&mut self, ctx: &mut Ctx<'_>) {
         if self.high.saturating_sub(self.low) <= self.cfg.granularity {
-            if !self.low_confirmed {
-                if self.low > 68 + self.cfg.granularity {
-                    // The search converged onto a lower bound that was
-                    // never actually acknowledged (the true PMTU may sit
-                    // below BASE_PLPMTU, RFC 4821 §7.4): restart the
-                    // search below it.
-                    self.high = self.low;
-                    self.low = 68; // IPv4 minimum
-                    self.current = self.high;
-                    self.tries = 0;
-                    self.send_probe(ctx);
-                    return;
-                }
-                // Nothing ever got through; report the floor.
+            if !self.low_confirmed && self.low > 68 + self.cfg.granularity {
+                // The search converged onto a lower bound that was
+                // never actually acknowledged (the true PMTU may sit
+                // below BASE_PLPMTU, RFC 4821 §7.4): restart the
+                // search below it.
+                self.high = self.low;
+                self.low = 68; // IPv4 minimum
+                self.current = self.high;
+                self.tries = 0;
+                self.send_probe(ctx);
+                return;
             }
+            // Nothing ever got through; report the floor.
             self.outcome = Some(PlpmtudOutcome {
                 pmtu: self.low,
                 elapsed: ctx.now - self.started_at,
@@ -239,7 +240,10 @@ mod tests {
         let daemon = FpmtudDaemon::new(DAEMON_ADDR);
         let (mut net, p, _d) = build_path(13, prober, daemon, hops, blackholes);
         net.run_until(Nanos::from_secs(300));
-        net.node_ref::<PlpmtudProber>(p).outcome.clone().expect("finished")
+        net.node_ref::<PlpmtudProber>(p)
+            .outcome
+            .clone()
+            .expect("finished")
     }
 
     #[test]
@@ -263,12 +267,20 @@ mod tests {
 
     #[test]
     fn immune_to_blackholes_but_slow() {
-        let hops = [Hop::new(9000, 100), Hop::new(1500, 100), Hop::new(1500, 100)];
+        let hops = [
+            Hop::new(9000, 100),
+            Hop::new(1500, 100),
+            Hop::new(1500, 100),
+        ];
         let open = run(&hops, false);
         let dark = run(&hops, true);
         assert_eq!(open.pmtu, dark.pmtu, "loss-based: ICMP irrelevant");
         // Every failed size costs tries × timeout.
-        assert!(dark.elapsed >= Nanos::from_secs(3), "elapsed {}", dark.elapsed);
+        assert!(
+            dark.elapsed >= Nanos::from_secs(3),
+            "elapsed {}",
+            dark.elapsed
+        );
     }
 
     #[test]

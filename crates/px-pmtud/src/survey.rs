@@ -14,7 +14,7 @@
 //! "unfragmented requests always work, only fragment filtering explains
 //! the gap") therefore exercise the same logic the real scan would.
 
-use px_wire::frag::{fragment, ReassemblyResult, Reassembler};
+use px_wire::frag::{fragment, Reassembler, ReassemblyResult};
 use px_wire::ipv4::Ipv4Repr;
 use px_wire::tcp::{SeqNum, TcpFlags, TcpRepr};
 use px_wire::IpProtocol;
@@ -200,7 +200,12 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = SurveyConfig { n_servers: 5000, failure_prob: 0.01, lasthop_frac: 0.3, seed: 9 };
+        let cfg = SurveyConfig {
+            n_servers: 5000,
+            failure_prob: 0.01,
+            lasthop_frac: 0.3,
+            seed: 9,
+        };
         assert_eq!(run_survey(cfg), run_survey(cfg));
     }
 }

@@ -25,7 +25,10 @@ pub struct Hop {
 impl Hop {
     /// A hop with the given MTU and delay in microseconds.
     pub fn new(mtu: usize, delay_us: u64) -> Self {
-        Hop { mtu, delay: Nanos::from_micros(delay_us) }
+        Hop {
+            mtu,
+            delay: Nanos::from_micros(delay_us),
+        }
     }
 }
 

@@ -172,9 +172,8 @@ mod tests {
         // Full aggregation: 64 KB units of 1500 B segments.
         let unit = MAX_AGGREGATE as f64;
         let segs = unit / 1500.0;
-        let cyc_per_byte = m.wire_pkt / 1500.0
-            + (m.descriptor + m.proto_unit + m.gro_per_seg) / unit
-            + m.per_byte;
+        let cyc_per_byte =
+            m.wire_pkt / 1500.0 + (m.descriptor + m.proto_unit + m.gro_per_seg) / unit + m.per_byte;
         let tp = m.bps_at(cyc_per_byte);
         assert!((tp / 1e9 - 50.1).abs() < 1.5, "G/LRO: {} Gbps", tp / 1e9);
         let _ = segs;
@@ -185,11 +184,20 @@ mod tests {
     #[test]
     fn gateway_anchors() {
         let per_core_px = 9000.0 * 8.0 * FREQ_HZ / px_tcp_unit_cycles(9000, 6);
-        assert!((per_core_px / 1e9 - 181.0).abs() < 4.0, "PX/core {per_core_px}");
+        assert!(
+            (per_core_px / 1e9 - 181.0).abs() < 4.0,
+            "PX/core {per_core_px}"
+        );
         let per_core_base = 1500.0 * 8.0 * FREQ_HZ / baseline_gro_pkt_cycles(1500);
-        assert!((per_core_base / 1e9 - 21.0).abs() < 1.0, "base/core {per_core_base}");
+        assert!(
+            (per_core_base / 1e9 - 21.0).abs() < 1.0,
+            "base/core {per_core_base}"
+        );
         let bus_capped = MEMBUS_BYTES_PER_SEC / BUS_CROSSINGS_DEFAULT * 8.0;
-        assert!((bus_capped / 1e12 - 1.09).abs() < 0.02, "bus cap {bus_capped}");
+        assert!(
+            (bus_capped / 1e12 - 1.09).abs() < 0.02,
+            "bus cap {bus_capped}"
+        );
     }
 
     /// Fig. 5b sanity: the UDP caravan path is more expensive per unit

@@ -108,7 +108,10 @@ mod tests {
     use super::*;
 
     fn timer(node: usize, token: u64) -> EventKind {
-        EventKind::Timer { node: NodeId(node), token }
+        EventKind::Timer {
+            node: NodeId(node),
+            token,
+        }
     }
 
     #[test]

@@ -100,7 +100,12 @@ pub enum TxOutcome {
 impl Link {
     /// Creates a link between two endpoints.
     pub fn new(config: LinkConfig, a: (NodeId, PortId), b: (NodeId, PortId)) -> Self {
-        Link { config, a, b, dirs: [Direction::default(); 2] }
+        Link {
+            config,
+            a,
+            b,
+            dirs: [Direction::default(); 2],
+        }
     }
 
     /// The receiving endpoint for a given side.
@@ -132,7 +137,8 @@ impl Link {
         }];
         // Implied queue occupancy if we enqueue now.
         let backlog = dir.next_free.saturating_sub(now);
-        let queued_bytes = (backlog.as_secs_f64() * self.config.bandwidth_bps as f64 / 8.0) as usize;
+        let queued_bytes =
+            (backlog.as_secs_f64() * self.config.bandwidth_bps as f64 / 8.0) as usize;
         if queued_bytes + bytes > self.config.queue_bytes {
             stats.pkts_dropped_queue += 1;
             return TxOutcome::DropQueue;
@@ -144,8 +150,7 @@ impl Link {
         let start = now.max(dir.next_free);
         let tx = Nanos::tx_time(bytes, self.config.bandwidth_bps);
         dir.next_free = start + tx;
-        let arrival =
-            dir.next_free + self.config.propagation + self.config.netem.latency(rng);
+        let arrival = dir.next_free + self.config.propagation + self.config.netem.latency(rng);
         stats.pkts_delivered += 1;
         stats.bytes_delivered += bytes as u64;
         TxOutcome::Deliver(arrival)
@@ -174,7 +179,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(0);
         let mut stats = NetStats::default();
         match link.transmit(Nanos::ZERO, LinkSide::FromA, 1250, &mut rng, &mut stats) {
-            TxOutcome::Deliver(at) => assert_eq!(at, Nanos::from_micros(10) + Nanos::from_millis(1)),
+            TxOutcome::Deliver(at) => {
+                assert_eq!(at, Nanos::from_micros(10) + Nanos::from_millis(1))
+            }
             other => panic!("{other:?}"),
         }
         assert_eq!(link.receiver(LinkSide::FromA), b);
@@ -184,11 +191,7 @@ mod tests {
     #[test]
     fn back_to_back_packets_queue() {
         let (a, b) = ends();
-        let mut link = Link::new(
-            LinkConfig::new(1_000_000_000, Nanos::ZERO, 1500),
-            a,
-            b,
-        );
+        let mut link = Link::new(LinkConfig::new(1_000_000_000, Nanos::ZERO, 1500), a, b);
         let mut rng = SmallRng::seed_from_u64(0);
         let mut stats = NetStats::default();
         let t1 = match link.transmit(Nanos::ZERO, LinkSide::FromA, 1250, &mut rng, &mut stats) {

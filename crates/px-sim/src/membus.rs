@@ -24,7 +24,11 @@ pub struct MemBus {
 impl MemBus {
     /// Creates an idle bus.
     pub fn new(bytes_per_sec: f64) -> Self {
-        MemBus { bytes_per_sec, next_free: Nanos::ZERO, bytes_moved: 0 }
+        MemBus {
+            bytes_per_sec,
+            next_free: Nanos::ZERO,
+            bytes_moved: 0,
+        }
     }
 
     /// Reserves bus time for `bytes` starting no earlier than `now`;

@@ -22,7 +22,11 @@ pub struct Netem {
 
 impl Default for Netem {
     fn default() -> Self {
-        Netem { delay: Nanos::ZERO, jitter: Nanos::ZERO, loss: 0.0 }
+        Netem {
+            delay: Nanos::ZERO,
+            jitter: Nanos::ZERO,
+            loss: 0.0,
+        }
     }
 }
 
@@ -43,13 +47,20 @@ impl Netem {
 
     /// Fixed delay only.
     pub fn delay(delay: Nanos) -> Self {
-        Netem { delay, ..Self::default() }
+        Netem {
+            delay,
+            ..Self::default()
+        }
     }
 
     /// Fixed delay plus loss.
     pub fn delay_loss(delay: Nanos, loss: f64) -> Self {
         debug_assert!((0.0..=1.0).contains(&loss));
-        Netem { delay, jitter: Nanos::ZERO, loss }
+        Netem {
+            delay,
+            jitter: Nanos::ZERO,
+            loss,
+        }
     }
 
     /// Decides whether a packet is dropped.

@@ -240,7 +240,11 @@ impl Network {
                     let (rx_node, rx_port) = link.receiver(side);
                     self.queue.schedule(
                         at,
-                        EventKind::Deliver { node: rx_node, port: rx_port, pkt },
+                        EventKind::Deliver {
+                            node: rx_node,
+                            port: rx_port,
+                            pkt,
+                        },
                     );
                 }
                 TxOutcome::DropMtu | TxOutcome::DropQueue | TxOutcome::DropLoss => {}
@@ -319,7 +323,10 @@ mod tests {
     #[test]
     fn packets_traverse_a_chain() {
         let mut net = Network::new(1);
-        let src = net.add_node(Source { to_send: 5, ..Default::default() });
+        let src = net.add_node(Source {
+            to_send: 5,
+            ..Default::default()
+        });
         let mid = net.add_node(Repeater);
         let dst = net.add_node(Sink::default());
         net.connect((src, PortId(0)), (mid, PortId(0)), gig(10));
@@ -332,7 +339,10 @@ mod tests {
     fn determinism_same_seed_same_outcome() {
         let run = |seed| {
             let mut net = Network::new(seed);
-            let src = net.add_node(Source { to_send: 50, ..Default::default() });
+            let src = net.add_node(Source {
+                to_send: 50,
+                ..Default::default()
+            });
             let dst = net.add_node(Sink::default());
             let cfg = gig(5).with_netem(crate::netem::Netem::delay_loss(Nanos::ZERO, 0.3));
             net.connect((src, PortId(0)), (dst, PortId(0)), cfg);
@@ -349,7 +359,10 @@ mod tests {
     #[test]
     fn unconnected_port_counts_drop() {
         let mut net = Network::new(1);
-        let src = net.add_node(Source { to_send: 3, ..Default::default() });
+        let src = net.add_node(Source {
+            to_send: 3,
+            ..Default::default()
+        });
         net.run_until(Nanos::from_millis(1));
         assert_eq!(net.stats().get("tx_unconnected_port"), 3);
         let _ = src;
@@ -358,7 +371,10 @@ mod tests {
     #[test]
     fn quiescence_returns_last_event_time() {
         let mut net = Network::new(1);
-        let src = net.add_node(Source { to_send: 1, ..Default::default() });
+        let src = net.add_node(Source {
+            to_send: 1,
+            ..Default::default()
+        });
         let dst = net.add_node(Sink::default());
         net.connect((src, PortId(0)), (dst, PortId(0)), gig(100));
         let end = net.run_to_quiescence(Nanos::from_secs(10));

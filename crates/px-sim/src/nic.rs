@@ -39,7 +39,10 @@ pub struct OffloadConfig {
 impl OffloadConfig {
     /// Everything off (the "None" bars of Fig. 1b).
     pub fn none() -> Self {
-        OffloadConfig { rx_queues: 1, ..Default::default() }
+        OffloadConfig {
+            rx_queues: 1,
+            ..Default::default()
+        }
     }
 
     /// The paper's default endpoint config: TSO, LRO, GSO, GRO all on.
@@ -61,11 +64,21 @@ pub fn flow_key_of(packet: &[u8]) -> Result<FlowKey> {
     match ip.protocol() {
         IpProtocol::Tcp => {
             let tcp = TcpSegment::new_checked(ip.payload())?;
-            Ok(FlowKey::tcp(ip.src(), tcp.src_port(), ip.dst(), tcp.dst_port()))
+            Ok(FlowKey::tcp(
+                ip.src(),
+                tcp.src_port(),
+                ip.dst(),
+                tcp.dst_port(),
+            ))
         }
         IpProtocol::Udp => {
             let udp = px_wire::UdpDatagram::new_checked(ip.payload())?;
-            Ok(FlowKey::udp(ip.src(), udp.src_port(), ip.dst(), udp.dst_port()))
+            Ok(FlowKey::udp(
+                ip.src(),
+                udp.src_port(),
+                ip.dst(),
+                udp.dst_port(),
+            ))
         }
         _ => Err(Error::Unsupported),
     }
@@ -283,7 +296,9 @@ pub fn aggregation_unit(cfg: &RxConfig) -> usize {
     let batch_bytes = (calib::RX_BATCH_PKTS * cfg.mtu) as f64;
     let run = batch_bytes / (cfg.flows.max(1) as f64).powf(calib::INTERLEAVE_ALPHA);
     let floor = (calib::AGG_FLOOR_SEGS * cfg.mtu).min(calib::MAX_AGGREGATE);
-    (run as usize).clamp(cfg.mtu, calib::MAX_AGGREGATE).max(floor)
+    (run as usize)
+        .clamp(cfg.mtu, calib::MAX_AGGREGATE)
+        .max(floor)
 }
 
 /// Receive throughput for the PX-caravan + UDP_GRO path of Fig. 5c: the
@@ -322,7 +337,11 @@ pub fn rx_saturation_bps(m: &CostModel, cfg: &RxConfig) -> f64 {
     let unit = aggregation_unit(cfg) as f64;
     let k = cfg.flows.max(1) as f64;
     let mut cyc_per_byte = m.wire_pkt / mtu + m.per_byte;
-    cyc_per_byte += if cfg.lro { m.descriptor / unit } else { m.descriptor / mtu };
+    cyc_per_byte += if cfg.lro {
+        m.descriptor / unit
+    } else {
+        m.descriptor / mtu
+    };
     if cfg.gro && !cfg.lro {
         cyc_per_byte += m.gro_per_seg / mtu;
     } else if cfg.gro && cfg.lro {
@@ -485,12 +504,22 @@ mod tests {
         let m = calib::endpoint_model();
         let glro_1500 = rx_saturation_bps(
             &m,
-            &RxConfig { mtu: 1500, lro: true, gro: true, flows: 1 },
+            &RxConfig {
+                mtu: 1500,
+                lro: true,
+                gro: true,
+                flows: 1,
+            },
         );
         assert!((glro_1500 / 1e9 - 50.1).abs() < 1.5, "{glro_1500}");
         let none_9000 = rx_saturation_bps(
             &m,
-            &RxConfig { mtu: 9000, lro: false, gro: false, flows: 1 },
+            &RxConfig {
+                mtu: 9000,
+                lro: false,
+                gro: false,
+                flows: 1,
+            },
         );
         assert!(
             none_9000 < glro_1500,
@@ -499,13 +528,23 @@ mod tests {
         // Fig. 1c: 1500+G/LRO drops ≈31% at 4 flows; 9 KB bare drops ≈7%.
         let glro_4 = rx_saturation_bps(
             &m,
-            &RxConfig { mtu: 1500, lro: true, gro: true, flows: 4 },
+            &RxConfig {
+                mtu: 1500,
+                lro: true,
+                gro: true,
+                flows: 4,
+            },
         );
         let drop = 1.0 - glro_4 / glro_1500;
         assert!((drop - 0.31).abs() < 0.04, "G/LRO concurrency drop {drop}");
         let none_9000_4 = rx_saturation_bps(
             &m,
-            &RxConfig { mtu: 9000, lro: false, gro: false, flows: 4 },
+            &RxConfig {
+                mtu: 9000,
+                lro: false,
+                gro: false,
+                flows: 4,
+            },
         );
         let drop9 = 1.0 - none_9000_4 / none_9000;
         assert!((drop9 - 0.07).abs() < 0.03, "9 KB concurrency drop {drop9}");
@@ -513,13 +552,28 @@ mod tests {
 
     #[test]
     fn aggregation_unit_bounds() {
-        let one = RxConfig { mtu: 1500, lro: true, gro: true, flows: 1 };
+        let one = RxConfig {
+            mtu: 1500,
+            lro: true,
+            gro: true,
+            flows: 1,
+        };
         assert_eq!(aggregation_unit(&one), calib::MAX_AGGREGATE);
         // Heavy interleaving bottoms out at the TSO-burst floor, not at a
         // single segment.
-        let many = RxConfig { mtu: 1500, lro: true, gro: true, flows: 1000 };
+        let many = RxConfig {
+            mtu: 1500,
+            lro: true,
+            gro: true,
+            flows: 1000,
+        };
         assert_eq!(aggregation_unit(&many), calib::AGG_FLOOR_SEGS * 1500);
-        let off = RxConfig { mtu: 1500, lro: false, gro: false, flows: 1 };
+        let off = RxConfig {
+            mtu: 1500,
+            lro: false,
+            gro: false,
+            flows: 1,
+        };
         assert_eq!(aggregation_unit(&off), 1500);
     }
 
@@ -531,11 +585,21 @@ mod tests {
         let m = calib::endpoint_model();
         let glro_1500 = rx_saturation_bps(
             &m,
-            &RxConfig { mtu: 1500, lro: true, gro: true, flows: 100 },
+            &RxConfig {
+                mtu: 1500,
+                lro: true,
+                gro: true,
+                flows: 100,
+            },
         );
         let glro_9000 = rx_saturation_bps(
             &m,
-            &RxConfig { mtu: 9000, lro: true, gro: true, flows: 100 },
+            &RxConfig {
+                mtu: 9000,
+                lro: true,
+                gro: true,
+                flows: 100,
+            },
         );
         let gain = glro_9000 / glro_1500;
         assert!(gain > 1.4 && gain < 2.2, "G/LRO translation gain {gain}");
@@ -544,7 +608,12 @@ mod tests {
         let caravan = rx_caravan_bps(&m, 8860, 6, 100);
         let plain = rx_saturation_bps(
             &m,
-            &RxConfig { mtu: 1500, lro: false, gro: false, flows: 100 },
+            &RxConfig {
+                mtu: 1500,
+                lro: false,
+                gro: false,
+                flows: 100,
+            },
         );
         let ratio = caravan / plain;
         assert!((ratio - 2.4).abs() < 0.5, "caravan ratio {ratio}");

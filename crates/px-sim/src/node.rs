@@ -20,6 +20,11 @@ pub struct NodeId(pub usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PortId(pub usize);
 
+/// Packets a node emitted during one callback, with their egress ports.
+pub(crate) type OutPkts = Vec<(PortId, PacketBuf)>;
+/// Timers a node armed during one callback: (deadline, token) pairs.
+pub(crate) type ArmedTimers = Vec<(Nanos, u64)>;
+
 /// The context handed to every node callback.
 pub struct Ctx<'a> {
     /// Current simulated time.
@@ -34,7 +39,13 @@ pub struct Ctx<'a> {
 
 impl<'a> Ctx<'a> {
     pub(crate) fn new(now: Nanos, rng: &'a mut SmallRng, stats: &'a mut NetStats) -> Self {
-        Ctx { now, rng, stats, out: Vec::new(), timers: Vec::new() }
+        Ctx {
+            now,
+            rng,
+            stats,
+            out: Vec::new(),
+            timers: Vec::new(),
+        }
     }
 
     /// Emits `pkt` on `port`. The packet starts serializing onto the
@@ -57,7 +68,7 @@ impl<'a> Ctx<'a> {
 
     /// Consumes the context, releasing its borrows and yielding the
     /// recorded actions for the event loop to apply.
-    pub(crate) fn into_actions(self) -> (Vec<(PortId, PacketBuf)>, Vec<(Nanos, u64)>) {
+    pub(crate) fn into_actions(self) -> (OutPkts, ArmedTimers) {
         (self.out, self.timers)
     }
 }

@@ -43,7 +43,11 @@ impl Capture {
 
     /// Records one packet.
     pub fn record(&mut self, at: Nanos, ingress: PortId, bytes: &[u8]) {
-        self.packets.push(CapturedPacket { at, ingress, bytes: bytes.to_vec() });
+        self.packets.push(CapturedPacket {
+            at,
+            ingress,
+            bytes: bytes.to_vec(),
+        });
     }
 
     /// Serialises the capture as a classic pcap file (LINKTYPE_RAW,
@@ -177,9 +181,12 @@ mod tests {
         struct Sender;
         impl crate::node::Node for Sender {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-                let dg = UdpRepr { src_port: 1, dst_port: 2 }
-                    .build_datagram(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), b"hi")
-                    .unwrap();
+                let dg = UdpRepr {
+                    src_port: 1,
+                    dst_port: 2,
+                }
+                .build_datagram(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), b"hi")
+                .unwrap();
                 let pkt = Ipv4Repr::new(
                     Ipv4Addr::new(1, 1, 1, 1),
                     Ipv4Addr::new(2, 2, 2, 2),

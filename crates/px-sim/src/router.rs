@@ -127,7 +127,10 @@ impl Node for Router {
             self.send_icmp(
                 ctx,
                 &bytes,
-                Icmpv4Message::TimeExceeded { code: 0, original: excerpt },
+                Icmpv4Message::TimeExceeded {
+                    code: 0,
+                    original: excerpt,
+                },
             );
             return;
         }
@@ -138,7 +141,10 @@ impl Node for Router {
             self.send_icmp(
                 ctx,
                 &bytes,
-                Icmpv4Message::Unreachable { code: 0, original: excerpt },
+                Icmpv4Message::Unreachable {
+                    code: 0,
+                    original: excerpt,
+                },
             );
             return;
         };
@@ -164,7 +170,10 @@ impl Node for Router {
             self.send_icmp(
                 ctx,
                 &bytes,
-                Icmpv4Message::FragNeeded { next_hop_mtu: mtu as u16, original: excerpt },
+                Icmpv4Message::FragNeeded {
+                    next_hop_mtu: mtu as u16,
+                    original: excerpt,
+                },
             );
             return;
         }
@@ -238,9 +247,12 @@ mod tests {
     const B: Ipv4Addr = Ipv4Addr::new(10, 0, 2, 1);
 
     fn udp_ip_packet(payload_len: usize, df: bool) -> Vec<u8> {
-        let seg = px_wire::UdpRepr { src_port: 9, dst_port: 9 }
-            .build_datagram(A, B, &vec![0xAB; payload_len])
-            .unwrap();
+        let seg = px_wire::UdpRepr {
+            src_port: 9,
+            dst_port: 9,
+        }
+        .build_datagram(A, B, &vec![0xAB; payload_len])
+        .unwrap();
         let mut repr = Ipv4Repr::new(A, B, IpProtocol::Udp, seg.len());
         repr.dont_frag = df;
         repr.ident = 0x600D;
@@ -259,8 +271,16 @@ mod tests {
         }
         let r = net.add_node(router);
         let dst = net.add_node(Collector::default());
-        net.connect((src, PortId(0)), (r, PortId(0)), LinkConfig::new(10_000_000_000, Nanos(1000), 9000));
-        net.connect((r, PortId(1)), (dst, PortId(0)), LinkConfig::new(10_000_000_000, Nanos(1000), 1500));
+        net.connect(
+            (src, PortId(0)),
+            (r, PortId(0)),
+            LinkConfig::new(10_000_000_000, Nanos(1000), 9000),
+        );
+        net.connect(
+            (r, PortId(1)),
+            (dst, PortId(0)),
+            LinkConfig::new(10_000_000_000, Nanos(1000), 1500),
+        );
         (net, src, r, dst)
     }
 
@@ -289,8 +309,7 @@ mod tests {
         let mut re = px_wire::frag::Reassembler::new();
         let mut complete = None;
         for p in got {
-            if let px_wire::frag::ReassemblyResult::Complete { packet, .. } =
-                re.push(p, 0).unwrap()
+            if let px_wire::frag::ReassemblyResult::Complete { packet, .. } = re.push(p, 0).unwrap()
             {
                 complete = Some(packet);
             }

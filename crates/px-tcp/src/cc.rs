@@ -165,7 +165,9 @@ impl CongestionControl for Cubic {
             now_ns
         });
         let t = (now_ns - epoch) as f64 / 1e9;
-        let target_seg = self.w_cubic(t).max(self.cwnd as f64 / self.mss as f64 + 0.01);
+        let target_seg = self
+            .w_cubic(t)
+            .max(self.cwnd as f64 / self.mss as f64 + 0.01);
         let target = (target_seg * self.mss as f64) as u64;
         // Approach the target, at most doubling per RTT-ish step.
         if target > self.cwnd {

@@ -374,18 +374,33 @@ impl TcpConnection {
         w.min(65535) as u16
     }
 
-    fn build(&mut self, flags: TcpFlags, seq: SeqNum, payload: &[u8], opts: Vec<TcpOption>) -> Vec<u8> {
+    fn build(
+        &mut self,
+        flags: TcpFlags,
+        seq: SeqNum,
+        payload: &[u8],
+        opts: Vec<TcpOption>,
+    ) -> Vec<u8> {
         let repr = TcpRepr {
             src_port: self.cfg.local.1,
             dst_port: self.cfg.remote.1,
             seq,
-            ack: if flags.ack { self.wire_ack() } else { SeqNum(0) },
+            ack: if flags.ack {
+                self.wire_ack()
+            } else {
+                SeqNum(0)
+            },
             flags,
             window: self.adv_window(),
             options: opts,
         };
         let seg = repr.build_segment(self.cfg.local.0, self.cfg.remote.0, payload);
-        let mut ip = Ipv4Repr::new(self.cfg.local.0, self.cfg.remote.0, IpProtocol::Tcp, seg.len());
+        let mut ip = Ipv4Repr::new(
+            self.cfg.local.0,
+            self.cfg.remote.0,
+            IpProtocol::Tcp,
+            seg.len(),
+        );
         ip.ident = self.ip_ident;
         self.ip_ident = self.ip_ident.wrapping_add(1);
         // Endpoint TCP sets DF (PMTUD behaviour); PXGW-translated paths
@@ -621,8 +636,7 @@ impl TcpConnection {
         }
         // FIN once everything is sent and the app closed (or tx_total is
         // finite and fully sent).
-        if self.app_closed && self.sender_done() && !self.fin_sent && self.snd_una == self.snd_nxt
-        {
+        if self.app_closed && self.sender_done() && !self.fin_sent && self.snd_una == self.snd_nxt {
             self.fin_sent = true;
             let mut flags = TcpFlags::ACK;
             flags.fin = true;
@@ -657,9 +671,7 @@ impl TcpConnection {
             return None;
         }
         let off = self.snd_una;
-        let len = self
-            .effective_mss()
-            .min((self.snd_nxt - off) as usize);
+        let len = self.effective_mss().min((self.snd_nxt - off) as usize);
         let mut payload = vec![0u8; len];
         fill_pattern(off, &mut payload);
         let mut flags = TcpFlags::ACK;
@@ -883,26 +895,24 @@ impl TcpConnection {
         }
 
         // --- data reception ---
-        if !payload.is_empty() {
-            if self.irs.is_some() {
-                let off = self.rx_stream_off(repr.seq);
-                // Judge orderliness against rcv_nxt *before* ingest moves it.
-                let in_order = off >= 0 && (off as u64) == self.rcv_nxt;
-                if off >= 0 {
-                    self.ingest(off as u64, payload);
-                }
-                // ACK policy.
-                self.pending_ack_segs += 1;
-                let out_of_order = !in_order || !self.ooo_len.is_empty();
-                let must_ack_now = out_of_order
-                    || self.pending_ack_segs >= 2
-                    || repr.flags.fin
-                    || self.cfg.delack_ns == 0;
-                if must_ack_now {
-                    out.push(self.make_ack());
-                } else if self.ack_deadline.is_none() {
-                    self.ack_deadline = Some(now + self.cfg.delack_ns);
-                }
+        if !payload.is_empty() && self.irs.is_some() {
+            let off = self.rx_stream_off(repr.seq);
+            // Judge orderliness against rcv_nxt *before* ingest moves it.
+            let in_order = off >= 0 && (off as u64) == self.rcv_nxt;
+            if off >= 0 {
+                self.ingest(off as u64, payload);
+            }
+            // ACK policy.
+            self.pending_ack_segs += 1;
+            let out_of_order = !in_order || !self.ooo_len.is_empty();
+            let must_ack_now = out_of_order
+                || self.pending_ack_segs >= 2
+                || repr.flags.fin
+                || self.cfg.delack_ns == 0;
+            if must_ack_now {
+                out.push(self.make_ack());
+            } else if self.ack_deadline.is_none() {
+                self.ack_deadline = Some(now + self.cfg.delack_ns);
             }
         }
 
@@ -995,10 +1005,7 @@ impl TcpConnection {
         if off == self.rcv_nxt {
             self.deliver(off, payload);
             // Drain contiguous out-of-order segments.
-            loop {
-                let Some((&o, _)) = self.ooo_len.first_key_value() else {
-                    break;
-                };
+            while let Some((&o, _)) = self.ooo_len.first_key_value() {
                 if o > self.rcv_nxt {
                     break;
                 }
@@ -1257,7 +1264,10 @@ mod tests {
         let (mut c1, mut s1) = pair(1500, 1500, 10_000_000);
         let syn = c1.open(0);
         exchange_n(&mut c1, &mut s1, syn, 4);
-        assert!(c9.cwnd() >= 6 * c1.cwnd() / 2, "IW and growth scale with MSS");
+        assert!(
+            c9.cwnd() >= 6 * c1.cwnd() / 2,
+            "IW and growth scale with MSS"
+        );
     }
 
     fn exchange_n(a: &mut TcpConnection, b: &mut TcpConnection, first: Vec<Vec<u8>>, n: usize) {

@@ -17,7 +17,7 @@ use crate::conn::{ConnConfig, TcpConnection};
 use crate::udp::UdpSocket;
 use px_sim::nic::OffloadConfig;
 use px_sim::node::{Ctx, Node, PortId};
-use px_wire::frag::{ReassemblyResult, Reassembler};
+use px_wire::frag::{Reassembler, ReassemblyResult};
 use px_wire::ipv4::{Ipv4Packet, Ipv4Repr, CARAVAN_TOS};
 use px_wire::tcp::TcpSegment;
 use px_wire::udp::{UdpDatagram, UdpRepr};
@@ -192,7 +192,11 @@ impl Host {
         self.udp_socks
             .entry(cfg.local_port)
             .or_insert_with(|| UdpSocket::bind(cfg.local_port));
-        self.udp_flows.push(UdpFlowState { cfg, credit: 0.0, last_tick_ns: 0 });
+        self.udp_flows.push(UdpFlowState {
+            cfg,
+            credit: 0.0,
+            last_tick_ns: 0,
+        });
     }
 
     /// Read access to a UDP socket.
@@ -259,9 +263,12 @@ impl Host {
         dst_port: u16,
         payload: &[u8],
     ) {
-        let dgram = UdpRepr { src_port: local_port, dst_port }
-            .build_datagram(self.cfg.addr, dst, payload)
-            .expect("datagram size");
+        let dgram = UdpRepr {
+            src_port: local_port,
+            dst_port,
+        }
+        .build_datagram(self.cfg.addr, dst, payload)
+        .expect("datagram size");
         let mut ip = Ipv4Repr::new(self.cfg.addr, dst, IpProtocol::Udp, dgram.len());
         ip.ident = self.ip_ident;
         self.ip_ident = self.ip_ident.wrapping_add(1);
@@ -280,7 +287,7 @@ impl Host {
         use px_wire::caravan::CaravanBuilder;
         let budget = self.cfg.mtu.saturating_sub(28);
         let mut builder = CaravanBuilder::new(budget);
-        let mut flush = |host: &mut Host, ctx: &mut Ctx<'_>, b: CaravanBuilder| {
+        let flush = |host: &mut Host, ctx: &mut Ctx<'_>, b: CaravanBuilder| {
             let count = b.count();
             if count == 0 {
                 return;
@@ -296,9 +303,12 @@ impl Host {
                 host.send_udp(ctx, cfg.local_port, cfg.dst, cfg.dst_port, &payload);
                 return;
             }
-            let outer = UdpRepr { src_port: cfg.local_port, dst_port: cfg.dst_port }
-                .build_datagram(host.cfg.addr, cfg.dst, &bundle)
-                .expect("bundle within UDP limits");
+            let outer = UdpRepr {
+                src_port: cfg.local_port,
+                dst_port: cfg.dst_port,
+            }
+            .build_datagram(host.cfg.addr, cfg.dst, &bundle)
+            .expect("bundle within UDP limits");
             let mut ip = Ipv4Repr::new(host.cfg.addr, cfg.dst, IpProtocol::Udp, outer.len());
             ip.tos = CARAVAN_TOS;
             ip.ident = host.ip_ident;
@@ -315,9 +325,12 @@ impl Host {
         for _ in 0..n {
             let mut payload = vec![0u8; cfg.payload];
             crate::fill_pattern(now, &mut payload[..]);
-            let dgram = UdpRepr { src_port: cfg.local_port, dst_port: cfg.dst_port }
-                .build_datagram(self.cfg.addr, cfg.dst, &payload)
-                .expect("datagram size");
+            let dgram = UdpRepr {
+                src_port: cfg.local_port,
+                dst_port: cfg.dst_port,
+            }
+            .build_datagram(self.cfg.addr, cfg.dst, &payload)
+            .expect("datagram size");
             if !builder.fits(&dgram) {
                 let full = std::mem::replace(&mut builder, CaravanBuilder::new(budget));
                 flush(self, ctx, full);
@@ -363,7 +376,7 @@ impl Host {
             Some(&i) => i,
             None => {
                 // New connection: must be a SYN to a listener.
-                if !(seg.flags().syn && !seg.flags().ack) {
+                if !seg.flags().syn || seg.flags().ack {
                     return;
                 }
                 let Some(template) = self.listeners.get(&seg.dst_port()) else {
@@ -391,8 +404,10 @@ impl Host {
     /// clamp its MSS to the reported next-hop MTU.
     fn handle_icmp(&mut self, ctx: &mut Ctx<'_>, ip: &Ipv4Packet<&[u8]>) {
         self.icmp_received.push(ip.payload().to_vec());
-        let Ok(px_wire::icmpv4::Icmpv4Message::FragNeeded { next_hop_mtu, original }) =
-            px_wire::icmpv4::Icmpv4Message::parse(ip.payload())
+        let Ok(px_wire::icmpv4::Icmpv4Message::FragNeeded {
+            next_hop_mtu,
+            original,
+        }) = px_wire::icmpv4::Icmpv4Message::parse(ip.payload())
         else {
             return;
         };
@@ -464,7 +479,8 @@ impl Host {
                 self.emit_all(ctx, out);
             }
             // Stop (close) when the duration elapses.
-            if let (Some(idx), Some(stop)) = (self.scheduled[i].idx, self.scheduled[i].stop_sending_ns)
+            if let (Some(idx), Some(stop)) =
+                (self.scheduled[i].idx, self.scheduled[i].stop_sending_ns)
             {
                 if now >= stop && !self.scheduled[i].stopped {
                     self.scheduled[i].stopped = true;
@@ -518,7 +534,10 @@ impl Node for Host {
                 let size = p.len();
                 self.handle_ip(ctx, &p, vec![size]);
             }
-            Ok(ReassemblyResult::Complete { packet, fragment_sizes }) => {
+            Ok(ReassemblyResult::Complete {
+                packet,
+                fragment_sizes,
+            }) => {
                 self.handle_ip(ctx, &packet, fragment_sizes);
             }
             Ok(ReassemblyResult::Incomplete) => {}

@@ -107,17 +107,20 @@ impl UdpSocket {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use px_wire::udp::UdpRepr;
     use px_wire::caravan::CaravanBuilder;
+    use px_wire::udp::UdpRepr;
     use std::net::Ipv4Addr;
 
     const A: Ipv4Addr = Ipv4Addr::new(1, 0, 0, 1);
     const B: Ipv4Addr = Ipv4Addr::new(1, 0, 0, 2);
 
     fn dg(payload: &[u8]) -> Vec<u8> {
-        UdpRepr { src_port: 1111, dst_port: 5001 }
-            .build_datagram(A, B, payload)
-            .unwrap()
+        UdpRepr {
+            src_port: 1111,
+            dst_port: 5001,
+        }
+        .build_datagram(A, B, payload)
+        .unwrap()
     }
 
     #[test]

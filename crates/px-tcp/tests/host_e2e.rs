@@ -14,7 +14,10 @@ use std::net::Ipv4Addr;
 const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
-fn two_hosts(mtu: usize, link: LinkConfig) -> (Network, px_sim::node::NodeId, px_sim::node::NodeId) {
+fn two_hosts(
+    mtu: usize,
+    link: LinkConfig,
+) -> (Network, px_sim::node::NodeId, px_sim::node::NodeId) {
     let mut net = Network::new(1234);
     let c = net.add_node(Host::new(HostConfig::new(CLIENT, mtu)));
     let s = net.add_node(Host::new(HostConfig::new(SERVER, mtu)));
@@ -27,7 +30,8 @@ fn tcp_transfer_over_clean_link() {
     let link = LinkConfig::new(1_000_000_000, Nanos::from_micros(100), 1500);
     let (mut net, c, s) = two_hosts(1500, link);
     let total = 2_000_000u64;
-    net.node_mut::<Host>(s).listen(80, ConnConfig::new((SERVER, 80), (CLIENT, 0), 1500));
+    net.node_mut::<Host>(s)
+        .listen(80, ConnConfig::new((SERVER, 80), (CLIENT, 0), 1500));
     net.node_mut::<Host>(c).connect_at(
         0,
         ConnConfig::new((CLIENT, 40000), (SERVER, 80), 1500).sending(total),
@@ -48,7 +52,8 @@ fn tcp_survives_lossy_wan() {
     // The paper's WAN profile: 10 ms delay, 0.01% loss.
     let link = LinkConfig::new(10_000_000_000, Nanos::ZERO, 1500).with_netem(Netem::paper_wan());
     let (mut net, c, s) = two_hosts(1500, link);
-    net.node_mut::<Host>(s).listen(80, ConnConfig::new((SERVER, 80), (CLIENT, 0), 1500));
+    net.node_mut::<Host>(s)
+        .listen(80, ConnConfig::new((SERVER, 80), (CLIENT, 0), 1500));
     net.node_mut::<Host>(c).connect_at(
         0,
         ConnConfig::new((CLIENT, 40000), (SERVER, 80), 1500).sending(u64::MAX),
@@ -57,19 +62,27 @@ fn tcp_survives_lossy_wan() {
     net.run_until(Nanos::from_secs(10));
     let server = net.node_ref::<Host>(s);
     let st = &server.tcp_stats()[0];
-    assert!(st.bytes_received > 10_000_000, "made progress: {}", st.bytes_received);
+    assert!(
+        st.bytes_received > 10_000_000,
+        "made progress: {}",
+        st.bytes_received
+    );
     assert_eq!(st.integrity_errors, 0);
     // 20 ms RTT, 1e-4 loss, MSS 1460 → Mathis ≈ 71 Mbps. Allow a wide
     // band (slow-start transient included in the 10 s average).
     let gbps = st.bytes_received as f64 * 8.0 / 10.0 / 1e9;
-    assert!(gbps > 0.02 && gbps < 0.5, "throughput {gbps} Gbps out of band");
+    assert!(
+        gbps > 0.02 && gbps < 0.5,
+        "throughput {gbps} Gbps out of band"
+    );
 }
 
 #[test]
 fn jumbo_mtu_flow_uses_jumbo_mss() {
     let link = LinkConfig::new(10_000_000_000, Nanos::from_micros(50), 9000);
     let (mut net, c, s) = two_hosts(9000, link);
-    net.node_mut::<Host>(s).listen(80, ConnConfig::new((SERVER, 80), (CLIENT, 0), 9000));
+    net.node_mut::<Host>(s)
+        .listen(80, ConnConfig::new((SERVER, 80), (CLIENT, 0), 9000));
     net.node_mut::<Host>(c).connect_at(
         0,
         ConnConfig::new((CLIENT, 40000), (SERVER, 80), 9000).sending(5_000_000),
@@ -119,7 +132,8 @@ fn udp_larger_than_mtu_fragments_and_reassembles() {
     // oversize UDP passes through unfragmented.
     let link = LinkConfig::new(1_000_000_000, Nanos::from_micros(100), 9000);
     let (mut net, c, s) = two_hosts(9000, link);
-    net.node_mut::<Host>(s).udp_bind(UdpSocket::bind(5001).recording());
+    net.node_mut::<Host>(s)
+        .udp_bind(UdpSocket::bind(5001).recording());
     net.node_mut::<Host>(c).add_udp_flow(UdpFlowCfg {
         local_port: 6000,
         dst: SERVER,
@@ -142,7 +156,8 @@ fn determinism_two_identical_runs() {
         let link =
             LinkConfig::new(10_000_000_000, Nanos::ZERO, 1500).with_netem(Netem::paper_wan());
         let (mut net, c, s) = two_hosts(1500, link);
-        net.node_mut::<Host>(s).listen(80, ConnConfig::new((SERVER, 80), (CLIENT, 0), 1500));
+        net.node_mut::<Host>(s)
+            .listen(80, ConnConfig::new((SERVER, 80), (CLIENT, 0), 1500));
         net.node_mut::<Host>(c).connect_at(
             0,
             ConnConfig::new((CLIENT, 40000), (SERVER, 80), 1500).sending(u64::MAX),
@@ -168,7 +183,8 @@ fn caravan_tx_bundles_and_receiver_unbundles() {
     b_cfg.caravan_rx = true;
     let b = net.add_node(Host::new(b_cfg));
     net.connect((a, PortId(0)), (b, PortId(0)), link);
-    net.node_mut::<Host>(b).udp_bind(UdpSocket::bind(4433).recording());
+    net.node_mut::<Host>(b)
+        .udp_bind(UdpSocket::bind(4433).recording());
     net.node_mut::<Host>(a).add_udp_flow(UdpFlowCfg {
         local_port: 7000,
         dst: SERVER,
@@ -182,9 +198,18 @@ fn caravan_tx_bundles_and_receiver_unbundles() {
     let server = net.node_ref::<Host>(b);
     let sock = server.udp_socket(4433).unwrap();
     assert!(sock.stats.bundles > 0, "sender produced caravans");
-    assert!(sock.stats.datagrams > sock.stats.bundles, "bundles carry several datagrams");
+    assert!(
+        sock.stats.datagrams > sock.stats.bundles,
+        "bundles carry several datagrams"
+    );
     assert_eq!(sock.stats.malformed, 0);
-    assert!(sock.received.iter().all(|p| p.len() == 1172), "boundaries intact");
+    assert!(
+        sock.received.iter().all(|p| p.len() == 1172),
+        "boundaries intact"
+    );
     let sent = net.node_ref::<Host>(a).udp_socket(7000).unwrap().stats.sent;
-    assert_eq!(sock.stats.datagrams, sent, "lossless link: every datagram arrives");
+    assert_eq!(
+        sock.stats.datagrams, sent,
+        "lossless link: every datagram arrives"
+    );
 }

@@ -14,7 +14,10 @@ const S: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 fn pair(mtu: usize, tx: u64) -> (TcpConnection, TcpConnection) {
     let ccfg = ConnConfig::new((C, 40000), (S, 80), mtu).sending(tx);
     let scfg = ConnConfig::new((S, 80), (C, 40000), mtu);
-    (TcpConnection::client(ccfg, 123_456), TcpConnection::listen(scfg, 654_321))
+    (
+        TcpConnection::client(ccfg, 123_456),
+        TcpConnection::listen(scfg, 654_321),
+    )
 }
 
 /// What the adversarial link does to each client→server segment.
@@ -96,7 +99,10 @@ fn heavy_loss_still_delivers_everything() {
         let (c, s) = run_mangled(c, s, Mangle::Drop(0.05), seed, 2_000_000);
         assert_eq!(s.stats.bytes_received, total, "seed {seed}");
         assert_eq!(s.stats.integrity_errors, 0, "seed {seed}");
-        assert!(c.stats.retransmits > 0, "seed {seed}: loss must cause retransmits");
+        assert!(
+            c.stats.retransmits > 0,
+            "seed {seed}: loss must cause retransmits"
+        );
     }
 }
 
@@ -226,7 +232,10 @@ fn simultaneous_close_reaches_closed_on_both_sides() {
             let ip = px_wire::ipv4::Ipv4Packet::new_checked(&pkt[..]).unwrap();
             next_to_s.extend(c.on_segment(now, ip.payload()));
         }
-        if !closed_issued && c.state() == ConnState::Established && s.state() == ConnState::Established {
+        if !closed_issued
+            && c.state() == ConnState::Established
+            && s.state() == ConnState::Established
+        {
             closed_issued = true;
             next_to_s.extend(c.close(now));
             next_to_c.extend(s.close(now));
@@ -235,7 +244,11 @@ fn simultaneous_close_reaches_closed_on_both_sides() {
         next_to_c.extend(s.on_tick(now));
         to_s = next_to_s;
         to_c = next_to_c;
-        if to_s.is_empty() && to_c.is_empty() && c.next_deadline().is_none() && s.next_deadline().is_none() {
+        if to_s.is_empty()
+            && to_c.is_empty()
+            && c.next_deadline().is_none()
+            && s.next_deadline().is_none()
+        {
             break;
         }
     }

@@ -117,16 +117,22 @@ mod tests {
     }
 
     fn uplink_pkt(payload: &[u8]) -> Vec<u8> {
-        let dg = UdpRepr { src_port: 40000, dst_port: 443 }
-            .build_datagram(UE, DN, payload)
-            .unwrap();
+        let dg = UdpRepr {
+            src_port: 40000,
+            dst_port: 443,
+        }
+        .build_datagram(UE, DN, payload)
+        .unwrap();
         let inner = Ipv4Repr::new(UE, DN, IpProtocol::Udp, dg.len())
             .build_packet(&dg)
             .unwrap();
         let gtpu = GtpuRepr::encapsulate(0x100, &inner).unwrap();
-        let outer = UdpRepr { src_port: GTPU_PORT, dst_port: GTPU_PORT }
-            .build_datagram(GNB, N3, &gtpu)
-            .unwrap();
+        let outer = UdpRepr {
+            src_port: GTPU_PORT,
+            dst_port: GTPU_PORT,
+        }
+        .build_datagram(GNB, N3, &gtpu)
+        .unwrap();
         Ipv4Repr::new(GNB, N3, IpProtocol::Udp, outer.len())
             .build_packet(&outer)
             .unwrap()

@@ -91,7 +91,12 @@ pub struct UpfPipeline {
 impl UpfPipeline {
     /// Creates a pipeline.
     pub fn new(n3_addr: Ipv4Addr, table: SessionTable) -> Self {
-        UpfPipeline { table, n3_addr, stats: UpfStats::default(), ident: 0x5500 }
+        UpfPipeline {
+            table,
+            n3_addr,
+            stats: UpfStats::default(),
+            ident: 0x5500,
+        }
     }
 
     /// Processes one packet arriving on the access (N3) side: expects
@@ -174,11 +179,13 @@ impl UpfPipeline {
         self.stats.cycles += cost::FAR + cost::COUNTERS + cost::TX;
         match self.table.far(pdr.far_id).map(|f| f.action) {
             Some(FarAction::Encapsulate { peer, teid }) => {
-                let gtpu = GtpuRepr::encapsulate(teid, &pkt[..ip.total_len()])
-                    .expect("inner fits");
-                let dg = UdpRepr { src_port: GTPU_PORT, dst_port: GTPU_PORT }
-                    .build_datagram(self.n3_addr, peer, &gtpu)
-                    .expect("fits");
+                let gtpu = GtpuRepr::encapsulate(teid, &pkt[..ip.total_len()]).expect("inner fits");
+                let dg = UdpRepr {
+                    src_port: GTPU_PORT,
+                    dst_port: GTPU_PORT,
+                }
+                .build_datagram(self.n3_addr, peer, &gtpu)
+                .expect("fits");
                 let mut outer = Ipv4Repr::new(self.n3_addr, peer, IpProtocol::Udp, dg.len());
                 outer.ident = self.ident;
                 self.ident = self.ident.wrapping_add(1);
@@ -230,16 +237,22 @@ pub fn upf_throughput_bps(mtu: usize, n_flows: usize, pkts: usize) -> f64 {
             // inner = MTU - outer IP(20) - outer UDP(8) - GTP-U(8)
             let inner_len = mtu - 36;
             let inner_payload = vec![0u8; inner_len - 28];
-            let dg = UdpRepr { src_port: 40000, dst_port: 443 }
-                .build_datagram(ue, dn, &inner_payload)
-                .expect("fits");
+            let dg = UdpRepr {
+                src_port: 40000,
+                dst_port: 443,
+            }
+            .build_datagram(ue, dn, &inner_payload)
+            .expect("fits");
             let inner = Ipv4Repr::new(ue, dn, IpProtocol::Udp, dg.len())
                 .build_packet(&dg)
                 .expect("fits");
             let gtpu = GtpuRepr::encapsulate(0x1000 + i as u32, &inner).expect("fits");
-            let outer_dg = UdpRepr { src_port: GTPU_PORT, dst_port: GTPU_PORT }
-                .build_datagram(gnb, n3, &gtpu)
-                .expect("fits");
+            let outer_dg = UdpRepr {
+                src_port: GTPU_PORT,
+                dst_port: GTPU_PORT,
+            }
+            .build_datagram(gnb, n3, &gtpu)
+            .expect("fits");
             Ipv4Repr::new(gnb, n3, IpProtocol::Udp, outer_dg.len())
                 .build_packet(&outer_dg)
                 .expect("fits")
@@ -275,21 +288,31 @@ mod tests {
         let ue = Ipv4Addr::new(10, 45, 0, 1);
         let gnb = Ipv4Addr::new(10, 30, 0, 1);
         install_session(&mut table, 0, 0x100, ue, gnb);
-        (UpfPipeline::new(Ipv4Addr::new(10, 30, 0, 254), table), ue, gnb)
+        (
+            UpfPipeline::new(Ipv4Addr::new(10, 30, 0, 254), table),
+            ue,
+            gnb,
+        )
     }
 
     fn uplink_pkt(ue: Ipv4Addr, gnb: Ipv4Addr, n3: Ipv4Addr, teid: u32) -> Vec<u8> {
         let dn = Ipv4Addr::new(8, 8, 8, 8);
-        let dg = UdpRepr { src_port: 40000, dst_port: 443 }
-            .build_datagram(ue, dn, b"hello-upf")
-            .unwrap();
+        let dg = UdpRepr {
+            src_port: 40000,
+            dst_port: 443,
+        }
+        .build_datagram(ue, dn, b"hello-upf")
+        .unwrap();
         let inner = Ipv4Repr::new(ue, dn, IpProtocol::Udp, dg.len())
             .build_packet(&dg)
             .unwrap();
         let gtpu = GtpuRepr::encapsulate(teid, &inner).unwrap();
-        let outer = UdpRepr { src_port: GTPU_PORT, dst_port: GTPU_PORT }
-            .build_datagram(gnb, n3, &gtpu)
-            .unwrap();
+        let outer = UdpRepr {
+            src_port: GTPU_PORT,
+            dst_port: GTPU_PORT,
+        }
+        .build_datagram(gnb, n3, &gtpu)
+        .unwrap();
         Ipv4Repr::new(gnb, n3, IpProtocol::Udp, outer.len())
             .build_packet(&outer)
             .unwrap()
@@ -316,9 +339,12 @@ mod tests {
     fn downlink_encapsulates_and_roundtrips() {
         let (mut upf, ue, gnb) = setup();
         let dn = Ipv4Addr::new(8, 8, 8, 8);
-        let dg = UdpRepr { src_port: 443, dst_port: 40000 }
-            .build_datagram(dn, ue, b"down")
-            .unwrap();
+        let dg = UdpRepr {
+            src_port: 443,
+            dst_port: 40000,
+        }
+        .build_datagram(dn, ue, b"down")
+        .unwrap();
         let pkt = Ipv4Repr::new(dn, ue, IpProtocol::Udp, dg.len())
             .build_packet(&dg)
             .unwrap();
@@ -341,9 +367,12 @@ mod tests {
         let (mut upf, ue, gnb) = setup();
         let pkt = uplink_pkt(ue, gnb, upf.n3_addr, 0xBAD);
         assert_eq!(upf.push_uplink(0, &pkt), UpfVerdict::NoRule);
-        let dg = UdpRepr { src_port: 1, dst_port: 2 }
-            .build_datagram(gnb, Ipv4Addr::new(10, 45, 9, 9), b"x")
-            .unwrap();
+        let dg = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        }
+        .build_datagram(gnb, Ipv4Addr::new(10, 45, 9, 9), b"x")
+        .unwrap();
         let pkt = Ipv4Repr::new(gnb, Ipv4Addr::new(10, 45, 9, 9), IpProtocol::Udp, dg.len())
             .build_packet(&dg)
             .unwrap();
@@ -356,12 +385,20 @@ mod tests {
         let (mut upf, _, _) = setup();
         assert_eq!(upf.push_uplink(0, &[0u8; 10]), UpfVerdict::Malformed);
         // Non-GTP-U UDP also counts as malformed on the N3 side.
-        let dg = UdpRepr { src_port: 1, dst_port: 53 }
-            .build_datagram(Ipv4Addr::new(1, 1, 1, 1), upf.n3_addr, b"dns")
-            .unwrap();
-        let pkt = Ipv4Repr::new(Ipv4Addr::new(1, 1, 1, 1), upf.n3_addr, IpProtocol::Udp, dg.len())
-            .build_packet(&dg)
-            .unwrap();
+        let dg = UdpRepr {
+            src_port: 1,
+            dst_port: 53,
+        }
+        .build_datagram(Ipv4Addr::new(1, 1, 1, 1), upf.n3_addr, b"dns")
+        .unwrap();
+        let pkt = Ipv4Repr::new(
+            Ipv4Addr::new(1, 1, 1, 1),
+            upf.n3_addr,
+            IpProtocol::Udp,
+            dg.len(),
+        )
+        .build_packet(&dg)
+        .unwrap();
         assert_eq!(upf.push_uplink(0, &pkt), UpfVerdict::Malformed);
     }
 
@@ -370,7 +407,11 @@ mod tests {
     fn fig1a_anchor_through_pipeline() {
         let t9000 = upf_throughput_bps(9000, 100, 20_000);
         let t1500 = upf_throughput_bps(1500, 100, 20_000);
-        assert!((t9000 / 1e9 - 208.0).abs() < 8.0, "9 KB: {} Gbps", t9000 / 1e9);
+        assert!(
+            (t9000 / 1e9 - 208.0).abs() < 8.0,
+            "9 KB: {} Gbps",
+            t9000 / 1e9
+        );
         let speedup = t9000 / t1500;
         assert!((speedup - 5.6).abs() < 0.3, "speedup {speedup}");
     }
@@ -382,7 +423,11 @@ mod tests {
         let gnb = Ipv4Addr::new(10, 30, 0, 1);
         install_session(&mut table, 0, 0x100, ue, gnb);
         // Override the QER with a tight policer.
-        table.install_qer(crate::rules::Qer { id: 5000, mbr_bps: 8_000, burst_bytes: 200 });
+        table.install_qer(crate::rules::Qer {
+            id: 5000,
+            mbr_bps: 8_000,
+            burst_bytes: 200,
+        });
         let mut upf = UpfPipeline::new(Ipv4Addr::new(10, 30, 0, 254), table);
         let pkt = uplink_pkt(ue, gnb, upf.n3_addr, 0x100);
         // The packet (~100 B) passes once on the initial burst, then gets

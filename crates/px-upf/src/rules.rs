@@ -84,7 +84,7 @@ struct BucketState {
 /// The UPF's installed rules, indexed for the fast path.
 #[derive(Debug, Default)]
 pub struct SessionTable {
-    uplink: HashMap<u32, Pdr>,       // teid -> pdr
+    uplink: HashMap<u32, Pdr>,        // teid -> pdr
     downlink: HashMap<Ipv4Addr, Pdr>, // ue addr -> pdr
     fars: HashMap<u32, Far>,
     qers: HashMap<u32, Qer>,
@@ -136,7 +136,10 @@ impl SessionTable {
         self.qers.insert(qer.id, qer);
         self.buckets.insert(
             qer.id,
-            BucketState { tokens: qer.burst_bytes as f64, last_ns: 0 },
+            BucketState {
+                tokens: qer.burst_bytes as f64,
+                last_ns: 0,
+            },
         );
     }
 
@@ -167,8 +170,7 @@ impl SessionTable {
         let bucket = self.buckets.get_mut(&id).expect("installed together");
         let dt = now_ns.saturating_sub(bucket.last_ns) as f64 / 1e9;
         bucket.last_ns = now_ns;
-        bucket.tokens =
-            (bucket.tokens + dt * qer.mbr_bps as f64 / 8.0).min(qer.burst_bytes as f64);
+        bucket.tokens = (bucket.tokens + dt * qer.mbr_bps as f64 / 8.0).min(qer.burst_bytes as f64);
         if bucket.tokens >= bytes as f64 {
             bucket.tokens -= bytes as f64;
             true
@@ -189,9 +191,19 @@ pub fn install_session(table: &mut SessionTable, idx: u32, teid: u32, ue: Ipv4Ad
     let far_ul = 1000 + idx * 2;
     let far_dl = far_ul + 1;
     let qer = 5000 + idx;
-    table.install_far(Far { id: far_ul, action: FarAction::Decapsulate });
-    table.install_far(Far { id: far_dl, action: FarAction::Encapsulate { peer: gnb, teid } });
-    table.install_qer(Qer { id: qer, mbr_bps: u64::MAX, burst_bytes: 1 << 20 });
+    table.install_far(Far {
+        id: far_ul,
+        action: FarAction::Decapsulate,
+    });
+    table.install_far(Far {
+        id: far_dl,
+        action: FarAction::Encapsulate { peer: gnb, teid },
+    });
+    table.install_qer(Qer {
+        id: qer,
+        mbr_bps: u64::MAX,
+        burst_bytes: 1 << 20,
+    });
     table.install_pdr(Pdr {
         id: idx * 2,
         precedence: 100,
@@ -237,17 +249,42 @@ mod tests {
     #[test]
     fn precedence_keeps_strongest_rule() {
         let mut t = SessionTable::new();
-        t.install_pdr(Pdr { id: 1, precedence: 200, teid: Some(7), ue_addr: None, far_id: 1, qer_id: 1 });
-        t.install_pdr(Pdr { id: 2, precedence: 50, teid: Some(7), ue_addr: None, far_id: 2, qer_id: 1 });
-        t.install_pdr(Pdr { id: 3, precedence: 300, teid: Some(7), ue_addr: None, far_id: 3, qer_id: 1 });
+        t.install_pdr(Pdr {
+            id: 1,
+            precedence: 200,
+            teid: Some(7),
+            ue_addr: None,
+            far_id: 1,
+            qer_id: 1,
+        });
+        t.install_pdr(Pdr {
+            id: 2,
+            precedence: 50,
+            teid: Some(7),
+            ue_addr: None,
+            far_id: 2,
+            qer_id: 1,
+        });
+        t.install_pdr(Pdr {
+            id: 3,
+            precedence: 300,
+            teid: Some(7),
+            ue_addr: None,
+            far_id: 3,
+            qer_id: 1,
+        });
         assert_eq!(t.match_uplink(7).unwrap().far_id, 2);
     }
 
     #[test]
     fn token_bucket_meters() {
         let mut t = SessionTable::new();
-        t.install_qer(Qer { id: 1, mbr_bps: 8_000_000, burst_bytes: 10_000 }); // 1 MB/s
-        // Burst passes up to the bucket depth.
+        t.install_qer(Qer {
+            id: 1,
+            mbr_bps: 8_000_000,
+            burst_bytes: 10_000,
+        }); // 1 MB/s
+            // Burst passes up to the bucket depth.
         assert!(t.meter(1, 0, 10_000));
         assert!(!t.meter(1, 0, 1000), "bucket drained");
         // After 1 ms, 1000 bytes of tokens accrued.

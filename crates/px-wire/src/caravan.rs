@@ -146,9 +146,12 @@ mod tests {
     const DST: Ipv4Addr = Ipv4Addr::new(2, 2, 2, 2);
 
     fn dg(sp: u16, dp: u16, payload: &[u8]) -> Vec<u8> {
-        UdpRepr { src_port: sp, dst_port: dp }
-            .build_datagram(SRC, DST, payload)
-            .unwrap()
+        UdpRepr {
+            src_port: sp,
+            dst_port: dp,
+        }
+        .build_datagram(SRC, DST, payload)
+        .unwrap()
     }
 
     #[test]

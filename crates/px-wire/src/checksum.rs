@@ -52,12 +52,7 @@ pub fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, length: u16
 }
 
 /// Computes a transport-layer checksum over pseudo-header + segment bytes.
-pub fn transport_checksum(
-    src: Ipv4Addr,
-    dst: Ipv4Addr,
-    protocol: u8,
-    segment: &[u8],
-) -> u16 {
+pub fn transport_checksum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, segment: &[u8]) -> u16 {
     let pseudo = pseudo_header_sum(src, dst, protocol, segment.len() as u16);
     !combine(pseudo, ones_complement_sum(segment))
 }
@@ -92,7 +87,9 @@ mod tests {
     #[test]
     fn verify_is_zero_sum() {
         // A buffer containing its own correct checksum sums to 0xFFFF.
-        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0,
+        ];
         let ck = checksum(&data);
         data[10..12].copy_from_slice(&ck.to_be_bytes());
         assert_eq!(ones_complement_sum(&data), 0xFFFF);
@@ -111,7 +108,9 @@ mod tests {
 
     #[test]
     fn incremental_update_matches_recompute() {
-        let mut data = vec![0x45, 0x00, 0x00, 0x54, 0xbe, 0xef, 0x40, 0x00, 0x40, 0x06, 0, 0];
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x54, 0xbe, 0xef, 0x40, 0x00, 0x40, 0x06, 0, 0,
+        ];
         let ck = checksum(&data);
         data[10..12].copy_from_slice(&ck.to_be_bytes());
 

@@ -192,7 +192,7 @@ mod tests {
             dst: MacAddr::from_index(2),
             ethertype: EtherType::Ipv4,
         };
-        let mut buf = vec![0u8; HEADER_LEN + 4];
+        let mut buf = [0u8; HEADER_LEN + 4];
         let mut frame = EthernetFrame::new_checked(&mut buf[..]).unwrap();
         repr.emit(&mut frame);
         frame.payload_mut().copy_from_slice(b"data");

@@ -61,12 +61,24 @@ pub struct FlowKey {
 impl FlowKey {
     /// Builds a TCP flow key.
     pub fn tcp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
-        FlowKey { src_ip, dst_ip, src_port, dst_port, proto: IpProtocol::Tcp }
+        FlowKey {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: IpProtocol::Tcp,
+        }
     }
 
     /// Builds a UDP flow key.
     pub fn udp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
-        FlowKey { src_ip, dst_ip, src_port, dst_port, proto: IpProtocol::Udp }
+        FlowKey {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: IpProtocol::Udp,
+        }
     }
 
     /// The same flow seen from the opposite direction.
@@ -97,9 +109,9 @@ impl FlowKey {
 /// The default Microsoft RSS key, used by virtually every NIC vendor's
 /// driver as the out-of-box Toeplitz secret.
 pub const MICROSOFT_RSS_KEY: [u8; 40] = [
-    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
-    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
-    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
 /// A symmetric RSS key (all bytes identical pairs) so that both directions
@@ -206,20 +218,35 @@ mod tests {
     #[test]
     fn symmetric_key_is_direction_independent() {
         let h = RssHasher::symmetric();
-        let k = FlowKey::tcp(Ipv4Addr::new(10, 0, 0, 1), 1234, Ipv4Addr::new(10, 0, 0, 2), 80);
+        let k = FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1234,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        );
         assert_eq!(h.hash(&k), h.hash(&k.reversed()));
     }
 
     #[test]
     fn microsoft_key_is_not_symmetric() {
         let h = RssHasher::microsoft();
-        let k = FlowKey::tcp(Ipv4Addr::new(10, 0, 0, 1), 1234, Ipv4Addr::new(10, 0, 0, 2), 80);
+        let k = FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1234,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        );
         assert_ne!(h.hash(&k), h.hash(&k.reversed()));
     }
 
     #[test]
     fn canonical_is_direction_independent() {
-        let k = FlowKey::udp(Ipv4Addr::new(10, 0, 0, 9), 999, Ipv4Addr::new(10, 0, 0, 2), 53);
+        let k = FlowKey::udp(
+            Ipv4Addr::new(10, 0, 0, 9),
+            999,
+            Ipv4Addr::new(10, 0, 0, 2),
+            53,
+        );
         assert_eq!(k.canonical(), k.reversed().canonical());
         assert_eq!(k.reversed().reversed(), k);
     }

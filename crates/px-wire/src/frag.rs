@@ -155,7 +155,11 @@ impl Reassembler {
         }
         // Drop exact duplicates; overlapping non-identical fragments keep
         // first-arrival bytes (BSD-style "first wins" for the overlap).
-        if !entry.pieces.iter().any(|(o, p)| *o == offset && p.len() == payload.len()) {
+        if !entry
+            .pieces
+            .iter()
+            .any(|(o, p)| *o == offset && p.len() == payload.len())
+        {
             entry.pieces.push((offset, payload));
         }
 
@@ -272,9 +276,10 @@ mod tests {
         let mut done = None;
         for f in &frags {
             match r.push(f, 0).unwrap() {
-                ReassemblyResult::Complete { packet, fragment_sizes } => {
-                    done = Some((packet, fragment_sizes))
-                }
+                ReassemblyResult::Complete {
+                    packet,
+                    fragment_sizes,
+                } => done = Some((packet, fragment_sizes)),
                 ReassemblyResult::Incomplete => {}
                 ReassemblyResult::NotFragmented(_) => panic!("should be fragments"),
             }
@@ -318,7 +323,11 @@ mod tests {
         let mut r = Reassembler::new();
         let mut result = None;
         for f in &arrived {
-            if let ReassemblyResult::Complete { packet, fragment_sizes } = r.push(f, 0).unwrap() {
+            if let ReassemblyResult::Complete {
+                packet,
+                fragment_sizes,
+            } = r.push(f, 0).unwrap()
+            {
                 result = Some((packet, fragment_sizes));
             }
         }
@@ -353,7 +362,10 @@ mod tests {
         let mut r = Reassembler::new();
         r.push(&frags[0], 0).unwrap();
         assert_eq!(r.pending(), 1);
-        assert_eq!(r.expire(REASSEMBLY_TIMEOUT_NS - 1, REASSEMBLY_TIMEOUT_NS), 0);
+        assert_eq!(
+            r.expire(REASSEMBLY_TIMEOUT_NS - 1, REASSEMBLY_TIMEOUT_NS),
+            0
+        );
         assert_eq!(r.expire(REASSEMBLY_TIMEOUT_NS, REASSEMBLY_TIMEOUT_NS), 1);
         assert_eq!(r.pending(), 0);
     }

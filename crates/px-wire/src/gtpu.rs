@@ -33,7 +33,11 @@ pub struct GtpuRepr {
 impl GtpuRepr {
     /// A G-PDU header for the given tunnel and payload size.
     pub fn gpdu(teid: u32, payload_len: usize) -> Self {
-        GtpuRepr { msg_type: MSG_GPDU, teid, payload_len }
+        GtpuRepr {
+            msg_type: MSG_GPDU,
+            teid,
+            payload_len,
+        }
     }
 
     /// Parses a GTP-U header from the front of a UDP payload, returning
@@ -59,7 +63,11 @@ impl GtpuRepr {
         }
         let teid = u32::from_be_bytes(data[4..8].try_into().unwrap());
         Ok((
-            GtpuRepr { msg_type, teid, payload_len: len },
+            GtpuRepr {
+                msg_type,
+                teid,
+                payload_len: len,
+            },
             &data[HEADER_LEN..HEADER_LEN + len],
         ))
     }

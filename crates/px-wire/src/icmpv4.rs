@@ -73,9 +73,17 @@ impl Icmpv4Message {
                 let seq = u16::from_be_bytes([data[6], data[7]]);
                 let payload = data[8..].to_vec();
                 if ty == 8 {
-                    Ok(Icmpv4Message::EchoRequest { ident, seq, payload })
+                    Ok(Icmpv4Message::EchoRequest {
+                        ident,
+                        seq,
+                        payload,
+                    })
                 } else {
-                    Ok(Icmpv4Message::EchoReply { ident, seq, payload })
+                    Ok(Icmpv4Message::EchoReply {
+                        ident,
+                        seq,
+                        payload,
+                    })
                 }
             }
             (3, 4) => Ok(Icmpv4Message::FragNeeded {
@@ -98,14 +106,29 @@ impl Icmpv4Message {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = vec![0u8; HEADER_LEN];
         match self {
-            Icmpv4Message::EchoRequest { ident, seq, payload }
-            | Icmpv4Message::EchoReply { ident, seq, payload } => {
-                out[0] = if matches!(self, Icmpv4Message::EchoRequest { .. }) { 8 } else { 0 };
+            Icmpv4Message::EchoRequest {
+                ident,
+                seq,
+                payload,
+            }
+            | Icmpv4Message::EchoReply {
+                ident,
+                seq,
+                payload,
+            } => {
+                out[0] = if matches!(self, Icmpv4Message::EchoRequest { .. }) {
+                    8
+                } else {
+                    0
+                };
                 out[4..6].copy_from_slice(&ident.to_be_bytes());
                 out[6..8].copy_from_slice(&seq.to_be_bytes());
                 out.extend_from_slice(payload);
             }
-            Icmpv4Message::FragNeeded { next_hop_mtu, original } => {
+            Icmpv4Message::FragNeeded {
+                next_hop_mtu,
+                original,
+            } => {
                 out[0] = 3;
                 out[1] = 4;
                 out[6..8].copy_from_slice(&next_hop_mtu.to_be_bytes());
@@ -130,7 +153,7 @@ impl Icmpv4Message {
     /// Builds the "original datagram" excerpt RFC 792 requires: the full
     /// IP header plus the first 8 bytes of its payload.
     pub fn excerpt_of(ip_packet: &[u8]) -> Vec<u8> {
-        let hlen = if ip_packet.len() >= 1 {
+        let hlen = if !ip_packet.is_empty() {
             usize::from(ip_packet[0] & 0x0F) * 4
         } else {
             0
@@ -163,7 +186,10 @@ mod tests {
         };
         let bytes = msg.to_bytes();
         match Icmpv4Message::parse(&bytes).unwrap() {
-            Icmpv4Message::FragNeeded { next_hop_mtu, original } => {
+            Icmpv4Message::FragNeeded {
+                next_hop_mtu,
+                original,
+            } => {
                 assert_eq!(next_hop_mtu, 1492);
                 assert_eq!(original, vec![0x45, 0, 0, 40]);
             }
@@ -173,7 +199,12 @@ mod tests {
 
     #[test]
     fn checksum_enforced() {
-        let mut bytes = Icmpv4Message::EchoReply { ident: 1, seq: 2, payload: vec![] }.to_bytes();
+        let mut bytes = Icmpv4Message::EchoReply {
+            ident: 1,
+            seq: 2,
+            payload: vec![],
+        }
+        .to_bytes();
         bytes[4] ^= 0xFF;
         assert_eq!(Icmpv4Message::parse(&bytes).unwrap_err(), Error::Checksum);
     }
@@ -183,7 +214,10 @@ mod tests {
         let mut bytes = vec![99u8, 0, 0, 0, 0, 0, 0, 0];
         let ck = checksum::checksum(&bytes);
         bytes[2..4].copy_from_slice(&ck.to_be_bytes());
-        assert_eq!(Icmpv4Message::parse(&bytes).unwrap_err(), Error::Unsupported);
+        assert_eq!(
+            Icmpv4Message::parse(&bytes).unwrap_err(),
+            Error::Unsupported
+        );
     }
 
     #[test]
@@ -199,7 +233,10 @@ mod tests {
 
     #[test]
     fn time_exceeded_roundtrip() {
-        let msg = Icmpv4Message::TimeExceeded { code: 0, original: vec![0x45; 28] };
+        let msg = Icmpv4Message::TimeExceeded {
+            code: 0,
+            original: vec![0x45; 28],
+        };
         assert_eq!(Icmpv4Message::parse(&msg.to_bytes()).unwrap(), msg);
     }
 }

@@ -153,7 +153,7 @@ impl<T: AsRef<[u8]>> Ipv4Packet<T> {
 impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
     /// Sets version=4 and the header length (bytes, multiple of 4).
     pub fn set_version_and_len(&mut self, header_len: usize) {
-        debug_assert!(header_len % 4 == 0 && header_len >= HEADER_LEN);
+        debug_assert!(header_len.is_multiple_of(4) && header_len >= HEADER_LEN);
         self.buffer.as_mut()[0] = 0x40 | ((header_len / 4) as u8);
     }
 
@@ -175,7 +175,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
     /// Sets DF/MF flags and fragment offset (in bytes; must be a multiple
     /// of 8 unless this is the final fragment).
     pub fn set_frag_fields(&mut self, dont_frag: bool, more_frags: bool, offset_bytes: usize) {
-        debug_assert!(offset_bytes % 8 == 0);
+        debug_assert!(offset_bytes.is_multiple_of(8));
         let units = (offset_bytes / 8) as u16;
         debug_assert!(units <= 0x1FFF);
         let mut word = units & 0x1FFF;
@@ -409,14 +409,20 @@ mod tests {
         );
         let mut buf = sample_repr().build_packet(&[0u8; 11]).unwrap();
         buf[0] = 0x65; // version 6
-        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Unsupported);
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Unsupported
+        );
     }
 
     #[test]
     fn rejects_bad_total_len() {
         let mut buf = sample_repr().build_packet(&[0u8; 11]).unwrap();
         buf[2..4].copy_from_slice(&1000u16.to_be_bytes()); // longer than buffer
-        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 
     #[test]

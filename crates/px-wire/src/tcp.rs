@@ -28,6 +28,7 @@ pub struct SeqNum(pub u32);
 
 impl SeqNum {
     /// Sequence-space addition.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, n: usize) -> SeqNum {
         SeqNum(self.0.wrapping_add(n as u32))
     }
@@ -68,11 +69,32 @@ pub struct TcpFlags {
 
 impl TcpFlags {
     /// Flags for a plain data/ack segment.
-    pub const ACK: TcpFlags = TcpFlags { fin: false, syn: false, rst: false, psh: false, ack: true, urg: false };
+    pub const ACK: TcpFlags = TcpFlags {
+        fin: false,
+        syn: false,
+        rst: false,
+        psh: false,
+        ack: true,
+        urg: false,
+    };
     /// Flags for an initial SYN.
-    pub const SYN: TcpFlags = TcpFlags { fin: false, syn: true, rst: false, psh: false, ack: false, urg: false };
+    pub const SYN: TcpFlags = TcpFlags {
+        fin: false,
+        syn: true,
+        rst: false,
+        psh: false,
+        ack: false,
+        urg: false,
+    };
     /// Flags for a SYN-ACK.
-    pub const SYN_ACK: TcpFlags = TcpFlags { fin: false, syn: true, rst: false, psh: false, ack: true, urg: false };
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        fin: false,
+        syn: true,
+        rst: false,
+        psh: false,
+        ack: true,
+        urg: false,
+    };
 
     fn to_byte(self) -> u8 {
         (self.fin as u8)
@@ -234,7 +256,7 @@ impl<T: AsRef<[u8]>> TcpSegment<T> {
             return Err(Error::Truncated);
         }
         let hl = seg.header_len();
-        if hl < HEADER_LEN || hl > MAX_HEADER_LEN || b.len() < hl {
+        if !(HEADER_LEN..=MAX_HEADER_LEN).contains(&hl) || b.len() < hl {
             return Err(Error::Malformed);
         }
         Ok(seg)
@@ -299,8 +321,7 @@ impl<T: AsRef<[u8]>> TcpSegment<T> {
     /// Verifies the transport checksum given the IP pseudo-header inputs.
     pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
         let b = self.buffer.as_ref();
-        let pseudo =
-            checksum::pseudo_header_sum(src, dst, IpProtocol::Tcp.into(), b.len() as u16);
+        let pseudo = checksum::pseudo_header_sum(src, dst, IpProtocol::Tcp.into(), b.len() as u16);
         checksum::combine(pseudo, checksum::ones_complement_sum(b)) == 0xFFFF
     }
 
@@ -333,7 +354,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
 
     /// Sets the header length in bytes (multiple of 4).
     pub fn set_header_len(&mut self, len: usize) {
-        debug_assert!(len % 4 == 0 && (HEADER_LEN..=MAX_HEADER_LEN).contains(&len));
+        debug_assert!(len.is_multiple_of(4) && (HEADER_LEN..=MAX_HEADER_LEN).contains(&len));
         let b = self.buffer.as_mut();
         b[12] = ((len / 4) as u8) << 4;
     }
@@ -407,7 +428,7 @@ impl TcpRepr {
     /// Header length this repr will occupy on the wire.
     pub fn header_len(&self) -> usize {
         let optlen: usize = self.options.iter().map(TcpOption::wire_len).sum();
-        HEADER_LEN + (optlen + 3) / 4 * 4
+        HEADER_LEN + optlen.div_ceil(4) * 4
     }
 
     /// Builds a complete segment (header + options + payload) with a valid
@@ -554,6 +575,9 @@ mod tests {
     fn rejects_bad_data_offset() {
         let mut buf = syn_repr().build_segment(SRC, DST, b"");
         buf[12] = 0x30; // data offset 12 bytes < 20
-        assert_eq!(TcpSegment::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            TcpSegment::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 }

@@ -70,8 +70,7 @@ impl<T: AsRef<[u8]>> UdpDatagram<T> {
             return true;
         }
         let b = &self.buffer.as_ref()[..self.length()];
-        let pseudo =
-            checksum::pseudo_header_sum(src, dst, IpProtocol::Udp.into(), b.len() as u16);
+        let pseudo = checksum::pseudo_header_sum(src, dst, IpProtocol::Udp.into(), b.len() as u16);
         checksum::combine(pseudo, checksum::ones_complement_sum(b)) == 0xFFFF
     }
 
@@ -155,7 +154,10 @@ mod tests {
 
     #[test]
     fn build_parse_roundtrip() {
-        let repr = UdpRepr { src_port: 5353, dst_port: 53 };
+        let repr = UdpRepr {
+            src_port: 5353,
+            dst_port: 53,
+        };
         let buf = repr.build_datagram(SRC, DST, b"query").unwrap();
         let dg = UdpDatagram::new_checked(&buf[..]).unwrap();
         assert!(dg.verify_checksum(SRC, DST));
@@ -166,7 +168,10 @@ mod tests {
 
     #[test]
     fn corrupted_payload_fails_checksum() {
-        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
         let mut buf = repr.build_datagram(SRC, DST, b"payload").unwrap();
         buf[10] ^= 0xFF;
         let dg = UdpDatagram::new_checked(&buf[..]).unwrap();
@@ -175,7 +180,10 @@ mod tests {
 
     #[test]
     fn zero_checksum_means_disabled() {
-        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
         let mut buf = repr.build_datagram(SRC, DST, b"x").unwrap();
         buf[6..8].copy_from_slice(&[0, 0]);
         let dg = UdpDatagram::new_checked(&buf[..]).unwrap();
@@ -188,16 +196,25 @@ mod tests {
             UdpDatagram::new_checked(&[0u8; 7][..]).unwrap_err(),
             Error::Truncated
         );
-        let mut buf = vec![0u8; 12];
+        let mut buf = [0u8; 12];
         buf[4..6].copy_from_slice(&20u16.to_be_bytes()); // longer than buffer
-        assert_eq!(UdpDatagram::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
         buf[4..6].copy_from_slice(&4u16.to_be_bytes()); // shorter than header
-        assert_eq!(UdpDatagram::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 
     #[test]
     fn trailing_bytes_ignored_by_payload() {
-        let repr = UdpRepr { src_port: 9, dst_port: 10 };
+        let repr = UdpRepr {
+            src_port: 9,
+            dst_port: 10,
+        };
         let mut buf = repr.build_datagram(SRC, DST, b"ab").unwrap();
         buf.extend_from_slice(&[0xCC; 5]);
         let dg = UdpDatagram::new_checked(&buf[..]).unwrap();
@@ -206,8 +223,14 @@ mod tests {
 
     #[test]
     fn oversize_payload_rejected() {
-        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
         let big = vec![0u8; 65536];
-        assert_eq!(repr.build_datagram(SRC, DST, &big).unwrap_err(), Error::FieldRange);
+        assert_eq!(
+            repr.build_datagram(SRC, DST, &big).unwrap_err(),
+            Error::FieldRange
+        );
     }
 }

@@ -49,12 +49,18 @@ pub struct AxelConfig {
 impl AxelConfig {
     /// The paper's single-connection jumbo configuration.
     pub fn single_jumbo() -> Self {
-        AxelConfig { conns: 1, mtu: 9000 }
+        AxelConfig {
+            conns: 1,
+            mtu: 9000,
+        }
     }
 
     /// The paper's 6-connection legacy configuration.
     pub fn six_legacy() -> Self {
-        AxelConfig { conns: 6, mtu: 1500 }
+        AxelConfig {
+            conns: 6,
+            mtu: 1500,
+        }
     }
 }
 
@@ -63,7 +69,14 @@ pub fn session_cycles_per_sec(cfg: &AxelConfig) -> f64 {
     let m = calib::endpoint_model();
     let per_conn_bps = SESSION_BPS / cfg.conns as f64;
     let mech: f64 = cfg.conns as f64
-        * tx_cycles_per_sec(&m, &TxConfig { bps: per_conn_bps, mtu: cfg.mtu, tso: true });
+        * tx_cycles_per_sec(
+            &m,
+            &TxConfig {
+                bps: per_conn_bps,
+                mtu: cfg.mtu,
+                tso: true,
+            },
+        );
     let extra = MULTI_CONN_CYCLES * (cfg.conns.saturating_sub(1)) as f64;
     mech + extra
 }
@@ -124,19 +137,27 @@ mod tests {
     fn monotone_in_sessions_and_conns() {
         let jumbo = AxelConfig::single_jumbo();
         assert!(axel_cpu_pct(&jumbo, 1) < axel_cpu_pct(&jumbo, 50));
-        let more_conns = AxelConfig { conns: 12, mtu: 1500 };
+        let more_conns = AxelConfig {
+            conns: 12,
+            mtu: 1500,
+        };
         assert!(
-            session_cycles_per_sec(&AxelConfig::six_legacy())
-                < session_cycles_per_sec(&more_conns)
+            session_cycles_per_sec(&AxelConfig::six_legacy()) < session_cycles_per_sec(&more_conns)
         );
     }
 
     #[test]
     fn jumbo_single_conn_is_cheapest_per_session() {
         let jumbo = session_cycles_per_sec(&AxelConfig::single_jumbo());
-        let legacy1 = session_cycles_per_sec(&AxelConfig { conns: 1, mtu: 1500 });
+        let legacy1 = session_cycles_per_sec(&AxelConfig {
+            conns: 1,
+            mtu: 1500,
+        });
         let legacy6 = session_cycles_per_sec(&AxelConfig::six_legacy());
-        assert!(jumbo < legacy1, "even one legacy conn pays more per-packet work");
+        assert!(
+            jumbo < legacy1,
+            "even one legacy conn pays more per-packet work"
+        );
         assert!(legacy1 < legacy6);
     }
 }

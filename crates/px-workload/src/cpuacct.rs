@@ -57,8 +57,22 @@ mod tests {
     #[test]
     fn jumbo_mtu_cuts_tx_cycles() {
         let m = calib::endpoint_model();
-        let legacy = tx_cycles_per_sec(&m, &TxConfig { bps: 2e9, mtu: 1500, tso: true });
-        let jumbo = tx_cycles_per_sec(&m, &TxConfig { bps: 2e9, mtu: 9000, tso: true });
+        let legacy = tx_cycles_per_sec(
+            &m,
+            &TxConfig {
+                bps: 2e9,
+                mtu: 1500,
+                tso: true,
+            },
+        );
+        let jumbo = tx_cycles_per_sec(
+            &m,
+            &TxConfig {
+                bps: 2e9,
+                mtu: 9000,
+                tso: true,
+            },
+        );
         assert!(jumbo < legacy, "jumbo {jumbo} vs legacy {legacy}");
         // The per-packet + per-ack terms shrink ~6×; per-byte is equal, so
         // the total improves but less than 6×.
@@ -69,16 +83,44 @@ mod tests {
     #[test]
     fn tso_cuts_protocol_traversals() {
         let m = calib::endpoint_model();
-        let tso = tx_cycles_per_sec(&m, &TxConfig { bps: 2e9, mtu: 1500, tso: true });
-        let no_tso = tx_cycles_per_sec(&m, &TxConfig { bps: 2e9, mtu: 1500, tso: false });
+        let tso = tx_cycles_per_sec(
+            &m,
+            &TxConfig {
+                bps: 2e9,
+                mtu: 1500,
+                tso: true,
+            },
+        );
+        let no_tso = tx_cycles_per_sec(
+            &m,
+            &TxConfig {
+                bps: 2e9,
+                mtu: 1500,
+                tso: false,
+            },
+        );
         assert!(tso < no_tso);
     }
 
     #[test]
     fn cycles_scale_linearly_with_rate() {
         let m = calib::endpoint_model();
-        let one = tx_cycles_per_sec(&m, &TxConfig { bps: 1e9, mtu: 1500, tso: true });
-        let two = tx_cycles_per_sec(&m, &TxConfig { bps: 2e9, mtu: 1500, tso: true });
+        let one = tx_cycles_per_sec(
+            &m,
+            &TxConfig {
+                bps: 1e9,
+                mtu: 1500,
+                tso: true,
+            },
+        );
+        let two = tx_cycles_per_sec(
+            &m,
+            &TxConfig {
+                bps: 2e9,
+                mtu: 1500,
+                tso: true,
+            },
+        );
         assert!((two / one - 2.0).abs() < 1e-9);
     }
 }

@@ -100,12 +100,20 @@ mod tests {
     #[test]
     fn bounded_pareto_respects_bounds_and_tail() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let d = FlowSizeDist::BoundedPareto { alpha: 1.2, min: 1_000, max: 1_000_000_000 };
+        let d = FlowSizeDist::BoundedPareto {
+            alpha: 1.2,
+            min: 1_000,
+            max: 1_000_000_000,
+        };
         let sizes = d.sample_n(&mut rng, 20_000);
         assert!(sizes.iter().all(|&s| (1_000..=1_000_000_000).contains(&s)));
         let s = summarize(&sizes);
         // Heavy tail: top 10% of flows carry the majority of bytes.
-        assert!(s.top_decile_byte_share > 0.5, "share {}", s.top_decile_byte_share);
+        assert!(
+            s.top_decile_byte_share > 0.5,
+            "share {}",
+            s.top_decile_byte_share
+        );
         // Most flows are small.
         assert!(s.mice_fraction > 0.5, "mice {}", s.mice_fraction);
     }

@@ -100,17 +100,17 @@ impl IperfPair {
         net.connect((a, PortId(0)), (b, PortId(0)), self.link);
         {
             let server = net.node_mut::<Host>(b);
-            server.listen(5201, ConnConfig::new((B_ADDR, 5201), (A_ADDR, 0), self.mtu_b));
+            server.listen(
+                5201,
+                ConnConfig::new((B_ADDR, 5201), (A_ADDR, 0), self.mtu_b),
+            );
         }
         {
             let client = net.node_mut::<Host>(a);
             for i in 0..self.flows {
-                let mut cfg = ConnConfig::new(
-                    (A_ADDR, 40000 + i as u16),
-                    (B_ADDR, 5201),
-                    self.mtu_a,
-                )
-                .sending(u64::MAX);
+                let mut cfg =
+                    ConnConfig::new((A_ADDR, 40000 + i as u16), (B_ADDR, 5201), self.mtu_a)
+                        .sending(u64::MAX);
                 cfg.cc = self.cc;
                 client.connect_at(
                     (i as u64) * 1_000_000, // staggered starts, 1 ms apart
@@ -167,7 +167,12 @@ mod tests {
         let j = jumbo.run_tcp();
         assert_eq!(l.integrity_errors + j.integrity_errors, 0);
         let ratio = j.aggregate_bps / l.aggregate_bps;
-        assert!(ratio > 3.0, "9 KB / 1500 B ratio {ratio} (l={} j={})", l.aggregate_bps, j.aggregate_bps);
+        assert!(
+            ratio > 3.0,
+            "9 KB / 1500 B ratio {ratio} (l={} j={})",
+            l.aggregate_bps,
+            j.aggregate_bps
+        );
         assert_eq!(j.effective_mss, 8960);
     }
 
@@ -205,7 +210,10 @@ mod tests {
         };
         let (dgrams, bytes) = pair.run_udp(20_000_000, 1000);
         let expected = 2.0 * 20e6 * 2.0 / 8.0 / 1000.0;
-        assert!((dgrams as f64 - expected).abs() / expected < 0.06, "{dgrams} vs {expected}");
+        assert!(
+            (dgrams as f64 - expected).abs() / expected < 0.06,
+            "{dgrams} vs {expected}"
+        );
         assert_eq!(bytes, dgrams * 1000);
     }
 }

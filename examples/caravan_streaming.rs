@@ -24,7 +24,10 @@ const VIEWER: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 9); // inside the b-network
 fn main() {
     let mut net = Network::new(21);
     let cdn = net.add_node(Host::new(HostConfig::new(STREAMER, 1500)));
-    let gw = net.add_node(PxGateway::new(GatewayConfig { steer: None, ..Default::default() }));
+    let gw = net.add_node(PxGateway::new(GatewayConfig {
+        steer: None,
+        ..Default::default()
+    }));
     let mut viewer_cfg = HostConfig::new(VIEWER, 9000);
     viewer_cfg.caravan_rx = true; // the paper's modified receiver stack
     let viewer = net.add_node(Host::new(viewer_cfg));
@@ -42,7 +45,8 @@ fn main() {
 
     // A 300 Mbps "8K video" stream of 1172-byte datagrams (a QUIC-like
     // payload size), for two seconds.
-    net.node_mut::<Host>(viewer).udp_bind(UdpSocket::bind(4433).recording());
+    net.node_mut::<Host>(viewer)
+        .udp_bind(UdpSocket::bind(4433).recording());
     net.node_mut::<Host>(cdn).add_udp_flow(UdpFlowCfg {
         local_port: 7000,
         dst: VIEWER,
@@ -59,10 +63,20 @@ fn main() {
     let sock = net.node_ref::<Host>(viewer).udp_socket(4433).unwrap();
 
     println!("── PX-caravan streaming ──────────────────────────────────");
-    println!("datagrams sent      : {}", net.node_ref::<Host>(cdn).udp_socket(7000).unwrap().stats.sent);
+    println!(
+        "datagrams sent      : {}",
+        net.node_ref::<Host>(cdn)
+            .udp_socket(7000)
+            .unwrap()
+            .stats
+            .sent
+    );
     println!("caravans built      : {}", gwn.caravan.stats.caravans_out);
     println!("datagrams bundled   : {}", gwn.caravan.stats.bundled);
-    println!("bundles unbundled   : {} (at the viewer's UDP_GRO path)", sock.stats.bundles);
+    println!(
+        "bundles unbundled   : {} (at the viewer's UDP_GRO path)",
+        sock.stats.bundles
+    );
     println!("datagrams delivered : {}", sock.stats.datagrams);
     println!("malformed           : {}", sock.stats.malformed);
     let intact = sock.received.iter().all(|p| p.len() == 1172);

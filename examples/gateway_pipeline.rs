@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --release --example gateway_pipeline`
 
-use packet_express::core::pipeline::{
-    run_pipeline, PipelineConfig, SystemVariant, WorkloadKind,
-};
+use packet_express::core::pipeline::{run_pipeline, PipelineConfig, SystemVariant, WorkloadKind};
 
 fn main() {
     println!("── PXGW datapath: throughput / conversion yield ──────────");
@@ -32,7 +30,11 @@ fn main() {
                 cores,
                 rep.throughput_bps / 1e9,
                 100.0 * rep.conversion_yield,
-                if rep.membus_bound_bps < rep.cpu_bound_bps { "mem" } else { "cpu" },
+                if rep.membus_bound_bps < rep.cpu_bound_bps {
+                    "mem"
+                } else {
+                    "cpu"
+                },
             );
         }
     }

@@ -77,7 +77,12 @@ fn main() {
     let (mut net, p, _) = build_path(3, prober, FpmtudDaemon::new(DAEMON_ADDR), &path, true);
     net.run_until(Nanos::from_secs(10));
     match net.node_ref::<FpmtudProber>(p).outcome.clone().unwrap() {
-        ProbeOutcome::Discovered { pmtu, elapsed, fragment_sizes, probes_sent } => {
+        ProbeOutcome::Discovered {
+            pmtu,
+            elapsed,
+            fragment_sizes,
+            probes_sent,
+        } => {
             println!(
                 "F-PMTUD       : {pmtu} B in {elapsed} ({probes_sent} probe; daemon saw {} fragments: {:?})",
                 fragment_sizes.len(),

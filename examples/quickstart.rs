@@ -47,8 +47,10 @@ fn main() {
     // (uplink = split direction).
     let download = 4_000_000u64;
     let upload = 2_000_000u64;
-    net.node_mut::<Host>(ext)
-        .listen(80, ConnConfig::new((EXT, 80), (INT, 0), 1500).sending(download));
+    net.node_mut::<Host>(ext).listen(
+        80,
+        ConnConfig::new((EXT, 80), (INT, 0), 1500).sending(download),
+    );
     net.node_mut::<Host>(int).connect_at(
         0,
         ConnConfig::new((INT, 40000), (EXT, 80), 9000).sending(upload),
@@ -64,21 +66,38 @@ fn main() {
     let s = &server.tcp_stats()[0];
 
     println!("── PacketExpress quickstart ──────────────────────────────");
-    println!("client received   : {} / {} bytes (intact: {})",
-        c.bytes_received, download, c.integrity_errors == 0);
-    println!("server received   : {} / {} bytes (intact: {})",
-        s.bytes_received, upload, s.integrity_errors == 0);
+    println!(
+        "client received   : {} / {} bytes (intact: {})",
+        c.bytes_received,
+        download,
+        c.integrity_errors == 0
+    );
+    println!(
+        "server received   : {} / {} bytes (intact: {})",
+        s.bytes_received,
+        upload,
+        s.integrity_errors == 0
+    );
     println!();
-    println!("MSS negotiation   : client sees peer MSS {} (server advertised 1460;",
-        c.peer_mss);
+    println!(
+        "MSS negotiation   : client sees peer MSS {} (server advertised 1460;",
+        c.peer_mss
+    );
     println!("                    PXGW rewrote it → jumbo segments inside the b-network)");
     println!();
-    println!("gateway merge     : {} eMTU data segments in → {} packets out",
-        gwn.merge.stats.data_segs_in, gwn.merge.stats.out_sizes.packets());
-    println!("conversion yield  : {:.1}% of forwarded packets are iMTU-sized",
-        100.0 * gwn.merge.stats.conversion_yield(&gwn.merge.cfg));
-    println!("gateway split     : {} jumbo packets cut into {} wire segments",
-        gwn.split.stats.split, gwn.split.stats.segments_out);
+    println!(
+        "gateway merge     : {} eMTU data segments in → {} packets out",
+        gwn.merge.stats.data_segs_in,
+        gwn.merge.stats.out_sizes.packets()
+    );
+    println!(
+        "conversion yield  : {:.1}% of forwarded packets are iMTU-sized",
+        100.0 * gwn.merge.stats.conversion_yield(&gwn.merge.cfg)
+    );
+    println!(
+        "gateway split     : {} jumbo packets cut into {} wire segments",
+        gwn.split.stats.split, gwn.split.stats.segments_out
+    );
     println!("MSS rewrites      : {}", gwn.mss_rewrites);
 
     assert_eq!(c.bytes_received, download);

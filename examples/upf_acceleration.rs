@@ -16,12 +16,7 @@ fn main() {
     let base = upf_throughput_bps(1500, 800, 60_000);
     for mtu in [1500usize, 2500, 4500, 6000, 7500, 9000] {
         let tp = upf_throughput_bps(mtu, 800, 60_000);
-        println!(
-            "  {:7} | {:7.1} Gbps | {:.2}x",
-            mtu,
-            tp / 1e9,
-            tp / base
-        );
+        println!("  {:7} | {:7.1} Gbps | {:.2}x", mtu, tp / 1e9, tp / base);
     }
     println!("\npaper: 208 Gbps at 9000 B — 5.6x over the legacy MTU (Fig. 1a)");
 }

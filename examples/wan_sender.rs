@@ -68,11 +68,20 @@ fn main() {
     println!("WAN profile: 10 ms delay, 0.01% loss (the paper's netem setup)\n");
 
     let (legacy, mss_l) = run(1500, secs);
-    println!("legacy sender  (iMTU 1500, MSS {mss_l:5}): {:8.1} Mbps", legacy / 1e6);
+    println!(
+        "legacy sender  (iMTU 1500, MSS {mss_l:5}): {:8.1} Mbps",
+        legacy / 1e6
+    );
 
     let (jumbo, mss_j) = run(9000, secs);
-    println!("b-net sender   (iMTU 9000, MSS {mss_j:5}): {:8.1} Mbps", jumbo / 1e6);
+    println!(
+        "b-net sender   (iMTU 9000, MSS {mss_j:5}): {:8.1} Mbps",
+        jumbo / 1e6
+    );
 
-    println!("\ngain from upgrading ONLY the sender network: {:.2}x", jumbo / legacy);
+    println!(
+        "\ngain from upgrading ONLY the sender network: {:.2}x",
+        jumbo / legacy
+    );
     println!("paper: 2.5x    Mathis prediction: sqrt(9000/1500) = 2.45x");
 }

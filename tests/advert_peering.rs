@@ -67,7 +67,10 @@ fn adverts_establish_passthrough_and_jumbos_cross_untouched() {
     let g2 = net.node_ref::<PxGateway>(gw2);
     assert_eq!(g1.neighbor_asn, Some(64513));
     assert_eq!(g2.neighbor_asn, Some(64512));
-    assert!(matches!(g1.border_policy(now), BorderPolicy::PassThrough { up_to: 9000 }));
+    assert!(matches!(
+        g1.border_policy(now),
+        BorderPolicy::PassThrough { up_to: 9000 }
+    ));
     // Jumbo segments crossed the border without splitting.
     assert!(g1.passthrough_out > 0, "jumbos crossed untranslated");
     assert_eq!(g1.split.stats.split, 0, "nothing was split at gw1");
@@ -85,7 +88,10 @@ fn without_adverts_the_border_translates() {
     run_transfer(&mut net, host_a, host_b, 2_000_000);
     let g1 = net.node_ref::<PxGateway>(gw1);
     assert_eq!(g1.neighbor_asn, None);
-    assert!(matches!(g1.border_policy(net.now().0), BorderPolicy::Translate));
+    assert!(matches!(
+        g1.border_policy(net.now().0),
+        BorderPolicy::Translate
+    ));
     assert_eq!(g1.passthrough_out, 0);
     assert!(g1.split.stats.split > 0, "jumbos were split for the border");
     let st = &net.node_ref::<Host>(host_b).tcp_stats()[0];
@@ -133,7 +139,10 @@ fn passthrough_respects_the_smaller_imtu() {
     let now = net.now().0;
     let g1 = net.node_ref::<PxGateway>(gw1);
     assert!(
-        matches!(g1.border_policy(now), BorderPolicy::PassThrough { up_to: 4000 }),
+        matches!(
+            g1.border_policy(now),
+            BorderPolicy::PassThrough { up_to: 4000 }
+        ),
         "policy capped at the neighbour's iMTU"
     );
     let st = &net.node_ref::<Host>(host_b).tcp_stats()[0];

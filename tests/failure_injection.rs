@@ -29,8 +29,8 @@ impl Node for BitFlipper {
         let mut bytes = pkt.as_slice().to_vec();
         if ctx.rng.gen::<f64>() < self.prob && !bytes.is_empty() {
             let i = ctx.rng.gen_range(0..bytes.len());
-            let bit = ctx.rng.gen_range(0..8);
-            bytes[i] ^= 1 << bit;
+            let bit = ctx.rng.gen_range(0u32..8);
+            bytes[i] ^= 1u8 << bit;
             self.flipped += 1;
         }
         ctx.send(PortId(1 - port.0), PacketBuf::from_payload(&bytes));
@@ -97,7 +97,10 @@ fn gateway_flow_table_pressure_is_lossless() {
 fn bit_flips_never_corrupt_the_stream() {
     let mut net = Network::new(19);
     let a = net.add_node(Host::new(HostConfig::new(EXT, 1500)));
-    let flipper = net.add_node(BitFlipper { prob: 0.02, flipped: 0 });
+    let flipper = net.add_node(BitFlipper {
+        prob: 0.02,
+        flipped: 0,
+    });
     let b = net.add_node(Host::new(HostConfig::new(INT, 1500)));
     net.connect(
         (a, PortId(0)),
@@ -110,7 +113,8 @@ fn bit_flips_never_corrupt_the_stream() {
         LinkConfig::new(1_000_000_000, Nanos::from_micros(200), 1500),
     );
     let total = 500_000u64;
-    net.node_mut::<Host>(b).listen(80, ConnConfig::new((INT, 80), (EXT, 0), 1500));
+    net.node_mut::<Host>(b)
+        .listen(80, ConnConfig::new((INT, 80), (EXT, 0), 1500));
     net.node_mut::<Host>(a).connect_at(
         0,
         ConnConfig::new((EXT, 40000), (INT, 80), 1500).sending(total),
@@ -135,17 +139,21 @@ fn bit_flips_never_corrupt_the_stream() {
 fn combined_stress_through_gateway() {
     let mut net = Network::new(23);
     let ext = net.add_node(Host::new(HostConfig::new(EXT, 1500)));
-    let flipper = net.add_node(BitFlipper { prob: 0.005, flipped: 0 });
-    let gw = net.add_node(PxGateway::new(GatewayConfig { steer: None, ..Default::default() }));
+    let flipper = net.add_node(BitFlipper {
+        prob: 0.005,
+        flipped: 0,
+    });
+    let gw = net.add_node(PxGateway::new(GatewayConfig {
+        steer: None,
+        ..Default::default()
+    }));
     let int = net.add_node(Host::new(HostConfig::new(INT, 9000)));
     net.connect(
         (ext, PortId(0)),
         (flipper, PortId(0)),
-        LinkConfig::new(10_000_000_000, Nanos::from_micros(100), 1500)
-            .with_netem(packet_express::sim::netem::Netem::delay_loss(
-                Nanos::from_millis(1),
-                1e-3,
-            )),
+        LinkConfig::new(10_000_000_000, Nanos::from_micros(100), 1500).with_netem(
+            packet_express::sim::netem::Netem::delay_loss(Nanos::from_millis(1), 1e-3),
+        ),
     );
     net.connect(
         (flipper, PortId(1)),
@@ -158,8 +166,10 @@ fn combined_stress_through_gateway() {
         LinkConfig::new(10_000_000_000, Nanos::from_micros(20), 9000),
     );
     let total = 1_000_000u64;
-    net.node_mut::<Host>(ext)
-        .listen(80, ConnConfig::new((EXT, 80), (INT, 0), 1500).sending(total));
+    net.node_mut::<Host>(ext).listen(
+        80,
+        ConnConfig::new((EXT, 80), (INT, 0), 1500).sending(total),
+    );
     net.node_mut::<Host>(int).connect_at(
         0,
         ConnConfig::new((INT, 40000), (EXT, 80), 9000),

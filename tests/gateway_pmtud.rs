@@ -47,7 +47,11 @@ fn topo(narrow_mtu: usize, ext_host_mtu: usize, pmtud: bool) -> (Network, NodeId
     net.connect(
         (rt, PortId(1)),
         (ext, PortId(0)),
-        LinkConfig::new(10_000_000_000, Nanos::from_micros(100), narrow_mtu.max(ext_host_mtu)),
+        LinkConfig::new(
+            10_000_000_000,
+            Nanos::from_micros(100),
+            narrow_mtu.max(ext_host_mtu),
+        ),
     );
     (net, bhost, gw, ext)
 }
@@ -77,7 +81,10 @@ fn pmtud_client_rescues_a_narrow_path() {
         without < 300_000,
         "static eMTU across a 1400B hop should strand the transfer ({without})"
     );
-    assert!(net.stats().pkts_dropped_df > 0, "router dropped DF segments");
+    assert!(
+        net.stats().pkts_dropped_df > 0,
+        "router dropped DF segments"
+    );
 
     // With PMTUD: the gateway probes, learns ~1396, splits to it.
     let (mut net, bhost, gw, ext) = topo(1400, 1500, true);
@@ -90,7 +97,10 @@ fn pmtud_client_rescues_a_narrow_path() {
     assert_eq!(client.probes_sent, 1);
     let learned = client.pmtu_for(EXT).expect("report came back");
     assert!(learned <= 1400 && learned > 1360, "learned {learned}");
-    assert!(net.node_ref::<Host>(ext).fpmtud_reports >= 1, "host daemon served");
+    assert!(
+        net.node_ref::<Host>(ext).fpmtud_reports >= 1,
+        "host daemon served"
+    );
 }
 
 /// The opposite direction: the whole external path turns out to be

@@ -20,7 +20,10 @@ fn fpmtud_on(hops: &[Hop], blackhole: bool, seed: u64) -> ProbeOutcome {
     let daemon = FpmtudDaemon::new(DAEMON_ADDR);
     let (mut net, p, _) = build_path(seed, prober, daemon, hops, blackhole);
     net.run_until(Nanos::from_secs(20));
-    net.node_ref::<FpmtudProber>(p).outcome.clone().expect("finished")
+    net.node_ref::<FpmtudProber>(p)
+        .outcome
+        .clone()
+        .expect("finished")
 }
 
 /// Randomized topologies: F-PMTUD always finds the narrowest hop within
@@ -94,13 +97,22 @@ fn three_mechanisms_compared_on_one_path() {
     assert!(pl.pmtu <= truth && pl.pmtu + 28 > truth);
     // Ordering: F-PMTUD fastest, PLPMTUD slowest.
     assert!(f.1 < classic.1, "f {} vs classic {}", f.1, classic.1);
-    assert!(classic.1 < pl.elapsed, "classic {} vs pl {}", classic.1, pl.elapsed);
+    assert!(
+        classic.1 < pl.elapsed,
+        "classic {} vs pl {}",
+        classic.1,
+        pl.elapsed
+    );
 }
 
 /// With a blackhole, classic fails, F-PMTUD is unaffected.
 #[test]
 fn blackhole_breaks_only_classic() {
-    let hops = [Hop::new(9000, 100), Hop::new(1400, 500), Hop::new(1500, 100)];
+    let hops = [
+        Hop::new(9000, 100),
+        Hop::new(1400, 500),
+        Hop::new(1500, 100),
+    ];
     match fpmtud_on(&hops, true, 9) {
         ProbeOutcome::Discovered { pmtu, .. } => assert!(pmtu <= 1400 && pmtu > 1300),
         other => panic!("{other:?}"),
@@ -140,7 +152,10 @@ fn fpmtud_works_through_a_pxgw() {
         timeout: Nanos::from_secs(2),
         max_tries: 3,
     }));
-    let gw = net.add_node(PxGateway::new(GatewayConfig { steer: None, ..Default::default() }));
+    let gw = net.add_node(PxGateway::new(GatewayConfig {
+        steer: None,
+        ..Default::default()
+    }));
     let daemon = net.add_node(FpmtudDaemon::new(DAEMON_ADDR));
     // External side is the legacy 1500 network; prober's own link can
     // carry 9000 so the probe leaves whole and a router would have to
@@ -160,8 +175,15 @@ fn fpmtud_works_through_a_pxgw() {
         LinkConfig::new(10_000_000_000, Nanos::from_micros(100), 9000),
     );
     net.run_until(Nanos::from_secs(5));
-    match net.node_ref::<FpmtudProber>(prober).outcome.clone().expect("finished") {
-        ProbeOutcome::Discovered { pmtu, probes_sent, .. } => {
+    match net
+        .node_ref::<FpmtudProber>(prober)
+        .outcome
+        .clone()
+        .expect("finished")
+    {
+        ProbeOutcome::Discovered {
+            pmtu, probes_sent, ..
+        } => {
             assert_eq!(pmtu, 9000, "whole path supports jumbo");
             assert_eq!(probes_sent, 1);
         }
@@ -209,7 +231,8 @@ fn host_reacts_to_icmp_frag_needed() {
             LinkConfig::new(1_000_000_000, Nanos::from_micros(100), 1500),
         );
         let total = 200_000u64;
-        net.node_mut::<Host>(b).listen(80, ConnConfig::new((B, 80), (A, 0), 1500));
+        net.node_mut::<Host>(b)
+            .listen(80, ConnConfig::new((B, 80), (A, 0), 1500));
         net.node_mut::<Host>(a).connect_at(
             0,
             ConnConfig::new((A, 40000), (B, 80), 1500).sending(total),

@@ -9,13 +9,14 @@
 //!   (symmetric key);
 //! * fragmentation never emits oversize or misaligned fragments.
 
+use packet_express::core::caravan_gw::{CaravanConfig, CaravanEngine};
 use packet_express::core::merge::{MergeConfig, MergeEngine};
 use packet_express::core::split::SplitEngine;
 use packet_express::sim::nic;
-use packet_express::wire::caravan::{split_bundle, CaravanBuilder};
+use packet_express::wire::caravan::{split_bundle, CaravanBuilder, MAX_INNER};
 use packet_express::wire::checksum;
-use packet_express::wire::frag::{fragment_along_path, ReassemblyResult, Reassembler};
-use packet_express::wire::ipv4::{Ipv4Packet, Ipv4Repr};
+use packet_express::wire::frag::{fragment_along_path, Reassembler, ReassemblyResult};
+use packet_express::wire::ipv4::{Ipv4Packet, Ipv4Repr, CARAVAN_TOS};
 use packet_express::wire::tcp::{SeqNum, TcpFlags, TcpRepr, TcpSegment};
 use packet_express::wire::{FlowKey, IpProtocol, RssHasher, UdpRepr};
 use proptest::prelude::*;
@@ -225,5 +226,169 @@ proptest! {
         let h = RssHasher::symmetric();
         let k = FlowKey::tcp(Ipv4Addr::from(a), pa, Ipv4Addr::from(b), pb);
         prop_assert_eq!(h.queue_for(&k, queues), h.queue_for(&k.reversed(), queues));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A full merge→split pass over a *randomized multi-flow mix*
+    /// preserves each flow's exact TCP byte stream: wire packets carry
+    /// valid IPv4/TCP checksums, per-flow sequence numbers are gapless,
+    /// ACKs are preserved, and the reassembled payload is identical.
+    #[test]
+    fn multiflow_merge_split_stream_identity(
+        interleave in proptest::collection::vec(0usize..4, 4..48),
+        seg_lens in proptest::collection::vec(64usize..1460, 4..48),
+        base_seq in any::<u32>(),
+    ) {
+        const N_FLOWS: usize = 4;
+        let base = |f: usize| base_seq.wrapping_add((f as u32) * 0x0300_0000);
+        let mut merge = MergeEngine::new(MergeConfig {
+            imtu: 9000,
+            emtu: 1500,
+            hold_ns: 100_000,
+            table_capacity: 64,
+        });
+        let mut split = SplitEngine::new(1500);
+        let mut sent: Vec<Vec<u8>> = vec![Vec::new(); N_FLOWS];
+        let mut next_seq: Vec<u32> = (0..N_FLOWS).map(base).collect();
+        let mut merged = Vec::new();
+        for (i, &f) in interleave.iter().enumerate() {
+            let len = seg_lens[i % seg_lens.len()];
+            let payload: Vec<u8> = (0..len)
+                .map(|j| (((f * 131 + sent[f].len() + j) as u64 * 13 + 5) % 251) as u8)
+                .collect();
+            let repr = TcpRepr {
+                src_port: 7000 + f as u16,
+                dst_port: 80,
+                seq: SeqNum(next_seq[f]),
+                ack: SeqNum(1),
+                flags: TcpFlags::ACK,
+                window: 1024,
+                options: vec![],
+            };
+            let seg = repr.build_segment(SRC, DST, &payload);
+            let pkt = Ipv4Repr::new(SRC, DST, IpProtocol::Tcp, seg.len())
+                .build_packet(&seg)
+                .unwrap();
+            next_seq[f] = next_seq[f].wrapping_add(len as u32);
+            sent[f].extend_from_slice(&payload);
+            merged.extend(merge.push((i as u64) * 1000, pkt));
+        }
+        merged.extend(merge.flush_all());
+        let mut rebuilt: Vec<Vec<u8>> = vec![Vec::new(); N_FLOWS];
+        let mut expect_seq: Vec<u32> = (0..N_FLOWS).map(base).collect();
+        for m in merged {
+            for w in split.push(m) {
+                let ip = Ipv4Packet::new_checked(&w[..]).unwrap();
+                prop_assert!(w.len() <= 1500);
+                prop_assert!(ip.verify_checksum());
+                let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+                prop_assert!(tcp.verify_checksum(SRC, DST));
+                prop_assert_eq!(tcp.ack().0, 1, "ACK must survive merge/split");
+                let f = usize::from(tcp.src_port()) - 7000;
+                // Gapless per-flow sequence space: each wire segment
+                // starts exactly where the previous one ended.
+                prop_assert_eq!(tcp.seq().0, expect_seq[f]);
+                expect_seq[f] = expect_seq[f].wrapping_add(tcp.payload().len() as u32);
+                rebuilt[f].extend_from_slice(tcp.payload());
+            }
+        }
+        for f in 0..N_FLOWS {
+            prop_assert_eq!(&rebuilt[f], &sent[f], "flow {} stream", f);
+        }
+    }
+
+    /// The caravan *engine* (pack) followed by bundle walking (unpack)
+    /// preserves datagram count, order, and boundaries for randomized
+    /// datagram sizes — passthrough singletons included.
+    #[test]
+    fn caravan_engine_pack_unpack_boundaries(
+        lens in proptest::collection::vec(0usize..1300, 1..40),
+    ) {
+        let mut eng = CaravanEngine::new(CaravanConfig {
+            imtu: 9000,
+            hold_ns: 10_000,
+            table_capacity: 1024,
+            require_consecutive_ip_id: true,
+            probe_port: 9999,
+        });
+        let mut sent = Vec::new();
+        let mut outputs = Vec::new();
+        for (i, &l) in lens.iter().enumerate() {
+            let payload: Vec<u8> = (0..l).map(|j| ((i * 19 + j * 7) % 256) as u8).collect();
+            let dg = UdpRepr { src_port: 5000, dst_port: 4433 }
+                .build_datagram(SRC, DST, &payload)
+                .unwrap();
+            sent.push(dg.clone());
+            let mut ip = Ipv4Repr::new(SRC, DST, IpProtocol::Udp, dg.len());
+            ip.ident = 100u16.wrapping_add(i as u16);
+            let pkt = ip.build_packet(&dg).unwrap();
+            outputs.extend(eng.push_inbound((i as u64) * 500, pkt));
+        }
+        outputs.extend(eng.flush_all());
+        let mut restored: Vec<Vec<u8>> = Vec::new();
+        for out in &outputs {
+            let ip = Ipv4Packet::new_checked(&out[..]).unwrap();
+            prop_assert!(ip.verify_checksum());
+            prop_assert!(out.len() <= 9000);
+            if ip.tos() == CARAVAN_TOS {
+                for inner in split_bundle(&ip.payload()[8..]).unwrap() {
+                    restored.push(inner.to_vec());
+                }
+            } else {
+                restored.push(ip.payload().to_vec());
+            }
+        }
+        prop_assert_eq!(restored, sent);
+    }
+
+    /// Corrupted caravan bytes never panic the parser: off-boundary
+    /// truncations are rejected with `Err`, boundary truncations yield a
+    /// valid prefix, and arbitrary bit-flips either fail cleanly or
+    /// still account for every byte.
+    #[test]
+    fn caravan_corruption_never_panics(
+        lens in proptest::collection::vec(0usize..600, 1..10),
+        cut in any::<u16>(),
+        flip_byte in any::<u16>(),
+        flip_bit in 0u32..8,
+    ) {
+        let mut b = CaravanBuilder::new(1 << 16);
+        let mut boundaries = vec![0usize];
+        for (i, &l) in lens.iter().enumerate() {
+            let payload: Vec<u8> = (0..l).map(|j| ((i + j) % 256) as u8).collect();
+            let dg = UdpRepr { src_port: 6000, dst_port: 4433 }
+                .build_datagram(SRC, DST, &payload)
+                .unwrap();
+            b.push(&dg).unwrap();
+            boundaries.push(b.len());
+        }
+        let bundle = b.finish();
+        prop_assert!(!bundle.is_empty());
+
+        // Truncation at an arbitrary point.
+        let pos = usize::from(cut) % bundle.len();
+        match split_bundle(&bundle[..pos]) {
+            Ok(prefix) => {
+                prop_assert!(boundaries.contains(&pos),
+                    "cut {} inside a datagram must not parse", pos);
+                let idx = boundaries.iter().position(|&x| x == pos).unwrap();
+                prop_assert_eq!(prefix.len(), idx);
+            }
+            Err(_) => prop_assert!(!boundaries.contains(&pos)),
+        }
+
+        // A single bit-flip anywhere: clean Ok or clean Err, and any Ok
+        // result still partitions the buffer exactly.
+        let mut flipped = bundle.clone();
+        let fi = usize::from(flip_byte) % flipped.len();
+        flipped[fi] ^= 1u8 << flip_bit;
+        if let Ok(inner) = split_bundle(&flipped) {
+            let covered: usize = inner.iter().map(|d| d.len()).sum();
+            prop_assert_eq!(covered, flipped.len());
+            prop_assert!(inner.len() <= MAX_INNER);
+        }
     }
 }

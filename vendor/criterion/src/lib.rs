@@ -1,0 +1,340 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's bench
+//! targets use — `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, `Throughput`, and
+//! `Bencher::iter` — backed by a simple wall-clock measurement loop:
+//! each benchmark is calibrated so one sample takes a measurable amount
+//! of time, `sample_size` samples are collected, and median / min / max
+//! times (plus throughput, when declared) are printed.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared per-iteration work, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: Duration,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` `self.iters` times and records the elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Like `iter`, but with per-iteration setup excluded from timing.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn fmt_rate(throughput: &Throughput, per_iter_ns: f64) -> String {
+    match throughput {
+        Throughput::Bytes(b) => {
+            let bps = *b as f64 / (per_iter_ns / 1e9);
+            if bps >= 1e9 {
+                format!("{:.3} GiB/s", bps / (1u64 << 30) as f64)
+            } else {
+                format!("{:.3} MiB/s", bps / (1u64 << 20) as f64)
+            }
+        }
+        Throughput::Elements(e) => {
+            let eps = *e as f64 / (per_iter_ns / 1e9);
+            if eps >= 1e6 {
+                format!("{:.3} Melem/s", eps / 1e6)
+            } else {
+                format!("{:.3} Kelem/s", eps / 1e3)
+            }
+        }
+    }
+}
+
+/// Shared measurement settings.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    /// Target time for one calibrated sample.
+    sample_target: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            sample_target: Duration::from_millis(20),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    label: &str,
+    settings: &Settings,
+    throughput: Option<Throughput>,
+    mut routine: F,
+) {
+    // Calibrate the per-sample iteration count.
+    let mut iters = 1u64;
+    let per_iter_ns = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+            _marker: std::marker::PhantomData,
+        };
+        routine(&mut b);
+        let elapsed = b.elapsed.max(Duration::from_nanos(1));
+        if elapsed >= settings.sample_target || iters >= 1 << 20 {
+            break elapsed.as_nanos() as f64 / iters as f64;
+        }
+        let scale = settings.sample_target.as_nanos() as f64 / elapsed.as_nanos() as f64;
+        iters = ((iters as f64 * scale.clamp(1.5, 100.0)) as u64).max(iters + 1);
+    };
+    let _ = per_iter_ns;
+
+    let mut samples = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+            _marker: std::marker::PhantomData,
+        };
+        routine(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    let dur = |ns: f64| fmt_duration(Duration::from_nanos(ns as u64));
+    let mut line = format!(
+        "{label:<48} time: [{} {} {}]",
+        dur(lo),
+        dur(median),
+        dur(hi)
+    );
+    if let Some(t) = &throughput {
+        line.push_str(&format!("  thrpt: {}", fmt_rate(t, median)));
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    _parent: &'a mut (),
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Shortens/lengthens measurement (accepted for API compatibility).
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.sample_target = (t / 10).max(Duration::from_millis(1));
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Display,
+        routine: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &self.settings, self.throughput, routine);
+        self
+    }
+
+    /// Benchmarks `routine` with an input value under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &self.settings, self.throughput, |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry object.
+#[derive(Default)]
+pub struct Criterion {
+    unit: (),
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: Settings::default(),
+            throughput: None,
+            _parent: &mut self.unit,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: &str,
+        routine: F,
+    ) -> &mut Self {
+        run_one(name, &Settings::default(), None, routine);
+        self
+    }
+
+    /// Prints the final summary (no-op in the vendored harness).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group function calling each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            let _ = $cfg;
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(n: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = acc.wrapping_add(black_box(i) * 3);
+        }
+        acc
+    }
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1000));
+        g.bench_with_input(BenchmarkId::new("work", 1000), &1000u64, |b, &n| {
+            b.iter(|| work(n))
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        benches(&mut c);
+    }
+}

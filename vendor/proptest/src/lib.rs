@@ -1,0 +1,509 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendors the
+//! slice of the proptest 1.x surface the workspace uses:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`);
+//! * strategies: integer ranges (`a..b`, `a..=b`), [`any`],
+//!   [`collection::vec`], [`Just`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * a deterministic runner with input shrinking: every run is seeded
+//!   from the test's source location (override with `PROPTEST_SEED`),
+//!   and failing inputs are minimised before being reported.
+//!
+//! Semantics match real proptest closely enough for invariant tests:
+//! cases are generated from strategies, a panicking case is shrunk by
+//! repeatedly trying simpler inputs, and the minimal failing input plus
+//! the seed are printed in the panic message.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runner configuration (field-compatible subset of proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Maximum shrinking attempts after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// A value generator with shrinking.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Returns candidate simplifications of `value` (may be empty).
+    /// Candidates must be "smaller" in some well-founded order so
+    /// shrinking terminates.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let mut out = Vec::new();
+                if *value > lo {
+                    out.push(lo);
+                    let mid = lo + (*value - lo) / 2;
+                    if mid != lo && mid != *value {
+                        out.push(mid);
+                    }
+                    out.push(*value - 1);
+                }
+                out
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = *self.start();
+                let mut out = Vec::new();
+                if *value > lo {
+                    out.push(lo);
+                    let mid = lo + (*value - lo) / 2;
+                    if mid != lo && mid != *value {
+                        out.push(mid);
+                    }
+                    out.push(*value - 1);
+                }
+                out
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Strategy for "any value of `T`" (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Uniform values over the whole domain of `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rand::Rng::gen(rng)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                if *value == 0 {
+                    Vec::new()
+                } else {
+                    vec![0, *value / 2, *value - 1]
+                }
+            }
+        }
+    )*};
+}
+impl_any_uint!(u8, u16, u32, u64, usize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut SmallRng) -> bool {
+        rand::Rng::gen(rng)
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// A strategy that always yields one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for vectors with element strategy `S` and a length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize, // exclusive
+    }
+
+    /// Anything convertible to a length range for [`vec`].
+    pub trait IntoSizeRange {
+        /// Returns `(min, max_exclusive)`.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), self.end() + 1)
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    /// `proptest::collection::vec`: a vector whose length is drawn from
+    /// `size` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        assert!(min < max, "empty vec size range");
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng, self.min..self.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Structural shrinks: shorter vectors first.
+            if value.len() > self.min {
+                let half = self.min.max(value.len() / 2);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+                out.push(value[1..].to_vec());
+            }
+            // Element-wise shrinks (first shrinkable element only, to
+            // bound the candidate count).
+            for (i, v) in value.iter().enumerate() {
+                let cands = self.element.shrink(v);
+                if let Some(c) = cands.into_iter().next() {
+                    let mut smaller = value.clone();
+                    smaller[i] = c;
+                    out.push(smaller);
+                    break;
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Heterogeneous tuples of strategies (used by the [`proptest!`] macro).
+pub trait TupleStrategy {
+    /// The generated tuple type.
+    type Value: Clone + Debug;
+    /// Generates one tuple.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+    /// One round of candidate simplifications (one component changed).
+    fn shrink_once(&self, value: &Self::Value) -> Vec<Self::Value>;
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident / $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> TupleStrategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink_once(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+}
+
+/// The case runner behind [`proptest!`].
+pub mod runner {
+    use super::*;
+
+    fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = e.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = e.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic>".to_string()
+        }
+    }
+
+    fn attempt<V: Clone>(test: &impl Fn(V), value: &V) -> Result<(), String> {
+        let v = value.clone();
+        catch_unwind(AssertUnwindSafe(|| test(v))).map_err(panic_message)
+    }
+
+    /// Runs `cases` generated inputs through `test`, shrinking and
+    /// reporting the minimal failing input on panic.
+    pub fn run<T: TupleStrategy>(
+        config: ProptestConfig,
+        file: &str,
+        line: u32,
+        strategies: T,
+        test: impl Fn(T::Value),
+    ) {
+        // Deterministic per-test seed: stable across runs, overridable.
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s.parse::<u64>().unwrap_or(0),
+            Err(_) => {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for b in file.bytes().chain(line.to_le_bytes()) {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+                h
+            }
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for case in 0..config.cases {
+            let value = strategies.generate(&mut rng);
+            if let Err(first_msg) = attempt(&test, &value) {
+                // Shrink: greedily accept any simpler input that still fails.
+                let mut best = value;
+                let mut msg = first_msg;
+                let mut budget = config.max_shrink_iters;
+                'outer: loop {
+                    for cand in strategies.shrink_once(&best) {
+                        if budget == 0 {
+                            break 'outer;
+                        }
+                        budget -= 1;
+                        if let Err(m) = attempt(&test, &cand) {
+                            best = cand;
+                            msg = m;
+                            continue 'outer;
+                        }
+                    }
+                    break;
+                }
+                panic!(
+                    "proptest failure at {file}:{line} (case {case}, seed {seed}):\n\
+                     minimal failing input: {best:?}\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips a case when an assumption does not hold. (Vendored behaviour:
+/// the case simply returns early and still counts towards the total.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; $($(#[$attr:meta])* fn $name:ident($($args:tt)*) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::__proptest_case!($cfg; ($($args)*) $body);
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($cfg:expr; ($($pat:pat in $strat:expr),+ $(,)?) $body:block) => {{
+        let __config: $crate::ProptestConfig = $cfg;
+        let __strategies = ($($strat,)+);
+        $crate::runner::run(__config, file!(), line!(), __strategies, |__case| {
+            let ($($pat,)+) = __case;
+            $body
+        });
+    }};
+}
+
+/// Declares property tests. Supports the common proptest form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0usize..100, data in proptest::collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// The commonly-glob-imported prelude.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respected(x in 10usize..20, y in 5u64..=9) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((5..=9).contains(&y));
+        }
+
+        #[test]
+        fn vecs_respect_bounds(v in collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn nested_vec(vv in collection::vec(collection::vec(any::<u8>(), 0..4), 0..4)) {
+            for v in &vv {
+                prop_assert!(v.len() < 4);
+            }
+        }
+
+        #[test]
+        fn mut_bindings_work(mut data in collection::vec(any::<u8>(), 1..8)) {
+            data.push(1);
+            prop_assert!(!data.is_empty());
+        }
+    }
+
+    #[test]
+    fn shrinking_finds_small_counterexample() {
+        let strat = (super::collection::vec(super::any::<u8>(), 0..64),);
+        let caught = std::panic::catch_unwind(|| {
+            super::runner::run(
+                super::ProptestConfig::with_cases(64),
+                "x.rs",
+                1,
+                strat,
+                |(v,)| {
+                    assert!(v.len() < 10, "too long");
+                },
+            );
+        });
+        let msg = match caught {
+            Ok(()) => panic!("runner should have failed"),
+            Err(e) => *e.downcast::<String>().unwrap(),
+        };
+        // The minimal counterexample for len >= 10 is exactly len 10.
+        assert!(msg.contains("minimal failing input"), "{msg}");
+        let n_commas = msg
+            .split("minimal failing input")
+            .nth(1)
+            .unwrap()
+            .matches(',')
+            .count();
+        assert!(n_commas <= 12, "shrunk to near-minimal: {msg}");
+    }
+}
