@@ -1,0 +1,283 @@
+//! `figures json` — the machine-readable benchmark record.
+//!
+//! Produces the contents of `BENCH_engine.json`: per-(workload, cores)
+//! engine throughput and conversion yield from the real threaded
+//! datapath, plus steady-state allocations-per-packet for each hot loop
+//! (merge, split, caravan), measured with the counting global allocator
+//! the `figures` binary installs.
+//!
+//! The JSON is hand-rolled — the workspace deliberately carries no
+//! serialisation dependency — and every number is emitted with enough
+//! precision to diff across commits.
+
+use crate::Scale;
+use px_core::caravan_gw::{CaravanConfig, CaravanEngine};
+use px_core::engine::{run_engine, EngineConfig, EngineMode};
+use px_core::merge::{MergeConfig, MergeEngine};
+use px_core::pipeline::{PipelineConfig, SystemVariant, WorkloadKind};
+use px_core::split::SplitEngine;
+use px_wire::ipv4::Ipv4Repr;
+use px_wire::tcp::{SeqNum, TcpFlags, TcpRepr};
+use px_wire::{IpProtocol, PacketBuf, UdpRepr};
+use std::net::Ipv4Addr;
+
+/// A source of "allocations so far" — the counting `#[global_allocator]`
+/// the binary installs (the library cannot: it forbids `unsafe`).
+pub type AllocCounter = fn() -> u64;
+
+const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+/// Steady-state allocations per packet for one hot loop.
+#[derive(Debug, Clone, Copy)]
+pub struct HotLoopAllocs {
+    /// Loop label ("merge" / "split" / "caravan").
+    pub loop_name: &'static str,
+    /// Packets pushed in the measured (post-warm-up) region.
+    pub pkts: u64,
+    /// Global allocations observed over the measured region.
+    pub allocs: u64,
+}
+
+/// One engine measurement row.
+#[derive(Debug, Clone)]
+pub struct EngineRow {
+    /// Workload label ("TCP" / "UDP").
+    pub workload: &'static str,
+    /// Worker-thread count.
+    pub cores: usize,
+    /// Measured wall-clock forwarding rate on this host.
+    pub throughput_bps: f64,
+    /// Steady-state conversion yield.
+    pub conversion_yield: f64,
+    /// Input packets.
+    pub pkts_in: u64,
+    /// Output packets (drain included).
+    pub pkts_out: u64,
+}
+
+fn tcp_pkt(port: u16, seq: u32, len: usize) -> Vec<u8> {
+    let payload: Vec<u8> = (0..len).map(|j| ((j * 13 + 7) % 251) as u8).collect();
+    let repr = TcpRepr {
+        src_port: port,
+        dst_port: 80,
+        seq: SeqNum(seq),
+        ack: SeqNum(1),
+        flags: TcpFlags::ACK,
+        window: 2048,
+        options: vec![],
+    };
+    let seg = repr.build_segment(SRC, DST, &payload);
+    Ipv4Repr::new(SRC, DST, IpProtocol::Tcp, seg.len())
+        .build_packet(&seg)
+        .unwrap()
+}
+
+fn udp_pkt(port: u16, ident: u16, len: usize) -> Vec<u8> {
+    let payload: Vec<u8> = (0..len).map(|j| ((j * 29 + 3) % 251) as u8).collect();
+    let dg = UdpRepr {
+        src_port: port,
+        dst_port: 4433,
+    }
+    .build_datagram(SRC, DST, &payload)
+    .unwrap();
+    let mut ip = Ipv4Repr::new(SRC, DST, IpProtocol::Udp, dg.len());
+    ip.ident = ident;
+    ip.build_packet(&dg).unwrap()
+}
+
+/// Drives each engine's sink hot path with prebuilt inputs and a
+/// recycling sink, and reports allocations over the post-warm-up region.
+pub fn measure_hot_loops(scale: Scale, allocs: AllocCounter) -> Vec<HotLoopAllocs> {
+    let (warmup, measured) = match scale {
+        Scale::Full => (32usize, 512usize),
+        Scale::Quick => (8, 64),
+    };
+    let mut sunk = 0u64;
+    let mut out = Vec::new();
+
+    // merge: rounds of 6 contiguous 1460 B segments on two flows.
+    let mut merge = MergeEngine::new(MergeConfig {
+        imtu: 9000,
+        emtu: 1500,
+        hold_ns: 50_000,
+        table_capacity: 64,
+    });
+    let segs: Vec<Vec<u8>> = (0..(warmup + measured) * 12)
+        .map(|i| {
+            let round = (i / 12) as u32;
+            let slot = (i % 12) as u32;
+            tcp_pkt(
+                5000 + (slot % 2) as u16,
+                (round * 6 + slot / 2) * 1460,
+                1460,
+            )
+        })
+        .collect();
+    let mut now = 0u64;
+    let mut drive_merge = |pkts: &[Vec<u8>], sunk: &mut u64| {
+        for pkt in pkts {
+            let mut sink = |b: PacketBuf| {
+                *sunk += b.len() as u64;
+                Some(b)
+            };
+            merge.poll_into(now, &mut sink);
+            merge.push_into(now, pkt, &mut sink);
+            now += 10_000;
+        }
+    };
+    drive_merge(&segs[..warmup * 12], &mut sunk);
+    let before = allocs();
+    drive_merge(&segs[warmup * 12..], &mut sunk);
+    out.push(HotLoopAllocs {
+        loop_name: "merge",
+        pkts: (measured * 12) as u64,
+        allocs: allocs() - before,
+    });
+
+    // split: one jumbo in, six wire segments out, per push.
+    let mut split = SplitEngine::new(1500);
+    let jumbo = tcp_pkt(6000, 1, 8760);
+    let mut drive_split = |n: usize, sunk: &mut u64| {
+        for _ in 0..n {
+            let mut sink = |b: PacketBuf| {
+                *sunk += b.len() as u64;
+                Some(b)
+            };
+            split.push_into(&jumbo, &mut sink);
+        }
+    };
+    drive_split(warmup * 12, &mut sunk);
+    let before = allocs();
+    drive_split(measured * 12, &mut sunk);
+    out.push(HotLoopAllocs {
+        loop_name: "split",
+        pkts: (measured * 12) as u64,
+        allocs: allocs() - before,
+    });
+
+    // caravan: same-flow 1100 B datagrams with consecutive IP-IDs.
+    let mut caravan = CaravanEngine::new(CaravanConfig {
+        imtu: 9000,
+        hold_ns: 50_000,
+        table_capacity: 64,
+        require_consecutive_ip_id: true,
+        probe_port: 9999,
+    });
+    let dgrams: Vec<Vec<u8>> = (0..(warmup + measured) * 12)
+        .map(|i| udp_pkt(7000, i as u16, 1100))
+        .collect();
+    let mut cnow = 0u64;
+    let mut drive_caravan = |pkts: &[Vec<u8>], sunk: &mut u64| {
+        for pkt in pkts {
+            let mut sink = |b: PacketBuf| {
+                *sunk += b.len() as u64;
+                Some(b)
+            };
+            caravan.poll_into(cnow, &mut sink);
+            caravan.push_inbound_into(cnow, pkt, &mut sink);
+            cnow += 10_000;
+        }
+    };
+    drive_caravan(&dgrams[..warmup * 12], &mut sunk);
+    let before = allocs();
+    drive_caravan(&dgrams[warmup * 12..], &mut sunk);
+    out.push(HotLoopAllocs {
+        loop_name: "caravan",
+        pkts: (measured * 12) as u64,
+        allocs: allocs() - before,
+    });
+
+    assert!(sunk > 0, "hot loops must have emitted real output");
+    out
+}
+
+/// Runs the Parallel engine across workloads and core counts.
+pub fn measure_engine(scale: Scale) -> Vec<EngineRow> {
+    let trace_pkts = match scale {
+        Scale::Full => 120_000,
+        Scale::Quick => 20_000,
+    };
+    let mut rows = Vec::new();
+    for (label, workload) in [("TCP", WorkloadKind::Tcp), ("UDP", WorkloadKind::Udp)] {
+        for cores in [1usize, 2, 4, 8] {
+            let mut pipe = PipelineConfig::fig5(SystemVariant::Px, workload, cores);
+            pipe.trace_pkts = trace_pkts;
+            let r = run_engine(EngineConfig::new(pipe, EngineMode::Parallel));
+            rows.push(EngineRow {
+                workload: label,
+                cores,
+                throughput_bps: r.throughput_bps,
+                conversion_yield: r.conversion_yield,
+                pkts_in: r.totals.pkts_in,
+                pkts_out: r.totals.pkts_out,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the full report as pretty-printed JSON.
+pub fn render(scale: Scale, hot: &[HotLoopAllocs], engine: &[EngineRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Full => "full",
+            Scale::Quick => "quick",
+        }
+    ));
+    s.push_str("  \"hot_path_allocs\": {\n");
+    for (i, h) in hot.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\": {{\"pkts\": {}, \"allocs\": {}, \"allocs_per_pkt\": {:.6}}}{}\n",
+            h.loop_name,
+            h.pkts,
+            h.allocs,
+            h.allocs as f64 / h.pkts as f64,
+            if i + 1 < hot.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"engine\": [\n");
+    for (i, r) in engine.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"cores\": {}, \"throughput_bps\": {:.0}, \
+             \"conversion_yield\": {:.6}, \"pkts_in\": {}, \"pkts_out\": {}}}{}\n",
+            r.workload,
+            r.cores,
+            r.throughput_bps,
+            r.conversion_yield,
+            r.pkts_in,
+            r.pkts_out,
+            if i + 1 < engine.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_loops_report_zero_allocs_per_packet() {
+        // Without the binary's counting allocator the counter reads 0,
+        // so deltas are 0 — here we only check the harness mechanics
+        // (packet counts, shape) and that the JSON renders.
+        let hot = measure_hot_loops(Scale::Quick, || 0);
+        assert_eq!(hot.len(), 3);
+        for h in &hot {
+            assert!(h.pkts > 0);
+        }
+        let engine = measure_engine(Scale::Quick);
+        assert_eq!(engine.len(), 8);
+        let json = render(Scale::Quick, &hot, &engine);
+        assert!(json.contains("\"hot_path_allocs\""));
+        assert!(json.contains("\"engine\""));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -11,6 +11,8 @@
 
 use px_sim::nic::coalesce_batch;
 use px_sim::stats::SizeHistogram;
+use px_wire::pool::{PacketSink, VecSink};
+use px_wire::PacketBuf;
 
 /// Baseline gateway counters.
 #[derive(Debug, Default, Clone)]
@@ -54,30 +56,44 @@ impl BaselineGateway {
         }
     }
 
-    /// Feeds one packet; returns merged output when the burst fills.
-    pub fn push(&mut self, pkt: Vec<u8>) -> Vec<Vec<u8>> {
+    /// Feeds one packet; merged output is delivered to `sink` when the
+    /// burst fills. The baseline keeps the allocation profile of the
+    /// `rte_gro` pattern it models (per-burst mbuf churn), so outputs
+    /// are adopted `Vec`s rather than pooled buffers.
+    pub fn push_into(&mut self, pkt: Vec<u8>, sink: &mut impl PacketSink) {
         self.stats.pkts_in += 1;
         self.batch.push(pkt);
         if self.batch.len() >= self.batch_pkts {
-            self.flush()
-        } else {
-            Vec::new()
+            self.flush_into(sink);
         }
     }
 
     /// Ends the current burst (the `rte_eth_rx_burst` returning short, or
-    /// the poll loop going idle) and returns merged packets.
-    pub fn flush(&mut self) -> Vec<Vec<u8>> {
+    /// the poll loop going idle), delivering merged packets to `sink`.
+    pub fn flush_into(&mut self, sink: &mut impl PacketSink) {
         if self.batch.is_empty() {
-            return Vec::new();
+            return;
         }
         self.stats.batches += 1;
         let batch = std::mem::take(&mut self.batch);
-        let out = coalesce_batch(batch, self.imtu);
-        for p in &out {
+        for p in coalesce_batch(batch, self.imtu) {
             self.stats.out_sizes.record(p.len());
+            let _ = sink.accept(PacketBuf::adopt(p));
         }
-        out
+    }
+
+    /// [`push_into`](Self::push_into) collected into a `Vec`.
+    pub fn push(&mut self, pkt: Vec<u8>) -> Vec<Vec<u8>> {
+        let mut sink = VecSink::new();
+        self.push_into(pkt, &mut sink);
+        sink.into_pkts()
+    }
+
+    /// [`flush_into`](Self::flush_into) collected into a `Vec`.
+    pub fn flush(&mut self) -> Vec<Vec<u8>> {
+        let mut sink = VecSink::new();
+        self.flush_into(&mut sink);
+        sink.into_pkts()
     }
 }
 

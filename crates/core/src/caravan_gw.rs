@@ -19,10 +19,12 @@
 
 use crate::flowtable::FlowTable;
 use px_sim::stats::SizeHistogram;
-use px_wire::caravan::{split_bundle, CaravanBuilder};
+use px_wire::caravan::{iter_bundle, MAX_INNER};
+use px_wire::checksum;
 use px_wire::ipv4::{Ipv4Packet, Ipv4Repr, CARAVAN_TOS};
+use px_wire::pool::{BufPool, PacketSink, PoolStats, VecSink};
 use px_wire::udp::UdpDatagram;
-use px_wire::{FlowKey, IpProtocol, UdpRepr};
+use px_wire::{FlowKey, IpProtocol, PacketBuf};
 use std::net::Ipv4Addr;
 
 /// Caravan engine configuration.
@@ -80,18 +82,32 @@ impl CaravanStats {
     }
 }
 
+/// A per-flow pending bundle, held in one pooled buffer.
+///
+/// While `count == 1` the buffer holds the original packet verbatim (so
+/// a singleton flush forwards it untouched, never pointlessly
+/// tunnelled); the first append strips the IP header in place
+/// ([`PacketBuf::advance`] — zero-copy) so the live bytes become the
+/// bundle, and emission pushes the outer UDP+IP headers into the
+/// buffer's headroom.
 #[derive(Debug)]
 struct PendingBundle {
-    builder: CaravanBuilder,
+    buf: PacketBuf,
+    /// Inner datagrams accumulated.
+    count: usize,
+    /// Bundle bytes accumulated (sum of inner datagram lengths).
+    bundle_len: usize,
+    /// Running ones-complement partial sum of the bundle bytes, so the
+    /// outer UDP checksum at emission never re-scans the payload.
+    bundle_sum: u16,
+    /// IP header length of the original first packet (stripped on the
+    /// first append).
+    ip_hlen: u8,
     src: Ipv4Addr,
     dst: Ipv4Addr,
     src_port: u16,
     dst_port: u16,
-    deadline: u64,
     next_ip_id: u16,
-    /// The original single packet, kept so a 1-datagram "bundle" can be
-    /// emitted verbatim rather than pointlessly tunnelled.
-    first_pkt: Option<Vec<u8>>,
 }
 
 /// The PX-caravan gateway engine.
@@ -100,6 +116,7 @@ pub struct CaravanEngine {
     /// Configuration.
     pub cfg: CaravanConfig,
     table: FlowTable<PendingBundle>,
+    pool: BufPool,
     out_ident: u16,
     /// Counters.
     pub stats: CaravanStats,
@@ -111,6 +128,7 @@ impl CaravanEngine {
         CaravanEngine {
             cfg,
             table: FlowTable::new(cfg.table_capacity),
+            pool: BufPool::for_mtu(cfg.imtu, 256),
             out_ident: 1,
             stats: CaravanStats::default(),
         }
@@ -121,45 +139,78 @@ impl CaravanEngine {
         self.table.lookups
     }
 
+    /// Buffer-pool counters (allocation accounting).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats
+    }
+
     fn bundle_budget(&self) -> usize {
         self.cfg.imtu - 28 // outer IPv4 (20) + outer UDP (8)
     }
 
-    fn emit_pending(&mut self, out: &mut Vec<Vec<u8>>, p: PendingBundle) {
-        if p.builder.count() == 1 {
+    /// Forwards a packet untouched, recording it in the inbound output
+    /// size distribution.
+    fn forward_recorded(&mut self, pkt: &[u8], sink: &mut impl PacketSink) {
+        self.stats.passthrough += 1;
+        self.stats.out_sizes.record(pkt.len());
+        let mut buf = self.pool.get();
+        buf.extend_from_slice(pkt);
+        if let Some(b) = sink.accept(buf) {
+            self.pool.put(b);
+        }
+    }
+
+    fn emit_pending(&mut self, mut p: PendingBundle, sink: &mut impl PacketSink) {
+        if p.count == 1 {
             // Single datagram: forward the original packet untouched.
-            if let Some(orig) = p.first_pkt {
-                self.stats.passthrough += 1;
-                self.stats.out_sizes.record(orig.len());
-                out.push(orig);
-                return;
+            self.stats.passthrough += 1;
+            self.stats.out_sizes.record(p.buf.len());
+            if let Some(b) = sink.accept(p.buf) {
+                self.pool.put(b);
             }
+            return;
         }
-        let bundle = p.builder.finish();
-        let dgram = UdpRepr {
-            src_port: p.src_port,
-            dst_port: p.dst_port,
+        // Outer UDP header into the headroom; checksum from the cached
+        // bundle sum (the bundle bytes are not re-read).
+        let udp_len = (px_wire::UDP_HEADER_LEN + p.bundle_len) as u16;
+        p.buf.push_front_zeroed(8).expect("pool headroom");
+        {
+            let b = p.buf.as_mut_slice();
+            b[0..2].copy_from_slice(&p.src_port.to_be_bytes());
+            b[2..4].copy_from_slice(&p.dst_port.to_be_bytes());
+            b[4..6].copy_from_slice(&udp_len.to_be_bytes());
+            let pseudo = checksum::pseudo_header_sum(p.src, p.dst, IpProtocol::Udp.into(), udp_len);
+            let header_sum = checksum::ones_complement_sum(&b[..8]);
+            let mut ck = !checksum::combine(pseudo, checksum::combine(header_sum, p.bundle_sum));
+            if ck == 0 {
+                ck = 0xFFFF; // RFC 768: computed 0 is transmitted as all-ones
+            }
+            b[6..8].copy_from_slice(&ck.to_be_bytes());
         }
-        .build_datagram(p.src, p.dst, &bundle)
-        .expect("bundle within UDP limits");
-        let mut ip = Ipv4Repr::new(p.src, p.dst, IpProtocol::Udp, dgram.len());
+        // Outer IP header in front of that.
+        p.buf.push_front_zeroed(20).expect("pool headroom");
+        let mut ip = Ipv4Repr::new(p.src, p.dst, IpProtocol::Udp, usize::from(udp_len));
         ip.tos = CARAVAN_TOS;
         ip.ident = self.out_ident;
         self.out_ident = self.out_ident.wrapping_add(1);
-        let pkt = ip.build_packet(&dgram).expect("within IP limits");
+        {
+            let mut v = Ipv4Packet::new_unchecked(p.buf.as_mut_slice());
+            ip.emit(&mut v).expect("within IP limits");
+        }
         self.stats.caravans_out += 1;
-        self.stats.out_sizes.record(pkt.len());
-        out.push(pkt);
+        self.stats.out_sizes.record(p.buf.len());
+        if let Some(b) = sink.accept(p.buf) {
+            self.pool.put(b);
+        }
     }
 
-    /// Processes one packet entering the b-network. Returns packets to
-    /// forward (possibly empty while a bundle is being held).
-    pub fn push_inbound(&mut self, now: u64, pkt: Vec<u8>) -> Vec<Vec<u8>> {
-        let mut out = Vec::new();
+    /// Processes one packet entering the b-network, delivering packets to
+    /// forward to `sink` (possibly none while a bundle is being held).
+    pub fn push_inbound_into(&mut self, now: u64, pkt: &[u8], sink: &mut impl PacketSink) {
         self.stats.pkts_in += 1;
 
         let parsed = (|| {
-            let ip = Ipv4Packet::new_checked(&pkt[..]).ok()?;
+            let ip = Ipv4Packet::new_checked(pkt).ok()?;
             if ip.protocol() != IpProtocol::Udp || ip.is_fragment() || ip.tos() == CARAVAN_TOS {
                 return None;
             }
@@ -167,6 +218,7 @@ impl CaravanEngine {
             if udp.dst_port() == self.cfg.probe_port {
                 return None; // F-PMTUD probes pass through untouched
             }
+            let ip_hlen = ip.header_len();
             Some((
                 FlowKey::udp(ip.src(), udp.src_port(), ip.dst(), udp.dst_port()),
                 ip.ident(),
@@ -174,122 +226,191 @@ impl CaravanEngine {
                 ip.dst(),
                 udp.src_port(),
                 udp.dst_port(),
-                ip.payload()[..udp.length()].to_vec(),
+                ip_hlen,
+                &pkt[ip_hlen..ip_hlen + udp.length()],
             ))
         })();
-        let Some((key, ip_id, src, dst, sport, dport, dgram)) = parsed else {
-            self.stats.passthrough += 1;
-            self.stats.out_sizes.record(pkt.len());
-            out.push(pkt);
-            return out;
+        let Some((key, ip_id, src, dst, sport, dport, ip_hlen, dgram)) = parsed else {
+            self.forward_recorded(pkt, sink);
+            return;
         };
 
         if dgram.len() > self.bundle_budget() {
             // Too large to bundle with anything.
-            self.stats.passthrough += 1;
-            self.stats.out_sizes.record(pkt.len());
-            out.push(pkt);
-            return out;
+            self.forward_recorded(pkt, sink);
+            return;
         }
 
+        let budget = self.bundle_budget();
+        let require_id = self.cfg.require_consecutive_ip_id;
+        let mut extended = false;
         if let Some(p) = self.table.get_mut(&key) {
-            let id_ok = !self.cfg.require_consecutive_ip_id || ip_id == p.next_ip_id;
-            if id_ok && p.builder.fits(&dgram) {
-                p.builder.push(&dgram).expect("checked fits");
-                p.next_ip_id = ip_id.wrapping_add(1);
-                p.first_pkt = None;
-                self.stats.bundled += 1;
-                // Emit when no further eMTU-sized datagram can fit.
-                if p.builder.len() + dgram.len() > self.bundle_budget() {
-                    let p = self.table.remove(&key).expect("present");
-                    self.emit_pending(&mut out, p);
+            let id_ok = !require_id || ip_id == p.next_ip_id;
+            let fits = p.count < MAX_INNER && p.bundle_len + dgram.len() <= budget;
+            if id_ok && fits {
+                if p.count == 1 {
+                    // Convert the stored original packet into bundle
+                    // bytes: strip the IP header in place, drop anything
+                    // past the first datagram.
+                    let hlen = usize::from(p.ip_hlen);
+                    p.buf.advance(hlen).expect("header within packet");
+                    p.buf.truncate(p.bundle_len);
                 }
-                return out;
+                p.bundle_sum = checksum::combine_at_offset(
+                    p.bundle_sum,
+                    checksum::ones_complement_sum(dgram),
+                    p.bundle_len % 2 == 1,
+                );
+                p.buf.extend_from_slice(dgram);
+                p.bundle_len += dgram.len();
+                p.count += 1;
+                p.next_ip_id = ip_id.wrapping_add(1);
+                self.stats.bundled += 1;
+                extended = true;
+                // Emit when no further same-sized datagram can fit.
+                if p.bundle_len + dgram.len() <= budget {
+                    return;
+                }
             }
-            // Can't extend: flush and start fresh below.
+        }
+        if extended {
             let p = self.table.remove(&key).expect("present");
-            self.emit_pending(&mut out, p);
+            self.emit_pending(p, sink);
+            return;
+        }
+        if let Some(p) = self.table.remove(&key) {
+            // Can't extend: flush and start fresh below.
+            self.emit_pending(p, sink);
         }
 
-        let mut builder = CaravanBuilder::new(self.bundle_budget());
-        builder.push(&dgram).expect("fits empty bundle");
+        let mut buf = self.pool.get();
+        buf.extend_from_slice(pkt);
         self.stats.bundled += 1;
         let pending = PendingBundle {
-            builder,
+            buf,
+            count: 1,
+            bundle_len: dgram.len(),
+            bundle_sum: checksum::ones_complement_sum(dgram),
+            ip_hlen: ip_hlen as u8,
             src,
             dst,
             src_port: sport,
             dst_port: dport,
-            deadline: now + self.cfg.hold_ns,
             next_ip_id: ip_id.wrapping_add(1),
-            first_pkt: Some(pkt),
         };
-        if let Some((_, victim)) = self.table.insert(key, pending) {
-            self.emit_pending(&mut out, victim);
+        if let Some((_, victim)) =
+            self.table
+                .insert_with_deadline(key, pending, now + self.cfg.hold_ns)
+        {
+            self.emit_pending(victim, sink);
         }
-        out
     }
 
     /// Processes one packet leaving the b-network: caravans are restored
-    /// to their original datagrams; everything else passes through.
-    pub fn push_outbound(&mut self, pkt: Vec<u8>) -> Vec<Vec<u8>> {
+    /// to their original datagrams (delivered to `sink`); everything else
+    /// passes through.
+    pub fn push_outbound_into(&mut self, pkt: &[u8], sink: &mut impl PacketSink) {
         let parsed = (|| {
-            let ip = Ipv4Packet::new_checked(&pkt[..]).ok()?;
+            let ip = Ipv4Packet::new_checked(pkt).ok()?;
             if ip.protocol() != IpProtocol::Udp || ip.tos() != CARAVAN_TOS || ip.is_fragment() {
                 return None;
             }
-            let udp = UdpDatagram::new_checked(ip.payload()).ok()?;
-            Some((ip.src(), ip.dst(), udp.payload().to_vec()))
+            UdpDatagram::new_checked(ip.payload()).ok()?;
+            let ip_hlen = ip.header_len();
+            let bundle_at = ip_hlen + px_wire::UDP_HEADER_LEN;
+            Some((ip.src(), ip.dst(), &pkt[bundle_at..ip.total_len()]))
         })();
         let Some((src, dst, bundle)) = parsed else {
-            return vec![pkt];
+            let mut buf = self.pool.get();
+            buf.extend_from_slice(pkt);
+            if let Some(b) = sink.accept(buf) {
+                self.pool.put(b);
+            }
+            return;
         };
-        let Ok(inner) = split_bundle(&bundle) else {
-            // Corrupt bundle: drop rather than forward garbage.
-            return vec![];
-        };
+        // Validate the whole bundle first: a corrupt bundle is dropped in
+        // full rather than partially forwarded as garbage.
+        if iter_bundle(bundle).any(|r| r.is_err()) {
+            return;
+        }
         self.stats.unbundled += 1;
-        let mut out = Vec::with_capacity(inner.len());
-        for dg in inner {
+        for dg in iter_bundle(bundle).map(|r| r.expect("validated")) {
             let mut ip = Ipv4Repr::new(src, dst, IpProtocol::Udp, dg.len());
             ip.ident = self.out_ident;
             self.out_ident = self.out_ident.wrapping_add(1);
-            if let Ok(p) = ip.build_packet(dg) {
+            let mut buf = self.pool.get();
+            buf.extend_from_slice(dg);
+            buf.push_front_zeroed(20).expect("pool headroom");
+            let ok = {
+                let mut v = Ipv4Packet::new_unchecked(buf.as_mut_slice());
+                ip.emit(&mut v).is_ok()
+            };
+            if ok {
                 self.stats.inner_out += 1;
-                out.push(p);
+                if let Some(b) = sink.accept(buf) {
+                    self.pool.put(b);
+                }
+            } else {
+                self.pool.put(buf);
             }
         }
-        out
     }
 
     /// Emits every bundle whose hold timer expired.
-    pub fn poll(&mut self, now: u64) -> Vec<Vec<u8>> {
-        let mut out = Vec::new();
-        let expired = self.table.take_matching(|_, p| p.deadline <= now);
-        for (_, p) in expired {
-            self.emit_pending(&mut out, p);
+    pub fn poll_into(&mut self, now: u64, sink: &mut impl PacketSink) {
+        while let Some((_, p)) = self.table.pop_expired(now) {
+            self.emit_pending(p, sink);
         }
-        out
     }
 
     /// The earliest pending deadline, if any.
     pub fn next_deadline(&mut self) -> Option<u64> {
-        self.table.iter_mut().map(|(_, p)| p.deadline).min()
+        self.table.next_deadline()
     }
 
-    /// Drains everything.
-    pub fn flush_all(&mut self) -> Vec<Vec<u8>> {
-        let mut out = Vec::new();
+    /// Drains everything, delivering to `sink`.
+    pub fn flush_all_into(&mut self, sink: &mut impl PacketSink) {
         for (_, p) in self.table.drain() {
-            self.emit_pending(&mut out, p);
+            self.emit_pending(p, sink);
         }
-        out
+    }
+
+    /// [`push_inbound_into`](Self::push_inbound_into) collected into a
+    /// `Vec` (tests and non-hot callers).
+    pub fn push_inbound(&mut self, now: u64, pkt: Vec<u8>) -> Vec<Vec<u8>> {
+        let mut sink = VecSink::new();
+        self.push_inbound_into(now, &pkt, &mut sink);
+        sink.into_pkts()
+    }
+
+    /// [`push_outbound_into`](Self::push_outbound_into) collected into a
+    /// `Vec`.
+    pub fn push_outbound(&mut self, pkt: Vec<u8>) -> Vec<Vec<u8>> {
+        let mut sink = VecSink::new();
+        self.push_outbound_into(&pkt, &mut sink);
+        sink.into_pkts()
+    }
+
+    /// [`poll_into`](Self::poll_into) collected into a `Vec`.
+    pub fn poll(&mut self, now: u64) -> Vec<Vec<u8>> {
+        let mut sink = VecSink::new();
+        self.poll_into(now, &mut sink);
+        sink.into_pkts()
+    }
+
+    /// [`flush_all_into`](Self::flush_all_into) collected into a `Vec`.
+    pub fn flush_all(&mut self) -> Vec<Vec<u8>> {
+        let mut sink = VecSink::new();
+        self.flush_all_into(&mut sink);
+        sink.into_pkts()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use px_wire::caravan::split_bundle;
+    use px_wire::UdpRepr;
 
     const SRC: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 9);
     const DST: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 3);

@@ -36,7 +36,8 @@ use crate::pipeline::{PipelineConfig, SystemVariant, TraceGen, WorkloadKind};
 use crossbeam::channel;
 use px_sim::stats::{CoreCounters, StatsRegistry};
 use px_wire::ipv4::Ipv4Packet;
-use px_wire::{FlowKey, IpProtocol, RssHasher};
+use px_wire::pool::{PacketSink, VecSink};
+use px_wire::{FlowKey, IpProtocol, PacketBuf, RssHasher};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -82,30 +83,46 @@ impl CoreEngine {
     }
 
     /// Feeds one input packet at time `now`, polling hold timers first;
-    /// returns any output packets this step produced.
-    pub fn push(&mut self, now: u64, pkt: Vec<u8>) -> Vec<Vec<u8>> {
+    /// output packets this step produced are delivered to `sink`. This
+    /// is the allocation-free hot path: the inner engines draw emitted
+    /// buffers from their pools, and whatever the sink returns from
+    /// [`PacketSink::accept`] is recycled.
+    pub fn push_into(&mut self, now: u64, pkt: Vec<u8>, sink: &mut impl PacketSink) {
         match self {
-            CoreEngine::Baseline(b) => b.push(pkt),
+            CoreEngine::Baseline(b) => b.push_into(pkt, sink),
             CoreEngine::Merge(m) => {
-                let mut out = m.poll(now);
-                out.extend(m.push(now, pkt));
-                out
+                m.poll_into(now, sink);
+                m.push_into(now, &pkt, sink);
             }
             CoreEngine::Caravan(c) => {
-                let mut out = c.poll(now);
-                out.extend(c.push_inbound(now, pkt));
-                out
+                c.poll_into(now, sink);
+                c.push_inbound_into(now, &pkt, sink);
             }
         }
     }
 
-    /// Drains every held aggregate (end of trace).
-    pub fn finish(&mut self) -> Vec<Vec<u8>> {
+    /// Drains every held aggregate (end of trace) into `sink`.
+    pub fn finish_into(&mut self, sink: &mut impl PacketSink) {
         match self {
-            CoreEngine::Baseline(b) => b.flush(),
-            CoreEngine::Merge(m) => m.flush_all(),
-            CoreEngine::Caravan(c) => c.flush_all(),
+            CoreEngine::Baseline(b) => b.flush_into(sink),
+            CoreEngine::Merge(m) => m.flush_all_into(sink),
+            CoreEngine::Caravan(c) => c.flush_all_into(sink),
         }
+    }
+
+    /// [`push_into`](Self::push_into) collected into a `Vec` (tests and
+    /// non-hot callers).
+    pub fn push(&mut self, now: u64, pkt: Vec<u8>) -> Vec<Vec<u8>> {
+        let mut sink = VecSink::new();
+        self.push_into(now, pkt, &mut sink);
+        sink.into_pkts()
+    }
+
+    /// [`finish_into`](Self::finish_into) collected into a `Vec`.
+    pub fn finish(&mut self) -> Vec<Vec<u8>> {
+        let mut sink = VecSink::new();
+        self.finish_into(&mut sink);
+        sink.into_pkts()
     }
 }
 
@@ -233,6 +250,39 @@ struct Worker {
     jumbo_at: usize,
 }
 
+/// The worker's [`PacketSink`]: accounts every emitted packet into the
+/// worker's counters and digests, then hands the buffer back for pool
+/// recycling. This closes the allocation loop — on the steady-state hot
+/// path an output buffer travels engine pool → sink → engine pool
+/// without touching the allocator.
+struct Accountant<'a> {
+    counters: &'a mut CoreCounters,
+    digests: &'a mut BTreeMap<FlowKey, FlowDigest>,
+    jumbo_at: usize,
+    inband: bool,
+}
+
+impl PacketSink for Accountant<'_> {
+    fn accept(&mut self, buf: PacketBuf) -> Option<PacketBuf> {
+        let unit = buf.as_slice();
+        self.counters.pkts_out += 1;
+        self.counters.bytes_out += unit.len() as u64;
+        if self.inband {
+            self.counters.pkts_out_inband += 1;
+            if unit.len() >= self.jumbo_at {
+                self.counters.jumbo_out_inband += 1;
+            }
+        }
+        if let Some((key, payload)) = flow_and_l4_payload(unit) {
+            let d = self.digests.entry(key).or_default();
+            d.pkts += 1;
+            d.bytes += (payload.end - payload.start) as u64;
+            d.fnv = fnv_extend(d.fnv, &unit[payload]);
+        }
+        Some(buf)
+    }
+}
+
 impl Worker {
     fn new(cfg: &PipelineConfig) -> Self {
         Worker {
@@ -251,38 +301,35 @@ impl Worker {
         }
     }
 
-    fn account(&mut self, unit: &[u8], inband: bool) {
-        self.counters.pkts_out += 1;
-        self.counters.bytes_out += unit.len() as u64;
-        if inband {
-            self.counters.pkts_out_inband += 1;
-            if unit.len() >= self.jumbo_at {
-                self.counters.jumbo_out_inband += 1;
-            }
-        }
-        if let Some((key, payload)) = flow_and_l4_payload(unit) {
-            let d = self.digests.entry(key).or_default();
-            d.pkts += 1;
-            d.bytes += (payload.end - payload.start) as u64;
-            d.fnv = fnv_extend(d.fnv, &unit[payload]);
-        }
-    }
-
     fn process_batch(&mut self, batch: Vec<(u64, Vec<u8>)>) {
         self.counters.batches += 1;
+        let Worker {
+            engine,
+            counters,
+            digests,
+            jumbo_at,
+        } = self;
         for (now, pkt) in batch {
-            self.counters.pkts_in += 1;
-            self.counters.bytes_in += pkt.len() as u64;
-            for unit in self.engine.push(now, pkt) {
-                self.account(&unit, true);
-            }
+            counters.pkts_in += 1;
+            counters.bytes_in += pkt.len() as u64;
+            let mut acct = Accountant {
+                counters: &mut *counters,
+                digests: &mut *digests,
+                jumbo_at: *jumbo_at,
+                inband: true,
+            };
+            engine.push_into(now, pkt, &mut acct);
         }
     }
 
     fn finish(&mut self) {
-        for unit in self.engine.finish() {
-            self.account(&unit, false);
-        }
+        let mut acct = Accountant {
+            counters: &mut self.counters,
+            digests: &mut self.digests,
+            jumbo_at: self.jumbo_at,
+            inband: false,
+        };
+        self.engine.finish_into(&mut acct);
     }
 }
 

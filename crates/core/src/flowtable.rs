@@ -6,21 +6,136 @@
 //! adopt data structures that support fast lookup of adjacent packets
 //! under a large number of flows."
 //!
-//! This table is a hash map with an intrusive LRU list over its entries.
+//! Layout: entries live in a slab (`Vec<Slot>` plus a free list) and an
+//! *intrusive doubly-linked LRU list* threads through them by slot
+//! index, so a lookup refresh and an eviction are both O(1) pointer
+//! splices — the previous implementation rescanned the whole map
+//! (`iter().min_by_key`) to find the LRU victim on every full insert.
+//! A `HashMap<FlowKey, slot>` keyed by a fast deterministic FxHash-style
+//! hasher (the flow tuple is already uniformly mixed by Toeplitz RSS
+//! upstream; SipHash's DoS hardening buys nothing here and costs ~3× per
+//! lookup) provides the index. An optional per-entry deadline feeds a
+//! binary heap so hold-timer expiry (`pop_expired`) is O(log n) pops of
+//! actually-expired entries instead of an allocating full-table
+//! `take_matching` scan per poll tick.
+//!
 //! Capacity is fixed at construction; inserting into a full table evicts
 //! the least-recently-used flow (its state is returned to the caller so
 //! pending merges can be flushed rather than dropped). Lookups are
 //! counted so the cycle model can price them.
+//!
+//! LRU semantics are identical to the old clock-counter version —
+//! `get_mut` and `insert` each count one lookup and refresh recency
+//! (misses included in the count), eviction picks the least recently
+//! touched entry — a property the model-equivalence test pins.
 
 use px_wire::FlowKey;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
-/// A bounded per-flow state table with LRU eviction.
+/// Sentinel slot index terminating the LRU list.
+const NIL: u32 = u32::MAX;
+
+/// Deadline value meaning "never expires": such entries skip the heap.
+pub const NO_DEADLINE: u64 = u64::MAX;
+
+/// An FxHash-style deterministic hasher for flow keys.
+///
+/// The 5-tuple reaching this table was already spread across cores by
+/// the Toeplitz RSS hash, so keys arriving at one table are naturally
+/// diverse; a multiply-rotate mix is ample and, unlike the default
+/// `RandomState`, is reproducible across runs — which the engine's
+/// Deterministic mode requires of everything on the datapath.
+#[derive(Default)]
+pub struct FlowHasher(u64);
+
+/// 2^64 / φ, the usual Fibonacci-hashing multiplier (same as rustc's
+/// FxHash).
+const FX_K: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FlowHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(FX_K);
+    }
+}
+
+impl Hasher for FlowHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            self.add(u64::from_le_bytes(bytes[..8].try_into().unwrap()));
+            bytes = &bytes[8..];
+        }
+        if !bytes.is_empty() {
+            let mut w = [0u8; 8];
+            w[..bytes.len()].copy_from_slice(bytes);
+            self.add(u64::from_le_bytes(w));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// The hasher state every map in this module uses.
+pub type FlowBuildHasher = BuildHasherDefault<FlowHasher>;
+
+#[derive(Debug)]
+struct Slot<V> {
+    key: FlowKey,
+    /// `None` while the slot is on the free list.
+    value: Option<V>,
+    deadline: u64,
+    /// Bumped on every vacate/replace, so parked heap entries for a
+    /// previous occupant of this slot are recognisably stale.
+    gen: u32,
+    lru_prev: u32,
+    lru_next: u32,
+}
+
+/// A bounded per-flow state table with O(1) LRU eviction and O(log n)
+/// deadline expiry.
 #[derive(Debug)]
 pub struct FlowTable<V> {
-    map: HashMap<FlowKey, Entry<V>>,
-    /// Monotone use-counter implementing LRU ordering.
-    clock: u64,
+    map: HashMap<FlowKey, u32, FlowBuildHasher>,
+    slots: Vec<Slot<V>>,
+    free_slots: Vec<u32>,
+    /// Least recently used entry (eviction victim).
+    lru_head: u32,
+    /// Most recently used entry.
+    lru_tail: u32,
+    /// Min-heap of (deadline, slot, gen); stale entries are skipped
+    /// lazily on pop.
+    expiry: BinaryHeap<Reverse<(u64, u32, u32)>>,
     capacity: usize,
     /// Total lookups performed (for cost accounting).
     pub lookups: u64,
@@ -28,19 +143,18 @@ pub struct FlowTable<V> {
     pub evictions: u64,
 }
 
-#[derive(Debug)]
-struct Entry<V> {
-    value: V,
-    last_used: u64,
-}
-
 impl<V> FlowTable<V> {
     /// Creates a table holding at most `capacity` flows.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
+        let prealloc = capacity.min(1 << 20);
         FlowTable {
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
-            clock: 0,
+            map: HashMap::with_capacity_and_hasher(prealloc, FlowBuildHasher::default()),
+            slots: Vec::with_capacity(prealloc),
+            free_slots: Vec::new(),
+            lru_head: NIL,
+            lru_tail: NIL,
+            expiry: BinaryHeap::with_capacity(prealloc),
             capacity,
             lookups: 0,
             evictions: 0,
@@ -49,68 +163,217 @@ impl<V> FlowTable<V> {
 
     /// Number of tracked flows.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.slots.len() - self.free_slots.len()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
+    }
+
+    /// Unlinks `idx` from the LRU list.
+    fn lru_unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let s = &self.slots[idx as usize];
+            (s.lru_prev, s.lru_next)
+        };
+        match prev {
+            NIL => self.lru_head = next,
+            p => self.slots[p as usize].lru_next = next,
+        }
+        match next {
+            NIL => self.lru_tail = prev,
+            n => self.slots[n as usize].lru_prev = prev,
+        }
+    }
+
+    /// Appends `idx` at the MRU end.
+    fn lru_push_back(&mut self, idx: u32) {
+        let tail = self.lru_tail;
+        {
+            let s = &mut self.slots[idx as usize];
+            s.lru_prev = tail;
+            s.lru_next = NIL;
+        }
+        match tail {
+            NIL => self.lru_head = idx,
+            t => self.slots[t as usize].lru_next = idx,
+        }
+        self.lru_tail = idx;
+    }
+
+    /// Moves `idx` to the MRU end (a "touch").
+    fn lru_touch(&mut self, idx: u32) {
+        if self.lru_tail != idx {
+            self.lru_unlink(idx);
+            self.lru_push_back(idx);
+        }
     }
 
     /// Looks up a flow, refreshing its LRU position.
     pub fn get_mut(&mut self, key: &FlowKey) -> Option<&mut V> {
         self.lookups += 1;
-        self.clock += 1;
-        let clock = self.clock;
-        self.map.get_mut(key).map(|e| {
-            e.last_used = clock;
-            &mut e.value
-        })
+        let idx = *self.map.get(key)?;
+        self.lru_touch(idx);
+        self.slots[idx as usize].value.as_mut()
     }
 
     /// Looks up without refreshing (diagnostics).
     pub fn peek(&self, key: &FlowKey) -> Option<&V> {
-        self.map.get(key).map(|e| &e.value)
+        let idx = *self.map.get(key)?;
+        self.slots[idx as usize].value.as_ref()
     }
 
     /// Inserts (or replaces) a flow's state. If the table is full, the
     /// least-recently-used entry is evicted and returned as
     /// `(key, state)` so the caller can flush it.
     pub fn insert(&mut self, key: FlowKey, value: V) -> Option<(FlowKey, V)> {
+        self.insert_with_deadline(key, value, NO_DEADLINE)
+    }
+
+    /// Like [`insert`](Self::insert), additionally arming `deadline` so
+    /// the entry surfaces from [`pop_expired`](Self::pop_expired) once
+    /// `now >= deadline`. Pass [`NO_DEADLINE`] for no expiry.
+    pub fn insert_with_deadline(
+        &mut self,
+        key: FlowKey,
+        value: V,
+        deadline: u64,
+    ) -> Option<(FlowKey, V)> {
         self.lookups += 1;
-        self.clock += 1;
-        let mut evicted = None;
-        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
-            // Evict the LRU entry.
-            if let Some((&victim, _)) = self.map.iter().min_by_key(|(_, e)| e.last_used) {
-                let entry = self.map.remove(&victim).expect("victim exists");
-                self.evictions += 1;
-                evicted = Some((victim, entry.value));
+        // Fast path: the key is present — replace in place, one hash
+        // probe total (the entry API; the old code probed twice via
+        // contains_key + insert).
+        if let std::collections::hash_map::Entry::Occupied(e) = self.map.entry(key) {
+            let idx = *e.get();
+            let slot = &mut self.slots[idx as usize];
+            slot.value = Some(value);
+            slot.deadline = deadline;
+            slot.gen = slot.gen.wrapping_add(1);
+            let gen = slot.gen;
+            self.lru_touch(idx);
+            if deadline != NO_DEADLINE {
+                self.expiry.push(Reverse((deadline, idx, gen)));
             }
+            return None;
         }
-        self.map.insert(
-            key,
-            Entry {
-                value,
-                last_used: self.clock,
-            },
-        );
+        // New key: evict the LRU entry first if at capacity.
+        let evicted = if self.len() >= self.capacity {
+            let victim = self.lru_head;
+            debug_assert_ne!(victim, NIL);
+            self.evictions += 1;
+            Some(self.detach(victim))
+        } else {
+            None
+        };
+        let idx = match self.free_slots.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                slot.key = key;
+                slot.value = Some(value);
+                slot.deadline = deadline;
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("slot index fits u32");
+                self.slots.push(Slot {
+                    key,
+                    value: Some(value),
+                    deadline,
+                    gen: 0,
+                    lru_prev: NIL,
+                    lru_next: NIL,
+                });
+                idx
+            }
+        };
+        self.lru_push_back(idx);
+        self.map.insert(key, idx);
+        if deadline != NO_DEADLINE {
+            let gen = self.slots[idx as usize].gen;
+            self.expiry.push(Reverse((deadline, idx, gen)));
+        }
         evicted
+    }
+
+    /// Vacates `idx` (which must be occupied): unlinks it, frees the
+    /// slot, removes the map entry, and returns the key and value.
+    fn detach(&mut self, idx: u32) -> (FlowKey, V) {
+        self.lru_unlink(idx);
+        let slot = &mut self.slots[idx as usize];
+        let key = slot.key;
+        let value = slot.value.take().expect("detach of occupied slot");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free_slots.push(idx);
+        self.map.remove(&key);
+        (key, value)
     }
 
     /// Removes a flow, returning its state.
     pub fn remove(&mut self, key: &FlowKey) -> Option<V> {
-        self.map.remove(key).map(|e| e.value)
+        let idx = *self.map.get(key)?;
+        Some(self.detach(idx).1)
+    }
+
+    /// Removes and returns the entry with the earliest armed deadline
+    /// `<= now`, or `None` when nothing has expired. Amortised O(log n):
+    /// stale heap entries (for since-removed or replaced occupants) are
+    /// discarded as they surface.
+    pub fn pop_expired(&mut self, now: u64) -> Option<(FlowKey, V)> {
+        while let Some(&Reverse((deadline, idx, gen))) = self.expiry.peek() {
+            if self.slots[idx as usize].gen != gen {
+                self.expiry.pop();
+                continue;
+            }
+            if deadline > now {
+                return None;
+            }
+            self.expiry.pop();
+            return Some(self.detach(idx));
+        }
+        None
+    }
+
+    /// The earliest armed deadline among live entries, discarding stale
+    /// heap entries along the way.
+    pub fn next_deadline(&mut self) -> Option<u64> {
+        while let Some(&Reverse((deadline, idx, gen))) = self.expiry.peek() {
+            if self.slots[idx as usize].gen != gen {
+                self.expiry.pop();
+                continue;
+            }
+            return Some(deadline);
+        }
+        None
     }
 
     /// Iterates over `(key, &mut state)` pairs (e.g. to flush deadlines).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (&FlowKey, &mut V)> {
-        self.map.iter_mut().map(|(k, e)| (k, &mut e.value))
+        self.slots
+            .iter_mut()
+            .filter_map(|s| s.value.as_mut().map(|v| (&s.key, v)))
     }
 
-    /// Drains the whole table (shutdown flush).
+    /// Drains the whole table (shutdown flush), in slot (≈ insertion)
+    /// order.
     pub fn drain(&mut self) -> Vec<(FlowKey, V)> {
-        self.map.drain().map(|(k, e)| (k, e.value)).collect()
+        let out: Vec<(FlowKey, V)> = self
+            .slots
+            .iter_mut()
+            .filter_map(|s| {
+                s.value.take().map(|v| {
+                    s.gen = s.gen.wrapping_add(1);
+                    (s.key, v)
+                })
+            })
+            .collect();
+        self.map.clear();
+        self.slots.clear();
+        self.free_slots.clear();
+        self.expiry.clear();
+        self.lru_head = NIL;
+        self.lru_tail = NIL;
+        out
     }
 
     /// Removes every entry for which `pred` returns true, returning them.
@@ -118,18 +381,26 @@ impl<V> FlowTable<V> {
         &mut self,
         mut pred: impl FnMut(&FlowKey, &V) -> bool,
     ) -> Vec<(FlowKey, V)> {
-        let keys: Vec<FlowKey> = self
-            .map
-            .iter()
-            .filter(|(k, e)| pred(k, &e.value))
-            .map(|(k, _)| *k)
-            .collect();
-        keys.into_iter()
-            .map(|k| {
-                let e = self.map.remove(&k).expect("key just seen");
-                (k, e.value)
+        let matching: Vec<u32> = (0..self.slots.len() as u32)
+            .filter(|&i| {
+                let s = &self.slots[i as usize];
+                s.value.as_ref().is_some_and(|v| pred(&s.key, v))
             })
-            .collect()
+            .collect();
+        matching.into_iter().map(|i| self.detach(i)).collect()
+    }
+
+    /// The tracked keys from least to most recently used — a test and
+    /// diagnostics accessor (allocates; not for the hot path).
+    pub fn lru_order(&self) -> Vec<FlowKey> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut idx = self.lru_head;
+        while idx != NIL {
+            let s = &self.slots[idx as usize];
+            out.push(s.key);
+            idx = s.lru_next;
+        }
+        out
     }
 }
 
@@ -205,6 +476,48 @@ mod tests {
         assert!(t.is_empty());
     }
 
+    #[test]
+    fn lru_order_tracks_touches() {
+        let mut t: FlowTable<u32> = FlowTable::new(4);
+        t.insert(key(1), 1);
+        t.insert(key(2), 2);
+        t.insert(key(3), 3);
+        assert_eq!(t.lru_order(), vec![key(1), key(2), key(3)]);
+        t.get_mut(&key(1));
+        assert_eq!(t.lru_order(), vec![key(2), key(3), key(1)]);
+        t.insert(key(2), 20); // replacement also refreshes
+        assert_eq!(t.lru_order(), vec![key(3), key(1), key(2)]);
+        t.remove(&key(1));
+        assert_eq!(t.lru_order(), vec![key(3), key(2)]);
+    }
+
+    #[test]
+    fn deadlines_pop_in_order_and_survive_removal() {
+        let mut t: FlowTable<u32> = FlowTable::new(8);
+        t.insert_with_deadline(key(1), 1, 300);
+        t.insert_with_deadline(key(2), 2, 100);
+        t.insert_with_deadline(key(3), 3, 200);
+        t.insert(key(4), 4); // never expires
+        assert_eq!(t.next_deadline(), Some(100));
+        assert_eq!(t.pop_expired(99), None);
+        assert_eq!(t.pop_expired(100), Some((key(2), 2)));
+        // Removing an armed entry leaves only a stale heap node behind.
+        assert_eq!(t.remove(&key(3)), Some(3));
+        assert_eq!(t.next_deadline(), Some(300));
+        assert_eq!(t.pop_expired(1000), Some((key(1), 1)));
+        assert_eq!(t.pop_expired(u64::MAX - 1), None, "NO_DEADLINE never pops");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn replacing_reargs_the_deadline() {
+        let mut t: FlowTable<u32> = FlowTable::new(8);
+        t.insert_with_deadline(key(1), 1, 100);
+        t.insert_with_deadline(key(1), 2, 500); // re-arm later
+        assert_eq!(t.pop_expired(100), None, "old deadline is stale");
+        assert_eq!(t.pop_expired(500), Some((key(1), 2)));
+    }
+
     /// Model-based test: the table behaves like a plain HashMap as long
     /// as capacity is never exceeded.
     #[test]
@@ -232,5 +545,100 @@ mod tests {
             }
         }
         assert_eq!(t.len(), model.len());
+    }
+
+    /// A faithful reimplementation of the previous clock-counter table
+    /// (`HashMap` + `iter().min_by_key(last_used)` eviction), used as
+    /// the reference model below.
+    struct ClockModel {
+        map: std::collections::HashMap<FlowKey, (u64, u64)>, // value, last_used
+        clock: u64,
+        capacity: usize,
+        lookups: u64,
+        evictions: u64,
+    }
+
+    impl ClockModel {
+        fn new(capacity: usize) -> Self {
+            ClockModel {
+                map: std::collections::HashMap::new(),
+                clock: 0,
+                capacity,
+                lookups: 0,
+                evictions: 0,
+            }
+        }
+
+        fn get_mut(&mut self, key: &FlowKey) -> Option<u64> {
+            self.lookups += 1;
+            self.clock += 1;
+            let clock = self.clock;
+            self.map.get_mut(key).map(|e| {
+                e.1 = clock;
+                e.0
+            })
+        }
+
+        fn insert(&mut self, key: FlowKey, value: u64) -> Option<(FlowKey, u64)> {
+            self.lookups += 1;
+            self.clock += 1;
+            let mut evicted = None;
+            if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+                let (&victim, _) = self.map.iter().min_by_key(|(_, e)| e.1).unwrap();
+                let entry = self.map.remove(&victim).unwrap();
+                self.evictions += 1;
+                evicted = Some((victim, entry.0));
+            }
+            self.map.insert(key, (value, self.clock));
+            evicted
+        }
+
+        fn remove(&mut self, key: &FlowKey) -> Option<u64> {
+            self.map.remove(key).map(|e| e.0)
+        }
+    }
+
+    /// Randomized equivalence against the old implementation under
+    /// eviction pressure: same get results, same eviction victims, same
+    /// lookup/eviction counters, at every step.
+    #[test]
+    fn lru_matches_clock_model_under_eviction() {
+        const CAPACITY: usize = 16;
+        const KEYSPACE: u64 = 48; // 3× capacity: constant eviction churn
+        let mut t: FlowTable<u64> = FlowTable::new(CAPACITY);
+        let mut model = ClockModel::new(CAPACITY);
+        let mut x: u64 = 0x243F_6A88_85A3_08D3;
+        for step in 0..20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = key((x % KEYSPACE) as u16);
+            match (x >> 32) % 5 {
+                // Inserts dominate so the table stays at capacity.
+                0..=2 => {
+                    assert_eq!(
+                        t.insert(k, step),
+                        model.insert(k, step),
+                        "eviction victim diverged at step {step}"
+                    );
+                }
+                3 => {
+                    assert_eq!(t.get_mut(&k).copied(), model.get_mut(&k), "step {step}");
+                }
+                _ => {
+                    assert_eq!(t.remove(&k), model.remove(&k), "step {step}");
+                }
+            }
+            assert_eq!(t.lookups, model.lookups);
+            assert_eq!(t.evictions, model.evictions);
+            assert_eq!(t.len(), model.map.len());
+        }
+        assert!(model.evictions > 1000, "the run must actually evict");
+        // Final content identical too.
+        let mut keys = t.lru_order();
+        keys.sort();
+        let mut model_keys: Vec<FlowKey> = model.map.keys().copied().collect();
+        model_keys.sort();
+        assert_eq!(keys, model_keys);
     }
 }

@@ -2,8 +2,8 @@
 //! merging*.
 //!
 //! The engine keeps at most one pending aggregate per flow. Incoming data
-//! segments coalesce onto it when they are exactly contiguous
-//! ([`px_sim::nic::try_coalesce`] — the LRO conditions). A pending
+//! segments coalesce onto it when they are exactly contiguous (the LRO
+//! conditions, same gates as [`px_sim::nic::try_coalesce`]). A pending
 //! aggregate is emitted when:
 //!
 //! * it is full: no further eMTU-sized segment fits under the iMTU;
@@ -17,13 +17,37 @@
 //!   burst of the same flow can top it up — this is what lifts conversion
 //!   yield from the baseline's ~76% to PX's ~93% (Fig. 5a);
 //! * its flow is evicted from the bounded flow table.
+//!
+//! ## Hot-path engineering
+//!
+//! The steady-state loop performs **zero heap allocations and zero
+//! payload re-scans**:
+//!
+//! * Aggregates live in pooled [`PacketBuf`]s ([`BufPool`]); appending a
+//!   contiguous segment is a single payload `memcpy` into the
+//!   already-sized buffer, and emitted buffers are recycled through the
+//!   [`PacketSink`] protocol.
+//! * Each aggregate carries the running ones-complement partial sum of
+//!   its payload. A segment's payload sum is captured for free during
+//!   checksum *verification* (one scan), folded in with
+//!   [`checksum::combine_at_offset`] on append, and the final TCP
+//!   checksum at emission combines pseudo-header + header sum + cached
+//!   payload sum — the merged payload is never read again.
+//! * Hold-timer expiry pops the flow table's deadline heap
+//!   ([`FlowTable::pop_expired`]) instead of scanning every pending
+//!   aggregate per poll tick.
+//!
+//! The `Vec`-returning [`MergeEngine::push`]/[`MergeEngine::poll`] are
+//! thin wrappers over the sink API for tests and non-hot callers.
 
 use crate::flowtable::FlowTable;
-use px_sim::nic::{flow_key_of, try_coalesce};
+use px_sim::nic::flow_key_of;
 use px_sim::stats::SizeHistogram;
+use px_wire::checksum;
 use px_wire::ipv4::Ipv4Packet;
-use px_wire::tcp::TcpSegment;
-use px_wire::IpProtocol;
+use px_wire::pool::{BufPool, PacketSink, PoolStats, VecSink};
+use px_wire::tcp::{options_layout_compatible, TcpSegment};
+use px_wire::{IpProtocol, PacketBuf};
 
 /// Merge-engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -86,21 +110,62 @@ impl MergeStats {
     }
 }
 
+/// A per-flow pending aggregate: the packet bytes plus the cached facts
+/// the append fast path needs, so coalescing never re-parses or re-scans
+/// what it already holds.
 #[derive(Debug)]
 struct Pending {
-    pkt: Vec<u8>,
-    deadline: u64,
-    segs: usize,
+    /// The aggregate packet. For a single-segment aggregate this is the
+    /// original packet verbatim (possibly longer than its IP
+    /// `total_len`, e.g. link-layer padding); the first append trims it.
+    buf: PacketBuf,
+    ip_hlen: u8,
+    tcp_hlen: u8,
+    /// TCP payload bytes accumulated so far.
+    payload_len: u32,
+    /// Sequence number of the next contiguous byte.
+    next_seq: u32,
+    /// Running ones-complement partial sum of the accumulated payload.
+    payload_sum: u16,
+    segs: u32,
 }
 
-/// The merge engine. Feed packets with [`MergeEngine::push`], poll hold
-/// timers with [`MergeEngine::poll`], and drain at shutdown with
-/// [`MergeEngine::flush_all`].
+impl Pending {
+    /// The live packet length per its IP header (`buf` may be longer
+    /// only while `segs == 1`).
+    fn total_len(&self) -> usize {
+        usize::from(self.ip_hlen) + usize::from(self.tcp_hlen) + self.payload_len as usize
+    }
+}
+
+/// What [`MergeEngine::classify`] learned about one input packet in its
+/// single verification pass.
+struct SegMeta {
+    ip_hlen: usize,
+    tcp_hlen: usize,
+    total_len: usize,
+    seq: u32,
+    psh: bool,
+    /// Ones-complement partial sum of the TCP payload, captured while
+    /// verifying the transport checksum.
+    payload_sum: u16,
+}
+
+enum Classified {
+    NotMergeable { checksum_ok: bool },
+    Mergeable(SegMeta),
+}
+
+/// The merge engine. Feed packets with [`MergeEngine::push_into`], poll
+/// hold timers with [`MergeEngine::poll_into`], and drain at shutdown
+/// with [`MergeEngine::flush_all_into`] (or the `Vec`-returning
+/// wrappers).
 #[derive(Debug)]
 pub struct MergeEngine {
     /// Configuration.
     pub cfg: MergeConfig,
     table: FlowTable<Pending>,
+    pool: BufPool,
     /// Counters.
     pub stats: MergeStats,
 }
@@ -111,6 +176,7 @@ impl MergeEngine {
         MergeEngine {
             cfg,
             table: FlowTable::new(cfg.table_capacity),
+            pool: BufPool::for_mtu(cfg.imtu, 256),
             stats: MergeStats::default(),
         }
     }
@@ -120,149 +186,324 @@ impl MergeEngine {
         self.table.lookups
     }
 
+    /// Buffer-pool counters (allocation accounting).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats
+    }
+
+    /// Buffers held by pending aggregates or not yet recycled by a sink.
+    pub fn pool_outstanding(&self) -> u64 {
+        self.pool.outstanding()
+    }
+
     fn full_threshold(&self) -> usize {
         self.cfg.imtu.saturating_sub(self.cfg.emtu - 40) + 1
     }
 
-    fn emit(&mut self, out: &mut Vec<Vec<u8>>, pkt: Vec<u8>) {
-        self.stats.out_sizes.record(pkt.len());
-        out.push(pkt);
+    /// Emits a finished aggregate: records its size, hands it to the
+    /// sink, and recycles the buffer if the sink returns it.
+    fn emit(&mut self, buf: PacketBuf, sink: &mut impl PacketSink) {
+        self.stats.out_sizes.record(buf.len());
+        if let Some(b) = sink.accept(buf) {
+            self.pool.put(b);
+        }
     }
 
-    /// Whether a packet is a mergeable TCP data segment (plain ACK/PSH
-    /// flags, non-empty payload, not a fragment, checksums verified).
+    /// Forwards an input packet untouched (passthrough — deliberately
+    /// not recorded in `out_sizes`, which tracks merge output only).
+    fn forward(&mut self, pkt: &[u8], sink: &mut impl PacketSink) {
+        let mut buf = self.pool.get();
+        buf.extend_from_slice(pkt);
+        if let Some(b) = sink.accept(buf) {
+            self.pool.put(b);
+        }
+    }
+
+    /// Classifies one packet in a single pass: is it a mergeable TCP data
+    /// segment (plain ACK/PSH flags, non-empty payload, not a fragment,
+    /// checksums verified)?
     ///
     /// Checksum verification is load-bearing: merging recomputes the
     /// checksum over the concatenated payload, so coalescing a corrupted
     /// segment would hide the corruption from the receiver forever. Real
-    /// NIC LRO engines verify for exactly this reason. Returns
-    /// `(mergeable, checksum_ok)`.
-    fn mergeable(pkt: &[u8]) -> (bool, bool) {
+    /// NIC LRO engines verify for exactly this reason. The payload's
+    /// partial sum — needed again at emission — is captured from the
+    /// same pass that verifies it.
+    fn classify(pkt: &[u8]) -> Classified {
         let Ok(ip) = Ipv4Packet::new_checked(pkt) else {
-            return (false, true);
+            return Classified::NotMergeable { checksum_ok: true };
         };
         if ip.protocol() != IpProtocol::Tcp || ip.is_fragment() {
-            return (false, true);
+            return Classified::NotMergeable { checksum_ok: true };
         }
         let Ok(tcp) = TcpSegment::new_checked(ip.payload()) else {
-            return (false, true);
+            return Classified::NotMergeable { checksum_ok: true };
         };
         let f = tcp.flags();
         let shape_ok = f.ack && !f.syn && !f.fin && !f.rst && !f.urg && !tcp.payload().is_empty();
         if !shape_ok {
-            return (false, true);
+            return Classified::NotMergeable { checksum_ok: true };
         }
-        if !ip.verify_checksum() || !tcp.verify_checksum(ip.src(), ip.dst()) {
-            return (false, false);
+        if !ip.verify_checksum() {
+            return Classified::NotMergeable { checksum_ok: false };
         }
-        (true, true)
+        let seg = ip.payload();
+        let tcp_hlen = tcp.header_len();
+        let header_sum = checksum::ones_complement_sum(&seg[..tcp_hlen]);
+        let payload_sum = checksum::ones_complement_sum(&seg[tcp_hlen..]);
+        let pseudo = checksum::pseudo_header_sum(
+            ip.src(),
+            ip.dst(),
+            IpProtocol::Tcp.into(),
+            seg.len() as u16,
+        );
+        if checksum::combine(pseudo, checksum::combine(header_sum, payload_sum)) != 0xFFFF {
+            return Classified::NotMergeable { checksum_ok: false };
+        }
+        Classified::Mergeable(SegMeta {
+            ip_hlen: ip.header_len(),
+            tcp_hlen,
+            total_len: ip.total_len(),
+            seq: tcp.seq().0,
+            psh: f.psh,
+            payload_sum,
+        })
     }
 
-    /// Processes one packet arriving from the eMTU side. Returns packets
-    /// ready to forward into the b-network (possibly empty while an
-    /// aggregate is being held).
-    pub fn push(&mut self, now: u64, pkt: Vec<u8>) -> Vec<Vec<u8>> {
-        let mut out = Vec::new();
+    /// Whether `meta`'s packet can coalesce onto `pending` — the same
+    /// gates as [`px_sim::nic::try_coalesce`], answered from cached state
+    /// and fixed-offset header reads instead of re-parsing. The flow key
+    /// already guarantees equal addresses, ports, and protocol; the
+    /// aggregate's flags are plain by construction.
+    fn can_append(pending: &Pending, meta: &SegMeta, pkt: &[u8], imtu: usize) -> bool {
+        let a = pending.buf.as_slice();
+        let a_ip = usize::from(pending.ip_hlen);
+        let b_ip = meta.ip_hlen;
+        // Same ToS, ACK number, and window (pure in-order continuation).
+        if a[1] != pkt[1]
+            || a[a_ip + 8..a_ip + 12] != pkt[b_ip + 8..b_ip + 12]
+            || a[a_ip + 14..a_ip + 16] != pkt[b_ip + 14..b_ip + 16]
+        {
+            return false;
+        }
+        // Exactly contiguous in sequence space.
+        if meta.seq != pending.next_seq {
+            return false;
+        }
+        // Identical TCP option layout (kinds and lengths; values may
+        // differ — the aggregate keeps its own options, as Linux GRO
+        // does).
+        let a_opts = &a[a_ip + 20..a_ip + usize::from(pending.tcp_hlen)];
+        let b_opts = &pkt[b_ip + 20..b_ip + meta.tcp_hlen];
+        if !options_layout_compatible(a_opts, b_opts) {
+            return false;
+        }
+        let payload_len = meta.total_len - meta.ip_hlen - meta.tcp_hlen;
+        let merged_len = pending.total_len() + payload_len;
+        merged_len <= imtu && merged_len <= px_wire::ipv4::MAX_TOTAL_LEN
+    }
+
+    /// Appends `meta`'s payload onto `pending` in place: one `memcpy`
+    /// plus a partial-sum fold. Checksums and length fields are patched
+    /// once, at emission.
+    fn append(pending: &mut Pending, meta: &SegMeta, pkt: &[u8]) {
+        if pending.segs == 1 {
+            // Drop any bytes beyond the IP total length (e.g. link-layer
+            // padding) before growing the aggregate.
+            pending.buf.truncate(pending.total_len());
+        }
+        let payload = &pkt[meta.ip_hlen + meta.tcp_hlen..meta.total_len];
+        pending.payload_sum = checksum::combine_at_offset(
+            pending.payload_sum,
+            meta.payload_sum,
+            pending.payload_len % 2 == 1,
+        );
+        pending.buf.extend_from_slice(payload);
+        if meta.psh {
+            let flags_at = usize::from(pending.ip_hlen) + 13;
+            pending.buf.as_mut_slice()[flags_at] |= 0x08;
+        }
+        pending.payload_len += payload.len() as u32;
+        pending.next_seq = pending.next_seq.wrapping_add(payload.len() as u32);
+        pending.segs += 1;
+    }
+
+    /// Finishes an aggregate and emits it. Single-segment aggregates go
+    /// out verbatim (the original packet was never modified); merged ones
+    /// get their length and checksums patched from the cached partial
+    /// sums — no payload re-scan.
+    fn finalize_emit(&mut self, mut p: Pending, sink: &mut impl PacketSink) {
+        if p.segs > 1 {
+            let total = p.total_len();
+            debug_assert_eq!(p.buf.len(), total);
+            let ip_hlen = usize::from(p.ip_hlen);
+            let (src, dst);
+            {
+                let mut ip = Ipv4Packet::new_unchecked(p.buf.as_mut_slice());
+                ip.set_total_len(total as u16);
+                ip.fill_checksum();
+                (src, dst) = (ip.src(), ip.dst());
+            }
+            let seg_len = (total - ip_hlen) as u16;
+            let seg = &mut p.buf.as_mut_slice()[ip_hlen..];
+            seg[16..18].copy_from_slice(&[0, 0]);
+            let header_sum = checksum::ones_complement_sum(&seg[..usize::from(p.tcp_hlen)]);
+            let pseudo = checksum::pseudo_header_sum(src, dst, IpProtocol::Tcp.into(), seg_len);
+            let ck = !checksum::combine(pseudo, checksum::combine(header_sum, p.payload_sum));
+            seg[16..18].copy_from_slice(&ck.to_be_bytes());
+        }
+        self.emit(p.buf, sink);
+    }
+
+    /// Processes one packet arriving from the eMTU side, delivering any
+    /// packets ready to forward into the b-network to `sink` (possibly
+    /// none while an aggregate is being held).
+    pub fn push_into(&mut self, now: u64, pkt: &[u8], sink: &mut impl PacketSink) {
         self.stats.pkts_in += 1;
 
-        let Ok(key) = flow_key_of(&pkt) else {
+        let Ok(key) = flow_key_of(pkt) else {
             self.stats.passthrough += 1;
-            out.push(pkt);
-            return out;
+            self.forward(pkt, sink);
+            return;
         };
 
-        let (is_mergeable, checksum_ok) = Self::mergeable(&pkt);
-        if !is_mergeable {
-            // Control/pure-ACK/non-TCP/corrupt: flush any pending
-            // aggregate first to preserve per-flow ordering, then pass
-            // through — a corrupted segment keeps its broken checksum so
-            // the receiver discards it and TCP retransmits.
-            if !checksum_ok {
-                self.stats.bad_checksum += 1;
+        let meta = match Self::classify(pkt) {
+            Classified::Mergeable(meta) => meta,
+            Classified::NotMergeable { checksum_ok } => {
+                // Control/pure-ACK/non-TCP/corrupt: flush any pending
+                // aggregate first to preserve per-flow ordering, then pass
+                // through — a corrupted segment keeps its broken checksum
+                // so the receiver discards it and TCP retransmits.
+                if !checksum_ok {
+                    self.stats.bad_checksum += 1;
+                }
+                if let Some(p) = self.table.remove(&key) {
+                    self.stats.flush_order += 1;
+                    self.finalize_emit(p, sink);
+                }
+                self.stats.passthrough += 1;
+                self.forward(pkt, sink);
+                return;
             }
-            if let Some(p) = self.table.remove(&key) {
-                self.stats.flush_order += 1;
-                self.emit(&mut out, p.pkt);
-            }
-            self.stats.passthrough += 1;
-            out.push(pkt);
-            return out;
-        }
+        };
 
         self.stats.data_segs_in += 1;
         let full_at = self.full_threshold();
+        let imtu = self.cfg.imtu;
 
-        if let Some(pending) = self.table.get_mut(&key) {
-            if let Some(merged) = try_coalesce(&pending.pkt, &pkt, self.cfg.imtu) {
-                let full = merged.len() >= full_at;
-                if full {
-                    let segs = pending.segs + 1;
-                    let _ = segs;
-                    self.table.remove(&key);
-                    self.stats.flush_full += 1;
-                    self.emit(&mut out, merged);
+        enum HadPending {
+            Appended { full: bool },
+            Incompatible,
+            None,
+        }
+        let had = match self.table.get_mut(&key) {
+            Some(pending) => {
+                if Self::can_append(pending, &meta, pkt, imtu) {
+                    Self::append(pending, &meta, pkt);
+                    HadPending::Appended {
+                        full: pending.total_len() >= full_at,
+                    }
                 } else {
-                    pending.pkt = merged;
-                    pending.segs += 1;
+                    HadPending::Incompatible
                 }
-                return out;
             }
-            // Not contiguous (reorder/retransmit): flush, start anew.
-            let p = self.table.remove(&key).expect("pending present");
-            self.stats.flush_order += 1;
-            self.emit(&mut out, p.pkt);
+            None => HadPending::None,
+        };
+        match had {
+            HadPending::Appended { full: true } => {
+                let p = self.table.remove(&key).expect("pending present");
+                self.stats.flush_full += 1;
+                self.finalize_emit(p, sink);
+                return;
+            }
+            HadPending::Appended { full: false } => return,
+            HadPending::Incompatible => {
+                // Not contiguous (reorder/retransmit): flush, start anew.
+                let p = self.table.remove(&key).expect("pending present");
+                self.stats.flush_order += 1;
+                self.finalize_emit(p, sink);
+            }
+            HadPending::None => {}
         }
 
         if pkt.len() >= full_at {
             // Already iMTU-sized (e.g. traffic from another b-network).
             self.stats.flush_full += 1;
-            self.emit(&mut out, pkt);
-            return out;
+            let mut buf = self.pool.get();
+            buf.extend_from_slice(pkt);
+            self.emit(buf, sink);
+            return;
         }
         if self.cfg.hold_ns == 0 {
             // Delayed merging disabled: emit immediately (ablation).
-            self.emit(&mut out, pkt);
-            return out;
+            let mut buf = self.pool.get();
+            buf.extend_from_slice(pkt);
+            self.emit(buf, sink);
+            return;
         }
-        let evicted = self.table.insert(
-            key,
-            Pending {
-                pkt,
-                deadline: now + self.cfg.hold_ns,
-                segs: 1,
-            },
-        );
+        let mut buf = self.pool.get();
+        buf.extend_from_slice(pkt);
+        let payload_len = (meta.total_len - meta.ip_hlen - meta.tcp_hlen) as u32;
+        let pending = Pending {
+            buf,
+            ip_hlen: meta.ip_hlen as u8,
+            tcp_hlen: meta.tcp_hlen as u8,
+            payload_len,
+            next_seq: meta.seq.wrapping_add(payload_len),
+            payload_sum: meta.payload_sum,
+            segs: 1,
+        };
+        let evicted = self
+            .table
+            .insert_with_deadline(key, pending, now + self.cfg.hold_ns);
         if let Some((_, p)) = evicted {
             self.stats.flush_evict += 1;
-            self.emit(&mut out, p.pkt);
+            self.finalize_emit(p, sink);
         }
-        out
     }
 
     /// Emits every aggregate whose hold timer has expired.
-    pub fn poll(&mut self, now: u64) -> Vec<Vec<u8>> {
-        let mut out = Vec::new();
-        for (_, p) in self.table.take_matching(|_, p| p.deadline <= now) {
+    pub fn poll_into(&mut self, now: u64, sink: &mut impl PacketSink) {
+        while let Some((_, p)) = self.table.pop_expired(now) {
             self.stats.flush_timeout += 1;
-            self.emit(&mut out, p.pkt);
+            self.finalize_emit(p, sink);
         }
-        out
     }
 
     /// The earliest pending hold deadline, if any (lets a gateway arm a
     /// precise timer instead of polling blindly).
     pub fn next_deadline(&mut self) -> Option<u64> {
-        self.table.iter_mut().map(|(_, p)| p.deadline).min()
+        self.table.next_deadline()
     }
 
-    /// Drains everything (shutdown).
-    pub fn flush_all(&mut self) -> Vec<Vec<u8>> {
-        let mut out = Vec::new();
+    /// Drains everything (shutdown), delivering to `sink`.
+    pub fn flush_all_into(&mut self, sink: &mut impl PacketSink) {
         for (_, p) in self.table.drain() {
             self.stats.flush_timeout += 1;
-            self.emit(&mut out, p.pkt);
+            self.finalize_emit(p, sink);
         }
-        out
+    }
+
+    /// [`push_into`](Self::push_into) collected into a `Vec` (tests and
+    /// non-hot callers).
+    pub fn push(&mut self, now: u64, pkt: Vec<u8>) -> Vec<Vec<u8>> {
+        let mut sink = VecSink::new();
+        self.push_into(now, &pkt, &mut sink);
+        sink.into_pkts()
+    }
+
+    /// [`poll_into`](Self::poll_into) collected into a `Vec`.
+    pub fn poll(&mut self, now: u64) -> Vec<Vec<u8>> {
+        let mut sink = VecSink::new();
+        self.poll_into(now, &mut sink);
+        sink.into_pkts()
+    }
+
+    /// [`flush_all_into`](Self::flush_all_into) collected into a `Vec`.
+    pub fn flush_all(&mut self) -> Vec<Vec<u8>> {
+        let mut sink = VecSink::new();
+        self.flush_all_into(&mut sink);
+        sink.into_pkts()
     }
 }
 
@@ -344,6 +585,31 @@ mod tests {
         assert!(tcp.verify_checksum(ip.src(), ip.dst()));
         assert_eq!(px_tcp::verify_pattern(0, tcp.payload()), None);
         assert_eq!(eng.stats.flush_full, 1);
+    }
+
+    /// The in-place append + cached-partial-sum emission must produce the
+    /// same bytes as the rebuild-from-scratch `try_coalesce` oracle.
+    #[test]
+    fn merged_bytes_match_try_coalesce_oracle() {
+        use px_sim::nic::try_coalesce;
+        let cfg = MergeConfig::default();
+        // Odd payload lengths force the odd-offset partial-sum fold.
+        let lens = [999usize, 1, 1460, 7, 512];
+        let mut eng = MergeEngine::new(cfg);
+        let mut oracle: Option<Vec<u8>> = None;
+        let mut seq = 0u32;
+        for len in lens {
+            let pkt = data_pkt(7000, seq, len);
+            oracle = Some(match oracle {
+                None => pkt.clone(),
+                Some(agg) => try_coalesce(&agg, &pkt, cfg.imtu).expect("oracle coalesces"),
+            });
+            assert!(eng.push(0, pkt).is_empty(), "held");
+            seq += len as u32;
+        }
+        let out = eng.flush_all();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], oracle.unwrap(), "byte-for-byte identical");
     }
 
     #[test]
@@ -457,5 +723,27 @@ mod tests {
         eng.push(50, data_pkt(5000, 0, 500));
         eng.push(10, data_pkt(5001, 0, 500));
         assert_eq!(eng.next_deadline(), Some(110));
+    }
+
+    /// Recycling sink: after a full drain nothing may be leaked from the
+    /// pool, and the steady-state loop reuses buffers instead of
+    /// allocating.
+    #[test]
+    fn pool_buffers_are_recycled_not_leaked() {
+        let mut eng = MergeEngine::new(MergeConfig::default());
+        let mut sink = |b: PacketBuf| Some(b); // recycle everything
+        for round in 0..50u32 {
+            for i in 0..6u32 {
+                eng.push_into(0, &data_pkt(5000, round * 8760 + i * 1460, 1460), &mut sink);
+            }
+        }
+        eng.flush_all_into(&mut sink);
+        assert_eq!(eng.pool_outstanding(), 0, "no leaked buffers");
+        // One buffer per concurrent aggregate, not per packet.
+        assert!(
+            eng.pool_stats().allocated <= 4,
+            "steady state allocates nothing: {:?}",
+            eng.pool_stats()
+        );
     }
 }

@@ -7,11 +7,27 @@
 //! fragmentation when DF allows (UDP caravans never reach this engine —
 //! [`crate::caravan_gw`] unbundles them first).
 
-use px_sim::nic::tso_split;
+use px_sim::nic::tso_split_into;
 use px_sim::stats::SizeHistogram;
-use px_wire::frag;
+use px_wire::frag::fragment_into;
 use px_wire::ipv4::Ipv4Packet;
-use px_wire::IpProtocol;
+use px_wire::pool::{BufPool, PacketSink, PoolStats, VecSink};
+use px_wire::{IpProtocol, PacketBuf};
+
+/// A sink adapter that records every emitted packet's size into a
+/// [`SizeHistogram`] before forwarding it — how the engines keep their
+/// `out_sizes` accounting on the sink-based hot path.
+pub(crate) struct RecordingSink<'a, S> {
+    pub sizes: &'a mut SizeHistogram,
+    pub inner: &'a mut S,
+}
+
+impl<S: PacketSink> PacketSink for RecordingSink<'_, S> {
+    fn accept(&mut self, buf: PacketBuf) -> Option<PacketBuf> {
+        self.sizes.record(buf.len());
+        self.inner.accept(buf)
+    }
+}
 
 /// Split-engine counters.
 #[derive(Debug, Default, Clone)]
@@ -37,6 +53,7 @@ pub struct SplitStats {
 pub struct SplitEngine {
     /// External MTU to split down to.
     pub emtu: usize,
+    pool: BufPool,
     /// Counters.
     pub stats: SplitStats,
 }
@@ -46,62 +63,81 @@ impl SplitEngine {
     pub fn new(emtu: usize) -> Self {
         SplitEngine {
             emtu,
+            pool: BufPool::for_mtu(emtu, 256),
             stats: SplitStats::default(),
         }
     }
 
-    /// Processes one packet leaving the b-network; returns wire packets
-    /// that all fit within the eMTU.
+    /// Buffer-pool counters (allocation accounting).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats
+    }
+
+    /// Processes one packet leaving the b-network, delivering wire
+    /// packets that all fit within the eMTU to `sink`.
+    pub fn push_into(&mut self, pkt: &[u8], sink: &mut impl PacketSink) {
+        let mtu = self.emtu;
+        self.push_to_into(pkt, mtu, sink);
+    }
+
+    /// Like [`Self::push_into`] but with a per-destination target MTU
+    /// (the PMTUD-aware path: split only as far down as the discovered
+    /// path MTU requires).
+    pub fn push_to_into(&mut self, pkt: &[u8], mtu: usize, sink: &mut impl PacketSink) {
+        self.stats.pkts_in += 1;
+        if pkt.len() <= mtu {
+            self.stats.out_sizes.record(pkt.len());
+            let mut buf = self.pool.get();
+            buf.extend_from_slice(pkt);
+            if let Some(b) = sink.accept(buf) {
+                self.pool.put(b);
+            }
+            return;
+        }
+        let Ok(ip) = Ipv4Packet::new_checked(pkt) else {
+            // Unparseable oversize packet: drop.
+            self.stats.dropped_df += 1;
+            return;
+        };
+        let mut recorded = RecordingSink {
+            sizes: &mut self.stats.out_sizes,
+            inner: sink,
+        };
+        match ip.protocol() {
+            IpProtocol::Tcp => match tso_split_into(pkt, mtu, &mut self.pool, &mut recorded) {
+                Ok(n) => {
+                    self.stats.split += 1;
+                    self.stats.segments_out += n as u64;
+                }
+                Err(_) => {
+                    self.stats.dropped_df += 1;
+                }
+            },
+            _ => match fragment_into(pkt, mtu, &mut self.pool, &mut recorded) {
+                Ok(_) => {
+                    self.stats.split += 1;
+                    self.stats.fragmented += 1;
+                }
+                Err(_) => {
+                    // DF set on an oversize non-TCP packet.
+                    self.stats.dropped_df += 1;
+                }
+            },
+        }
+    }
+
+    /// [`push_into`](Self::push_into) collected into a `Vec` (tests and
+    /// non-hot callers).
     pub fn push(&mut self, pkt: Vec<u8>) -> Vec<Vec<u8>> {
         let mtu = self.emtu;
         self.push_to(pkt, mtu)
     }
 
-    /// Like [`Self::push`] but with a per-destination target MTU (the
-    /// PMTUD-aware path: split only as far down as the discovered path
-    /// MTU requires).
+    /// [`push_to_into`](Self::push_to_into) collected into a `Vec`.
     pub fn push_to(&mut self, pkt: Vec<u8>, mtu: usize) -> Vec<Vec<u8>> {
-        self.stats.pkts_in += 1;
-        if pkt.len() <= mtu {
-            self.stats.out_sizes.record(pkt.len());
-            return vec![pkt];
-        }
-        let Ok(ip) = Ipv4Packet::new_checked(&pkt[..]) else {
-            // Unparseable oversize packet: drop.
-            self.stats.dropped_df += 1;
-            return vec![];
-        };
-        match ip.protocol() {
-            IpProtocol::Tcp => match tso_split(&pkt, mtu) {
-                Ok(segs) => {
-                    self.stats.split += 1;
-                    self.stats.segments_out += segs.len() as u64;
-                    for s in &segs {
-                        self.stats.out_sizes.record(s.len());
-                    }
-                    segs
-                }
-                Err(_) => {
-                    self.stats.dropped_df += 1;
-                    vec![]
-                }
-            },
-            _ => match frag::fragment(&pkt, mtu) {
-                Ok(frags) => {
-                    self.stats.split += 1;
-                    self.stats.fragmented += 1;
-                    for f in &frags {
-                        self.stats.out_sizes.record(f.len());
-                    }
-                    frags
-                }
-                Err(_) => {
-                    // DF set on an oversize non-TCP packet.
-                    self.stats.dropped_df += 1;
-                    vec![]
-                }
-            },
-        }
+        let mut sink = VecSink::new();
+        self.push_to_into(&pkt, mtu, &mut sink);
+        sink.into_pkts()
     }
 }
 

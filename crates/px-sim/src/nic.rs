@@ -14,6 +14,7 @@
 use crate::calib;
 use crate::cpu::CostModel;
 use px_wire::ipv4::Ipv4Packet;
+use px_wire::pool::{BufPool, PacketSink};
 use px_wire::tcp::{TcpSegment, MAX_HEADER_LEN};
 use px_wire::{Error, FlowKey, IpProtocol, Result};
 
@@ -212,12 +213,35 @@ pub fn coalesce_batch(batch: Vec<Vec<u8>>, max_size: usize) -> Vec<Vec<u8>> {
 ///
 /// A packet that already fits is returned as-is (single element).
 pub fn tso_split(packet: &[u8], mtu: usize) -> Result<Vec<Vec<u8>>> {
+    // Right-sized one-shot buffers: max_free 0 keeps the wrapper's
+    // allocation behaviour (one Vec per segment, like the pre-sink API)
+    // without growth reallocations inside the fill loop.
+    let mut pool = BufPool::new(0, mtu, 0);
+    let mut sink = px_wire::VecSink::new();
+    tso_split_into(packet, mtu, &mut pool, &mut sink)?;
+    Ok(sink.into_pkts())
+}
+
+/// [`tso_split`] with pooled buffers and sink-based emission — the
+/// allocation-free form the PXGW split engine drives. Returns the number
+/// of segments delivered; on error nothing is emitted.
+pub fn tso_split_into(
+    packet: &[u8],
+    mtu: usize,
+    pool: &mut BufPool,
+    sink: &mut impl PacketSink,
+) -> Result<usize> {
     let ip = Ipv4Packet::new_checked(packet)?;
     if ip.protocol() != IpProtocol::Tcp {
         return Err(Error::Unsupported);
     }
     if ip.total_len() <= mtu {
-        return Ok(vec![packet[..ip.total_len()].to_vec()]);
+        let mut buf = pool.get();
+        buf.extend_from_slice(&packet[..ip.total_len()]);
+        if let Some(b) = sink.accept(buf) {
+            pool.put(b);
+        }
+        return Ok(1);
     }
     let ip_hlen = ip.header_len();
     let tcp = TcpSegment::new_checked(ip.payload())?;
@@ -237,23 +261,23 @@ pub fn tso_split(packet: &[u8], mtu: usize) -> Result<Vec<Vec<u8>>> {
     let (src, dst) = (ip.src(), ip.dst());
     let base_ident = ip.ident();
 
-    let mut out = Vec::new();
+    let mut emitted = 0usize;
     let mut off = 0usize;
     let mut seg_idx: u16 = 0;
     while off < payload.len() {
         let take = mss.min(payload.len() - off);
         let last = off + take == payload.len();
-        let mut seg = Vec::with_capacity(headers + take);
+        let mut seg = pool.get();
         seg.extend_from_slice(&packet[..headers]);
         seg.extend_from_slice(&payload[off..off + take]);
         {
-            let mut ipv = Ipv4Packet::new_unchecked(&mut seg[..]);
+            let mut ipv = Ipv4Packet::new_unchecked(seg.as_mut_slice());
             ipv.set_total_len((headers + take) as u16);
             ipv.set_ident(base_ident.wrapping_add(seg_idx));
             ipv.fill_checksum();
         }
         {
-            let mut tseg = TcpSegment::new_unchecked(&mut seg[ip_hlen..]);
+            let mut tseg = TcpSegment::new_unchecked(&mut seg.as_mut_slice()[ip_hlen..]);
             tseg.set_seq(base_seq.add(off));
             let mut f = flags;
             if !last {
@@ -263,11 +287,14 @@ pub fn tso_split(packet: &[u8], mtu: usize) -> Result<Vec<Vec<u8>>> {
             tseg.set_flags(f);
             tseg.fill_checksum(src, dst);
         }
-        out.push(seg);
+        if let Some(b) = sink.accept(seg) {
+            pool.put(b);
+        }
+        emitted += 1;
         off += take;
         seg_idx = seg_idx.wrapping_add(1);
     }
-    Ok(out)
+    Ok(emitted)
 }
 
 /// RX-side configuration for the saturation model.

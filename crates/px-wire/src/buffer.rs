@@ -62,6 +62,44 @@ impl PacketBuf {
         }
     }
 
+    /// Creates an empty buffer with `headroom` reserved and the backing
+    /// allocation sized for `capacity` total bytes (headroom + payload),
+    /// so a pool can hand out buffers that never reallocate on append.
+    pub fn with_capacity(headroom: usize, capacity: usize) -> Self {
+        let mut data = Vec::with_capacity(capacity.max(headroom).max(1));
+        data.resize(headroom, 0);
+        PacketBuf {
+            data,
+            head: headroom,
+        }
+    }
+
+    /// Wraps an existing `Vec` as the live bytes with zero headroom and
+    /// zero copying (unlike `From<Vec<u8>>`, which copies to make room).
+    pub fn adopt(data: Vec<u8>) -> Self {
+        PacketBuf { data, head: 0 }
+    }
+
+    /// Total bytes the backing allocation can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Resets the buffer to empty with `headroom` reserved, keeping the
+    /// backing allocation. This is the pool-recycle operation.
+    pub fn reset(&mut self, headroom: usize) {
+        self.data.truncate(0);
+        self.data.resize(headroom, 0);
+        self.head = headroom;
+    }
+
+    /// A stable identifier for the backing allocation while the capacity
+    /// is nonzero; used by the pool's debug double-free tracking.
+    #[doc(hidden)]
+    pub fn base_addr(&self) -> usize {
+        self.data.as_ptr() as usize
+    }
+
     /// Number of live bytes.
     pub fn len(&self) -> usize {
         self.data.len() - self.head

@@ -95,27 +95,59 @@ impl CaravanBuilder {
     }
 }
 
+/// A non-allocating walk over a caravan bundle's inner datagrams.
+///
+/// Yields each inner datagram as a subslice, or one `Err` (and then
+/// `None`) at the first structural problem — the same validation as
+/// [`split_bundle`], without materialising a `Vec`. The PXGW outbound
+/// hot path validates with one pass and rebuilds with a second, touching
+/// the allocator for neither.
+#[derive(Debug, Clone)]
+pub struct BundleIter<'a> {
+    rest: &'a [u8],
+    count: usize,
+}
+
+impl<'a> Iterator for BundleIter<'a> {
+    type Item = Result<&'a [u8]>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        if self.rest.len() < udp::HEADER_LEN {
+            self.rest = &[];
+            return Some(Err(Error::Truncated));
+        }
+        let len = usize::from(u16::from_be_bytes([self.rest[4], self.rest[5]]));
+        if len < udp::HEADER_LEN || len > self.rest.len() {
+            self.rest = &[];
+            return Some(Err(Error::Malformed));
+        }
+        if self.count == MAX_INNER {
+            self.rest = &[];
+            return Some(Err(Error::FieldRange));
+        }
+        let (dg, rest) = self.rest.split_at(len);
+        self.rest = rest;
+        self.count += 1;
+        Some(Ok(dg))
+    }
+}
+
+/// Iterates over a bundle's inner datagrams without allocating.
+pub fn iter_bundle(bundle: &[u8]) -> BundleIter<'_> {
+    BundleIter {
+        rest: bundle,
+        count: 0,
+    }
+}
+
 /// Walks a caravan bundle (the payload of the outer UDP) and returns each
 /// inner datagram as a subslice. Fails if the bundle does not parse into
 /// an exact sequence of well-formed UDP datagrams.
 pub fn split_bundle(bundle: &[u8]) -> Result<Vec<&[u8]>> {
-    let mut out = Vec::new();
-    let mut rest = bundle;
-    while !rest.is_empty() {
-        if rest.len() < udp::HEADER_LEN {
-            return Err(Error::Truncated);
-        }
-        let len = usize::from(u16::from_be_bytes([rest[4], rest[5]]));
-        if len < udp::HEADER_LEN || len > rest.len() {
-            return Err(Error::Malformed);
-        }
-        if out.len() == MAX_INNER {
-            return Err(Error::FieldRange);
-        }
-        out.push(&rest[..len]);
-        rest = &rest[len..];
-    }
-    Ok(out)
+    iter_bundle(bundle).collect()
 }
 
 /// Validates that every inner datagram of a bundle shares the same UDP
@@ -223,6 +255,20 @@ mod tests {
         b.push(&d1).unwrap();
         b.push(&d2).unwrap();
         assert!(!bundle_is_single_flow(&b.finish()).unwrap());
+    }
+
+    #[test]
+    fn iter_matches_split_and_stops_after_error() {
+        let good = [dg(1, 2, b"aa"), dg(1, 2, b"bbbb"), dg(3, 4, b"")].concat();
+        let from_iter: Result<Vec<&[u8]>> = iter_bundle(&good).collect();
+        assert_eq!(from_iter.unwrap(), split_bundle(&good).unwrap());
+
+        let mut bad = dg(1, 2, b"abcdef");
+        bad.extend_from_slice(&[0u8; 3]); // truncated second header
+        let mut it = iter_bundle(&bad);
+        assert!(it.next().unwrap().is_ok());
+        assert_eq!(it.next().unwrap().unwrap_err(), Error::Truncated);
+        assert!(it.next().is_none(), "iterator fuses after an error");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::error::{Error, Result};
 use crate::flow::IpProtocol;
 use crate::ipv4::Ipv4Packet;
+use crate::pool::{BufPool, PacketSink};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -21,9 +22,32 @@ use std::net::Ipv4Addr;
 /// fit (the caller — a router — should then drop it and, if it is not an
 /// ICMP-suppressing hop, emit a *fragmentation needed* message).
 pub fn fragment(packet: &[u8], mtu: usize) -> Result<Vec<Vec<u8>>> {
+    // Right-sized one-shot buffers: max_free 0 keeps the wrapper's
+    // allocation behaviour (one Vec per fragment) without growth
+    // reallocations inside the fill loop.
+    let mut pool = BufPool::new(0, mtu, 0);
+    let mut sink = crate::VecSink::new();
+    fragment_into(packet, mtu, &mut pool, &mut sink)?;
+    Ok(sink.into_pkts())
+}
+
+/// [`fragment`] with pooled buffers and sink-based emission — the
+/// allocation-free form the PXGW split engine drives. Returns the number
+/// of fragments delivered; on error nothing is emitted.
+pub fn fragment_into(
+    packet: &[u8],
+    mtu: usize,
+    pool: &mut BufPool,
+    sink: &mut impl PacketSink,
+) -> Result<usize> {
     let pkt = Ipv4Packet::new_checked(packet)?;
     if pkt.total_len() <= mtu {
-        return Ok(vec![packet[..pkt.total_len()].to_vec()]);
+        let mut buf = pool.get();
+        buf.extend_from_slice(&packet[..pkt.total_len()]);
+        if let Some(b) = sink.accept(buf) {
+            pool.put(b);
+        }
+        return Ok(1);
     }
     if pkt.dont_frag() {
         return Err(Error::FieldRange);
@@ -38,22 +62,25 @@ pub fn fragment(packet: &[u8], mtu: usize) -> Result<Vec<Vec<u8>>> {
     let base_offset = pkt.frag_offset();
     let original_mf = pkt.more_frags();
 
-    let mut out = Vec::new();
+    let mut emitted = 0usize;
     let mut off = 0usize;
     while off < payload.len() {
         let take = max_payload.min(payload.len() - off);
         let last = off + take == payload.len();
-        let mut frag = vec![0u8; header_len + take];
-        frag[..header_len].copy_from_slice(&packet[..header_len]);
-        frag[header_len..].copy_from_slice(&payload[off..off + take]);
-        let mut fp = Ipv4Packet::new_unchecked(&mut frag[..]);
+        let mut frag = pool.get();
+        frag.extend_from_slice(&packet[..header_len]);
+        frag.extend_from_slice(&payload[off..off + take]);
+        let mut fp = Ipv4Packet::new_unchecked(frag.as_mut_slice());
         fp.set_total_len((header_len + take) as u16);
         fp.set_frag_fields(false, !last || original_mf, base_offset + off);
         fp.fill_checksum();
-        out.push(frag);
+        if let Some(b) = sink.accept(frag) {
+            pool.put(b);
+        }
+        emitted += 1;
         off += take;
     }
-    Ok(out)
+    Ok(emitted)
 }
 
 /// Key identifying one datagram's fragments (RFC 791: src, dst, protocol,

@@ -39,6 +39,7 @@ pub mod frag;
 pub mod gtpu;
 pub mod icmpv4;
 pub mod ipv4;
+pub mod pool;
 pub mod tcp;
 pub mod udp;
 
@@ -47,6 +48,7 @@ pub use error::{Error, Result};
 pub use ethernet::{EtherType, EthernetFrame, EthernetRepr, MacAddr};
 pub use flow::{FlowKey, IpProtocol, RssHasher};
 pub use ipv4::{Ipv4Packet, Ipv4Repr};
+pub use pool::{BufPool, PacketSink, VecSink};
 pub use tcp::{TcpFlags, TcpOption, TcpRepr, TcpSegment};
 pub use udp::{UdpDatagram, UdpRepr};
 

@@ -1,0 +1,290 @@
+//! A recycling pool of [`PacketBuf`]s and the sink trait the datapath
+//! engines emit through.
+//!
+//! The PXGW hot loop (merge, split, caravan) must not touch the global
+//! allocator per packet: §3/§4 of the paper put the gateway on the
+//! 400 GbE fast path, where an allocator round-trip per packet is the
+//! difference between line rate and not. [`BufPool`] keeps a LIFO
+//! freelist of headroom-preserving buffers (LIFO so the hottest buffer —
+//! the one most likely still in cache — is reused first, the same
+//! policy as DPDK mempool caches and the kernel's per-CPU page caches).
+//!
+//! Emission is *sink-based*: instead of `push(..) -> Vec<Vec<u8>>`
+//! (one `Vec` per output packet plus the collection itself), engines
+//! call [`PacketSink::accept`] per output packet. The sink either keeps
+//! the buffer (ownership transfer, e.g. [`VecSink`] for the
+//! `Vec`-returning compatibility wrappers) or hands it straight back so
+//! the caller can [`BufPool::put`] it — the zero-allocation steady
+//! state.
+
+use crate::buffer::{PacketBuf, DEFAULT_HEADROOM};
+#[cfg(debug_assertions)]
+use std::collections::HashSet;
+
+/// Pool occupancy / traffic counters, for leak checks and bench
+/// reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers created fresh because the freelist was empty.
+    pub allocated: u64,
+    /// Buffers handed out (fresh + recycled).
+    pub gets: u64,
+    /// Buffers returned.
+    pub puts: u64,
+    /// Returned buffers dropped because the freelist was at capacity.
+    pub dropped: u64,
+}
+
+/// A LIFO freelist of recycled [`PacketBuf`]s.
+///
+/// Every buffer handed out has `headroom` bytes reserved in front (so
+/// encapsulation never copies) and a backing allocation sized for
+/// `headroom + payload_capacity` bytes (so appends up to the configured
+/// payload size never reallocate). In debug builds the pool tracks the
+/// base address of every parked buffer and panics on a double-`put`.
+#[derive(Debug)]
+pub struct BufPool {
+    free: Vec<PacketBuf>,
+    headroom: usize,
+    capacity: usize,
+    max_free: usize,
+    /// Occupancy and traffic counters.
+    pub stats: PoolStats,
+    #[cfg(debug_assertions)]
+    parked: HashSet<usize>,
+}
+
+impl BufPool {
+    /// Creates a pool of buffers with `headroom` front bytes and room
+    /// for `payload_capacity` payload bytes, keeping at most `max_free`
+    /// buffers parked.
+    pub fn new(headroom: usize, payload_capacity: usize, max_free: usize) -> Self {
+        BufPool {
+            free: Vec::new(),
+            headroom,
+            capacity: headroom + payload_capacity,
+            max_free,
+            stats: PoolStats::default(),
+            #[cfg(debug_assertions)]
+            parked: HashSet::new(),
+        }
+    }
+
+    /// A pool sized for one jumbo packet plus encapsulation headroom —
+    /// the configuration every PXGW engine uses.
+    pub fn for_mtu(imtu: usize, max_free: usize) -> Self {
+        BufPool::new(DEFAULT_HEADROOM, imtu, max_free)
+    }
+
+    /// The headroom every handed-out buffer starts with.
+    pub fn headroom(&self) -> usize {
+        self.headroom
+    }
+
+    /// Buffers currently parked on the freelist.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Buffers handed out and not yet returned. Sinks that keep buffers
+    /// (e.g. [`VecSink`]) legitimately hold these; after a full flush
+    /// with a recycling sink this must be zero — the leak invariant the
+    /// pool tests assert.
+    pub fn outstanding(&self) -> u64 {
+        self.stats.gets - self.stats.puts - self.stats.dropped
+    }
+
+    /// Hands out a buffer: the most recently returned one if available
+    /// (LIFO — warmest first), else a fresh allocation.
+    pub fn get(&mut self) -> PacketBuf {
+        self.stats.gets += 1;
+        match self.free.pop() {
+            Some(buf) => {
+                #[cfg(debug_assertions)]
+                self.parked.remove(&buf.base_addr());
+                buf
+            }
+            None => {
+                self.stats.allocated += 1;
+                PacketBuf::with_capacity(self.headroom, self.capacity)
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool, resetting it to empty-with-headroom
+    /// while keeping its backing allocation. Buffers beyond `max_free`
+    /// are dropped (freed) rather than parked.
+    ///
+    /// In debug builds, returning the same buffer twice panics — the
+    /// datapath equivalent of a double-free.
+    pub fn put(&mut self, mut buf: PacketBuf) {
+        #[cfg(debug_assertions)]
+        {
+            if buf.capacity() > 0 {
+                assert!(
+                    self.parked.insert(buf.base_addr()),
+                    "BufPool: double put of buffer at {:#x}",
+                    buf.base_addr()
+                );
+            }
+        }
+        if self.free.len() >= self.max_free {
+            self.stats.dropped += 1;
+            #[cfg(debug_assertions)]
+            self.parked.remove(&buf.base_addr());
+            return;
+        }
+        self.stats.puts += 1;
+        buf.reset(self.headroom);
+        self.free.push(buf);
+    }
+}
+
+/// Where engines deliver output packets.
+///
+/// `accept` consumes one finished packet. Returning `Some(buf)` hands
+/// the buffer back to the caller for recycling (the sink copied or
+/// hashed what it needed); returning `None` keeps ownership (the sink
+/// converted the buffer into its own representation).
+pub trait PacketSink {
+    /// Delivers one output packet.
+    fn accept(&mut self, buf: PacketBuf) -> Option<PacketBuf>;
+}
+
+/// Closures `FnMut(PacketBuf) -> Option<PacketBuf>` are sinks.
+impl<F: FnMut(PacketBuf) -> Option<PacketBuf>> PacketSink for F {
+    fn accept(&mut self, buf: PacketBuf) -> Option<PacketBuf> {
+        self(buf)
+    }
+}
+
+/// A sink that collects output packets into `Vec<Vec<u8>>` — the
+/// compatibility shim behind every legacy `push(..) -> Vec<Vec<u8>>`
+/// wrapper. Keeps each buffer (converted in place via
+/// [`PacketBuf::into_vec`]), so wrapped calls allocate exactly like the
+/// pre-sink API did.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The packets collected so far, in emission order.
+    pub pkts: Vec<Vec<u8>>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// Consumes the sink, returning the collected packets.
+    pub fn into_pkts(self) -> Vec<Vec<u8>> {
+        self.pkts
+    }
+}
+
+impl PacketSink for VecSink {
+    fn accept(&mut self, buf: PacketBuf) -> Option<PacketBuf> {
+        self.pkts.push(buf.into_vec());
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_reuses_lifo() {
+        let mut pool = BufPool::new(16, 128, 8);
+        let a = pool.get();
+        let addr_a = a.base_addr();
+        pool.put(a);
+        let b = pool.get();
+        assert_eq!(b.base_addr(), addr_a, "LIFO must reuse the last buffer");
+        assert_eq!(pool.stats.allocated, 1);
+        assert_eq!(pool.stats.gets, 2);
+        pool.put(b);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn recycled_buffer_is_reset() {
+        let mut pool = BufPool::new(16, 128, 8);
+        let mut a = pool.get();
+        a.extend_from_slice(b"stale payload");
+        a.push_front(&[1, 2, 3]).unwrap();
+        pool.put(a);
+        let b = pool.get();
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.headroom(), 16);
+    }
+
+    #[test]
+    fn freelist_capacity_bounds_parked_buffers() {
+        let mut pool = BufPool::new(8, 64, 2);
+        let bufs: Vec<_> = (0..4).map(|_| pool.get()).collect();
+        for b in bufs {
+            pool.put(b);
+        }
+        assert_eq!(pool.free_len(), 2);
+        assert_eq!(pool.stats.dropped, 2);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn no_realloc_within_capacity() {
+        let mut pool = BufPool::new(16, 256, 4);
+        let mut b = pool.get();
+        let addr = b.base_addr();
+        b.extend_from_slice(&[0xAB; 256]);
+        b.push_front(&[0; 16]).unwrap();
+        assert_eq!(b.base_addr(), addr, "append within capacity must not move");
+        pool.put(b);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn parked_tracking_matches_freelist() {
+        // `put` consumes the buffer, so safe callers cannot alias one
+        // allocation — the debug set guards the pool's own bookkeeping:
+        // every parked buffer is tracked, every handed-out one is not.
+        let mut pool = BufPool::new(8, 64, 8);
+        let bufs: Vec<_> = (0..3).map(|_| pool.get()).collect();
+        assert_eq!(pool.parked.len(), 0);
+        for b in bufs {
+            pool.put(b);
+        }
+        assert_eq!(pool.parked.len(), pool.free_len());
+        let _b = pool.get();
+        assert_eq!(pool.parked.len(), pool.free_len());
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut sink = VecSink::new();
+        let mut a = PacketBuf::with_headroom(4);
+        a.extend_from_slice(b"one");
+        let mut b = PacketBuf::with_headroom(4);
+        b.extend_from_slice(b"two");
+        assert!(sink.accept(a).is_none());
+        assert!(sink.accept(b).is_none());
+        assert_eq!(sink.into_pkts(), vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn closure_is_a_sink() {
+        let mut seen = 0usize;
+        let mut pool = BufPool::new(8, 64, 8);
+        let buf = pool.get();
+        {
+            let mut sink = |b: PacketBuf| {
+                seen += b.len();
+                Some(b)
+            };
+            if let Some(b) = sink.accept(buf) {
+                pool.put(b);
+            }
+        }
+        assert_eq!(seen, 0);
+        assert_eq!(pool.outstanding(), 0);
+    }
+}

@@ -197,6 +197,67 @@ pub fn parse_options(mut block: &[u8]) -> Result<Vec<TcpOption>> {
     Ok(opts)
 }
 
+/// The shape of one parsed option — [`parse_options`]' discriminant
+/// without the payload, for allocation-free layout comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OptionClass {
+    Mss,
+    WindowScale,
+    SackPermitted,
+    Sack,
+    Timestamps,
+    Unknown,
+}
+
+/// Advances `block` past NOPs to the next option and classifies it.
+/// `Ok(None)` on EOL or end of block; `Err` on the same malformed shapes
+/// [`parse_options`] rejects.
+fn next_option_class(block: &mut &[u8]) -> Result<Option<OptionClass>> {
+    while !block.is_empty() {
+        match block[0] {
+            0 => return Ok(None), // EOL ends the walk, as in parse_options
+            1 => *block = &block[1..],
+            kind => {
+                if block.len() < 2 {
+                    return Err(Error::Malformed);
+                }
+                let len = usize::from(block[1]);
+                if len < 2 || len > block.len() {
+                    return Err(Error::Malformed);
+                }
+                let class = match (kind, len - 2) {
+                    (2, 2) => OptionClass::Mss,
+                    (3, 1) => OptionClass::WindowScale,
+                    (4, 0) => OptionClass::SackPermitted,
+                    (5, n) if n % 8 == 0 && n <= 32 => OptionClass::Sack,
+                    (8, 8) => OptionClass::Timestamps,
+                    _ => OptionClass::Unknown,
+                };
+                *block = &block[len..];
+                return Ok(Some(class));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Whether two option blocks have the same *layout* — the same sequence
+/// of option-kind discriminants, exactly as comparing
+/// `parse_options(a)`/`parse_options(b)` results with
+/// `mem::discriminant` would decide, but without allocating. Either
+/// block being malformed makes the pair incompatible (the allocating
+/// path fails to parse and refuses to coalesce).
+pub fn options_layout_compatible(a: &[u8], b: &[u8]) -> bool {
+    let (mut a, mut b) = (a, b);
+    loop {
+        match (next_option_class(&mut a), next_option_class(&mut b)) {
+            (Ok(Some(x)), Ok(Some(y))) if x == y => {}
+            (Ok(None), Ok(None)) => return true,
+            _ => return false,
+        }
+    }
+}
+
 /// Encodes options, NOP-padding to a multiple of 4 bytes. Returns the
 /// padded block.
 pub fn emit_options(opts: &[TcpOption]) -> Vec<u8> {
@@ -579,5 +640,45 @@ mod tests {
             TcpSegment::new_checked(&buf[..]).unwrap_err(),
             Error::Malformed
         );
+    }
+
+    /// The allocating reference: discriminant sequences from
+    /// `parse_options`, or `None` when parsing fails.
+    fn layout_via_parse(block: &[u8]) -> Option<Vec<std::mem::Discriminant<TcpOption>>> {
+        parse_options(block)
+            .ok()
+            .map(|opts| opts.iter().map(std::mem::discriminant).collect())
+    }
+
+    #[test]
+    fn layout_compat_matches_parse_options_discriminants() {
+        let vectors: &[&[u8]] = &[
+            &[],
+            &[1, 1, 1, 1],                          // all NOPs
+            &[2, 4, 0x05, 0xb4],                    // MSS
+            &[2, 4, 0x23, 0x28],                    // MSS, other value
+            &[3, 3, 7, 1],                          // WS + NOP pad
+            &[1, 4, 2],                             // NOP + SackPermitted
+            &[8, 10, 0, 0, 0, 1, 0, 0, 0, 2, 1, 1], // timestamps + pad
+            &[5, 10, 0, 0, 0, 1, 0, 0, 0, 2],       // one SACK block
+            &[99, 4, 0xAA, 0xBB],                   // unknown kind
+            &[77, 6, 1, 2, 3, 4],                   // different unknown
+            &[0, 2, 4],                             // EOL stops the walk
+            &[2, 4, 0x05],                          // truncated: malformed
+            &[2, 1],                                // len < 2: malformed
+        ];
+        for a in vectors {
+            for b in vectors {
+                let reference = match (layout_via_parse(a), layout_via_parse(b)) {
+                    (Some(x), Some(y)) => x == y,
+                    _ => false,
+                };
+                assert_eq!(
+                    options_layout_compatible(a, b),
+                    reference,
+                    "layout compat diverged from parse_options on {a:?} vs {b:?}"
+                );
+            }
+        }
     }
 }

@@ -194,6 +194,91 @@ proptest! {
         prop_assert_eq!(restored, datagrams);
     }
 
+    /// The u64-wide ones'-complement sum equals the byte-at-a-time u16
+    /// oracle for arbitrary buffers, odd lengths and jumbo sizes
+    /// included (lengths up to the 9216-byte super-jumbo frame).
+    #[test]
+    fn wide_checksum_matches_scalar_oracle(
+        data in proptest::collection::vec(any::<u8>(), 0..9217),
+    ) {
+        prop_assert_eq!(
+            checksum::ones_complement_sum(&data),
+            checksum::ones_complement_sum_scalar(&data),
+        );
+    }
+
+    /// Splitting a buffer at an arbitrary point and combining the
+    /// partial sums — with the odd-offset byte swap — equals summing the
+    /// whole buffer: the invariant the merge engine's cached per-segment
+    /// payload sums rely on.
+    #[test]
+    fn partial_sum_combine_matches_whole(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        cut in any::<u16>(),
+    ) {
+        let pos = usize::from(cut) % (data.len() + 1);
+        let head = checksum::ones_complement_sum(&data[..pos]);
+        let tail = checksum::ones_complement_sum(&data[pos..]);
+        prop_assert_eq!(
+            checksum::combine_at_offset(head, tail, pos % 2 == 1),
+            checksum::ones_complement_sum(&data),
+        );
+    }
+
+    /// Aggregates emitted through the merge engine's cached-partial-sum
+    /// fast path carry IPv4 and TCP checksums identical to a
+    /// from-scratch recomputation over the merged bytes — odd segment
+    /// lengths included.
+    #[test]
+    fn merged_checksums_match_full_recompute(
+        seg_lens in proptest::collection::vec(1usize..1460, 2..12),
+    ) {
+        let mut merge = MergeEngine::new(MergeConfig {
+            imtu: 9000,
+            emtu: 1500,
+            hold_ns: 100_000,
+            table_capacity: 64,
+        });
+        let mut out = Vec::new();
+        let mut seq = 0u32;
+        for (i, &len) in seg_lens.iter().enumerate() {
+            let payload: Vec<u8> = (0..len).map(|j| ((i * 31 + j * 7) % 251) as u8).collect();
+            let repr = TcpRepr {
+                src_port: 8000,
+                dst_port: 80,
+                seq: SeqNum(seq),
+                ack: SeqNum(1),
+                flags: TcpFlags::ACK,
+                window: 1024,
+                options: vec![],
+            };
+            let seg = repr.build_segment(SRC, DST, &payload);
+            let pkt = Ipv4Repr::new(SRC, DST, IpProtocol::Tcp, seg.len())
+                .build_packet(&seg)
+                .unwrap();
+            seq = seq.wrapping_add(len as u32);
+            out.extend(merge.push((i as u64) * 1000, pkt));
+        }
+        out.extend(merge.flush_all());
+        prop_assert!(!out.is_empty());
+        for p in &out {
+            let ip = Ipv4Packet::new_checked(&p[..]).unwrap();
+            prop_assert!(ip.verify_checksum());
+            let tcp_bytes = ip.payload();
+            // Full recomputation with the scalar oracle: zero the stored
+            // checksum, sum pseudo-header + segment, compare fields.
+            let stored = u16::from_be_bytes([tcp_bytes[16], tcp_bytes[17]]);
+            let mut cleared = tcp_bytes.to_vec();
+            cleared[16] = 0;
+            cleared[17] = 0;
+            let expect = !checksum::combine(
+                checksum::pseudo_header_sum(ip.src(), ip.dst(), 6, cleared.len() as u16),
+                checksum::ones_complement_sum_scalar(&cleared),
+            );
+            prop_assert_eq!(stored, expect);
+        }
+    }
+
     /// RFC 1624 incremental checksum update matches full recomputation
     /// for arbitrary 16-bit word rewrites.
     #[test]
@@ -390,5 +475,22 @@ proptest! {
             prop_assert_eq!(covered, flipped.len());
             prop_assert!(inner.len() <= MAX_INNER);
         }
+    }
+}
+
+/// Exhaustive complement to `wide_checksum_matches_scalar_oracle`:
+/// *every* length from 0 through 9216 bytes (odd tails, every residue of
+/// the 8-byte wide words) over patterned non-repeating data.
+#[test]
+fn wide_checksum_matches_scalar_at_every_length() {
+    let data: Vec<u8> = (0..9216u32)
+        .map(|i| (i.wrapping_mul(167) >> 3) as u8)
+        .collect();
+    for len in 0..=data.len() {
+        assert_eq!(
+            checksum::ones_complement_sum(&data[..len]),
+            checksum::ones_complement_sum_scalar(&data[..len]),
+            "length {len}"
+        );
     }
 }

@@ -126,6 +126,11 @@ struct Settings {
     sample_size: usize,
     /// Target time for one calibrated sample.
     sample_target: Duration,
+    /// `--test` smoke mode: run every benchmark exactly once, unmeasured
+    /// (same contract as real criterion's `--test` flag; CI uses it to
+    /// prove bench targets still compile and run without paying for
+    /// calibration).
+    test_mode: bool,
 }
 
 impl Default for Settings {
@@ -133,6 +138,7 @@ impl Default for Settings {
         Settings {
             sample_size: 10,
             sample_target: Duration::from_millis(20),
+            test_mode: false,
         }
     }
 }
@@ -143,6 +149,16 @@ fn run_one<F: FnMut(&mut Bencher<'_>)>(
     throughput: Option<Throughput>,
     mut routine: F,
 ) {
+    if settings.test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+            _marker: std::marker::PhantomData,
+        };
+        routine(&mut b);
+        println!("{label:<48} test: ok");
+        return;
+    }
     // Calibrate the per-sample iteration count.
     let mut iters = 1u64;
     let per_iter_ns = loop {
@@ -248,19 +264,27 @@ impl BenchmarkGroup<'_> {
 #[derive(Default)]
 pub struct Criterion {
     unit: (),
+    test_mode: bool,
 }
 
 impl Criterion {
-    /// Accepted for API compatibility; CLI arguments are ignored.
-    pub fn configure_from_args(self) -> Self {
+    /// Reads the harness arguments. Only `--test` (run every benchmark
+    /// once, unmeasured) is honoured; everything else is ignored for
+    /// API compatibility.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
         self
     }
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = Settings {
+            test_mode: self.test_mode,
+            ..Settings::default()
+        };
         BenchmarkGroup {
             name: name.into(),
-            settings: Settings::default(),
+            settings,
             throughput: None,
             _parent: &mut self.unit,
         }
@@ -272,7 +296,11 @@ impl Criterion {
         name: &str,
         routine: F,
     ) -> &mut Self {
-        run_one(name, &Settings::default(), None, routine);
+        let settings = Settings {
+            test_mode: self.test_mode,
+            ..Settings::default()
+        };
+        run_one(name, &settings, None, routine);
         self
     }
 
