@@ -217,6 +217,24 @@ pub fn measure_engine(scale: Scale) -> Vec<EngineRow> {
     rows
 }
 
+/// Runs the `px-analyze` workspace check so the benchmark record can
+/// attest the datapath invariants held for the measured build. Returns
+/// `(files_checked, violation_count)`; the count must be 0 for a
+/// publishable record.
+pub fn static_analysis_counts() -> (usize, usize) {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    match px_analyze::run_check(&px_analyze::Config::default(), &root) {
+        Ok(report) => (report.files_checked, report.violations.len()),
+        // A walk failure (e.g. record regenerated outside the repo) is
+        // reported as an impossible violation count, never hidden.
+        Err(_) => (0, usize::MAX),
+    }
+}
+
 /// Renders the full report as pretty-printed JSON.
 pub fn render(scale: Scale, hot: &[HotLoopAllocs], engine: &[EngineRow]) -> String {
     let mut s = String::new();
@@ -240,6 +258,10 @@ pub fn render(scale: Scale, hot: &[HotLoopAllocs], engine: &[EngineRow]) -> Stri
         ));
     }
     s.push_str("  },\n");
+    let (files_checked, violations) = static_analysis_counts();
+    s.push_str(&format!(
+        "  \"static_analysis\": {{\"tool\": \"px-analyze\", \"files_checked\": {files_checked}, \"violation_count\": {violations}}},\n"
+    ));
     s.push_str("  \"engine\": [\n");
     for (i, r) in engine.iter().enumerate() {
         s.push_str(&format!(

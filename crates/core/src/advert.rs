@@ -54,10 +54,10 @@ impl ImtuAdvert {
             return Err(Error::Malformed);
         }
         Ok(ImtuAdvert {
-            asn: u32::from_be_bytes(data[4..8].try_into().unwrap()),
-            imtu: u32::from_be_bytes(data[8..12].try_into().unwrap()),
-            seq: u32::from_be_bytes(data[12..16].try_into().unwrap()),
-            ttl_secs: u16::from_be_bytes(data[16..18].try_into().unwrap()),
+            asn: px_wire::bytes::be32(data, 4),
+            imtu: px_wire::bytes::be32(data, 8),
+            seq: px_wire::bytes::be32(data, 12),
+            ttl_secs: px_wire::bytes::be16(data, 16),
         })
     }
 }

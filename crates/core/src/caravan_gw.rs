@@ -19,6 +19,7 @@
 
 use crate::flowtable::FlowTable;
 use px_sim::stats::SizeHistogram;
+use px_wire::bytes;
 use px_wire::caravan::{iter_bundle, MAX_INNER};
 use px_wire::checksum;
 use px_wire::ipv4::{Ipv4Packet, Ipv4Repr, CARAVAN_TOS};
@@ -70,6 +71,11 @@ pub struct CaravanStats {
     pub unbundled: u64,
     /// Inner datagrams restored on the outbound side.
     pub inner_out: u64,
+    /// Packets dropped because validation failed (corrupt caravan
+    /// bundles on the outbound side, or an inner datagram whose restored
+    /// header could not be emitted). Every input that produces no output
+    /// and leaves no pending state increments this counter.
+    pub dropped_malformed: u64,
     /// Output size distribution (inbound direction).
     pub out_sizes: SizeHistogram,
 }
@@ -173,29 +179,36 @@ impl CaravanEngine {
         // Outer UDP header into the headroom; checksum from the cached
         // bundle sum (the bundle bytes are not re-read).
         let udp_len = (px_wire::UDP_HEADER_LEN + p.bundle_len) as u16;
-        p.buf.push_front_zeroed(8).expect("pool headroom");
+        p.buf.push_front_zeroed(8);
         {
             let b = p.buf.as_mut_slice();
-            b[0..2].copy_from_slice(&p.src_port.to_be_bytes());
-            b[2..4].copy_from_slice(&p.dst_port.to_be_bytes());
-            b[4..6].copy_from_slice(&udp_len.to_be_bytes());
+            bytes::put_be16(b, 0, p.src_port);
+            bytes::put_be16(b, 2, p.dst_port);
+            bytes::put_be16(b, 4, udp_len);
             let pseudo = checksum::pseudo_header_sum(p.src, p.dst, IpProtocol::Udp.into(), udp_len);
-            let header_sum = checksum::ones_complement_sum(&b[..8]);
+            let header_sum = checksum::ones_complement_sum(bytes::range_to(b, 8));
             let mut ck = !checksum::combine(pseudo, checksum::combine(header_sum, p.bundle_sum));
             if ck == 0 {
                 ck = 0xFFFF; // RFC 768: computed 0 is transmitted as all-ones
             }
-            b[6..8].copy_from_slice(&ck.to_be_bytes());
+            bytes::put_be16(b, 6, ck);
         }
         // Outer IP header in front of that.
-        p.buf.push_front_zeroed(20).expect("pool headroom");
+        p.buf.push_front_zeroed(20);
         let mut ip = Ipv4Repr::new(p.src, p.dst, IpProtocol::Udp, usize::from(udp_len));
         ip.tos = CARAVAN_TOS;
         ip.ident = self.out_ident;
         self.out_ident = self.out_ident.wrapping_add(1);
-        {
+        let emit_ok = {
             let mut v = Ipv4Packet::new_unchecked(p.buf.as_mut_slice());
-            ip.emit(&mut v).expect("within IP limits");
+            ip.emit(&mut v).is_ok()
+        };
+        if !emit_ok {
+            // A bundle the outer header cannot describe (cannot happen
+            // for bundles within the iMTU budget): drop and account.
+            self.stats.dropped_malformed += 1;
+            self.pool.put(p.buf);
+            return;
         }
         self.stats.caravans_out += 1;
         self.stats.out_sizes.record(p.buf.len());
@@ -227,7 +240,7 @@ impl CaravanEngine {
                 udp.src_port(),
                 udp.dst_port(),
                 ip_hlen,
-                &pkt[ip_hlen..ip_hlen + udp.length()],
+                bytes::range(pkt, ip_hlen, ip_hlen + udp.length()),
             ))
         })();
         let Some((key, ip_id, src, dst, sport, dport, ip_hlen, dgram)) = parsed else {
@@ -247,15 +260,21 @@ impl CaravanEngine {
         if let Some(p) = self.table.get_mut(&key) {
             let id_ok = !require_id || ip_id == p.next_ip_id;
             let fits = p.count < MAX_INNER && p.bundle_len + dgram.len() <= budget;
-            if id_ok && fits {
-                if p.count == 1 {
-                    // Convert the stored original packet into bundle
-                    // bytes: strip the IP header in place, drop anything
-                    // past the first datagram.
-                    let hlen = usize::from(p.ip_hlen);
-                    p.buf.advance(hlen).expect("header within packet");
-                    p.buf.truncate(p.bundle_len);
-                }
+            let convert_ok = if id_ok && fits && p.count == 1 {
+                // Convert the stored original packet into bundle bytes:
+                // strip the IP header in place, drop anything past the
+                // first datagram. A failed strip (header longer than the
+                // stored packet — impossible for a validated packet)
+                // leaves the original intact for the flush path below.
+                let hlen = usize::from(p.ip_hlen);
+                p.buf
+                    .advance(hlen)
+                    .map(|()| p.buf.truncate(p.bundle_len))
+                    .is_ok()
+            } else {
+                true
+            };
+            if id_ok && fits && convert_ok {
                 p.bundle_sum = checksum::combine_at_offset(
                     p.bundle_sum,
                     checksum::ones_complement_sum(dgram),
@@ -274,8 +293,9 @@ impl CaravanEngine {
             }
         }
         if extended {
-            let p = self.table.remove(&key).expect("present");
-            self.emit_pending(p, sink);
+            if let Some(p) = self.table.remove(&key) {
+                self.emit_pending(p, sink);
+            }
             return;
         }
         if let Some(p) = self.table.remove(&key) {
@@ -318,7 +338,11 @@ impl CaravanEngine {
             UdpDatagram::new_checked(ip.payload()).ok()?;
             let ip_hlen = ip.header_len();
             let bundle_at = ip_hlen + px_wire::UDP_HEADER_LEN;
-            Some((ip.src(), ip.dst(), &pkt[bundle_at..ip.total_len()]))
+            Some((
+                ip.src(),
+                ip.dst(),
+                bytes::range(pkt, bundle_at, ip.total_len()),
+            ))
         })();
         let Some((src, dst, bundle)) = parsed else {
             let mut buf = self.pool.get();
@@ -331,16 +355,17 @@ impl CaravanEngine {
         // Validate the whole bundle first: a corrupt bundle is dropped in
         // full rather than partially forwarded as garbage.
         if iter_bundle(bundle).any(|r| r.is_err()) {
+            self.stats.dropped_malformed += 1;
             return;
         }
         self.stats.unbundled += 1;
-        for dg in iter_bundle(bundle).map(|r| r.expect("validated")) {
+        for dg in iter_bundle(bundle).filter_map(|r| r.ok()) {
             let mut ip = Ipv4Repr::new(src, dst, IpProtocol::Udp, dg.len());
             ip.ident = self.out_ident;
             self.out_ident = self.out_ident.wrapping_add(1);
             let mut buf = self.pool.get();
             buf.extend_from_slice(dg);
-            buf.push_front_zeroed(20).expect("pool headroom");
+            buf.push_front_zeroed(20);
             let ok = {
                 let mut v = Ipv4Packet::new_unchecked(buf.as_mut_slice());
                 ip.emit(&mut v).is_ok()
@@ -351,6 +376,7 @@ impl CaravanEngine {
                     self.pool.put(b);
                 }
             } else {
+                self.stats.dropped_malformed += 1;
                 self.pool.put(buf);
             }
         }

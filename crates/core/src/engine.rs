@@ -124,6 +124,17 @@ impl CoreEngine {
         self.finish_into(&mut sink);
         sink.into_pkts()
     }
+
+    /// Packets this engine dropped because validation failed (malformed
+    /// headers, corrupt caravan bundles). The merge engine never drops —
+    /// unmergeable or corrupt segments pass through for the endpoints to
+    /// judge — so only the caravan engine contributes here.
+    pub fn dropped_malformed(&self) -> u64 {
+        match self {
+            CoreEngine::Baseline(_) | CoreEngine::Merge(_) => 0,
+            CoreEngine::Caravan(c) => c.stats.dropped_malformed,
+        }
+    }
 }
 
 /// How the engine schedules its per-core workers.
@@ -330,6 +341,7 @@ impl Worker {
             inband: false,
         };
         self.engine.finish_into(&mut acct);
+        self.counters.dropped_malformed = self.engine.dropped_malformed();
     }
 }
 
@@ -456,13 +468,17 @@ fn run_parallel(
     for _ in 0..max_rounds {
         for (core, q) in queues.iter_mut().enumerate() {
             if let Some(batch) = q.next() {
+                // px-analyze: allow(R1, reason = "run orchestration, not datapath: a send can only fail if a worker thread already panicked")
+                #[allow(clippy::expect_used)]
                 senders[core].send(batch).expect("worker alive");
             }
         }
     }
     drop(senders);
+    #[allow(clippy::expect_used)]
     let digests: Vec<_> = handles
         .into_iter()
+        // px-analyze: allow(R1, reason = "run teardown, not datapath: join propagates a worker panic to the harness")
         .map(|h| h.join().expect("worker must not panic"))
         .collect();
     (start.elapsed().as_nanos() as u64, digests)

@@ -70,12 +70,12 @@ impl Hasher for FlowHasher {
     #[inline]
     fn write(&mut self, mut bytes: &[u8]) {
         while bytes.len() >= 8 {
-            self.add(u64::from_le_bytes(bytes[..8].try_into().unwrap()));
-            bytes = &bytes[8..];
+            self.add(px_wire::bytes::le64(bytes, 0));
+            bytes = px_wire::bytes::range_from(bytes, 8);
         }
         if !bytes.is_empty() {
             let mut w = [0u8; 8];
-            w[..bytes.len()].copy_from_slice(bytes);
+            px_wire::bytes::put(&mut w, 0, bytes);
             self.add(u64::from_le_bytes(w));
         }
     }
@@ -262,7 +262,7 @@ impl<V> FlowTable<V> {
             let victim = self.lru_head;
             debug_assert_ne!(victim, NIL);
             self.evictions += 1;
-            Some(self.detach(victim))
+            self.detach(victim)
         } else {
             None
         };
@@ -275,7 +275,10 @@ impl<V> FlowTable<V> {
                 idx
             }
             None => {
-                let idx = u32::try_from(self.slots.len()).expect("slot index fits u32");
+                // The slot count is bounded by the table capacity, far
+                // below u32::MAX, so the narrowing cast cannot truncate.
+                debug_assert!(self.slots.len() < u32::MAX as usize);
+                let idx = self.slots.len() as u32;
                 self.slots.push(Slot {
                     key,
                     value: Some(value),
@@ -296,23 +299,25 @@ impl<V> FlowTable<V> {
         evicted
     }
 
-    /// Vacates `idx` (which must be occupied): unlinks it, frees the
-    /// slot, removes the map entry, and returns the key and value.
-    fn detach(&mut self, idx: u32) -> (FlowKey, V) {
+    /// Vacates `idx`: unlinks it, frees the slot, removes the map entry,
+    /// and returns the key and value. `None` if the slot was not
+    /// occupied (a caller bug — every call site passes a live index, and
+    /// the vacant case degrades to a no-op rather than a panic).
+    fn detach(&mut self, idx: u32) -> Option<(FlowKey, V)> {
         self.lru_unlink(idx);
-        let slot = &mut self.slots[idx as usize];
+        let slot = self.slots.get_mut(idx as usize)?;
         let key = slot.key;
-        let value = slot.value.take().expect("detach of occupied slot");
+        let value = slot.value.take()?;
         slot.gen = slot.gen.wrapping_add(1);
         self.free_slots.push(idx);
         self.map.remove(&key);
-        (key, value)
+        Some((key, value))
     }
 
     /// Removes a flow, returning its state.
     pub fn remove(&mut self, key: &FlowKey) -> Option<V> {
         let idx = *self.map.get(key)?;
-        Some(self.detach(idx).1)
+        self.detach(idx).map(|(_, v)| v)
     }
 
     /// Removes and returns the entry with the earliest armed deadline
@@ -329,7 +334,7 @@ impl<V> FlowTable<V> {
                 return None;
             }
             self.expiry.pop();
-            return Some(self.detach(idx));
+            return self.detach(idx);
         }
         None
     }
@@ -387,7 +392,10 @@ impl<V> FlowTable<V> {
                 s.value.as_ref().is_some_and(|v| pred(&s.key, v))
             })
             .collect();
-        matching.into_iter().map(|i| self.detach(i)).collect()
+        matching
+            .into_iter()
+            .filter_map(|i| self.detach(i))
+            .collect()
     }
 
     /// The tracked keys from least to most recently used — a test and

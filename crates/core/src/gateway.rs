@@ -165,12 +165,13 @@ impl PxGateway {
         // picks it up off the shared border link.
         let src = Ipv4Addr::new(169, 254, (asn >> 8) as u8, asn as u8);
         let dst = Ipv4Addr::new(255, 255, 255, 255);
-        let dg = UdpRepr {
+        let Ok(dg) = UdpRepr {
             src_port: ADVERT_PORT,
             dst_port: ADVERT_PORT,
         }
-        .build_datagram(src, dst, &advert.to_bytes())
-        .expect("small");
+        .build_datagram(src, dst, &advert.to_bytes()) else {
+            return;
+        };
         let ip = Ipv4Repr::new(src, dst, IpProtocol::Udp, dg.len());
         if let Ok(pkt) = ip.build_packet(&dg) {
             ctx.send(EXTERNAL_PORT, PacketBuf::from_payload(&pkt));

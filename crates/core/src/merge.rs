@@ -43,6 +43,7 @@
 use crate::flowtable::FlowTable;
 use px_sim::nic::flow_key_of;
 use px_sim::stats::SizeHistogram;
+use px_wire::bytes;
 use px_wire::checksum;
 use px_wire::ipv4::Ipv4Packet;
 use px_wire::pool::{BufPool, PacketSink, PoolStats, VecSink};
@@ -249,8 +250,8 @@ impl MergeEngine {
         }
         let seg = ip.payload();
         let tcp_hlen = tcp.header_len();
-        let header_sum = checksum::ones_complement_sum(&seg[..tcp_hlen]);
-        let payload_sum = checksum::ones_complement_sum(&seg[tcp_hlen..]);
+        let header_sum = checksum::ones_complement_sum(bytes::range_to(seg, tcp_hlen));
+        let payload_sum = checksum::ones_complement_sum(bytes::range_from(seg, tcp_hlen));
         let pseudo = checksum::pseudo_header_sum(
             ip.src(),
             ip.dst(),
@@ -281,8 +282,8 @@ impl MergeEngine {
         let b_ip = meta.ip_hlen;
         // Same ToS, ACK number, and window (pure in-order continuation).
         if a[1] != pkt[1]
-            || a[a_ip + 8..a_ip + 12] != pkt[b_ip + 8..b_ip + 12]
-            || a[a_ip + 14..a_ip + 16] != pkt[b_ip + 14..b_ip + 16]
+            || bytes::range(a, a_ip + 8, a_ip + 12) != bytes::range(pkt, b_ip + 8, b_ip + 12)
+            || bytes::range(a, a_ip + 14, a_ip + 16) != bytes::range(pkt, b_ip + 14, b_ip + 16)
         {
             return false;
         }
@@ -293,8 +294,8 @@ impl MergeEngine {
         // Identical TCP option layout (kinds and lengths; values may
         // differ — the aggregate keeps its own options, as Linux GRO
         // does).
-        let a_opts = &a[a_ip + 20..a_ip + usize::from(pending.tcp_hlen)];
-        let b_opts = &pkt[b_ip + 20..b_ip + meta.tcp_hlen];
+        let a_opts = bytes::range(a, a_ip + 20, a_ip + usize::from(pending.tcp_hlen));
+        let b_opts = bytes::range(pkt, b_ip + 20, b_ip + meta.tcp_hlen);
         if !options_layout_compatible(a_opts, b_opts) {
             return false;
         }
@@ -312,7 +313,7 @@ impl MergeEngine {
             // padding) before growing the aggregate.
             pending.buf.truncate(pending.total_len());
         }
-        let payload = &pkt[meta.ip_hlen + meta.tcp_hlen..meta.total_len];
+        let payload = bytes::range(pkt, meta.ip_hlen + meta.tcp_hlen, meta.total_len);
         pending.payload_sum = checksum::combine_at_offset(
             pending.payload_sum,
             meta.payload_sum,
@@ -345,12 +346,13 @@ impl MergeEngine {
                 (src, dst) = (ip.src(), ip.dst());
             }
             let seg_len = (total - ip_hlen) as u16;
-            let seg = &mut p.buf.as_mut_slice()[ip_hlen..];
-            seg[16..18].copy_from_slice(&[0, 0]);
-            let header_sum = checksum::ones_complement_sum(&seg[..usize::from(p.tcp_hlen)]);
+            let seg = bytes::range_from_mut(p.buf.as_mut_slice(), ip_hlen);
+            bytes::put_be16(seg, 16, 0);
+            let header_sum =
+                checksum::ones_complement_sum(bytes::range_to(seg, usize::from(p.tcp_hlen)));
             let pseudo = checksum::pseudo_header_sum(src, dst, IpProtocol::Tcp.into(), seg_len);
             let ck = !checksum::combine(pseudo, checksum::combine(header_sum, p.payload_sum));
-            seg[16..18].copy_from_slice(&ck.to_be_bytes());
+            bytes::put_be16(seg, 16, ck);
         }
         self.emit(p.buf, sink);
     }
@@ -411,17 +413,19 @@ impl MergeEngine {
         };
         match had {
             HadPending::Appended { full: true } => {
-                let p = self.table.remove(&key).expect("pending present");
-                self.stats.flush_full += 1;
-                self.finalize_emit(p, sink);
+                if let Some(p) = self.table.remove(&key) {
+                    self.stats.flush_full += 1;
+                    self.finalize_emit(p, sink);
+                }
                 return;
             }
             HadPending::Appended { full: false } => return,
             HadPending::Incompatible => {
                 // Not contiguous (reorder/retransmit): flush, start anew.
-                let p = self.table.remove(&key).expect("pending present");
-                self.stats.flush_order += 1;
-                self.finalize_emit(p, sink);
+                if let Some(p) = self.table.remove(&key) {
+                    self.stats.flush_order += 1;
+                    self.finalize_emit(p, sink);
+                }
             }
             HadPending::None => {}
         }

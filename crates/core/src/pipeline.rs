@@ -175,6 +175,10 @@ impl TraceGen {
         }
     }
 
+    // Workload generation, not datapath: payload sizes are computed from
+    // the configured eMTU, so the builders cannot fail; a panic here is a
+    // harness bug, not a gateway robustness issue.
+    #[allow(clippy::expect_used)]
     fn build_pkt(&mut self, flow_idx: usize) -> Vec<u8> {
         let emtu = self.emtu;
         let f = &mut self.flows[flow_idx];

@@ -44,6 +44,10 @@ pub struct SplitStats {
     /// counts these; a correctly configured b-network produces none for
     /// TCP because MSS rewriting bounds segment sizes).
     pub dropped_df: u64,
+    /// Oversize packets dropped because they could not be parsed or
+    /// re-segmented (malformed headers). Every input that produces no
+    /// output increments exactly one of the dropped counters.
+    pub dropped_malformed: u64,
     /// Output size distribution.
     pub out_sizes: SizeHistogram,
 }
@@ -96,7 +100,7 @@ impl SplitEngine {
         }
         let Ok(ip) = Ipv4Packet::new_checked(pkt) else {
             // Unparseable oversize packet: drop.
-            self.stats.dropped_df += 1;
+            self.stats.dropped_malformed += 1;
             return;
         };
         let mut recorded = RecordingSink {
@@ -110,7 +114,8 @@ impl SplitEngine {
                     self.stats.segments_out += n as u64;
                 }
                 Err(_) => {
-                    self.stats.dropped_df += 1;
+                    // A jumbo TCP packet the TSO splitter cannot parse.
+                    self.stats.dropped_malformed += 1;
                 }
             },
             _ => match fragment_into(pkt, mtu, &mut self.pool, &mut recorded) {

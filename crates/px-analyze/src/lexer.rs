@@ -1,0 +1,400 @@
+//! A hand-rolled, lossless-enough Rust lexer for static analysis.
+//!
+//! This is not a compiler front end: it produces exactly the token
+//! stream the rules in [`crate::rules`] need — identifiers, punctuation,
+//! comments (with their text, so `// SAFETY:` and waiver comments can be
+//! recognised), and opaque literals — with correct line numbers. The
+//! hard part it does take seriously is *what is code and what is not*:
+//!
+//! * string literals, including raw strings `r#"…"#` with any number of
+//!   `#`s, byte strings, and escape sequences;
+//! * block comments with arbitrary nesting (`/* /* */ */`);
+//! * lifetimes vs char literals (`'a` vs `'a'` vs `'\''`).
+//!
+//! An `unwrap` inside a doc comment or a string must never be reported,
+//! and one hidden behind a raw string delimiter must never be missed.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`unwrap`, `unsafe`, `fn`, …).
+    Ident(String),
+    /// A lifetime such as `'a` (distinct from a char literal).
+    Lifetime(String),
+    /// A single punctuation character (`.`, `[`, `!`, …).
+    Punct(char),
+    /// The `..` token (also emitted for the `..` of `..=` and `...`).
+    DotDot,
+    /// A `//…` comment; the text excludes the leading slashes.
+    LineComment(String),
+    /// A `/*…*/` comment (possibly nested); the text excludes the
+    /// delimiters. The token's `line` is the line the comment *ends* on.
+    BlockComment(String),
+    /// Any string, byte-string, or char literal (content discarded).
+    Literal,
+    /// A numeric literal (content discarded).
+    Num,
+}
+
+/// A token plus the 1-indexed line it appears on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: Tok,
+    /// 1-indexed source line (for multi-line block comments, the line
+    /// the comment ends on — the line adjacency rules care about).
+    pub line: u32,
+}
+
+/// Lexes `src` into a token stream. Unterminated constructs (string,
+/// block comment) consume the rest of the input rather than erroring:
+/// the analyzer's job is to look at real, compiling code.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Counts newlines in b[from..to] into `line`.
+    fn count_lines(b: &[u8], from: usize, to: usize, line: &mut u32) {
+        for &c in b.iter().take(to).skip(from) {
+            if c == b'\n' {
+                *line += 1;
+            }
+        }
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                let text = String::from_utf8_lossy(&b[start..j]).into_owned();
+                toks.push(Token {
+                    kind: Tok::LineComment(text),
+                    line,
+                });
+                i = j;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end_text = j.saturating_sub(2).max(start);
+                count_lines(b, i, j, &mut line);
+                let text = String::from_utf8_lossy(&b[start..end_text]).into_owned();
+                toks.push(Token {
+                    kind: Tok::BlockComment(text),
+                    line,
+                });
+                i = j;
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                toks.push(Token {
+                    kind: Tok::Literal,
+                    line,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_string(b, i) => {
+                let lit_line = line;
+                i = skip_prefixed_literal(b, i, &mut line);
+                toks.push(Token {
+                    kind: Tok::Literal,
+                    line: lit_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime or char literal. A lifetime is `'` followed by
+                // an identifier NOT closed by another `'` (`'a'` is a
+                // char, `'a` is a lifetime; `'\n'` is always a char).
+                if is_lifetime(b, i) {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    let name = String::from_utf8_lossy(&b[i + 1..j]).into_owned();
+                    toks.push(Token {
+                        kind: Tok::Lifetime(name),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    i = skip_char_literal(b, i, &mut line);
+                    toks.push(Token {
+                        kind: Tok::Literal,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                let name = String::from_utf8_lossy(&b[i..j]).into_owned();
+                toks.push(Token {
+                    kind: Tok::Ident(name),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len() {
+                    let d = b[j];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        j += 1;
+                    } else if d == b'.'
+                        && b.get(j + 1) != Some(&b'.')
+                        && b.get(j + 1).is_some_and(u8::is_ascii_digit)
+                    {
+                        // `1.5` continues the number; `1..5` does not.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Token {
+                    kind: Tok::Num,
+                    line,
+                });
+                i = j;
+            }
+            b'.' if b.get(i + 1) == Some(&b'.') => {
+                toks.push(Token {
+                    kind: Tok::DotDot,
+                    line,
+                });
+                i += 2;
+                if b.get(i) == Some(&b'=') || b.get(i) == Some(&b'.') {
+                    i += 1; // swallow the `=` of `..=` / third dot of `...`
+                }
+            }
+            _ => {
+                toks.push(Token {
+                    kind: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Whether `b[i..]` starts a raw/byte string (`r"`, `r#`, `b"`, `br`,
+/// `b'`) rather than an identifier beginning with `r`/`b`.
+fn starts_raw_or_string(b: &[u8], i: usize) -> bool {
+    matches!(
+        &b[i..],
+        [b'r', b'"', ..]
+            | [b'r', b'#', ..]
+            | [b'b', b'"', ..]
+            | [b'b', b'\'', ..]
+            | [b'b', b'r', b'"', ..]
+            | [b'b', b'r', b'#', ..]
+    )
+}
+
+/// Skips a literal that starts with an `r`/`b`/`br` prefix at `i`;
+/// returns the index just past it.
+fn skip_prefixed_literal(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    // Consume the prefix letters.
+    while i < b.len() && (b[i] == b'r' || b[i] == b'b') {
+        // `b'x'` byte char: delegate to the char skipper.
+        if b[i] == b'b' && b.get(i + 1) == Some(&b'\'') {
+            return skip_char_literal(b, i + 1, line);
+        }
+        if b.get(i + 1) == Some(&b'"') || b.get(i + 1) == Some(&b'#') {
+            i += 1;
+            break;
+        }
+        i += 1;
+    }
+    if b.get(i) == Some(&b'#') || (i > 0 && b[i - 1] == b'r' && b.get(i) == Some(&b'"')) {
+        // Raw string: count the `#`s, then scan for `"` + that many `#`s.
+        let mut hashes = 0usize;
+        while b.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        loop {
+            if i >= b.len() {
+                return i;
+            }
+            if b[i] == b'\n' {
+                *line += 1;
+            }
+            if b[i] == b'"' {
+                let mut k = 0usize;
+                while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return i + 1 + hashes;
+                }
+            }
+            i += 1;
+        }
+    }
+    // Plain (byte) string.
+    skip_string(b, i, line)
+}
+
+/// Skips a `"…"` string starting at the opening quote index; returns the
+/// index just past the closing quote.
+fn skip_string(b: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a `'…'` char literal starting at the opening quote; returns the
+/// index just past the closing quote.
+fn skip_char_literal(b: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Whether the `'` at `i` begins a lifetime (vs a char literal).
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    let Some(&first) = b.get(i + 1) else {
+        return false;
+    };
+    if !(first.is_ascii_alphabetic() || first == b'_') {
+        return false; // `'\n'`, `'0'`… are chars
+    }
+    // Scan the identifier; a closing `'` right after makes it a char
+    // literal ('a'), anything else a lifetime ('a, 'static).
+    let mut j = i + 1;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    b.get(j) != Some(&b'\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let src = r#"let s = "x.unwrap()"; s.len();"#;
+        assert_eq!(idents(src), ["let", "s", "s", "len"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"quote " and .unwrap()"#; done();"##;
+        assert_eq!(idents(src), ["let", "s", "done"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner .unwrap() */ still comment */ code()";
+        let toks = lex(src);
+        assert!(matches!(toks[0].kind, Tok::BlockComment(_)));
+        assert_eq!(idents(src), ["code"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|t| matches!(t.kind, Tok::Lifetime(_)))
+            .count();
+        let chars = toks
+            .iter()
+            .filter(|t| matches!(t.kind, Tok::Literal))
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn line_numbers_advance_through_multiline_tokens() {
+        let src = "a\n/* one\ntwo */\nb\n\"x\ny\"\nc";
+        let toks = lex(src);
+        let find = |name: &str| {
+            toks.iter()
+                .find(|t| t.kind == Tok::Ident(name.into()))
+                .map(|t| t.line)
+        };
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("c"), Some(7));
+    }
+
+    #[test]
+    fn dotdot_is_one_token_and_numbers_split_around_it() {
+        let toks = lex("x[1..20]; y[a..=b]; z[..];");
+        let dd = toks.iter().filter(|t| t.kind == Tok::DotDot).count();
+        assert_eq!(dd, 3);
+    }
+
+    #[test]
+    fn byte_char_with_escaped_quote() {
+        assert_eq!(idents(r"let q = b'\''; next()"), ["let", "q", "next"]);
+    }
+
+    #[test]
+    fn line_comment_text_captured() {
+        let toks = lex("// SAFETY: fine\nunsafe {}");
+        assert_eq!(toks[0].kind, Tok::LineComment(" SAFETY: fine".into()));
+        assert_eq!(toks[1].kind, Tok::Ident("unsafe".into()));
+    }
+}

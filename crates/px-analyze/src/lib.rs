@@ -1,0 +1,209 @@
+//! # px-analyze — workspace datapath-invariant checker
+//!
+//! A self-contained static analyzer (no external dependencies, no
+//! syn/proc-macro machinery) that walks every Rust source file in the
+//! PacketExpress workspace and enforces the four datapath invariants
+//! documented in `DESIGN.md`:
+//!
+//! * **R1 panic-freedom** — hot-path modules contain no `unwrap`,
+//!   `expect`, `panic!`-family macros, or panicking range slicing.
+//! * **R2 unsafe hygiene** — every `unsafe` is immediately preceded by a
+//!   `// SAFETY:` comment.
+//! * **R3 alloc discipline** — functions on the `PacketSink` emission
+//!   paths perform no heap allocation.
+//! * **R4 lint-config conformance** — every crate root carries the agreed
+//!   `#![forbid(unsafe_code)]`-class preamble and opts into
+//!   `[workspace.lints]`.
+//!
+//! Run it with `cargo run -p px-analyze -- check` (add `--format json`
+//! for machine-readable output). Violations print as
+//! `file:line:rule: message` and a non-zero exit code.
+//!
+//! Intentional exceptions are waived inline:
+//!
+//! ```text
+//! // px-analyze: allow(R1, reason = "cold teardown, join propagates worker panics")
+//! ```
+//!
+//! Waivers require a reason and are themselves linted: an unused waiver
+//! is an error, so the waiver list can never rot.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{Config, Rule, Violation};
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Result of one full workspace check.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of `.rs` files analyzed.
+    pub files_checked: usize,
+    /// All violations, in walk order.
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// Whether the workspace is clean.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the report as a JSON object (hand-rolled; the crate has no
+    /// dependencies). Stable key order: tool, files_checked, violations.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"tool\": \"px-analyze\",\n");
+        out.push_str(&format!("  \"files_checked\": {},\n", self.files_checked));
+        out.push_str(&format!(
+            "  \"violation_count\": {},\n",
+            self.violations.len()
+        ));
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"file\": \"{}\", ", json_escape(&v.file)));
+            out.push_str(&format!("\"line\": {}, ", v.line));
+            out.push_str(&format!(
+                "\"rule\": \"{}\", ",
+                v.rule.map_or("WAIVER", Rule::name)
+            ));
+            out.push_str(&format!("\"message\": \"{}\"", json_escape(&v.message)));
+            out.push('}');
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "vendor"];
+
+/// Path fragments excluded from the walk: the analyzer's own test
+/// fixtures are intentionally in violation.
+const SKIP_PATHS: &[&str] = &["crates/px-analyze/tests/fixtures"];
+
+/// Runs the full workspace check rooted at `root` (the directory holding
+/// the workspace `Cargo.toml`).
+pub fn run_check(cfg: &Config, root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut files_checked = 0usize;
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        files_checked += 1;
+        violations.extend(rules::check_source(cfg, &rel_str, &src));
+        if is_crate_root(&rel_str) {
+            violations.extend(check_r4(root, &rel_str, &src));
+        }
+    }
+    Ok(Report {
+        files_checked,
+        violations,
+    })
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if SKIP_PATHS.iter().any(|p| rel_str.starts_with(p)) {
+            continue;
+        }
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Whether this workspace-relative path is a crate root (`src/lib.rs` of
+/// the root package or of a `crates/*` member).
+fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs" || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs"))
+}
+
+/// R4: crate-root preamble + Cargo.toml `[lints] workspace = true`.
+fn check_r4(root: &Path, rel: &str, src: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if rules::has_r4_waiver(src) {
+        return out;
+    }
+    let has_unsafe_gate =
+        src.contains("#![forbid(unsafe_code)]") || src.contains("#![deny(unsafe_code)]");
+    if !has_unsafe_gate {
+        out.push(Violation {
+            file: rel.into(),
+            line: 1,
+            rule: Some(Rule::R4),
+            message: "crate root lacks `#![forbid(unsafe_code)]` (or `#![deny(unsafe_code)]`)"
+                .into(),
+        });
+    }
+    if !src.contains("#![warn(missing_docs)]") {
+        out.push(Violation {
+            file: rel.into(),
+            line: 1,
+            rule: Some(Rule::R4),
+            message: "crate root lacks `#![warn(missing_docs)]`".into(),
+        });
+    }
+    // The matching Cargo.toml sits two levels up from src/lib.rs.
+    let manifest_rel = rel.trim_end_matches("src/lib.rs").to_string() + "Cargo.toml";
+    let manifest = fs::read_to_string(root.join(&manifest_rel)).unwrap_or_default();
+    let has_workspace_lints = manifest.split("[lints]").nth(1).is_some_and(|after| {
+        after
+            .lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty())
+            .is_some_and(|l| l.replace(' ', "") == "workspace=true")
+    });
+    if !has_workspace_lints {
+        out.push(Violation {
+            file: manifest_rel,
+            line: 1,
+            rule: Some(Rule::R4),
+            message: "crate manifest lacks `[lints] workspace = true`".into(),
+        });
+    }
+    out
+}

@@ -1,0 +1,98 @@
+//! CLI for the px-analyze workspace checker.
+//!
+//! ```text
+//! cargo run -p px-analyze -- check                # human-readable
+//! cargo run -p px-analyze -- check --format json  # machine-readable
+//! ```
+//!
+//! Exit code 0 when clean, 1 when violations were found, 2 on usage or
+//! I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // When run via `cargo run -p px-analyze`, the manifest dir is
+    // crates/px-analyze; the workspace root is two levels up. Fall back
+    // to the current directory for a standalone binary invocation.
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(dir);
+        if let Some(root) = p.ancestors().nth(2) {
+            if root.join("Cargo.toml").exists() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut format = "text".to_string();
+    let mut root = workspace_root();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" => cmd = Some("check"),
+            "--format" => match it.next() {
+                Some(f) if f == "json" || f == "text" => format = f.clone(),
+                _ => {
+                    eprintln!("px-analyze: --format takes `text` or `json`");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(r) => root = PathBuf::from(r),
+                None => {
+                    eprintln!("px-analyze: --root takes a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: px-analyze check [--format text|json] [--root DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("px-analyze: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if cmd != Some("check") {
+        eprintln!("usage: px-analyze check [--format text|json] [--root DIR]");
+        return ExitCode::from(2);
+    }
+
+    let cfg = px_analyze::Config::default();
+    let report = match px_analyze::run_check(&cfg, &root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("px-analyze: I/O error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if format == "json" {
+        print!("{}", report.to_json());
+    } else {
+        for v in &report.violations {
+            println!("{}", v.render());
+        }
+        println!(
+            "px-analyze: {} file(s) checked, {} violation(s)",
+            report.files_checked,
+            report.violations.len()
+        );
+    }
+
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,645 @@
+//! The four datapath-invariant rules and the waiver machinery.
+//!
+//! | Rule | Scope | What it rejects |
+//! |------|-------|-----------------|
+//! | R1   | hot-path modules | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` and panicking range slicing `b[a..c]` |
+//! | R2   | every workspace file | `unsafe` not immediately preceded by a `// SAFETY:` comment |
+//! | R3   | hot-path emission functions | allocation (`Vec::new`, `vec!`, `Box::new`, `to_vec`, `clone`, `String` construction, `format!`) |
+//! | R4   | crate roots | missing `#![forbid(unsafe_code)]`-class preamble or `[lints] workspace = true` |
+//!
+//! Code under `#[cfg(test)]` is exempt from R1/R3 (tests may unwrap).
+//! Intentional exceptions elsewhere use inline waivers:
+//!
+//! ```text
+//! // px-analyze: allow(R1, reason = "cold teardown, join propagates worker panics")
+//! ```
+//!
+//! A waiver covers its own line and the next code line, must carry a
+//! non-empty reason, and is itself an error if it never fires.
+
+use crate::lexer::{lex, Tok, Token};
+
+/// A rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Panic-freedom in hot-path modules.
+    R1,
+    /// `// SAFETY:` comment on every `unsafe`.
+    R2,
+    /// Alloc discipline in emission-path functions.
+    R3,
+    /// Crate-root lint preamble conformance.
+    R4,
+}
+
+impl Rule {
+    /// The rule's display name (`R1`…`R4`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::R1 => "R1",
+            Rule::R2 => "R2",
+            Rule::R3 => "R3",
+            Rule::R4 => "R4",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Rule> {
+        match s.trim() {
+            "R1" => Some(Rule::R1),
+            "R2" => Some(Rule::R2),
+            "R3" => Some(Rule::R3),
+            "R4" => Some(Rule::R4),
+            _ => None,
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// The rule violated (`None` for waiver-hygiene errors, reported
+    /// under the pseudo-rule `WAIVER`).
+    pub rule: Option<Rule>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Violation {
+    /// The `file:line:rule: message` form the CLI prints.
+    pub fn render(&self) -> String {
+        let rule = self.rule.map_or("WAIVER", Rule::name);
+        format!("{}:{}:{}: {}", self.file, self.line, rule, self.message)
+    }
+}
+
+/// Analyzer configuration: which modules each rule bites on.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Path suffixes (workspace-relative) of R1 hot-path modules.
+    pub r1_modules: Vec<&'static str>,
+    /// Path suffixes of R3 alloc-discipline modules (R1 minus the
+    /// deliberately allocating baseline).
+    pub r3_modules: Vec<&'static str>,
+    /// Function names that form the `PacketSink` emission paths; R3
+    /// applies inside these plus any function ending in `_into`.
+    pub emission_fns: Vec<&'static str>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            r1_modules: vec![
+                "crates/core/src/merge.rs",
+                "crates/core/src/split.rs",
+                "crates/core/src/caravan_gw.rs",
+                "crates/core/src/engine.rs",
+                "crates/core/src/flowtable.rs",
+                "crates/core/src/baseline.rs",
+                "crates/px-wire/src/tcp.rs",
+                "crates/px-wire/src/udp.rs",
+                "crates/px-wire/src/ipv4.rs",
+                "crates/px-wire/src/frag.rs",
+                "crates/px-wire/src/caravan.rs",
+                "crates/px-wire/src/checksum.rs",
+                "crates/px-wire/src/buffer.rs",
+                "crates/px-wire/src/pool.rs",
+                "crates/px-wire/src/bytes.rs",
+            ],
+            // `baseline.rs` models DPDK rte_gro's per-packet allocation
+            // churn on purpose — it is the paper's comparison point, so
+            // the alloc rule exempts it (mirroring tests/hotpath_alloc.rs,
+            // which gates merge/split/caravan only).
+            r3_modules: vec![
+                "crates/core/src/merge.rs",
+                "crates/core/src/split.rs",
+                "crates/core/src/caravan_gw.rs",
+                "crates/core/src/engine.rs",
+                "crates/core/src/flowtable.rs",
+                "crates/px-wire/src/tcp.rs",
+                "crates/px-wire/src/udp.rs",
+                "crates/px-wire/src/ipv4.rs",
+                "crates/px-wire/src/frag.rs",
+                "crates/px-wire/src/caravan.rs",
+                "crates/px-wire/src/checksum.rs",
+                "crates/px-wire/src/buffer.rs",
+                "crates/px-wire/src/pool.rs",
+                "crates/px-wire/src/bytes.rs",
+            ],
+            emission_fns: vec![
+                "accept",
+                "emit",
+                "forward",
+                "forward_recorded",
+                "append",
+                "finalize_emit",
+                "emit_pending",
+                "process_batch",
+            ],
+        }
+    }
+}
+
+impl Config {
+    fn is_r1(&self, rel_path: &str) -> bool {
+        self.r1_modules.iter().any(|m| rel_path.ends_with(m))
+    }
+
+    fn is_r3(&self, rel_path: &str) -> bool {
+        self.r3_modules.iter().any(|m| rel_path.ends_with(m))
+    }
+
+    fn is_emission_fn(&self, name: &str) -> bool {
+        name.ends_with("_into") || self.emission_fns.contains(&name)
+    }
+}
+
+/// A parsed `// px-analyze: allow(...)` waiver.
+#[derive(Debug)]
+struct Waiver {
+    rules: Vec<Rule>,
+    reason_ok: bool,
+    /// Line the waiver comment sits on.
+    line: u32,
+    /// The next code line it covers (filled in during the scan).
+    covers: Option<u32>,
+    used: bool,
+}
+
+/// Parses a waiver out of a comment body, if present.
+fn parse_waiver(text: &str, line: u32) -> Option<Waiver> {
+    // Anchored at the start of the comment: doc comments (`///`, `//!`)
+    // keep their extra `/`/`!` in the captured text, so waiver examples
+    // quoted inside documentation do not register as live waivers.
+    let rest = text.trim_start().strip_prefix("px-analyze:")?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let inner = rest.split(')').next().unwrap_or("");
+    let mut rules = Vec::new();
+    let mut reason_ok = false;
+    for part in inner.split(',') {
+        let part = part.trim();
+        if let Some(r) = Rule::parse(part) {
+            rules.push(r);
+        } else if let Some(rhs) = part.strip_prefix("reason") {
+            let rhs = rhs.trim_start().strip_prefix('=').unwrap_or("").trim();
+            // Reason must be a non-empty quoted string. The closing quote
+            // may have been cut off by the `)` split when the reason
+            // itself contains none — look at the raw text instead.
+            reason_ok = rhs.starts_with('"') && rhs.len() > 1;
+        }
+    }
+    // A reason containing commas gets split up; detect `reason = "…"`
+    // against the whole comment as the authoritative check.
+    if let Some(rat) = text.find("reason") {
+        let rhs = text[rat + "reason".len()..].trim_start();
+        if let Some(q) = rhs.strip_prefix('=') {
+            let q = q.trim_start();
+            if let Some(body) = q.strip_prefix('"') {
+                reason_ok = body.find('"').is_some_and(|end| end > 0);
+            }
+        }
+    }
+    Some(Waiver {
+        rules,
+        reason_ok,
+        line,
+        covers: None,
+        used: false,
+    })
+}
+
+/// Analyzes one Rust source file. `rel_path` is workspace-relative with
+/// forward slashes. Returns the violations found (waiver-suppressed ones
+/// excluded, waiver-hygiene problems included).
+pub fn check_source(cfg: &Config, rel_path: &str, src: &str) -> Vec<Violation> {
+    let toks = lex(src);
+    let r1 = cfg.is_r1(rel_path);
+    let r3 = cfg.is_r3(rel_path);
+
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut raw: Vec<Violation> = Vec::new();
+
+    // --- Pass 1: waivers, and which code line each one covers. ---
+    // Attribute tokens (`#[...]`) do not count as the covered code line:
+    // a waiver above `#[allow(...)] stmt;` covers `stmt`.
+    let mut attr_depth = 0usize;
+    let mut prev_was_hash = false;
+    for t in &toks {
+        match &t.kind {
+            Tok::LineComment(text) | Tok::BlockComment(text) => {
+                if let Some(w) = parse_waiver(text, t.line) {
+                    waivers.push(w);
+                }
+            }
+            kind => {
+                let is_attr = match kind {
+                    Tok::Punct('#') => {
+                        prev_was_hash = true;
+                        true
+                    }
+                    Tok::Punct('[') if prev_was_hash || attr_depth > 0 => {
+                        attr_depth += 1;
+                        prev_was_hash = false;
+                        true
+                    }
+                    Tok::Punct(']') if attr_depth > 0 => {
+                        attr_depth -= 1;
+                        true
+                    }
+                    _ => {
+                        let inside = attr_depth > 0;
+                        prev_was_hash = false;
+                        inside
+                    }
+                };
+                if !is_attr {
+                    for w in waivers.iter_mut().filter(|w| w.covers.is_none()) {
+                        if t.line >= w.line {
+                            w.covers = Some(t.line);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Pass 2: token-stream scan. ---
+    // State for #[cfg(test)] regions: once the attribute is seen, the
+    // next item (delimited by braces, or ended by `;`) is test code.
+    let mut brace_depth: i32 = 0;
+    let mut test_region_until: Option<i32> = None; // exempt while depth > this
+    let mut pending_cfg_test = false;
+
+    // Function tracking for R3: a stack of (name, depth-at-entry).
+    let mut fn_stack: Vec<(String, i32)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+
+    let code: Vec<&Token> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, Tok::LineComment(_) | Tok::BlockComment(_)))
+        .collect();
+
+    let ident = |i: usize| -> Option<&str> {
+        match code.get(i).map(|t| &t.kind) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    };
+    let punct = |i: usize, c: char| -> bool {
+        matches!(code.get(i).map(|t| &t.kind), Some(Tok::Punct(p)) if *p == c)
+    };
+
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = code[i];
+        let in_test = test_region_until.is_some();
+        match &t.kind {
+            Tok::Punct('{') => {
+                brace_depth += 1;
+                if let Some(name) = pending_fn.take() {
+                    fn_stack.push((name, brace_depth));
+                }
+            }
+            Tok::Punct('}') => {
+                if let Some((_, d)) = fn_stack.last() {
+                    if *d == brace_depth {
+                        fn_stack.pop();
+                    }
+                }
+                brace_depth -= 1;
+                if let Some(limit) = test_region_until {
+                    if brace_depth <= limit {
+                        test_region_until = None;
+                    }
+                }
+            }
+            Tok::Punct('#') if punct(i + 1, '[') => {
+                // Attribute: detect #[cfg(test)] (and #[cfg(all(test, …))]).
+                let mut j = i + 2;
+                let mut depth = 1usize;
+                let mut saw_cfg = false;
+                let mut saw_test = false;
+                while j < code.len() && depth > 0 {
+                    match &code[j].kind {
+                        Tok::Punct('[') => depth += 1,
+                        Tok::Punct(']') => depth -= 1,
+                        Tok::Ident(s) if s == "cfg" => saw_cfg = true,
+                        Tok::Ident(s) if s == "test" => saw_test = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if saw_cfg && saw_test {
+                    pending_cfg_test = true;
+                }
+                i = j;
+                continue;
+            }
+            Tok::Ident(name) => match name.as_str() {
+                "fn" => {
+                    if let Some(fname) = ident(i + 1) {
+                        pending_fn = Some(fname.to_string());
+                    }
+                    if pending_cfg_test {
+                        // #[cfg(test)] fn …: exempt its body.
+                        test_region_until.get_or_insert(brace_depth);
+                        pending_cfg_test = false;
+                    }
+                }
+                "mod" | "impl" | "struct" | "enum" | "use" | "const" | "static" | "trait"
+                    if pending_cfg_test =>
+                {
+                    test_region_until.get_or_insert(brace_depth);
+                    pending_cfg_test = false;
+                }
+                // R2: look backwards in the raw stream for a SAFETY
+                // comment immediately above this token.
+                "unsafe" if !has_safety_comment(&toks, t) => {
+                    raw.push(Violation {
+                        file: rel_path.into(),
+                        line: t.line,
+                        rule: Some(Rule::R2),
+                        message: "`unsafe` without an immediately preceding `// SAFETY:` comment"
+                            .into(),
+                    });
+                }
+                "unwrap" | "expect"
+                    if r1 && !in_test && punct(i + 1, '(') && i > 0 && punct(i - 1, '.') =>
+                {
+                    raw.push(Violation {
+                        file: rel_path.into(),
+                        line: t.line,
+                        rule: Some(Rule::R1),
+                        message: format!(
+                            "`.{name}()` in a hot-path module; return a typed error or drop-and-count instead"
+                        ),
+                    });
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if r1 && !in_test && punct(i + 1, '!') =>
+                {
+                    raw.push(Violation {
+                        file: rel_path.into(),
+                        line: t.line,
+                        rule: Some(Rule::R1),
+                        message: format!("`{name}!` in a hot-path module"),
+                    });
+                }
+                "vec" if r3 && !in_test && in_emission(cfg, &fn_stack) && punct(i + 1, '!') => {
+                    raw.push(Violation {
+                        file: rel_path.into(),
+                        line: t.line,
+                        rule: Some(Rule::R3),
+                        message: alloc_msg("vec!", &fn_stack),
+                    });
+                }
+                "format" if r3 && !in_test && in_emission(cfg, &fn_stack) && punct(i + 1, '!') => {
+                    raw.push(Violation {
+                        file: rel_path.into(),
+                        line: t.line,
+                        rule: Some(Rule::R3),
+                        message: alloc_msg("format!", &fn_stack),
+                    });
+                }
+                "Vec" | "Box" | "String" | "Rc" | "Arc"
+                    if r3
+                        && !in_test
+                        && in_emission(cfg, &fn_stack)
+                        && punct(i + 1, ':')
+                        && punct(i + 2, ':')
+                        && matches!(ident(i + 3), Some("new" | "with_capacity" | "from")) =>
+                {
+                    let ctor = ident(i + 3).unwrap_or("new");
+                    raw.push(Violation {
+                        file: rel_path.into(),
+                        line: t.line,
+                        rule: Some(Rule::R3),
+                        message: alloc_msg(&format!("{name}::{ctor}"), &fn_stack),
+                    });
+                }
+                "to_vec" | "to_owned" | "clone"
+                    if r3
+                        && !in_test
+                        && in_emission(cfg, &fn_stack)
+                        && punct(i + 1, '(')
+                        && i > 0
+                        && punct(i - 1, '.') =>
+                {
+                    raw.push(Violation {
+                        file: rel_path.into(),
+                        line: t.line,
+                        rule: Some(Rule::R3),
+                        message: alloc_msg(&format!(".{name}()"), &fn_stack),
+                    });
+                }
+                _ => {}
+            },
+            Tok::Punct('[') if r1 && !in_test => {
+                // Indexing with a partial range (`b[a..]`, `b[..c]`,
+                // `b[a..c]`) panics on short buffers. The full-range
+                // `b[..]` cannot and is allowed. Only index positions
+                // count: an index `[` directly follows an identifier,
+                // `)`, `]`, or a literal.
+                let is_index = i > 0
+                    && matches!(
+                        code[i - 1].kind,
+                        Tok::Ident(_) | Tok::Punct(')') | Tok::Punct(']') | Tok::Literal | Tok::Num
+                    );
+                if is_index {
+                    let mut depth = 1usize;
+                    let mut j = i + 1;
+                    let mut has_dotdot = false;
+                    let mut inner_tokens = 0usize;
+                    while j < code.len() && depth > 0 {
+                        match &code[j].kind {
+                            Tok::Punct('[') => depth += 1,
+                            Tok::Punct(']') => depth -= 1,
+                            Tok::DotDot if depth == 1 => has_dotdot = true,
+                            _ => {}
+                        }
+                        if depth > 0 {
+                            inner_tokens += 1;
+                        }
+                        j += 1;
+                    }
+                    if has_dotdot && inner_tokens > 1 {
+                        raw.push(Violation {
+                            file: rel_path.into(),
+                            line: t.line,
+                            rule: Some(Rule::R1),
+                            message:
+                                "range slicing in a hot-path module; use `get()`/`px_wire::bytes` and handle the miss"
+                                    .into(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // --- Pass 3: apply waivers. ---
+    let mut out = Vec::new();
+    for v in raw {
+        let Some(rule) = v.rule else {
+            out.push(v);
+            continue;
+        };
+        let waived = waivers.iter_mut().any(|w| {
+            let covers_line = w.line == v.line || w.covers == Some(v.line);
+            if covers_line && w.rules.contains(&rule) && w.reason_ok {
+                w.used = true;
+                true
+            } else {
+                false
+            }
+        });
+        if !waived {
+            out.push(v);
+        }
+    }
+    for w in &waivers {
+        if !w.reason_ok {
+            out.push(Violation {
+                file: rel_path.into(),
+                line: w.line,
+                rule: None,
+                message: "waiver without a non-empty `reason = \"…\"`".into(),
+            });
+        } else if !w.used && !w.rules.contains(&Rule::R4) {
+            out.push(Violation {
+                file: rel_path.into(),
+                line: w.line,
+                rule: None,
+                message: "unused waiver: nothing on the covered lines violates the waived rule"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+/// Whether the token stream contains an R4 waiver (used by the crate-root
+/// check, which has no single offending line inside the file).
+pub fn has_r4_waiver(src: &str) -> bool {
+    lex(src).iter().any(|t| match &t.kind {
+        Tok::LineComment(text) | Tok::BlockComment(text) => {
+            parse_waiver(text, t.line).is_some_and(|w| w.rules.contains(&Rule::R4) && w.reason_ok)
+        }
+        _ => false,
+    })
+}
+
+fn in_emission(cfg: &Config, fn_stack: &[(String, i32)]) -> bool {
+    fn_stack.iter().any(|(name, _)| cfg.is_emission_fn(name))
+}
+
+fn alloc_msg(what: &str, fn_stack: &[(String, i32)]) -> String {
+    let f = fn_stack
+        .last()
+        .map_or("<unknown>", |(name, _)| name.as_str());
+    format!("`{what}` allocates inside emission-path function `{f}`")
+}
+
+/// R2 helper: whether a `SAFETY:` comment immediately precedes the given
+/// `unsafe` token — only comment tokens may sit between them.
+fn has_safety_comment(toks: &[Token], unsafe_tok: &Token) -> bool {
+    // Find this token's position in the raw stream by identity.
+    let pos = toks
+        .iter()
+        .position(|t| std::ptr::eq(t, unsafe_tok))
+        .unwrap_or(0);
+    for t in toks.iter().take(pos).rev() {
+        match &t.kind {
+            Tok::LineComment(text) | Tok::BlockComment(text) => {
+                if text.contains("SAFETY:") {
+                    return true;
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOT: &str = "crates/core/src/merge.rs";
+    const COLD: &str = "crates/px-sim/src/stats.rs";
+
+    fn check(path: &str, src: &str) -> Vec<Violation> {
+        check_source(&Config::default(), path, src)
+    }
+
+    #[test]
+    fn r1_flags_unwrap_in_hot_module_only() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }";
+        assert_eq!(check(HOT, src).len(), 1);
+        assert!(check(COLD, src).is_empty());
+    }
+
+    #[test]
+    fn r1_ignores_unwrap_in_tests_strings_and_comments() {
+        let src = r#"
+            // a comment mentioning .unwrap()
+            fn f() { let s = ".unwrap()"; }
+            #[cfg(test)]
+            mod tests {
+                fn g(x: Option<u8>) { x.unwrap(); }
+            }
+        "#;
+        assert!(check(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn r1_slicing_rules() {
+        assert_eq!(check(HOT, "fn f(b: &[u8]) { let _ = &b[1..3]; }").len(), 1);
+        assert_eq!(check(HOT, "fn f(b: &[u8]) { let _ = &b[1..]; }").len(), 1);
+        assert_eq!(check(HOT, "fn f(b: &[u8]) { let _ = &b[..3]; }").len(), 1);
+        // Full-range and scalar indexing cannot panic-by-length-lie.
+        assert!(check(HOT, "fn f(b: &[u8]) { let _ = &b[..]; }").is_empty());
+        assert!(check(HOT, "fn f(b: &[u8]) { let _ = b[0]; }").is_empty());
+        // Array literals and types are not indexing.
+        assert!(check(HOT, "fn f() { let _ = [0u8; 8]; let _: [u8; 2]; }").is_empty());
+    }
+
+    #[test]
+    fn r2_requires_adjacent_safety_comment() {
+        let bad = "fn f() { unsafe { work() } }";
+        assert_eq!(check(COLD, bad).len(), 1);
+        let good = "fn f() {\n    // SAFETY: justified here.\n    unsafe { work() }\n}";
+        assert!(check(COLD, good).is_empty());
+        let far = "// SAFETY: too far away.\nfn f() { let x = 1; unsafe { work() } }";
+        assert_eq!(check(COLD, far).len(), 1);
+    }
+
+    #[test]
+    fn r3_flags_alloc_in_emission_fn_only() {
+        let bad = "fn push_into(&mut self) { let v = Vec::new(); }";
+        assert_eq!(check(HOT, bad).len(), 1);
+        let ok_fn = "fn setup(&mut self) { let v = Vec::new(); }";
+        assert!(check(HOT, ok_fn).is_empty());
+        let bad2 = "fn emit_pending(&mut self) { let v = vec![0u8; 4]; }";
+        assert_eq!(check(HOT, bad2).len(), 1);
+        let bad3 = "fn forward(&mut self, b: &[u8]) { let v = b.to_vec(); }";
+        assert_eq!(check(HOT, bad3).len(), 1);
+    }
+
+    #[test]
+    fn waiver_suppresses_and_unused_waiver_errors() {
+        let waived = "fn f(x: Option<u8>) {\n    // px-analyze: allow(R1, reason = \"test of waivers\")\n    x.unwrap();\n}";
+        assert!(check(HOT, waived).is_empty());
+        let unused = "// px-analyze: allow(R1, reason = \"nothing here\")\nfn f() {}";
+        assert_eq!(check(HOT, unused).len(), 1);
+        let no_reason = "fn f(x: Option<u8>) {\n    // px-analyze: allow(R1)\n    x.unwrap();\n}";
+        // Waiver without reason: the unwrap stays AND the waiver errors.
+        assert_eq!(check(HOT, no_reason).len(), 2);
+    }
+}

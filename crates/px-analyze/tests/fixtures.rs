@@ -1,0 +1,127 @@
+//! Self-tests: run the analyzer over known-bad and known-good fixture
+//! files and assert exactly the expected findings. The fixture directory
+//! is excluded from the real workspace walk, so the deliberately broken
+//! code here never pollutes `px-analyze -- check`.
+
+use px_analyze::{rules, Config, Rule};
+use std::path::Path;
+
+/// A path inside the R1+R3 hot-path set — fixtures analyzed under hot
+/// rules borrow this name.
+const HOT: &str = "crates/core/src/merge.rs";
+/// A path outside every hot-path set — only R2 applies.
+const COLD: &str = "crates/px-sim/src/stats.rs";
+
+fn fixture(name: &str) -> String {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    std::fs::read_to_string(dir.join(name)).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+fn check(as_path: &str, name: &str) -> Vec<px_analyze::Violation> {
+    rules::check_source(&Config::default(), as_path, &fixture(name))
+}
+
+fn count_rule(vs: &[px_analyze::Violation], rule: Rule) -> usize {
+    vs.iter().filter(|v| v.rule == Some(rule)).count()
+}
+
+fn count_waiver_errors(vs: &[px_analyze::Violation]) -> usize {
+    vs.iter().filter(|v| v.rule.is_none()).count()
+}
+
+#[test]
+fn r1_bad_flags_every_panic_class() {
+    let vs = check(HOT, "r1_bad.rs");
+    // unwrap, expect, panic!, unreachable!, todo!, and three range slices.
+    assert_eq!(count_rule(&vs, Rule::R1), 8, "{vs:#?}");
+    assert_eq!(vs.len(), 8, "{vs:#?}");
+    // Same file in a cold module: R1 does not apply.
+    assert!(check(COLD, "r1_bad.rs").is_empty());
+}
+
+#[test]
+fn r1_good_is_clean_even_in_hot_modules() {
+    let vs = check(HOT, "r1_good.rs");
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn r2_flags_undocumented_unsafe_everywhere() {
+    let vs = check(COLD, "r2_bad.rs");
+    assert_eq!(count_rule(&vs, Rule::R2), 3, "{vs:#?}");
+    let vs = check(COLD, "r2_good.rs");
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn r3_flags_allocation_in_emission_functions() {
+    let vs = check(HOT, "r3_bad.rs");
+    // Vec::new, vec!, to_vec, to_owned, Box::new, String::from,
+    // format!, clone.
+    assert_eq!(count_rule(&vs, Rule::R3), 8, "{vs:#?}");
+    let vs = check(HOT, "r3_good.rs");
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn well_formed_waivers_suppress_without_residue() {
+    let vs = check(HOT, "waivers.rs");
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn malformed_waivers_are_themselves_violations() {
+    let vs = check(HOT, "waivers_bad.rs");
+    // Three unwraps survive (no-reason ×2, wrong-rule ×1)…
+    assert_eq!(count_rule(&vs, Rule::R1), 3, "{vs:#?}");
+    // …and four waiver-hygiene errors: one unused, two missing reasons,
+    // one unused-because-wrong-rule.
+    assert_eq!(count_waiver_errors(&vs), 4, "{vs:#?}");
+}
+
+#[test]
+fn tokenizer_edge_cases_produce_no_false_positives() {
+    let vs = check(HOT, "tokenizer_edgecases.rs");
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn r4_flags_bare_crate_root_and_manifest() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini");
+    let report = px_analyze::run_check(&Config::default(), &root).expect("walk mini fixture");
+    assert_eq!(report.files_checked, 1);
+    assert_eq!(
+        count_rule(&report.violations, Rule::R4),
+        3,
+        "{:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn workspace_walk_skips_fixtures_and_vendor() {
+    // Running over the real workspace from the analyzer's own tests must
+    // be clean: this is the same gate CI enforces.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let report = px_analyze::run_check(&Config::default(), &root).expect("walk workspace");
+    assert!(report.ok(), "workspace not clean: {:#?}", report.violations);
+    // The deliberately broken fixtures were not analyzed.
+    assert!(report
+        .violations
+        .iter()
+        .all(|v| !v.file.contains("fixtures")));
+}
+
+#[test]
+fn json_report_shape() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini");
+    let report = px_analyze::run_check(&Config::default(), &root).expect("walk mini fixture");
+    let json = report.to_json();
+    assert!(json.contains("\"tool\": \"px-analyze\""));
+    assert!(json.contains("\"violation_count\": 3"));
+    assert!(json.contains("\"rule\": \"R4\""));
+}

@@ -1,0 +1,4 @@
+//! Fixture crate root violating R4 three ways: no unsafe gate, no
+//! missing_docs warn, and a manifest without `[lints] workspace = true`.
+
+pub fn noop() {}

@@ -1,0 +1,33 @@
+// Fixture: every R1 violation class, one per line group.
+
+fn uses_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+fn uses_expect(x: Option<u8>) -> u8 {
+    x.expect("present")
+}
+
+fn uses_panic(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+fn uses_unreachable(v: u8) -> u8 {
+    match v {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+fn uses_todo() {
+    todo!()
+}
+
+fn range_slices(b: &[u8]) -> u8 {
+    let head = &b[0..4];
+    let tail = &b[4..];
+    let front = &b[..4];
+    head[0] ^ tail[0] ^ front[0]
+}

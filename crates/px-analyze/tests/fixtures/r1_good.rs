@@ -1,0 +1,40 @@
+// Fixture: panic-free equivalents of everything r1_bad.rs does, plus
+// the constructs R1 deliberately permits.
+
+fn no_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+
+fn mapped(x: Option<u8>) -> u8 {
+    x.map_or(0, |v| v + 1)
+}
+
+fn defaulted(x: Option<u8>) -> u8 {
+    x.unwrap_or_default()
+}
+
+fn full_range_and_scalar(b: &[u8]) -> u8 {
+    // Full-range slicing and scalar indexing cannot panic on length.
+    let all = &b[..];
+    if all.is_empty() {
+        0
+    } else {
+        all[0]
+    }
+}
+
+fn guarded(b: &[u8]) -> u8 {
+    debug_assert!(!b.is_empty());
+    b.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let x: Option<u8> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        let b = [0u8; 8];
+        let _ = &b[2..4];
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: unsafe without the required SAFETY comment.
+
+fn naked_unsafe_block(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+// A comment that is not a SAFETY justification.
+unsafe fn naked_unsafe_fn() {}
+
+fn comment_too_far(p: *const u8) -> u8 {
+    // SAFETY: this one is stranded by real code in between.
+    let offset = 1;
+    unsafe { *p.add(offset) }
+}

@@ -1,0 +1,14 @@
+// Fixture: properly documented unsafe.
+
+fn documented_block(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+// SAFETY: no preconditions; the body touches nothing.
+unsafe fn documented_fn() {}
+
+fn block_comment_form(p: *const u8) -> u8 {
+    /* SAFETY: caller guarantees `p` is valid for reads. */
+    unsafe { *p }
+}

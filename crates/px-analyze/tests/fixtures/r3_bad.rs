@@ -1,0 +1,31 @@
+// Fixture: heap allocation inside emission-path functions.
+
+struct Sink;
+
+fn push_into(sink: &mut Sink) {
+    let staging = Vec::new();
+    drop(staging);
+    drop(sink);
+}
+
+fn emit_pending(sink: &mut Sink) {
+    let scratch = vec![0u8; 64];
+    drop(scratch);
+    drop(sink);
+}
+
+fn forward(b: &[u8]) -> Vec<u8> {
+    b.to_vec()
+}
+
+fn finalize_emit(b: &[u8]) {
+    let copy = b.to_owned();
+    let boxed = Box::new(copy.len());
+    let label = String::from("pkt");
+    let msg = format!("{label}:{boxed}");
+    drop(msg);
+}
+
+fn flush_all_into(buf: &Vec<u8>) -> Vec<u8> {
+    buf.clone()
+}

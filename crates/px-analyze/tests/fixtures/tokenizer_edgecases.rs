@@ -1,0 +1,40 @@
+// Fixture: constructs that defeat naive text matching. A correct
+// tokenizer reports ZERO violations here even under hot-path rules.
+
+fn strings_are_not_code() -> &'static str {
+    "x.unwrap() and panic! and b[1..3] inside a string"
+}
+
+fn raw_strings() -> &'static str {
+    r#"even with "quotes": y.expect("msg") and vec![0; 9]"#
+}
+
+fn raw_strings_more_hashes() -> &'static str {
+    r##"nested "#raw"# content: z.unwrap()"##
+}
+
+fn byte_strings() -> &'static [u8] {
+    b"bytes with .unwrap() text"
+}
+
+/* block comment mentioning .unwrap() and unsafe { } */
+fn comments_are_not_code() {
+    // line comment: slice[0..4].to_vec().expect("no")
+    /* nested /* block .unwrap() */ still a comment */
+}
+
+fn lifetimes_are_not_chars<'a>(x: &'a [u8]) -> &'a [u8] {
+    let _c = 'x';
+    let _esc = '\'';
+    let _byte = b'\'';
+    x
+}
+
+fn full_range_is_fine(b: &[u8]) -> &[u8] {
+    &b[..]
+}
+
+fn numbers_next_to_ranges(b: &[u8]) -> u8 {
+    let idx = 1.0_f64 as usize;
+    b.get(idx).copied().unwrap_or(0)
+}

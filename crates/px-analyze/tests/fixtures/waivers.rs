@@ -1,0 +1,21 @@
+// Fixture: well-formed waivers that should fully suppress.
+
+fn waived_unwrap(x: Option<u8>) -> u8 {
+    // px-analyze: allow(R1, reason = "fixture: init-time invariant, cannot fail")
+    x.unwrap()
+}
+
+fn waived_same_line(x: Option<u8>) -> u8 {
+    x.unwrap() // px-analyze: allow(R1, reason = "fixture: same-line waiver")
+}
+
+fn waived_two_rules(b: &[u8]) -> Vec<u8> {
+    // px-analyze: allow(R1, R3, reason = "fixture: one waiver, two rules")
+    b[0..2].to_vec()
+}
+
+fn waived_over_attribute(x: Option<u8>) -> u8 {
+    // px-analyze: allow(R1, reason = "fixture: waiver skips the attribute line")
+    #[allow(unused_variables)]
+    x.unwrap()
+}

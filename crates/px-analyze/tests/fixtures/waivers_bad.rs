@@ -1,0 +1,21 @@
+// Fixture: malformed waiver usage — each one is itself a violation.
+
+// px-analyze: allow(R1, reason = "fixture: nothing below violates R1")
+fn unused_waiver() -> u8 {
+    0
+}
+
+fn waiver_without_reason(x: Option<u8>) -> u8 {
+    // px-analyze: allow(R1)
+    x.unwrap()
+}
+
+fn waiver_with_empty_reason(x: Option<u8>) -> u8 {
+    // px-analyze: allow(R1, reason = "")
+    x.unwrap()
+}
+
+fn waiver_for_wrong_rule(x: Option<u8>) -> u8 {
+    // px-analyze: allow(R2, reason = "fixture: wrong rule, unwrap stays")
+    x.unwrap()
+}

@@ -6,6 +6,7 @@
 //! allocation, and headers are pushed in front of it or pulled off it by
 //! moving the start cursor.
 
+use crate::bytes;
 use crate::error::{Error, Result};
 
 /// Default headroom reserved in front of the payload.
@@ -19,7 +20,7 @@ pub const DEFAULT_HEADROOM: usize = 64;
 /// ```
 /// use px_wire::PacketBuf;
 /// let mut pkt = PacketBuf::from_payload(b"hello");
-/// pkt.push_front(&[0xAA, 0xBB]).unwrap();   // encapsulate
+/// pkt.push_front(&[0xAA, 0xBB]);             // encapsulate
 /// assert_eq!(pkt.as_slice(), &[0xAA, 0xBB, b'h', b'e', b'l', b'l', b'o']);
 /// let hdr = pkt.pull_front(2).unwrap();      // decapsulate
 /// assert_eq!(hdr, vec![0xAA, 0xBB]);
@@ -117,24 +118,23 @@ impl PacketBuf {
 
     /// The live bytes.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.head..]
+        bytes::range_from(&self.data, self.head)
     }
 
     /// The live bytes, mutably.
     pub fn as_mut_slice(&mut self) -> &mut [u8] {
-        &mut self.data[self.head..]
+        bytes::range_from_mut(&mut self.data, self.head)
     }
 
     /// Prepends `header` in front of the live bytes.
     ///
     /// Uses headroom when available; falls back to a copy (re-allocating
-    /// fresh headroom) when not, so it never fails for reasonable sizes.
-    pub fn push_front(&mut self, header: &[u8]) -> Result<()> {
+    /// fresh headroom) when not, so it cannot fail and is infallible.
+    pub fn push_front(&mut self, header: &[u8]) {
         if header.len() <= self.head {
             let start = self.head - header.len();
-            self.data[start..self.head].copy_from_slice(header);
+            bytes::put(&mut self.data, start, header);
             self.head = start;
-            Ok(())
         } else {
             // Slow path: rebuild with fresh headroom.
             let mut data = Vec::with_capacity(DEFAULT_HEADROOM + header.len() + self.len());
@@ -143,21 +143,20 @@ impl PacketBuf {
             data.extend_from_slice(self.as_slice());
             self.data = data;
             self.head = DEFAULT_HEADROOM;
-            Ok(())
         }
     }
 
     /// Reserves `len` zeroed bytes in front of the live bytes and returns
     /// the buffer ready for in-place header writing via `as_mut_slice`.
-    pub fn push_front_zeroed(&mut self, len: usize) -> Result<()> {
+    /// Infallible for the same reason as [`PacketBuf::push_front`].
+    pub fn push_front_zeroed(&mut self, len: usize) {
         if len <= self.head {
             let start = self.head - len;
-            self.data[start..self.head].fill(0);
+            bytes::range_mut(&mut self.data, start, self.head).fill(0);
             self.head = start;
-            Ok(())
         } else {
             let zeros = vec![0u8; len];
-            self.push_front(&zeros)
+            self.push_front(&zeros);
         }
     }
 
@@ -166,7 +165,7 @@ impl PacketBuf {
         if len > self.len() {
             return Err(Error::Truncated);
         }
-        let out = self.data[self.head..self.head + len].to_vec();
+        let out = bytes::range(&self.data, self.head, self.head + len).to_vec();
         self.head += len;
         Ok(out)
     }
@@ -233,7 +232,7 @@ mod tests {
     #[test]
     fn push_pull_symmetry() {
         let mut p = PacketBuf::from_payload(b"payload");
-        p.push_front(b"hdr").unwrap();
+        p.push_front(b"hdr");
         assert_eq!(p.len(), 10);
         assert_eq!(p.pull_front(3).unwrap(), b"hdr".to_vec());
         assert_eq!(p.as_slice(), b"payload");
@@ -243,9 +242,9 @@ mod tests {
     fn push_front_exhausts_headroom_then_reallocates() {
         let mut p = PacketBuf::with_headroom(4);
         p.extend_from_slice(b"x");
-        p.push_front(&[1, 2, 3, 4]).unwrap(); // fits exactly
+        p.push_front(&[1, 2, 3, 4]); // fits exactly
         assert_eq!(p.headroom(), 0);
-        p.push_front(&[9]).unwrap(); // must reallocate
+        p.push_front(&[9]); // must reallocate
         assert_eq!(p.as_slice(), &[9, 1, 2, 3, 4, b'x']);
         assert_eq!(p.headroom(), DEFAULT_HEADROOM);
     }
@@ -278,9 +277,9 @@ mod tests {
     #[test]
     fn push_front_zeroed_clears_stale_bytes() {
         let mut p = PacketBuf::from_payload(b"xy");
-        p.push_front(&[0xFF; 8]).unwrap();
+        p.push_front(&[0xFF; 8]);
         p.pull_front(8).unwrap();
-        p.push_front_zeroed(8).unwrap();
+        p.push_front_zeroed(8);
         assert_eq!(&p.as_slice()[..8], &[0u8; 8]);
     }
 }

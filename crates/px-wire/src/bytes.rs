@@ -1,0 +1,146 @@
+//! Panic-free byte-slice access primitives for the datapath.
+//!
+//! The hot-path modules of this crate and `px-core` are forbidden (by
+//! `px-analyze` rule R1) from using direct range slicing — `b[a..c]`
+//! panics on a malformed length field, and PXGW sits on the forwarding
+//! path of every flow entering a b-network. These helpers express the
+//! same fixed-offset header reads and writes through `slice::get`, so a
+//! short buffer degrades to a well-defined value (`0`, the empty slice,
+//! or a `false` return) instead of unwinding the datapath.
+//!
+//! All helpers are branch-cheap: on validated buffers (the normal case —
+//! every parser checks lengths once in `new_checked`) the bounds test is
+//! perfectly predicted and the codegen matches the panicking form minus
+//! the panic landing pad.
+
+/// Reads a big-endian `u16` at `off`, or 0 if out of bounds.
+#[inline]
+pub fn be16(b: &[u8], off: usize) -> u16 {
+    match b.get(off..off.wrapping_add(2)) {
+        Some(s) => u16::from_be_bytes([s[0], s[1]]),
+        None => 0,
+    }
+}
+
+/// Reads a big-endian `u32` at `off`, or 0 if out of bounds.
+#[inline]
+pub fn be32(b: &[u8], off: usize) -> u32 {
+    match b.get(off..off.wrapping_add(4)) {
+        Some(s) => u32::from_be_bytes([s[0], s[1], s[2], s[3]]),
+        None => 0,
+    }
+}
+
+/// Reads a little-endian `u64` at `off`, or 0 if out of bounds.
+#[inline]
+pub fn le64(b: &[u8], off: usize) -> u64 {
+    match b.get(off..off.wrapping_add(8)) {
+        Some(s) => u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]),
+        None => 0,
+    }
+}
+
+/// Writes a big-endian `u16` at `off`. Returns whether it fit.
+#[inline]
+pub fn put_be16(b: &mut [u8], off: usize, v: u16) -> bool {
+    put(b, off, &v.to_be_bytes())
+}
+
+/// Writes a big-endian `u32` at `off`. Returns whether it fit.
+#[inline]
+pub fn put_be32(b: &mut [u8], off: usize, v: u32) -> bool {
+    put(b, off, &v.to_be_bytes())
+}
+
+/// Copies `src` into `b` at `off`. Returns whether it fit; on a bounds
+/// miss nothing is written.
+#[inline]
+pub fn put(b: &mut [u8], off: usize, src: &[u8]) -> bool {
+    match off
+        .checked_add(src.len())
+        .and_then(|end| b.get_mut(off..end))
+    {
+        Some(dst) => {
+            dst.copy_from_slice(src);
+            true
+        }
+        None => false,
+    }
+}
+
+/// The subslice `b[start..end]`, or the empty slice if the range is
+/// inverted or out of bounds.
+#[inline]
+pub fn range(b: &[u8], start: usize, end: usize) -> &[u8] {
+    b.get(start..end).unwrap_or(&[])
+}
+
+/// The subslice `b[start..]`, or the empty slice if out of bounds.
+#[inline]
+pub fn range_from(b: &[u8], start: usize) -> &[u8] {
+    b.get(start..).unwrap_or(&[])
+}
+
+/// The subslice `b[..end]`, or the empty slice if out of bounds.
+#[inline]
+pub fn range_to(b: &[u8], end: usize) -> &[u8] {
+    b.get(..end).unwrap_or(&[])
+}
+
+/// The mutable subslice `b[start..end]`, or the empty slice.
+#[inline]
+pub fn range_mut(b: &mut [u8], start: usize, end: usize) -> &mut [u8] {
+    b.get_mut(start..end).unwrap_or(&mut [])
+}
+
+/// The mutable subslice `b[start..]`, or the empty slice.
+#[inline]
+pub fn range_from_mut(b: &mut [u8], start: usize) -> &mut [u8] {
+    b.get_mut(start..).unwrap_or(&mut [])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_in_and_out_of_bounds() {
+        let b = [0x12u8, 0x34, 0x56, 0x78, 0x9A];
+        assert_eq!(be16(&b, 0), 0x1234);
+        assert_eq!(be16(&b, 3), 0x789A);
+        assert_eq!(be16(&b, 4), 0, "straddles the end");
+        assert_eq!(be16(&b, usize::MAX), 0, "offset overflow");
+        assert_eq!(be32(&b, 1), 0x3456789A);
+        assert_eq!(be32(&b, 2), 0);
+        assert_eq!(le64(&[1, 0, 0, 0, 0, 0, 0, 0], 0), 1);
+        assert_eq!(le64(&b, 0), 0, "too short for 8 bytes");
+    }
+
+    #[test]
+    fn writes_in_and_out_of_bounds() {
+        let mut b = [0u8; 4];
+        assert!(put_be16(&mut b, 2, 0xBEEF));
+        assert_eq!(b, [0, 0, 0xBE, 0xEF]);
+        assert!(!put_be16(&mut b, 3, 0xFFFF), "would straddle the end");
+        assert_eq!(b, [0, 0, 0xBE, 0xEF], "nothing written on a miss");
+        assert!(!put(&mut b, usize::MAX, &[1]), "offset overflow");
+        assert!(put_be32(&mut b, 0, 0x01020304));
+        assert_eq!(b, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ranges_degrade_to_empty() {
+        let b = [1u8, 2, 3];
+        assert_eq!(range(&b, 1, 3), &[2, 3]);
+        assert_eq!(range(&b, 2, 1), &[] as &[u8], "inverted");
+        assert_eq!(range(&b, 1, 9), &[] as &[u8], "past the end");
+        assert_eq!(range_from(&b, 3), &[] as &[u8]);
+        assert_eq!(range_from(&b, 4), &[] as &[u8]);
+        assert_eq!(range_to(&b, 2), &[1, 2]);
+        assert_eq!(range_to(&b, 9), &[] as &[u8]);
+        let mut m = [1u8, 2, 3];
+        range_mut(&mut m, 0, 2).fill(9);
+        assert_eq!(m, [9, 9, 3]);
+        assert_eq!(range_from_mut(&mut m, 9), &mut [] as &mut [u8]);
+    }
+}

@@ -4,6 +4,7 @@
 //! the unit the NIC model DMAs; we still implement real parsing/emission so
 //! the simulator carries byte-accurate frames end to end.
 
+use crate::bytes;
 use crate::error::{Error, Result};
 use core::fmt;
 
@@ -95,13 +96,17 @@ impl<T: AsRef<[u8]>> EthernetFrame<T> {
     /// Destination MAC.
     pub fn dst(&self) -> MacAddr {
         let b = self.buffer.as_ref();
-        MacAddr(b[0..6].try_into().unwrap())
+        let mut m = [0u8; 6];
+        bytes::put(&mut m, 0, bytes::range(b, 0, 6));
+        MacAddr(m)
     }
 
     /// Source MAC.
     pub fn src(&self) -> MacAddr {
         let b = self.buffer.as_ref();
-        MacAddr(b[6..12].try_into().unwrap())
+        let mut m = [0u8; 6];
+        bytes::put(&mut m, 0, bytes::range(b, 6, 12));
+        MacAddr(m)
     }
 
     /// EtherType field.

@@ -158,7 +158,7 @@ impl RssHasher {
         debug_assert!(input.len() + 4 <= self.key.len());
         let mut result: u32 = 0;
         // The sliding 32-bit window over the key, starting at bit 0.
-        let mut window = u32::from_be_bytes(self.key[0..4].try_into().unwrap());
+        let mut window = crate::bytes::be32(&self.key, 0);
         for (i, &byte) in input.iter().enumerate() {
             let next_key_byte = self.key[i + 4];
             for bit in 0..8 {

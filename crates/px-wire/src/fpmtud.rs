@@ -63,11 +63,7 @@ pub fn parse_report(data: &[u8]) -> Option<(u32, Vec<usize>)> {
         return None;
     }
     let sizes = (0..n)
-        .map(|i| {
-            usize::from(u16::from_be_bytes(
-                data[10 + 2 * i..12 + 2 * i].try_into().unwrap(),
-            ))
-        })
+        .map(|i| usize::from(crate::bytes::be16(data, 10 + 2 * i)))
         .collect();
     Some((id, sizes))
 }

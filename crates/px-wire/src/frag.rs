@@ -7,6 +7,7 @@
 //! receives — the largest fragment's total length reveals the smallest
 //! MTU on the path.
 
+use crate::bytes;
 use crate::error::{Error, Result};
 use crate::flow::IpProtocol;
 use crate::ipv4::Ipv4Packet;
@@ -43,7 +44,7 @@ pub fn fragment_into(
     let pkt = Ipv4Packet::new_checked(packet)?;
     if pkt.total_len() <= mtu {
         let mut buf = pool.get();
-        buf.extend_from_slice(&packet[..pkt.total_len()]);
+        buf.extend_from_slice(bytes::range_to(packet, pkt.total_len()));
         if let Some(b) = sink.accept(buf) {
             pool.put(b);
         }
@@ -68,8 +69,8 @@ pub fn fragment_into(
         let take = max_payload.min(payload.len() - off);
         let last = off + take == payload.len();
         let mut frag = pool.get();
-        frag.extend_from_slice(&packet[..header_len]);
-        frag.extend_from_slice(&payload[off..off + take]);
+        frag.extend_from_slice(bytes::range_to(packet, header_len));
+        frag.extend_from_slice(bytes::range(payload, off, off + take));
         let mut fp = Ipv4Packet::new_unchecked(frag.as_mut_slice());
         fp.set_total_len((header_len + take) as u16);
         fp.set_frag_fields(false, !last || original_mf, base_offset + off);
@@ -155,7 +156,7 @@ impl Reassembler {
         let pkt = Ipv4Packet::new_checked(packet)?;
         if !pkt.is_fragment() {
             return Ok(ReassemblyResult::NotFragmented(
-                packet[..pkt.total_len()].to_vec(),
+                bytes::range_to(packet, pkt.total_len()).to_vec(),
             ));
         }
         let key = FragKey {
@@ -178,7 +179,7 @@ impl Reassembler {
             entry.total_payload = Some(offset + payload.len());
         }
         if offset == 0 {
-            entry.first_header = Some(packet[..pkt.header_len()].to_vec());
+            entry.first_header = Some(bytes::range_to(packet, pkt.header_len()).to_vec());
         }
         // Drop exact duplicates; overlapping non-identical fragments keep
         // first-arrival bytes (BSD-style "first wins" for the overlap).
@@ -192,8 +193,9 @@ impl Reassembler {
 
         if let Some(total) = entry.total_payload {
             if Self::is_complete(&entry.pieces, total) && entry.first_header.is_some() {
-                let entry = self.partial.remove(&key).unwrap();
-                return Ok(Self::rebuild(entry));
+                if let Some(done) = self.partial.remove(&key) {
+                    return Ok(Self::rebuild(done));
+                }
             }
         }
         Ok(ReassemblyResult::Incomplete)
@@ -213,17 +215,19 @@ impl Reassembler {
     }
 
     fn rebuild(entry: PartialDatagram) -> ReassemblyResult {
-        let total = entry.total_payload.expect("checked complete");
-        let header = entry.first_header.expect("checked complete");
+        // Both fields were verified present by the caller; a logic bug
+        // upstream degrades to an empty rebuild rather than a panic.
+        let total = entry.total_payload.unwrap_or(0);
+        let header = entry.first_header.unwrap_or_default();
         let header_len = header.len();
         let mut packet = vec![0u8; header_len + total];
-        packet[..header_len].copy_from_slice(&header);
+        bytes::put(&mut packet, 0, &header);
         // Later writes for overlapping ranges do not matter: is_complete
         // guarantees full coverage, and first-wins only affects pathological
         // overlap which we write in arrival order (first piece last so it
         // wins).
         for (off, piece) in entry.pieces.iter().rev() {
-            packet[header_len + off..header_len + off + piece.len()].copy_from_slice(piece);
+            bytes::put(&mut packet, header_len + off, piece);
         }
         let mut pkt = Ipv4Packet::new_unchecked(&mut packet[..]);
         pkt.set_total_len((header_len + total) as u16);

@@ -61,7 +61,7 @@ impl GtpuRepr {
         if HEADER_LEN + len > data.len() {
             return Err(Error::Malformed);
         }
-        let teid = u32::from_be_bytes(data[4..8].try_into().unwrap());
+        let teid = crate::bytes::be32(data, 4);
         Ok((
             GtpuRepr {
                 msg_type,

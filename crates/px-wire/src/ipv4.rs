@@ -4,6 +4,7 @@
 //! by setting a designated ToS value (paper §4.1), so the receiving host
 //! stack knows to unbundle the inner datagrams.
 
+use crate::bytes;
 use crate::checksum;
 use crate::error::{Error, Result};
 use crate::flow::IpProtocol;
@@ -54,7 +55,7 @@ impl<T: AsRef<[u8]>> Ipv4Packet<T> {
         if ihl < HEADER_LEN || b.len() < ihl {
             return Err(Error::Malformed);
         }
-        let total = usize::from(u16::from_be_bytes([b[2], b[3]]));
+        let total = usize::from(bytes::be16(b, 2));
         if total < ihl || total > b.len() {
             return Err(Error::Malformed);
         }
@@ -73,14 +74,12 @@ impl<T: AsRef<[u8]>> Ipv4Packet<T> {
 
     /// Total length field (header + payload).
     pub fn total_len(&self) -> usize {
-        let b = self.buffer.as_ref();
-        usize::from(u16::from_be_bytes([b[2], b[3]]))
+        usize::from(bytes::be16(self.buffer.as_ref(), 2))
     }
 
     /// Identification field.
     pub fn ident(&self) -> u16 {
-        let b = self.buffer.as_ref();
-        u16::from_be_bytes([b[4], b[5]])
+        bytes::be16(self.buffer.as_ref(), 4)
     }
 
     /// Don't Fragment flag.
@@ -116,8 +115,7 @@ impl<T: AsRef<[u8]>> Ipv4Packet<T> {
 
     /// Header checksum field.
     pub fn header_checksum(&self) -> u16 {
-        let b = self.buffer.as_ref();
-        u16::from_be_bytes([b[10], b[11]])
+        bytes::be16(self.buffer.as_ref(), 10)
     }
 
     /// Source address.
@@ -135,13 +133,13 @@ impl<T: AsRef<[u8]>> Ipv4Packet<T> {
     /// Verifies the header checksum.
     pub fn verify_checksum(&self) -> bool {
         let b = self.buffer.as_ref();
-        checksum::ones_complement_sum(&b[..self.header_len()]) == 0xFFFF
+        checksum::ones_complement_sum(bytes::range_to(b, self.header_len())) == 0xFFFF
     }
 
     /// The transport payload (respects total length, skips the header).
     pub fn payload(&self) -> &[u8] {
         let b = self.buffer.as_ref();
-        &b[self.header_len()..self.total_len()]
+        bytes::range(b, self.header_len(), self.total_len())
     }
 
     /// Releases the inner buffer.
@@ -164,12 +162,12 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
 
     /// Sets total length.
     pub fn set_total_len(&mut self, len: u16) {
-        self.buffer.as_mut()[2..4].copy_from_slice(&len.to_be_bytes());
+        bytes::put_be16(self.buffer.as_mut(), 2, len);
     }
 
     /// Sets the identification field.
     pub fn set_ident(&mut self, id: u16) {
-        self.buffer.as_mut()[4..6].copy_from_slice(&id.to_be_bytes());
+        bytes::put_be16(self.buffer.as_mut(), 4, id);
     }
 
     /// Sets DF/MF flags and fragment offset (in bytes; must be a multiple
@@ -185,7 +183,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
         if more_frags {
             word |= 0x2000;
         }
-        self.buffer.as_mut()[6..8].copy_from_slice(&word.to_be_bytes());
+        bytes::put_be16(self.buffer.as_mut(), 6, word);
     }
 
     /// Sets the TTL.
@@ -197,12 +195,15 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
     /// (what a router does per hop).
     pub fn decrement_ttl(&mut self) {
         let b = self.buffer.as_mut();
-        let old_word = u16::from_be_bytes([b[8], b[9]]);
+        if b.len() < HEADER_LEN || b[8] == 0 {
+            return; // nothing sane to do on a runt or an expired TTL
+        }
+        let old_word = bytes::be16(b, 8);
         b[8] -= 1;
-        let new_word = u16::from_be_bytes([b[8], b[9]]);
-        let old_ck = u16::from_be_bytes([b[10], b[11]]);
+        let new_word = bytes::be16(b, 8);
+        let old_ck = bytes::be16(b, 10);
         let new_ck = checksum::incremental_update(old_ck, old_word, new_word);
-        b[10..12].copy_from_slice(&new_ck.to_be_bytes());
+        bytes::put_be16(b, 10, new_ck);
     }
 
     /// Sets the transport protocol.
@@ -212,12 +213,12 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
 
     /// Sets source address.
     pub fn set_src(&mut self, a: Ipv4Addr) {
-        self.buffer.as_mut()[12..16].copy_from_slice(&a.octets());
+        bytes::put(self.buffer.as_mut(), 12, &a.octets());
     }
 
     /// Sets destination address.
     pub fn set_dst(&mut self, a: Ipv4Addr) {
-        self.buffer.as_mut()[16..20].copy_from_slice(&a.octets());
+        bytes::put(self.buffer.as_mut(), 16, &a.octets());
     }
 
     /// Zeroes the checksum field, computes the header checksum, and writes
@@ -225,16 +226,16 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
     pub fn fill_checksum(&mut self) {
         let hlen = self.header_len();
         let b = self.buffer.as_mut();
-        b[10..12].copy_from_slice(&[0, 0]);
-        let ck = checksum::checksum(&b[..hlen]);
-        b[10..12].copy_from_slice(&ck.to_be_bytes());
+        bytes::put_be16(b, 10, 0);
+        let ck = checksum::checksum(bytes::range_to(b, hlen));
+        bytes::put_be16(b, 10, ck);
     }
 
     /// The transport payload, mutably.
     pub fn payload_mut(&mut self) -> &mut [u8] {
         let start = self.header_len();
         let end = self.total_len();
-        &mut self.buffer.as_mut()[start..end]
+        bytes::range_mut(self.buffer.as_mut(), start, end)
     }
 }
 
@@ -330,7 +331,7 @@ impl Ipv4Repr {
     pub fn build_packet(&self, payload: &[u8]) -> Result<Vec<u8>> {
         debug_assert_eq!(self.payload_len, payload.len());
         let mut buf = vec![0u8; HEADER_LEN + payload.len()];
-        buf[HEADER_LEN..].copy_from_slice(payload);
+        bytes::put(&mut buf, HEADER_LEN, payload);
         let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
         self.emit(&mut pkt)?;
         Ok(buf)

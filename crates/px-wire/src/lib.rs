@@ -27,8 +27,10 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod buffer;
+pub mod bytes;
 pub mod caravan;
 pub mod checksum;
 pub mod error;

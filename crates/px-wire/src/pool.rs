@@ -211,7 +211,7 @@ mod tests {
         let mut pool = BufPool::new(16, 128, 8);
         let mut a = pool.get();
         a.extend_from_slice(b"stale payload");
-        a.push_front(&[1, 2, 3]).unwrap();
+        a.push_front(&[1, 2, 3]);
         pool.put(a);
         let b = pool.get();
         assert_eq!(b.len(), 0);
@@ -236,7 +236,7 @@ mod tests {
         let mut b = pool.get();
         let addr = b.base_addr();
         b.extend_from_slice(&[0xAB; 256]);
-        b.push_front(&[0; 16]).unwrap();
+        b.push_front(&[0; 16]);
         assert_eq!(b.base_addr(), addr, "append within capacity must not move");
         pool.put(b);
     }

@@ -10,6 +10,7 @@
 //!   requires exact sequence-number arithmetic — provided by [`SeqNum`],
 //!   a wrapping ⟨mod 2³²⟩ sequence type.
 
+use crate::bytes;
 use crate::checksum;
 use crate::error::{Error, Result};
 use crate::flow::IpProtocol;
@@ -157,7 +158,7 @@ pub fn parse_options(mut block: &[u8]) -> Result<Vec<TcpOption>> {
         match block[0] {
             0 => break, // EOL
             1 => {
-                block = &block[1..]; // NOP
+                block = bytes::range_from(block, 1); // NOP
                 continue;
             }
             kind => {
@@ -168,29 +169,21 @@ pub fn parse_options(mut block: &[u8]) -> Result<Vec<TcpOption>> {
                 if len < 2 || len > block.len() {
                     return Err(Error::Malformed);
                 }
-                let body = &block[2..len];
+                let body = bytes::range(block, 2, len);
                 let opt = match (kind, body.len()) {
-                    (2, 2) => TcpOption::Mss(u16::from_be_bytes([body[0], body[1]])),
+                    (2, 2) => TcpOption::Mss(bytes::be16(body, 0)),
                     (3, 1) => TcpOption::WindowScale(body[0]),
                     (4, 0) => TcpOption::SackPermitted,
                     (5, n) if n % 8 == 0 && n <= 32 => TcpOption::Sack(
                         body.chunks_exact(8)
-                            .map(|c| {
-                                (
-                                    SeqNum(u32::from_be_bytes(c[0..4].try_into().unwrap())),
-                                    SeqNum(u32::from_be_bytes(c[4..8].try_into().unwrap())),
-                                )
-                            })
+                            .map(|c| (SeqNum(bytes::be32(c, 0)), SeqNum(bytes::be32(c, 4))))
                             .collect(),
                     ),
-                    (8, 8) => TcpOption::Timestamps(
-                        u32::from_be_bytes(body[0..4].try_into().unwrap()),
-                        u32::from_be_bytes(body[4..8].try_into().unwrap()),
-                    ),
+                    (8, 8) => TcpOption::Timestamps(bytes::be32(body, 0), bytes::be32(body, 4)),
                     _ => TcpOption::Unknown(kind, body.to_vec()),
                 };
                 opts.push(opt);
-                block = &block[len..];
+                block = bytes::range_from(block, len);
             }
         }
     }
@@ -216,7 +209,7 @@ fn next_option_class(block: &mut &[u8]) -> Result<Option<OptionClass>> {
     while !block.is_empty() {
         match block[0] {
             0 => return Ok(None), // EOL ends the walk, as in parse_options
-            1 => *block = &block[1..],
+            1 => *block = bytes::range_from(block, 1),
             kind => {
                 if block.len() < 2 {
                     return Err(Error::Malformed);
@@ -233,7 +226,7 @@ fn next_option_class(block: &mut &[u8]) -> Result<Option<OptionClass>> {
                     (8, 8) => OptionClass::Timestamps,
                     _ => OptionClass::Unknown,
                 };
-                *block = &block[len..];
+                *block = bytes::range_from(block, len);
                 return Ok(Some(class));
             }
         }
@@ -325,26 +318,22 @@ impl<T: AsRef<[u8]>> TcpSegment<T> {
 
     /// Source port.
     pub fn src_port(&self) -> u16 {
-        let b = self.buffer.as_ref();
-        u16::from_be_bytes([b[0], b[1]])
+        bytes::be16(self.buffer.as_ref(), 0)
     }
 
     /// Destination port.
     pub fn dst_port(&self) -> u16 {
-        let b = self.buffer.as_ref();
-        u16::from_be_bytes([b[2], b[3]])
+        bytes::be16(self.buffer.as_ref(), 2)
     }
 
     /// Sequence number.
     pub fn seq(&self) -> SeqNum {
-        let b = self.buffer.as_ref();
-        SeqNum(u32::from_be_bytes(b[4..8].try_into().unwrap()))
+        SeqNum(bytes::be32(self.buffer.as_ref(), 4))
     }
 
     /// Acknowledgment number.
     pub fn ack(&self) -> SeqNum {
-        let b = self.buffer.as_ref();
-        SeqNum(u32::from_be_bytes(b[8..12].try_into().unwrap()))
+        SeqNum(bytes::be32(self.buffer.as_ref(), 8))
     }
 
     /// Header length in bytes (data offset × 4).
@@ -359,24 +348,22 @@ impl<T: AsRef<[u8]>> TcpSegment<T> {
 
     /// Receive window (unscaled).
     pub fn window(&self) -> u16 {
-        let b = self.buffer.as_ref();
-        u16::from_be_bytes([b[14], b[15]])
+        bytes::be16(self.buffer.as_ref(), 14)
     }
 
     /// Checksum field.
     pub fn checksum_field(&self) -> u16 {
-        let b = self.buffer.as_ref();
-        u16::from_be_bytes([b[16], b[17]])
+        bytes::be16(self.buffer.as_ref(), 16)
     }
 
     /// The raw options block.
     pub fn options(&self) -> &[u8] {
-        &self.buffer.as_ref()[HEADER_LEN..self.header_len()]
+        bytes::range(self.buffer.as_ref(), HEADER_LEN, self.header_len())
     }
 
     /// The payload after the header.
     pub fn payload(&self) -> &[u8] {
-        &self.buffer.as_ref()[self.header_len()..]
+        bytes::range_from(self.buffer.as_ref(), self.header_len())
     }
 
     /// Verifies the transport checksum given the IP pseudo-header inputs.
@@ -395,22 +382,22 @@ impl<T: AsRef<[u8]>> TcpSegment<T> {
 impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
     /// Sets the source port.
     pub fn set_src_port(&mut self, p: u16) {
-        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+        bytes::put_be16(self.buffer.as_mut(), 0, p);
     }
 
     /// Sets the destination port.
     pub fn set_dst_port(&mut self, p: u16) {
-        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+        bytes::put_be16(self.buffer.as_mut(), 2, p);
     }
 
     /// Sets the sequence number.
     pub fn set_seq(&mut self, s: SeqNum) {
-        self.buffer.as_mut()[4..8].copy_from_slice(&s.0.to_be_bytes());
+        bytes::put_be32(self.buffer.as_mut(), 4, s.0);
     }
 
     /// Sets the acknowledgment number.
     pub fn set_ack(&mut self, s: SeqNum) {
-        self.buffer.as_mut()[8..12].copy_from_slice(&s.0.to_be_bytes());
+        bytes::put_be32(self.buffer.as_mut(), 8, s.0);
     }
 
     /// Sets the header length in bytes (multiple of 4).
@@ -427,21 +414,21 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
 
     /// Sets the receive window.
     pub fn set_window(&mut self, w: u16) {
-        self.buffer.as_mut()[14..16].copy_from_slice(&w.to_be_bytes());
+        bytes::put_be16(self.buffer.as_mut(), 14, w);
     }
 
     /// Zeroes, computes, and writes the transport checksum.
     pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
         let b = self.buffer.as_mut();
-        b[16..18].copy_from_slice(&[0, 0]);
+        bytes::put_be16(b, 16, 0);
         let ck = checksum::transport_checksum(src, dst, IpProtocol::Tcp.into(), b);
-        b[16..18].copy_from_slice(&ck.to_be_bytes());
+        bytes::put_be16(b, 16, ck);
     }
 
     /// The payload, mutably.
     pub fn payload_mut(&mut self) -> &mut [u8] {
         let start = self.header_len();
-        &mut self.buffer.as_mut()[start..]
+        bytes::range_from_mut(self.buffer.as_mut(), start)
     }
 }
 
@@ -498,8 +485,8 @@ impl TcpRepr {
         let opts = emit_options(&self.options);
         let hlen = HEADER_LEN + opts.len();
         let mut buf = vec![0u8; hlen + payload.len()];
-        buf[HEADER_LEN..hlen].copy_from_slice(&opts);
-        buf[hlen..].copy_from_slice(payload);
+        bytes::put(&mut buf, HEADER_LEN, &opts);
+        bytes::put(&mut buf, hlen, payload);
         let mut seg = TcpSegment::new_unchecked(&mut buf[..]);
         seg.set_src_port(self.src_port);
         seg.set_dst_port(self.dst_port);

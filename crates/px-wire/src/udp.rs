@@ -1,5 +1,6 @@
 //! UDP datagrams (RFC 768).
 
+use crate::bytes;
 use crate::checksum;
 use crate::error::{Error, Result};
 use crate::flow::IpProtocol;
@@ -36,31 +37,27 @@ impl<T: AsRef<[u8]>> UdpDatagram<T> {
 
     /// Source port.
     pub fn src_port(&self) -> u16 {
-        let b = self.buffer.as_ref();
-        u16::from_be_bytes([b[0], b[1]])
+        bytes::be16(self.buffer.as_ref(), 0)
     }
 
     /// Destination port.
     pub fn dst_port(&self) -> u16 {
-        let b = self.buffer.as_ref();
-        u16::from_be_bytes([b[2], b[3]])
+        bytes::be16(self.buffer.as_ref(), 2)
     }
 
     /// The length field (header + payload).
     pub fn length(&self) -> usize {
-        let b = self.buffer.as_ref();
-        usize::from(u16::from_be_bytes([b[4], b[5]]))
+        usize::from(bytes::be16(self.buffer.as_ref(), 4))
     }
 
     /// The checksum field.
     pub fn checksum_field(&self) -> u16 {
-        let b = self.buffer.as_ref();
-        u16::from_be_bytes([b[6], b[7]])
+        bytes::be16(self.buffer.as_ref(), 6)
     }
 
     /// The payload (respects the length field).
     pub fn payload(&self) -> &[u8] {
-        &self.buffer.as_ref()[HEADER_LEN..self.length()]
+        bytes::range(self.buffer.as_ref(), HEADER_LEN, self.length())
     }
 
     /// Verifies the checksum (a zero field means "no checksum" and passes,
@@ -69,7 +66,7 @@ impl<T: AsRef<[u8]>> UdpDatagram<T> {
         if self.checksum_field() == 0 {
             return true;
         }
-        let b = &self.buffer.as_ref()[..self.length()];
+        let b = bytes::range_to(self.buffer.as_ref(), self.length());
         let pseudo = checksum::pseudo_header_sum(src, dst, IpProtocol::Udp.into(), b.len() as u16);
         checksum::combine(pseudo, checksum::ones_complement_sum(b)) == 0xFFFF
     }
@@ -83,17 +80,17 @@ impl<T: AsRef<[u8]>> UdpDatagram<T> {
 impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
     /// Sets the source port.
     pub fn set_src_port(&mut self, p: u16) {
-        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+        bytes::put_be16(self.buffer.as_mut(), 0, p);
     }
 
     /// Sets the destination port.
     pub fn set_dst_port(&mut self, p: u16) {
-        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+        bytes::put_be16(self.buffer.as_mut(), 2, p);
     }
 
     /// Sets the length field.
     pub fn set_length(&mut self, len: u16) {
-        self.buffer.as_mut()[4..6].copy_from_slice(&len.to_be_bytes());
+        bytes::put_be16(self.buffer.as_mut(), 4, len);
     }
 
     /// Zeroes, computes, and writes the checksum (0 results are emitted as
@@ -101,12 +98,13 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
     pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
         let len = self.length();
         let b = self.buffer.as_mut();
-        b[6..8].copy_from_slice(&[0, 0]);
-        let mut ck = checksum::transport_checksum(src, dst, IpProtocol::Udp.into(), &b[..len]);
+        bytes::put_be16(b, 6, 0);
+        let body = bytes::range_to(b, len);
+        let mut ck = checksum::transport_checksum(src, dst, IpProtocol::Udp.into(), body);
         if ck == 0 {
             ck = 0xFFFF;
         }
-        b[6..8].copy_from_slice(&ck.to_be_bytes());
+        bytes::put_be16(b, 6, ck);
     }
 }
 
@@ -135,7 +133,7 @@ impl UdpRepr {
             return Err(Error::FieldRange);
         }
         let mut buf = vec![0u8; total];
-        buf[HEADER_LEN..].copy_from_slice(payload);
+        bytes::put(&mut buf, HEADER_LEN, payload);
         let mut dg = UdpDatagram::new_unchecked(&mut buf[..]);
         dg.set_src_port(self.src_port);
         dg.set_dst_port(self.dst_port);

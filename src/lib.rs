@@ -20,6 +20,7 @@
 //! a PXGW that merges, splits, and rewrites MSS on the fly.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 /// Wire formats: Ethernet, IPv4 (+fragmentation), TCP, UDP, ICMPv4,
 /// GTP-U, PX-caravan. Re-export of [`px_wire`].
