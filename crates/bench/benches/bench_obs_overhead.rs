@@ -1,0 +1,67 @@
+//! Criterion bench for the observability overhead budget: the Parallel
+//! PXGW engine with the flight recorder + histograms enabled must stay
+//! within 5% of the recorder-disabled run (the ISSUE acceptance bound;
+//! `figures --json` records the measured ratio in `BENCH_engine.json`).
+//!
+//! A recorder micro-bench isolates the per-event cost of `record` +
+//! `observe_*` so regressions point at the right layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use px_core::engine::{run_engine, EngineConfig, EngineMode};
+use px_core::pipeline::{PipelineConfig, SystemVariant, WorkloadKind};
+use px_obs::{EventKind, ObsConfig, Recorder};
+
+const TRACE_PKTS: usize = 20_000;
+const N_FLOWS: usize = 200;
+
+fn bench_cfg(obs: ObsConfig) -> EngineConfig {
+    let mut pipe = PipelineConfig::fig5(SystemVariant::Px, WorkloadKind::Tcp, 4);
+    pipe.trace_pkts = TRACE_PKTS;
+    pipe.n_flows = N_FLOWS;
+    let mut cfg = EngineConfig::new(pipe, EngineMode::Parallel);
+    cfg.obs = obs;
+    cfg
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead_engine");
+    g.sample_size(10);
+    let emtu = px_wire::LEGACY_MTU as u64;
+    g.throughput(Throughput::Bytes(TRACE_PKTS as u64 * emtu));
+    for (label, obs) in [
+        ("disabled", ObsConfig::disabled()),
+        ("enabled", ObsConfig::default()),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &obs, |b, &obs| {
+            b.iter(|| {
+                let rep = run_engine(std::hint::black_box(bench_cfg(obs)));
+                assert_eq!(rep.totals.pkts_in, TRACE_PKTS as u64);
+                assert_eq!(rep.obs.enabled, obs.enabled);
+                rep.throughput_bps
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("obs_recorder_micro");
+    g.throughput(Throughput::Elements(1));
+    for (label, obs) in [
+        ("disabled", ObsConfig::disabled()),
+        ("enabled", ObsConfig::default()),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &obs, |b, &obs| {
+            let mut rec = Recorder::new(obs);
+            let mut t = 0u64;
+            b.iter(|| {
+                t = t.wrapping_add(1);
+                rec.record(EventKind::PktIn, t, 1500, 0x1388_0050, 0);
+                rec.observe_out_size(1500);
+                std::hint::black_box(rec.events_recorded())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -55,7 +55,8 @@ fn allocs_so_far() -> u64 {
 fn run_json(scale: Scale) -> String {
     let hot = px_bench::json_report::measure_hot_loops(scale, allocs_so_far);
     let engine = px_bench::json_report::measure_engine(scale);
-    let json = px_bench::json_report::render(scale, &hot, &engine);
+    let obs = px_bench::json_report::measure_observability(scale);
+    let json = px_bench::json_report::render(scale, &hot, &engine, &obs);
     let path = "BENCH_engine.json";
     std::fs::write(path, &json).expect("write BENCH_engine.json");
     format!("{json}  [written to {path}]")
@@ -65,17 +66,35 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "figures — regenerate the paper's tables and figures\n\n             USAGE: figures [--quick] [EXPERIMENT ...]\n\n             EXPERIMENTS:\n               fig1a    5G UPF throughput vs MTU\n               fig1b    single-flow RX offload matrix\n               fig1c    RX throughput vs concurrent flows\n               fig1d    WAN single-flow TCP (full simulation)\n               table1   server CPU: 1x9000B vs 6x1500B connections\n               fig5a    PXGW TCP throughput / conversion yield\n               fig5b    PXGW UDP (PX-caravan)\n               fig5c    b-network receiver throughput\n               engine   modeled PXGW vs real threaded datapath\n               json     machine-readable engine + hot-path record (writes BENCH_engine.json)\n               sender   §5.2 sender-only upgrade over the WAN\n               fpmtud   §5.3 F-PMTUD vs PLPMTUD pairwise probing\n               survey   §5.3 fragment-delivery survey\n               fairness extension: MTU-mix bottleneck sharing (§6)\n               summary  every headline number, paper vs measured\n\n             With no experiment names, everything runs. --quick shrinks\n             workloads for CI."
+            "figures — regenerate the paper's tables and figures\n\n             USAGE: figures [--quick] [EXPERIMENT ...]\n\n             EXPERIMENTS:\n               fig1a    5G UPF throughput vs MTU\n               fig1b    single-flow RX offload matrix\n               fig1c    RX throughput vs concurrent flows\n               fig1d    WAN single-flow TCP (full simulation)\n               table1   server CPU: 1x9000B vs 6x1500B connections\n               fig5a    PXGW TCP throughput / conversion yield\n               fig5b    PXGW UDP (PX-caravan)\n               fig5c    b-network receiver throughput\n               engine   modeled PXGW vs real threaded datapath\n               json     machine-readable engine + hot-path record (writes BENCH_engine.json)\n               metrics  Prometheus/JSON metrics export from a live engine run (--format prometheus|json)\n               sender   §5.2 sender-only upgrade over the WAN\n               fpmtud   §5.3 F-PMTUD vs PLPMTUD pairwise probing\n               survey   §5.3 fragment-delivery survey\n               fairness extension: MTU-mix bottleneck sharing (§6)\n               summary  every headline number, paper vs measured\n\n             With no experiment names, everything runs. --quick shrinks\n             workloads for CI."
         );
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    // `--format <prometheus|json>` selects the `metrics` output format;
+    // strip the pair before experiment-name filtering.
+    let mut format = px_bench::metrics::MetricsFormat::Prometheus;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--format" {
+            match it.next().map(String::as_str) {
+                Some("prometheus") => format = px_bench::metrics::MetricsFormat::Prometheus,
+                Some("json") => format = px_bench::metrics::MetricsFormat::Json,
+                other => {
+                    eprintln!(
+                        "--format expects 'prometheus' or 'json', got {:?}",
+                        other.unwrap_or("<nothing>")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        } else if !a.starts_with("--") {
+            positional.push(a.as_str());
+        }
+    }
+    let selected = positional;
     let all = [
         "fig1a", "fig1b", "fig1c", "fig1d", "table1", "fig5a", "fig5b", "fig5c", "engine",
         "sender", "fpmtud", "survey", "fairness", "summary",
@@ -103,6 +122,7 @@ fn main() {
             }
             "engine" => px_bench::engine_cmp::render(&px_bench::engine_cmp::run(scale)),
             "json" => run_json(scale),
+            "metrics" => px_bench::metrics::render(&px_bench::metrics::run(scale), format),
             "sender" => px_bench::sender::render(&px_bench::sender::run(scale)),
             "fpmtud" => px_bench::fpmtud::render(&px_bench::fpmtud::run(scale)),
             "survey" => px_bench::survey::render(&px_bench::survey::run(scale)),

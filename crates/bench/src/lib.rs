@@ -28,6 +28,7 @@ pub mod fig5b;
 pub mod fig5c;
 pub mod fpmtud;
 pub mod json_report;
+pub mod metrics;
 pub mod sender;
 pub mod summary;
 pub mod survey;

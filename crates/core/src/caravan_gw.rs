@@ -18,6 +18,7 @@
 //! fragmentation reveals the path MTU (§4.2).
 
 use crate::flowtable::FlowTable;
+use px_obs::{flow_id, EventKind, ObsConfig, Recorder};
 use px_sim::stats::SizeHistogram;
 use px_wire::bytes;
 use px_wire::caravan::{iter_bundle, MAX_INNER};
@@ -114,6 +115,8 @@ struct PendingBundle {
     src_port: u16,
     dst_port: u16,
     next_ip_id: u16,
+    /// Logical arrival time of the first datagram (dwell accounting).
+    born: u64,
 }
 
 /// The PX-caravan gateway engine.
@@ -126,6 +129,11 @@ pub struct CaravanEngine {
     out_ident: u16,
     /// Counters.
     pub stats: CaravanStats,
+    /// Flight recorder + histograms (disabled by default — zero cost).
+    pub obs: Recorder,
+    /// Logical time of the most recent inbound push/poll, used to stamp
+    /// emission events deterministically.
+    last_now: u64,
 }
 
 impl CaravanEngine {
@@ -137,7 +145,14 @@ impl CaravanEngine {
             pool: BufPool::for_mtu(cfg.imtu, 256),
             out_ident: 1,
             stats: CaravanStats::default(),
+            obs: Recorder::off(),
+            last_now: 0,
         }
+    }
+
+    /// Switches the flight recorder + histograms on.
+    pub fn enable_obs(&mut self, cfg: ObsConfig) {
+        self.obs = Recorder::new(cfg);
     }
 
     /// Flow-table lookups (cost accounting).
@@ -159,6 +174,7 @@ impl CaravanEngine {
     fn forward_recorded(&mut self, pkt: &[u8], sink: &mut impl PacketSink) {
         self.stats.passthrough += 1;
         self.stats.out_sizes.record(pkt.len());
+        self.obs.observe_out_size(pkt.len() as u64);
         let mut buf = self.pool.get();
         buf.extend_from_slice(pkt);
         if let Some(b) = sink.accept(buf) {
@@ -171,6 +187,7 @@ impl CaravanEngine {
             // Single datagram: forward the original packet untouched.
             self.stats.passthrough += 1;
             self.stats.out_sizes.record(p.buf.len());
+            self.obs.observe_out_size(p.buf.len() as u64);
             if let Some(b) = sink.accept(p.buf) {
                 self.pool.put(b);
             }
@@ -207,11 +224,30 @@ impl CaravanEngine {
             // A bundle the outer header cannot describe (cannot happen
             // for bundles within the iMTU budget): drop and account.
             self.stats.dropped_malformed += 1;
+            self.obs.record(
+                EventKind::DropMalformed,
+                self.last_now,
+                p.buf.len() as u32,
+                flow_id(p.src_port, p.dst_port),
+                0,
+            );
             self.pool.put(p.buf);
             return;
         }
         self.stats.caravans_out += 1;
         self.stats.out_sizes.record(p.buf.len());
+        if self.obs.is_enabled() {
+            let dwell = self.last_now.saturating_sub(p.born);
+            self.obs.record(
+                EventKind::CaravanPack,
+                self.last_now,
+                p.buf.len() as u32,
+                flow_id(p.src_port, p.dst_port),
+                p.count as u64,
+            );
+            self.obs.observe_dwell(dwell);
+            self.obs.observe_out_size(p.buf.len() as u64);
+        }
         if let Some(b) = sink.accept(p.buf) {
             self.pool.put(b);
         }
@@ -221,6 +257,7 @@ impl CaravanEngine {
     /// forward to `sink` (possibly none while a bundle is being held).
     pub fn push_inbound_into(&mut self, now: u64, pkt: &[u8], sink: &mut impl PacketSink) {
         self.stats.pkts_in += 1;
+        self.last_now = now;
 
         let parsed = (|| {
             let ip = Ipv4Packet::new_checked(pkt).ok()?;
@@ -317,11 +354,19 @@ impl CaravanEngine {
             src_port: sport,
             dst_port: dport,
             next_ip_id: ip_id.wrapping_add(1),
+            born: now,
         };
-        if let Some((_, victim)) =
+        if let Some((victim_key, victim)) =
             self.table
                 .insert_with_deadline(key, pending, now + self.cfg.hold_ns)
         {
+            self.obs.record(
+                EventKind::FlowEvict,
+                now,
+                victim.buf.len() as u32,
+                flow_id(victim_key.src_port, victim_key.dst_port),
+                0,
+            );
             self.emit_pending(victim, sink);
         }
     }
@@ -356,6 +401,13 @@ impl CaravanEngine {
         // full rather than partially forwarded as garbage.
         if iter_bundle(bundle).any(|r| r.is_err()) {
             self.stats.dropped_malformed += 1;
+            self.obs.record(
+                EventKind::DropMalformed,
+                self.last_now,
+                pkt.len() as u32,
+                0,
+                0,
+            );
             return;
         }
         self.stats.unbundled += 1;
@@ -377,6 +429,13 @@ impl CaravanEngine {
                 }
             } else {
                 self.stats.dropped_malformed += 1;
+                self.obs.record(
+                    EventKind::DropMalformed,
+                    self.last_now,
+                    buf.len() as u32,
+                    0,
+                    0,
+                );
                 self.pool.put(buf);
             }
         }
@@ -384,6 +443,7 @@ impl CaravanEngine {
 
     /// Emits every bundle whose hold timer expired.
     pub fn poll_into(&mut self, now: u64, sink: &mut impl PacketSink) {
+        self.last_now = now;
         while let Some((_, p)) = self.table.pop_expired(now) {
             self.emit_pending(p, sink);
         }
@@ -560,6 +620,26 @@ mod tests {
             let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
             assert!(px_wire::caravan::bundle_is_single_flow(udp.payload()).unwrap());
         }
+    }
+
+    #[test]
+    fn flight_recorder_captures_caravan_packing() {
+        let mut eng = CaravanEngine::new(CaravanConfig::default());
+        eng.enable_obs(px_obs::ObsConfig::default());
+        let mut out = Vec::new();
+        for i in 0..7u16 {
+            out.extend(eng.push_inbound(u64::from(i) * 100, udp_pkt(5000, 1172, i)));
+        }
+        assert_eq!(out.len(), 1);
+        let events = eng.obs.recent(64);
+        let pack = events
+            .iter()
+            .find(|e| e.kind == EventKind::CaravanPack)
+            .expect("CaravanPack recorded");
+        assert_eq!(pack.flow, flow_id(5000, 4433));
+        assert_eq!(pack.aux, 7, "inner datagram count in aux");
+        assert_eq!(pack.ts, 600, "stamped with the emitting push's time");
+        assert_eq!(eng.obs.hists().dwell_ns.max(), 600);
     }
 
     #[test]

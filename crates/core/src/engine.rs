@@ -34,13 +34,15 @@ use crate::caravan_gw::{CaravanConfig, CaravanEngine};
 use crate::merge::{MergeConfig, MergeEngine};
 use crate::pipeline::{PipelineConfig, SystemVariant, TraceGen, WorkloadKind};
 use crossbeam::channel;
+use px_obs::{Event, EventKind, HistSet, ObsConfig, ObsReport, Recorder, TimeSample};
 use px_sim::stats::{CoreCounters, StatsRegistry};
 use px_wire::ipv4::Ipv4Packet;
 use px_wire::pool::{PacketSink, VecSink};
 use px_wire::{FlowKey, IpProtocol, PacketBuf, RssHasher};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One core's gateway datapath: the actual translation engine the
 /// pipeline model and the threaded engine both drive.
@@ -135,6 +137,32 @@ impl CoreEngine {
             CoreEngine::Caravan(c) => c.stats.dropped_malformed,
         }
     }
+
+    /// Switches the inner engine's flight recorder + histograms on. The
+    /// baseline gateway has no recorder (it exists to be compared
+    /// against, not debugged), so this is a no-op for it.
+    pub fn enable_obs(&mut self, cfg: ObsConfig) {
+        match self {
+            CoreEngine::Baseline(_) => {}
+            CoreEngine::Merge(m) => m.enable_obs(cfg),
+            CoreEngine::Caravan(c) => c.enable_obs(cfg),
+        }
+    }
+
+    /// The inner engine's recorder (`None` for the baseline).
+    pub fn obs_mut(&mut self) -> Option<&mut Recorder> {
+        match self {
+            CoreEngine::Baseline(_) => None,
+            CoreEngine::Merge(m) => Some(&mut m.obs),
+            CoreEngine::Caravan(c) => Some(&mut c.obs),
+        }
+    }
+
+    /// Drains the recorder for report assembly: held events (oldest
+    /// first) plus histograms. Empty for the baseline or when disabled.
+    pub fn take_obs(&mut self) -> (Vec<Event>, HistSet) {
+        self.obs_mut().map(Recorder::take).unwrap_or_default()
+    }
 }
 
 /// How the engine schedules its per-core workers.
@@ -159,6 +187,11 @@ pub struct EngineConfig {
     pub batch_pkts: usize,
     /// Channel capacity in batches (Parallel mode back-pressure).
     pub channel_batches: usize,
+    /// Observability: flight recorder, histograms, mid-run publishing,
+    /// and the Parallel-mode sampler thread. On by default — the
+    /// deterministic digests are pinned *with* recording enabled, which
+    /// is what proves recording never perturbs the datapath.
+    pub obs: ObsConfig,
 }
 
 impl EngineConfig {
@@ -169,6 +202,7 @@ impl EngineConfig {
             mode,
             batch_pkts: 32,
             channel_batches: 8,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -249,6 +283,9 @@ pub struct EngineReport {
     /// Per-flow output digests (drain included: the full delivered
     /// stream).
     pub flow_digests: BTreeMap<FlowKey, FlowDigest>,
+    /// Observability results: merged histograms, per-core flight
+    /// recorder contents, and the in-run time series.
+    pub obs: ObsReport,
 }
 
 /// One worker's private state: the translation engine plus local
@@ -259,6 +296,9 @@ struct Worker {
     counters: CoreCounters,
     digests: BTreeMap<FlowKey, FlowDigest>,
     jumbo_at: usize,
+    /// Whether the engine carries an active recorder (cached so the
+    /// batch loop skips the per-batch `Instant` reads when off).
+    obs_on: bool,
 }
 
 /// The worker's [`PacketSink`]: accounts every emitted packet into the
@@ -295,34 +335,47 @@ impl PacketSink for Accountant<'_> {
 }
 
 impl Worker {
-    fn new(cfg: &PipelineConfig) -> Self {
+    fn new(cfg: &PipelineConfig, obs: ObsConfig) -> Self {
+        let mut engine =
+            CoreEngine::for_variant(cfg.variant, cfg.workload, cfg.imtu, cfg.emtu, cfg.hold_ns);
+        if obs.enabled {
+            engine.enable_obs(obs);
+        }
+        let obs_on = engine.obs_mut().is_some_and(|r| r.is_enabled());
         Worker {
-            engine: CoreEngine::for_variant(
-                cfg.variant,
-                cfg.workload,
-                cfg.imtu,
-                cfg.emtu,
-                cfg.hold_ns,
-            ),
+            engine,
             counters: CoreCounters::default(),
             digests: BTreeMap::new(),
             // Same threshold the pipeline model uses: an output packet
             // "reached iMTU" when one more eMTU payload would not fit.
             jumbo_at: cfg.imtu - (cfg.emtu - 40) + 1,
+            obs_on,
         }
     }
 
     fn process_batch(&mut self, batch: Vec<(u64, Vec<u8>)>) {
         self.counters.batches += 1;
+        let batch_start = if self.obs_on {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let n_pkts = batch.len() as u64;
+        let mut last_now = 0u64;
         let Worker {
             engine,
             counters,
             digests,
             jumbo_at,
+            ..
         } = self;
         for (now, pkt) in batch {
             counters.pkts_in += 1;
             counters.bytes_in += pkt.len() as u64;
+            if let Some(rec) = engine.obs_mut() {
+                rec.record(EventKind::PktIn, now, pkt.len() as u32, 0, 0);
+            }
+            last_now = now;
             let mut acct = Accountant {
                 counters: &mut *counters,
                 digests: &mut *digests,
@@ -330,6 +383,17 @@ impl Worker {
                 inband: true,
             };
             engine.push_into(now, pkt, &mut acct);
+        }
+        if let Some(t0) = batch_start {
+            // The BatchDone *event* carries only logical facts (last
+            // arrival ts, packet count) so the event stream stays
+            // deterministic; the batch's wall time goes to histograms,
+            // which are measurement-only.
+            let wall = t0.elapsed().as_nanos() as u64;
+            if let Some(rec) = self.engine.obs_mut() {
+                rec.record(EventKind::BatchDone, last_now, n_pkts as u32, 0, 0);
+                rec.observe_batch(wall, n_pkts);
+            }
         }
     }
 
@@ -343,6 +407,24 @@ impl Worker {
         self.engine.finish_into(&mut acct);
         self.counters.dropped_malformed = self.engine.dropped_malformed();
     }
+
+    /// Publishes counters, merges histograms, and extracts the flight
+    /// recorder — the worker's end-of-run handoff to the registry.
+    fn publish_final(mut self, core: usize, registry: &StatsRegistry) -> WorkerOutput {
+        registry.set_core(core, &self.counters);
+        let (events, hists) = self.engine.take_obs();
+        registry.merge_core_hists(core, &hists);
+        WorkerOutput {
+            digests: self.digests,
+            events,
+        }
+    }
+}
+
+/// What each worker hands back at the end of a run.
+struct WorkerOutput {
+    digests: BTreeMap<FlowKey, FlowDigest>,
+    events: Vec<Event>,
 }
 
 /// A batch of (arrival-time, packet) pairs bound for one core.
@@ -376,8 +458,28 @@ fn shard_batches(cfg: &EngineConfig, trace: Vec<(FlowKey, Vec<u8>)>) -> Vec<Vec<
     per_core
 }
 
+/// What a mode runner hands back: timing, per-worker outputs, and the
+/// sampler's time series.
+struct ModeOutput {
+    wall_ns: u64,
+    outputs: Vec<WorkerOutput>,
+    series: Vec<TimeSample>,
+}
+
+/// Builds one time-series point from an aggregate counter snapshot.
+fn sample_at(t_ns: u64, agg: &CoreCounters) -> TimeSample {
+    TimeSample {
+        t_ns,
+        pkts_in: agg.pkts_in,
+        bytes_in: agg.bytes_in,
+        pkts_out: agg.pkts_out,
+        bytes_out: agg.bytes_out,
+        conversion_yield: agg.conversion_yield(),
+    }
+}
+
 /// Runs the sharded engine and reports measured throughput, yield,
-/// counters, and per-flow digests.
+/// counters, per-flow digests, and observability results.
 pub fn run_engine(cfg: EngineConfig) -> EngineReport {
     assert!(cfg.pipe.cores > 0, "need at least one core");
     assert!(cfg.batch_pkts > 0, "batches must hold packets");
@@ -392,14 +494,16 @@ pub fn run_engine(cfg: EngineConfig) -> EngineReport {
     let trace = tracer.generate(pipe.trace_pkts);
     let registry = Arc::new(StatsRegistry::new(pipe.cores));
 
-    let (wall_ns, mut digests_per_core) = match cfg.mode {
+    let mut out = match cfg.mode {
         EngineMode::Parallel => run_parallel(&cfg, trace, &registry),
         EngineMode::Deterministic => run_deterministic(&cfg, trace, &registry),
     };
 
     let mut flow_digests: BTreeMap<FlowKey, FlowDigest> = BTreeMap::new();
-    for core_digests in digests_per_core.drain(..) {
-        for (key, d) in core_digests {
+    let mut per_core_events = Vec::with_capacity(out.outputs.len());
+    for worker_out in out.outputs.drain(..) {
+        per_core_events.push(worker_out.events);
+        for (key, d) in worker_out.digests {
             // RSS pins a flow to exactly one core, so keys never collide
             // across cores; insert-or-merge keeps this robust anyway.
             let e = flow_digests.entry(key).or_default();
@@ -415,6 +519,21 @@ pub fn run_engine(cfg: EngineConfig) -> EngineReport {
 
     let per_core = registry.snapshot();
     let totals = registry.aggregate();
+    let wall_ns = out.wall_ns;
+    if cfg.obs.enabled {
+        // Close the time series with a final whole-run sample.
+        out.series.push(sample_at(wall_ns, &totals));
+    }
+    let obs = if cfg.obs.enabled {
+        ObsReport {
+            enabled: true,
+            hists: registry.hist_aggregate(),
+            per_core_events,
+            time_series: out.series,
+        }
+    } else {
+        ObsReport::disabled()
+    };
     let wall_s = wall_ns as f64 / 1e9;
     EngineReport {
         mode: cfg.mode,
@@ -429,6 +548,7 @@ pub fn run_engine(cfg: EngineConfig) -> EngineReport {
         totals,
         per_core,
         flow_digests,
+        obs,
     }
 }
 
@@ -439,10 +559,37 @@ fn run_parallel(
     cfg: &EngineConfig,
     trace: Vec<(FlowKey, Vec<u8>)>,
     registry: &Arc<StatsRegistry>,
-) -> (u64, Vec<BTreeMap<FlowKey, FlowDigest>>) {
+) -> ModeOutput {
     let cores = cfg.pipe.cores;
     let batches = shard_batches(cfg, trace);
     let start = Instant::now();
+
+    // In-run sampler: while workers publish periodic counter snapshots,
+    // this thread turns them into a throughput/yield time series.
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = if cfg.obs.enabled && cfg.obs.sample_interval_us > 0 {
+        let registry = Arc::clone(registry);
+        let stop = Arc::clone(&stop);
+        let interval = Duration::from_micros(cfg.obs.sample_interval_us);
+        Some(std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let mut series = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                let agg = registry.aggregate();
+                series.push(sample_at(t0.elapsed().as_nanos() as u64, &agg));
+            }
+            series
+        }))
+    } else {
+        None
+    };
+
+    let publish_every = if cfg.obs.enabled {
+        cfg.obs.publish_every_batches
+    } else {
+        0
+    };
     let mut senders = Vec::with_capacity(cores);
     let mut handles = Vec::with_capacity(cores);
     for core in 0..cores {
@@ -450,14 +597,20 @@ fn run_parallel(
         senders.push(tx);
         let registry = Arc::clone(registry);
         let pipe = cfg.pipe;
+        let obs = cfg.obs;
         handles.push(std::thread::spawn(move || {
-            let mut w = Worker::new(&pipe);
+            let mut w = Worker::new(&pipe, obs);
             for batch in rx.iter() {
                 w.process_batch(batch);
+                // Periodic counter publish so mid-run snapshots and the
+                // sampler see progress (overwrite: counters are
+                // cumulative and this slot has one writer).
+                if publish_every > 0 && w.counters.batches.is_multiple_of(publish_every) {
+                    registry.set_core(core, &w.counters);
+                }
             }
             w.finish();
-            registry.merge_core(core, &w.counters);
-            w.digests
+            w.publish_final(core, &registry)
         }));
     }
     // Round-robin dispatch in arrival order; bounded channels apply
@@ -476,26 +629,42 @@ fn run_parallel(
     }
     drop(senders);
     #[allow(clippy::expect_used)]
-    let digests: Vec<_> = handles
+    let outputs: Vec<_> = handles
         .into_iter()
         // px-analyze: allow(R1, reason = "run teardown, not datapath: join propagates a worker panic to the harness")
         .map(|h| h.join().expect("worker must not panic"))
         .collect();
-    (start.elapsed().as_nanos() as u64, digests)
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    stop.store(true, Ordering::Relaxed);
+    let series = match sampler {
+        // px-analyze: allow(R1, reason = "run teardown, not datapath: join propagates a sampler panic to the harness")
+        #[allow(clippy::expect_used)]
+        Some(h) => h.join().expect("sampler must not panic"),
+        None => Vec::new(),
+    };
+    ModeOutput {
+        wall_ns,
+        outputs,
+        series,
+    }
 }
 
 /// Deterministic mode: the identical batch streams, executed inline —
 /// one batch per core per round, cores in index order, then a drain in
-/// core order.
+/// core order. No sampler thread runs (nothing else may touch the
+/// schedule); the time series is the single final sample `run_engine`
+/// appends.
 fn run_deterministic(
     cfg: &EngineConfig,
     trace: Vec<(FlowKey, Vec<u8>)>,
     registry: &Arc<StatsRegistry>,
-) -> (u64, Vec<BTreeMap<FlowKey, FlowDigest>>) {
+) -> ModeOutput {
     let cores = cfg.pipe.cores;
     let batches = shard_batches(cfg, trace);
     let start = Instant::now();
-    let mut workers: Vec<Worker> = (0..cores).map(|_| Worker::new(&cfg.pipe)).collect();
+    let mut workers: Vec<Worker> = (0..cores)
+        .map(|_| Worker::new(&cfg.pipe, cfg.obs))
+        .collect();
     let max_rounds = batches.iter().map(Vec::len).max().unwrap_or(0);
     let mut queues: Vec<std::vec::IntoIter<Batch>> =
         batches.into_iter().map(Vec::into_iter).collect();
@@ -506,16 +675,19 @@ fn run_deterministic(
             }
         }
     }
-    let digests = workers
+    let outputs = workers
         .into_iter()
         .enumerate()
         .map(|(core, mut w)| {
             w.finish();
-            registry.merge_core(core, &w.counters);
-            w.digests
+            w.publish_final(core, registry)
         })
         .collect();
-    (start.elapsed().as_nanos() as u64, digests)
+    ModeOutput {
+        wall_ns: start.elapsed().as_nanos() as u64,
+        outputs,
+        series: Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -566,6 +738,45 @@ mod tests {
         }
         assert_eq!(sum, r.totals);
         assert_eq!(r.per_core.len(), 4);
+    }
+
+    #[test]
+    fn observability_report_is_populated_and_inert() {
+        let r = small(EngineMode::Deterministic, 2, WorkloadKind::Tcp);
+        assert!(r.obs.enabled);
+        // Every core recorded events and they drained into the report.
+        assert_eq!(r.obs.per_core_events.len(), 2);
+        assert!(r.obs.per_core_events.iter().all(|e| !e.is_empty()));
+        // Each batch contributed one histogram observation.
+        // batch_ns gets one sample per batch; pkt_ns one per-packet
+        // average per non-empty batch.
+        assert_eq!(r.obs.hists.batch_ns.count(), r.totals.batches);
+        assert_eq!(r.obs.hists.pkt_ns.count(), r.totals.batches);
+        // Deterministic mode gets exactly the final sample.
+        assert_eq!(r.obs.time_series.len(), 1);
+        let last = r.obs.time_series[0];
+        assert_eq!(last.pkts_in, r.totals.pkts_in);
+        assert_eq!(last.bytes_out, r.totals.bytes_out);
+
+        // Turning obs off yields identical datapath results and an
+        // empty report.
+        let mut pipe = PipelineConfig::fig5(SystemVariant::Px, WorkloadKind::Tcp, 2);
+        pipe.trace_pkts = 4_000;
+        pipe.n_flows = 64;
+        let mut cfg = EngineConfig::new(pipe, EngineMode::Deterministic);
+        cfg.obs = ObsConfig::disabled();
+        let off = run_engine(cfg);
+        assert!(!off.obs.enabled);
+        assert!(off.obs.per_core_events.is_empty());
+        assert_eq!(off.flow_digests, r.flow_digests);
+        assert_eq!(off.totals, r.totals);
+    }
+
+    #[test]
+    fn event_streams_are_deterministic_across_reruns() {
+        let a = small(EngineMode::Deterministic, 4, WorkloadKind::Udp);
+        let b = small(EngineMode::Deterministic, 4, WorkloadKind::Udp);
+        assert_eq!(a.obs.per_core_events, b.obs.per_core_events);
     }
 
     #[test]

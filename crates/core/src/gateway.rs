@@ -13,6 +13,7 @@ use crate::merge::{MergeConfig, MergeEngine};
 use crate::mss::raise_mss;
 use crate::split::SplitEngine;
 use crate::steer::{FlowClass, FlowClassifier, SteerConfig};
+use px_obs::{ObsConfig, ObsReport};
 use px_sim::node::{Ctx, Node, PortId};
 use px_sim::Nanos;
 use px_wire::ipv4::{Ipv4Packet, Ipv4Repr};
@@ -140,6 +141,40 @@ impl PxGateway {
                 .pmtud_addr
                 .map(|a| crate::pmtud_client::PmtudClient::new(a, cfg.imtu)),
             advert_seq: 0,
+        }
+    }
+
+    /// Arms the flight recorder on all three datapath engines. Each
+    /// engine gets its own ring so a post-mortem can attribute events
+    /// to the stage that produced them.
+    pub fn enable_obs(&mut self, cfg: ObsConfig) {
+        self.merge.enable_obs(cfg);
+        self.split.enable_obs(cfg);
+        self.caravan.enable_obs(cfg);
+    }
+
+    /// Collects the three engines' histograms and recent events into a
+    /// single [`ObsReport`] (cores 0‥2 = merge, split, caravan). The
+    /// recorders keep their state; this is a snapshot, not a drain.
+    pub fn obs_report(&self) -> ObsReport {
+        if !self.merge.obs.is_enabled()
+            && !self.split.obs.is_enabled()
+            && !self.caravan.obs.is_enabled()
+        {
+            return ObsReport::disabled();
+        }
+        let mut hists = *self.merge.obs.hists();
+        hists.merge(self.split.obs.hists());
+        hists.merge(self.caravan.obs.hists());
+        ObsReport {
+            enabled: true,
+            hists,
+            per_core_events: vec![
+                self.merge.obs.recent(usize::MAX),
+                self.split.obs.recent(usize::MAX),
+                self.caravan.obs.recent(usize::MAX),
+            ],
+            time_series: Vec::new(),
         }
     }
 

@@ -41,6 +41,7 @@
 //! thin wrappers over the sink API for tests and non-hot callers.
 
 use crate::flowtable::FlowTable;
+use px_obs::{flow_id, EventKind, ObsConfig, Recorder};
 use px_sim::nic::flow_key_of;
 use px_sim::stats::SizeHistogram;
 use px_wire::bytes;
@@ -129,6 +130,9 @@ struct Pending {
     /// Running ones-complement partial sum of the accumulated payload.
     payload_sum: u16,
     segs: u32,
+    /// Logical arrival time of the first segment — emission minus this
+    /// is the aggregate's dwell time (flight-recorder / histograms).
+    born: u64,
 }
 
 impl Pending {
@@ -169,6 +173,11 @@ pub struct MergeEngine {
     pool: BufPool,
     /// Counters.
     pub stats: MergeStats,
+    /// Flight recorder + histograms (disabled by default — zero cost).
+    pub obs: Recorder,
+    /// Logical time of the most recent `push_into`/`poll_into` call,
+    /// used to stamp emission events deterministically.
+    last_now: u64,
 }
 
 impl MergeEngine {
@@ -179,7 +188,15 @@ impl MergeEngine {
             table: FlowTable::new(cfg.table_capacity),
             pool: BufPool::for_mtu(cfg.imtu, 256),
             stats: MergeStats::default(),
+            obs: Recorder::off(),
+            last_now: 0,
         }
+    }
+
+    /// Switches the flight recorder + histograms on (preallocates the
+    /// event ring; recording itself never allocates).
+    pub fn enable_obs(&mut self, cfg: ObsConfig) {
+        self.obs = Recorder::new(cfg);
     }
 
     /// Flow-table lookups performed so far (cost accounting).
@@ -205,6 +222,7 @@ impl MergeEngine {
     /// sink, and recycles the buffer if the sink returns it.
     fn emit(&mut self, buf: PacketBuf, sink: &mut impl PacketSink) {
         self.stats.out_sizes.record(buf.len());
+        self.obs.observe_out_size(buf.len() as u64);
         if let Some(b) = sink.accept(buf) {
             self.pool.put(b);
         }
@@ -354,6 +372,20 @@ impl MergeEngine {
             let ck = !checksum::combine(pseudo, checksum::combine(header_sum, p.payload_sum));
             bytes::put_be16(seg, 16, ck);
         }
+        if self.obs.is_enabled() {
+            let ip_hlen = usize::from(p.ip_hlen);
+            let src_port = bytes::be16(p.buf.as_slice(), ip_hlen);
+            let dst_port = bytes::be16(p.buf.as_slice(), ip_hlen + 2);
+            let dwell = self.last_now.saturating_sub(p.born);
+            self.obs.record(
+                EventKind::MergeEmit,
+                self.last_now,
+                p.buf.len() as u32,
+                flow_id(src_port, dst_port),
+                dwell,
+            );
+            self.obs.observe_dwell(dwell);
+        }
         self.emit(p.buf, sink);
     }
 
@@ -362,6 +394,7 @@ impl MergeEngine {
     /// none while an aggregate is being held).
     pub fn push_into(&mut self, now: u64, pkt: &[u8], sink: &mut impl PacketSink) {
         self.stats.pkts_in += 1;
+        self.last_now = now;
 
         let Ok(key) = flow_key_of(pkt) else {
             self.stats.passthrough += 1;
@@ -456,18 +489,27 @@ impl MergeEngine {
             next_seq: meta.seq.wrapping_add(payload_len),
             payload_sum: meta.payload_sum,
             segs: 1,
+            born: now,
         };
         let evicted = self
             .table
             .insert_with_deadline(key, pending, now + self.cfg.hold_ns);
-        if let Some((_, p)) = evicted {
+        if let Some((victim, p)) = evicted {
             self.stats.flush_evict += 1;
+            self.obs.record(
+                EventKind::FlowEvict,
+                now,
+                p.buf.len() as u32,
+                flow_id(victim.src_port, victim.dst_port),
+                0,
+            );
             self.finalize_emit(p, sink);
         }
     }
 
     /// Emits every aggregate whose hold timer has expired.
     pub fn poll_into(&mut self, now: u64, sink: &mut impl PacketSink) {
+        self.last_now = now;
         while let Some((_, p)) = self.table.pop_expired(now) {
             self.stats.flush_timeout += 1;
             self.finalize_emit(p, sink);
@@ -727,6 +769,27 @@ mod tests {
         eng.push(50, data_pkt(5000, 0, 500));
         eng.push(10, data_pkt(5001, 0, 500));
         assert_eq!(eng.next_deadline(), Some(110));
+    }
+
+    #[test]
+    fn flight_recorder_captures_merge_emissions() {
+        let mut eng = MergeEngine::new(MergeConfig::default());
+        eng.enable_obs(px_obs::ObsConfig::default());
+        for i in 0..6u32 {
+            eng.push(i as u64 * 10, data_pkt(5000, i * 1460, 1460));
+        }
+        let events = eng.obs.recent(64);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == EventKind::MergeEmit && e.flow == flow_id(5000, 80)),
+            "{events:?}"
+        );
+        // Dwell = emission time (t=50) − first segment time (t=0).
+        assert_eq!(eng.obs.hists().dwell_ns.max(), 50);
+        assert_eq!(eng.obs.hists().out_bytes.count(), 1);
+        let timeline = eng.obs.render_recent(8);
+        assert!(timeline.contains("MergeEmit"), "{timeline}");
     }
 
     /// Recycling sink: after a full drain nothing may be leaked from the

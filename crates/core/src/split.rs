@@ -7,24 +7,43 @@
 //! fragmentation when DF allows (UDP caravans never reach this engine —
 //! [`crate::caravan_gw`] unbundles them first).
 
+use px_obs::{flow_id, EventKind, ObsConfig, Recorder};
 use px_sim::nic::tso_split_into;
 use px_sim::stats::SizeHistogram;
+use px_wire::bytes;
 use px_wire::frag::fragment_into;
 use px_wire::ipv4::Ipv4Packet;
 use px_wire::pool::{BufPool, PacketSink, PoolStats, VecSink};
 use px_wire::{IpProtocol, PacketBuf};
 
 /// A sink adapter that records every emitted packet's size into a
-/// [`SizeHistogram`] before forwarding it — how the engines keep their
-/// `out_sizes` accounting on the sink-based hot path.
+/// [`SizeHistogram`] (and, when observability is on, a [`SplitEmit`]
+/// flight-recorder event) before forwarding it — how the engines keep
+/// their `out_sizes` accounting on the sink-based hot path.
+///
+/// [`SplitEmit`]: EventKind::SplitEmit
 pub(crate) struct RecordingSink<'a, S> {
     pub sizes: &'a mut SizeHistogram,
+    pub obs: &'a mut Recorder,
+    /// Logical timestamp for emitted events: the split engine has no
+    /// clock, so this is its input-packet counter (deterministic).
+    pub ts: u64,
+    /// Flow id of the packet being split (all emissions share it).
+    pub flow: u32,
     pub inner: &'a mut S,
 }
 
 impl<S: PacketSink> PacketSink for RecordingSink<'_, S> {
     fn accept(&mut self, buf: PacketBuf) -> Option<PacketBuf> {
         self.sizes.record(buf.len());
+        self.obs.record(
+            EventKind::SplitEmit,
+            self.ts,
+            buf.len() as u32,
+            self.flow,
+            0,
+        );
+        self.obs.observe_out_size(buf.len() as u64);
         self.inner.accept(buf)
     }
 }
@@ -60,6 +79,8 @@ pub struct SplitEngine {
     pool: BufPool,
     /// Counters.
     pub stats: SplitStats,
+    /// Flight recorder + histograms (disabled by default — zero cost).
+    pub obs: Recorder,
 }
 
 impl SplitEngine {
@@ -69,7 +90,13 @@ impl SplitEngine {
             emtu,
             pool: BufPool::for_mtu(emtu, 256),
             stats: SplitStats::default(),
+            obs: Recorder::off(),
         }
+    }
+
+    /// Switches the flight recorder + histograms on.
+    pub fn enable_obs(&mut self, cfg: ObsConfig) {
+        self.obs = Recorder::new(cfg);
     }
 
     /// Buffer-pool counters (allocation accounting).
@@ -89,8 +116,12 @@ impl SplitEngine {
     /// path MTU requires).
     pub fn push_to_into(&mut self, pkt: &[u8], mtu: usize, sink: &mut impl PacketSink) {
         self.stats.pkts_in += 1;
+        // Logical event timestamp: this engine has no clock, so events
+        // are stamped with the input-packet index (deterministic).
+        let ts = self.stats.pkts_in;
         if pkt.len() <= mtu {
             self.stats.out_sizes.record(pkt.len());
+            self.obs.observe_out_size(pkt.len() as u64);
             let mut buf = self.pool.get();
             buf.extend_from_slice(pkt);
             if let Some(b) = sink.accept(buf) {
@@ -101,10 +132,17 @@ impl SplitEngine {
         let Ok(ip) = Ipv4Packet::new_checked(pkt) else {
             // Unparseable oversize packet: drop.
             self.stats.dropped_malformed += 1;
+            self.obs
+                .record(EventKind::DropMalformed, ts, pkt.len() as u32, 0, 0);
             return;
         };
+        let l4 = ip.payload();
+        let flow = flow_id(bytes::be16(l4, 0), bytes::be16(l4, 2));
         let mut recorded = RecordingSink {
             sizes: &mut self.stats.out_sizes,
+            obs: &mut self.obs,
+            ts,
+            flow,
             inner: sink,
         };
         match ip.protocol() {
@@ -116,6 +154,8 @@ impl SplitEngine {
                 Err(_) => {
                     // A jumbo TCP packet the TSO splitter cannot parse.
                     self.stats.dropped_malformed += 1;
+                    self.obs
+                        .record(EventKind::DropMalformed, ts, pkt.len() as u32, flow, 0);
                 }
             },
             _ => match fragment_into(pkt, mtu, &mut self.pool, &mut recorded) {
@@ -241,6 +281,35 @@ mod tests {
         let mut eng = SplitEngine::new(1500);
         assert!(eng.push(pkt).is_empty());
         assert_eq!(eng.stats.dropped_df, 1);
+    }
+
+    #[test]
+    fn flight_recorder_captures_split_emissions() {
+        let mut eng = SplitEngine::new(1500);
+        eng.enable_obs(px_obs::ObsConfig::default());
+        let out = eng.push(jumbo_tcp(8760));
+        assert_eq!(out.len(), 6);
+        let events = eng.obs.recent(64);
+        let splits: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SplitEmit)
+            .collect();
+        assert_eq!(splits.len(), 6);
+        // All six share the input packet's logical index and flow id.
+        assert!(splits.iter().all(|e| e.ts == 1), "{splits:?}");
+        assert!(
+            splits.iter().all(|e| e.flow == flow_id(80, 5000)),
+            "{splits:?}"
+        );
+        assert_eq!(eng.obs.hists().out_bytes.count(), 6);
+
+        // Malformed oversize input records a drop event.
+        assert!(eng.push(vec![0u8; 4000]).is_empty());
+        assert!(eng
+            .obs
+            .recent(64)
+            .iter()
+            .any(|e| e.kind == EventKind::DropMalformed && e.ts == 2));
     }
 
     #[test]

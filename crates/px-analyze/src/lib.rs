@@ -2,7 +2,7 @@
 //!
 //! A self-contained static analyzer (no external dependencies, no
 //! syn/proc-macro machinery) that walks every Rust source file in the
-//! PacketExpress workspace and enforces the four datapath invariants
+//! PacketExpress workspace and enforces the five datapath invariants
 //! documented in `DESIGN.md`:
 //!
 //! * **R1 panic-freedom** — hot-path modules contain no `unwrap`,
@@ -14,6 +14,10 @@
 //! * **R4 lint-config conformance** — every crate root carries the agreed
 //!   `#![forbid(unsafe_code)]`-class preamble and opts into
 //!   `[workspace.lints]`.
+//! * **R5 recording discipline** — the flight recorder's per-packet call
+//!   sites (`record*`, `observe*`, `push` in `px-obs`) perform no heap
+//!   allocation; observability must never put pressure on the allocator
+//!   the datapath was freed from.
 //!
 //! Run it with `cargo run -p px-analyze -- check` (add `--format json`
 //! for machine-readable output). Violations print as

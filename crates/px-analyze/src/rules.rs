@@ -1,4 +1,4 @@
-//! The four datapath-invariant rules and the waiver machinery.
+//! The five datapath-invariant rules and the waiver machinery.
 //!
 //! | Rule | Scope | What it rejects |
 //! |------|-------|-----------------|
@@ -6,8 +6,9 @@
 //! | R2   | every workspace file | `unsafe` not immediately preceded by a `// SAFETY:` comment |
 //! | R3   | hot-path emission functions | allocation (`Vec::new`, `vec!`, `Box::new`, `to_vec`, `clone`, `String` construction, `format!`) |
 //! | R4   | crate roots | missing `#![forbid(unsafe_code)]`-class preamble or `[lints] workspace = true` |
+//! | R5   | observability recording functions | the same allocation set as R3 — `record*`/`observe*`/`push` run per packet inside the datapath and must not touch the allocator |
 //!
-//! Code under `#[cfg(test)]` is exempt from R1/R3 (tests may unwrap).
+//! Code under `#[cfg(test)]` is exempt from R1/R3/R5 (tests may unwrap).
 //! Intentional exceptions elsewhere use inline waivers:
 //!
 //! ```text
@@ -30,16 +31,19 @@ pub enum Rule {
     R3,
     /// Crate-root lint preamble conformance.
     R4,
+    /// Alloc discipline in observability recording functions.
+    R5,
 }
 
 impl Rule {
-    /// The rule's display name (`R1`…`R4`).
+    /// The rule's display name (`R1`…`R5`).
     pub fn name(self) -> &'static str {
         match self {
             Rule::R1 => "R1",
             Rule::R2 => "R2",
             Rule::R3 => "R3",
             Rule::R4 => "R4",
+            Rule::R5 => "R5",
         }
     }
 
@@ -49,6 +53,7 @@ impl Rule {
             "R2" => Some(Rule::R2),
             "R3" => Some(Rule::R3),
             "R4" => Some(Rule::R4),
+            "R5" => Some(Rule::R5),
             _ => None,
         }
     }
@@ -87,6 +92,11 @@ pub struct Config {
     /// Function names that form the `PacketSink` emission paths; R3
     /// applies inside these plus any function ending in `_into`.
     pub emission_fns: Vec<&'static str>,
+    /// Path suffixes of R5 recording-discipline modules (the px-obs
+    /// flight-recorder datapath). R5 applies inside functions named
+    /// `record*`, `observe*`, or `push` — the per-packet recording call
+    /// sites; the drain/render side may allocate freely.
+    pub r5_modules: Vec<&'static str>,
 }
 
 impl Default for Config {
@@ -108,6 +118,13 @@ impl Default for Config {
                 "crates/px-wire/src/buffer.rs",
                 "crates/px-wire/src/pool.rs",
                 "crates/px-wire/src/bytes.rs",
+                // The flight recorder runs inline in every hot loop, so
+                // its recording side is held to the same panic-freedom
+                // bar as the datapath proper.
+                "crates/px-obs/src/event.rs",
+                "crates/px-obs/src/ring.rs",
+                "crates/px-obs/src/hist.rs",
+                "crates/px-obs/src/recorder.rs",
             ],
             // `baseline.rs` models DPDK rte_gro's per-packet allocation
             // churn on purpose — it is the paper's comparison point, so
@@ -139,6 +156,12 @@ impl Default for Config {
                 "emit_pending",
                 "process_batch",
             ],
+            r5_modules: vec![
+                "crates/px-obs/src/event.rs",
+                "crates/px-obs/src/ring.rs",
+                "crates/px-obs/src/hist.rs",
+                "crates/px-obs/src/recorder.rs",
+            ],
         }
     }
 }
@@ -154,6 +177,14 @@ impl Config {
 
     fn is_emission_fn(&self, name: &str) -> bool {
         name.ends_with("_into") || self.emission_fns.contains(&name)
+    }
+
+    fn is_r5(&self, rel_path: &str) -> bool {
+        self.r5_modules.iter().any(|m| rel_path.ends_with(m))
+    }
+
+    fn is_recording_fn(&self, name: &str) -> bool {
+        name.starts_with("record") || name.starts_with("observe") || name == "push"
     }
 }
 
@@ -219,6 +250,7 @@ pub fn check_source(cfg: &Config, rel_path: &str, src: &str) -> Vec<Violation> {
     let toks = lex(src);
     let r1 = cfg.is_r1(rel_path);
     let r3 = cfg.is_r3(rel_path);
+    let r5 = cfg.is_r5(rel_path);
 
     let mut waivers: Vec<Waiver> = Vec::new();
     let mut raw: Vec<Violation> = Vec::new();
@@ -389,51 +421,61 @@ pub fn check_source(cfg: &Config, rel_path: &str, src: &str) -> Vec<Violation> {
                         message: format!("`{name}!` in a hot-path module"),
                     });
                 }
-                "vec" if r3 && !in_test && in_emission(cfg, &fn_stack) && punct(i + 1, '!') => {
+                "vec"
+                    if !in_test
+                        && punct(i + 1, '!')
+                        && alloc_scope(cfg, r3, r5, &fn_stack).is_some() =>
+                {
+                    let rule = alloc_scope(cfg, r3, r5, &fn_stack).unwrap_or(Rule::R3);
                     raw.push(Violation {
                         file: rel_path.into(),
                         line: t.line,
-                        rule: Some(Rule::R3),
-                        message: alloc_msg("vec!", &fn_stack),
+                        rule: Some(rule),
+                        message: alloc_msg("vec!", rule, &fn_stack),
                     });
                 }
-                "format" if r3 && !in_test && in_emission(cfg, &fn_stack) && punct(i + 1, '!') => {
+                "format"
+                    if !in_test
+                        && punct(i + 1, '!')
+                        && alloc_scope(cfg, r3, r5, &fn_stack).is_some() =>
+                {
+                    let rule = alloc_scope(cfg, r3, r5, &fn_stack).unwrap_or(Rule::R3);
                     raw.push(Violation {
                         file: rel_path.into(),
                         line: t.line,
-                        rule: Some(Rule::R3),
-                        message: alloc_msg("format!", &fn_stack),
+                        rule: Some(rule),
+                        message: alloc_msg("format!", rule, &fn_stack),
                     });
                 }
                 "Vec" | "Box" | "String" | "Rc" | "Arc"
-                    if r3
-                        && !in_test
-                        && in_emission(cfg, &fn_stack)
+                    if !in_test
                         && punct(i + 1, ':')
                         && punct(i + 2, ':')
-                        && matches!(ident(i + 3), Some("new" | "with_capacity" | "from")) =>
+                        && matches!(ident(i + 3), Some("new" | "with_capacity" | "from"))
+                        && alloc_scope(cfg, r3, r5, &fn_stack).is_some() =>
                 {
+                    let rule = alloc_scope(cfg, r3, r5, &fn_stack).unwrap_or(Rule::R3);
                     let ctor = ident(i + 3).unwrap_or("new");
                     raw.push(Violation {
                         file: rel_path.into(),
                         line: t.line,
-                        rule: Some(Rule::R3),
-                        message: alloc_msg(&format!("{name}::{ctor}"), &fn_stack),
+                        rule: Some(rule),
+                        message: alloc_msg(&format!("{name}::{ctor}"), rule, &fn_stack),
                     });
                 }
                 "to_vec" | "to_owned" | "clone"
-                    if r3
-                        && !in_test
-                        && in_emission(cfg, &fn_stack)
+                    if !in_test
                         && punct(i + 1, '(')
                         && i > 0
-                        && punct(i - 1, '.') =>
+                        && punct(i - 1, '.')
+                        && alloc_scope(cfg, r3, r5, &fn_stack).is_some() =>
                 {
+                    let rule = alloc_scope(cfg, r3, r5, &fn_stack).unwrap_or(Rule::R3);
                     raw.push(Violation {
                         file: rel_path.into(),
                         line: t.line,
-                        rule: Some(Rule::R3),
-                        message: alloc_msg(&format!(".{name}()"), &fn_stack),
+                        rule: Some(rule),
+                        message: alloc_msg(&format!(".{name}()"), rule, &fn_stack),
                     });
                 }
                 _ => {}
@@ -539,11 +581,33 @@ fn in_emission(cfg: &Config, fn_stack: &[(String, i32)]) -> bool {
     fn_stack.iter().any(|(name, _)| cfg.is_emission_fn(name))
 }
 
-fn alloc_msg(what: &str, fn_stack: &[(String, i32)]) -> String {
+fn in_recording(cfg: &Config, fn_stack: &[(String, i32)]) -> bool {
+    fn_stack.iter().any(|(name, _)| cfg.is_recording_fn(name))
+}
+
+/// Which alloc-discipline rule (if any) covers the current function:
+/// R3 inside an emission path of an R3 module, R5 inside a recording
+/// function of an R5 module.
+fn alloc_scope(cfg: &Config, r3: bool, r5: bool, fn_stack: &[(String, i32)]) -> Option<Rule> {
+    if r3 && in_emission(cfg, fn_stack) {
+        return Some(Rule::R3);
+    }
+    if r5 && in_recording(cfg, fn_stack) {
+        return Some(Rule::R5);
+    }
+    None
+}
+
+fn alloc_msg(what: &str, rule: Rule, fn_stack: &[(String, i32)]) -> String {
     let f = fn_stack
         .last()
         .map_or("<unknown>", |(name, _)| name.as_str());
-    format!("`{what}` allocates inside emission-path function `{f}`")
+    let path = if rule == Rule::R5 {
+        "recording-path"
+    } else {
+        "emission-path"
+    };
+    format!("`{what}` allocates inside {path} function `{f}`")
 }
 
 /// R2 helper: whether a `SAFETY:` comment immediately precedes the given

@@ -11,6 +11,8 @@ use std::path::Path;
 const HOT: &str = "crates/core/src/merge.rs";
 /// A path outside every hot-path set — only R2 applies.
 const COLD: &str = "crates/px-sim/src/stats.rs";
+/// A path inside the R5 (and R1) recording-discipline set.
+const OBS: &str = "crates/px-obs/src/recorder.rs";
 
 fn fixture(name: &str) -> String {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
@@ -60,6 +62,24 @@ fn r3_flags_allocation_in_emission_functions() {
     // format!, clone.
     assert_eq!(count_rule(&vs, Rule::R3), 8, "{vs:#?}");
     let vs = check(HOT, "r3_good.rs");
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn r5_flags_allocation_in_recording_functions() {
+    let vs = check(OBS, "r5_bad.rs");
+    // Vec::new, to_vec, format!, clone, Box::new — one per recording fn.
+    assert_eq!(count_rule(&vs, Rule::R5), 5, "{vs:#?}");
+    assert_eq!(vs.len(), 5, "{vs:#?}");
+    // Outside the px-obs recording modules nothing applies: the
+    // function names are not emission paths, so R3 stays silent too.
+    assert!(check(COLD, "r5_bad.rs").is_empty());
+    assert!(check(HOT, "r5_bad.rs").is_empty());
+}
+
+#[test]
+fn r5_good_recording_code_is_clean() {
+    let vs = check(OBS, "r5_good.rs");
     assert!(vs.is_empty(), "{vs:#?}");
 }
 

@@ -1,0 +1,131 @@
+//! The flight-recorder event schema: one compact, `Copy`, ≤ 32-byte
+//! record per datapath happening.
+//!
+//! Events are stamped with **logical time** (`ts`): the trace arrival
+//! timestamp the engine was driven with (derived from packet index ×
+//! inter-arrival time in the sharded engine) or a per-engine packet
+//! counter for engines driven without a clock (split). Wall-clock never
+//! appears in an event, so recording is bit-identical across reruns and
+//! across `Parallel`/`Deterministic` scheduling.
+
+/// What happened. `#[repr(u8)]` keeps [`Event`] compact.
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An input packet entered a core's engine. `len` = wire bytes.
+    PktIn = 0,
+    /// The merge engine emitted a (possibly multi-segment) aggregate.
+    /// `aux` = dwell time in logical ns (emission ts − first-segment ts).
+    MergeEmit = 1,
+    /// The split engine emitted one wire packet from an oversize input.
+    /// `ts` is the split engine's input-packet counter.
+    SplitEmit = 2,
+    /// The caravan engine emitted a multi-datagram bundle.
+    /// `aux` = inner datagram count.
+    CaravanPack = 3,
+    /// A packet was dropped as malformed (corrupt bundle, unparsable
+    /// oversize packet, failed header emit).
+    DropMalformed = 4,
+    /// A flow-table insertion evicted the LRU victim; the victim's
+    /// aggregate was flushed. `flow` identifies the *victim*.
+    FlowEvict = 5,
+    /// A worker finished one batch. `len` = packets in the batch, `ts` =
+    /// the last packet's logical arrival. The batch's wall time goes to
+    /// the histograms only — wall-clock never enters an event.
+    BatchDone = 6,
+}
+
+impl EventKind {
+    /// Short display name used by timeline rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::PktIn => "PktIn",
+            EventKind::MergeEmit => "MergeEmit",
+            EventKind::SplitEmit => "SplitEmit",
+            EventKind::CaravanPack => "CaravanPack",
+            EventKind::DropMalformed => "DropMalformed",
+            EventKind::FlowEvict => "FlowEvict",
+            EventKind::BatchDone => "BatchDone",
+        }
+    }
+}
+
+/// One flight-recorder entry. 25 bytes of payload, padded to 32 by the
+/// compiler — small enough that a 256-slot per-core ring is two pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Logical timestamp (trace arrival ns, or a packet index for
+    /// engines driven without a clock). Never wall-clock.
+    pub ts: u64,
+    /// Kind-specific payload: dwell ns ([`EventKind::MergeEmit`]),
+    /// inner count ([`EventKind::CaravanPack`]), batch wall ns
+    /// ([`EventKind::BatchDone`]), 0 otherwise.
+    pub aux: u64,
+    /// Flow identity as `src_port << 16 | dst_port` (see [`flow_id`]);
+    /// 0 when the flow is unknown or not applicable.
+    pub flow: u32,
+    /// Packet length in bytes (or packet count for
+    /// [`EventKind::BatchDone`]).
+    pub len: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// The all-zero placeholder used to prefill ring slots.
+    pub const EMPTY: Event = Event {
+        ts: 0,
+        aux: 0,
+        flow: 0,
+        len: 0,
+        kind: EventKind::PktIn,
+    };
+
+    /// Renders one event as a timeline line, e.g.
+    /// `[t=1290ns] MergeEmit len=8800 flow=5000->80 aux=41280`.
+    pub fn render(&self) -> String {
+        let src = self.flow >> 16;
+        let dst = self.flow & 0xFFFF;
+        format!(
+            "[t={}ns] {} len={} flow={}->{} aux={}",
+            self.ts,
+            self.kind.name(),
+            self.len,
+            src,
+            dst,
+            self.aux
+        )
+    }
+}
+
+/// Packs a port pair into the [`Event::flow`] field.
+#[inline]
+pub fn flow_id(src_port: u16, dst_port: u16) -> u32 {
+    (u32::from(src_port) << 16) | u32::from(dst_port)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_fits_the_32_byte_budget() {
+        assert!(
+            std::mem::size_of::<Event>() <= 32,
+            "Event is {} bytes",
+            std::mem::size_of::<Event>()
+        );
+    }
+
+    #[test]
+    fn flow_id_packs_ports() {
+        assert_eq!(flow_id(5000, 80), (5000u32 << 16) | 80);
+        let ev = Event {
+            flow: flow_id(5000, 80),
+            ..Event::EMPTY
+        };
+        let line = ev.render();
+        assert!(line.contains("5000->80"), "{line}");
+        assert!(line.contains("PktIn"), "{line}");
+    }
+}

@@ -1,0 +1,239 @@
+//! Log₂-bucketed (HDR-style) fixed-size histograms.
+//!
+//! [`Histo64`] is a plain `Copy` value — 64 buckets plus count/sum/max
+//! — so per-core workers keep one on the stack with zero sharing, and
+//! the registry merges them with a loop of integer adds. Bucket `i`
+//! holds values whose floor(log₂) is `i` (bucket 0 additionally holds
+//! 0), giving ≤ 2× relative quantile error over the full `u64` range,
+//! which is plenty for latency distributions spanning nanoseconds to
+//! seconds.
+
+/// A 64-bucket log₂ histogram of `u64` samples. `Copy`, alloc-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histo64 {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histo64 {
+    fn default() -> Self {
+        Histo64 {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histo64 {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a value: floor(log₂(v)), with 0 in bucket 0.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i >= 63 {
+            u64::MAX
+        } else {
+            (2u64 << i) - 1
+        }
+    }
+
+    /// Records one sample. Alloc-free (px-analyze R5 audited).
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        if let Some(b) = self.buckets.get_mut(Self::bucket_of(v)) {
+            *b += 1;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Folds `other` into `self`. Commutative and associative (the
+    /// property tests in `tests/obs_props.rs` prove it), so per-core
+    /// histograms can merge in any order.
+    pub fn merge(&mut self, other: &Histo64) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Cumulative bucket counts, for exposition-format export.
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// Estimated quantile `q` in `[0, 1]`: the inclusive upper bound of
+    /// the bucket containing the ⌈q·count⌉-th smallest sample, capped
+    /// at the exact max. Monotone in `q`; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// One-line `count/p50/p90/p99/max` summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} p50={} p90={} p99={} max={}",
+            self.count,
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.max
+        )
+    }
+}
+
+/// The fixed set of datapath histograms every core maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistSet {
+    /// Wall time per processed batch (Parallel mode measurement; not
+    /// part of any deterministic comparison).
+    pub batch_ns: Histo64,
+    /// Batch wall time divided by batch size: per-packet cost.
+    pub pkt_ns: Histo64,
+    /// Merge-aggregate / caravan-bundle dwell time in *logical* ns
+    /// (emission timestamp − first-segment timestamp).
+    pub dwell_ns: Histo64,
+    /// Output packet sizes in bytes.
+    pub out_bytes: Histo64,
+}
+
+impl HistSet {
+    /// Folds another core's histograms into this one.
+    pub fn merge(&mut self, other: &HistSet) {
+        self.batch_ns.merge(&other.batch_ns);
+        self.pkt_ns.merge(&other.pkt_ns);
+        self.dwell_ns.merge(&other.dwell_ns);
+        self.out_bytes.merge(&other.out_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_and_bounds() {
+        assert_eq!(Histo64::bucket_of(0), 0);
+        assert_eq!(Histo64::bucket_of(1), 0);
+        assert_eq!(Histo64::bucket_of(2), 1);
+        assert_eq!(Histo64::bucket_of(3), 1);
+        assert_eq!(Histo64::bucket_of(4), 2);
+        assert_eq!(Histo64::bucket_of(u64::MAX), 63);
+        assert_eq!(Histo64::bucket_upper(0), 1);
+        assert_eq!(Histo64::bucket_upper(1), 3);
+        assert_eq!(Histo64::bucket_upper(2), 7);
+        assert_eq!(Histo64::bucket_upper(63), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let mut h = Histo64::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 6, upper 127
+        }
+        h.record(1_000_000); // the tail
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 127);
+        assert_eq!(h.p90(), 127);
+        assert_eq!(h.max(), 1_000_000);
+        // p100 == exact max via the cap.
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert!((h.mean() - (99.0 * 100.0 + 1e6) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histo64::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.summary(), "n=0 p50=0 p90=0 p99=0 max=0");
+    }
+
+    #[test]
+    fn histset_merge_folds_all_four() {
+        let mut a = HistSet::default();
+        a.batch_ns.record(10);
+        a.out_bytes.record(9000);
+        let mut b = HistSet::default();
+        b.batch_ns.record(20);
+        b.dwell_ns.record(5);
+        a.merge(&b);
+        assert_eq!(a.batch_ns.count(), 2);
+        assert_eq!(a.dwell_ns.count(), 1);
+        assert_eq!(a.out_bytes.count(), 1);
+        assert_eq!(a.pkt_ns.count(), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # px-obs — observability for the PXGW datapath
+//!
+//! Three pillars, all engineered to coexist with the repo's hot-path
+//! invariants (zero steady-state allocation, bit-identical deterministic
+//! digests, px-analyze clean):
+//!
+//! * **Flight recorder** ([`Recorder`], [`EventRing`]) — a
+//!   fixed-capacity per-core ring of compact binary [`Event`]s
+//!   (`PktIn`, `MergeEmit`, `SplitEmit`, `CaravanPack`,
+//!   `DropMalformed`, `FlowEvict`, `BatchDone`; ≤ 32 bytes each),
+//!   preallocated when observability is enabled so recording on the
+//!   emission path is a bounds-checked store and two integer bumps.
+//!   [`Recorder::drain`] decodes the last N events into a
+//!   human-readable timeline for post-mortem dumps on test failure.
+//! * **Histograms** ([`Histo64`], [`HistSet`]) — log₂-bucketed
+//!   HDR-style fixed 64-bucket `Copy` arrays for batch processing
+//!   time, per-packet cost, merge-aggregate dwell time, and output
+//!   packet sizes, mergeable across cores with p50/p90/p99/max
+//!   summaries.
+//! * **Metrics export** ([`MetricsSnapshot`], [`TimeSample`]) —
+//!   registry snapshots serialized to Prometheus text exposition
+//!   format and JSON, plus per-interval time-series samples collected
+//!   by the engine's in-run sampler thread.
+//!
+//! Determinism is preserved by construction: events are stamped with
+//! *logical* time (trace arrival timestamps derived from packet index
+//! and offered load, or per-engine packet counters), never wall-clock,
+//! so enabling the recorder cannot perturb deterministic-mode digests.
+//! Wall-clock only ever enters the (incomparable) latency histograms.
+//!
+//! [`ObsConfig::disabled`] short-circuits everything to no-ops: the
+//! ring has zero capacity (no allocation at all) and every `record`/
+//! `observe_*` call is a single predicted branch.
+//!
+//! px-analyze rule **R5** statically audits this crate's recording
+//! paths (`record*`, `observe*`, `push`) for allocation, the same way
+//! R3 audits the engines' emission paths.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod hist;
+pub mod recorder;
+pub mod ring;
+pub mod snapshot;
+
+pub use event::{flow_id, Event, EventKind};
+pub use hist::{HistSet, Histo64};
+pub use recorder::{ObsConfig, ObsReport, Recorder};
+pub use ring::EventRing;
+pub use snapshot::{time_series_json, MetricsSnapshot, TimeSample};

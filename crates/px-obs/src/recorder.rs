@@ -1,0 +1,291 @@
+//! The per-engine recorder: one event ring + one histogram set, with a
+//! disabled mode that compiles down to predicted-branch no-ops.
+
+use crate::event::{Event, EventKind};
+use crate::hist::HistSet;
+use crate::ring::EventRing;
+use crate::snapshot::TimeSample;
+
+/// Observability configuration, embedded (by `Copy`) in engine configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch. When false nothing allocates and every recording
+    /// call is a single predicted branch.
+    pub enabled: bool,
+    /// Flight-recorder capacity per engine, in events.
+    pub ring_capacity: usize,
+    /// In Parallel mode, workers publish their counters to the shared
+    /// registry every this many batches (0 = only at the end) so
+    /// mid-run snapshots and the sampler thread see progress.
+    pub publish_every_batches: u64,
+    /// Sampler thread interval in microseconds for Parallel-mode
+    /// time-series collection (0 disables the sampler).
+    pub sample_interval_us: u64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            ring_capacity: 256,
+            publish_every_batches: 16,
+            sample_interval_us: 1000,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// The all-off configuration: no ring, no histograms, no sampler.
+    pub fn disabled() -> Self {
+        ObsConfig {
+            enabled: false,
+            ring_capacity: 0,
+            publish_every_batches: 0,
+            sample_interval_us: 0,
+        }
+    }
+}
+
+/// A flight recorder plus histogram set for one engine/core.
+///
+/// The default value is the disabled recorder (zero-capacity ring, no
+/// heap), so embedding one in an engine costs nothing until
+/// observability is switched on.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    enabled: bool,
+    ring: EventRing,
+    hists: HistSet,
+}
+
+impl Recorder {
+    /// Builds a recorder for `cfg`, preallocating the ring when enabled.
+    pub fn new(cfg: ObsConfig) -> Self {
+        Recorder {
+            enabled: cfg.enabled,
+            ring: EventRing::with_capacity(if cfg.enabled { cfg.ring_capacity } else { 0 }),
+            hists: HistSet::default(),
+        }
+    }
+
+    /// The disabled recorder (same as `Recorder::default()`).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Whether recording is active.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event. Alloc-free; no-op when disabled.
+    #[inline]
+    pub fn record(&mut self, kind: EventKind, ts: u64, len: u32, flow: u32, aux: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.ring.push(Event {
+            ts,
+            aux,
+            flow,
+            len,
+            kind,
+        });
+    }
+
+    /// Records one batch's wall time and derives the per-packet cost.
+    #[inline]
+    pub fn observe_batch(&mut self, wall_ns: u64, pkts: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.hists.batch_ns.record(wall_ns);
+        if let Some(per_pkt) = wall_ns.checked_div(pkts) {
+            self.hists.pkt_ns.record(per_pkt);
+        }
+    }
+
+    /// Records a merge-aggregate / caravan-bundle dwell time (logical
+    /// ns held before emission).
+    #[inline]
+    pub fn observe_dwell(&mut self, ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.hists.dwell_ns.record(ns);
+    }
+
+    /// Records an output packet's size.
+    #[inline]
+    pub fn observe_out_size(&mut self, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.hists.out_bytes.record(bytes);
+    }
+
+    /// The accumulated histograms.
+    pub fn hists(&self) -> &HistSet {
+        &self.hists
+    }
+
+    /// Total events recorded (including ones the ring overwrote).
+    pub fn events_recorded(&self) -> u64 {
+        self.ring.written()
+    }
+
+    /// The last `n` events, oldest first (cold path; allocates).
+    pub fn recent(&self, n: usize) -> Vec<Event> {
+        self.ring.recent(n)
+    }
+
+    /// Decodes the last `n` events into a human-readable timeline, one
+    /// line per event — the post-mortem dump format.
+    pub fn render_recent(&self, n: usize) -> String {
+        let evs = self.ring.recent(n);
+        if evs.is_empty() {
+            return String::from("  (no events recorded)");
+        }
+        let mut out = String::with_capacity(evs.len() * 48);
+        for ev in &evs {
+            out.push_str("  ");
+            out.push_str(&ev.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Drains the recorder: renders the last `n` events as a timeline
+    /// and resets the ring (histograms are kept — they merge upward).
+    pub fn drain(&mut self, n: usize) -> String {
+        let rendered = self.render_recent(n);
+        let cap = self.ring.capacity();
+        self.ring = EventRing::with_capacity(cap);
+        rendered
+    }
+
+    /// Consumes the recorder's contents for report assembly: every held
+    /// event (oldest first) plus the histogram set.
+    pub fn take(&mut self) -> (Vec<Event>, HistSet) {
+        let events = self.ring.recent(self.ring.capacity().max(self.ring.len()));
+        let hists = self.hists;
+        self.ring = EventRing::with_capacity(self.ring.capacity());
+        self.hists = HistSet::default();
+        (events, hists)
+    }
+}
+
+/// Observability results attached to an engine run report.
+#[derive(Debug, Clone, Default)]
+pub struct ObsReport {
+    /// Whether the run recorded anything.
+    pub enabled: bool,
+    /// Histograms merged over every core.
+    pub hists: HistSet,
+    /// Each core's flight-recorder contents (oldest first).
+    pub per_core_events: Vec<Vec<Event>>,
+    /// Periodic whole-engine samples from the in-run sampler thread
+    /// (Parallel mode; a single final sample otherwise).
+    pub time_series: Vec<TimeSample>,
+}
+
+impl ObsReport {
+    /// The empty report for disabled-observability runs.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Renders the last `n` events of every core as a post-mortem
+    /// timeline — what failing engine tests print.
+    pub fn dump_recent(&self, n: usize) -> String {
+        if !self.enabled {
+            return String::from("(observability disabled for this run)");
+        }
+        let mut out = String::new();
+        for (core, evs) in self.per_core_events.iter().enumerate() {
+            out.push_str(&format!(
+                "core {core} (last {} of {} events):\n",
+                n.min(evs.len()),
+                evs.len()
+            ));
+            let start = evs.len().saturating_sub(n);
+            for ev in evs.iter().skip(start) {
+                out.push_str("  ");
+                out.push_str(&ev.render());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = Recorder::new(ObsConfig::disabled());
+        r.record(EventKind::PktIn, 1, 1500, 0, 0);
+        r.observe_batch(100, 32);
+        r.observe_out_size(9000);
+        assert_eq!(r.events_recorded(), 0);
+        assert_eq!(r.hists().batch_ns.count(), 0);
+        assert_eq!(r.hists().out_bytes.count(), 0);
+        assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn enabled_recorder_accumulates_and_drains() {
+        let mut r = Recorder::new(ObsConfig::default());
+        for t in 0..10 {
+            r.record(EventKind::PktIn, t, 1500, crate::flow_id(5000, 80), 0);
+        }
+        r.observe_batch(3200, 32);
+        assert_eq!(r.events_recorded(), 10);
+        assert_eq!(r.hists().pkt_ns.count(), 1);
+        let timeline = r.drain(4);
+        assert_eq!(timeline.lines().count(), 4, "{timeline}");
+        assert!(timeline.contains("PktIn"));
+        assert_eq!(r.events_recorded(), 0, "drain resets the ring");
+        assert_eq!(r.hists().batch_ns.count(), 1, "histograms survive drain");
+    }
+
+    #[test]
+    fn take_hands_over_events_and_hists() {
+        let mut r = Recorder::new(ObsConfig {
+            ring_capacity: 8,
+            ..ObsConfig::default()
+        });
+        for t in 0..20 {
+            r.record(EventKind::BatchDone, t, 32, 0, 0);
+        }
+        r.observe_dwell(500);
+        let (events, hists) = r.take();
+        assert_eq!(events.len(), 8, "capacity-bounded");
+        assert_eq!(events.first().map(|e| e.ts), Some(12));
+        assert_eq!(hists.dwell_ns.count(), 1);
+        assert_eq!(r.hists().dwell_ns.count(), 0);
+    }
+
+    #[test]
+    fn obs_report_dump_groups_by_core() {
+        let report = ObsReport {
+            enabled: true,
+            hists: HistSet::default(),
+            per_core_events: vec![
+                vec![Event::EMPTY; 3],
+                vec![Event {
+                    ts: 7,
+                    ..Event::EMPTY
+                }],
+            ],
+            time_series: Vec::new(),
+        };
+        let dump = report.dump_recent(2);
+        assert!(dump.contains("core 0 (last 2 of 3 events):"), "{dump}");
+        assert!(dump.contains("core 1 (last 1 of 1 events):"), "{dump}");
+        assert!(dump.contains("[t=7ns]"), "{dump}");
+    }
+}

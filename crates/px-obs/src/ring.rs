@@ -1,0 +1,143 @@
+//! The fixed-capacity event ring behind the flight recorder.
+//!
+//! One ring per core, preallocated when observability is enabled, so
+//! the recording path ([`EventRing::push`]) is a bounds-checked store
+//! plus two integer bumps — no allocation, no branching beyond the
+//! wrap test (px-analyze rule R5 enforces this statically).
+//!
+//! The ring is single-producer/single-consumer with *time-separated*
+//! roles: the owning worker thread is the only producer during a run,
+//! and consumers ([`EventRing::recent`], drains) only touch it after
+//! the worker has finished (join) or on the worker's own thread (test
+//! failure paths). That separation is why no atomics are needed — the
+//! handoff happens through the thread join, which is already a
+//! synchronization point.
+
+use crate::event::Event;
+
+/// A fixed-capacity overwrite-oldest ring of [`Event`]s.
+///
+/// Capacity 0 (the disabled configuration) makes every push a no-op
+/// without allocating anything.
+#[derive(Debug, Clone, Default)]
+pub struct EventRing {
+    buf: Box<[Event]>,
+    /// Next slot to write (== oldest slot once the ring has wrapped).
+    next: usize,
+    /// Total events ever pushed (keeps counting past capacity).
+    written: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding up to `capacity` events, preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventRing {
+            buf: vec![Event::EMPTY; capacity].into_boxed_slice(),
+            next: 0,
+            written: 0,
+        }
+    }
+
+    /// Records one event, overwriting the oldest when full. Alloc-free.
+    #[inline]
+    pub fn push(&mut self, ev: Event) {
+        let cap = self.buf.len();
+        if cap == 0 {
+            return;
+        }
+        if let Some(slot) = self.buf.get_mut(self.next) {
+            *slot = ev;
+        }
+        self.next += 1;
+        if self.next == cap {
+            self.next = 0;
+        }
+        self.written = self.written.wrapping_add(1);
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Total events ever pushed (including overwritten ones).
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        usize::try_from(self.written)
+            .unwrap_or(usize::MAX)
+            .min(self.buf.len())
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.written == 0
+    }
+
+    /// The last `n` events, oldest first. Allocates (cold path only).
+    pub fn recent(&self, n: usize) -> Vec<Event> {
+        let held = self.len();
+        let take = n.min(held);
+        let cap = self.buf.len();
+        let mut out = Vec::with_capacity(take);
+        for i in 0..take {
+            // The `take` newest entries end just before `next`; walk them
+            // oldest-first with wraparound.
+            let idx = (self.next + cap - take + i) % cap.max(1);
+            if let Some(ev) = self.buf.get(idx) {
+                out.push(*ev);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(ts: u64) -> Event {
+        Event {
+            ts,
+            kind: EventKind::PktIn,
+            ..Event::EMPTY
+        }
+    }
+
+    #[test]
+    fn zero_capacity_ring_is_a_noop() {
+        let mut r = EventRing::with_capacity(0);
+        r.push(ev(1));
+        assert_eq!(r.written(), 0);
+        assert!(r.recent(10).is_empty());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn recent_returns_oldest_first_before_wrap() {
+        let mut r = EventRing::with_capacity(8);
+        for t in 0..5 {
+            r.push(ev(t));
+        }
+        let got: Vec<u64> = r.recent(3).iter().map(|e| e.ts).collect();
+        assert_eq!(got, vec![2, 3, 4]);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.written(), 5);
+    }
+
+    #[test]
+    fn wraparound_overwrites_oldest() {
+        let mut r = EventRing::with_capacity(4);
+        for t in 0..10 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.written(), 10);
+        let got: Vec<u64> = r.recent(64).iter().map(|e| e.ts).collect();
+        assert_eq!(got, vec![6, 7, 8, 9]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Metrics export: registry snapshots rendered as Prometheus text
+//! exposition format and as JSON (hand-rolled — this workspace has no
+//! serde), plus the per-interval [`TimeSample`] the engine's sampler
+//! thread collects.
+
+use crate::hist::Histo64;
+
+/// One periodic whole-engine sample taken mid-run by the sampler
+/// thread. Counters are cumulative; per-interval rates come from
+/// adjacent-sample deltas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeSample {
+    /// Wall nanoseconds since the sampler started.
+    pub t_ns: u64,
+    /// Cumulative input packets across all cores.
+    pub pkts_in: u64,
+    /// Cumulative input bytes across all cores.
+    pub bytes_in: u64,
+    /// Cumulative output packets across all cores.
+    pub pkts_out: u64,
+    /// Cumulative output bytes across all cores.
+    pub bytes_out: u64,
+    /// Conversion yield over the steady-state output so far.
+    pub conversion_yield: f64,
+}
+
+/// A point-in-time metrics snapshot: named counters, gauges, and
+/// histograms, assembled from the stats registry (mid-run or final).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters (`_total`-suffixed by convention).
+    pub counters: Vec<(&'static str, u64)>,
+    /// Point-in-time gauges.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// Named histograms.
+    pub hists: Vec<(&'static str, Histo64)>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot in Prometheus text exposition format.
+    /// Every metric name is prefixed with `prefix_`.
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!(
+                "# HELP {prefix}_{name} Cumulative {name} over all cores.\n"
+            ));
+            out.push_str(&format!("# TYPE {prefix}_{name} counter\n"));
+            out.push_str(&format!("{prefix}_{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# HELP {prefix}_{name} Current {name}.\n"));
+            out.push_str(&format!("# TYPE {prefix}_{name} gauge\n"));
+            out.push_str(&format!("{prefix}_{name} {v}\n"));
+        }
+        for (name, h) in &self.hists {
+            out.push_str(&format!(
+                "# HELP {prefix}_{name} Log2-bucketed {name} distribution.\n"
+            ));
+            out.push_str(&format!("# TYPE {prefix}_{name} histogram\n"));
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets().iter().enumerate() {
+                cum += c;
+                let upper = Histo64::bucket_upper(i);
+                out.push_str(&format!("{prefix}_{name}_bucket{{le=\"{upper}\"}} {cum}\n"));
+                if upper >= h.max() {
+                    break;
+                }
+            }
+            out.push_str(&format!(
+                "{prefix}_{name}_bucket{{le=\"+Inf\"}} {}\n",
+                h.count()
+            ));
+            out.push_str(&format!("{prefix}_{name}_sum {}\n", h.sum()));
+            out.push_str(&format!("{prefix}_{name}_count {}\n", h.count()));
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON object with `counters`, `gauges`,
+    /// and `histograms` (each histogram as count/sum/max/p50/p90/p99).
+    /// `indent` is the leading indentation applied to every line.
+    pub fn to_json(&self, indent: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{indent}{{\n"));
+        out.push_str(&format!("{indent}  \"counters\": {{\n"));
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            out.push_str(&format!("{indent}    \"{name}\": {v}{comma}\n"));
+        }
+        out.push_str(&format!("{indent}  }},\n"));
+        out.push_str(&format!("{indent}  \"gauges\": {{\n"));
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let comma = if i + 1 < self.gauges.len() { "," } else { "" };
+            out.push_str(&format!("{indent}    \"{name}\": {v:.6}{comma}\n"));
+        }
+        out.push_str(&format!("{indent}  }},\n"));
+        out.push_str(&format!("{indent}  \"histograms\": {{\n"));
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            let comma = if i + 1 < self.hists.len() { "," } else { "" };
+            out.push_str(&format!(
+                "{indent}    \"{name}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}{comma}\n",
+                h.count(),
+                h.sum(),
+                h.max(),
+                h.p50(),
+                h.p90(),
+                h.p99()
+            ));
+        }
+        out.push_str(&format!("{indent}  }}\n"));
+        out.push_str(&format!("{indent}}}"));
+        out
+    }
+}
+
+/// Renders a time series as a JSON array of per-sample objects, with
+/// per-interval throughput derived from adjacent-sample deltas.
+pub fn time_series_json(series: &[TimeSample], indent: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{indent}[\n"));
+    let mut prev: Option<&TimeSample> = None;
+    for (i, s) in series.iter().enumerate() {
+        let (dt_ns, d_bytes) = match prev {
+            Some(p) => (
+                s.t_ns.saturating_sub(p.t_ns),
+                s.bytes_in.saturating_sub(p.bytes_in),
+            ),
+            None => (s.t_ns, s.bytes_in),
+        };
+        let interval_bps = if dt_ns > 0 {
+            d_bytes as f64 * 8.0 / (dt_ns as f64 / 1e9)
+        } else {
+            0.0
+        };
+        let comma = if i + 1 < series.len() { "," } else { "" };
+        out.push_str(&format!(
+            "{indent}  {{\"t_ns\": {}, \"pkts_in\": {}, \"bytes_in\": {}, \"pkts_out\": {}, \"bytes_out\": {}, \"yield\": {:.6}, \"interval_bps\": {:.1}}}{comma}\n",
+            s.t_ns, s.pkts_in, s.bytes_in, s.pkts_out, s.bytes_out, s.conversion_yield, interval_bps
+        ));
+        prev = Some(s);
+    }
+    out.push_str(&format!("{indent}]"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> MetricsSnapshot {
+        let mut h = Histo64::new();
+        h.record(100);
+        h.record(200);
+        MetricsSnapshot {
+            counters: vec![("pkts_in_total", 42), ("dropped_malformed_total", 0)],
+            gauges: vec![("conversion_yield", 0.93)],
+            hists: vec![("batch_ns", h)],
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = snap().to_prometheus("pxgw");
+        assert!(text.contains("# TYPE pxgw_pkts_in_total counter"));
+        assert!(text.contains("pxgw_pkts_in_total 42"));
+        assert!(text.contains("# TYPE pxgw_conversion_yield gauge"));
+        assert!(text.contains("# TYPE pxgw_batch_ns histogram"));
+        assert!(text.contains("pxgw_batch_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("pxgw_batch_ns_sum 300"));
+        assert!(text.contains("pxgw_batch_ns_count 2"));
+        // Bucket lines are cumulative and end at a bound >= max.
+        let last_le = text
+            .lines()
+            .rfind(|l| l.contains("_bucket{le=\"") && !l.contains("+Inf"))
+            .unwrap();
+        assert!(last_le.contains("} 2"), "{last_le}");
+    }
+
+    #[test]
+    fn json_shape() {
+        let json = snap().to_json("");
+        assert!(json.contains("\"pkts_in_total\": 42"));
+        assert!(json.contains("\"conversion_yield\": 0.93"));
+        assert!(json.contains("\"count\": 2"));
+        assert!(json.contains("\"p99\": "));
+    }
+
+    #[test]
+    fn time_series_interval_rates() {
+        let series = vec![
+            TimeSample {
+                t_ns: 1_000_000,
+                pkts_in: 100,
+                bytes_in: 125_000,
+                pkts_out: 10,
+                bytes_out: 90_000,
+                conversion_yield: 0.5,
+            },
+            TimeSample {
+                t_ns: 2_000_000,
+                pkts_in: 300,
+                bytes_in: 375_000,
+                pkts_out: 30,
+                bytes_out: 270_000,
+                conversion_yield: 0.9,
+            },
+        ];
+        let json = time_series_json(&series, "");
+        // Second interval: 250 KB over 1 ms = 2 Gbps.
+        assert!(json.contains("\"interval_bps\": 2000000000.0"), "{json}");
+        assert!(json.lines().count() >= 4);
+    }
+}

@@ -30,6 +30,10 @@ pub use px_wire as wire;
 /// [`px_sim`].
 pub use px_sim as sim;
 
+/// Observability: flight recorder, log₂ latency/size histograms, and
+/// Prometheus/JSON metrics export. Re-export of [`px_obs`].
+pub use px_obs as obs;
+
 /// Host protocol stacks (TCP with congestion control, UDP, UDP_GRO,
 /// caravan hosts). Re-export of [`px_tcp`].
 pub use px_tcp as tcp;

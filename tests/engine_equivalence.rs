@@ -31,6 +31,22 @@ fn engine(
     run_engine(EngineConfig::new(pinned(workload, cores), mode))
 }
 
+/// Digest-equality assertion with a flight-recorder post-mortem: on
+/// mismatch, both runs' per-core event timelines are printed so the
+/// diverging core and packet are identifiable without a rerun.
+fn assert_digests_match(
+    a: &packet_express::core::engine::EngineReport,
+    b: &packet_express::core::engine::EngineReport,
+    context: &str,
+) {
+    if a.flow_digests != b.flow_digests {
+        eprintln!("--- digest mismatch ({context}); flight recorder timelines follow ---");
+        eprintln!("run A:\n{}", a.obs.dump_recent(64));
+        eprintln!("run B:\n{}", b.obs.dump_recent(64));
+        panic!("{context}: per-flow digests diverged (timelines above)");
+    }
+}
+
 #[test]
 fn deterministic_output_is_identical_across_core_counts() {
     for workload in [WorkloadKind::Tcp, WorkloadKind::Udp] {
@@ -38,9 +54,10 @@ fn deterministic_output_is_identical_across_core_counts() {
         assert!(!reference.flow_digests.is_empty());
         for cores in [2usize, 4, 8] {
             let run = engine(workload, cores, EngineMode::Deterministic);
-            assert_eq!(
-                reference.flow_digests, run.flow_digests,
-                "{workload:?}: per-flow digests diverged at {cores} cores"
+            assert_digests_match(
+                &reference,
+                &run,
+                &format!("{workload:?} @{cores} cores vs 1 core"),
             );
             // Totals match field by field; `batches` legitimately varies
             // with sharding, so it is compared separately below.
@@ -64,9 +81,10 @@ fn parallel_threads_match_deterministic_content() {
         for cores in [2usize, 8] {
             let det = engine(workload, cores, EngineMode::Deterministic);
             let par = engine(workload, cores, EngineMode::Parallel);
-            assert_eq!(
-                det.flow_digests, par.flow_digests,
-                "{workload:?} @{cores}: thread scheduling leaked into output"
+            assert_digests_match(
+                &det,
+                &par,
+                &format!("{workload:?} @{cores} deterministic vs parallel"),
             );
             assert_eq!(
                 det.totals, par.totals,

@@ -15,6 +15,7 @@
 use packet_express::core::caravan_gw::{CaravanConfig, CaravanEngine};
 use packet_express::core::merge::{MergeConfig, MergeEngine};
 use packet_express::core::split::SplitEngine;
+use packet_express::obs::ObsConfig;
 use packet_express::wire::ipv4::Ipv4Repr;
 use packet_express::wire::tcp::{SeqNum, TcpFlags, TcpRepr};
 use packet_express::wire::{IpProtocol, PacketBuf, UdpRepr};
@@ -104,6 +105,11 @@ fn steady_state_hot_loops_do_not_allocate() {
     const MEASURED: usize = 24;
     let mut sunk = 0u64;
 
+    // The flight recorder is armed on every engine: its ring and
+    // histograms preallocate at enable time, so recording must add
+    // ZERO allocations to the measured regions below.
+    let obs = ObsConfig::default();
+
     // ---- merge: contiguous 6-segment rounds on two flows, aggregates
     // emitted by the reached-iMTU check (flush_full path).
     let mut merge = MergeEngine::new(MergeConfig {
@@ -112,6 +118,7 @@ fn steady_state_hot_loops_do_not_allocate() {
         hold_ns: 50_000,
         table_capacity: 64,
     });
+    merge.enable_obs(obs);
     let rounds: Vec<Vec<Vec<u8>>> = (0..WARMUP + MEASURED)
         .map(|r| {
             (0..6u32)
@@ -151,6 +158,7 @@ fn steady_state_hot_loops_do_not_allocate() {
 
     // ---- split: one jumbo in, six wire segments out, every round.
     let mut split = SplitEngine::new(1500);
+    split.enable_obs(obs);
     let jumbo = tcp_pkt(6000, 1, 8760);
     let mut run_split = |n: usize, sunk: &mut u64| {
         for _ in 0..n {
@@ -176,6 +184,7 @@ fn steady_state_hot_loops_do_not_allocate() {
         require_consecutive_ip_id: true,
         probe_port: 9999,
     });
+    caravan.enable_obs(obs);
     let dgrams: Vec<Vec<u8>> = (0..(WARMUP + MEASURED) * 8)
         .map(|i| udp_pkt(7000, i as u16, 1100))
         .collect();
@@ -198,4 +207,14 @@ fn steady_state_hot_loops_do_not_allocate() {
     );
 
     assert!(sunk > 0, "sinks must have seen real output");
+
+    // Recording genuinely happened during the alloc-free regions —
+    // the zero-allocation assertions above covered live recorders, not
+    // disabled no-ops.
+    assert!(merge.obs.events_recorded() > 0, "merge recorder was idle");
+    assert!(split.obs.events_recorded() > 0, "split recorder was idle");
+    assert!(
+        caravan.obs.events_recorded() > 0,
+        "caravan recorder was idle"
+    );
 }

@@ -10,6 +10,7 @@
 use packet_express::core::caravan_gw::{CaravanConfig, CaravanEngine};
 use packet_express::core::merge::{MergeConfig, MergeEngine};
 use packet_express::core::split::SplitEngine;
+use packet_express::obs::ObsConfig;
 use packet_express::wire::ipv4::{Ipv4Repr, CARAVAN_TOS};
 use packet_express::wire::tcp::{SeqNum, TcpFlags, TcpRepr};
 use packet_express::wire::{IpProtocol, UdpRepr};
@@ -62,23 +63,43 @@ fn flip_bits(pkt: &mut [u8], flips: &[u32]) {
 }
 
 /// Drives one mangled packet through all three engines, fresh instances
-/// each time so a poisoned flow table cannot mask a later panic.
+/// each time so a poisoned flow table cannot mask a later panic. The
+/// flight recorder is armed on every engine; if a panic does slip
+/// through, the last 64 events per engine are printed before the panic
+/// is re-raised — the post-mortem the recorder exists for.
 fn run_all_engines(pkt: &[u8]) {
+    let obs = ObsConfig::default();
     let mut merge = MergeEngine::new(MergeConfig::default());
-    let mut out = merge.push(0, pkt.to_vec());
-    let deadline = merge.next_deadline().unwrap_or(u64::MAX);
-    out.extend(merge.poll(deadline));
-    out.extend(merge.flush_all());
-
+    merge.enable_obs(obs);
     let mut split = SplitEngine::new(1500);
-    out.extend(split.push(pkt.to_vec()));
-    out.extend(split.push_to(pkt.to_vec(), 576));
-
+    split.enable_obs(obs);
     let mut caravan = CaravanEngine::new(CaravanConfig::default());
-    out.extend(caravan.push_inbound(0, pkt.to_vec()));
-    out.extend(caravan.push_outbound(pkt.to_vec()));
-    out.extend(caravan.flush_all());
-    drop(out);
+    caravan.enable_obs(obs);
+
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut out = merge.push(0, pkt.to_vec());
+        let deadline = merge.next_deadline().unwrap_or(u64::MAX);
+        out.extend(merge.poll(deadline));
+        out.extend(merge.flush_all());
+
+        out.extend(split.push(pkt.to_vec()));
+        out.extend(split.push_to(pkt.to_vec(), 576));
+
+        out.extend(caravan.push_inbound(0, pkt.to_vec()));
+        out.extend(caravan.push_outbound(pkt.to_vec()));
+        out.extend(caravan.flush_all());
+        drop(out);
+    }));
+    if let Err(payload) = result {
+        eprintln!("--- engine panicked on a mangled packet; flight recorder timelines follow ---");
+        eprintln!("merge (last 64 events):\n{}", merge.obs.render_recent(64));
+        eprintln!("split (last 64 events):\n{}", split.obs.render_recent(64));
+        eprintln!(
+            "caravan (last 64 events):\n{}",
+            caravan.obs.render_recent(64)
+        );
+        std::panic::resume_unwind(payload);
+    }
 }
 
 proptest! {
