@@ -19,13 +19,7 @@ fn bench_fpmtud(c: &mut Criterion) {
     let mut g = c.benchmark_group("fpmtud");
     g.bench_function("fpmtud_discovery", |b| {
         b.iter(|| {
-            let prober = FpmtudProber::new(ProberConfig {
-                addr: PROBER_ADDR,
-                dst: DAEMON_ADDR,
-                probe_size: 9000,
-                timeout: Nanos::from_secs(2),
-                max_tries: 3,
-            });
+            let prober = FpmtudProber::new(ProberConfig::new(PROBER_ADDR, DAEMON_ADDR, 9000));
             let daemon = FpmtudDaemon::new(DAEMON_ADDR);
             let (mut net, p, _) = build_path(1, prober, daemon, &hops(), false);
             net.run_until(Nanos::from_secs(5));

@@ -56,7 +56,8 @@ fn run_json(scale: Scale) -> String {
     let hot = px_bench::json_report::measure_hot_loops(scale, allocs_so_far);
     let engine = px_bench::json_report::measure_engine(scale);
     let obs = px_bench::json_report::measure_observability(scale);
-    let json = px_bench::json_report::render(scale, &hot, &engine, &obs);
+    let robust = px_bench::json_report::measure_robustness(scale);
+    let json = px_bench::json_report::render(scale, &hot, &engine, &obs, &robust);
     let path = "BENCH_engine.json";
     std::fs::write(path, &json).expect("write BENCH_engine.json");
     format!("{json}  [written to {path}]")

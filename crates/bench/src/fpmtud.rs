@@ -85,13 +85,7 @@ pub fn probe_pair(a: usize, b: usize) -> Row {
     let hops = hops_for(a, b);
 
     // F-PMTUD: one probe, sized to the first-hop MTU, DF clear.
-    let prober = FpmtudProber::new(ProberConfig {
-        addr: PROBER_ADDR,
-        dst: DAEMON_ADDR,
-        probe_size: hops[0].mtu,
-        timeout: Nanos::from_secs(2),
-        max_tries: 3,
-    });
+    let prober = FpmtudProber::new(ProberConfig::new(PROBER_ADDR, DAEMON_ADDR, hops[0].mtu));
     let daemon = FpmtudDaemon::new(DAEMON_ADDR);
     let (mut net, p, _) = build_path(101, prober, daemon, &hops, false);
     net.run_until(Nanos::from_secs(10));
@@ -102,7 +96,11 @@ pub fn probe_pair(a: usize, b: usize) -> Row {
         .expect("F-PMTUD finished")
     {
         ProbeOutcome::Discovered { pmtu, elapsed, .. } => (pmtu, elapsed),
-        ProbeOutcome::TimedOut { .. } => (0, Nanos::MAX),
+        // Neither terminal failure discovers a PMTU on these paths; the
+        // fallback clamp reports the static eMTU, not a measurement.
+        ProbeOutcome::TimedOut { .. } | ProbeOutcome::BlackholedToFallback { .. } => {
+            (0, Nanos::MAX)
+        }
     };
 
     // PLPMTUD (Scamper defaults): binary search with DF probes.

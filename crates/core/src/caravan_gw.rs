@@ -18,6 +18,7 @@
 //! fragmentation reveals the path MTU (§4.2).
 
 use crate::flowtable::FlowTable;
+use px_faults::{hash_bytes, FaultInjector, FaultSpec, PlannedFaults};
 use px_obs::{flow_id, EventKind, ObsConfig, Recorder};
 use px_sim::stats::SizeHistogram;
 use px_wire::bytes;
@@ -79,6 +80,16 @@ pub struct CaravanStats {
     pub dropped_malformed: u64,
     /// Output size distribution (inbound direction).
     pub out_sizes: SizeHistogram,
+    /// Packets forwarded unbundled because a pending bundle could not
+    /// be created (pool dry or flow-table denial) — the degradation
+    /// ladder's passthrough rung (DESIGN.md §12).
+    pub degraded_pkts: u64,
+    /// Bundle creations refused because the buffer pool was exhausted
+    /// (real [`BufPool::try_get`] failures plus injected verdicts).
+    pub pool_exhausted: u64,
+    /// Degraded packets dropped outright because even the emergency
+    /// spare buffer was unavailable.
+    pub backpressure_drops: u64,
 }
 
 impl CaravanStats {
@@ -134,20 +145,49 @@ pub struct CaravanEngine {
     /// Logical time of the most recent inbound push/poll, used to stamp
     /// emission events deterministically.
     last_now: u64,
+    /// Resource-fault injector ([`PlannedFaults::off`] in production).
+    faults: PlannedFaults,
+    /// Emergency buffer for degraded passthrough, owned outside the
+    /// pool (see [`crate::merge::MergeEngine`] for the full rationale).
+    spare: Option<PacketBuf>,
+    /// Whether the engine is currently in degraded (passthrough) mode.
+    degraded: bool,
 }
 
 impl CaravanEngine {
     /// Creates a caravan engine.
     pub fn new(cfg: CaravanConfig) -> Self {
+        let pool = BufPool::for_mtu(cfg.imtu, 256);
+        let spare = PacketBuf::with_capacity(pool.headroom(), pool.headroom() + cfg.imtu);
         CaravanEngine {
             cfg,
             table: FlowTable::new(cfg.table_capacity),
-            pool: BufPool::for_mtu(cfg.imtu, 256),
+            pool,
             out_ident: 1,
             stats: CaravanStats::default(),
             obs: Recorder::off(),
             last_now: 0,
+            faults: PlannedFaults::off(),
+            spare: Some(spare),
+            degraded: false,
         }
+    }
+
+    /// Arms (or disarms, with [`FaultSpec::off`]) resource-fault
+    /// injection for this engine.
+    pub fn set_faults(&mut self, spec: FaultSpec) {
+        self.faults = PlannedFaults::new(spec);
+    }
+
+    /// Caps the buffer pool's live-buffer count (see
+    /// [`BufPool::set_live_cap`]).
+    pub fn set_pool_live_cap(&mut self, cap: Option<u64>) {
+        self.pool.set_live_cap(cap);
+    }
+
+    /// Whether the engine is currently degraded to passthrough.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Switches the flight recorder + histograms on.
@@ -165,6 +205,11 @@ impl CaravanEngine {
         self.pool.stats
     }
 
+    /// Buffers held by pending bundles or not yet recycled by a sink.
+    pub fn pool_outstanding(&self) -> u64 {
+        self.pool.outstanding()
+    }
+
     fn bundle_budget(&self) -> usize {
         self.cfg.imtu - 28 // outer IPv4 (20) + outer UDP (8)
     }
@@ -179,6 +224,45 @@ impl CaravanEngine {
         buf.extend_from_slice(pkt);
         if let Some(b) = sink.accept(buf) {
             self.pool.put(b);
+        }
+    }
+
+    /// Degraded passthrough: a pending bundle could not be created
+    /// (`cause` 1 = pool dry, 2 = table denial), so the datagram is
+    /// forwarded unbundled through the pool-independent spare buffer.
+    /// Never allocates and never panics (px-analyze R6); when even the
+    /// spare is gone the packet is dropped and counted as backpressure.
+    fn degrade_forward(&mut self, now: u64, pkt: &[u8], cause: u64, sink: &mut impl PacketSink) {
+        if !self.degraded {
+            self.degraded = true;
+            self.obs
+                .record(EventKind::DegradeEnter, now, pkt.len() as u32, 0, cause);
+        }
+        if cause == 1 {
+            self.stats.pool_exhausted += 1;
+        }
+        match self.spare.take() {
+            Some(mut buf) if pkt.len() <= self.cfg.imtu => {
+                self.stats.degraded_pkts += 1;
+                buf.extend_from_slice(pkt);
+                if let Some(mut b) = sink.accept(buf) {
+                    b.reset(self.pool.headroom());
+                    self.spare = Some(b);
+                }
+            }
+            kept => {
+                self.spare = kept;
+                self.stats.backpressure_drops += 1;
+            }
+        }
+    }
+
+    /// Leaves degraded mode on the first bundle creation that succeeds
+    /// again.
+    fn degrade_exit(&mut self, now: u64) {
+        if self.degraded {
+            self.degraded = false;
+            self.obs.record(EventKind::DegradeExit, now, 0, 0, 0);
         }
     }
 
@@ -340,7 +424,26 @@ impl CaravanEngine {
             self.emit_pending(p, sink);
         }
 
-        let mut buf = self.pool.get();
+        // Bundle creation is the resource-pressure point (the only step
+        // that pins a pool buffer and a table slot across calls):
+        // injected verdicts and real pool exhaustion degrade to
+        // unbundled passthrough here — never a drop.
+        if self.faults.spec.enabled {
+            let pkt_hash = hash_bytes(pkt);
+            if self.faults.pool_dry(pkt_hash) {
+                self.degrade_forward(now, pkt, 1, sink);
+                return;
+            }
+            if self.faults.table_deny(pkt_hash) {
+                self.degrade_forward(now, pkt, 2, sink);
+                return;
+            }
+        }
+        let Some(mut buf) = self.pool.try_get() else {
+            self.degrade_forward(now, pkt, 1, sink);
+            return;
+        };
+        self.degrade_exit(now);
         buf.extend_from_slice(pkt);
         self.stats.bundled += 1;
         let pending = PendingBundle {
@@ -648,6 +751,53 @@ mod tests {
         let big = udp_pkt(5000, 8980, 0); // > bundle budget
         let out = eng.push_inbound(0, big.clone());
         assert_eq!(out, vec![big]);
+    }
+
+    #[test]
+    fn pool_exhaustion_degrades_to_unbundled_passthrough() {
+        let mut eng = CaravanEngine::new(CaravanConfig::default());
+        eng.enable_obs(px_obs::ObsConfig::default());
+        eng.set_pool_live_cap(Some(1));
+        let got: std::cell::RefCell<Vec<Vec<u8>>> = std::cell::RefCell::new(Vec::new());
+        let mut sink = |b: PacketBuf| {
+            got.borrow_mut().push(b.as_slice().to_vec());
+            Some(b)
+        };
+        // Flow A pins the pool's only live buffer.
+        eng.push_inbound_into(0, &udp_pkt(5000, 500, 0), &mut sink);
+        assert!(got.borrow().is_empty(), "held");
+        // Flow B cannot get a buffer: forwarded unbundled, verbatim.
+        let orig = udp_pkt(6000, 500, 0);
+        eng.push_inbound_into(10, &orig, &mut sink);
+        assert_eq!(*got.borrow(), vec![orig]);
+        assert!(eng.is_degraded());
+        assert_eq!(eng.stats.degraded_pkts, 1);
+        assert_eq!(eng.stats.pool_exhausted, 1);
+        // Flush A; the returned buffer lets B's next datagram bundle.
+        eng.poll_into(u64::MAX, &mut sink);
+        eng.push_inbound_into(20, &udp_pkt(6000, 500, 1), &mut sink);
+        assert!(!eng.is_degraded(), "recovered on next successful creation");
+        let kinds: Vec<EventKind> = eng.obs.recent(16).iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::DegradeEnter), "{kinds:?}");
+        assert!(kinds.contains(&EventKind::DegradeExit), "{kinds:?}");
+        eng.flush_all_into(&mut sink);
+        assert_eq!(eng.pool.outstanding(), 0, "no leaked buffers");
+    }
+
+    #[test]
+    fn injected_faults_degrade_the_caravan_engine_too() {
+        let mut eng = CaravanEngine::new(CaravanConfig::default());
+        eng.set_faults(FaultSpec {
+            enabled: true,
+            seed: 3,
+            table_deny_ppm: 1_000_000,
+            ..FaultSpec::off()
+        });
+        let p0 = udp_pkt(5000, 500, 0);
+        assert_eq!(eng.push_inbound(0, p0.clone()), vec![p0]);
+        assert_eq!(eng.stats.degraded_pkts, 1);
+        assert_eq!(eng.stats.pool_exhausted, 0);
+        assert_eq!(eng.pool.outstanding(), 0);
     }
 
     #[test]

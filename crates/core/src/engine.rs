@@ -34,6 +34,9 @@ use crate::caravan_gw::{CaravanConfig, CaravanEngine};
 use crate::merge::{MergeConfig, MergeEngine};
 use crate::pipeline::{PipelineConfig, SystemVariant, TraceGen, WorkloadKind};
 use crossbeam::channel;
+use px_faults::{
+    FaultInjector, FaultPlan, FaultSpec, Heartbeats, IngressStats, PlannedFaults, StallDetector,
+};
 use px_obs::{Event, EventKind, HistSet, ObsConfig, ObsReport, Recorder, TimeSample};
 use px_sim::stats::{CoreCounters, StatsRegistry};
 use px_wire::ipv4::Ipv4Packet;
@@ -163,6 +166,61 @@ impl CoreEngine {
     pub fn take_obs(&mut self) -> (Vec<Event>, HistSet) {
         self.obs_mut().map(Recorder::take).unwrap_or_default()
     }
+
+    /// Arms (or disarms) resource-fault injection on the inner engine.
+    /// No-op for the baseline — it models the comparison system, not
+    /// the PXGW under test.
+    pub fn set_faults(&mut self, spec: FaultSpec) {
+        match self {
+            CoreEngine::Baseline(_) => {}
+            CoreEngine::Merge(m) => m.set_faults(spec),
+            CoreEngine::Caravan(c) => c.set_faults(spec),
+        }
+    }
+
+    /// Idle tick for a quiesced shard: this core's input stream ended,
+    /// so every held aggregate's hold deadline lies in its unreachable
+    /// future — flush them all now instead of parking them until the
+    /// run-wide drain. This is the dead-shard fix: `pop_expired` used
+    /// to be polled only on packet arrival, so a core that stopped
+    /// receiving packets never flushed its expired flows.
+    pub fn idle_tick_into(&mut self, sink: &mut impl PacketSink) {
+        match self {
+            CoreEngine::Baseline(b) => b.flush_into(sink),
+            CoreEngine::Merge(m) => m.poll_into(u64::MAX, sink),
+            CoreEngine::Caravan(c) => c.poll_into(u64::MAX, sink),
+        }
+    }
+
+    /// Pool buffers currently outstanding — held by pending aggregates
+    /// or loaned out and not yet recycled. Zero after a full drain, or
+    /// the engine is leaking buffers (zero for the pool-less baseline).
+    pub fn pool_outstanding(&self) -> u64 {
+        match self {
+            CoreEngine::Baseline(_) => 0,
+            CoreEngine::Merge(m) => m.pool_outstanding(),
+            CoreEngine::Caravan(c) => c.pool_outstanding(),
+        }
+    }
+
+    /// The inner engine's `(degraded_pkts, pool_exhausted,
+    /// backpressure_drops)` degradation counters (zero for the
+    /// baseline).
+    pub fn degrade_stats(&self) -> (u64, u64, u64) {
+        match self {
+            CoreEngine::Baseline(_) => (0, 0, 0),
+            CoreEngine::Merge(m) => (
+                m.stats.degraded_pkts,
+                m.stats.pool_exhausted,
+                m.stats.backpressure_drops,
+            ),
+            CoreEngine::Caravan(c) => (
+                c.stats.degraded_pkts,
+                c.stats.pool_exhausted,
+                c.stats.backpressure_drops,
+            ),
+        }
+    }
 }
 
 /// How the engine schedules its per-core workers.
@@ -192,6 +250,15 @@ pub struct EngineConfig {
     /// deterministic digests are pinned *with* recording enabled, which
     /// is what proves recording never perturbs the datapath.
     pub obs: ObsConfig,
+    /// Fault-injection schedule ([`FaultSpec::off`] in production —
+    /// every fault check is then one predicted branch; the chaos
+    /// harness arms it with [`FaultSpec::chaos`]).
+    pub faults: FaultSpec,
+    /// Copy every emitted packet into
+    /// [`EngineReport::captured_output`]. Test-harness only (the chaos
+    /// matrix digests the delivered byte streams from it) — capture
+    /// allocates per packet, so it must stay off for perf runs.
+    pub capture_output: bool,
 }
 
 impl EngineConfig {
@@ -203,6 +270,8 @@ impl EngineConfig {
             batch_pkts: 32,
             channel_batches: 8,
             obs: ObsConfig::default(),
+            faults: FaultSpec::off(),
+            capture_output: false,
         }
     }
 }
@@ -286,6 +355,16 @@ pub struct EngineReport {
     /// Observability results: merged histograms, per-core flight
     /// recorder contents, and the in-run time series.
     pub obs: ObsReport,
+    /// What the pre-shard ingress fault pass did to the trace (all
+    /// zero when faults are off).
+    pub ingress_faults: IngressStats,
+    /// Worker stalls the Parallel-mode heartbeat monitor flagged.
+    /// Advisory: wall-clock dependent, so tests assert on the restart
+    /// counters, not on this.
+    pub stalls_detected: u64,
+    /// Every emitted packet, in core order then emission order. Empty
+    /// unless [`EngineConfig::capture_output`] was set.
+    pub captured_output: Vec<Vec<u8>>,
 }
 
 /// One worker's private state: the translation engine plus local
@@ -299,6 +378,25 @@ struct Worker {
     /// Whether the engine carries an active recorder (cached so the
     /// batch loop skips the per-batch `Instant` reads when off).
     obs_on: bool,
+    /// This worker's core index — the key for injected worker faults.
+    core: usize,
+    /// Per-batch fault verdicts (the inert injector in production).
+    faults: PlannedFaults,
+    /// Whether injected stalls really sleep. True only in Parallel
+    /// mode — Deterministic mode has no wall clock to stall against,
+    /// and a stall must never change what the flows carry.
+    wall_stalls: bool,
+    /// Rebuild parameters for a post-panic engine restart.
+    pipe: PipelineConfig,
+    obs_cfg: ObsConfig,
+    /// Flight-recorder contents rescued from pre-restart engines, so a
+    /// restart loses telemetry no more than it loses flow state.
+    events_carry: Vec<Event>,
+    hists_carry: HistSet,
+    /// Copies of every emitted packet, when the run asked for capture
+    /// ([`EngineConfig::capture_output`]); `None` keeps the hot path
+    /// allocation-free.
+    captured: Option<Vec<Vec<u8>>>,
 }
 
 /// The worker's [`PacketSink`]: accounts every emitted packet into the
@@ -311,6 +409,7 @@ struct Accountant<'a> {
     digests: &'a mut BTreeMap<FlowKey, FlowDigest>,
     jumbo_at: usize,
     inband: bool,
+    capture: Option<&'a mut Vec<Vec<u8>>>,
 }
 
 impl PacketSink for Accountant<'_> {
@@ -330,17 +429,29 @@ impl PacketSink for Accountant<'_> {
             d.bytes += (payload.end - payload.start) as u64;
             d.fnv = fnv_extend(d.fnv, &unit[payload]);
         }
+        if let Some(cap) = self.capture.as_deref_mut() {
+            // px-analyze: allow(R3, reason = "capture is a test-harness branch, None in production: the chaos matrix needs the delivered bytes, so it pays the copy")
+            cap.push(unit.to_vec());
+        }
         Some(buf)
     }
 }
 
 impl Worker {
-    fn new(cfg: &PipelineConfig, obs: ObsConfig) -> Self {
+    fn new(
+        cfg: &PipelineConfig,
+        obs: ObsConfig,
+        core: usize,
+        faults: FaultSpec,
+        wall_stalls: bool,
+        capture: bool,
+    ) -> Self {
         let mut engine =
             CoreEngine::for_variant(cfg.variant, cfg.workload, cfg.imtu, cfg.emtu, cfg.hold_ns);
         if obs.enabled {
             engine.enable_obs(obs);
         }
+        engine.set_faults(faults);
         let obs_on = engine.obs_mut().is_some_and(|r| r.is_enabled());
         Worker {
             engine,
@@ -350,7 +461,113 @@ impl Worker {
             // "reached iMTU" when one more eMTU payload would not fit.
             jumbo_at: cfg.imtu - (cfg.emtu - 40) + 1,
             obs_on,
+            core,
+            faults: PlannedFaults::new(faults),
+            wall_stalls,
+            pipe: *cfg,
+            obs_cfg: obs,
+            events_carry: Vec::new(),
+            hists_carry: HistSet::default(),
+            captured: if capture { Some(Vec::new()) } else { None },
         }
+    }
+
+    /// One batch through the engine, with worker-fault injection at the
+    /// batch boundary: an injected stall sleeps (prey for the heartbeat
+    /// monitor), an injected panic unwinds and is caught right here —
+    /// after which the worker rescues its flow state, restarts its
+    /// engine in place, and reprocesses the batch it was handed.
+    fn run_batch(&mut self, batch: Batch) {
+        if !self.faults.spec.enabled {
+            self.process_batch(batch);
+            return;
+        }
+        let idx = self.counters.batches;
+        if self.wall_stalls {
+            let stall_ns = self.faults.batch_stall_ns(self.core, idx);
+            if stall_ns > 0 {
+                std::thread::sleep(Duration::from_nanos(stall_ns));
+            }
+        }
+        if self.faults.batch_panic(self.core, idx) {
+            // A real unwind, so the catch-and-restart path exercised is
+            // the one a defect in batch processing would take.
+            #[allow(clippy::panic)]
+            // px-analyze: allow(R1, reason = "deliberate injected fault: the panic is caught on this same line and drives the restart path under test")
+            let caught = std::panic::catch_unwind(|| panic!("injected worker fault"));
+            if caught.is_err() {
+                let now = batch.first().map_or(0, |(t, _)| *t);
+                self.restart_worker(idx, now);
+            }
+        }
+        self.process_batch(batch);
+    }
+
+    /// Post-panic self-healing: flushes (rescues) every held aggregate
+    /// out of the wedged engine so no flow loses bytes, absorbs its
+    /// counters and flight recorder, then stands up a fresh engine in
+    /// place — the worker never leaves the RSS shard map. Panic- and
+    /// alloc-free on its own tokens (px-analyze R6).
+    fn restart_worker(&mut self, batch_idx: u64, now: u64) {
+        let out_before = self.counters.pkts_out;
+        let mut acct = Accountant {
+            counters: &mut self.counters,
+            digests: &mut self.digests,
+            jumbo_at: self.jumbo_at,
+            // Rescued packets are out-of-band, like the end-of-run
+            // drain: the flows still see every byte, but steady-state
+            // conversion metrics exclude them.
+            inband: false,
+            capture: self.captured.as_mut(),
+        };
+        self.engine.finish_into(&mut acct);
+        let rescued = self.counters.pkts_out - out_before;
+        self.absorb_engine_stats();
+        let (events, hists) = self.engine.take_obs();
+        self.events_carry.extend(events);
+        self.hists_carry.merge(&hists);
+        self.counters.worker_restarts += 1;
+        let mut engine = CoreEngine::for_variant(
+            self.pipe.variant,
+            self.pipe.workload,
+            self.pipe.imtu,
+            self.pipe.emtu,
+            self.pipe.hold_ns,
+        );
+        if self.obs_cfg.enabled {
+            engine.enable_obs(self.obs_cfg);
+        }
+        engine.set_faults(self.faults.spec);
+        self.engine = engine;
+        if let Some(rec) = self.engine.obs_mut() {
+            rec.record(EventKind::WorkerRestart, now, batch_idx as u32, 0, rescued);
+        }
+    }
+
+    /// Folds the engine's degradation/drop counters into the worker's —
+    /// called exactly once per engine *instance* (at restart or at
+    /// finish), so the sums stay correct across restarts.
+    fn absorb_engine_stats(&mut self) {
+        let (degraded, exhausted, drops) = self.engine.degrade_stats();
+        self.counters.degraded_pkts += degraded;
+        self.counters.pool_exhausted += exhausted;
+        self.counters.backpressure_drops += drops;
+        self.counters.dropped_malformed += self.engine.dropped_malformed();
+    }
+
+    /// The dispatcher saw this core's input stream end: flush every
+    /// held aggregate on its now-unreachable hold deadline instead of
+    /// parking it until the global end-of-run drain. Out-of-band
+    /// accounting, like the drain itself.
+    fn quiesce(&mut self) {
+        let mut acct = Accountant {
+            counters: &mut self.counters,
+            digests: &mut self.digests,
+            jumbo_at: self.jumbo_at,
+            inband: false,
+            capture: self.captured.as_mut(),
+        };
+        self.engine.idle_tick_into(&mut acct);
     }
 
     fn process_batch(&mut self, batch: Vec<(u64, Vec<u8>)>) {
@@ -367,6 +584,7 @@ impl Worker {
             counters,
             digests,
             jumbo_at,
+            captured,
             ..
         } = self;
         for (now, pkt) in batch {
@@ -381,6 +599,7 @@ impl Worker {
                 digests: &mut *digests,
                 jumbo_at: *jumbo_at,
                 inband: true,
+                capture: captured.as_mut(),
             };
             engine.push_into(now, pkt, &mut acct);
         }
@@ -403,20 +622,36 @@ impl Worker {
             digests: &mut self.digests,
             jumbo_at: self.jumbo_at,
             inband: false,
+            capture: self.captured.as_mut(),
         };
         self.engine.finish_into(&mut acct);
-        self.counters.dropped_malformed = self.engine.dropped_malformed();
+        self.absorb_engine_stats();
+        // Every pool buffer must be home after a full drain — a nonzero
+        // count here is a leak (an aggregate forgotten by a degrade or
+        // restart path, exactly what the chaos matrix exists to catch).
+        debug_assert_eq!(
+            self.engine.pool_outstanding(),
+            0,
+            "core {}: pool buffers leaked past the drain",
+            self.core
+        );
     }
 
     /// Publishes counters, merges histograms, and extracts the flight
     /// recorder — the worker's end-of-run handoff to the registry.
+    /// Events rescued from pre-restart engines come first (they are
+    /// chronologically earlier).
     fn publish_final(mut self, core: usize, registry: &StatsRegistry) -> WorkerOutput {
         registry.set_core(core, &self.counters);
         let (events, hists) = self.engine.take_obs();
-        registry.merge_core_hists(core, &hists);
+        self.hists_carry.merge(&hists);
+        registry.merge_core_hists(core, &self.hists_carry);
+        let mut all_events = self.events_carry;
+        all_events.extend(events);
         WorkerOutput {
             digests: self.digests,
-            events,
+            events: all_events,
+            captured: self.captured.unwrap_or_default(),
         }
     }
 }
@@ -425,6 +660,8 @@ impl Worker {
 struct WorkerOutput {
     digests: BTreeMap<FlowKey, FlowDigest>,
     events: Vec<Event>,
+    /// Emitted-packet copies (empty unless capture was on).
+    captured: Vec<Vec<u8>>,
 }
 
 /// A batch of (arrival-time, packet) pairs bound for one core.
@@ -464,6 +701,8 @@ struct ModeOutput {
     wall_ns: u64,
     outputs: Vec<WorkerOutput>,
     series: Vec<TimeSample>,
+    /// Stall declarations from the Parallel-mode heartbeat monitor.
+    stalls_detected: u64,
 }
 
 /// Builds one time-series point from an aggregate counter snapshot.
@@ -492,6 +731,12 @@ pub fn run_engine(cfg: EngineConfig) -> EngineReport {
         pipe.seed,
     );
     let trace = tracer.generate(pipe.trace_pkts);
+    // Ingress faults are applied to the *global* trace, before RSS
+    // sharding, so the faulted input is a pure function of (seed,
+    // trace) — identical whatever the core count. One predicted branch
+    // when faults are off.
+    let mut fault_plan = FaultPlan::new(cfg.faults);
+    let trace = fault_plan.apply_ingress_keyed(trace);
     let registry = Arc::new(StatsRegistry::new(pipe.cores));
 
     let mut out = match cfg.mode {
@@ -501,8 +746,10 @@ pub fn run_engine(cfg: EngineConfig) -> EngineReport {
 
     let mut flow_digests: BTreeMap<FlowKey, FlowDigest> = BTreeMap::new();
     let mut per_core_events = Vec::with_capacity(out.outputs.len());
+    let mut captured_output = Vec::new();
     for worker_out in out.outputs.drain(..) {
         per_core_events.push(worker_out.events);
+        captured_output.extend(worker_out.captured);
         for (key, d) in worker_out.digests {
             // RSS pins a flow to exactly one core, so keys never collide
             // across cores; insert-or-merge keeps this robust anyway.
@@ -549,7 +796,21 @@ pub fn run_engine(cfg: EngineConfig) -> EngineReport {
         per_core,
         flow_digests,
         obs,
+        ingress_faults: fault_plan.stats,
+        stalls_detected: out.stalls_detected,
+        captured_output,
     }
+}
+
+/// What the dispatcher sends a Parallel-mode worker.
+#[derive(Debug)]
+enum WorkerMsg {
+    /// A burst of (arrival-ts, packet) pairs to process.
+    Batch(Batch),
+    /// This core's input stream has ended: idle-tick the hold timers so
+    /// expired flows flush now rather than at the global drain. Sent
+    /// exactly once per core.
+    Quiesce,
 }
 
 /// Parallel mode: spawn one worker thread per core, stream batches over
@@ -585,6 +846,31 @@ fn run_parallel(
         None
     };
 
+    // Supervisor: workers beat a shared heartbeat once per batch; a
+    // monitor thread strike-counts the heartbeats and flags stalls.
+    // Only spawned when stall injection is armed — production runs pay
+    // nothing.
+    let heartbeats = Arc::new(Heartbeats::new(cores));
+    let monitor = if cfg.faults.enabled && cfg.faults.stall_every_batches > 0 {
+        let hb = Arc::clone(&heartbeats);
+        let stop = Arc::clone(&stop);
+        Some(std::thread::spawn(move || {
+            let mut det = StallDetector::new(hb.cores(), 3);
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_micros(50));
+                for core in det.scan(&hb) {
+                    // Detection is advisory here: the worker restarts
+                    // itself on the injected-panic path, so the monitor
+                    // just forgives the core and counts the episode.
+                    det.clear(core);
+                }
+            }
+            det.stalls_detected
+        }))
+    } else {
+        None
+    };
+
     let publish_every = if cfg.obs.enabled {
         cfg.obs.publish_every_batches
     } else {
@@ -593,20 +879,30 @@ fn run_parallel(
     let mut senders = Vec::with_capacity(cores);
     let mut handles = Vec::with_capacity(cores);
     for core in 0..cores {
-        let (tx, rx) = channel::bounded::<Batch>(cfg.channel_batches);
+        let (tx, rx) = channel::bounded::<WorkerMsg>(cfg.channel_batches);
         senders.push(tx);
         let registry = Arc::clone(registry);
+        let hb = Arc::clone(&heartbeats);
         let pipe = cfg.pipe;
         let obs = cfg.obs;
+        let faults = cfg.faults;
+        let capture = cfg.capture_output;
         handles.push(std::thread::spawn(move || {
-            let mut w = Worker::new(&pipe, obs);
-            for batch in rx.iter() {
-                w.process_batch(batch);
-                // Periodic counter publish so mid-run snapshots and the
-                // sampler see progress (overwrite: counters are
-                // cumulative and this slot has one writer).
-                if publish_every > 0 && w.counters.batches.is_multiple_of(publish_every) {
-                    registry.set_core(core, &w.counters);
+            let mut w = Worker::new(&pipe, obs, core, faults, true, capture);
+            for msg in rx.iter() {
+                match msg {
+                    WorkerMsg::Batch(batch) => {
+                        w.run_batch(batch);
+                        hb.beat(core);
+                        // Periodic counter publish so mid-run snapshots
+                        // and the sampler see progress (overwrite:
+                        // counters are cumulative and this slot has one
+                        // writer).
+                        if publish_every > 0 && w.counters.batches.is_multiple_of(publish_every) {
+                            registry.set_core(core, &w.counters);
+                        }
+                    }
+                    WorkerMsg::Quiesce => w.quiesce(),
                 }
             }
             w.finish();
@@ -614,17 +910,36 @@ fn run_parallel(
         }));
     }
     // Round-robin dispatch in arrival order; bounded channels apply
-    // back-pressure when a core falls behind.
+    // back-pressure when a core falls behind. The first time a core's
+    // queue runs dry it gets one Quiesce so its held flows flush on
+    // deadline even though no more packets will arrive on its shard.
     let max_rounds = batches.iter().map(Vec::len).max().unwrap_or(0);
     let mut queues: Vec<std::vec::IntoIter<Batch>> =
         batches.into_iter().map(Vec::into_iter).collect();
+    let mut quiesced = vec![false; cores];
     for _ in 0..max_rounds {
         for (core, q) in queues.iter_mut().enumerate() {
-            if let Some(batch) = q.next() {
-                // px-analyze: allow(R1, reason = "run orchestration, not datapath: a send can only fail if a worker thread already panicked")
-                #[allow(clippy::expect_used)]
-                senders[core].send(batch).expect("worker alive");
-            }
+            let msg = match q.next() {
+                Some(batch) => WorkerMsg::Batch(batch),
+                None if !quiesced[core] => {
+                    quiesced[core] = true;
+                    WorkerMsg::Quiesce
+                }
+                None => continue,
+            };
+            // px-analyze: allow(R1, reason = "run orchestration, not datapath: a send can only fail if a worker thread already panicked")
+            #[allow(clippy::expect_used)]
+            senders[core].send(msg).expect("worker alive");
+        }
+    }
+    for (core, was_quiesced) in quiesced.into_iter().enumerate() {
+        if !was_quiesced {
+            // Streams that ran to the final round still get their
+            // end-of-stream tick, for symmetry with Deterministic mode.
+            let msg = WorkerMsg::Quiesce;
+            // px-analyze: allow(R1, reason = "run orchestration, not datapath: a send can only fail if a worker thread already panicked")
+            #[allow(clippy::expect_used)]
+            senders[core].send(msg).expect("worker alive");
         }
     }
     drop(senders);
@@ -642,10 +957,17 @@ fn run_parallel(
         Some(h) => h.join().expect("sampler must not panic"),
         None => Vec::new(),
     };
+    let stalls_detected = match monitor {
+        // px-analyze: allow(R1, reason = "run teardown, not datapath: join propagates a monitor panic to the harness")
+        #[allow(clippy::expect_used)]
+        Some(h) => h.join().expect("monitor must not panic"),
+        None => 0,
+    };
     ModeOutput {
         wall_ns,
         outputs,
         series,
+        stalls_detected,
     }
 }
 
@@ -663,15 +985,33 @@ fn run_deterministic(
     let batches = shard_batches(cfg, trace);
     let start = Instant::now();
     let mut workers: Vec<Worker> = (0..cores)
-        .map(|_| Worker::new(&cfg.pipe, cfg.obs))
+        .map(|core| {
+            Worker::new(
+                &cfg.pipe,
+                cfg.obs,
+                core,
+                cfg.faults,
+                false,
+                cfg.capture_output,
+            )
+        })
         .collect();
     let max_rounds = batches.iter().map(Vec::len).max().unwrap_or(0);
     let mut queues: Vec<std::vec::IntoIter<Batch>> =
         batches.into_iter().map(Vec::into_iter).collect();
+    let mut quiesced = vec![false; cores];
     for _ in 0..max_rounds {
         for (core, q) in queues.iter_mut().enumerate() {
-            if let Some(batch) = q.next() {
-                workers[core].process_batch(batch);
+            match q.next() {
+                Some(batch) => workers[core].run_batch(batch),
+                // First end-of-stream on this shard: idle-tick so held
+                // flows flush on deadline (the dead-shard fix), exactly
+                // where Parallel mode sends its Quiesce message.
+                None if !quiesced[core] => {
+                    quiesced[core] = true;
+                    workers[core].quiesce();
+                }
+                None => {}
             }
         }
     }
@@ -679,6 +1019,9 @@ fn run_deterministic(
         .into_iter()
         .enumerate()
         .map(|(core, mut w)| {
+            if !quiesced[core] {
+                w.quiesce();
+            }
             w.finish();
             w.publish_final(core, registry)
         })
@@ -687,6 +1030,7 @@ fn run_deterministic(
         wall_ns: start.elapsed().as_nanos() as u64,
         outputs,
         series: Vec::new(),
+        stalls_detected: 0,
     }
 }
 
@@ -777,6 +1121,164 @@ mod tests {
         let a = small(EngineMode::Deterministic, 4, WorkloadKind::Udp);
         let b = small(EngineMode::Deterministic, 4, WorkloadKind::Udp);
         assert_eq!(a.obs.per_core_events, b.obs.per_core_events);
+    }
+
+    #[test]
+    fn quiesce_flushes_idle_shard_flows_before_the_drain() {
+        // Regression for the dead-shard bug: hold timers used to be
+        // polled only on packet arrival, so a shard whose input stream
+        // ended kept its expired flows parked until the global drain.
+        let pipe = PipelineConfig::fig5(SystemVariant::Px, WorkloadKind::Tcp, 1);
+        let mut w = Worker::new(
+            &pipe,
+            ObsConfig::disabled(),
+            0,
+            FaultSpec::off(),
+            false,
+            false,
+        );
+        let mut tracer = TraceGen::new(pipe.workload, 2, pipe.emtu, pipe.mean_run, 7);
+        let batch: Batch = tracer
+            .generate(50)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, pkt))| (i as u64 * 1_000, pkt))
+            .collect();
+        w.run_batch(batch);
+        w.quiesce();
+        // The idle tick emptied the engine: the drain has nothing left.
+        let after_quiesce = w.counters.pkts_out;
+        assert!(after_quiesce > 0);
+        w.finish();
+        assert_eq!(
+            w.counters.pkts_out, after_quiesce,
+            "quiesce left flows parked for the drain"
+        );
+        // Quiesce accounts out-of-band, exactly like the drain would
+        // have: inband counters only reflect packet-arrival emissions.
+        assert!(w.counters.pkts_out_inband < w.counters.pkts_out);
+    }
+
+    #[test]
+    fn quiesce_does_not_change_totals_or_digests() {
+        // The same flows flush the same bytes whether the idle tick or
+        // the drain emits them — only the inband/out-of-band split and
+        // timing may move, and here even those match because quiesce
+        // fires at end-of-stream.
+        let r = small(EngineMode::Deterministic, 4, WorkloadKind::Tcp);
+        assert_eq!(r.totals.pkts_in, 4_000);
+        let digest_pkts: u64 = r.flow_digests.values().map(|d| d.pkts).sum();
+        assert_eq!(digest_pkts, r.totals.pkts_out);
+    }
+
+    #[test]
+    fn injected_worker_panic_restarts_and_loses_no_flow_state() {
+        let mut pipe = PipelineConfig::fig5(SystemVariant::Px, WorkloadKind::Tcp, 2);
+        pipe.trace_pkts = 4_000;
+        pipe.n_flows = 64;
+        let mut cfg = EngineConfig::new(pipe, EngineMode::Deterministic);
+        cfg.faults = FaultSpec {
+            enabled: true,
+            seed: 1,
+            panic_every_batches: 5,
+            ..FaultSpec::off()
+        };
+        let r = run_engine(cfg);
+        assert!(r.totals.worker_restarts > 0, "panic schedule never fired");
+        assert_eq!(r.totals.pkts_in, 4_000);
+        // Rescue-flushing on restart means every input packet still
+        // reaches the output digests — nothing is lost with the engine.
+        let digest_pkts: u64 = r.flow_digests.values().map(|d| d.pkts).sum();
+        assert_eq!(digest_pkts, r.totals.pkts_out);
+        // Restarts are observable: WorkerRestart events in the carried
+        // flight-recorder stream, one per restart.
+        let restarts = r
+            .obs
+            .per_core_events
+            .iter()
+            .flatten()
+            .filter(|e| e.kind == EventKind::WorkerRestart)
+            .count() as u64;
+        assert_eq!(restarts, r.totals.worker_restarts);
+    }
+
+    #[test]
+    fn injected_panic_schedule_is_deterministic() {
+        let run = || {
+            let mut pipe = PipelineConfig::fig5(SystemVariant::Px, WorkloadKind::Udp, 4);
+            pipe.trace_pkts = 4_000;
+            pipe.n_flows = 64;
+            let mut cfg = EngineConfig::new(pipe, EngineMode::Deterministic);
+            cfg.faults = FaultSpec {
+                enabled: true,
+                seed: 9,
+                panic_every_batches: 7,
+                ..FaultSpec::off()
+            };
+            run_engine(cfg)
+        };
+        let a = run();
+        let b = run();
+        assert!(a.totals.worker_restarts > 0);
+        assert_eq!(a.totals, b.totals);
+        assert_eq!(a.flow_digests, b.flow_digests);
+    }
+
+    #[test]
+    fn ingress_faults_are_applied_and_accounted() {
+        let mut pipe = PipelineConfig::fig5(SystemVariant::Px, WorkloadKind::Tcp, 2);
+        pipe.trace_pkts = 4_000;
+        pipe.n_flows = 64;
+        let mut cfg = EngineConfig::new(pipe, EngineMode::Deterministic);
+        cfg.faults = FaultSpec {
+            enabled: true,
+            seed: 3,
+            drop_ppm: 20_000,
+            dup_ppm: 20_000,
+            reorder_ppm: 20_000,
+            corrupt_ppm: 20_000,
+            truncate_ppm: 10_000,
+            ..FaultSpec::off()
+        };
+        let r = run_engine(cfg);
+        let f = r.ingress_faults;
+        assert!(f.total() > 0);
+        // The engine consumed exactly the faulted trace: drops shrink
+        // it, duplicates grow it.
+        assert_eq!(r.totals.pkts_in, 4_000 - f.dropped + f.duplicated);
+        // Nothing panicked and the datapath never silently dropped: a
+        // corrupt or truncated packet passes through for the endpoints
+        // to judge (the merge engine forwards what it cannot parse).
+        assert!(r.totals.pkts_out > 0);
+    }
+
+    #[test]
+    fn injected_resource_faults_surface_in_the_report() {
+        let mut pipe = PipelineConfig::fig5(SystemVariant::Px, WorkloadKind::Tcp, 2);
+        pipe.trace_pkts = 4_000;
+        pipe.n_flows = 64;
+        let mut cfg = EngineConfig::new(pipe, EngineMode::Deterministic);
+        cfg.faults = FaultSpec {
+            enabled: true,
+            seed: 5,
+            pool_dry_ppm: 100_000,
+            table_deny_ppm: 50_000,
+            ..FaultSpec::off()
+        };
+        let r = run_engine(cfg);
+        assert!(
+            r.totals.degraded_pkts > 0,
+            "no packet took the passthrough path"
+        );
+        assert!(r.totals.pool_exhausted > 0);
+        // Degradation forwards instead of dropping: everything still
+        // reaches the digests.
+        let digest_pkts: u64 = r.flow_digests.values().map(|d| d.pkts).sum();
+        assert_eq!(digest_pkts, r.totals.pkts_out);
+        assert_eq!(
+            r.totals.backpressure_drops, 0,
+            "spare buffer always recycled"
+        );
     }
 
     #[test]

@@ -137,9 +137,18 @@ impl PxGateway {
             neighbors: NeighborTable::new(),
             neighbor_asn: None,
             passthrough_out: 0,
-            pmtud: cfg
-                .pmtud_addr
-                .map(|a| crate::pmtud_client::PmtudClient::new(a, cfg.imtu)),
+            pmtud: cfg.pmtud_addr.map(|a| {
+                crate::pmtud_client::PmtudClient::with_retry(
+                    a,
+                    cfg.imtu,
+                    crate::pmtud_client::PmtudRetryConfig {
+                        // Blackhole clamp: a destination that answers no
+                        // probe splits at the safe static eMTU.
+                        fallback_pmtu: cfg.emtu,
+                        ..Default::default()
+                    },
+                )
+            }),
             advert_seq: 0,
         }
     }
@@ -294,7 +303,7 @@ impl PxGateway {
         if let Some(client) = &mut self.pmtud {
             if let Ok(ip) = Ipv4Packet::new_checked(&pkt[..]) {
                 let dst = ip.dst();
-                if let Some(probe) = client.maybe_probe(dst) {
+                if let Some(probe) = client.maybe_probe(ctx.now.0, dst) {
                     ctx.send(EXTERNAL_PORT, PacketBuf::from_payload(&probe));
                 }
                 if let Some(pmtu) = client.pmtu_for(dst) {
@@ -347,6 +356,14 @@ impl Node for PxGateway {
                 }
                 for p in self.caravan.poll(now) {
                     ctx.send(INTERNAL_PORT, PacketBuf::from_payload(&p));
+                }
+                // PMTU probe retries ride the same poll: a destination
+                // that went dark between packets still resolves (to a
+                // discovered PMTU or the eMTU clamp) on a deadline.
+                if let Some(client) = &mut self.pmtud {
+                    for probe in client.tick(now) {
+                        ctx.send(EXTERNAL_PORT, PacketBuf::from_payload(&probe));
+                    }
                 }
                 ctx.set_timer(Nanos(self.cfg.poll_ns), POLL_TOKEN);
             }

@@ -41,6 +41,7 @@
 //! thin wrappers over the sink API for tests and non-hot callers.
 
 use crate::flowtable::FlowTable;
+use px_faults::{hash_bytes, FaultInjector, FaultSpec, PlannedFaults};
 use px_obs::{flow_id, EventKind, ObsConfig, Recorder};
 use px_sim::nic::flow_key_of;
 use px_sim::stats::SizeHistogram;
@@ -100,6 +101,17 @@ pub struct MergeStats {
     /// merging them would *launder* the corruption behind a freshly
     /// computed checksum (real LRO verifies before coalescing too).
     pub bad_checksum: u64,
+    /// Packets forwarded unmerged because an aggregate could not be
+    /// created (pool dry or flow-table denial) — the degradation
+    /// ladder's passthrough rung (DESIGN.md §12).
+    pub degraded_pkts: u64,
+    /// Aggregate creations refused because the buffer pool was
+    /// exhausted (real [`BufPool::try_get`] failures plus injected
+    /// pool-dry verdicts).
+    pub pool_exhausted: u64,
+    /// Degraded packets dropped outright because even the emergency
+    /// spare buffer was unavailable — the ladder's last rung.
+    pub backpressure_drops: u64,
 }
 
 impl MergeStats {
@@ -178,19 +190,52 @@ pub struct MergeEngine {
     /// Logical time of the most recent `push_into`/`poll_into` call,
     /// used to stamp emission events deterministically.
     last_now: u64,
+    /// Resource-fault injector ([`PlannedFaults::off`] in production:
+    /// one predicted branch per aggregate creation).
+    faults: PlannedFaults,
+    /// Emergency buffer for degraded passthrough, owned outside the
+    /// pool so it exists precisely when the pool is dry. Restored when
+    /// the sink recycles it; a sink that keeps it leaves subsequent
+    /// degraded packets to the backpressure counter.
+    spare: Option<PacketBuf>,
+    /// Whether the engine is currently in degraded (passthrough) mode —
+    /// drives the `DegradeEnter`/`DegradeExit` edge events.
+    degraded: bool,
 }
 
 impl MergeEngine {
     /// Creates a merge engine.
     pub fn new(cfg: MergeConfig) -> Self {
+        let pool = BufPool::for_mtu(cfg.imtu, 256);
+        let spare = PacketBuf::with_capacity(pool.headroom(), pool.headroom() + cfg.imtu);
         MergeEngine {
             cfg,
             table: FlowTable::new(cfg.table_capacity),
-            pool: BufPool::for_mtu(cfg.imtu, 256),
+            pool,
             stats: MergeStats::default(),
             obs: Recorder::off(),
             last_now: 0,
+            faults: PlannedFaults::off(),
+            spare: Some(spare),
+            degraded: false,
         }
+    }
+
+    /// Arms (or disarms, with [`FaultSpec::off`]) resource-fault
+    /// injection for this engine.
+    pub fn set_faults(&mut self, spec: FaultSpec) {
+        self.faults = PlannedFaults::new(spec);
+    }
+
+    /// Caps the buffer pool's live-buffer count (see
+    /// [`BufPool::set_live_cap`]) — how tests model a finite mempool.
+    pub fn set_pool_live_cap(&mut self, cap: Option<u64>) {
+        self.pool.set_live_cap(cap);
+    }
+
+    /// Whether the engine is currently degraded to passthrough.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Switches the flight recorder + histograms on (preallocates the
@@ -235,6 +280,47 @@ impl MergeEngine {
         buf.extend_from_slice(pkt);
         if let Some(b) = sink.accept(buf) {
             self.pool.put(b);
+        }
+    }
+
+    /// Degraded passthrough: an aggregate could not be created (`cause`
+    /// 1 = pool dry, 2 = table denial), so the packet is forwarded
+    /// unmerged through the pool-independent spare buffer — the
+    /// byte stream stays correct, only the merge benefit is lost. Never
+    /// allocates and never panics (px-analyze R6); when even the spare
+    /// is gone the packet is dropped and counted as backpressure.
+    fn degrade_forward(&mut self, now: u64, pkt: &[u8], cause: u64, sink: &mut impl PacketSink) {
+        if !self.degraded {
+            self.degraded = true;
+            self.obs
+                .record(EventKind::DegradeEnter, now, pkt.len() as u32, 0, cause);
+        }
+        if cause == 1 {
+            self.stats.pool_exhausted += 1;
+        }
+        match self.spare.take() {
+            Some(mut buf) if pkt.len() <= self.cfg.imtu => {
+                self.stats.degraded_pkts += 1;
+                buf.extend_from_slice(pkt);
+                if let Some(mut b) = sink.accept(buf) {
+                    b.reset(self.pool.headroom());
+                    self.spare = Some(b);
+                }
+            }
+            kept => {
+                self.spare = kept;
+                self.stats.backpressure_drops += 1;
+            }
+        }
+    }
+
+    /// Leaves degraded mode on the first aggregate creation that
+    /// succeeds again (per-attempt hysteresis: pressure is over exactly
+    /// when the resource that was denied is granted).
+    fn degrade_exit(&mut self, now: u64) {
+        if self.degraded {
+            self.degraded = false;
+            self.obs.record(EventKind::DegradeExit, now, 0, 0, 0);
         }
     }
 
@@ -478,7 +564,26 @@ impl MergeEngine {
             self.emit(buf, sink);
             return;
         }
-        let mut buf = self.pool.get();
+        // Aggregate creation is the resource-pressure point: it is the
+        // only step that pins a pool buffer and a flow-table slot for
+        // longer than one call. Injected verdicts and real pool
+        // exhaustion both degrade to passthrough here — never a drop.
+        if self.faults.spec.enabled {
+            let pkt_hash = hash_bytes(pkt);
+            if self.faults.pool_dry(pkt_hash) {
+                self.degrade_forward(now, pkt, 1, sink);
+                return;
+            }
+            if self.faults.table_deny(pkt_hash) {
+                self.degrade_forward(now, pkt, 2, sink);
+                return;
+            }
+        }
+        let Some(mut buf) = self.pool.try_get() else {
+            self.degrade_forward(now, pkt, 1, sink);
+            return;
+        };
+        self.degrade_exit(now);
         buf.extend_from_slice(pkt);
         let payload_len = (meta.total_len - meta.ip_hlen - meta.tcp_hlen) as u32;
         let pending = Pending {
@@ -790,6 +895,95 @@ mod tests {
         assert_eq!(eng.obs.hists().out_bytes.count(), 1);
         let timeline = eng.obs.render_recent(8);
         assert!(timeline.contains("MergeEmit"), "{timeline}");
+    }
+
+    #[test]
+    fn pool_exhaustion_degrades_to_passthrough_then_recovers() {
+        let mut eng = MergeEngine::new(MergeConfig::default());
+        eng.enable_obs(px_obs::ObsConfig::default());
+        eng.set_pool_live_cap(Some(1));
+        let got: std::cell::RefCell<Vec<Vec<u8>>> = std::cell::RefCell::new(Vec::new());
+        // Flow A pins the pool's only live buffer.
+        let mut sink = |b: PacketBuf| {
+            got.borrow_mut().push(b.as_slice().to_vec());
+            Some(b)
+        };
+        eng.push_into(0, &data_pkt(5000, 0, 1000), &mut sink);
+        assert!(got.borrow().is_empty(), "held");
+        // Flow B cannot get a buffer: degraded passthrough, verbatim.
+        let orig = data_pkt(6000, 0, 1000);
+        eng.push_into(10, &orig, &mut sink);
+        assert_eq!(*got.borrow(), vec![orig.clone()], "forwarded unmerged");
+        assert!(eng.is_degraded());
+        assert_eq!(eng.stats.degraded_pkts, 1);
+        assert_eq!(eng.stats.pool_exhausted, 1);
+        assert_eq!(eng.stats.backpressure_drops, 0);
+        // The forwarded packet is still protocol-conformant.
+        {
+            let got = got.borrow();
+            let ip = Ipv4Packet::new_checked(&got[0][..]).unwrap();
+            assert!(ip.verify_checksum());
+            let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+            assert!(tcp.verify_checksum(ip.src(), ip.dst()));
+        }
+        // Flushing flow A returns its buffer; merging resumes.
+        eng.poll_into(u64::MAX, &mut sink);
+        assert_eq!(got.borrow().len(), 2);
+        eng.push_into(20, &data_pkt(6000, 1000, 1000), &mut sink);
+        assert!(!eng.is_degraded(), "recovered on next successful creation");
+        let kinds: Vec<EventKind> = eng.obs.recent(16).iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::DegradeEnter), "{kinds:?}");
+        assert!(kinds.contains(&EventKind::DegradeExit), "{kinds:?}");
+        eng.flush_all_into(&mut sink);
+        assert_eq!(eng.pool_outstanding(), 0, "no leaked buffers");
+    }
+
+    #[test]
+    fn injected_pool_dry_walks_the_full_degradation_ladder() {
+        let mut eng = MergeEngine::new(MergeConfig::default());
+        eng.set_faults(FaultSpec {
+            enabled: true,
+            seed: 1,
+            pool_dry_ppm: 1_000_000,
+            ..FaultSpec::off()
+        });
+        // Every creation is denied; the spare buffer carries the first
+        // packet out. The VecSink behind `push` keeps the buffer, so the
+        // second degraded packet hits the last rung: backpressure.
+        let p0 = data_pkt(5000, 0, 1000);
+        assert_eq!(eng.push(0, p0.clone()), vec![p0]);
+        assert!(eng.push(1, data_pkt(5000, 1000, 1000)).is_empty());
+        assert_eq!(eng.stats.degraded_pkts, 1);
+        assert_eq!(eng.stats.backpressure_drops, 1);
+        assert_eq!(eng.stats.pool_exhausted, 2);
+        assert_eq!(eng.pool_outstanding(), 0, "the pool was never touched");
+    }
+
+    #[test]
+    fn injected_table_deny_degrades_with_its_own_cause() {
+        let mut eng = MergeEngine::new(MergeConfig::default());
+        eng.enable_obs(px_obs::ObsConfig::default());
+        eng.set_faults(FaultSpec {
+            enabled: true,
+            seed: 2,
+            table_deny_ppm: 1_000_000,
+            ..FaultSpec::off()
+        });
+        let p0 = data_pkt(5000, 0, 1000);
+        assert_eq!(eng.push(0, p0.clone()), vec![p0]);
+        assert_eq!(eng.stats.degraded_pkts, 1);
+        assert_eq!(
+            eng.stats.pool_exhausted, 0,
+            "denied by the table, not the pool"
+        );
+        let enter = eng
+            .obs
+            .recent(4)
+            .iter()
+            .find(|e| e.kind == EventKind::DegradeEnter)
+            .copied()
+            .expect("DegradeEnter recorded");
+        assert_eq!(enter.aux, 2, "cause = table denial");
     }
 
     /// Recycling sink: after a full drain nothing may be leaked from the

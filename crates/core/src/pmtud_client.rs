@@ -17,16 +17,55 @@
 //! Destinations that never answer keep the static eMTU — the safe
 //! default.
 
+use px_faults::DetBackoff;
 use px_wire::fpmtud::{parse_report, probe_payload, FPMTUD_PORT};
 use px_wire::ipv4::{Ipv4Packet, Ipv4Repr};
 use px_wire::udp::UdpDatagram;
 use px_wire::{IpProtocol, UdpRepr};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 /// Floor for discovered PMTUs (RFC 791 minimum reassembly size region —
 /// anything below this is treated as a bogus report).
 pub const MIN_PLAUSIBLE_PMTU: usize = 576;
+
+/// Retry/backoff policy for the resident client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmtudRetryConfig {
+    /// Timeout before the first retry; each further retry doubles it
+    /// (deterministic exponential backoff, no jitter).
+    pub timeout_ns: u64,
+    /// Cap for the doubling timeout.
+    pub backoff_max_ns: u64,
+    /// Probes per destination before giving up.
+    pub max_tries: u32,
+    /// PMTU cached for a destination whose probes all time out —
+    /// blackhole detection clamping to the safe static eMTU. `0`
+    /// disables the fallback (unknown stays unknown).
+    pub fallback_pmtu: usize,
+}
+
+impl Default for PmtudRetryConfig {
+    fn default() -> Self {
+        PmtudRetryConfig {
+            timeout_ns: 100_000_000, // 100 ms of simulated time
+            backoff_max_ns: 800_000_000,
+            max_tries: 3,
+            fallback_pmtu: 0,
+        }
+    }
+}
+
+/// One in-flight probe awaiting its report.
+#[derive(Debug)]
+struct PendingProbe {
+    dst: Ipv4Addr,
+    /// Absolute (sim) time after which the probe counts as lost.
+    deadline_ns: u64,
+    /// Probes sent to this destination so far (this one included).
+    tries: u32,
+    backoff: DetBackoff,
+}
 
 /// The gateway's per-destination PMTU learner.
 #[derive(Debug)]
@@ -35,30 +74,48 @@ pub struct PmtudClient {
     pub addr: Ipv4Addr,
     /// Probe size — the iMTU, so jumbo-capable paths can be discovered.
     pub probe_size: usize,
+    /// Retry schedule and blackhole fallback.
+    pub retry: PmtudRetryConfig,
     cache: HashMap<Ipv4Addr, usize>,
-    pending: HashMap<u32, Ipv4Addr>,
+    // BTreeMap: `tick` walks this, and retry emission order must be
+    // deterministic.
+    pending: BTreeMap<u32, PendingProbe>,
     probed: HashMap<Ipv4Addr, ()>,
     next_id: u32,
     ident: u16,
-    /// Probes emitted.
+    /// Probes emitted (first tries and retries).
     pub probes_sent: u64,
     /// Reports consumed.
     pub reports_received: u64,
+    /// Retry probes among `probes_sent`.
+    pub retries_sent: u64,
+    /// Destinations clamped to the fallback PMTU after exhausting
+    /// every retry.
+    pub blackholes_detected: u64,
 }
 
 impl PmtudClient {
-    /// Creates a client probing with `probe_size`-byte probes from `addr`.
+    /// Creates a client probing with `probe_size`-byte probes from
+    /// `addr`, using the default retry schedule (no fallback).
     pub fn new(addr: Ipv4Addr, probe_size: usize) -> Self {
+        Self::with_retry(addr, probe_size, PmtudRetryConfig::default())
+    }
+
+    /// [`new`](Self::new) with an explicit retry/backoff policy.
+    pub fn with_retry(addr: Ipv4Addr, probe_size: usize, retry: PmtudRetryConfig) -> Self {
         PmtudClient {
             addr,
             probe_size,
+            retry,
             cache: HashMap::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             probed: HashMap::new(),
             next_id: 1,
             ident: 0x9d00,
             probes_sent: 0,
             reports_received: 0,
+            retries_sent: 0,
+            blackholes_detected: 0,
         }
     }
 
@@ -67,12 +124,14 @@ impl PmtudClient {
         self.cache.get(&dst).copied()
     }
 
-    /// Returns a probe packet for `dst` if it has not been probed yet.
-    pub fn maybe_probe(&mut self, dst: Ipv4Addr) -> Option<Vec<u8>> {
-        if self.probed.contains_key(&dst) {
-            return None;
-        }
-        self.probed.insert(dst, ());
+    /// Builds one probe packet for `dst` and registers it as pending.
+    fn build_probe(
+        &mut self,
+        now_ns: u64,
+        dst: Ipv4Addr,
+        mut backoff: DetBackoff,
+        tries: u32,
+    ) -> Option<Vec<u8>> {
         let id = self.next_id;
         self.next_id += 1;
         let payload = probe_payload(id, self.probe_size);
@@ -87,9 +146,71 @@ impl PmtudClient {
         ip.ident = self.ident;
         self.ident = self.ident.wrapping_add(1);
         let pkt = ip.build_packet(&dg).ok()?;
-        self.pending.insert(id, dst);
+        let deadline_ns = now_ns.saturating_add(backoff.next_delay());
+        self.pending.insert(
+            id,
+            PendingProbe {
+                dst,
+                deadline_ns,
+                tries,
+                backoff,
+            },
+        );
         self.probes_sent += 1;
         Some(pkt)
+    }
+
+    /// Returns a probe packet for `dst` if it has not been probed yet.
+    pub fn maybe_probe(&mut self, now_ns: u64, dst: Ipv4Addr) -> Option<Vec<u8>> {
+        if self.probed.contains_key(&dst) {
+            return None;
+        }
+        self.probed.insert(dst, ());
+        let backoff = DetBackoff::new(
+            self.retry.timeout_ns,
+            self.retry.backoff_max_ns.max(self.retry.timeout_ns),
+        );
+        self.build_probe(now_ns, dst, backoff, 1)
+    }
+
+    /// Drives the retry clock: re-sends probes whose report deadline
+    /// passed (with the doubled timeout), and — once a destination has
+    /// exhausted `max_tries` — declares it an F-PMTUD blackhole,
+    /// clamping its PMTU to the configured fallback. Returns the retry
+    /// probes to put on the wire, in deterministic order. Call from the
+    /// gateway's periodic poll timer — this is what lets a destination
+    /// that went dark *between* packets resolve on a deadline instead
+    /// of on traffic.
+    pub fn tick(&mut self, now_ns: u64) -> Vec<Vec<u8>> {
+        let due: Vec<u32> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline_ns <= now_ns)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut out = Vec::new();
+        for id in due {
+            let Some(p) = self.pending.remove(&id) else {
+                continue;
+            };
+            if p.tries < self.retry.max_tries {
+                if let Some(pkt) = self.build_probe(now_ns, p.dst, p.backoff, p.tries + 1) {
+                    self.retries_sent += 1;
+                    out.push(pkt);
+                }
+            } else if self.retry.fallback_pmtu > 0 {
+                // Blackhole: every probe died. Clamp to the safe
+                // static eMTU so the split engine has a firm answer.
+                self.cache.insert(p.dst, self.retry.fallback_pmtu);
+                self.blackholes_detected += 1;
+            }
+        }
+        out
+    }
+
+    /// In-flight probes (tests and diagnostics).
+    pub fn pending_probes(&self) -> usize {
+        self.pending.len()
     }
 
     /// Consumes an inbound packet if it is a report addressed to us;
@@ -110,12 +231,12 @@ impl PmtudClient {
         let Some((id, sizes)) = parse_report(udp.payload()) else {
             return false;
         };
-        let Some(dst) = self.pending.remove(&id) else {
+        let Some(p) = self.pending.remove(&id) else {
             return true; // a report, but stale/unknown — still consume it
         };
         if let Some(&pmtu) = sizes.iter().max() {
             if pmtu >= MIN_PLAUSIBLE_PMTU {
-                self.cache.insert(dst, pmtu);
+                self.cache.insert(p.dst, pmtu);
                 self.reports_received += 1;
             }
         }
@@ -151,36 +272,114 @@ mod tests {
     #[test]
     fn probe_once_then_learn_from_report() {
         let mut c = PmtudClient::new(GW, 9000);
-        let probe = c.maybe_probe(DST).expect("first sight probes");
+        let probe = c.maybe_probe(0, DST).expect("first sight probes");
         assert_eq!(probe.len(), 9000);
-        assert!(c.maybe_probe(DST).is_none(), "probe once per destination");
+        assert!(
+            c.maybe_probe(0, DST).is_none(),
+            "probe once per destination"
+        );
         assert_eq!(c.pmtu_for(DST), None);
         // The daemon saw three fragments, largest 1400.
         let report = report_pkt(DST, GW, 1, &[1400, 1400, 720]);
         assert!(c.try_ingest(&report));
         assert_eq!(c.pmtu_for(DST), Some(1400));
         assert_eq!(c.known(), 1);
+        assert_eq!(c.pending_probes(), 0);
     }
 
     #[test]
     fn jumbo_path_discovered() {
         let mut c = PmtudClient::new(GW, 9000);
-        c.maybe_probe(DST);
+        c.maybe_probe(0, DST);
         let report = report_pkt(DST, GW, 1, &[9000]);
         c.try_ingest(&report);
         assert_eq!(c.pmtu_for(DST), Some(9000), "jumbo-capable path learned");
     }
 
     #[test]
+    fn retries_follow_deterministic_backoff_then_clamp_to_fallback() {
+        let retry = PmtudRetryConfig {
+            timeout_ns: 100,
+            backoff_max_ns: 800,
+            max_tries: 3,
+            fallback_pmtu: 1500,
+        };
+        let mut c = PmtudClient::with_retry(GW, 9000, retry);
+        assert!(c.maybe_probe(0, DST).is_some());
+        // Deadline 100: nothing due before it.
+        assert!(c.tick(99).is_empty());
+        // First retry fires at 100; its own deadline doubles (200 ns
+        // later, at 300).
+        let r1 = c.tick(100);
+        assert_eq!(r1.len(), 1);
+        assert_eq!(c.retries_sent, 1);
+        assert!(c.tick(299).is_empty(), "doubled timeout not yet expired");
+        let r2 = c.tick(300);
+        assert_eq!(r2.len(), 1);
+        assert_eq!(c.probes_sent, 3);
+        // Third (= max) try: deadline 300 + 400 = 700. When it dies the
+        // destination is declared a blackhole and clamps to the eMTU.
+        assert!(c.tick(699).is_empty());
+        assert!(c.tick(700).is_empty(), "no fourth probe");
+        assert_eq!(c.blackholes_detected, 1);
+        assert_eq!(c.pmtu_for(DST), Some(1500), "clamped to fallback eMTU");
+        assert_eq!(c.pending_probes(), 0);
+        // A second client with the same schedule retries at the same
+        // instants — the backoff carries no jitter.
+        let mut d = PmtudClient::with_retry(GW, 9000, retry);
+        d.maybe_probe(0, DST);
+        assert_eq!(d.tick(100).len(), 1);
+        assert_eq!(d.tick(300).len(), 1);
+        d.tick(700);
+        assert_eq!(d.blackholes_detected, 1);
+    }
+
+    #[test]
+    fn late_report_beats_the_retry_schedule() {
+        let retry = PmtudRetryConfig {
+            timeout_ns: 100,
+            backoff_max_ns: 800,
+            max_tries: 3,
+            fallback_pmtu: 1500,
+        };
+        let mut c = PmtudClient::with_retry(GW, 9000, retry);
+        c.maybe_probe(0, DST);
+        c.tick(100); // retry (probe id 2) in flight
+        let report = report_pkt(DST, GW, 2, &[1400]);
+        assert!(c.try_ingest(&report));
+        assert_eq!(c.pmtu_for(DST), Some(1400));
+        // The answered probe left the pending set: no further retries,
+        // no blackhole verdict.
+        assert!(c.tick(10_000).is_empty());
+        assert_eq!(c.blackholes_detected, 0);
+        assert_eq!(c.pmtu_for(DST), Some(1400));
+    }
+
+    #[test]
+    fn no_fallback_means_unknown_stays_unknown() {
+        let retry = PmtudRetryConfig {
+            timeout_ns: 100,
+            backoff_max_ns: 100,
+            max_tries: 1,
+            fallback_pmtu: 0,
+        };
+        let mut c = PmtudClient::with_retry(GW, 9000, retry);
+        c.maybe_probe(0, DST);
+        assert!(c.tick(100).is_empty());
+        assert_eq!(c.blackholes_detected, 0);
+        assert_eq!(c.pmtu_for(DST), None);
+    }
+
+    #[test]
     fn bogus_and_foreign_reports_handled() {
         let mut c = PmtudClient::new(GW, 9000);
-        c.maybe_probe(DST);
+        c.maybe_probe(0, DST);
         // Implausibly small sizes are ignored (attack/bug resilience).
         let tiny = report_pkt(DST, GW, 1, &[64]);
         assert!(c.try_ingest(&tiny));
         assert_eq!(c.pmtu_for(DST), None);
         // Unknown probe id: consumed but not cached.
-        c.maybe_probe(Ipv4Addr::new(9, 9, 9, 9));
+        c.maybe_probe(0, Ipv4Addr::new(9, 9, 9, 9));
         let stale = report_pkt(DST, GW, 999, &[1500]);
         assert!(c.try_ingest(&stale));
         // Not addressed to us: not consumed.

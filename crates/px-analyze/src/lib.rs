@@ -2,7 +2,7 @@
 //!
 //! A self-contained static analyzer (no external dependencies, no
 //! syn/proc-macro machinery) that walks every Rust source file in the
-//! PacketExpress workspace and enforces the five datapath invariants
+//! PacketExpress workspace and enforces the six datapath invariants
 //! documented in `DESIGN.md`:
 //!
 //! * **R1 panic-freedom** — hot-path modules contain no `unwrap`,
@@ -18,6 +18,11 @@
 //!   sites (`record*`, `observe*`, `push` in `px-obs`) perform no heap
 //!   allocation; observability must never put pressure on the allocator
 //!   the datapath was freed from.
+//! * **R6 recovery discipline** — fault-handling functions
+//!   (`degrade*`, `on_fault*`, `restart_worker*`, in any module) are
+//!   both panic-free and alloc-free: code that runs *because* the
+//!   system is already in trouble must not be able to make things
+//!   worse by unwinding or leaning on a possibly-exhausted allocator.
 //!
 //! Run it with `cargo run -p px-analyze -- check` (add `--format json`
 //! for machine-readable output). Violations print as

@@ -1,4 +1,4 @@
-//! The five datapath-invariant rules and the waiver machinery.
+//! The six datapath-invariant rules and the waiver machinery.
 //!
 //! | Rule | Scope | What it rejects |
 //! |------|-------|-----------------|
@@ -7,6 +7,7 @@
 //! | R3   | hot-path emission functions | allocation (`Vec::new`, `vec!`, `Box::new`, `to_vec`, `clone`, `String` construction, `format!`) |
 //! | R4   | crate roots | missing `#![forbid(unsafe_code)]`-class preamble or `[lints] workspace = true` |
 //! | R5   | observability recording functions | the same allocation set as R3 — `record*`/`observe*`/`push` run per packet inside the datapath and must not touch the allocator |
+//! | R6   | fault-handling functions, every module | *both* the R1 panic set and the R3 allocation set inside `degrade*`/`on_fault*`/`restart_worker*` — recovery code runs while the system is already degraded, so it may neither unwind nor lean on a possibly-exhausted allocator |
 //!
 //! Code under `#[cfg(test)]` is exempt from R1/R3/R5 (tests may unwrap).
 //! Intentional exceptions elsewhere use inline waivers:
@@ -33,6 +34,8 @@ pub enum Rule {
     R4,
     /// Alloc discipline in observability recording functions.
     R5,
+    /// Panic- and alloc-freedom in fault-handling/recovery functions.
+    R6,
 }
 
 impl Rule {
@@ -44,6 +47,7 @@ impl Rule {
             Rule::R3 => "R3",
             Rule::R4 => "R4",
             Rule::R5 => "R5",
+            Rule::R6 => "R6",
         }
     }
 
@@ -54,6 +58,7 @@ impl Rule {
             "R3" => Some(Rule::R3),
             "R4" => Some(Rule::R4),
             "R5" => Some(Rule::R5),
+            "R6" => Some(Rule::R6),
             _ => None,
         }
     }
@@ -97,6 +102,11 @@ pub struct Config {
     /// `record*`, `observe*`, or `push` — the per-packet recording call
     /// sites; the drain/render side may allocate freely.
     pub r5_modules: Vec<&'static str>,
+    /// Function-name prefixes of R6 fault-handling/recovery paths. R6
+    /// applies in *every* module — degradation and self-healing code
+    /// runs while the system is already in trouble, wherever it lives —
+    /// and enforces both the R1 panic set and the R3 allocation set.
+    pub r6_fn_prefixes: Vec<&'static str>,
 }
 
 impl Default for Config {
@@ -162,6 +172,7 @@ impl Default for Config {
                 "crates/px-obs/src/hist.rs",
                 "crates/px-obs/src/recorder.rs",
             ],
+            r6_fn_prefixes: vec!["degrade", "on_fault", "restart_worker"],
         }
     }
 }
@@ -185,6 +196,10 @@ impl Config {
 
     fn is_recording_fn(&self, name: &str) -> bool {
         name.starts_with("record") || name.starts_with("observe") || name == "push"
+    }
+
+    fn is_r6_fn(&self, name: &str) -> bool {
+        self.r6_fn_prefixes.iter().any(|p| name.starts_with(p))
     }
 }
 
@@ -400,25 +415,31 @@ pub fn check_source(cfg: &Config, rel_path: &str, src: &str) -> Vec<Violation> {
                     });
                 }
                 "unwrap" | "expect"
-                    if r1 && !in_test && punct(i + 1, '(') && i > 0 && punct(i - 1, '.') =>
+                    if !in_test
+                        && punct(i + 1, '(')
+                        && i > 0
+                        && punct(i - 1, '.')
+                        && panic_scope(cfg, r1, &fn_stack).is_some() =>
                 {
+                    let rule = panic_scope(cfg, r1, &fn_stack).unwrap_or(Rule::R1);
                     raw.push(Violation {
                         file: rel_path.into(),
                         line: t.line,
-                        rule: Some(Rule::R1),
-                        message: format!(
-                            "`.{name}()` in a hot-path module; return a typed error or drop-and-count instead"
-                        ),
+                        rule: Some(rule),
+                        message: panic_msg(&format!(".{name}()"), rule, &fn_stack),
                     });
                 }
                 "panic" | "unreachable" | "todo" | "unimplemented"
-                    if r1 && !in_test && punct(i + 1, '!') =>
+                    if !in_test
+                        && punct(i + 1, '!')
+                        && panic_scope(cfg, r1, &fn_stack).is_some() =>
                 {
+                    let rule = panic_scope(cfg, r1, &fn_stack).unwrap_or(Rule::R1);
                     raw.push(Violation {
                         file: rel_path.into(),
                         line: t.line,
-                        rule: Some(Rule::R1),
-                        message: format!("`{name}!` in a hot-path module"),
+                        rule: Some(rule),
+                        message: panic_msg(&format!("{name}!"), rule, &fn_stack),
                     });
                 }
                 "vec"
@@ -480,7 +501,7 @@ pub fn check_source(cfg: &Config, rel_path: &str, src: &str) -> Vec<Violation> {
                 }
                 _ => {}
             },
-            Tok::Punct('[') if r1 && !in_test => {
+            Tok::Punct('[') if !in_test && panic_scope(cfg, r1, &fn_stack).is_some() => {
                 // Indexing with a partial range (`b[a..]`, `b[..c]`,
                 // `b[a..c]`) panics on short buffers. The full-range
                 // `b[..]` cannot and is allowed. Only index positions
@@ -509,13 +530,12 @@ pub fn check_source(cfg: &Config, rel_path: &str, src: &str) -> Vec<Violation> {
                         j += 1;
                     }
                     if has_dotdot && inner_tokens > 1 {
+                        let rule = panic_scope(cfg, r1, &fn_stack).unwrap_or(Rule::R1);
                         raw.push(Violation {
                             file: rel_path.into(),
                             line: t.line,
-                            rule: Some(Rule::R1),
-                            message:
-                                "range slicing in a hot-path module; use `get()`/`px_wire::bytes` and handle the miss"
-                                    .into(),
+                            rule: Some(rule),
+                            message: panic_msg("range slicing", rule, &fn_stack),
                         });
                     }
                 }
@@ -581,19 +601,59 @@ fn in_emission(cfg: &Config, fn_stack: &[(String, i32)]) -> bool {
     fn_stack.iter().any(|(name, _)| cfg.is_emission_fn(name))
 }
 
+fn in_r6(cfg: &Config, fn_stack: &[(String, i32)]) -> bool {
+    fn_stack.iter().any(|(name, _)| cfg.is_r6_fn(name))
+}
+
+/// Which panic-freedom rule (if any) covers the current position: R1
+/// module-wide in hot-path modules, otherwise R6 inside a fault-handling
+/// function of *any* module. R1 wins where both apply, so existing
+/// hot-path waivers keep naming the rule they were written for.
+fn panic_scope(cfg: &Config, r1: bool, fn_stack: &[(String, i32)]) -> Option<Rule> {
+    if r1 {
+        return Some(Rule::R1);
+    }
+    if in_r6(cfg, fn_stack) {
+        return Some(Rule::R6);
+    }
+    None
+}
+
+fn panic_msg(what: &str, rule: Rule, fn_stack: &[(String, i32)]) -> String {
+    if rule == Rule::R6 {
+        let f = fn_stack
+            .last()
+            .map_or("<unknown>", |(name, _)| name.as_str());
+        return format!(
+            "`{what}` in fault-handling function `{f}`; recovery code must not be able to panic"
+        );
+    }
+    if what == "range slicing" {
+        "range slicing in a hot-path module; use `get()`/`px_wire::bytes` and handle the miss"
+            .into()
+    } else {
+        format!("`{what}` in a hot-path module; return a typed error or drop-and-count instead")
+    }
+}
+
 fn in_recording(cfg: &Config, fn_stack: &[(String, i32)]) -> bool {
     fn_stack.iter().any(|(name, _)| cfg.is_recording_fn(name))
 }
 
 /// Which alloc-discipline rule (if any) covers the current function:
 /// R3 inside an emission path of an R3 module, R5 inside a recording
-/// function of an R5 module.
+/// function of an R5 module, R6 inside a fault-handling function of
+/// any module (recovery must not lean on a possibly-exhausted
+/// allocator).
 fn alloc_scope(cfg: &Config, r3: bool, r5: bool, fn_stack: &[(String, i32)]) -> Option<Rule> {
     if r3 && in_emission(cfg, fn_stack) {
         return Some(Rule::R3);
     }
     if r5 && in_recording(cfg, fn_stack) {
         return Some(Rule::R5);
+    }
+    if in_r6(cfg, fn_stack) {
+        return Some(Rule::R6);
     }
     None
 }
@@ -602,10 +662,10 @@ fn alloc_msg(what: &str, rule: Rule, fn_stack: &[(String, i32)]) -> String {
     let f = fn_stack
         .last()
         .map_or("<unknown>", |(name, _)| name.as_str());
-    let path = if rule == Rule::R5 {
-        "recording-path"
-    } else {
-        "emission-path"
+    let path = match rule {
+        Rule::R5 => "recording-path",
+        Rule::R6 => "fault-handling",
+        _ => "emission-path",
     };
     format!("`{what}` allocates inside {path} function `{f}`")
 }

@@ -84,6 +84,36 @@ fn r5_good_recording_code_is_clean() {
 }
 
 #[test]
+fn r6_flags_fault_handling_functions_in_any_module() {
+    // Cold module: R1/R3 are silent, but the fault-handling functions
+    // are still held to R6 — to_vec, range slice, unwrap, Vec::new,
+    // panic!. The non-recovery helper's unwrap stays legal.
+    let vs = check(COLD, "r6_bad.rs");
+    assert_eq!(count_rule(&vs, Rule::R6), 5, "{vs:#?}");
+    assert_eq!(vs.len(), 5, "{vs:#?}");
+}
+
+#[test]
+fn r6_yields_to_r1_in_hot_modules_but_keeps_alloc_checks() {
+    // Hot module: the panic set reports as R1 (module-wide rule wins,
+    // so existing R1 waivers keep their meaning) — unwrap, slice,
+    // panic!, plus the helper's unwrap. The allocations inside the
+    // recovery functions still report as R6: they are not emission
+    // functions, so R3 never covered them.
+    let vs = check(HOT, "r6_bad.rs");
+    assert_eq!(count_rule(&vs, Rule::R1), 4, "{vs:#?}");
+    assert_eq!(count_rule(&vs, Rule::R6), 2, "{vs:#?}");
+}
+
+#[test]
+fn r6_good_recovery_code_is_clean() {
+    let vs = check(COLD, "r6_good.rs");
+    assert!(vs.is_empty(), "{vs:#?}");
+    let vs = check(HOT, "r6_good.rs");
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
 fn well_formed_waivers_suppress_without_residue() {
     let vs = check(HOT, "waivers.rs");
     assert!(vs.is_empty(), "{vs:#?}");

@@ -1,0 +1,104 @@
+//! Jitter-free deterministic exponential backoff.
+//!
+//! Classic backoff adds random jitter to avoid thundering herds; the
+//! PXGW probers deliberately do not — reproducibility is worth more
+//! than herd avoidance inside a deterministic simulation, and the
+//! schedule doubling keeps retries from synchronizing anyway. The
+//! delay for attempt `k` is `base · 2^k`, saturating at `max`.
+
+/// A deterministic exponential backoff schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetBackoff {
+    base_ns: u64,
+    max_ns: u64,
+    attempt: u32,
+}
+
+/// The delay for attempt `k` (0-based) of a `base`/`max` schedule:
+/// `base << k`, saturating at `max` (and on shift overflow).
+#[inline]
+#[must_use]
+pub fn delay_for(base_ns: u64, max_ns: u64, attempt: u32) -> u64 {
+    // A shift that would push any set bit out the top saturates at max.
+    let doubled = if attempt >= base_ns.leading_zeros() {
+        max_ns
+    } else {
+        base_ns << attempt
+    };
+    doubled.min(max_ns).max(base_ns.min(max_ns))
+}
+
+impl DetBackoff {
+    /// A fresh schedule starting at `base_ns`, capped at `max_ns`.
+    #[must_use]
+    pub const fn new(base_ns: u64, max_ns: u64) -> Self {
+        DetBackoff {
+            base_ns,
+            max_ns,
+            attempt: 0,
+        }
+    }
+
+    /// The delay the *next* attempt should wait, advancing the
+    /// schedule: `base`, `2·base`, `4·base`, …, capped at `max`.
+    pub fn next_delay(&mut self) -> u64 {
+        let d = delay_for(self.base_ns, self.max_ns, self.attempt);
+        self.attempt = self.attempt.saturating_add(1);
+        d
+    }
+
+    /// The delay the next call to [`Self::next_delay`] would return,
+    /// without advancing.
+    #[must_use]
+    pub fn peek_delay(&self) -> u64 {
+        delay_for(self.base_ns, self.max_ns, self.attempt)
+    }
+
+    /// Attempts taken so far.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Resets the schedule (after a success).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_then_saturates() {
+        let mut b = DetBackoff::new(100, 1000);
+        let delays: Vec<u64> = (0..6).map(|_| b.next_delay()).collect();
+        assert_eq!(delays, vec![100, 200, 400, 800, 1000, 1000]);
+        assert_eq!(b.attempts(), 6);
+        b.reset();
+        assert_eq!(b.next_delay(), 100);
+    }
+
+    #[test]
+    fn shift_overflow_saturates_at_max() {
+        assert_eq!(delay_for(1 << 40, u64::MAX / 2, 63), u64::MAX / 2);
+        assert_eq!(delay_for(100, 1000, 200), 1000);
+    }
+
+    #[test]
+    fn is_jitter_free() {
+        let mut a = DetBackoff::new(50, 10_000);
+        let mut b = DetBackoff::new(50, 10_000);
+        for _ in 0..20 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn degenerate_max_below_base_clamps() {
+        let mut b = DetBackoff::new(1000, 100);
+        assert_eq!(b.next_delay(), 100);
+        assert_eq!(b.next_delay(), 100);
+    }
+}

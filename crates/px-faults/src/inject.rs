@@ -1,0 +1,235 @@
+//! Resource-fault injection: pool exhaustion, flow-table pressure, and
+//! worker stall/panic, behind a trait whose disabled implementation is
+//! a no-op.
+//!
+//! Resource verdicts are **stateless**: a packet's fate is
+//! `splitmix64(seed ⊕ salt ⊕ key)` where `key` hashes the packet
+//! bytes. No draw-stream state means the same packet gets the same
+//! verdict whatever core, batch, or interleaving it arrives through —
+//! the property the chaos matrix's cross-core digest identity depends
+//! on. Worker faults are keyed by `(core, batch index)` instead; they
+//! move *when* flushes happen, never *what* the flows carry.
+
+use crate::rng::splitmix64;
+use crate::spec::FaultSpec;
+
+/// Domain-separation salts for the stateless verdicts.
+const SALT_POOL_DRY: u64 = 0x504f_4f4c_0000_0001;
+const SALT_TABLE_DENY: u64 = 0x5441_424c_0000_0002;
+
+/// FNV-1a over a byte slice — the per-packet key for stateless
+/// verdicts. Alloc-free.
+#[inline]
+#[must_use]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One stateless Bernoulli verdict at `ppm` parts-per-million.
+#[inline]
+#[must_use]
+pub fn decide_ppm(seed: u64, salt: u64, key: u64, ppm: u32) -> bool {
+    if ppm == 0 {
+        return false;
+    }
+    splitmix64(seed ^ salt ^ key) % 1_000_000 < u64::from(ppm)
+}
+
+/// The resource-fault interface the engines consult. Every method
+/// defaults to "no fault", so [`NoFaults`] is the empty impl and any
+/// caller holding a disabled [`PlannedFaults`] pays one predicted
+/// branch.
+pub trait FaultInjector {
+    /// Should the buffer pool pretend to be dry for this acquisition?
+    /// `key` hashes the packet triggering it.
+    #[inline]
+    fn pool_dry(&self, _key: u64) -> bool {
+        false
+    }
+
+    /// Should the flow table deny this insertion?
+    #[inline]
+    fn table_deny(&self, _key: u64) -> bool {
+        false
+    }
+
+    /// Should the worker panic at the entry of this batch?
+    #[inline]
+    fn batch_panic(&self, _core: usize, _batch_idx: u64) -> bool {
+        false
+    }
+
+    /// How long (wall ns) the worker should stall at the entry of this
+    /// batch; 0 = no stall.
+    #[inline]
+    fn batch_stall_ns(&self, _core: usize, _batch_idx: u64) -> u64 {
+        0
+    }
+}
+
+/// The production injector: injects nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {}
+
+/// A [`FaultSpec`]-driven injector. `Copy` and stateless, so engines
+/// embed it by value; with `spec.enabled == false` it behaves exactly
+/// like [`NoFaults`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlannedFaults {
+    /// The spec verdicts are drawn from.
+    pub spec: FaultSpec,
+}
+
+impl PlannedFaults {
+    /// Injector for `spec`.
+    #[must_use]
+    pub const fn new(spec: FaultSpec) -> Self {
+        PlannedFaults { spec }
+    }
+
+    /// The inert injector (same behavior as [`NoFaults`]).
+    #[must_use]
+    pub const fn off() -> Self {
+        PlannedFaults {
+            spec: FaultSpec::off(),
+        }
+    }
+}
+
+impl FaultInjector for PlannedFaults {
+    #[inline]
+    fn pool_dry(&self, key: u64) -> bool {
+        self.spec.enabled && decide_ppm(self.spec.seed, SALT_POOL_DRY, key, self.spec.pool_dry_ppm)
+    }
+
+    #[inline]
+    fn table_deny(&self, key: u64) -> bool {
+        self.spec.enabled
+            && decide_ppm(
+                self.spec.seed,
+                SALT_TABLE_DENY,
+                key,
+                self.spec.table_deny_ppm,
+            )
+    }
+
+    #[inline]
+    fn batch_panic(&self, core: usize, batch_idx: u64) -> bool {
+        if !self.spec.enabled || self.spec.panic_every_batches == 0 {
+            return false;
+        }
+        // Offset by core so cores fail at different points; skip batch 0
+        // so every worker processes something before its first death.
+        batch_idx > 0 && (batch_idx + core as u64).is_multiple_of(self.spec.panic_every_batches)
+    }
+
+    #[inline]
+    fn batch_stall_ns(&self, core: usize, batch_idx: u64) -> u64 {
+        if !self.spec.enabled || self.spec.stall_every_batches == 0 {
+            return 0;
+        }
+        if batch_idx > 0 && (batch_idx + core as u64).is_multiple_of(self.spec.stall_every_batches)
+        {
+            self.spec.stall_ns
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_inert() {
+        let n = NoFaults;
+        assert!(!n.pool_dry(1));
+        assert!(!n.table_deny(2));
+        assert!(!n.batch_panic(0, 100));
+        assert_eq!(n.batch_stall_ns(0, 100), 0);
+    }
+
+    #[test]
+    fn disabled_planned_faults_match_no_faults() {
+        let p = PlannedFaults::new(FaultSpec {
+            enabled: false,
+            pool_dry_ppm: 1_000_000,
+            table_deny_ppm: 1_000_000,
+            panic_every_batches: 1,
+            stall_every_batches: 1,
+            stall_ns: 1,
+            ..FaultSpec::off()
+        });
+        assert!(!p.pool_dry(1));
+        assert!(!p.table_deny(1));
+        assert!(!p.batch_panic(0, 7));
+        assert_eq!(p.batch_stall_ns(0, 7), 0);
+    }
+
+    #[test]
+    fn verdicts_are_stateless_and_keyed() {
+        let spec = FaultSpec {
+            enabled: true,
+            seed: 0xABCD,
+            pool_dry_ppm: 500_000,
+            ..FaultSpec::off()
+        };
+        let p = PlannedFaults::new(spec);
+        let q = PlannedFaults::new(spec);
+        let mut fired = 0;
+        for key in 0..1000u64 {
+            let v = p.pool_dry(key);
+            // Same key, same verdict — from a second injector instance
+            // too (no hidden stream state).
+            assert_eq!(v, p.pool_dry(key));
+            assert_eq!(v, q.pool_dry(key));
+            fired += usize::from(v);
+        }
+        assert!((350..650).contains(&fired), "{fired}");
+    }
+
+    #[test]
+    fn pool_and_table_salts_are_independent() {
+        let spec = FaultSpec {
+            enabled: true,
+            seed: 3,
+            pool_dry_ppm: 500_000,
+            table_deny_ppm: 500_000,
+            ..FaultSpec::off()
+        };
+        let p = PlannedFaults::new(spec);
+        let agree = (0..1000u64)
+            .filter(|&k| p.pool_dry(k) == p.table_deny(k))
+            .count();
+        // Independent verdicts agree about half the time, not always.
+        assert!((350..650).contains(&agree), "{agree}");
+    }
+
+    #[test]
+    fn batch_panics_follow_the_schedule() {
+        let p = PlannedFaults::new(FaultSpec {
+            enabled: true,
+            panic_every_batches: 5,
+            ..FaultSpec::off()
+        });
+        let fired: Vec<u64> = (0..20).filter(|&b| p.batch_panic(0, b)).collect();
+        assert_eq!(fired, vec![5, 10, 15]);
+        // Core offset shifts the schedule.
+        assert!(p.batch_panic(1, 4));
+        assert!(!p.batch_panic(1, 5));
+    }
+
+    #[test]
+    fn hash_bytes_separates_contents() {
+        assert_ne!(hash_bytes(b"abc"), hash_bytes(b"abd"));
+        assert_eq!(hash_bytes(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

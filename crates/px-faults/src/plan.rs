@@ -1,0 +1,258 @@
+//! The ingress fault applier: one seeded pass over the global packet
+//! trace, *before* RSS sharding.
+//!
+//! Applying faults pre-shard is what keeps the chaos matrix's
+//! cross-core digest identity meaningful: the faulted trace — drops,
+//! duplicates, adjacent swaps, corrupted and truncated packets — is a
+//! pure function of `(seed, trace)`, so 1-, 2-, 4- and 8-core runs all
+//! consume byte-identical inputs.
+
+use crate::rng::XorShift64;
+use crate::spec::FaultSpec;
+
+/// What the ingress pass did, for assertions and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngressStats {
+    /// Packets removed from the trace.
+    pub dropped: u64,
+    /// Packets emitted twice.
+    pub duplicated: u64,
+    /// Packets held past their successor.
+    pub reordered: u64,
+    /// Packets with one byte XOR-flipped.
+    pub corrupted: u64,
+    /// Packets cut short.
+    pub truncated: u64,
+}
+
+impl IngressStats {
+    /// Total individual faults applied.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.dropped + self.duplicated + self.reordered + self.corrupted + self.truncated
+    }
+}
+
+/// A seeded fault plan: owns the draw stream for ingress faults.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The spec this plan draws from.
+    pub spec: FaultSpec,
+    rng: XorShift64,
+    /// Ingress fault accounting.
+    pub stats: IngressStats,
+}
+
+impl FaultPlan {
+    /// Builds a plan for `spec` (seeded from `spec.seed`).
+    #[must_use]
+    pub fn new(spec: FaultSpec) -> Self {
+        FaultPlan {
+            spec,
+            rng: XorShift64::new(spec.seed ^ 0x1a6e_55aa_c0de_f00d),
+            stats: IngressStats::default(),
+        }
+    }
+
+    /// Applies ingress faults to a whole trace, in arrival order.
+    /// Disabled specs return the trace untouched.
+    ///
+    /// Per packet, five Bernoulli draws are consumed in a fixed order
+    /// (drop, dup, reorder, corrupt, truncate) regardless of which
+    /// fire, so one rate's value never shifts another fault's schedule.
+    #[must_use]
+    pub fn apply_ingress(&mut self, trace: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        self.apply_ingress_keyed(trace.into_iter().map(|p| ((), p)).collect())
+            .into_iter()
+            .map(|((), p)| p)
+            .collect()
+    }
+
+    /// [`apply_ingress`](Self::apply_ingress) over a trace whose packets
+    /// carry a per-packet key (e.g. the flow key an RSS sharder uses):
+    /// drop/dup/reorder move the pair as a unit, corrupt/truncate mutate
+    /// only the bytes, so a duplicated or reordered packet keeps riding
+    /// with its original key.
+    #[must_use]
+    pub fn apply_ingress_keyed<K: Clone>(&mut self, trace: Vec<(K, Vec<u8>)>) -> Vec<(K, Vec<u8>)> {
+        if !self.spec.enabled {
+            return trace;
+        }
+        let mut out = Vec::with_capacity(trace.len() + trace.len() / 16);
+        let mut held: Option<(K, Vec<u8>)> = None;
+        for (key, mut pkt) in trace {
+            let drop = self.rng.chance_ppm(self.spec.drop_ppm);
+            let dup = self.rng.chance_ppm(self.spec.dup_ppm);
+            let reorder = self.rng.chance_ppm(self.spec.reorder_ppm);
+            let corrupt = self.rng.chance_ppm(self.spec.corrupt_ppm);
+            let truncate = self.rng.chance_ppm(self.spec.truncate_ppm);
+            if drop {
+                self.stats.dropped += 1;
+                continue;
+            }
+            if corrupt && !pkt.is_empty() {
+                let pos = self.rng.below(pkt.len() as u64) as usize;
+                let mask = self.rng.next_u64() as u8;
+                pkt[pos] ^= if mask == 0 { 0xa5 } else { mask };
+                self.stats.corrupted += 1;
+            }
+            if truncate && pkt.len() > 1 {
+                let keep = 1 + self.rng.below(pkt.len() as u64 - 1) as usize;
+                pkt.truncate(keep);
+                self.stats.truncated += 1;
+            }
+            if reorder && held.is_none() {
+                // Hold this packet; it re-enters after its successor.
+                self.stats.reordered += 1;
+                held = Some((key, pkt));
+                continue;
+            }
+            if dup {
+                self.stats.duplicated += 1;
+                out.push((key.clone(), pkt.clone()));
+            }
+            out.push((key, pkt));
+            if let Some(h) = held.take() {
+                out.push(h);
+            }
+        }
+        if let Some(h) = held.take() {
+            out.push(h);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![i as u8; 40 + i % 7]).collect()
+    }
+
+    fn spec(seed: u64) -> FaultSpec {
+        FaultSpec {
+            enabled: true,
+            seed,
+            drop_ppm: 50_000,
+            dup_ppm: 50_000,
+            reorder_ppm: 50_000,
+            corrupt_ppm: 50_000,
+            truncate_ppm: 50_000,
+            ..FaultSpec::off()
+        }
+    }
+
+    #[test]
+    fn disabled_plan_is_identity() {
+        let t = trace(100);
+        let mut p = FaultPlan::new(FaultSpec::off());
+        assert_eq!(p.apply_ingress(t.clone()), t);
+        assert_eq!(p.stats, IngressStats::default());
+    }
+
+    #[test]
+    fn same_seed_same_faulted_trace() {
+        let t = trace(2000);
+        let a = FaultPlan::new(spec(3)).apply_ingress(t.clone());
+        let b = FaultPlan::new(spec(3)).apply_ingress(t.clone());
+        assert_eq!(a, b);
+        let c = FaultPlan::new(spec(4)).apply_ingress(t);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn packet_conservation_accounting() {
+        let t = trace(5000);
+        let mut p = FaultPlan::new(spec(9));
+        let out = p.apply_ingress(t.clone());
+        assert_eq!(
+            out.len() as u64,
+            t.len() as u64 - p.stats.dropped + p.stats.duplicated
+        );
+        // All five fault classes fired at 5% over 5000 packets.
+        assert!(p.stats.dropped > 0);
+        assert!(p.stats.duplicated > 0);
+        assert!(p.stats.reordered > 0);
+        assert!(p.stats.corrupted > 0);
+        assert!(p.stats.truncated > 0);
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_without_loss() {
+        let s = FaultSpec {
+            enabled: true,
+            seed: 77,
+            reorder_ppm: 300_000,
+            ..FaultSpec::off()
+        };
+        let t = trace(500);
+        let mut p = FaultPlan::new(s);
+        let out = p.apply_ingress(t.clone());
+        assert_eq!(out.len(), t.len());
+        assert!(p.stats.reordered > 0);
+        // Multiset preserved.
+        let mut a = t;
+        let mut b = out.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte() {
+        let s = FaultSpec {
+            enabled: true,
+            seed: 5,
+            corrupt_ppm: 1_000_000,
+            ..FaultSpec::off()
+        };
+        let t = trace(50);
+        let mut p = FaultPlan::new(s);
+        let out = p.apply_ingress(t.clone());
+        assert_eq!(p.stats.corrupted, 50);
+        for (orig, got) in t.iter().zip(&out) {
+            assert_eq!(orig.len(), got.len());
+            let diff = orig.iter().zip(got).filter(|(a, b)| a != b).count();
+            assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn keyed_trace_keeps_keys_with_their_packets() {
+        let t: Vec<(usize, Vec<u8>)> = (0..2000).map(|i| (i, vec![(i % 251) as u8; 60])).collect();
+        let mut p = FaultPlan::new(spec(11));
+        let out = p.apply_ingress_keyed(t);
+        assert!(p.stats.total() > 0);
+        // Every surviving packet still carries the key it was built
+        // with (corruption may flip the byte value, but at most one
+        // byte differs from the key's pattern).
+        for (key, pkt) in &out {
+            let expected = (*key % 251) as u8;
+            let mismatched = pkt.iter().filter(|&&b| b != expected).count();
+            assert!(mismatched <= 1, "key {key} rode with a foreign packet");
+        }
+        // The unkeyed wrapper draws the identical schedule.
+        let t2: Vec<Vec<u8>> = (0..2000).map(|i| vec![(i % 251) as u8; 60]).collect();
+        let bytes_only = FaultPlan::new(spec(11)).apply_ingress(t2);
+        assert_eq!(
+            bytes_only,
+            out.into_iter().map(|(_, p)| p).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn truncation_never_empties_a_packet() {
+        let s = FaultSpec {
+            enabled: true,
+            seed: 6,
+            truncate_ppm: 1_000_000,
+            ..FaultSpec::off()
+        };
+        let mut p = FaultPlan::new(s);
+        let out = p.apply_ingress(trace(200));
+        assert_eq!(p.stats.truncated, 200);
+        assert!(out.iter().all(|pkt| !pkt.is_empty()));
+    }
+}

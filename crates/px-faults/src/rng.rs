@@ -1,0 +1,133 @@
+//! Seeded, wall-clock-free randomness for fault schedules.
+//!
+//! Two flavors cover the two determinism regimes the chaos matrix
+//! needs:
+//!
+//! - [`XorShift64`], a *sequential* stream for ingress faults, which
+//!   are applied to the global trace before RSS sharding (one draw
+//!   order, independent of core count);
+//! - [`splitmix64`], a *stateless* mixer for resource-fault decisions,
+//!   which must give the same verdict for the same packet no matter
+//!   which core (or batch) it lands on.
+
+/// Finalizing mixer from the splitmix64 generator: a bijective u64
+/// hash with full avalanche. Stateless — the building block for
+/// per-packet fault verdicts.
+#[inline]
+#[must_use]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Marsaglia xorshift64*: tiny, fast, and plenty for fault scheduling.
+/// Never zero-state (a zero seed is remixed through [`splitmix64`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeds the generator. Any seed is accepted; zero is remixed so
+    /// the xorshift state never sticks at the absorbing zero.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mixed = splitmix64(seed);
+        XorShift64 {
+            state: if mixed == 0 { 0x9e37_79b9 } else { mixed },
+        }
+    }
+
+    /// The next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A draw in `0..n` (`0` when `n == 0`).
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        self.next_u64() % n
+    }
+
+    /// Bernoulli draw with probability `ppm` parts-per-million.
+    #[inline]
+    pub fn chance_ppm(&mut self, ppm: u32) -> bool {
+        if ppm == 0 {
+            // Still consume a draw so schedules with a rate set to zero
+            // keep the rest of the stream aligned with nonzero runs.
+            let _ = self.next_u64();
+            return false;
+        }
+        self.below(1_000_000) < u64::from(ppm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_give_identical_streams() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = XorShift64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShift64::new(0);
+        let draws: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(draws.iter().any(|&d| d != 0));
+    }
+
+    #[test]
+    fn chance_ppm_tracks_the_rate() {
+        let mut r = XorShift64::new(7);
+        let hits = (0..100_000)
+            .filter(|_| r.chance_ppm(100_000)) // 10%
+            .count();
+        assert!((8_000..12_000).contains(&hits), "{hits}");
+        // Zero rate never fires but keeps the stream moving.
+        let mut x = XorShift64::new(9);
+        let mut y = XorShift64::new(9);
+        assert!(!x.chance_ppm(0));
+        let _ = y.next_u64();
+        assert_eq!(x.next_u64(), y.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = XorShift64::new(11);
+        for n in [1u64, 2, 7, 1000] {
+            for _ in 0..100 {
+                assert!(r.below(n) < n);
+            }
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn splitmix_avalanches() {
+        // Neighbouring inputs land far apart — the property resource
+        // verdicts rely on (packet i and i+1 get independent fates).
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        assert!(((a ^ b).count_ones() as i32 - 32).abs() < 24);
+    }
+}

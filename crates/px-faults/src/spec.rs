@@ -1,0 +1,150 @@
+//! The fault configuration embedded (by `Copy`) in engine configs.
+
+use crate::rng::splitmix64;
+
+/// A complete fault schedule description: which faults, at what rates,
+/// from which seed. `Copy` so it rides inside `EngineConfig` the same
+/// way `ObsConfig` does; [`FaultSpec::off`] is the all-zero spec every
+/// production path carries (one predicted branch per decision).
+///
+/// Rates are parts-per-million of packets. Worker faults are keyed by
+/// batch index (`every N batches`), not wall clock, so they replay
+/// bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Master switch. When false every injector call is a predicted
+    /// branch and the ingress plan is the identity.
+    pub enabled: bool,
+    /// Seed for every draw this spec makes (ingress stream and
+    /// stateless resource verdicts).
+    pub seed: u64,
+    /// Ingress: drop the packet.
+    pub drop_ppm: u32,
+    /// Ingress: emit the packet twice.
+    pub dup_ppm: u32,
+    /// Ingress: hold the packet past its successor (adjacent swap).
+    pub reorder_ppm: u32,
+    /// Ingress: XOR one random byte with a nonzero mask.
+    pub corrupt_ppm: u32,
+    /// Ingress: cut the packet short at a random offset.
+    pub truncate_ppm: u32,
+    /// Resource: report the buffer pool dry at aggregate creation.
+    pub pool_dry_ppm: u32,
+    /// Resource: deny the flow-table insertion at aggregate creation.
+    pub table_deny_ppm: u32,
+    /// Worker: panic at the entry of every Nth batch (0 = never). The
+    /// supervisor catches it, rescues the core's flow state, and
+    /// restarts the worker in place.
+    pub panic_every_batches: u64,
+    /// Worker: stall (sleep) for `stall_ns` at the entry of every Nth
+    /// batch (0 = never) — what the heartbeat monitor is for.
+    pub stall_every_batches: u64,
+    /// How long an injected stall lasts, in wall nanoseconds.
+    pub stall_ns: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl FaultSpec {
+    /// The no-fault spec: everything zero, injection disabled.
+    #[must_use]
+    pub const fn off() -> Self {
+        FaultSpec {
+            enabled: false,
+            seed: 0,
+            drop_ppm: 0,
+            dup_ppm: 0,
+            reorder_ppm: 0,
+            corrupt_ppm: 0,
+            truncate_ppm: 0,
+            pool_dry_ppm: 0,
+            table_deny_ppm: 0,
+            panic_every_batches: 0,
+            stall_every_batches: 0,
+            stall_ns: 0,
+        }
+    }
+
+    /// A seed-derived chaos mix for the matrix: every rate is drawn
+    /// from the seed, so seed `s` names one complete fault schedule.
+    /// Roughly half the seeds include worker panics and a quarter
+    /// include stalls; ingress rates range up to a few percent.
+    #[must_use]
+    pub fn chaos(seed: u64) -> Self {
+        let d = |salt: u64, range: u64| -> u32 {
+            (splitmix64(seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % range) as u32
+        };
+        FaultSpec {
+            enabled: true,
+            seed,
+            drop_ppm: d(1, 30_000),
+            dup_ppm: d(2, 20_000),
+            reorder_ppm: d(3, 30_000),
+            corrupt_ppm: d(4, 20_000),
+            truncate_ppm: d(5, 10_000),
+            pool_dry_ppm: d(6, 50_000),
+            table_deny_ppm: d(7, 50_000),
+            panic_every_batches: match splitmix64(seed ^ 8) % 4 {
+                0 => 7,
+                1 => 13,
+                _ => 0,
+            },
+            stall_every_batches: if splitmix64(seed ^ 9).is_multiple_of(4) {
+                11
+            } else {
+                0
+            },
+            stall_ns: 200_000, // 0.2 ms: long enough for the monitor to see
+        }
+    }
+
+    /// Whether this spec can inject worker-level faults.
+    #[must_use]
+    pub fn has_worker_faults(&self) -> bool {
+        self.enabled && (self.panic_every_batches > 0 || self.stall_every_batches > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_inert_and_default() {
+        let s = FaultSpec::off();
+        assert!(!s.enabled);
+        assert_eq!(s, FaultSpec::default());
+        assert!(!s.has_worker_faults());
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        assert_eq!(FaultSpec::chaos(5), FaultSpec::chaos(5));
+        assert_ne!(FaultSpec::chaos(5), FaultSpec::chaos(6));
+        assert!(FaultSpec::chaos(5).enabled);
+    }
+
+    #[test]
+    fn chaos_rates_stay_in_their_bands() {
+        let mut with_panic = 0usize;
+        for seed in 0..256u64 {
+            let s = FaultSpec::chaos(seed);
+            assert!(s.drop_ppm < 30_000);
+            assert!(s.dup_ppm < 20_000);
+            assert!(s.reorder_ppm < 30_000);
+            assert!(s.corrupt_ppm < 20_000);
+            assert!(s.truncate_ppm < 10_000);
+            assert!(s.pool_dry_ppm < 50_000);
+            assert!(s.table_deny_ppm < 50_000);
+            if s.panic_every_batches > 0 {
+                with_panic += 1;
+            }
+        }
+        // About half the seeds exercise the restart path.
+        assert!((64..192).contains(&with_panic), "{with_panic}");
+    }
+}

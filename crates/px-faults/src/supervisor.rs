@@ -1,0 +1,178 @@
+//! Worker-liveness primitives: heartbeat counters and the stall
+//! detector the parallel engine's supervisor scans them with.
+//!
+//! A worker bumps its heartbeat once per batch; the monitor samples
+//! all heartbeats on a fixed cadence and strikes a core whose count
+//! has not advanced. `threshold` consecutive strikes declare a stall.
+//! Detection is advisory — the engine decides what restarting means —
+//! so these types carry no policy, only the counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One atomic heartbeat per core. Shared (`&self`) between workers and
+/// the monitor thread; all accesses are relaxed — ordering does not
+/// matter for a monotone liveness counter.
+#[derive(Debug)]
+pub struct Heartbeats {
+    beats: Vec<AtomicU64>,
+}
+
+impl Heartbeats {
+    /// Heartbeats for `cores` workers, all starting at zero.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        Heartbeats {
+            beats: (0..cores).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of cores tracked.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.beats.len()
+    }
+
+    /// Worker `core` signals one unit of progress (call once per
+    /// batch). Out-of-range cores are ignored.
+    #[inline]
+    pub fn beat(&self, core: usize) {
+        if let Some(b) = self.beats.get(core) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The current heartbeat count for `core` (0 if out of range).
+    #[must_use]
+    pub fn read(&self, core: usize) -> u64 {
+        self.beats
+            .get(core)
+            .map_or(0, |b| b.load(Ordering::Relaxed))
+    }
+}
+
+/// Strike-counting stall detection over a [`Heartbeats`] array.
+#[derive(Debug)]
+pub struct StallDetector {
+    last: Vec<u64>,
+    strikes: Vec<u32>,
+    threshold: u32,
+    /// Stall declarations made so far (monotone).
+    pub stalls_detected: u64,
+}
+
+impl StallDetector {
+    /// A detector for `cores` workers declaring a stall after
+    /// `threshold` consecutive scans without progress (min 1).
+    #[must_use]
+    pub fn new(cores: usize, threshold: u32) -> Self {
+        StallDetector {
+            last: vec![0; cores],
+            strikes: vec![0; cores],
+            threshold: threshold.max(1),
+            stalls_detected: 0,
+        }
+    }
+
+    /// One monitor scan: samples every heartbeat and returns the cores
+    /// that just crossed the stall threshold (reported once per stall
+    /// episode — a still-stalled core is not re-reported until it
+    /// progresses and stalls again).
+    pub fn scan(&mut self, beats: &Heartbeats) -> Vec<usize> {
+        let mut stalled = Vec::new();
+        for core in 0..self.last.len() {
+            let now = beats.read(core);
+            if now != self.last[core] {
+                self.last[core] = now;
+                self.strikes[core] = 0;
+                continue;
+            }
+            self.strikes[core] = self.strikes[core].saturating_add(1);
+            if self.strikes[core] == self.threshold {
+                self.stalls_detected += 1;
+                stalled.push(core);
+            }
+        }
+        stalled
+    }
+
+    /// Forgives a core (after the engine restarted it) so the next
+    /// stall episode is detected afresh.
+    pub fn clear(&mut self, core: usize) {
+        if let Some(s) = self.strikes.get_mut(core) {
+            *s = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progressing_workers_are_never_flagged() {
+        let hb = Heartbeats::new(2);
+        let mut det = StallDetector::new(2, 2);
+        for _ in 0..10 {
+            hb.beat(0);
+            hb.beat(1);
+            assert!(det.scan(&hb).is_empty());
+        }
+        assert_eq!(det.stalls_detected, 0);
+    }
+
+    #[test]
+    fn stall_is_flagged_once_per_episode() {
+        let hb = Heartbeats::new(2);
+        let mut det = StallDetector::new(2, 3);
+        hb.beat(0); // core 1 never beats
+        assert!(det.scan(&hb).is_empty()); // strike 1 for core 1, core 0 progressed
+                                           // Core 0 stops too; both accrue strikes now.
+        assert!(det.scan(&hb).is_empty());
+        assert_eq!(det.scan(&hb), vec![1]); // core 1 reaches 3 strikes first
+        assert_eq!(det.scan(&hb), vec![0]); // then core 0
+                                            // Still stalled: not re-reported.
+        assert!(det.scan(&hb).is_empty());
+        assert_eq!(det.stalls_detected, 2);
+        // Progress then stall again: a new episode is reported.
+        hb.beat(1);
+        assert!(det.scan(&hb).is_empty()); // progress clears the strikes
+        assert!(det.scan(&hb).is_empty()); // strike 1
+        assert!(det.scan(&hb).is_empty()); // strike 2
+        assert_eq!(det.scan(&hb), vec![1]); // strike 3: new episode
+        assert_eq!(det.stalls_detected, 3);
+    }
+
+    #[test]
+    fn clear_restarts_the_count() {
+        let hb = Heartbeats::new(1);
+        let mut det = StallDetector::new(1, 2);
+        assert!(det.scan(&hb).is_empty());
+        det.clear(0);
+        assert!(det.scan(&hb).is_empty()); // strike restarted at 1
+        assert_eq!(det.scan(&hb), vec![0]);
+    }
+
+    #[test]
+    fn heartbeats_are_shared_safely() {
+        let hb = std::sync::Arc::new(Heartbeats::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|core| {
+                let hb = hb.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        hb.beat(core);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for core in 0..4 {
+            assert_eq!(hb.read(core), 1000);
+        }
+        // Out-of-range access is inert.
+        hb.beat(99);
+        assert_eq!(hb.read(99), 0);
+    }
+}

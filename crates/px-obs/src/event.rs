@@ -33,6 +33,18 @@ pub enum EventKind {
     /// the last packet's logical arrival. The batch's wall time goes to
     /// the histograms only — wall-clock never enters an event.
     BatchDone = 6,
+    /// An engine entered degraded (passthrough) mode: an aggregate
+    /// could not be created — pool dry or flow-table denial — so the
+    /// packet was forwarded unmerged instead of dropped. `aux` = 1 for
+    /// pool exhaustion, 2 for table denial (DESIGN.md §12 ladder).
+    DegradeEnter = 7,
+    /// The pressure subsided: the next aggregate creation succeeded and
+    /// the engine resumed merging.
+    DegradeExit = 8,
+    /// The supervisor restarted a worker after a panic or stall. `aux`
+    /// = flows rescued (flushed) from the dead worker's table, `len` =
+    /// the batch index the fault hit.
+    WorkerRestart = 9,
 }
 
 impl EventKind {
@@ -46,6 +58,9 @@ impl EventKind {
             EventKind::DropMalformed => "DropMalformed",
             EventKind::FlowEvict => "FlowEvict",
             EventKind::BatchDone => "BatchDone",
+            EventKind::DegradeEnter => "DegradeEnter",
+            EventKind::DegradeExit => "DegradeExit",
+            EventKind::WorkerRestart => "WorkerRestart",
         }
     }
 }

@@ -14,6 +14,7 @@
 //! narrowest link allowed. One RTT, no ICMP, works through blackholes.
 
 use crate::{ECHO_PORT, FPMTUD_PORT};
+use px_faults::DetBackoff;
 use px_sim::node::{Ctx, Node, PortId};
 use px_sim::Nanos;
 pub use px_wire::fpmtud::{
@@ -44,6 +45,16 @@ pub enum ProbeOutcome {
     /// All retries timed out (probe or report lost repeatedly).
     TimedOut {
         /// Probes sent before giving up.
+        probes_sent: u32,
+    },
+    /// Every retry timed out *and* a fallback was configured: the
+    /// destination is treated as an F-PMTUD blackhole (no daemon, or a
+    /// path eating large UDP) and the PMTU clamps to the safe static
+    /// eMTU instead of staying unknown.
+    BlackholedToFallback {
+        /// The clamped PMTU (the configured fallback, i.e. the eMTU).
+        pmtu: usize,
+        /// Probes sent before clamping.
         probes_sent: u32,
     },
 }
@@ -167,10 +178,33 @@ pub struct ProberConfig {
     /// Probe size: the eMTU of our first hop (§4.2 sends "a dummy UDP
     /// packet sized to the eMTU of the next hop").
     pub probe_size: usize,
-    /// Per-probe timeout.
+    /// Timeout for the *first* probe; each retry doubles it
+    /// (deterministic exponential backoff, no jitter).
     pub timeout: Nanos,
     /// Max probes before giving up (covers probe/report loss).
     pub max_tries: u32,
+    /// Cap for the doubling retry timeout.
+    pub backoff_max: Nanos,
+    /// PMTU to clamp to when every retry times out (blackhole
+    /// detection). `0` keeps the plain [`ProbeOutcome::TimedOut`].
+    pub fallback_pmtu: usize,
+}
+
+impl ProberConfig {
+    /// The standard schedule: 2 s first timeout, doubling to a 16 s
+    /// cap, three tries, no fallback (unknown stays unknown).
+    #[must_use]
+    pub fn new(addr: Ipv4Addr, dst: Ipv4Addr, probe_size: usize) -> Self {
+        ProberConfig {
+            addr,
+            dst,
+            probe_size,
+            timeout: Nanos::from_secs(2),
+            max_tries: 3,
+            backoff_max: Nanos::from_secs(16),
+            fallback_pmtu: 0,
+        }
+    }
 }
 
 /// The F-PMTUD prober.
@@ -182,6 +216,7 @@ pub struct FpmtudProber {
     tries: u32,
     ident: u16,
     started_at: Nanos,
+    backoff: DetBackoff,
     /// Result, once known.
     pub outcome: Option<ProbeOutcome>,
 }
@@ -196,6 +231,7 @@ impl FpmtudProber {
             tries: 0,
             ident: 0x7700,
             started_at: Nanos::ZERO,
+            backoff: DetBackoff::new(cfg.timeout.0, cfg.backoff_max.0.max(cfg.timeout.0)),
             outcome: None,
         }
     }
@@ -218,7 +254,9 @@ impl FpmtudProber {
         let pkt = ip.build_packet(&dg).expect("probe fits IP");
         self.sent_at.insert(id, ctx.now);
         ctx.send(PortId(0), PacketBuf::from_payload(&pkt));
-        ctx.set_timer(self.cfg.timeout, u64::from(id));
+        // Deterministic exponential backoff: 1× timeout for the first
+        // probe, 2× for the second, … capped at `backoff_max`.
+        ctx.set_timer(Nanos(self.backoff.next_delay()), u64::from(id));
     }
 }
 
@@ -266,8 +304,18 @@ impl Node for FpmtudProber {
             return; // already answered
         }
         if self.tries >= self.cfg.max_tries {
-            self.outcome = Some(ProbeOutcome::TimedOut {
-                probes_sent: self.tries,
+            // Blackhole detection: the destination never answered any
+            // probe. With a fallback configured, clamp to it (the safe
+            // static eMTU) rather than reporting nothing.
+            self.outcome = Some(if self.cfg.fallback_pmtu > 0 {
+                ProbeOutcome::BlackholedToFallback {
+                    pmtu: self.cfg.fallback_pmtu,
+                    probes_sent: self.tries,
+                }
+            } else {
+                ProbeOutcome::TimedOut {
+                    probes_sent: self.tries,
+                }
             });
             return;
         }
@@ -288,13 +336,7 @@ mod tests {
     use crate::topology::{build_path, true_pmtu, Hop, DAEMON_ADDR, PROBER_ADDR};
 
     fn run(hops: &[Hop], blackholes: bool) -> ProbeOutcome {
-        let prober = FpmtudProber::new(ProberConfig {
-            addr: PROBER_ADDR,
-            dst: DAEMON_ADDR,
-            probe_size: hops[0].mtu,
-            timeout: Nanos::from_secs(2),
-            max_tries: 3,
-        });
+        let prober = FpmtudProber::new(ProberConfig::new(PROBER_ADDR, DAEMON_ADDR, hops[0].mtu));
         let daemon = FpmtudDaemon::new(DAEMON_ADDR);
         let (mut net, p, _d) = build_path(7, prober, daemon, hops, blackholes);
         net.run_until(Nanos::from_secs(10));

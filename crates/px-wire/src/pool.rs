@@ -33,6 +33,9 @@ pub struct PoolStats {
     pub puts: u64,
     /// Returned buffers dropped because the freelist was at capacity.
     pub dropped: u64,
+    /// [`BufPool::try_get`] calls that found the pool exhausted (the
+    /// degradation trigger — see DESIGN.md §12).
+    pub exhausted: u64,
 }
 
 /// A LIFO freelist of recycled [`PacketBuf`]s.
@@ -48,6 +51,12 @@ pub struct BufPool {
     headroom: usize,
     capacity: usize,
     max_free: usize,
+    /// Optional cap on buffers live at once (outstanding + parked
+    /// fresh allocations). `None` = unbounded, the historical behavior;
+    /// `Some(n)` makes [`BufPool::try_get`] report exhaustion instead
+    /// of allocating past `n` — how tests and the chaos harness model a
+    /// finite mempool.
+    live_cap: Option<u64>,
     /// Occupancy and traffic counters.
     pub stats: PoolStats,
     #[cfg(debug_assertions)]
@@ -64,6 +73,7 @@ impl BufPool {
             headroom,
             capacity: headroom + payload_capacity,
             max_free,
+            live_cap: None,
             stats: PoolStats::default(),
             #[cfg(debug_assertions)]
             parked: HashSet::new(),
@@ -92,6 +102,36 @@ impl BufPool {
     /// pool tests assert.
     pub fn outstanding(&self) -> u64 {
         self.stats.gets - self.stats.puts - self.stats.dropped
+    }
+
+    /// Caps the number of buffers that may be live at once (see
+    /// [`BufPool::try_get`]). `None` removes the cap.
+    pub fn set_live_cap(&mut self, cap: Option<u64>) {
+        self.live_cap = cap;
+    }
+
+    /// The configured live-buffer cap, if any.
+    pub fn live_cap(&self) -> Option<u64> {
+        self.live_cap
+    }
+
+    /// Like [`BufPool::get`], but refuses to grow past the live-buffer
+    /// cap: when the freelist is empty and `outstanding()` has reached
+    /// `live_cap`, returns `None` and counts the exhaustion instead of
+    /// allocating. With no cap set this never fails.
+    ///
+    /// This is the degradation trigger: engines fall back to
+    /// passthrough forwarding (never drop) when it fires.
+    pub fn try_get(&mut self) -> Option<PacketBuf> {
+        if self.free.is_empty() {
+            if let Some(cap) = self.live_cap {
+                if self.outstanding() >= cap {
+                    self.stats.exhausted += 1;
+                    return None;
+                }
+            }
+        }
+        Some(self.get())
     }
 
     /// Hands out a buffer: the most recently returned one if available
@@ -256,6 +296,31 @@ mod tests {
         assert_eq!(pool.parked.len(), pool.free_len());
         let _b = pool.get();
         assert_eq!(pool.parked.len(), pool.free_len());
+    }
+
+    #[test]
+    fn try_get_honors_the_live_cap() {
+        let mut pool = BufPool::new(8, 64, 8);
+        pool.set_live_cap(Some(2));
+        assert_eq!(pool.live_cap(), Some(2));
+        let a = pool.try_get().expect("first under cap");
+        let b = pool.try_get().expect("second under cap");
+        assert!(pool.try_get().is_none(), "cap reached");
+        assert!(pool.try_get().is_none());
+        assert_eq!(pool.stats.exhausted, 2);
+        // A return makes the freelist non-empty again: try_get recovers.
+        pool.put(a);
+        let c = pool.try_get().expect("recovered after put");
+        pool.put(b);
+        pool.put(c);
+        assert_eq!(pool.outstanding(), 0);
+        // Uncapped pools never report exhaustion.
+        pool.set_live_cap(None);
+        let bufs: Vec<_> = (0..16).map(|_| pool.try_get().unwrap()).collect();
+        for b in bufs {
+            pool.put(b);
+        }
+        assert_eq!(pool.stats.exhausted, 2, "unchanged");
     }
 
     #[test]

@@ -46,6 +46,10 @@ pub use px_core as core;
 /// fragment-delivery survey. Re-export of [`px_pmtud`].
 pub use px_pmtud as pmtud;
 
+/// Deterministic fault injection, degradation, and self-healing
+/// primitives for the chaos harness. Re-export of [`px_faults`].
+pub use px_faults as faults;
+
 /// The 5G UPF substrate. Re-export of [`px_upf`].
 pub use px_upf as upf;
 

@@ -1,8 +1,14 @@
 //! Failure-injection tests: the system under resource pressure and
-//! corruption — flow-table eviction at the gateway, bit-flips on the
-//! wire, reassembly expiry.
+//! corruption — flow-table eviction at the gateway, seeded wire faults
+//! from the px-faults [`FaultPlan`], reassembly expiry.
+//!
+//! The wire corruptor here is the *same* fault applier the engine-level
+//! chaos matrix uses: a [`FaultSpec`] names the schedule, a
+//! [`FaultPlan`] draws it deterministically. No ad-hoc RNG — a failing
+//! seed reproduces bit-for-bit.
 
 use packet_express::core::gateway::{GatewayConfig, PxGateway, EXTERNAL_PORT, INTERNAL_PORT};
+use packet_express::faults::{FaultPlan, FaultSpec};
 use packet_express::sim::link::LinkConfig;
 use packet_express::sim::network::Network;
 use packet_express::sim::node::{Ctx, Node, PortId};
@@ -10,30 +16,34 @@ use packet_express::sim::Nanos;
 use packet_express::tcp::conn::ConnConfig;
 use packet_express::tcp::host::{Host, HostConfig};
 use packet_express::wire::PacketBuf;
-use rand::Rng;
 use std::any::Any;
 use std::net::Ipv4Addr;
 
 const EXT: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
 const INT: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 2);
 
-/// A two-port repeater that flips one random bit in a fraction of the
-/// packets it forwards (memory/link corruption).
-struct BitFlipper {
-    prob: f64,
-    flipped: u64,
+/// A two-port repeater that runs every forwarded packet through a
+/// seeded [`FaultPlan`] — drop, duplicate, corrupt, truncate at the
+/// spec's rates, with the plan's own accounting. (Reorder is
+/// meaningless packet-at-a-time on an in-order link, so specs here
+/// leave it zero.)
+struct FaultyWire {
+    plan: FaultPlan,
 }
 
-impl Node for BitFlipper {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: PacketBuf) {
-        let mut bytes = pkt.as_slice().to_vec();
-        if ctx.rng.gen::<f64>() < self.prob && !bytes.is_empty() {
-            let i = ctx.rng.gen_range(0..bytes.len());
-            let bit = ctx.rng.gen_range(0u32..8);
-            bytes[i] ^= 1u8 << bit;
-            self.flipped += 1;
+impl FaultyWire {
+    fn new(spec: FaultSpec) -> Self {
+        FaultyWire {
+            plan: FaultPlan::new(spec),
         }
-        ctx.send(PortId(1 - port.0), PacketBuf::from_payload(&bytes));
+    }
+}
+
+impl Node for FaultyWire {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: PacketBuf) {
+        for bytes in self.plan.apply_ingress(vec![pkt.as_slice().to_vec()]) {
+            ctx.send(PortId(1 - port.0), PacketBuf::from_payload(&bytes));
+        }
     }
     fn as_any(&self) -> &dyn Any {
         self
@@ -97,10 +107,12 @@ fn gateway_flow_table_pressure_is_lossless() {
 fn bit_flips_never_corrupt_the_stream() {
     let mut net = Network::new(19);
     let a = net.add_node(Host::new(HostConfig::new(EXT, 1500)));
-    let flipper = net.add_node(BitFlipper {
-        prob: 0.02,
-        flipped: 0,
-    });
+    let flipper = net.add_node(FaultyWire::new(FaultSpec {
+        enabled: true,
+        seed: 19,
+        corrupt_ppm: 20_000,
+        ..FaultSpec::off()
+    }));
     let b = net.add_node(Host::new(HostConfig::new(INT, 1500)));
     net.connect(
         (a, PortId(0)),
@@ -121,7 +133,7 @@ fn bit_flips_never_corrupt_the_stream() {
         Some(Nanos::from_secs(60).0),
     );
     net.run_until(Nanos::from_secs(60));
-    let flipped = net.node_ref::<BitFlipper>(flipper).flipped;
+    let flipped = net.node_ref::<FaultyWire>(flipper).plan.stats.corrupted;
     assert!(flipped > 0, "corruption must actually have happened");
     let st = &net.node_ref::<Host>(b).tcp_stats()[0];
     assert_eq!(st.bytes_received, total);
@@ -133,16 +145,21 @@ fn bit_flips_never_corrupt_the_stream() {
     );
 }
 
-/// The paper's transparency claim under *combined* stress: loss +
-/// corruption + a translating gateway at once.
+/// The paper's transparency claim under *combined* stress: loss,
+/// duplication, and corruption on the wire (one FaultPlan schedule)
+/// plus a translating gateway — the stream must still arrive intact.
 #[test]
 fn combined_stress_through_gateway() {
     let mut net = Network::new(23);
     let ext = net.add_node(Host::new(HostConfig::new(EXT, 1500)));
-    let flipper = net.add_node(BitFlipper {
-        prob: 0.005,
-        flipped: 0,
-    });
+    let flipper = net.add_node(FaultyWire::new(FaultSpec {
+        enabled: true,
+        seed: 23,
+        corrupt_ppm: 5_000,
+        drop_ppm: 10_000,
+        dup_ppm: 10_000,
+        ..FaultSpec::off()
+    }));
     let gw = net.add_node(PxGateway::new(GatewayConfig {
         steer: None,
         ..Default::default()
@@ -179,4 +196,9 @@ fn combined_stress_through_gateway() {
     let st = &net.node_ref::<Host>(int).tcp_stats()[0];
     assert_eq!(st.bytes_received, total);
     assert_eq!(st.integrity_errors, 0);
+    let wire = &net.node_ref::<FaultyWire>(flipper).plan.stats;
+    assert!(
+        wire.corrupted > 0 && wire.dropped > 0 && wire.duplicated > 0,
+        "the combined schedule must actually fire: {wire:?}"
+    );
 }

@@ -14,13 +14,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 fn run_fpmtud(hops: &[Hop], blackhole: bool, seed: u64) -> ProbeOutcome {
-    let prober = FpmtudProber::new(ProberConfig {
-        addr: PROBER_ADDR,
-        dst: DAEMON_ADDR,
-        probe_size: hops[0].mtu,
-        timeout: Nanos::from_secs(2),
-        max_tries: 3,
-    });
+    let prober = FpmtudProber::new(ProberConfig::new(PROBER_ADDR, DAEMON_ADDR, hops[0].mtu));
     let (mut net, p, _) = build_path(
         seed,
         prober,
@@ -144,6 +138,50 @@ fn fpmtud_agrees_with_classic_when_icmp_works() {
             "case {case}: classic must blackhole without ICMP"
         );
     }
+}
+
+/// A destination that answers nothing (probes addressed past the
+/// daemon, which ignores them) exhausts its retries on the
+/// deterministic doubling schedule — 2 s, 4 s, 8 s — and then clamps
+/// to the configured fallback (the eMTU) instead of staying unknown.
+#[test]
+fn unanswered_probes_back_off_then_clamp_to_emtu_fallback() {
+    use std::net::Ipv4Addr;
+    let hops = [Hop::new(9000, 100), Hop::new(1500, 100)];
+    let dark = Ipv4Addr::new(203, 0, 113, 99); // nobody answers here
+    let mut cfg = ProberConfig::new(PROBER_ADDR, dark, hops[0].mtu);
+    cfg.fallback_pmtu = 1500;
+    let prober = FpmtudProber::new(cfg);
+    let (mut net, p, _) = build_path(9, prober, FpmtudDaemon::new(DAEMON_ADDR), &hops, false);
+    // Doubling schedule: retries at 2 s and 6 s, final timeout at
+    // 14 s. A flat 2 s schedule would give up at 6 s — at 7 s the
+    // doubling prober must still be waiting on its third (8 s) timer.
+    net.run_until(Nanos::from_secs(7));
+    assert!(
+        net.node_ref::<FpmtudProber>(p).outcome.is_none(),
+        "still backing off at 7 s"
+    );
+    net.run_until(Nanos::from_secs(15));
+    match net
+        .node_ref::<FpmtudProber>(p)
+        .outcome
+        .clone()
+        .expect("resolved by 15 s")
+    {
+        ProbeOutcome::BlackholedToFallback { pmtu, probes_sent } => {
+            assert_eq!(pmtu, 1500, "clamped to the static eMTU");
+            assert_eq!(probes_sent, 3);
+        }
+        other => panic!("{other:?}"),
+    }
+    // Without a fallback the same schedule ends in a plain timeout.
+    let prober = FpmtudProber::new(ProberConfig::new(PROBER_ADDR, dark, hops[0].mtu));
+    let (mut net, p, _) = build_path(10, prober, FpmtudDaemon::new(DAEMON_ADDR), &hops, false);
+    net.run_until(Nanos::from_secs(15));
+    assert_eq!(
+        net.node_ref::<FpmtudProber>(p).outcome.clone(),
+        Some(ProbeOutcome::TimedOut { probes_sent: 3 })
+    );
 }
 
 /// The "F" in F-PMTUD: discovery completes in about one round trip —
