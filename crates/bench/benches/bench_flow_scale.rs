@@ -1,0 +1,41 @@
+//! Criterion bench for flow-state scale: wall-clock of one measured
+//! flow-scale point (fill + timed churn window over the internet
+//! traffic model) as the live-flow ring sweeps upward.
+//!
+//! The default sweep stays CI-sized (1 k and 10 k flows — seconds per
+//! sample); export `PX_FLOW_SCALE_FULL=1` to extend it to the 100 k and
+//! 1 M points the paper's scaling claim rests on (minutes per sample —
+//! run locally, not in the smoke job).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use px_bench::flow_scale::measure_point;
+
+fn flow_counts() -> Vec<usize> {
+    if std::env::var("PX_FLOW_SCALE_FULL").is_ok_and(|v| v == "1") {
+        vec![1_000, 10_000, 100_000, 1_000_000]
+    } else {
+        vec![1_000, 10_000]
+    }
+}
+
+fn bench_flow_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_scale");
+    g.sample_size(10);
+    for n in flow_counts() {
+        // Input wire bytes of the timed window, so Criterion reports a
+        // rate comparable across ring sizes.
+        let window_pkts = (2 * n).max(50_000) as u64;
+        g.throughput(Throughput::Bytes(window_pkts * px_wire::LEGACY_MTU as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let row = measure_point(std::hint::black_box(n));
+                assert!(row.elephant_yield > 0.5, "{row:?}");
+                row.throughput_bps
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_flow_scale);
+criterion_main!(benches);

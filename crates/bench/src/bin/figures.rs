@@ -55,9 +55,10 @@ fn allocs_so_far() -> u64 {
 fn run_json(scale: Scale) -> String {
     let hot = px_bench::json_report::measure_hot_loops(scale, allocs_so_far);
     let engine = px_bench::json_report::measure_engine(scale);
+    let flow_scale = px_bench::flow_scale::run(scale);
     let obs = px_bench::json_report::measure_observability(scale);
     let robust = px_bench::json_report::measure_robustness(scale);
-    let json = px_bench::json_report::render(scale, &hot, &engine, &obs, &robust);
+    let json = px_bench::json_report::render(scale, &hot, &engine, &flow_scale, &obs, &robust);
     let path = "BENCH_engine.json";
     std::fs::write(path, &json).expect("write BENCH_engine.json");
     format!("{json}  [written to {path}]")

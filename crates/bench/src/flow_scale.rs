@@ -1,0 +1,208 @@
+//! Flow-scale measurement: engine throughput and elephant-byte yield as
+//! the live-flow population sweeps 1 k → 1 M.
+//!
+//! Each point streams the `px-workload::internet` model (never
+//! materialising a trace) through RSS-sharded [`CoreDriver`]s exactly
+//! like the `flow_soak` gate, in two phases: an untimed *fill* (churn
+//! off, pumped until every ring identity has emitted, so the classifier
+//! tracks the whole population) and a timed *churn window* (identity
+//! turnover under a full table — the steady state the paper's gateway
+//! lives in). Throughput is wall-clock over the window and includes
+//! packet generation, which is identical per point, so the curve
+//! isolates how flow-state scale bends the datapath.
+
+use crate::Scale;
+use px_core::engine::{CoreDriver, FlowDigest};
+use px_core::pipeline::{PipelineConfig, SystemVariant, WorkloadKind};
+use px_core::SteerConfig;
+use px_wire::{FlowKey, RssHasher, LEGACY_MTU};
+use px_workload::internet::{is_elephant, InternetConfig, InternetModel};
+use std::collections::BTreeMap;
+
+/// Worker shards per point (fixed: the sweep varies flows, not cores).
+pub const CORES: usize = 4;
+const BATCH_PKTS: usize = 512;
+const INTER_ARRIVAL_NS: u64 = 10;
+const SEED: u64 = 0xF10E_5CA1;
+/// Hard per-entry bound for classifier slots (see `flow_soak`).
+const STEER_ENTRY_BYTES: usize = 192;
+
+/// One point on the flow-scale curve.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowScaleRow {
+    /// Live-flow ring size.
+    pub flows: usize,
+    /// Packets in the timed churn window.
+    pub window_pkts: u64,
+    /// Wall-clock duration of the window.
+    pub elapsed_ns: u64,
+    /// Input-side forwarding rate over the window (eMTU wire bytes).
+    pub throughput_bps: f64,
+    /// Elephant payload bytes delivered in iMTU-sized packets, as a
+    /// fraction of all elephant payload bytes (the §3 conversion that
+    /// flow state exists to buy).
+    pub elephant_yield: f64,
+    /// Live-flow gauge folded over the shards at drain.
+    pub flows_live: u64,
+    /// Mouse packets that hairpinned past the merge path.
+    pub steered_mice_pkts: u64,
+    /// Peak per-core flow-state arena bytes observed.
+    pub arena_peak_bytes: usize,
+}
+
+fn scale_model(n_flows: usize) -> InternetModel {
+    InternetModel::new(InternetConfig {
+        mean_burst: 96,
+        burst_cap: 192,
+        ..InternetConfig::sized(n_flows, SEED)
+    })
+}
+
+fn scale_pipe(n_flows: usize) -> PipelineConfig {
+    let mut pipe = PipelineConfig::fig5(SystemVariant::Px, WorkloadKind::Tcp, CORES);
+    pipe.n_flows = n_flows;
+    pipe.offered_pps = 1e9 / INTER_ARRIVAL_NS as f64;
+    pipe.hold_ns = 20_000;
+    pipe.steer = Some(SteerConfig {
+        table_capacity: 2 * n_flows,
+        memory_budget: Some((2 * n_flows * STEER_ENTRY_BYTES).max(32 << 20)),
+        ..SteerConfig::default()
+    });
+    pipe.pool_bufs = 1024;
+    pipe
+}
+
+struct Pump {
+    drivers: Vec<CoreDriver>,
+    rss: RssHasher,
+    open: Vec<Vec<(u64, Vec<u8>)>>,
+    idx: u64,
+    arena_peak: usize,
+}
+
+impl Pump {
+    fn new(pipe: &PipelineConfig) -> Self {
+        Pump {
+            drivers: (0..CORES).map(|c| CoreDriver::new(pipe, c)).collect(),
+            rss: RssHasher::symmetric(),
+            open: (0..CORES).map(|_| Vec::with_capacity(BATCH_PKTS)).collect(),
+            idx: 0,
+            arena_peak: 0,
+        }
+    }
+
+    fn pump(&mut self, model: &mut InternetModel, pkts: usize) {
+        for _ in 0..pkts {
+            let (key, pkt) = model.next_pkt();
+            let core = self.rss.queue_for(&key, CORES);
+            self.open[core].push((self.idx * INTER_ARRIVAL_NS, pkt));
+            self.idx += 1;
+            if self.open[core].len() == BATCH_PKTS {
+                let batch = std::mem::replace(&mut self.open[core], Vec::with_capacity(BATCH_PKTS));
+                self.drivers[core].run_batch(batch);
+                if self.idx % (64 * BATCH_PKTS as u64) < BATCH_PKTS as u64 {
+                    self.arena_peak = self.arena_peak.max(self.drivers[core].arena_bytes());
+                }
+            }
+        }
+    }
+
+    fn flush_open(&mut self) {
+        for core in 0..CORES {
+            if !self.open[core].is_empty() {
+                let batch = std::mem::take(&mut self.open[core]);
+                self.drivers[core].run_batch(batch);
+            }
+        }
+    }
+}
+
+/// Measures one point: fill the ring, then time a churn window of
+/// `2 × flows` packets (min 50 k so small rings still measure a
+/// meaningful region).
+pub fn measure_point(n_flows: usize) -> FlowScaleRow {
+    let pipe = scale_pipe(n_flows);
+    let mut model = scale_model(n_flows);
+    let mut p = Pump::new(&pipe);
+
+    model.set_churn(false);
+    let mut fill_guard = 0usize;
+    while model.visited_flows() < n_flows {
+        p.pump(&mut model, n_flows);
+        fill_guard += 1;
+        assert!(fill_guard <= 200, "fill phase failed to cover the ring");
+    }
+
+    model.set_churn(true);
+    let window_pkts = (2 * n_flows).max(50_000);
+    let start = std::time::Instant::now();
+    p.pump(&mut model, window_pkts);
+    let elapsed_ns = start.elapsed().as_nanos().max(1) as u64;
+
+    p.flush_open();
+    let mut digests: BTreeMap<FlowKey, FlowDigest> = BTreeMap::new();
+    let (mut flows_live, mut steered_mice_pkts) = (0u64, 0u64);
+    for d in &mut p.drivers {
+        d.finish();
+        let c = d.counters();
+        flows_live += c.flows_live;
+        steered_mice_pkts += c.steered_mice_pkts;
+        for (k, v) in d.digests() {
+            digests.insert(*k, *v);
+        }
+    }
+    let (mut ebytes, mut ejumbo) = (0u64, 0u64);
+    for (k, d) in &digests {
+        if is_elephant(k) {
+            ebytes += d.bytes;
+            ejumbo += d.jumbo_bytes;
+        }
+    }
+
+    let wire_bytes = window_pkts as u64 * LEGACY_MTU as u64;
+    FlowScaleRow {
+        flows: n_flows,
+        window_pkts: window_pkts as u64,
+        elapsed_ns,
+        throughput_bps: wire_bytes as f64 * 8.0 / (elapsed_ns as f64 / 1e9),
+        elephant_yield: if ebytes > 0 {
+            ejumbo as f64 / ebytes as f64
+        } else {
+            0.0
+        },
+        flows_live,
+        steered_mice_pkts,
+        arena_peak_bytes: p.arena_peak,
+    }
+}
+
+/// The sweep. Full scale covers the paper-motivated 1 k → 1 M range;
+/// quick stops at 10 k so the suite's unit tests and the CI bench smoke
+/// stay seconds-sized.
+pub fn run(scale: Scale) -> Vec<FlowScaleRow> {
+    let counts: &[usize] = match scale {
+        Scale::Full => &[1_000, 10_000, 100_000, 1_000_000],
+        Scale::Quick => &[1_000, 10_000],
+    };
+    counts.iter().map(|&n| measure_point(n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_reports_sane_points() {
+        let rows = run(Scale::Quick);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.throughput_bps > 0.0, "{r:?}");
+            assert!(r.elephant_yield > 0.5 && r.elephant_yield <= 1.0, "{r:?}");
+            assert!(r.flows_live >= r.flows as u64, "{r:?}");
+            assert!(r.steered_mice_pkts > 0, "{r:?}");
+            assert!(r.arena_peak_bytes > 0, "{r:?}");
+        }
+        // The sweep is a curve over flows, not repeated points.
+        assert!(rows[0].flows < rows[1].flows);
+    }
+}

@@ -431,6 +431,7 @@ pub fn render(
     scale: Scale,
     hot: &[HotLoopAllocs],
     engine: &[EngineRow],
+    flow_scale: &[crate::flow_scale::FlowScaleRow],
     obs: &ObsOverhead,
     robust: &Robustness,
 ) -> String {
@@ -471,6 +472,24 @@ pub fn render(
             r.pkts_in,
             r.pkts_out,
             if i + 1 < engine.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"flow_scale\": [\n");
+    for (i, r) in flow_scale.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"flows\": {}, \"cores\": {}, \"window_pkts\": {}, \"throughput_bps\": {:.0}, \
+             \"elephant_yield\": {:.6}, \"flows_live\": {}, \"steered_mice_pkts\": {}, \
+             \"arena_peak_bytes\": {}}}{}\n",
+            r.flows,
+            crate::flow_scale::CORES,
+            r.window_pkts,
+            r.throughput_bps,
+            r.elephant_yield,
+            r.flows_live,
+            r.steered_mice_pkts,
+            r.arena_peak_bytes,
+            if i + 1 < flow_scale.len() { "," } else { "" }
         ));
     }
     s.push_str("  ],\n");
@@ -531,11 +550,14 @@ mod tests {
         }
         let engine = measure_engine(Scale::Quick);
         assert_eq!(engine.len(), 8);
+        let flow_scale = crate::flow_scale::run(Scale::Quick);
         let obs = measure_observability(Scale::Quick);
         let robust = measure_robustness(Scale::Quick);
-        let json = render(Scale::Quick, &hot, &engine, &obs, &robust);
+        let json = render(Scale::Quick, &hot, &engine, &flow_scale, &obs, &robust);
         assert!(json.contains("\"hot_path_allocs\""));
         assert!(json.contains("\"engine\""));
+        assert!(json.contains("\"flow_scale\""));
+        assert!(json.contains("\"elephant_yield\""));
         assert!(json.contains("\"observability\""));
         assert!(json.contains("\"overhead_frac\""));
         assert!(json.contains("\"time_series\""));

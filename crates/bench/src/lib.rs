@@ -26,6 +26,7 @@ pub mod fig1d;
 pub mod fig5a;
 pub mod fig5b;
 pub mod fig5c;
+pub mod flow_scale;
 pub mod fpmtud;
 pub mod json_report;
 pub mod metrics;

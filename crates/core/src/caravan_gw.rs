@@ -185,6 +185,43 @@ impl CaravanEngine {
         self.pool.set_live_cap(cap);
     }
 
+    /// Re-sizes the bundle flow table from a
+    /// [`FlowTableConfig`](crate::flowtable::FlowTableConfig) (entry
+    /// ceiling + optional byte budget). Must be called before any
+    /// traffic: replacing a table with pending bundles would leak
+    /// their pool buffers.
+    pub fn configure_table(&mut self, cfg: crate::flowtable::FlowTableConfig) {
+        debug_assert!(self.table.is_empty(), "reconfigure only while empty");
+        self.table = FlowTable::with_config(cfg);
+    }
+
+    /// Re-sizes the buffer pool's parked-buffer cap. Must be called
+    /// before any traffic.
+    pub fn set_pool_bufs(&mut self, max_free: usize) {
+        debug_assert_eq!(self.pool.outstanding(), 0, "resize only while idle");
+        self.pool = BufPool::for_mtu(self.cfg.imtu, max_free);
+        // Park the whole allowance up front: the first excursion to the
+        // concurrent-bundle peak then recycles instead of allocating.
+        self.pool.prewarm(max_free);
+    }
+
+    /// Bytes reserved by the bundle table's arenas.
+    pub fn arena_bytes(&self) -> usize {
+        self.table.arena_bytes()
+    }
+
+    /// Flows currently holding a pending bundle.
+    pub fn flows_live(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Bundle-table evictions as `(idle, pressure)`. Every caravan
+    /// eviction rescue-flushes a pending bundle, so they all count as
+    /// pressure.
+    pub fn eviction_counts(&self) -> (u64, u64) {
+        (0, self.table.evictions)
+    }
+
     /// Whether the engine is currently degraded to passthrough.
     pub fn is_degraded(&self) -> bool {
         self.degraded
@@ -463,12 +500,14 @@ impl CaravanEngine {
             self.table
                 .insert_with_deadline(key, pending, now + self.cfg.hold_ns)
         {
+            // aux 2 = pressure: the bundle held unflushed datagrams and
+            // is rescue-flushed below.
             self.obs.record(
                 EventKind::FlowEvict,
                 now,
                 victim.buf.len() as u32,
                 flow_id(victim_key.src_port, victim_key.dst_port),
-                0,
+                2,
             );
             self.emit_pending(victim, sink);
         }

@@ -49,6 +49,9 @@ use std::time::{Duration, Instant};
 
 /// One core's gateway datapath: the actual translation engine the
 /// pipeline model and the threaded engine both drive.
+// One engine lives per core for the whole run; boxing the large merge
+// variant would buy nothing but a pointer hop on every hot-path call.
+#[allow(clippy::large_enum_variant)]
 pub enum CoreEngine {
     /// DPDK-GRO-style software merging (the paper's baseline).
     Baseline(BaselineGateway),
@@ -85,6 +88,36 @@ impl CoreEngine {
                 probe_port: crate::gateway::FPMTUD_PORT,
             })),
         }
+    }
+
+    /// Builds the engine one core of a pipeline run uses, applying the
+    /// run's flow-scale knobs on top of [`for_variant`](Self::for_variant):
+    /// the flow-table sizing override, the pool's parked-buffer cap, and
+    /// (merge path only) the small-flow classifier. With the `fig5`
+    /// defaults this is byte-identical to `for_variant` — the pinned
+    /// digests prove it.
+    pub fn for_pipe(cfg: &PipelineConfig) -> Self {
+        let mut engine =
+            Self::for_variant(cfg.variant, cfg.workload, cfg.imtu, cfg.emtu, cfg.hold_ns);
+        match &mut engine {
+            CoreEngine::Baseline(_) => {}
+            CoreEngine::Merge(m) => {
+                if let Some(table) = cfg.flow_table {
+                    m.configure_table(table);
+                }
+                m.set_pool_bufs(cfg.pool_bufs);
+                if let Some(steer) = cfg.steer {
+                    m.enable_steer(steer);
+                }
+            }
+            CoreEngine::Caravan(c) => {
+                if let Some(table) = cfg.flow_table {
+                    c.configure_table(table);
+                }
+                c.set_pool_bufs(cfg.pool_bufs);
+            }
+        }
+        engine
     }
 
     /// Feeds one input packet at time `now`, polling hold timers first;
@@ -203,6 +236,38 @@ impl CoreEngine {
         }
     }
 
+    /// Per-flow-state telemetry as `(flows_live, evicted_idle,
+    /// evicted_pressure, steered_mice_pkts)`. Zero for the baseline,
+    /// which keeps no per-flow state worth budgeting.
+    pub fn flow_stats(&self) -> (u64, u64, u64, u64) {
+        match self {
+            CoreEngine::Baseline(_) => (0, 0, 0, 0),
+            CoreEngine::Merge(m) => {
+                let (idle, pressure) = m.eviction_counts();
+                (
+                    m.flows_live() as u64,
+                    idle,
+                    pressure,
+                    m.stats.steered_mice_pkts,
+                )
+            }
+            CoreEngine::Caravan(c) => {
+                let (idle, pressure) = c.eviction_counts();
+                (c.flows_live() as u64, idle, pressure, 0)
+            }
+        }
+    }
+
+    /// Bytes reserved by this engine's per-flow state arenas (flow
+    /// table + classifier). Zero for the baseline.
+    pub fn arena_bytes(&self) -> usize {
+        match self {
+            CoreEngine::Baseline(_) => 0,
+            CoreEngine::Merge(m) => m.arena_bytes(),
+            CoreEngine::Caravan(c) => c.arena_bytes(),
+        }
+    }
+
     /// The inner engine's `(degraded_pkts, pool_exhausted,
     /// backpressure_drops)` degradation counters (zero for the
     /// baseline).
@@ -287,6 +352,10 @@ pub struct FlowDigest {
     pub pkts: u64,
     /// Output L4 payload bytes emitted for this flow.
     pub bytes: u64,
+    /// The subset of `bytes` delivered inside iMTU-sized (jumbo) output
+    /// packets — `jumbo_bytes / bytes` is the flow's byte-level
+    /// conversion yield, the per-flow form of the paper's metric.
+    pub jumbo_bytes: u64,
     /// Running FNV-1a/64 over length-prefixed payloads.
     pub fnv: u64,
 }
@@ -299,6 +368,7 @@ impl Default for FlowDigest {
         FlowDigest {
             pkts: 0,
             bytes: 0,
+            jumbo_bytes: 0,
             fnv: FNV_OFFSET,
         }
     }
@@ -424,9 +494,13 @@ impl PacketSink for Accountant<'_> {
             }
         }
         if let Some((key, payload)) = flow_and_l4_payload(unit) {
+            let payload_len = (payload.end - payload.start) as u64;
             let d = self.digests.entry(key).or_default();
             d.pkts += 1;
-            d.bytes += (payload.end - payload.start) as u64;
+            d.bytes += payload_len;
+            if unit.len() >= self.jumbo_at {
+                d.jumbo_bytes += payload_len;
+            }
             d.fnv = fnv_extend(d.fnv, &unit[payload]);
         }
         if let Some(cap) = self.capture.as_deref_mut() {
@@ -446,8 +520,7 @@ impl Worker {
         wall_stalls: bool,
         capture: bool,
     ) -> Self {
-        let mut engine =
-            CoreEngine::for_variant(cfg.variant, cfg.workload, cfg.imtu, cfg.emtu, cfg.hold_ns);
+        let mut engine = CoreEngine::for_pipe(cfg);
         if obs.enabled {
             engine.enable_obs(obs);
         }
@@ -527,13 +600,7 @@ impl Worker {
         self.events_carry.extend(events);
         self.hists_carry.merge(&hists);
         self.counters.worker_restarts += 1;
-        let mut engine = CoreEngine::for_variant(
-            self.pipe.variant,
-            self.pipe.workload,
-            self.pipe.imtu,
-            self.pipe.emtu,
-            self.pipe.hold_ns,
-        );
+        let mut engine = CoreEngine::for_pipe(&self.pipe);
         if self.obs_cfg.enabled {
             engine.enable_obs(self.obs_cfg);
         }
@@ -553,6 +620,13 @@ impl Worker {
         self.counters.pool_exhausted += exhausted;
         self.counters.backpressure_drops += drops;
         self.counters.dropped_malformed += self.engine.dropped_malformed();
+        // Monotonic flow-state counters fold per engine instance; the
+        // flows_live gauge is sampled only at finish (a restarted
+        // engine's surviving flows would otherwise double-count).
+        let (_, idle, pressure, steered) = self.engine.flow_stats();
+        self.counters.flows_evicted_idle += idle;
+        self.counters.flows_evicted_pressure += pressure;
+        self.counters.steered_mice_pkts += steered;
     }
 
     /// The dispatcher saw this core's input stream end: flush every
@@ -626,6 +700,10 @@ impl Worker {
         };
         self.engine.finish_into(&mut acct);
         self.absorb_engine_stats();
+        // The drain emptied the merge/bundle tables, so what remains
+        // live is the classifier's tracked-flow population — the gauge
+        // the flow-scale soak reads.
+        self.counters.flows_live += self.engine.flow_stats().0;
         // Every pool buffer must be home after a full drain — a nonzero
         // count here is a leak (an aggregate forgotten by a degrade or
         // restart path, exactly what the chaos matrix exists to catch).
@@ -653,6 +731,71 @@ impl Worker {
             events: all_events,
             captured: self.captured.unwrap_or_default(),
         }
+    }
+}
+
+/// A single-core worker handle for streaming harnesses that feed
+/// packets incrementally instead of materialising a whole trace — the
+/// flow-scale soak streams millions of flows through one of these per
+/// core. It wraps the exact `Worker` accounting loop `run_engine`
+/// drives (same engine construction via [`CoreEngine::for_pipe`], same
+/// [`FlowDigest`] bookkeeping), so digests taken here are comparable
+/// with engine-run digests and across core counts.
+pub struct CoreDriver {
+    worker: Worker,
+}
+
+impl CoreDriver {
+    /// Builds the driver for one core of `pipe` (no observability, no
+    /// faults — the soak measures the production hot path).
+    pub fn new(pipe: &PipelineConfig, core: usize) -> Self {
+        CoreDriver {
+            worker: Worker::new(
+                pipe,
+                ObsConfig::disabled(),
+                core,
+                FaultSpec::off(),
+                false,
+                false,
+            ),
+        }
+    }
+
+    /// Processes one batch of `(arrival_ns, packet)` pairs in order.
+    pub fn run_batch(&mut self, batch: Vec<(u64, Vec<u8>)>) {
+        self.worker.run_batch(batch);
+    }
+
+    /// Drains every held aggregate and folds the engine's counters in.
+    /// Call exactly once, after the last batch.
+    pub fn finish(&mut self) {
+        self.worker.finish();
+    }
+
+    /// The worker's private counters (flow-state counters are folded in
+    /// by [`finish`](Self::finish)).
+    pub fn counters(&self) -> &CoreCounters {
+        &self.worker.counters
+    }
+
+    /// Per-flow output digests accumulated so far.
+    pub fn digests(&self) -> &BTreeMap<FlowKey, FlowDigest> {
+        &self.worker.digests
+    }
+
+    /// Bytes reserved by the engine's flow-state arenas right now.
+    pub fn arena_bytes(&self) -> usize {
+        self.worker.engine.arena_bytes()
+    }
+
+    /// Flows currently occupying per-core state.
+    pub fn flows_live(&self) -> u64 {
+        self.worker.engine.flow_stats().0
+    }
+
+    /// Pool buffers currently loaned out (zero after a full drain).
+    pub fn pool_outstanding(&self) -> u64 {
+        self.worker.engine.pool_outstanding()
     }
 }
 
@@ -720,8 +863,6 @@ fn sample_at(t_ns: u64, agg: &CoreCounters) -> TimeSample {
 /// Runs the sharded engine and reports measured throughput, yield,
 /// counters, per-flow digests, and observability results.
 pub fn run_engine(cfg: EngineConfig) -> EngineReport {
-    assert!(cfg.pipe.cores > 0, "need at least one core");
-    assert!(cfg.batch_pkts > 0, "batches must hold packets");
     let pipe = cfg.pipe;
     let mut tracer = TraceGen::new(
         pipe.workload,
@@ -731,6 +872,18 @@ pub fn run_engine(cfg: EngineConfig) -> EngineReport {
         pipe.seed,
     );
     let trace = tracer.generate(pipe.trace_pkts);
+    run_engine_on_trace(cfg, trace)
+}
+
+/// [`run_engine`] over a caller-supplied trace instead of the built-in
+/// [`TraceGen`] — how the chaos-churn and flow-scale harnesses drive
+/// the full sharded engine with the internet traffic model. The trace
+/// is taken in global arrival order; sharding, batching, fault
+/// injection, and accounting are byte-identical to `run_engine`.
+pub fn run_engine_on_trace(cfg: EngineConfig, trace: Vec<(FlowKey, Vec<u8>)>) -> EngineReport {
+    assert!(cfg.pipe.cores > 0, "need at least one core");
+    assert!(cfg.batch_pkts > 0, "batches must hold packets");
+    let pipe = cfg.pipe;
     // Ingress faults are applied to the *global* trace, before RSS
     // sharding, so the faulted input is a pure function of (seed,
     // trace) — identical whatever the core count. One predicted branch
@@ -759,6 +912,7 @@ pub fn run_engine(cfg: EngineConfig) -> EngineReport {
             } else {
                 e.pkts += d.pkts;
                 e.bytes += d.bytes;
+                e.jumbo_bytes += d.jumbo_bytes;
                 e.fnv ^= d.fnv;
             }
         }

@@ -120,6 +120,36 @@ struct Slot<V> {
     gen: u32,
     lru_prev: u32,
     lru_next: u32,
+    /// Which LRU segment the slot lives on: `false` = probation (idle /
+    /// unclassified flows, evicted first), `true` = protected (flows the
+    /// caller marked hot via [`FlowTable::protect`]).
+    protected: bool,
+}
+
+/// Sizing policy for a [`FlowTable`]: an entry-count ceiling plus an
+/// optional hard byte budget for the table's arenas (slab + index +
+/// expiry heap). When both are given, the *effective* capacity is the
+/// smaller of the entry ceiling and however many entries fit in the
+/// budget — so a table configured for a million flows on a 64 MiB
+/// budget silently clamps rather than overcommitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowTableConfig {
+    /// Maximum tracked flows (entry-count ceiling).
+    pub capacity: usize,
+    /// Hard byte budget for the table's preallocated arenas, or `None`
+    /// for "entry count only". [`FlowTable::arena_bytes`] never exceeds
+    /// a configured budget.
+    pub memory_budget: Option<usize>,
+}
+
+impl FlowTableConfig {
+    /// Entry-count-only sizing (the historical `FlowTable::new`).
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlowTableConfig {
+            capacity,
+            memory_budget: None,
+        }
+    }
 }
 
 /// A bounded per-flow state table with O(1) LRU eviction and O(log n)
@@ -129,36 +159,116 @@ pub struct FlowTable<V> {
     map: HashMap<FlowKey, u32, FlowBuildHasher>,
     slots: Vec<Slot<V>>,
     free_slots: Vec<u32>,
-    /// Least recently used entry (eviction victim).
-    lru_head: u32,
-    /// Most recently used entry.
-    lru_tail: u32,
+    /// Per-segment least-recently-used entries, indexed by
+    /// `protected as usize`: `[0]` is the probation list (evicted
+    /// first), `[1]` the protected list (evicted only under pressure).
+    lru_head: [u32; 2],
+    /// Per-segment most-recently-used entries, same indexing.
+    lru_tail: [u32; 2],
     /// Min-heap of (deadline, slot, gen); stale entries are skipped
     /// lazily on pop.
     expiry: BinaryHeap<Reverse<(u64, u32, u32)>>,
     capacity: usize,
+    /// Hash-index bytes, captured at build: the bucket array is sized
+    /// once for the preallocated capacity and rehashes in place
+    /// thereafter (the table never holds more than `capacity` entries),
+    /// but the map's live `capacity()` accounting fluctuates with
+    /// tombstones, so it is not a stable byte measure.
+    map_bytes: usize,
     /// Total lookups performed (for cost accounting).
     pub lookups: u64,
-    /// Evictions performed.
+    /// Evictions performed (`evicted_idle + evicted_pressure`).
     pub evictions: u64,
+    /// Capacity evictions that found a probation (idle / unprotected)
+    /// victim — the cheap case.
+    pub evicted_idle: u64,
+    /// Capacity evictions forced onto the protected segment because the
+    /// probation list was empty — active flows lost to arrival pressure.
+    pub evicted_pressure: u64,
 }
 
 impl<V> FlowTable<V> {
     /// Creates a table holding at most `capacity` flows.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0);
+        Self::with_config(FlowTableConfig::with_capacity(capacity))
+    }
+
+    /// Creates a table from a [`FlowTableConfig`], clamping the entry
+    /// capacity to the byte budget when one is set. The arenas are
+    /// preallocated to the effective capacity, so steady-state inserts
+    /// never touch the allocator and [`arena_bytes`](Self::arena_bytes)
+    /// is fixed at construction.
+    pub fn with_config(cfg: FlowTableConfig) -> Self {
+        assert!(cfg.capacity > 0);
+        let mut capacity = match cfg.memory_budget {
+            Some(budget) => cfg.capacity.min(budget / Self::entry_bytes()).max(1),
+            None => cfg.capacity,
+        };
+        if let Some(budget) = cfg.memory_budget {
+            // The hash index rounds its bucket array up to a power of
+            // two, so the per-entry estimate can land over budget; back
+            // off until the *realised* arenas fit. Construction-time
+            // only — the hot path never resizes.
+            loop {
+                let t = Self::build(capacity);
+                if t.arena_bytes() <= budget || capacity == 1 {
+                    return t;
+                }
+                capacity = (capacity * 7 / 8).min(capacity - 1).max(1);
+            }
+        }
+        Self::build(capacity)
+    }
+
+    /// Allocates the arenas for an already-clamped capacity.
+    fn build(capacity: usize) -> Self {
         let prealloc = capacity.min(1 << 20);
+        let map: HashMap<FlowKey, u32, FlowBuildHasher> =
+            HashMap::with_capacity_and_hasher(prealloc, FlowBuildHasher::default());
+        let map_bytes =
+            map.capacity() * (std::mem::size_of::<FlowKey>() + std::mem::size_of::<u32>() + 1);
         FlowTable {
-            map: HashMap::with_capacity_and_hasher(prealloc, FlowBuildHasher::default()),
+            map,
             slots: Vec::with_capacity(prealloc),
-            free_slots: Vec::new(),
-            lru_head: NIL,
-            lru_tail: NIL,
+            free_slots: Vec::with_capacity(prealloc),
+            lru_head: [NIL; 2],
+            lru_tail: [NIL; 2],
             expiry: BinaryHeap::with_capacity(prealloc),
             capacity,
+            map_bytes,
             lookups: 0,
             evictions: 0,
+            evicted_idle: 0,
+            evicted_pressure: 0,
         }
+    }
+
+    /// Worst-case resident bytes one entry costs across the three
+    /// arenas: its slab slot, its hash-index entry (key, slot index, and
+    /// one control byte), its free-list cell, and one expiry-heap node.
+    pub fn entry_bytes() -> usize {
+        std::mem::size_of::<Slot<V>>()
+            + std::mem::size_of::<FlowKey>()
+            + std::mem::size_of::<u32>()
+            + 1
+            + std::mem::size_of::<u32>()
+            + std::mem::size_of::<Reverse<(u64, u32, u32)>>()
+    }
+
+    /// The effective entry capacity (after any budget clamp).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently reserved by the table's arenas (slab, hash
+    /// index, free list, expiry heap), computed from live capacities.
+    /// Under a `memory_budget` this never exceeds the budget: every
+    /// arena is preallocated to the clamped capacity and reused.
+    pub fn arena_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot<V>>()
+            + self.map_bytes
+            + self.free_slots.capacity() * std::mem::size_of::<u32>()
+            + self.expiry.capacity() * std::mem::size_of::<Reverse<(u64, u32, u32)>>()
     }
 
     /// Number of tracked flows.
@@ -171,43 +281,62 @@ impl<V> FlowTable<V> {
         self.len() == 0
     }
 
-    /// Unlinks `idx` from the LRU list.
+    /// Unlinks `idx` from its LRU segment.
     fn lru_unlink(&mut self, idx: u32) {
-        let (prev, next) = {
+        let (prev, next, seg) = {
             let s = &self.slots[idx as usize];
-            (s.lru_prev, s.lru_next)
+            (s.lru_prev, s.lru_next, usize::from(s.protected))
         };
         match prev {
-            NIL => self.lru_head = next,
+            NIL => self.lru_head[seg] = next,
             p => self.slots[p as usize].lru_next = next,
         }
         match next {
-            NIL => self.lru_tail = prev,
+            NIL => self.lru_tail[seg] = prev,
             n => self.slots[n as usize].lru_prev = prev,
         }
     }
 
-    /// Appends `idx` at the MRU end.
+    /// Appends `idx` at the MRU end of its segment.
     fn lru_push_back(&mut self, idx: u32) {
-        let tail = self.lru_tail;
+        let seg = usize::from(self.slots[idx as usize].protected);
+        let tail = self.lru_tail[seg];
         {
             let s = &mut self.slots[idx as usize];
             s.lru_prev = tail;
             s.lru_next = NIL;
         }
         match tail {
-            NIL => self.lru_head = idx,
+            NIL => self.lru_head[seg] = idx,
             t => self.slots[t as usize].lru_next = idx,
         }
-        self.lru_tail = idx;
+        self.lru_tail[seg] = idx;
     }
 
-    /// Moves `idx` to the MRU end (a "touch").
+    /// Moves `idx` to the MRU end of its segment (a "touch").
     fn lru_touch(&mut self, idx: u32) {
-        if self.lru_tail != idx {
+        let seg = usize::from(self.slots[idx as usize].protected);
+        if self.lru_tail[seg] != idx {
             self.lru_unlink(idx);
             self.lru_push_back(idx);
         }
+    }
+
+    /// Moves a flow onto the protected LRU segment, shielding it from
+    /// eviction while any probation (idle) entry remains. Returns
+    /// whether the key was present. Idempotent; O(1). Intended for
+    /// flows a classifier has promoted to elephant status, so arrival
+    /// churn evicts idle mice first and conversion yield survives.
+    pub fn protect(&mut self, key: &FlowKey) -> bool {
+        let Some(&idx) = self.map.get(key) else {
+            return false;
+        };
+        if !self.slots[idx as usize].protected {
+            self.lru_unlink(idx);
+            self.slots[idx as usize].protected = true;
+            self.lru_push_back(idx);
+        }
+        true
     }
 
     /// Looks up a flow, refreshing its LRU position.
@@ -257,9 +386,16 @@ impl<V> FlowTable<V> {
             }
             return None;
         }
-        // New key: evict the LRU entry first if at capacity.
+        // New key: evict first if at capacity — the probation (idle)
+        // head when one exists, the protected head only under pressure.
         let evicted = if self.len() >= self.capacity {
-            let victim = self.lru_head;
+            let victim = if self.lru_head[0] != NIL {
+                self.evicted_idle += 1;
+                self.lru_head[0]
+            } else {
+                self.evicted_pressure += 1;
+                self.lru_head[1]
+            };
             debug_assert_ne!(victim, NIL);
             self.evictions += 1;
             self.detach(victim)
@@ -272,6 +408,7 @@ impl<V> FlowTable<V> {
                 slot.key = key;
                 slot.value = Some(value);
                 slot.deadline = deadline;
+                slot.protected = false;
                 idx
             }
             None => {
@@ -286,6 +423,7 @@ impl<V> FlowTable<V> {
                     gen: 0,
                     lru_prev: NIL,
                     lru_next: NIL,
+                    protected: false,
                 });
                 idx
             }
@@ -309,6 +447,7 @@ impl<V> FlowTable<V> {
         let key = slot.key;
         let value = slot.value.take()?;
         slot.gen = slot.gen.wrapping_add(1);
+        slot.protected = false;
         self.free_slots.push(idx);
         self.map.remove(&key);
         Some((key, value))
@@ -376,8 +515,8 @@ impl<V> FlowTable<V> {
         self.slots.clear();
         self.free_slots.clear();
         self.expiry.clear();
-        self.lru_head = NIL;
-        self.lru_tail = NIL;
+        self.lru_head = [NIL; 2];
+        self.lru_tail = [NIL; 2];
         out
     }
 
@@ -398,15 +537,20 @@ impl<V> FlowTable<V> {
             .collect()
     }
 
-    /// The tracked keys from least to most recently used — a test and
-    /// diagnostics accessor (allocates; not for the hot path).
+    /// The tracked keys in eviction order — the probation segment from
+    /// least to most recently used, then the protected segment likewise.
+    /// A test and diagnostics accessor (allocates; not for the hot
+    /// path). With no [`protect`](Self::protect) calls this is exactly
+    /// the historical global LRU order.
     pub fn lru_order(&self) -> Vec<FlowKey> {
         let mut out = Vec::with_capacity(self.len());
-        let mut idx = self.lru_head;
-        while idx != NIL {
-            let s = &self.slots[idx as usize];
-            out.push(s.key);
-            idx = s.lru_next;
+        for seg in 0..2 {
+            let mut idx = self.lru_head[seg];
+            while idx != NIL {
+                let s = &self.slots[idx as usize];
+                out.push(s.key);
+                idx = s.lru_next;
+            }
         }
         out
     }
@@ -497,6 +641,73 @@ mod tests {
         assert_eq!(t.lru_order(), vec![key(3), key(1), key(2)]);
         t.remove(&key(1));
         assert_eq!(t.lru_order(), vec![key(3), key(2)]);
+    }
+
+    #[test]
+    fn protected_entries_evict_only_under_pressure() {
+        let mut t: FlowTable<u32> = FlowTable::new(3);
+        t.insert(key(1), 1);
+        t.insert(key(2), 2);
+        t.insert(key(3), 3);
+        assert!(t.protect(&key(1)), "present keys protect");
+        assert!(!t.protect(&key(9)), "absent keys do not");
+        // key(1) is older than 2 and 3 but protected: the probation
+        // head (2) is the victim.
+        let evicted = t.insert(key(4), 4).expect("full");
+        assert_eq!(evicted.0, key(2));
+        assert_eq!((t.evicted_idle, t.evicted_pressure), (1, 0));
+        // Protect everything: the next eviction is forced onto the
+        // protected segment, in its own LRU order.
+        t.protect(&key(3));
+        t.protect(&key(4));
+        let evicted = t.insert(key(5), 5).expect("full");
+        assert_eq!(evicted.0, key(1), "protected LRU head under pressure");
+        assert_eq!((t.evicted_idle, t.evicted_pressure), (1, 1));
+        assert_eq!(t.evictions, 2);
+        // A reused slot must come back unprotected.
+        let evicted = t.insert(key(6), 6).expect("full");
+        assert_eq!(evicted.0, key(5), "new entries land on probation");
+        assert_eq!((t.evicted_idle, t.evicted_pressure), (2, 1));
+    }
+
+    #[test]
+    fn protect_is_idempotent_and_keeps_lru_order_sane() {
+        let mut t: FlowTable<u32> = FlowTable::new(4);
+        t.insert(key(1), 1);
+        t.insert(key(2), 2);
+        t.insert(key(3), 3);
+        t.protect(&key(2));
+        t.protect(&key(2));
+        // Probation order first, then protected order.
+        assert_eq!(t.lru_order(), vec![key(1), key(3), key(2)]);
+        t.get_mut(&key(1));
+        assert_eq!(t.lru_order(), vec![key(3), key(1), key(2)]);
+        t.remove(&key(2));
+        assert_eq!(t.lru_order(), vec![key(3), key(1)]);
+    }
+
+    #[test]
+    fn memory_budget_clamps_capacity_and_bounds_arena() {
+        let budget = 64 * 1024;
+        let t: FlowTable<u64> = FlowTable::with_config(FlowTableConfig {
+            capacity: 1 << 20,
+            memory_budget: Some(budget),
+        });
+        assert!(t.capacity() < 1 << 20, "budget must clamp");
+        assert!(t.capacity() >= 1, "never zero");
+        assert!(
+            t.arena_bytes() <= budget,
+            "arena {} exceeds budget {budget}",
+            t.arena_bytes()
+        );
+        // Fill past capacity: arena must not grow.
+        let mut t = t;
+        let before = t.arena_bytes();
+        for i in 0..2 * t.capacity() {
+            t.insert(key((i % 4096) as u16), i as u64);
+        }
+        assert!(t.len() <= t.capacity());
+        assert_eq!(t.arena_bytes(), before, "arenas are fixed at build");
     }
 
     #[test]

@@ -49,7 +49,8 @@ pub mod pmtud_client;
 pub mod split;
 pub mod steer;
 
-pub use flowtable::FlowTable;
+pub use flowtable::{FlowTable, FlowTableConfig};
 pub use gateway::{GatewayConfig, PxGateway};
 pub use merge::{MergeConfig, MergeEngine};
 pub use split::SplitEngine;
+pub use steer::{FlowClass, FlowClassifier, SteerConfig};

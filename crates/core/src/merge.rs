@@ -40,7 +40,8 @@
 //! The `Vec`-returning [`MergeEngine::push`]/[`MergeEngine::poll`] are
 //! thin wrappers over the sink API for tests and non-hot callers.
 
-use crate::flowtable::FlowTable;
+use crate::flowtable::{FlowTable, FlowTableConfig};
+use crate::steer::{FlowClass, FlowClassifier, SteerConfig};
 use px_faults::{hash_bytes, FaultInjector, FaultSpec, PlannedFaults};
 use px_obs::{flow_id, EventKind, ObsConfig, Recorder};
 use px_sim::nic::flow_key_of;
@@ -112,6 +113,10 @@ pub struct MergeStats {
     /// Degraded packets dropped outright because even the emergency
     /// spare buffer was unavailable — the ladder's last rung.
     pub backpressure_drops: u64,
+    /// Packets the small-flow classifier hairpinned past the merge
+    /// machinery (§3/§4.1 steering): forwarded verbatim, no flow-table
+    /// slot, no pool buffer, no merge state touched.
+    pub steered_mice_pkts: u64,
 }
 
 impl MergeStats {
@@ -201,6 +206,9 @@ pub struct MergeEngine {
     /// Whether the engine is currently in degraded (passthrough) mode —
     /// drives the `DegradeEnter`/`DegradeExit` edge events.
     degraded: bool,
+    /// Small-flow classifier (§3/§4.1). `None` disables steering: every
+    /// flow takes the merge path, exactly the historical behaviour.
+    steer: Option<FlowClassifier>,
 }
 
 impl MergeEngine {
@@ -218,6 +226,7 @@ impl MergeEngine {
             faults: PlannedFaults::off(),
             spare: Some(spare),
             degraded: false,
+            steer: None,
         }
     }
 
@@ -225,6 +234,61 @@ impl MergeEngine {
     /// injection for this engine.
     pub fn set_faults(&mut self, spec: FaultSpec) {
         self.faults = PlannedFaults::new(spec);
+    }
+
+    /// Switches small-flow steering on: mice hairpin past the merge
+    /// machinery, only elephants earn per-flow merge state. Call before
+    /// feeding traffic (the classifier starts empty).
+    pub fn enable_steer(&mut self, cfg: SteerConfig) {
+        self.steer = Some(FlowClassifier::new(cfg));
+    }
+
+    /// The classifier, when steering is enabled (counters, tracked-flow
+    /// gauge).
+    pub fn steer(&self) -> Option<&FlowClassifier> {
+        self.steer.as_ref()
+    }
+
+    /// Re-sizes the merge flow table from a [`FlowTableConfig`] (entry
+    /// ceiling + optional byte budget). Must be called before any
+    /// traffic: replacing a table with pending aggregates would leak
+    /// their pool buffers.
+    pub fn configure_table(&mut self, cfg: FlowTableConfig) {
+        debug_assert!(self.table.is_empty(), "reconfigure only while empty");
+        self.table = FlowTable::with_config(cfg);
+    }
+
+    /// Re-sizes the buffer pool's parked-buffer cap (how many recycled
+    /// buffers are kept for reuse). Large live-flow counts want this
+    /// raised to the concurrent-aggregate ceiling so the steady state
+    /// stays allocation-free. Must be called before any traffic.
+    pub fn set_pool_bufs(&mut self, max_free: usize) {
+        debug_assert_eq!(self.pool.outstanding(), 0, "resize only while idle");
+        self.pool = BufPool::for_mtu(self.cfg.imtu, max_free);
+        // Park the whole allowance up front: the first excursion to the
+        // concurrent-aggregate peak then recycles instead of allocating.
+        self.pool.prewarm(max_free);
+    }
+
+    /// Bytes reserved by this engine's flow-state arenas: the merge
+    /// table plus the classifier table when steering is on.
+    pub fn arena_bytes(&self) -> usize {
+        self.table.arena_bytes() + self.steer.as_ref().map_or(0, FlowClassifier::arena_bytes)
+    }
+
+    /// Flows currently occupying state: pending merge aggregates plus
+    /// classifier-tracked flows.
+    pub fn flows_live(&self) -> usize {
+        self.table.len() + self.steer.as_ref().map_or(0, FlowClassifier::tracked)
+    }
+
+    /// Merge-table evictions (always rescue-flushed: pressure) plus
+    /// classifier evictions split by segment.
+    pub fn eviction_counts(&self) -> (u64, u64) {
+        let idle = self.steer.as_ref().map_or(0, |s| s.evicted_idle());
+        let pressure =
+            self.table.evictions + self.steer.as_ref().map_or(0, |s| s.evicted_pressure());
+        (idle, pressure)
     }
 
     /// Caps the buffer pool's live-buffer count (see
@@ -488,6 +552,36 @@ impl MergeEngine {
             return;
         };
 
+        // Small-flow steering (§3/§4.1): mice hairpin NIC-to-NIC,
+        // forwarded verbatim without touching any merge state — no
+        // flow-table slot, no pool aggregate, no merge counters. Only
+        // elephants proceed to the merge path below.
+        if let Some(classifier) = self.steer.as_mut() {
+            let (class, evicted) = classifier.classify_with_evict(now, &key);
+            if let Some(victim) = evicted {
+                // A classifier slot was churned out (aux 1 = idle).
+                self.obs.record(
+                    EventKind::FlowEvict,
+                    now,
+                    0,
+                    flow_id(victim.src_port, victim.dst_port),
+                    1,
+                );
+            }
+            if class == FlowClass::Mouse {
+                // A demoted flow may still hold an aggregate from its
+                // elephant days: rescue-flush it first so the flow's
+                // packets never reorder across the two paths.
+                if let Some(p) = self.table.remove(&key) {
+                    self.stats.flush_order += 1;
+                    self.finalize_emit(p, sink);
+                }
+                self.stats.steered_mice_pkts += 1;
+                self.forward(pkt, sink);
+                return;
+            }
+        }
+
         let meta = match Self::classify(pkt) {
             Classified::Mergeable(meta) => meta,
             Classified::NotMergeable { checksum_ok } => {
@@ -601,12 +695,14 @@ impl MergeEngine {
             .insert_with_deadline(key, pending, now + self.cfg.hold_ns);
         if let Some((victim, p)) = evicted {
             self.stats.flush_evict += 1;
+            // aux 2 = pressure: the victim held unflushed merge bytes
+            // and was rescue-flushed below, never dropped.
             self.obs.record(
                 EventKind::FlowEvict,
                 now,
                 p.buf.len() as u32,
                 flow_id(victim.src_port, victim.dst_port),
-                0,
+                2,
             );
             self.finalize_emit(p, sink);
         }
@@ -984,6 +1080,72 @@ mod tests {
             .copied()
             .expect("DegradeEnter recorded");
         assert_eq!(enter.aux, 2, "cause = table denial");
+    }
+
+    /// Steering on, a sparse flow: every packet hairpins byte-for-byte
+    /// and no merge state is touched — no flow-table slot, no pool
+    /// aggregate, no merge counters.
+    #[test]
+    fn steering_hairpins_mice_byte_for_byte() {
+        let mut eng = MergeEngine::new(MergeConfig::default());
+        eng.enable_steer(SteerConfig::default());
+        let got: std::cell::RefCell<Vec<Vec<u8>>> = std::cell::RefCell::new(Vec::new());
+        let mut sink = |b: PacketBuf| {
+            got.borrow_mut().push(b.as_slice().to_vec());
+            Some(b)
+        };
+        let pkts: Vec<Vec<u8>> = (0..5u32).map(|i| data_pkt(5000, i * 100, 100)).collect();
+        for p in &pkts {
+            eng.push_into(0, p, &mut sink);
+        }
+        assert_eq!(*got.borrow(), pkts, "hairpin is verbatim, in order");
+        assert_eq!(eng.stats.steered_mice_pkts, 5);
+        assert_eq!(eng.stats.pkts_in, 5);
+        assert_eq!(eng.stats.data_segs_in, 0, "merge path untouched");
+        assert_eq!(eng.stats.passthrough, 0, "steering is its own counter");
+        assert_eq!(eng.stats.flush_full + eng.stats.flush_timeout, 0);
+        assert_eq!(eng.table.len(), 0, "no merge state for mice");
+        assert_eq!(eng.pool_outstanding(), 0);
+        assert_eq!(eng.flows_live(), 1, "classifier tracks the mouse");
+    }
+
+    /// Steering on, a bulk flow: the pre-threshold packets hairpin, the
+    /// rest merge — and the byte stream is conserved across both paths.
+    #[test]
+    fn steering_promotes_elephants_into_the_merge_path() {
+        let cfg = MergeConfig::default();
+        let mut eng = MergeEngine::new(cfg);
+        eng.enable_steer(SteerConfig::default()); // elephant_pkts = 8
+        let got: std::cell::RefCell<Vec<Vec<u8>>> = std::cell::RefCell::new(Vec::new());
+        let mut sink = |b: PacketBuf| {
+            got.borrow_mut().push(b.as_slice().to_vec());
+            Some(b)
+        };
+        for i in 0..12u32 {
+            eng.push_into(
+                u64::from(i) * 10,
+                &data_pkt(5000, i * 1460, 1460),
+                &mut sink,
+            );
+        }
+        eng.flush_all_into(&mut sink);
+        assert_eq!(eng.stats.steered_mice_pkts, 7, "packets 1..7 hairpinned");
+        assert_eq!(eng.stats.data_segs_in, 5, "packets 8..12 merged");
+        assert_eq!(eng.steer().unwrap().promotions, 1);
+        // Conservation across both paths: every payload byte came out.
+        let total_out: usize = total_payload(&got.borrow());
+        assert_eq!(total_out, 12 * 1460);
+        // The merged tail is one aggregate of the 5 post-promotion
+        // segments, contiguous from where the hairpin left off.
+        let got = got.borrow();
+        assert_eq!(got.len(), 8);
+        assert_eq!(got[7].len(), 40 + 5 * 1460);
+        let ip = Ipv4Packet::new_checked(&got[7][..]).unwrap();
+        assert!(ip.verify_checksum());
+        let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+        assert!(tcp.verify_checksum(ip.src(), ip.dst()));
+        assert_eq!(tcp.seq().0, 7 * 1460);
+        assert_eq!(eng.pool_outstanding(), 0);
     }
 
     /// Recycling sink: after a full drain nothing may be leaked from the

@@ -22,6 +22,8 @@
 //! with it, CPU-bound (1.45 Tbps).
 
 use crate::engine::CoreEngine;
+use crate::flowtable::FlowTableConfig;
+use crate::steer::SteerConfig;
 use px_sim::calib;
 use px_wire::ipv4::Ipv4Repr;
 use px_wire::tcp::{SeqNum, TcpFlags, TcpRepr};
@@ -78,6 +80,19 @@ pub struct PipelineConfig {
     pub hold_ns: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Small-flow steering (§3/§4.1). `None` — the Fig. 5 default —
+    /// disables the classifier entirely: every flow takes the merge
+    /// path, the historical (digest-pinned) behaviour.
+    pub steer: Option<SteerConfig>,
+    /// Per-core flow-table sizing override (entry ceiling + optional
+    /// byte budget). `None` keeps the Fig. 5 default: 64 K entries,
+    /// no budget.
+    pub flow_table: Option<FlowTableConfig>,
+    /// Parked-buffer cap for each core's output pool. 256 is the
+    /// historical default; flow-scale runs raise it toward their
+    /// concurrent-aggregate ceiling so recycling keeps the steady
+    /// state allocation-free.
+    pub pool_bufs: usize,
 }
 
 impl PipelineConfig {
@@ -102,6 +117,9 @@ impl PipelineConfig {
             // 250 µs → 98%).
             hold_ns: 130_000,
             seed: 0x000F_165A + cores as u64,
+            steer: None,
+            flow_table: None,
+            pool_bufs: 256,
         }
     }
 }
@@ -251,11 +269,7 @@ pub fn run_pipeline(cfg: PipelineConfig) -> PipelineReport {
     let rss = RssHasher::symmetric();
 
     // Per-core engines — the same construction the threaded engine uses.
-    let mut engines: Vec<CoreEngine> = (0..cfg.cores)
-        .map(|_| {
-            CoreEngine::for_variant(cfg.variant, cfg.workload, cfg.imtu, cfg.emtu, cfg.hold_ns)
-        })
-        .collect();
+    let mut engines: Vec<CoreEngine> = (0..cfg.cores).map(|_| CoreEngine::for_pipe(&cfg)).collect();
 
     let mut core_cycles = vec![0.0f64; cfg.cores];
     let mut core_bytes = vec![0u64; cfg.cores];

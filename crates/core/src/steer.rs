@@ -12,7 +12,7 @@
 //! engine (on real hardware this path never touches the CPU). Flows that
 //! cross the threshold are *elephants* and get merged.
 
-use crate::flowtable::FlowTable;
+use crate::flowtable::{FlowTable, FlowTableConfig};
 use px_wire::FlowKey;
 
 /// Classification verdict for one packet.
@@ -33,6 +33,10 @@ pub struct SteerConfig {
     pub window_ns: u64,
     /// Classifier table capacity (mice evicted first by LRU).
     pub table_capacity: usize,
+    /// Hard byte budget for the classifier's flow-state arena — the
+    /// per-core slab that tracks every live flow. `None` for entry-count
+    /// sizing only; see [`FlowTableConfig::memory_budget`].
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for SteerConfig {
@@ -41,6 +45,7 @@ impl Default for SteerConfig {
             elephant_pkts: 8,
             window_ns: 10_000_000, // 10 ms
             table_capacity: 1 << 16,
+            memory_budget: None,
         }
     }
 }
@@ -62,6 +67,10 @@ pub struct FlowClassifier {
     pub mouse_pkts: u64,
     /// Packets classified as elephant.
     pub elephant_pkts_seen: u64,
+    /// Mouse→elephant promotions (each flow promotes at most once per
+    /// window, and with the head-start hysteresis at most once ever for
+    /// a continuously busy flow).
+    pub promotions: u64,
 }
 
 impl FlowClassifier {
@@ -69,9 +78,13 @@ impl FlowClassifier {
     pub fn new(cfg: SteerConfig) -> Self {
         FlowClassifier {
             cfg,
-            table: FlowTable::new(cfg.table_capacity),
+            table: FlowTable::with_config(FlowTableConfig {
+                capacity: cfg.table_capacity,
+                memory_budget: cfg.memory_budget,
+            }),
             mouse_pkts: 0,
             elephant_pkts_seen: 0,
+            promotions: 0,
         }
     }
 
@@ -81,6 +94,16 @@ impl FlowClassifier {
     /// which it earned it (hysteresis: flapping between classes would
     /// reorder its packets between the merge and hairpin paths).
     pub fn classify(&mut self, now: u64, key: &FlowKey) -> FlowClass {
+        self.classify_with_evict(now, key).0
+    }
+
+    /// Like [`classify`](Self::classify), additionally returning the
+    /// flow the classifier table had to evict to track `key`, so the
+    /// caller can surface the eviction (observability, counters).
+    /// Promoted elephants are moved to the table's protected LRU
+    /// segment, so under arrival churn the victim is always the
+    /// longest-idle *mouse* while any remains.
+    pub fn classify_with_evict(&mut self, now: u64, key: &FlowKey) -> (FlowClass, Option<FlowKey>) {
         let cfg = self.cfg;
         if let Some(c) = self.table.get_mut(key) {
             if now.saturating_sub(c.window_start) >= cfg.window_ns {
@@ -91,7 +114,8 @@ impl FlowClassifier {
                 c.elephant = c.pkts >= cfg.elephant_pkts;
             }
             c.pkts = c.pkts.saturating_add(1);
-            if c.pkts >= cfg.elephant_pkts {
+            let promoted = !c.elephant && c.pkts >= cfg.elephant_pkts;
+            if promoted {
                 c.elephant = true;
             }
             let verdict = if c.elephant {
@@ -99,27 +123,49 @@ impl FlowClassifier {
             } else {
                 FlowClass::Mouse
             };
+            if promoted {
+                self.promotions += 1;
+                self.table.protect(key);
+            }
             match verdict {
                 FlowClass::Mouse => self.mouse_pkts += 1,
                 FlowClass::Elephant => self.elephant_pkts_seen += 1,
             }
-            return verdict;
+            return (verdict, None);
         }
-        self.table.insert(
-            *key,
-            FlowCounter {
-                pkts: 1,
-                window_start: now,
-                elephant: false,
-            },
-        );
+        let evicted = self
+            .table
+            .insert(
+                *key,
+                FlowCounter {
+                    pkts: 1,
+                    window_start: now,
+                    elephant: false,
+                },
+            )
+            .map(|(k, _)| k);
         self.mouse_pkts += 1;
-        FlowClass::Mouse
+        (FlowClass::Mouse, evicted)
     }
 
     /// Number of tracked flows.
     pub fn tracked(&self) -> usize {
         self.table.len()
+    }
+
+    /// Classifier-table evictions that hit an idle (probation) flow.
+    pub fn evicted_idle(&self) -> u64 {
+        self.table.evicted_idle
+    }
+
+    /// Classifier-table evictions forced onto a protected elephant.
+    pub fn evicted_pressure(&self) -> u64 {
+        self.table.evicted_pressure
+    }
+
+    /// Bytes reserved by the classifier's flow-state arena.
+    pub fn arena_bytes(&self) -> usize {
+        self.table.arena_bytes()
     }
 }
 
@@ -198,5 +244,89 @@ mod tests {
         assert_eq!(c.classify(100, &key(2)), FlowClass::Mouse);
         assert_eq!(c.classify(101, &key(1)), FlowClass::Elephant);
         assert_eq!(c.tracked(), 2);
+    }
+
+    #[test]
+    fn promotion_happens_exactly_once_for_a_busy_flow() {
+        let cfg = SteerConfig {
+            window_ns: 1000,
+            elephant_pkts: 4,
+            ..Default::default()
+        };
+        let mut c = FlowClassifier::new(cfg);
+        // Ten windows of sustained traffic: the threshold crossing in
+        // window 0 is the only promotion — the head-start hysteresis
+        // keeps the flow an elephant in every later window, so the
+        // mouse→elephant edge never fires again.
+        for w in 0..10u64 {
+            for i in 0..8u64 {
+                c.classify(w * 1000 + i, &key(1));
+            }
+        }
+        assert_eq!(c.promotions, 1);
+        assert_eq!(c.mouse_pkts, 3, "only the pre-threshold packets");
+        assert_eq!(c.elephant_pkts_seen, 77);
+    }
+
+    #[test]
+    fn churn_evicts_idle_mice_before_active_elephants() {
+        let cfg = SteerConfig {
+            table_capacity: 8,
+            ..Default::default()
+        };
+        let mut c = FlowClassifier::new(cfg);
+        // Two elephants earn protection...
+        for f in [1u16, 2] {
+            for i in 0..10 {
+                c.classify(i, &key(f));
+            }
+        }
+        // ...then a storm of one-packet mice churns the table.
+        let mut evictions = Vec::new();
+        for m in 100..200u16 {
+            let (class, evicted) = c.classify_with_evict(1000 + u64::from(m), &key(m));
+            assert_eq!(class, FlowClass::Mouse);
+            if let Some(victim) = evicted {
+                evictions.push(victim);
+            }
+        }
+        assert!(!evictions.is_empty(), "the storm must evict");
+        assert!(
+            !evictions.contains(&key(1)) && !evictions.contains(&key(2)),
+            "elephants survived the mouse storm"
+        );
+        assert_eq!(c.evicted_pressure(), 0);
+        assert_eq!(c.evicted_idle(), evictions.len() as u64);
+        // The elephants still classify as elephants afterwards.
+        assert_eq!(c.classify(5000, &key(1)), FlowClass::Elephant);
+        assert_eq!(c.classify(5001, &key(2)), FlowClass::Elephant);
+    }
+
+    #[test]
+    fn classification_is_deterministic_per_input() {
+        let cfg = SteerConfig {
+            table_capacity: 16,
+            ..Default::default()
+        };
+        let mut a = FlowClassifier::new(cfg);
+        let mut b = FlowClassifier::new(cfg);
+        // A pseudo-random interleaving over 64 flows with a 16-entry
+        // table: evictions and re-inserts included, the verdict
+        // sequence is a pure function of the input sequence.
+        let mut x: u64 = 0x1234_5678_9abc_def0;
+        for step in 0..5000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = key((x % 64) as u16);
+            let now = step * 997;
+            assert_eq!(
+                a.classify_with_evict(now, &k),
+                b.classify_with_evict(now, &k),
+                "step {step}"
+            );
+        }
+        assert_eq!(a.tracked(), b.tracked());
+        assert_eq!(a.promotions, b.promotions);
     }
 }

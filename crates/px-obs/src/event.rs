@@ -26,8 +26,11 @@ pub enum EventKind {
     /// A packet was dropped as malformed (corrupt bundle, unparsable
     /// oversize packet, failed header emit).
     DropMalformed = 4,
-    /// A flow-table insertion evicted the LRU victim; the victim's
-    /// aggregate was flushed. `flow` identifies the *victim*.
+    /// A flow-table insertion evicted the LRU victim. `flow` identifies
+    /// the *victim*; `aux` is the eviction reason: 1 = idle (a
+    /// classifier slot churned out, nothing pending), 2 = pressure (the
+    /// victim held unflushed merge/bundle bytes and was rescue-flushed,
+    /// never dropped).
     FlowEvict = 5,
     /// A worker finished one batch. `len` = packets in the batch, `ts` =
     /// the last packet's logical arrival. The batch's wall time goes to

@@ -7,6 +7,9 @@
 //!   of §5) and harvest their statistics;
 //! * [`flows`] — flow-size distributions (heavy-tailed mice/elephants)
 //!   for the steering experiments;
+//! * [`internet`] — the seeded, streaming internet-traffic model
+//!   (Zipf-tailed sizes, mice/elephant split, bursty on/off sources,
+//!   identity churn) for the million-flow scale experiments;
 //! * [`axel`] — the Table 1 comparison: server-side CPU of one jumbo-MTU
 //!   connection vs. six parallel legacy-MTU connections per download
 //!   session (what the `axel` download accelerator does);
@@ -19,8 +22,10 @@
 pub mod axel;
 pub mod cpuacct;
 pub mod flows;
+pub mod internet;
 pub mod iperf;
 
 pub use axel::{axel_cpu_pct, AxelConfig};
 pub use flows::FlowSizeDist;
+pub use internet::{is_elephant, InternetConfig, InternetModel};
 pub use iperf::{IperfPair, IperfReport};

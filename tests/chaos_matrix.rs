@@ -31,11 +31,16 @@
 //! 500, the full matrix is `CHAOS_SEEDS=10000 cargo test --test
 //! chaos_matrix`).
 
-use packet_express::core::engine::{run_engine, EngineConfig, EngineMode, EngineReport};
+use packet_express::core::engine::{
+    run_engine, run_engine_on_trace, EngineConfig, EngineMode, EngineReport,
+};
 use packet_express::core::pipeline::{PipelineConfig, SystemVariant, WorkloadKind};
+use packet_express::core::{FlowTableConfig, SteerConfig};
 use packet_express::faults::FaultSpec;
 use packet_express::wire::caravan::split_bundle;
 use packet_express::wire::ipv4::CARAVAN_TOS;
+use packet_express::wire::FlowKey;
+use packet_express::workload::internet::{InternetConfig, InternetModel};
 use std::collections::BTreeMap;
 
 const TRACE_PKTS: u64 = 2_000;
@@ -218,10 +223,16 @@ fn digest_of(report: &EngineReport) -> u64 {
 /// Input-side conservation: the engine must account for every packet
 /// the faulted trace contains — no more, no fewer.
 fn assert_conservation(r: &EngineReport, seed: u64, cores: usize) {
+    assert_conservation_of(r, TRACE_PKTS, seed, cores);
+}
+
+/// Same contract, parameterised over the trace length so externally
+/// generated traces (the internet-churn dimension) share the gate.
+fn assert_conservation_of(r: &EngineReport, trace_pkts: u64, seed: u64, cores: usize) {
     let f = &r.ingress_faults;
     assert_eq!(
         r.totals.pkts_in,
-        TRACE_PKTS - f.dropped + f.duplicated,
+        trace_pkts - f.dropped + f.duplicated,
         "seed {seed} cores {cores}: ingress accounting broken ({f:?})"
     );
     // Output-side: every emitted packet was captured (the digest sees
@@ -283,6 +294,79 @@ fn chaos_matrix_streams_identical_across_core_counts() {
     assert!(ingress_faults_seen > 0, "no ingress faults fired");
     assert!(restarts_seen > 0, "no worker restarts exercised");
     assert!(degraded_seen > 0, "no degraded forwarding exercised");
+}
+
+/// The churn dimension: the same fault schedules, but over traffic
+/// from the internet model instead of the uniform trace generator —
+/// a 100k-flow ring with Zipf elephants, mice, and flow churn, fed
+/// through deliberately under-provisioned tables so both eviction
+/// paths (idle mice from probation, pressure evictions with rescue
+/// flush) fire *while* workers are being killed and buffers corrupted.
+/// Conservation, digest parity across core counts, and the pool-drain
+/// leak asserts are exactly the gates the plain matrix enforces.
+const CHURN_TRACE_PKTS: usize = 4_000;
+const CHURN_FLOWS: usize = 100_000;
+
+fn churn_trace(seed: u64) -> Vec<(FlowKey, Vec<u8>)> {
+    let mut model = InternetModel::new(InternetConfig::sized(CHURN_FLOWS, 0xC4A0_6000 ^ seed));
+    model.generate_trace(CHURN_TRACE_PKTS)
+}
+
+fn churn_run(cores: usize, seed: u64, trace: Vec<(FlowKey, Vec<u8>)>) -> EngineReport {
+    let mut pipe = PipelineConfig::fig5(SystemVariant::Px, WorkloadKind::Tcp, cores);
+    // Tables far smaller than the flow population: the classifier must
+    // recycle entries (idle-mouse preference) and the merge table must
+    // rescue-flush pending aggregates under pressure, mid-fault.
+    pipe.steer = Some(SteerConfig {
+        table_capacity: 256,
+        ..SteerConfig::default()
+    });
+    pipe.flow_table = Some(FlowTableConfig::with_capacity(16));
+    let mut cfg = EngineConfig::new(pipe, EngineMode::Deterministic);
+    cfg.faults = FaultSpec::chaos(seed);
+    cfg.capture_output = true;
+    run_engine_on_trace(cfg, trace)
+}
+
+#[test]
+fn chaos_matrix_survives_internet_churn() {
+    let seeds = seed_count().min(4);
+    let mut ingress_faults_seen = 0u64;
+    let mut idle_evictions = 0u64;
+    let mut pressure_evictions = 0u64;
+    let mut steered_mice = 0u64;
+    for seed in 0..seeds {
+        let trace = churn_trace(seed);
+        let mut reference: Option<u64> = None;
+        for cores in CORE_COUNTS {
+            let r = churn_run(cores, seed, trace.clone());
+            assert_conservation_of(&r, CHURN_TRACE_PKTS as u64, seed, cores);
+            ingress_faults_seen += r.ingress_faults.total();
+            idle_evictions += r.totals.flows_evicted_idle;
+            pressure_evictions += r.totals.flows_evicted_pressure;
+            steered_mice += r.totals.steered_mice_pkts;
+            let digest = digest_of(&r);
+            match reference {
+                None => reference = Some(digest),
+                Some(want) => assert_eq!(
+                    digest, want,
+                    "seed {seed}: churn stream digest diverged at {cores} cores \
+                     (faults {:?}, evictions idle {} / pressure {})",
+                    r.ingress_faults, r.totals.flows_evicted_idle, r.totals.flows_evicted_pressure
+                ),
+            }
+        }
+    }
+    // The dimension must actually exercise what it claims to: faults
+    // fired, the classifier recycled idle mice, the merge table hit
+    // pressure and rescue-flushed, and mice hairpinned past merging.
+    assert!(ingress_faults_seen > 0, "no ingress faults fired");
+    assert!(
+        idle_evictions > 0,
+        "classifier never recycled an idle mouse"
+    );
+    assert!(pressure_evictions > 0, "merge table never hit pressure");
+    assert!(steered_mice > 0, "no mice hairpinned past the merge path");
 }
 
 /// One schedule, replayed: the entire report — captured packets

@@ -1,0 +1,316 @@
+//! Adversarial churn proptests for the PXGW flow table.
+//!
+//! A reference "clock model" — the naive structure the optimised slab /
+//! intrusive-LRU / lazy-heap implementation replaced — is driven in
+//! lockstep with the real table through arbitrary interleavings of
+//! inserts, lookups, protects, removes, deadline expiries, and time
+//! advances. Three properties are enforced at every step:
+//!
+//! 1. **Bounded occupancy** — the table never exceeds its configured
+//!    capacity, whatever the interleaving.
+//! 2. **No silent loss** — every value (standing in for unflushed merge
+//!    state) that enters the table leaves it exactly once, through a
+//!    return path the caller can rescue-flush: the eviction return of
+//!    `insert`, `remove`, `pop_expired`, or the final `drain`.
+//! 3. **Model equivalence** — eviction victims, segment membership, LRU
+//!    order, expiry order, and the idle/pressure counters all match the
+//!    clock-model reference.
+
+use packet_express::core::{FlowTable, FlowTableConfig};
+use packet_express::wire::FlowKey;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Small capacity against a larger key universe: most inserts during a
+/// run happen at capacity, so eviction logic is exercised constantly.
+const CAPACITY: usize = 8;
+const KEYS: u16 = 24;
+
+fn key(i: u16) -> FlowKey {
+    FlowKey::tcp(
+        Ipv4Addr::new(10, 0, (i >> 8) as u8, (i & 0xff) as u8),
+        40_000 + i,
+        Ipv4Addr::new(10, 99, 0, 1),
+        5201,
+    )
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Insert key `k`; when `armed`, with a deadline `delay` ticks out.
+    Insert { k: u16, armed: bool, delay: u16 },
+    /// `get_mut` (an LRU touch on hit).
+    Get { k: u16 },
+    /// Promote to the protected segment.
+    Protect { k: u16 },
+    /// Explicit removal.
+    Remove { k: u16 },
+    /// Drain one expired entry at the current clock.
+    PopExpired,
+    /// Advance the clock.
+    Advance { dt: u16 },
+}
+
+/// Decodes one generated tuple into an operation. The selector field
+/// weights the mix: inserts dominate (they drive churn), lookups are
+/// frequent, and structural ops (protect / remove / expiry / time) each
+/// get a steady share.
+fn decode(sel: u8, k: u16, delay: u16, dt: u16) -> Op {
+    match sel {
+        0..=3 => Op::Insert {
+            k,
+            armed: sel.is_multiple_of(2),
+            delay,
+        },
+        4..=6 => Op::Get { k },
+        7 => Op::Protect { k },
+        8 => Op::Remove { k },
+        9..=10 => Op::PopExpired,
+        _ => Op::Advance { dt },
+    }
+}
+
+/// The naive reference: a flat map plus a logical touch clock. Recency
+/// is a per-entry counter bumped from a global clock on every touching
+/// operation, so recency ties are impossible and the eviction victim is
+/// always unique.
+#[derive(Debug, Clone, Copy)]
+struct ModelEntry {
+    token: u64,
+    deadline: Option<u64>,
+    protected: bool,
+    touched: u64,
+}
+
+#[derive(Default)]
+struct Model {
+    entries: HashMap<u16, ModelEntry>,
+    clock: u64,
+    evicted_idle: u64,
+    evicted_pressure: u64,
+}
+
+impl Model {
+    fn bump(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// The eviction victim the segmented LRU must pick: the least
+    /// recently touched probation entry, or — only when no probation
+    /// entry exists — the least recently touched protected one.
+    fn victim(&self) -> u16 {
+        let seg = |protected: bool| {
+            self.entries
+                .iter()
+                .filter(move |(_, e)| e.protected == protected)
+                .min_by_key(|(_, e)| e.touched)
+                .map(|(&k, _)| k)
+        };
+        seg(false)
+            .or_else(|| seg(true))
+            .expect("victim in non-empty table")
+    }
+
+    /// Mirrors `FlowTable::insert_with_deadline`; returns the rescue
+    /// return the real table must produce.
+    fn insert(&mut self, k: u16, token: u64, deadline: Option<u64>) -> Option<(u16, u64)> {
+        let touched = self.bump();
+        if let Some(e) = self.entries.get_mut(&k) {
+            let rescued_nothing = None;
+            *e = ModelEntry {
+                token,
+                deadline,
+                protected: e.protected,
+                touched,
+            };
+            return rescued_nothing;
+        }
+        let evicted = if self.entries.len() >= CAPACITY {
+            let v = self.victim();
+            let e = self.entries.remove(&v).expect("victim is live");
+            if e.protected {
+                self.evicted_pressure += 1;
+            } else {
+                self.evicted_idle += 1;
+            }
+            Some((v, e.token))
+        } else {
+            None
+        };
+        self.entries.insert(
+            k,
+            ModelEntry {
+                token,
+                deadline,
+                protected: false,
+                touched,
+            },
+        );
+        evicted
+    }
+
+    /// The key(s) holding the minimum armed deadline `<= now`. Deadline
+    /// ties are possible (two arms can land on the same tick), and the
+    /// real table breaks them by slot index — an implementation detail —
+    /// so expiry checks accept any minimal candidate and then sync.
+    fn expirable(&self, now: u64) -> Vec<u16> {
+        let due = self
+            .entries
+            .values()
+            .filter_map(|e| e.deadline)
+            .filter(|&d| d <= now)
+            .min();
+        match due {
+            None => Vec::new(),
+            Some(min) => self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.deadline == Some(min))
+                .map(|(&k, _)| k)
+                .collect(),
+        }
+    }
+
+    /// Eviction order the segmented LRU must report: probation entries
+    /// oldest-first, then protected entries oldest-first.
+    fn lru_order(&self) -> Vec<FlowKey> {
+        let seg = |protected: bool| {
+            let mut v: Vec<(u64, u16)> = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.protected == protected)
+                .map(|(&k, e)| (e.touched, k))
+                .collect();
+            v.sort_unstable();
+            v.into_iter().map(|(_, k)| key(k))
+        };
+        seg(false).chain(seg(true)).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Drive table and clock model through an adversarial interleaving
+    /// and demand step-by-step equivalence plus end-to-end conservation
+    /// of every stored value.
+    #[test]
+    fn flow_table_survives_adversarial_churn(
+        raw in proptest::collection::vec((0u8..13, 0..KEYS, 1..64u16, 1..48u16), 1..300),
+    ) {
+        let mut table: FlowTable<u64> = FlowTable::with_config(FlowTableConfig::with_capacity(CAPACITY));
+        let mut model = Model::default();
+        let mut now = 0u64;
+        let mut next_token = 0u64;
+        let mut issued = 0u64;
+        // Every token that left the table through a rescuable path.
+        let mut returned: Vec<u64> = Vec::new();
+        // Tokens the *caller* overwrote via insert-replace — the one
+        // legitimate way state leaves without a rescue return.
+        let mut clobbered: Vec<u64> = Vec::new();
+
+        for (sel, k, delay, dt) in raw {
+            match decode(sel, k, delay, dt) {
+                Op::Insert { k, armed, delay } => {
+                    let token = next_token;
+                    next_token += 1;
+                    issued += 1;
+                    if let Some(old) = model.entries.get(&k) {
+                        clobbered.push(old.token);
+                    }
+                    let deadline = armed.then(|| now + u64::from(delay));
+                    let want = model.insert(k, token, deadline);
+                    let got = match deadline {
+                        Some(d) => table.insert_with_deadline(key(k), token, d),
+                        None => table.insert(key(k), token),
+                    };
+                    let want_k = want.map(|(vk, v)| (key(vk), v));
+                    prop_assert_eq!(got, want_k, "eviction mismatch on insert of {}", k);
+                    if let Some((_, v)) = want {
+                        returned.push(v);
+                    }
+                }
+                Op::Get { k } => {
+                    let want = model.entries.get(&k).map(|e| e.token);
+                    if want.is_some() {
+                        // A hit is an LRU touch in both worlds.
+                        let t = model.bump();
+                        model.entries.get_mut(&k).expect("hit").touched = t;
+                    }
+                    prop_assert_eq!(table.get_mut(&key(k)).copied(), want);
+                }
+                Op::Protect { k } => {
+                    let want = model.entries.contains_key(&k);
+                    if model.entries.get(&k).is_some_and(|e| !e.protected) {
+                        // Promotion re-links at the MRU end of the
+                        // protected segment.
+                        let t = model.bump();
+                        let e = model.entries.get_mut(&k).expect("checked above");
+                        e.protected = true;
+                        e.touched = t;
+                    }
+                    prop_assert_eq!(table.protect(&key(k)), want);
+                }
+                Op::Remove { k } => {
+                    let want = model.entries.remove(&k).map(|e| e.token);
+                    prop_assert_eq!(table.remove(&key(k)), want);
+                    if let Some(v) = want {
+                        returned.push(v);
+                    }
+                }
+                Op::PopExpired => {
+                    let candidates = model.expirable(now);
+                    match table.pop_expired(now) {
+                        None => prop_assert!(
+                            candidates.is_empty(),
+                            "table says nothing expired at {} but model has {:?}",
+                            now, candidates
+                        ),
+                        Some((fk, v)) => {
+                            let k = candidates
+                                .iter()
+                                .copied()
+                                .find(|&c| key(c) == fk);
+                            prop_assert!(
+                                k.is_some(),
+                                "popped {:?} not among minimal-deadline candidates {:?}",
+                                fk, candidates
+                            );
+                            let k = k.expect("checked above");
+                            let e = model.entries.remove(&k).expect("candidate is live");
+                            prop_assert_eq!(v, e.token);
+                            returned.push(v);
+                        }
+                    }
+                }
+                Op::Advance { dt } => now += u64::from(dt),
+            }
+
+            // Invariants that must hold after *every* operation.
+            prop_assert!(table.len() <= CAPACITY, "capacity exceeded: {}", table.len());
+            prop_assert_eq!(table.len(), model.entries.len());
+            prop_assert_eq!(table.evicted_idle, model.evicted_idle);
+            prop_assert_eq!(table.evicted_pressure, model.evicted_pressure);
+            prop_assert_eq!(table.lru_order(), model.lru_order());
+        }
+
+        // Conservation: drain what remains; every issued token must have
+        // left the table exactly once — via an eviction return, an
+        // explicit remove, an expiry pop, or this final drain. Nothing
+        // is silently dropped, nothing is duplicated.
+        for (fk, v) in table.drain() {
+            let k = (0..KEYS).find(|&i| key(i) == fk).expect("key from our universe");
+            let e = model.entries.remove(&k).expect("drained entry is live in model");
+            prop_assert_eq!(v, e.token);
+            returned.push(v);
+        }
+        prop_assert!(model.entries.is_empty(), "model retained {:?}", model.entries.keys());
+        returned.extend_from_slice(&clobbered);
+        returned.sort_unstable();
+        let unique = returned.windows(2).all(|w| w[0] != w[1]);
+        prop_assert!(unique, "a value left the table twice");
+        prop_assert_eq!(returned.len() as u64, issued, "values lost without a rescue path");
+    }
+}

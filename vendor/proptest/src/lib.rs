@@ -290,6 +290,33 @@ impl_tuple_strategy! {
     (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
 }
 
+// Tuples of strategies are also plain strategies yielding tuples (real
+// proptest behaves the same), so a tuple can serve as the element of
+// `collection::vec` — e.g. a vector of (selector, operand) op codes for
+// state-machine style tests. Shrinking reuses the componentwise
+// `shrink_once`.
+macro_rules! impl_tuple_as_strategy {
+    ($(($($S:ident),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = <Self as TupleStrategy>::Value;
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                TupleStrategy::generate(self, rng)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                self.shrink_once(value)
+            }
+        }
+    )*};
+}
+
+impl_tuple_as_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
 /// The case runner behind [`proptest!`].
 pub mod runner {
     use super::*;
