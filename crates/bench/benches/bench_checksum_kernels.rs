@@ -1,0 +1,36 @@
+//! Criterion bench for the checksum kernel matrix: every
+//! [`px_wire::checksum::Kernel`] over the buffer shapes the datapath
+//! actually sums — TCP wire-MTU payloads, jumbo payloads, and the short
+//! header slices the scatter-gather splitter checksums separately.
+//!
+//! Unavailable kernels (e.g. AVX2 on a non-AVX2 host) are skipped so
+//! the reported matrix never silently benchmarks a fallback.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use px_wire::checksum::{ones_complement_sum_with, Kernel};
+
+fn bench_checksum_kernels(c: &mut Criterion) {
+    for (label, len) in [
+        ("tcp_header_20B", 20usize),
+        ("mtu_payload_1460B", 1460),
+        ("jumbo_payload_8960B", 8960),
+    ] {
+        let mut g = c.benchmark_group(format!("checksum_{label}"));
+        let data: Vec<u8> = (0..len as u32)
+            .map(|i| (i.wrapping_mul(151) >> 1) as u8)
+            .collect();
+        g.throughput(Throughput::Bytes(len as u64));
+        for k in Kernel::ALL {
+            if !k.available() {
+                continue;
+            }
+            g.bench_with_input(BenchmarkId::from_parameter(k.name()), &k, |b, &k| {
+                b.iter(|| ones_complement_sum_with(k, std::hint::black_box(&data)))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_checksum_kernels);
+criterion_main!(benches);

@@ -1,23 +1,41 @@
 //! Criterion bench for the real threaded engine: forwarded bytes/sec of
-//! the Parallel-mode PXGW datapath as worker threads sweep 1 → 8.
+//! the Parallel-mode PXGW datapath as worker threads sweep 1 → 8, plus
+//! the PR-7 single-core before/after pair.
 //!
 //! Throughput is reported in input bytes, so the per-core scaling curve
 //! is directly comparable to the modeled Fig. 5a CPU-bound line (minus
 //! this host's thread/channel overheads, which are the point of
 //! measuring).
+//!
+//! The scaling sweep runs the tuned datapath (auto checksum kernel,
+//! batch-front parsing, digests off — digests are the correctness
+//! harness, not the datapath; see `EngineConfig::digests`). The
+//! `single_core_before/after` pair reproduces what this bench measured
+//! at PR 6 (u64 kernel, per-packet parsing, digests on) next to the
+//! tuned shape, so the recorded speedup is the bench's own
+//! before/after, not a synthetic microbenchmark.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use px_core::engine::{run_engine, EngineConfig, EngineMode};
 use px_core::pipeline::{PipelineConfig, SystemVariant, WorkloadKind};
+use px_wire::checksum::{self, Kernel};
 
 const TRACE_PKTS: usize = 20_000;
 const N_FLOWS: usize = 200;
 
-fn bench_cfg(workload: WorkloadKind, cores: usize) -> EngineConfig {
+fn bench_cfg(
+    workload: WorkloadKind,
+    cores: usize,
+    digests: bool,
+    batch_parse: bool,
+) -> EngineConfig {
     let mut pipe = PipelineConfig::fig5(SystemVariant::Px, workload, cores);
     pipe.trace_pkts = TRACE_PKTS;
     pipe.n_flows = N_FLOWS;
-    EngineConfig::new(pipe, EngineMode::Parallel)
+    let mut cfg = EngineConfig::new(pipe, EngineMode::Parallel);
+    cfg.digests = digests;
+    cfg.batch_parse = batch_parse;
+    cfg
 }
 
 fn bench_engine_scaling(c: &mut Criterion) {
@@ -30,7 +48,9 @@ fn bench_engine_scaling(c: &mut Criterion) {
         for cores in [1usize, 2, 4, 8] {
             g.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, &cores| {
                 b.iter(|| {
-                    let rep = run_engine(std::hint::black_box(bench_cfg(workload, cores)));
+                    let rep = run_engine(std::hint::black_box(bench_cfg(
+                        workload, cores, false, true,
+                    )));
                     assert_eq!(rep.totals.pkts_in, TRACE_PKTS as u64);
                     rep.throughput_bps
                 });
@@ -40,5 +60,41 @@ fn bench_engine_scaling(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_engine_scaling);
+fn bench_single_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_single_core");
+    g.sample_size(10);
+    let emtu = px_wire::LEGACY_MTU as u64;
+    g.throughput(Throughput::Bytes(TRACE_PKTS as u64 * emtu));
+    // PR-6 shape: u64 kernel, per-packet parsing, per-flow digests.
+    g.bench_function("before_u64_perpkt_digests", |b| {
+        checksum::force_kernel(Some(Kernel::U64));
+        b.iter(|| {
+            let rep = run_engine(std::hint::black_box(bench_cfg(
+                WorkloadKind::Tcp,
+                1,
+                true,
+                false,
+            )));
+            assert_eq!(rep.totals.pkts_in, TRACE_PKTS as u64);
+            rep.throughput_bps
+        });
+        checksum::force_kernel(None);
+    });
+    // PR-7 shape: best SIMD kernel, batch-front parsing, digests off.
+    g.bench_function("after_simd_batch", |b| {
+        b.iter(|| {
+            let rep = run_engine(std::hint::black_box(bench_cfg(
+                WorkloadKind::Tcp,
+                1,
+                false,
+                true,
+            )));
+            assert_eq!(rep.totals.pkts_in, TRACE_PKTS as u64);
+            rep.throughput_bps
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_scaling, bench_single_core);
 criterion_main!(benches);

@@ -56,9 +56,18 @@ fn run_json(scale: Scale) -> String {
     let hot = px_bench::json_report::measure_hot_loops(scale, allocs_so_far);
     let engine = px_bench::json_report::measure_engine(scale);
     let flow_scale = px_bench::flow_scale::run(scale);
+    let single_core = px_bench::single_core::run(scale);
     let obs = px_bench::json_report::measure_observability(scale);
     let robust = px_bench::json_report::measure_robustness(scale);
-    let json = px_bench::json_report::render(scale, &hot, &engine, &flow_scale, &obs, &robust);
+    let json = px_bench::json_report::render(
+        scale,
+        &hot,
+        &engine,
+        &flow_scale,
+        &single_core,
+        &obs,
+        &robust,
+    );
     let path = "BENCH_engine.json";
     std::fs::write(path, &json).expect("write BENCH_engine.json");
     format!("{json}  [written to {path}]")
@@ -68,7 +77,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "figures — regenerate the paper's tables and figures\n\n             USAGE: figures [--quick] [EXPERIMENT ...]\n\n             EXPERIMENTS:\n               fig1a    5G UPF throughput vs MTU\n               fig1b    single-flow RX offload matrix\n               fig1c    RX throughput vs concurrent flows\n               fig1d    WAN single-flow TCP (full simulation)\n               table1   server CPU: 1x9000B vs 6x1500B connections\n               fig5a    PXGW TCP throughput / conversion yield\n               fig5b    PXGW UDP (PX-caravan)\n               fig5c    b-network receiver throughput\n               engine   modeled PXGW vs real threaded datapath\n               json     machine-readable engine + hot-path record (writes BENCH_engine.json)\n               metrics  Prometheus/JSON metrics export from a live engine run (--format prometheus|json)\n               sender   §5.2 sender-only upgrade over the WAN\n               fpmtud   §5.3 F-PMTUD vs PLPMTUD pairwise probing\n               survey   §5.3 fragment-delivery survey\n               fairness extension: MTU-mix bottleneck sharing (§6)\n               summary  every headline number, paper vs measured\n\n             With no experiment names, everything runs. --quick shrinks\n             workloads for CI."
+            "figures — regenerate the paper's tables and figures\n\n             USAGE: figures [--quick] [EXPERIMENT ...]\n\n             EXPERIMENTS:\n               fig1a    5G UPF throughput vs MTU\n               fig1b    single-flow RX offload matrix\n               fig1c    RX throughput vs concurrent flows\n               fig1d    WAN single-flow TCP (full simulation)\n               table1   server CPU: 1x9000B vs 6x1500B connections\n               fig5a    PXGW TCP throughput / conversion yield\n               fig5b    PXGW UDP (PX-caravan)\n               fig5c    b-network receiver throughput\n               engine   modeled PXGW vs real threaded datapath\n               single_core  checksum kernels, batch parse, SG split (1-core raw speed)\n               json     machine-readable engine + hot-path record (writes BENCH_engine.json)\n               metrics  Prometheus/JSON metrics export from a live engine run (--format prometheus|json)\n               sender   §5.2 sender-only upgrade over the WAN\n               fpmtud   §5.3 F-PMTUD vs PLPMTUD pairwise probing\n               survey   §5.3 fragment-delivery survey\n               fairness extension: MTU-mix bottleneck sharing (§6)\n               summary  every headline number, paper vs measured\n\n             With no experiment names, everything runs. --quick shrinks\n             workloads for CI."
         );
         return;
     }
@@ -98,8 +107,21 @@ fn main() {
     }
     let selected = positional;
     let all = [
-        "fig1a", "fig1b", "fig1c", "fig1d", "table1", "fig5a", "fig5b", "fig5c", "engine",
-        "sender", "fpmtud", "survey", "fairness", "summary",
+        "fig1a",
+        "fig1b",
+        "fig1c",
+        "fig1d",
+        "table1",
+        "fig5a",
+        "fig5b",
+        "fig5c",
+        "engine",
+        "single_core",
+        "sender",
+        "fpmtud",
+        "survey",
+        "fairness",
+        "summary",
     ];
     let run_list: Vec<&str> = if selected.is_empty() {
         all.to_vec()
@@ -123,6 +145,7 @@ fn main() {
                 px_bench::fig5c::render(&rows, &udp)
             }
             "engine" => px_bench::engine_cmp::render(&px_bench::engine_cmp::run(scale)),
+            "single_core" => px_bench::single_core::render(&px_bench::single_core::run(scale)),
             "json" => run_json(scale),
             "metrics" => px_bench::metrics::render(&px_bench::metrics::run(scale), format),
             "sender" => px_bench::sender::render(&px_bench::sender::run(scale)),

@@ -432,6 +432,7 @@ pub fn render(
     hot: &[HotLoopAllocs],
     engine: &[EngineRow],
     flow_scale: &[crate::flow_scale::FlowScaleRow],
+    single_core: &crate::single_core::SingleCore,
     obs: &ObsOverhead,
     robust: &Robustness,
 ) -> String {
@@ -493,6 +494,56 @@ pub fn render(
         ));
     }
     s.push_str("  ],\n");
+    s.push_str("  \"single_core_speed\": {\n");
+    s.push_str("    \"checksum_kernels\": [\n");
+    for (i, k) in single_core.kernels.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"kernel\": \"{}\", \"available\": {}, \"mib_s_mtu\": {:.0}, \"mib_s_jumbo\": {:.0}}}{}\n",
+            k.kernel,
+            k.available,
+            k.mib_s_mtu,
+            k.mib_s_jumbo,
+            if i + 1 < single_core.kernels.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("    ],\n");
+    s.push_str("    \"engine_1core\": [\n");
+    for (i, r) in single_core.engine.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"kernel\": \"{}\", \"batch_parse\": {}, \"throughput_bps\": {:.0}}}{}\n",
+            r.kernel,
+            r.batch_parse,
+            r.throughput_bps,
+            if i + 1 < single_core.engine.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("    ],\n");
+    s.push_str("    \"split_emission\": [\n");
+    for (i, r) in single_core.split.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"mode\": \"{}\", \"mib_s\": {:.0}}}{}\n",
+            r.mode,
+            r.mib_s,
+            if i + 1 < single_core.split.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("    ],\n");
+    s.push_str(&format!(
+        "    \"before_bps\": {:.0},\n    \"after_bps\": {:.0},\n    \"speedup\": {:.4},\n    \"kernel_speedup\": {:.4}\n",
+        single_core.before_bps,
+        single_core.after_bps,
+        single_core.speedup(),
+        single_core.kernel_speedup()
+    ));
+    s.push_str("  },\n");
     s.push_str("  \"observability\": {\n");
     s.push_str(&format!(
         "    \"ring_capacity\": {},\n    \"disabled_bps\": {:.0},\n    \"enabled_bps\": {:.0},\n    \"overhead_frac\": {:.6},\n    \"overhead_budget_frac\": {:.2},\n",
@@ -551,13 +602,27 @@ mod tests {
         let engine = measure_engine(Scale::Quick);
         assert_eq!(engine.len(), 8);
         let flow_scale = crate::flow_scale::run(Scale::Quick);
+        let single_core = crate::single_core::run(Scale::Quick);
         let obs = measure_observability(Scale::Quick);
         let robust = measure_robustness(Scale::Quick);
-        let json = render(Scale::Quick, &hot, &engine, &flow_scale, &obs, &robust);
+        let json = render(
+            Scale::Quick,
+            &hot,
+            &engine,
+            &flow_scale,
+            &single_core,
+            &obs,
+            &robust,
+        );
         assert!(json.contains("\"hot_path_allocs\""));
         assert!(json.contains("\"engine\""));
         assert!(json.contains("\"flow_scale\""));
         assert!(json.contains("\"elephant_yield\""));
+        assert!(json.contains("\"single_core_speed\""));
+        assert!(json.contains("\"checksum_kernels\""));
+        assert!(json.contains("\"engine_1core\""));
+        assert!(json.contains("\"split_emission\""));
+        assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"observability\""));
         assert!(json.contains("\"overhead_frac\""));
         assert!(json.contains("\"time_series\""));

@@ -31,6 +31,7 @@ pub mod fpmtud;
 pub mod json_report;
 pub mod metrics;
 pub mod sender;
+pub mod single_core;
 pub mod summary;
 pub mod survey;
 pub mod table1;

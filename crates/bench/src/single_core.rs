@@ -1,0 +1,416 @@
+//! Raw per-core speed: the PR-7 record behind `single_core_speed` in
+//! `BENCH_engine.json`.
+//!
+//! Three layers, measured on one core of this host:
+//!
+//! * **checksum kernels** — MiB/s of [`px_wire::checksum`]'s scalar,
+//!   u64-wide, SSE2, and AVX2 implementations over wire-MTU and jumbo
+//!   buffers;
+//! * **engine matrix** — the 1-core Parallel TCP datapath swept over
+//!   {kernel × batch-parse on/off}, digests off (raw speed, not the
+//!   correctness spine);
+//! * **split emission** — the copying TSO splitter vs the zero-copy
+//!   scatter-gather path, MiB/s of jumbo input bytes.
+//!
+//! The headline `speedup()` compares the pre-PR-7 shape (u64 kernel,
+//! per-packet parsing) against the tuned shape (best SIMD kernel,
+//! batch-front parsing) on the identical 1-core trace.
+
+use crate::Scale;
+use px_core::engine::{run_engine, EngineConfig, EngineMode};
+use px_core::pipeline::{PipelineConfig, SystemVariant, WorkloadKind};
+use px_core::split::SplitEngine;
+use px_wire::checksum::{self, Kernel};
+use px_wire::ipv4::Ipv4Repr;
+use px_wire::pool::{PacketSink, SgPacket};
+use px_wire::tcp::{SeqNum, TcpFlags, TcpRepr};
+use px_wire::{IpProtocol, PacketBuf};
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+const MIB: f64 = 1024.0 * 1024.0;
+
+/// One checksum kernel's measured rate.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelRow {
+    /// Kernel label (`PX_CHECKSUM_FORCE` vocabulary).
+    pub kernel: &'static str,
+    /// Whether this CPU can run it natively (a forced unavailable
+    /// kernel degrades to the best available, so its rate is still
+    /// meaningful — just not *its* rate).
+    pub available: bool,
+    /// MiB/s over 1480 B buffers (wire-MTU payload shape).
+    pub mib_s_mtu: f64,
+    /// MiB/s over 8960 B buffers (jumbo payload shape).
+    pub mib_s_jumbo: f64,
+}
+
+/// One {kernel × batch-parse} engine measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineSpeedRow {
+    /// Forced checksum kernel for the run.
+    pub kernel: &'static str,
+    /// Batch-front classification on?
+    pub batch_parse: bool,
+    /// Best-of-N 1-core throughput (input bits/s).
+    pub throughput_bps: f64,
+}
+
+/// One split-emission mode measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitSpeedRow {
+    /// "flat" (copying splitter) or "sg" (scatter-gather views).
+    pub mode: &'static str,
+    /// MiB/s of jumbo input bytes pushed through the splitter.
+    pub mib_s: f64,
+}
+
+/// The full single-core speed record.
+#[derive(Debug, Clone)]
+pub struct SingleCore {
+    /// Per-kernel checksum rates.
+    pub kernels: Vec<KernelRow>,
+    /// The {kernel × batch-parse} engine matrix.
+    pub engine: Vec<EngineSpeedRow>,
+    /// Split emission: flat vs scatter-gather.
+    pub split: Vec<SplitSpeedRow>,
+    /// 1-core throughput in the exact shape `bench_engine_scaling`
+    /// measured at PR 6: u64 kernel, per-packet parsing, and per-flow
+    /// digests on (the old bench left the FNV byte walk in the loop).
+    pub before_bps: f64,
+    /// 1-core throughput in the tuned shape the bench measures now:
+    /// best available kernel, batch-front parsing, digests off.
+    pub after_bps: f64,
+    /// The datapath-only comparison (digests off on BOTH sides): u64 +
+    /// per-packet parsing vs best kernel + batch parsing. Separating
+    /// this from `speedup()` keeps the record honest about how much of
+    /// the headline comes from no longer timing the digest harness.
+    pub datapath_speedup: f64,
+}
+
+impl SingleCore {
+    /// Tuned ÷ baseline single-core throughput, as `bench_engine_scaling`
+    /// records it (PR-6 bench shape → PR-7 bench shape).
+    pub fn speedup(&self) -> f64 {
+        if self.before_bps <= 0.0 {
+            return 0.0;
+        }
+        self.after_bps / self.before_bps
+    }
+
+    /// Best jumbo-buffer checksum rate ÷ the u64 kernel's — the
+    /// kernel-level win in isolation.
+    pub fn kernel_speedup(&self) -> f64 {
+        let rate = |name: &str| {
+            self.kernels
+                .iter()
+                .find(|k| k.kernel == name)
+                .map_or(0.0, |k| k.mib_s_jumbo)
+        };
+        let base = rate("u64");
+        let best = self
+            .kernels
+            .iter()
+            .filter(|k| k.available)
+            .map(|k| k.mib_s_jumbo)
+            .fold(0.0f64, f64::max);
+        if base <= 0.0 {
+            0.0
+        } else {
+            best / base
+        }
+    }
+}
+
+fn tcp_jumbo(len: usize) -> Vec<u8> {
+    let payload: Vec<u8> = (0..len).map(|j| ((j * 13 + 7) % 251) as u8).collect();
+    let repr = TcpRepr {
+        src_port: 6000,
+        dst_port: 80,
+        seq: SeqNum(1),
+        ack: SeqNum(1),
+        flags: TcpFlags::ACK,
+        window: 2048,
+        options: vec![],
+    };
+    let seg = repr.build_segment(SRC, DST, &payload);
+    Ipv4Repr::new(SRC, DST, IpProtocol::Tcp, seg.len())
+        .build_packet(&seg)
+        .unwrap_or_default()
+}
+
+/// Times `f` over `reps` repetitions and returns the best MiB/s given
+/// `bytes` of work per repetition.
+fn best_mib_s(reps: usize, bytes: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(bytes as f64 / MIB / dt);
+    }
+    best
+}
+
+/// Measures every checksum kernel over MTU-sized and jumbo buffers.
+pub fn measure_kernels(scale: Scale) -> Vec<KernelRow> {
+    let iters = match scale {
+        Scale::Full => 20_000usize,
+        Scale::Quick => 1_000,
+    };
+    let mtu_buf: Vec<u8> = (0..1480u32)
+        .map(|i| (i.wrapping_mul(131) >> 1) as u8)
+        .collect();
+    let jumbo_buf: Vec<u8> = (0..8960u32)
+        .map(|i| (i.wrapping_mul(193) >> 1) as u8)
+        .collect();
+    Kernel::ALL
+        .iter()
+        .map(|&k| {
+            let run = |buf: &[u8]| {
+                best_mib_s(3, buf.len() * iters, || {
+                    let mut acc = 0u32;
+                    for _ in 0..iters {
+                        acc = acc.wrapping_add(u32::from(checksum::ones_complement_sum_with(
+                            k,
+                            std::hint::black_box(buf),
+                        )));
+                    }
+                    std::hint::black_box(acc);
+                })
+            };
+            KernelRow {
+                kernel: k.name(),
+                available: k.available(),
+                mib_s_mtu: run(&mtu_buf),
+                mib_s_jumbo: run(&jumbo_buf),
+            }
+        })
+        .collect()
+}
+
+fn one_core_cfg(trace_pkts: usize, batch_parse: bool, digests: bool) -> EngineConfig {
+    let mut pipe = PipelineConfig::fig5(SystemVariant::Px, WorkloadKind::Tcp, 1);
+    pipe.trace_pkts = trace_pkts;
+    let mut cfg = EngineConfig::new(pipe, EngineMode::Parallel);
+    cfg.digests = digests;
+    cfg.batch_parse = batch_parse;
+    cfg
+}
+
+fn best_engine_bps(trace_pkts: usize, reps: usize, batch_parse: bool, digests: bool) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let r = run_engine(one_core_cfg(trace_pkts, batch_parse, digests));
+        best = best.max(r.throughput_bps);
+    }
+    best
+}
+
+/// Sweeps the 1-core engine over {kernel × batch-parse}. The forced
+/// kernel is process-global; it is restored to auto before returning.
+pub fn measure_engine_matrix(scale: Scale) -> Vec<EngineSpeedRow> {
+    let (trace_pkts, reps) = match scale {
+        Scale::Full => (120_000usize, 3usize),
+        Scale::Quick => (20_000, 1),
+    };
+    let mut rows = Vec::new();
+    for &k in &Kernel::ALL {
+        for batch_parse in [false, true] {
+            checksum::force_kernel(Some(k));
+            rows.push(EngineSpeedRow {
+                kernel: k.name(),
+                batch_parse,
+                throughput_bps: best_engine_bps(trace_pkts, reps, batch_parse, false),
+            });
+        }
+    }
+    checksum::force_kernel(None);
+    rows
+}
+
+/// Measures the TSO splitter with copying emission vs scatter-gather
+/// views, over jumbo inputs at eMTU 1500.
+pub fn measure_split(scale: Scale) -> Vec<SplitSpeedRow> {
+    let pushes = match scale {
+        Scale::Full => 20_000usize,
+        Scale::Quick => 2_000,
+    };
+    let jumbo = tcp_jumbo(8760);
+
+    // Recycling flat sink: pooled buffers cycle engine → sink → engine.
+    struct FlatSink {
+        total: u64,
+    }
+    impl PacketSink for FlatSink {
+        fn accept(&mut self, buf: PacketBuf) -> Option<PacketBuf> {
+            self.total += buf.len() as u64;
+            Some(buf)
+        }
+    }
+    // SG sink: consumes views in place, no materialising copy.
+    struct SgSink {
+        total: u64,
+    }
+    impl PacketSink for SgSink {
+        fn accept(&mut self, buf: PacketBuf) -> Option<PacketBuf> {
+            self.total += buf.len() as u64;
+            Some(buf)
+        }
+        fn push_sg(&mut self, mut pkt: SgPacket<'_>) -> Option<PacketBuf> {
+            self.total += pkt.total_len() as u64;
+            Some(pkt.take_header())
+        }
+    }
+
+    // Interleave the two modes rep-by-rep so clock drift and thermal
+    // state hit both equally; keep the best of each.
+    let mut flat_eng = SplitEngine::new(1500);
+    flat_eng.set_sg(false);
+    let mut flat_sink = FlatSink { total: 0 };
+    let mut sg_eng = SplitEngine::new(1500);
+    let mut sg_sink = SgSink { total: 0 };
+    let bytes = jumbo.len() * pushes;
+    let mut flat = 0.0f64;
+    let mut sg = 0.0f64;
+    for _ in 0..5 {
+        flat = flat.max(best_mib_s(1, bytes, || {
+            for _ in 0..pushes {
+                flat_eng.push_into(std::hint::black_box(&jumbo), &mut flat_sink);
+            }
+        }));
+        sg = sg.max(best_mib_s(1, bytes, || {
+            for _ in 0..pushes {
+                sg_eng.push_into(std::hint::black_box(&jumbo), &mut sg_sink);
+            }
+        }));
+    }
+    std::hint::black_box((flat_sink.total, sg_sink.total));
+    vec![
+        SplitSpeedRow {
+            mode: "flat",
+            mib_s: flat,
+        },
+        SplitSpeedRow {
+            mode: "sg",
+            mib_s: sg,
+        },
+    ]
+}
+
+/// Runs the full single-core record: kernels, engine matrix, split
+/// modes, and the headline before/after pair.
+pub fn run(scale: Scale) -> SingleCore {
+    let kernels = measure_kernels(scale);
+    let engine = measure_engine_matrix(scale);
+    let split = measure_split(scale);
+    let find = |name: &str, bp: bool| {
+        engine
+            .iter()
+            .find(|r| r.kernel == name && r.batch_parse == bp)
+            .map_or(0.0, |r| r.throughput_bps)
+    };
+    let best_kernel = Kernel::ALL
+        .iter()
+        .rev()
+        .find(|k| k.available())
+        .map_or("u64", |k| k.name());
+    let after_bps = find(best_kernel, true);
+    let u64_perpkt_bps = find("u64", false);
+    let datapath_speedup = if u64_perpkt_bps > 0.0 {
+        after_bps / u64_perpkt_bps
+    } else {
+        0.0
+    };
+    // The PR-6 bench shape: u64 kernel, per-packet parsing, digests on.
+    let (trace_pkts, reps) = match scale {
+        Scale::Full => (120_000usize, 3usize),
+        Scale::Quick => (20_000, 1),
+    };
+    checksum::force_kernel(Some(Kernel::U64));
+    let before_bps = best_engine_bps(trace_pkts, reps, false, true);
+    checksum::force_kernel(None);
+    SingleCore {
+        kernels,
+        engine,
+        split,
+        before_bps,
+        after_bps,
+        datapath_speedup,
+    }
+}
+
+/// Renders the human-readable table.
+pub fn render(sc: &SingleCore) -> String {
+    let mut out = String::new();
+    out.push_str("Single-core raw speed — checksum kernels, batch parse, SG split\n");
+    out.push_str("  checksum kernels (MiB/s):\n");
+    out.push_str("    kernel | avail | 1480 B      | 8960 B\n");
+    out.push_str("    -------+-------+-------------+------------\n");
+    for k in &sc.kernels {
+        out.push_str(&format!(
+            "    {:6} | {:5} | {:>11.0} | {:>10.0}\n",
+            k.kernel,
+            if k.available { "yes" } else { "no" },
+            k.mib_s_mtu,
+            k.mib_s_jumbo
+        ));
+    }
+    out.push_str("  1-core engine (TCP, digests off):\n");
+    out.push_str("    kernel | batch | throughput\n");
+    out.push_str("    -------+-------+-----------\n");
+    for r in &sc.engine {
+        out.push_str(&format!(
+            "    {:6} | {:5} | {}\n",
+            r.kernel,
+            if r.batch_parse { "on" } else { "off" },
+            crate::fmt_bps(r.throughput_bps)
+        ));
+    }
+    out.push_str("  split emission (8760 B jumbos → 1500 B wire):\n");
+    for r in &sc.split {
+        out.push_str(&format!("    {:4} : {:.0} MiB/s\n", r.mode, r.mib_s));
+    }
+    out.push_str(&format!(
+        "  bench_engine_scaling 1-core, PR-6 shape → PR-7 shape: {} → {} ({:.2}x)\n",
+        crate::fmt_bps(sc.before_bps),
+        crate::fmt_bps(sc.after_bps),
+        sc.speedup()
+    ));
+    out.push_str(&format!(
+        "  datapath-only speedup (digests off both sides): {:.2}x\n",
+        sc.datapath_speedup
+    ));
+    out.push_str(&format!(
+        "  checksum kernel speedup (u64 → best, jumbo buffers): {:.2}x\n",
+        sc.kernel_speedup()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_record_is_complete_and_positive() {
+        let sc = run(Scale::Quick);
+        assert_eq!(sc.kernels.len(), 4);
+        for k in &sc.kernels {
+            assert!(k.mib_s_mtu > 0.0 && k.mib_s_jumbo > 0.0, "{k:?}");
+        }
+        assert_eq!(sc.engine.len(), 8, "4 kernels x batch on/off");
+        for r in &sc.engine {
+            assert!(r.throughput_bps > 0.0, "{r:?}");
+        }
+        assert_eq!(sc.split.len(), 2);
+        assert!(sc.split.iter().all(|r| r.mib_s > 0.0));
+        assert!(sc.before_bps > 0.0 && sc.after_bps > 0.0);
+        assert!(sc.datapath_speedup > 0.0);
+        let table = render(&sc);
+        assert!(table.contains("PR-6 shape"));
+        assert!(table.contains("sg"));
+    }
+}

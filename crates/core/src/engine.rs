@@ -39,6 +39,7 @@ use px_faults::{
 };
 use px_obs::{Event, EventKind, HistSet, ObsConfig, ObsReport, Recorder, TimeSample};
 use px_sim::stats::{CoreCounters, StatsRegistry};
+use px_wire::batchparse::{self, ParsedMeta};
 use px_wire::ipv4::Ipv4Packet;
 use px_wire::pool::{PacketSink, VecSink};
 use px_wire::{FlowKey, IpProtocol, PacketBuf, RssHasher};
@@ -136,6 +137,26 @@ impl CoreEngine {
                 c.poll_into(now, sink);
                 c.push_inbound_into(now, &pkt, sink);
             }
+        }
+    }
+
+    /// [`push_into`](Self::push_into) with the packet's parse already
+    /// done by the batch-front classification pass. Only the merge
+    /// engine consumes the cached meta today; the other variants parse
+    /// as before.
+    pub fn push_parsed_into(
+        &mut self,
+        now: u64,
+        pkt: Vec<u8>,
+        meta: &ParsedMeta,
+        sink: &mut impl PacketSink,
+    ) {
+        match self {
+            CoreEngine::Merge(m) => {
+                m.poll_into(now, sink);
+                m.push_parsed_into(now, &pkt, meta, sink);
+            }
+            other => other.push_into(now, pkt, sink),
         }
     }
 
@@ -324,6 +345,18 @@ pub struct EngineConfig {
     /// matrix digests the delivered byte streams from it) — capture
     /// allocates per packet, so it must stay off for perf runs.
     pub capture_output: bool,
+    /// Maintain per-flow [`FlowDigest`]s. On by default — the digests
+    /// are the correctness spine (digest-pin, equivalence tests). Raw
+    /// speed benchmarks turn them off: the serial FNV-1a byte walk
+    /// costs more than the whole merge step and measures the harness,
+    /// not the datapath.
+    pub digests: bool,
+    /// Classify each RX batch up front with
+    /// [`px_wire::batchparse::parse_batch_with`] (software prefetch +
+    /// one header walk per packet) instead of parsing inside
+    /// [`MergeEngine::push_into`]. Output is bit-identical either way —
+    /// the pinned digests are recorded with this on.
+    pub batch_parse: bool,
 }
 
 impl EngineConfig {
@@ -337,6 +370,8 @@ impl EngineConfig {
             obs: ObsConfig::default(),
             faults: FaultSpec::off(),
             capture_output: false,
+            digests: true,
+            batch_parse: true,
         }
     }
 }
@@ -467,6 +502,15 @@ struct Worker {
     /// ([`EngineConfig::capture_output`]); `None` keeps the hot path
     /// allocation-free.
     captured: Option<Vec<Vec<u8>>>,
+    /// Whether per-flow digests are maintained
+    /// ([`EngineConfig::digests`]).
+    digests_on: bool,
+    /// Whether batches are classified up front
+    /// ([`EngineConfig::batch_parse`]).
+    batch_parse: bool,
+    /// Reused per-batch [`ParsedMeta`] array — sized once, then the
+    /// batch-parse pass is allocation-free.
+    parse_scratch: Vec<ParsedMeta>,
 }
 
 /// The worker's [`PacketSink`]: accounts every emitted packet into the
@@ -476,7 +520,10 @@ struct Worker {
 /// without touching the allocator.
 struct Accountant<'a> {
     counters: &'a mut CoreCounters,
-    digests: &'a mut BTreeMap<FlowKey, FlowDigest>,
+    /// `None` when the run turned digests off
+    /// ([`EngineConfig::digests`]): emitted packets are then counted
+    /// but their payload bytes are never re-read.
+    digests: Option<&'a mut BTreeMap<FlowKey, FlowDigest>>,
     jumbo_at: usize,
     inband: bool,
     capture: Option<&'a mut Vec<Vec<u8>>>,
@@ -493,15 +540,17 @@ impl PacketSink for Accountant<'_> {
                 self.counters.jumbo_out_inband += 1;
             }
         }
-        if let Some((key, payload)) = flow_and_l4_payload(unit) {
-            let payload_len = (payload.end - payload.start) as u64;
-            let d = self.digests.entry(key).or_default();
-            d.pkts += 1;
-            d.bytes += payload_len;
-            if unit.len() >= self.jumbo_at {
-                d.jumbo_bytes += payload_len;
+        if let Some(digests) = self.digests.as_deref_mut() {
+            if let Some((key, payload)) = flow_and_l4_payload(unit) {
+                let payload_len = (payload.end - payload.start) as u64;
+                let d = digests.entry(key).or_default();
+                d.pkts += 1;
+                d.bytes += payload_len;
+                if unit.len() >= self.jumbo_at {
+                    d.jumbo_bytes += payload_len;
+                }
+                d.fnv = fnv_extend(d.fnv, &unit[payload]);
             }
-            d.fnv = fnv_extend(d.fnv, &unit[payload]);
         }
         if let Some(cap) = self.capture.as_deref_mut() {
             // px-analyze: allow(R3, reason = "capture is a test-harness branch, None in production: the chaos matrix needs the delivered bytes, so it pays the copy")
@@ -509,9 +558,34 @@ impl PacketSink for Accountant<'_> {
         }
         Some(buf)
     }
+
+    /// Scatter-gather emissions from the split engine. With digests and
+    /// capture off (the steady-state production config) the packet is
+    /// accounted from the view's lengths and never flattened — the
+    /// payload bytes of a split jumbo are not touched again after the
+    /// checksum pass. Either auditor needs the flat bytes, so their
+    /// presence falls back to materialise-then-accept.
+    fn push_sg(&mut self, mut pkt: px_wire::SgPacket<'_>) -> Option<PacketBuf> {
+        if self.digests.is_some() || self.capture.is_some() {
+            let mut buf = pkt.take_header();
+            buf.extend_from_slice(pkt.payload());
+            return self.accept(buf);
+        }
+        let len = pkt.total_len();
+        self.counters.pkts_out += 1;
+        self.counters.bytes_out += len as u64;
+        if self.inband {
+            self.counters.pkts_out_inband += 1;
+            if len >= self.jumbo_at {
+                self.counters.jumbo_out_inband += 1;
+            }
+        }
+        Some(pkt.take_header())
+    }
 }
 
 impl Worker {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         cfg: &PipelineConfig,
         obs: ObsConfig,
@@ -519,6 +593,8 @@ impl Worker {
         faults: FaultSpec,
         wall_stalls: bool,
         capture: bool,
+        digests_on: bool,
+        batch_parse: bool,
     ) -> Self {
         let mut engine = CoreEngine::for_pipe(cfg);
         if obs.enabled {
@@ -542,6 +618,9 @@ impl Worker {
             events_carry: Vec::new(),
             hists_carry: HistSet::default(),
             captured: if capture { Some(Vec::new()) } else { None },
+            digests_on,
+            batch_parse,
+            parse_scratch: Vec::new(),
         }
     }
 
@@ -585,7 +664,7 @@ impl Worker {
         let out_before = self.counters.pkts_out;
         let mut acct = Accountant {
             counters: &mut self.counters,
-            digests: &mut self.digests,
+            digests: self.digests_on.then_some(&mut self.digests),
             jumbo_at: self.jumbo_at,
             // Rescued packets are out-of-band, like the end-of-run
             // drain: the flows still see every byte, but steady-state
@@ -636,7 +715,7 @@ impl Worker {
     fn quiesce(&mut self) {
         let mut acct = Accountant {
             counters: &mut self.counters,
-            digests: &mut self.digests,
+            digests: self.digests_on.then_some(&mut self.digests),
             jumbo_at: self.jumbo_at,
             inband: false,
             capture: self.captured.as_mut(),
@@ -651,6 +730,16 @@ impl Worker {
         } else {
             None
         };
+        // Batch-front classification: one prefetched header walk per
+        // packet, cached in `parse_scratch` and consumed below via
+        // `push_parsed_into`. Only the merge engine has a parsed fast
+        // path; for the rest the scratch stays empty and the per-packet
+        // loop parses as before.
+        if self.batch_parse && matches!(self.engine, CoreEngine::Merge(_)) {
+            batchparse::parse_batch_with(&batch, |(_, p)| p.as_slice(), &mut self.parse_scratch);
+        } else {
+            self.parse_scratch.clear();
+        }
         let n_pkts = batch.len() as u64;
         let mut last_now = 0u64;
         let Worker {
@@ -659,9 +748,11 @@ impl Worker {
             digests,
             jumbo_at,
             captured,
+            digests_on,
+            parse_scratch,
             ..
         } = self;
-        for (now, pkt) in batch {
+        for (i, (now, pkt)) in batch.into_iter().enumerate() {
             counters.pkts_in += 1;
             counters.bytes_in += pkt.len() as u64;
             if let Some(rec) = engine.obs_mut() {
@@ -670,12 +761,19 @@ impl Worker {
             last_now = now;
             let mut acct = Accountant {
                 counters: &mut *counters,
-                digests: &mut *digests,
+                digests: if *digests_on {
+                    Some(&mut *digests)
+                } else {
+                    None
+                },
                 jumbo_at: *jumbo_at,
                 inband: true,
                 capture: captured.as_mut(),
             };
-            engine.push_into(now, pkt, &mut acct);
+            match parse_scratch.get(i) {
+                Some(meta) => engine.push_parsed_into(now, pkt, meta, &mut acct),
+                None => engine.push_into(now, pkt, &mut acct),
+            }
         }
         if let Some(t0) = batch_start {
             // The BatchDone *event* carries only logical facts (last
@@ -693,7 +791,7 @@ impl Worker {
     fn finish(&mut self) {
         let mut acct = Accountant {
             counters: &mut self.counters,
-            digests: &mut self.digests,
+            digests: self.digests_on.then_some(&mut self.digests),
             jumbo_at: self.jumbo_at,
             inband: false,
             capture: self.captured.as_mut(),
@@ -750,12 +848,17 @@ impl CoreDriver {
     /// faults — the soak measures the production hot path).
     pub fn new(pipe: &PipelineConfig, core: usize) -> Self {
         CoreDriver {
+            // Digests on (the soak asserts conservation through them),
+            // batch parse off: the soak's frozen per-packet cost window
+            // measures the historical single-packet path.
             worker: Worker::new(
                 pipe,
                 ObsConfig::disabled(),
                 core,
                 FaultSpec::off(),
                 false,
+                false,
+                true,
                 false,
             ),
         }
@@ -1041,8 +1144,19 @@ fn run_parallel(
         let obs = cfg.obs;
         let faults = cfg.faults;
         let capture = cfg.capture_output;
+        let digests = cfg.digests;
+        let batch_parse = cfg.batch_parse;
         handles.push(std::thread::spawn(move || {
-            let mut w = Worker::new(&pipe, obs, core, faults, true, capture);
+            let mut w = Worker::new(
+                &pipe,
+                obs,
+                core,
+                faults,
+                true,
+                capture,
+                digests,
+                batch_parse,
+            );
             for msg in rx.iter() {
                 match msg {
                     WorkerMsg::Batch(batch) => {
@@ -1147,6 +1261,8 @@ fn run_deterministic(
                 cfg.faults,
                 false,
                 cfg.capture_output,
+                cfg.digests,
+                cfg.batch_parse,
             )
         })
         .collect();
@@ -1290,6 +1406,8 @@ mod tests {
             FaultSpec::off(),
             false,
             false,
+            true,
+            true,
         );
         let mut tracer = TraceGen::new(pipe.workload, 2, pipe.emtu, pipe.mean_run, 7);
         let batch: Batch = tracer
@@ -1433,6 +1551,26 @@ mod tests {
             r.totals.backpressure_drops, 0,
             "spare buffer always recycled"
         );
+    }
+
+    #[test]
+    fn batch_parse_and_digest_knobs_do_not_change_the_stream() {
+        let base = small(EngineMode::Deterministic, 4, WorkloadKind::Tcp);
+        let mut pipe = PipelineConfig::fig5(SystemVariant::Px, WorkloadKind::Tcp, 4);
+        pipe.trace_pkts = 4_000;
+        pipe.n_flows = 64;
+        // Per-packet parsing (batch parse off) is bit-identical.
+        let mut cfg = EngineConfig::new(pipe, EngineMode::Deterministic);
+        cfg.batch_parse = false;
+        let single = run_engine(cfg);
+        assert_eq!(single.flow_digests, base.flow_digests);
+        assert_eq!(single.totals, base.totals);
+        // Digests off: same counters, no digest map, bytes untouched.
+        let mut cfg = EngineConfig::new(pipe, EngineMode::Deterministic);
+        cfg.digests = false;
+        let nodig = run_engine(cfg);
+        assert!(nodig.flow_digests.is_empty());
+        assert_eq!(nodig.totals, base.totals);
     }
 
     #[test]

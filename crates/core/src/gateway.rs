@@ -312,11 +312,15 @@ impl PxGateway {
             }
         }
         // Restore caravan bundles to their original datagrams, then cut
-        // anything oversized down to the per-destination MTU.
+        // anything oversized down to the per-destination MTU. Emission
+        // goes straight from the split pool to the port — no Vec per
+        // wire packet, no re-copy into a fresh buffer.
         for restored in self.caravan.push_outbound(pkt) {
-            for wire in self.split.push_to(restored, split_mtu) {
-                ctx.send(EXTERNAL_PORT, PacketBuf::from_payload(&wire));
-            }
+            self.split
+                .push_to_into(&restored, split_mtu, &mut |b: PacketBuf| {
+                    ctx.send(EXTERNAL_PORT, b);
+                    None
+                });
         }
     }
 }

@@ -44,13 +44,13 @@ use crate::flowtable::{FlowTable, FlowTableConfig};
 use crate::steer::{FlowClass, FlowClassifier, SteerConfig};
 use px_faults::{hash_bytes, FaultInjector, FaultSpec, PlannedFaults};
 use px_obs::{flow_id, EventKind, ObsConfig, Recorder};
-use px_sim::nic::flow_key_of;
 use px_sim::stats::SizeHistogram;
+use px_wire::batchparse::{self, ParsedMeta, SegFacts, Verdict};
 use px_wire::bytes;
 use px_wire::checksum;
 use px_wire::ipv4::Ipv4Packet;
 use px_wire::pool::{BufPool, PacketSink, PoolStats, VecSink};
-use px_wire::tcp::{options_layout_compatible, TcpSegment};
+use px_wire::tcp::options_layout_compatible;
 use px_wire::{IpProtocol, PacketBuf};
 
 /// Merge-engine configuration.
@@ -158,24 +158,6 @@ impl Pending {
     fn total_len(&self) -> usize {
         usize::from(self.ip_hlen) + usize::from(self.tcp_hlen) + self.payload_len as usize
     }
-}
-
-/// What [`MergeEngine::classify`] learned about one input packet in its
-/// single verification pass.
-struct SegMeta {
-    ip_hlen: usize,
-    tcp_hlen: usize,
-    total_len: usize,
-    seq: u32,
-    psh: bool,
-    /// Ones-complement partial sum of the TCP payload, captured while
-    /// verifying the transport checksum.
-    payload_sum: u16,
-}
-
-enum Classified {
-    NotMergeable { checksum_ok: bool },
-    Mergeable(SegMeta),
 }
 
 /// The merge engine. Feed packets with [`MergeEngine::push_into`], poll
@@ -388,66 +370,15 @@ impl MergeEngine {
         }
     }
 
-    /// Classifies one packet in a single pass: is it a mergeable TCP data
-    /// segment (plain ACK/PSH flags, non-empty payload, not a fragment,
-    /// checksums verified)?
-    ///
-    /// Checksum verification is load-bearing: merging recomputes the
-    /// checksum over the concatenated payload, so coalescing a corrupted
-    /// segment would hide the corruption from the receiver forever. Real
-    /// NIC LRO engines verify for exactly this reason. The payload's
-    /// partial sum — needed again at emission — is captured from the
-    /// same pass that verifies it.
-    fn classify(pkt: &[u8]) -> Classified {
-        let Ok(ip) = Ipv4Packet::new_checked(pkt) else {
-            return Classified::NotMergeable { checksum_ok: true };
-        };
-        if ip.protocol() != IpProtocol::Tcp || ip.is_fragment() {
-            return Classified::NotMergeable { checksum_ok: true };
-        }
-        let Ok(tcp) = TcpSegment::new_checked(ip.payload()) else {
-            return Classified::NotMergeable { checksum_ok: true };
-        };
-        let f = tcp.flags();
-        let shape_ok = f.ack && !f.syn && !f.fin && !f.rst && !f.urg && !tcp.payload().is_empty();
-        if !shape_ok {
-            return Classified::NotMergeable { checksum_ok: true };
-        }
-        if !ip.verify_checksum() {
-            return Classified::NotMergeable { checksum_ok: false };
-        }
-        let seg = ip.payload();
-        let tcp_hlen = tcp.header_len();
-        let header_sum = checksum::ones_complement_sum(bytes::range_to(seg, tcp_hlen));
-        let payload_sum = checksum::ones_complement_sum(bytes::range_from(seg, tcp_hlen));
-        let pseudo = checksum::pseudo_header_sum(
-            ip.src(),
-            ip.dst(),
-            IpProtocol::Tcp.into(),
-            seg.len() as u16,
-        );
-        if checksum::combine(pseudo, checksum::combine(header_sum, payload_sum)) != 0xFFFF {
-            return Classified::NotMergeable { checksum_ok: false };
-        }
-        Classified::Mergeable(SegMeta {
-            ip_hlen: ip.header_len(),
-            tcp_hlen,
-            total_len: ip.total_len(),
-            seq: tcp.seq().0,
-            psh: f.psh,
-            payload_sum,
-        })
-    }
-
     /// Whether `meta`'s packet can coalesce onto `pending` — the same
     /// gates as [`px_sim::nic::try_coalesce`], answered from cached state
     /// and fixed-offset header reads instead of re-parsing. The flow key
     /// already guarantees equal addresses, ports, and protocol; the
     /// aggregate's flags are plain by construction.
-    fn can_append(pending: &Pending, meta: &SegMeta, pkt: &[u8], imtu: usize) -> bool {
+    fn can_append(pending: &Pending, meta: &SegFacts, pkt: &[u8], imtu: usize) -> bool {
         let a = pending.buf.as_slice();
         let a_ip = usize::from(pending.ip_hlen);
-        let b_ip = meta.ip_hlen;
+        let b_ip = usize::from(meta.ip_hlen);
         // Same ToS, ACK number, and window (pure in-order continuation).
         if a[1] != pkt[1]
             || bytes::range(a, a_ip + 8, a_ip + 12) != bytes::range(pkt, b_ip + 8, b_ip + 12)
@@ -463,11 +394,11 @@ impl MergeEngine {
         // differ — the aggregate keeps its own options, as Linux GRO
         // does).
         let a_opts = bytes::range(a, a_ip + 20, a_ip + usize::from(pending.tcp_hlen));
-        let b_opts = bytes::range(pkt, b_ip + 20, b_ip + meta.tcp_hlen);
+        let b_opts = bytes::range(pkt, b_ip + 20, b_ip + usize::from(meta.tcp_hlen));
         if !options_layout_compatible(a_opts, b_opts) {
             return false;
         }
-        let payload_len = meta.total_len - meta.ip_hlen - meta.tcp_hlen;
+        let payload_len = meta.payload_len();
         let merged_len = pending.total_len() + payload_len;
         merged_len <= imtu && merged_len <= px_wire::ipv4::MAX_TOTAL_LEN
     }
@@ -475,13 +406,14 @@ impl MergeEngine {
     /// Appends `meta`'s payload onto `pending` in place: one `memcpy`
     /// plus a partial-sum fold. Checksums and length fields are patched
     /// once, at emission.
-    fn append(pending: &mut Pending, meta: &SegMeta, pkt: &[u8]) {
+    fn append(pending: &mut Pending, meta: &SegFacts, pkt: &[u8]) {
         if pending.segs == 1 {
             // Drop any bytes beyond the IP total length (e.g. link-layer
             // padding) before growing the aggregate.
             pending.buf.truncate(pending.total_len());
         }
-        let payload = bytes::range(pkt, meta.ip_hlen + meta.tcp_hlen, meta.total_len);
+        let hdrs = usize::from(meta.ip_hlen) + usize::from(meta.tcp_hlen);
+        let payload = bytes::range(pkt, hdrs, usize::from(meta.total_len));
         pending.payload_sum = checksum::combine_at_offset(
             pending.payload_sum,
             meta.payload_sum,
@@ -542,11 +474,33 @@ impl MergeEngine {
     /// Processes one packet arriving from the eMTU side, delivering any
     /// packets ready to forward into the b-network to `sink` (possibly
     /// none while an aggregate is being held).
+    ///
+    /// Parses the packet itself; batch callers that already ran
+    /// [`batchparse::parse_batch_with`] should use
+    /// [`push_parsed_into`](Self::push_parsed_into) to skip the repeat
+    /// header walk.
     pub fn push_into(&mut self, now: u64, pkt: &[u8], sink: &mut impl PacketSink) {
+        let meta = batchparse::parse_packet(pkt);
+        self.push_parsed_into(now, pkt, &meta, sink);
+    }
+
+    /// [`push_into`](Self::push_into) with the parse already done: the
+    /// engine hot loop classifies a whole RX batch up front
+    /// ([`batchparse::parse_batch_with`]) and feeds the cached
+    /// [`ParsedMeta`] here, so the per-packet path never re-reads header
+    /// bytes. `meta` must describe `pkt` — the single-packet wrapper and
+    /// the property suite keep the two parsers bit-identical.
+    pub fn push_parsed_into(
+        &mut self,
+        now: u64,
+        pkt: &[u8],
+        meta: &ParsedMeta,
+        sink: &mut impl PacketSink,
+    ) {
         self.stats.pkts_in += 1;
         self.last_now = now;
 
-        let Ok(key) = flow_key_of(pkt) else {
+        let Some(key) = meta.key else {
             self.stats.passthrough += 1;
             self.forward(pkt, sink);
             return;
@@ -582,9 +536,9 @@ impl MergeEngine {
             }
         }
 
-        let meta = match Self::classify(pkt) {
-            Classified::Mergeable(meta) => meta,
-            Classified::NotMergeable { checksum_ok } => {
+        let facts = match meta.verdict {
+            Verdict::Mergeable(facts) => facts,
+            Verdict::NotMergeable { checksum_ok } => {
                 // Control/pure-ACK/non-TCP/corrupt: flush any pending
                 // aggregate first to preserve per-flow ordering, then pass
                 // through — a corrupted segment keeps its broken checksum
@@ -613,8 +567,8 @@ impl MergeEngine {
         }
         let had = match self.table.get_mut(&key) {
             Some(pending) => {
-                if Self::can_append(pending, &meta, pkt, imtu) {
-                    Self::append(pending, &meta, pkt);
+                if Self::can_append(pending, &facts, pkt, imtu) {
+                    Self::append(pending, &facts, pkt);
                     HadPending::Appended {
                         full: pending.total_len() >= full_at,
                     }
@@ -679,14 +633,14 @@ impl MergeEngine {
         };
         self.degrade_exit(now);
         buf.extend_from_slice(pkt);
-        let payload_len = (meta.total_len - meta.ip_hlen - meta.tcp_hlen) as u32;
+        let payload_len = facts.payload_len() as u32;
         let pending = Pending {
             buf,
-            ip_hlen: meta.ip_hlen as u8,
-            tcp_hlen: meta.tcp_hlen as u8,
+            ip_hlen: facts.ip_hlen,
+            tcp_hlen: facts.tcp_hlen,
             payload_len,
-            next_seq: meta.seq.wrapping_add(payload_len),
-            payload_sum: meta.payload_sum,
+            next_seq: facts.seq.wrapping_add(payload_len),
+            payload_sum: facts.payload_sum,
             segs: 1,
             born: now,
         };
@@ -758,7 +712,7 @@ impl MergeEngine {
 mod tests {
     use super::*;
     use px_wire::ipv4::Ipv4Repr;
-    use px_wire::tcp::{SeqNum, TcpFlags, TcpRepr};
+    use px_wire::tcp::{SeqNum, TcpFlags, TcpRepr, TcpSegment};
     use std::net::Ipv4Addr;
 
     const SRC: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);

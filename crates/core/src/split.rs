@@ -8,12 +8,12 @@
 //! [`crate::caravan_gw`] unbundles them first).
 
 use px_obs::{flow_id, EventKind, ObsConfig, Recorder};
-use px_sim::nic::tso_split_into;
+use px_sim::nic::{tso_split_into, tso_split_sg_into};
 use px_sim::stats::SizeHistogram;
 use px_wire::bytes;
 use px_wire::frag::fragment_into;
 use px_wire::ipv4::Ipv4Packet;
-use px_wire::pool::{BufPool, PacketSink, PoolStats, VecSink};
+use px_wire::pool::{BufPool, PacketSink, PoolStats, SgPacket, SgRc, VecSink};
 use px_wire::{IpProtocol, PacketBuf};
 
 /// A sink adapter that records every emitted packet's size into a
@@ -45,6 +45,18 @@ impl<S: PacketSink> PacketSink for RecordingSink<'_, S> {
         );
         self.obs.observe_out_size(buf.len() as u64);
         self.inner.accept(buf)
+    }
+
+    /// Scatter-gather emissions are accounted from the view's lengths —
+    /// no flattening — then forwarded as views so the inner sink keeps
+    /// its zero-copy opportunity.
+    fn push_sg(&mut self, pkt: SgPacket<'_>) -> Option<PacketBuf> {
+        let len = pkt.total_len();
+        self.sizes.record(len);
+        self.obs
+            .record(EventKind::SplitEmit, self.ts, len as u32, self.flow, 0);
+        self.obs.observe_out_size(len as u64);
+        self.inner.push_sg(pkt)
     }
 }
 
@@ -81,6 +93,14 @@ pub struct SplitEngine {
     pub stats: SplitStats,
     /// Flight recorder + histograms (disabled by default — zero cost).
     pub obs: Recorder,
+    /// Emit TCP splits as scatter-gather views (default). Off = the
+    /// legacy flat-copy splitter, kept for A/B benchmarking.
+    sg: bool,
+    /// Live-view counter for the jumbo currently being split. Emission
+    /// is synchronous, so the count is back to zero by the time
+    /// `push_to_into` returns — the debug assertion that proves the
+    /// caller may reuse the input buffer immediately.
+    view_rc: SgRc,
 }
 
 impl SplitEngine {
@@ -91,7 +111,15 @@ impl SplitEngine {
             pool: BufPool::for_mtu(emtu, 256),
             stats: SplitStats::default(),
             obs: Recorder::off(),
+            sg: true,
+            view_rc: SgRc::new(),
         }
+    }
+
+    /// Selects scatter-gather (true, default) or flat-copy (false)
+    /// emission for TCP splits. Output bytes are identical either way.
+    pub fn set_sg(&mut self, on: bool) {
+        self.sg = on;
     }
 
     /// Switches the flight recorder + histograms on.
@@ -122,11 +150,15 @@ impl SplitEngine {
         if pkt.len() <= mtu {
             self.stats.out_sizes.record(pkt.len());
             self.obs.observe_out_size(pkt.len() as u64);
-            let mut buf = self.pool.get();
-            buf.extend_from_slice(pkt);
-            if let Some(b) = sink.accept(buf) {
+            // Pass-through as an all-payload view: sinks that understand
+            // scatter-gather forward it copy-free; the rest materialise
+            // into the (empty) pooled header segment — the old single
+            // copy, never more.
+            let view = SgPacket::new(self.pool.get(), pkt, &self.view_rc);
+            if let Some(b) = sink.push_sg(view) {
                 self.pool.put(b);
             }
+            debug_assert_eq!(self.view_rc.views(), 0);
             return;
         }
         let Ok(ip) = Ipv4Packet::new_checked(pkt) else {
@@ -146,18 +178,26 @@ impl SplitEngine {
             inner: sink,
         };
         match ip.protocol() {
-            IpProtocol::Tcp => match tso_split_into(pkt, mtu, &mut self.pool, &mut recorded) {
-                Ok(n) => {
-                    self.stats.split += 1;
-                    self.stats.segments_out += n as u64;
+            IpProtocol::Tcp => {
+                let res = if self.sg {
+                    tso_split_sg_into(pkt, mtu, &mut self.pool, &self.view_rc, &mut recorded)
+                } else {
+                    tso_split_into(pkt, mtu, &mut self.pool, &mut recorded)
+                };
+                debug_assert_eq!(self.view_rc.views(), 0, "views outlived emission");
+                match res {
+                    Ok(n) => {
+                        self.stats.split += 1;
+                        self.stats.segments_out += n as u64;
+                    }
+                    Err(_) => {
+                        // A jumbo TCP packet the TSO splitter cannot parse.
+                        self.stats.dropped_malformed += 1;
+                        self.obs
+                            .record(EventKind::DropMalformed, ts, pkt.len() as u32, flow, 0);
+                    }
                 }
-                Err(_) => {
-                    // A jumbo TCP packet the TSO splitter cannot parse.
-                    self.stats.dropped_malformed += 1;
-                    self.obs
-                        .record(EventKind::DropMalformed, ts, pkt.len() as u32, flow, 0);
-                }
-            },
+            }
             _ => match fragment_into(pkt, mtu, &mut self.pool, &mut recorded) {
                 Ok(_) => {
                     self.stats.split += 1;
@@ -173,12 +213,21 @@ impl SplitEngine {
 
     /// [`push_into`](Self::push_into) collected into a `Vec` (tests and
     /// non-hot callers).
+    #[deprecated(
+        since = "0.7.0",
+        note = "allocates one Vec per output packet; use push_into with a PacketSink"
+    )]
     pub fn push(&mut self, pkt: Vec<u8>) -> Vec<Vec<u8>> {
         let mtu = self.emtu;
+        #[allow(deprecated)]
         self.push_to(pkt, mtu)
     }
 
     /// [`push_to_into`](Self::push_to_into) collected into a `Vec`.
+    #[deprecated(
+        since = "0.7.0",
+        note = "allocates one Vec per output packet; use push_to_into with a PacketSink"
+    )]
     pub fn push_to(&mut self, pkt: Vec<u8>, mtu: usize) -> Vec<Vec<u8>> {
         let mut sink = VecSink::new();
         self.push_to_into(&pkt, mtu, &mut sink);
@@ -187,6 +236,7 @@ impl SplitEngine {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the Vec wrappers stay exercised until removal
 mod tests {
     use super::*;
     use px_wire::ipv4::Ipv4Repr;
@@ -310,6 +360,40 @@ mod tests {
             .recent(64)
             .iter()
             .any(|e| e.kind == EventKind::DropMalformed && e.ts == 2));
+    }
+
+    #[test]
+    fn sg_and_flat_splitters_agree_on_bytes_and_stats() {
+        for len in [100usize, 1460, 4000, 8760] {
+            let pkt = jumbo_tcp(len);
+            let mut sg = SplitEngine::new(1500);
+            let mut flat = SplitEngine::new(1500);
+            flat.set_sg(false);
+            assert_eq!(sg.push(pkt.clone()), flat.push(pkt), "len={len}");
+            assert_eq!(sg.stats.split, flat.stats.split);
+            assert_eq!(sg.stats.segments_out, flat.stats.segments_out);
+            assert_eq!(sg.stats.dropped_malformed, flat.stats.dropped_malformed);
+        }
+    }
+
+    #[test]
+    fn sg_split_recycles_every_buffer_with_a_recycling_sink() {
+        let mut eng = SplitEngine::new(1500);
+        let mut total = 0usize;
+        for i in 0..32u32 {
+            let pkt = jumbo_tcp(1000 + (i as usize) * 250);
+            eng.push_into(&pkt, &mut |b: px_wire::PacketBuf| {
+                total += b.len();
+                Some(b)
+            });
+        }
+        assert!(total > 0);
+        let ps = eng.pool_stats();
+        assert_eq!(
+            ps.gets - ps.puts - ps.dropped,
+            0,
+            "all segment buffers returned to the pool"
+        );
     }
 
     #[test]

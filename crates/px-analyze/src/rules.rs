@@ -8,6 +8,7 @@
 //! | R4   | crate roots | missing `#![forbid(unsafe_code)]`-class preamble or `[lints] workspace = true` |
 //! | R5   | observability recording functions | the same allocation set as R3 — `record*`/`observe*`/`push` run per packet inside the datapath and must not touch the allocator |
 //! | R6   | fault-handling functions, every module | *both* the R1 panic set and the R3 allocation set inside `degrade*`/`on_fault*`/`restart_worker*` — recovery code runs while the system is already degraded, so it may neither unwind nor lean on a possibly-exhausted allocator |
+//! | R7   | split-engine emission functions | payload byte copies (`.extend_from_slice()`, `.copy_from_slice()`) — the split path emits scatter-gather views, so payload bytes must never be re-copied on the way out |
 //!
 //! Code under `#[cfg(test)]` is exempt from R1/R3/R5 (tests may unwrap).
 //! Intentional exceptions elsewhere use inline waivers:
@@ -36,6 +37,9 @@ pub enum Rule {
     R5,
     /// Panic- and alloc-freedom in fault-handling/recovery functions.
     R6,
+    /// Copy-freedom in split-engine emission functions: the
+    /// scatter-gather split path must not re-copy payload bytes.
+    R7,
 }
 
 impl Rule {
@@ -48,6 +52,7 @@ impl Rule {
             Rule::R4 => "R4",
             Rule::R5 => "R5",
             Rule::R6 => "R6",
+            Rule::R7 => "R7",
         }
     }
 
@@ -59,6 +64,7 @@ impl Rule {
             "R4" => Some(Rule::R4),
             "R5" => Some(Rule::R5),
             "R6" => Some(Rule::R6),
+            "R7" => Some(Rule::R7),
             _ => None,
         }
     }
@@ -107,6 +113,10 @@ pub struct Config {
     /// runs while the system is already in trouble, wherever it lives —
     /// and enforces both the R1 panic set and the R3 allocation set.
     pub r6_fn_prefixes: Vec<&'static str>,
+    /// Path suffixes of R7 copy-freedom modules: the split engine's
+    /// emission path, which must hand payload bytes onward as
+    /// scatter-gather views rather than copying them.
+    pub r7_modules: Vec<&'static str>,
 }
 
 impl Default for Config {
@@ -125,6 +135,7 @@ impl Default for Config {
                 "crates/px-wire/src/frag.rs",
                 "crates/px-wire/src/caravan.rs",
                 "crates/px-wire/src/checksum.rs",
+                "crates/px-wire/src/batchparse.rs",
                 "crates/px-wire/src/buffer.rs",
                 "crates/px-wire/src/pool.rs",
                 "crates/px-wire/src/bytes.rs",
@@ -152,6 +163,7 @@ impl Default for Config {
                 "crates/px-wire/src/frag.rs",
                 "crates/px-wire/src/caravan.rs",
                 "crates/px-wire/src/checksum.rs",
+                "crates/px-wire/src/batchparse.rs",
                 "crates/px-wire/src/buffer.rs",
                 "crates/px-wire/src/pool.rs",
                 "crates/px-wire/src/bytes.rs",
@@ -165,6 +177,7 @@ impl Default for Config {
                 "finalize_emit",
                 "emit_pending",
                 "process_batch",
+                "push_sg",
             ],
             r5_modules: vec![
                 "crates/px-obs/src/event.rs",
@@ -173,6 +186,7 @@ impl Default for Config {
                 "crates/px-obs/src/recorder.rs",
             ],
             r6_fn_prefixes: vec!["degrade", "on_fault", "restart_worker"],
+            r7_modules: vec!["crates/core/src/split.rs"],
         }
     }
 }
@@ -200,6 +214,10 @@ impl Config {
 
     fn is_r6_fn(&self, name: &str) -> bool {
         self.r6_fn_prefixes.iter().any(|p| name.starts_with(p))
+    }
+
+    fn is_r7(&self, rel_path: &str) -> bool {
+        self.r7_modules.iter().any(|m| rel_path.ends_with(m))
     }
 }
 
@@ -266,6 +284,7 @@ pub fn check_source(cfg: &Config, rel_path: &str, src: &str) -> Vec<Violation> {
     let r1 = cfg.is_r1(rel_path);
     let r3 = cfg.is_r3(rel_path);
     let r5 = cfg.is_r5(rel_path);
+    let r7 = cfg.is_r7(rel_path);
 
     let mut waivers: Vec<Waiver> = Vec::new();
     let mut raw: Vec<Violation> = Vec::new();
@@ -499,6 +518,28 @@ pub fn check_source(cfg: &Config, rel_path: &str, src: &str) -> Vec<Violation> {
                         message: alloc_msg(&format!(".{name}()"), rule, &fn_stack),
                     });
                 }
+                // R7: the split emission path must never re-copy payload
+                // bytes — it emits scatter-gather views instead.
+                "extend_from_slice" | "copy_from_slice"
+                    if !in_test
+                        && r7
+                        && punct(i + 1, '(')
+                        && i > 0
+                        && punct(i - 1, '.')
+                        && in_emission(cfg, &fn_stack) =>
+                {
+                    let f = fn_stack
+                        .last()
+                        .map_or("<unknown>", |(name, _)| name.as_str());
+                    raw.push(Violation {
+                        file: rel_path.into(),
+                        line: t.line,
+                        rule: Some(Rule::R7),
+                        message: format!(
+                            "`.{name}()` copies payload bytes in split emission function `{f}`; emit an SgPacket view instead"
+                        ),
+                    });
+                }
                 _ => {}
             },
             Tok::Punct('[') if !in_test && panic_scope(cfg, r1, &fn_stack).is_some() => {
@@ -670,21 +711,42 @@ fn alloc_msg(what: &str, rule: Rule, fn_stack: &[(String, i32)]) -> String {
     format!("`{what}` allocates inside {path} function `{f}`")
 }
 
-/// R2 helper: whether a `SAFETY:` comment immediately precedes the given
-/// `unsafe` token — only comment tokens may sit between them.
+/// R2 helper: whether a `SAFETY:` comment (or, for `unsafe fn`
+/// declarations, a `# Safety` doc section) immediately precedes the
+/// given `unsafe` token.
+///
+/// "Immediately precedes" is statement-shaped, not token-shaped:
+/// walking backwards, tokens on the `unsafe` token's own line are
+/// skipped (so `let x = unsafe { … }` is justified by the comment above
+/// the statement), attributes are skipped (so `#[target_feature(…)]`
+/// between a doc comment and `pub unsafe fn` does not hide the doc),
+/// and then only comment tokens may remain between the justification
+/// and the `unsafe`.
 fn has_safety_comment(toks: &[Token], unsafe_tok: &Token) -> bool {
     // Find this token's position in the raw stream by identity.
     let pos = toks
         .iter()
         .position(|t| std::ptr::eq(t, unsafe_tok))
         .unwrap_or(0);
+    // Attribute-bracket depth while scanning backwards: `]` opens,
+    // the matching `[` closes.
+    let mut bracket_depth = 0usize;
     for t in toks.iter().take(pos).rev() {
         match &t.kind {
             Tok::LineComment(text) | Tok::BlockComment(text) => {
-                if text.contains("SAFETY:") {
+                if text.contains("SAFETY:") || text.contains("# Safety") {
                     return true;
                 }
             }
+            Tok::Punct(']') => bracket_depth += 1,
+            Tok::Punct('[') if bracket_depth > 0 => bracket_depth -= 1,
+            // The `#` introducing an attribute whose brackets were just
+            // consumed.
+            Tok::Punct('#') => {}
+            _ if bracket_depth > 0 => {}
+            // Same-statement prefix on the `unsafe` token's line; a
+            // statement boundary ends the leeway.
+            _ if t.line == unsafe_tok.line && !matches!(t.kind, Tok::Punct(';' | '{' | '}')) => {}
             _ => return false,
         }
     }
@@ -742,6 +804,44 @@ mod tests {
         assert!(check(COLD, good).is_empty());
         let far = "// SAFETY: too far away.\nfn f() { let x = 1; unsafe { work() } }";
         assert_eq!(check(COLD, far).len(), 1);
+    }
+
+    #[test]
+    fn r2_sees_through_statement_prefixes_and_attributes() {
+        // The comment justifies the whole statement, not just a
+        // token-initial `unsafe`.
+        let stmt = "fn f() {\n    // SAFETY: fine.\n    let x = unsafe { work() };\n}";
+        assert!(check(COLD, stmt).is_empty());
+        let stmt_bad = "fn f() {\n    let y = 1;\n    let x = unsafe { work() };\n}";
+        assert_eq!(check(COLD, stmt_bad).len(), 1);
+        // An `unsafe fn` documented with `# Safety`, with an attribute
+        // between the doc and the declaration.
+        let decl = "/// # Safety\n/// Caller checks CPU support.\n#[target_feature(enable = \"sse2\")]\npub unsafe fn k(d: &[u8]) {}";
+        assert!(check(COLD, decl).is_empty());
+        let decl_bad = "#[target_feature(enable = \"sse2\")]\npub unsafe fn k(d: &[u8]) {}";
+        assert_eq!(check(COLD, decl_bad).len(), 1);
+    }
+
+    const SPLIT: &str = "crates/core/src/split.rs";
+
+    #[test]
+    fn r7_flags_payload_copies_in_split_emission_fns_only() {
+        let bad = "fn push_to_into(&mut self, b: &[u8]) { self.buf.extend_from_slice(b); }";
+        assert_eq!(check(SPLIT, bad).len(), 1);
+        let bad2 = "fn push_sg(&mut self, b: &[u8]) { self.buf.copy_from_slice(b); }";
+        assert_eq!(check(SPLIT, bad2).len(), 1);
+        // Same copy outside an emission function, or outside the split
+        // module, is fine.
+        let setup = "fn rebuild(&mut self, b: &[u8]) { self.buf.extend_from_slice(b); }";
+        assert!(check(SPLIT, setup).is_empty());
+        assert!(check(HOT, bad).is_empty());
+        // Waivable like every other rule.
+        let waived = "fn push_to_into(&mut self, b: &[u8]) {\n    // px-analyze: allow(R7, reason = \"materialising fallback\")\n    self.buf.extend_from_slice(b);\n}";
+        assert!(check(SPLIT, waived).is_empty());
+        // Test code is exempt.
+        let test_code =
+            "#[cfg(test)]\nmod tests {\n    fn push_to_into(b: &mut Vec<u8>) { b.extend_from_slice(&[1]); }\n}";
+        assert!(check(SPLIT, test_code).is_empty());
     }
 
     #[test]

@@ -13,6 +13,8 @@ const HOT: &str = "crates/core/src/merge.rs";
 const COLD: &str = "crates/px-sim/src/stats.rs";
 /// A path inside the R5 (and R1) recording-discipline set.
 const OBS: &str = "crates/px-obs/src/recorder.rs";
+/// The R7 copy-freedom module: the split engine's emission path.
+const SPLIT: &str = "crates/core/src/split.rs";
 
 fn fixture(name: &str) -> String {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
@@ -110,6 +112,24 @@ fn r6_good_recovery_code_is_clean() {
     let vs = check(COLD, "r6_good.rs");
     assert!(vs.is_empty(), "{vs:#?}");
     let vs = check(HOT, "r6_good.rs");
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn r7_flags_payload_copies_in_split_emission_functions() {
+    let vs = check(SPLIT, "r7_bad.rs");
+    // extend_from_slice in push_to_into, copy_from_slice in push_sg,
+    // extend_from_slice in accept.
+    assert_eq!(count_rule(&vs, Rule::R7), 3, "{vs:#?}");
+    assert_eq!(vs.len(), 3, "{vs:#?}");
+    // Outside the split module the same code is not R7's business.
+    assert!(check(HOT, "r7_bad.rs").is_empty());
+    assert!(check(COLD, "r7_bad.rs").is_empty());
+}
+
+#[test]
+fn r7_good_split_emission_is_clean() {
+    let vs = check(SPLIT, "r7_good.rs");
     assert!(vs.is_empty(), "{vs:#?}");
 }
 

@@ -1,0 +1,23 @@
+// Fixture: payload copies on the split emission path. Analyzed as
+// crates/core/src/split.rs, every one of these is an R7 violation —
+// the split engine emits scatter-gather views, so emission functions
+// must never re-copy payload bytes.
+
+struct Sink {
+    buf: Vec<u8>,
+}
+
+// Emission path (`_into` suffix): both copy flavours flagged.
+fn push_to_into(sink: &mut Sink, payload: &[u8]) {
+    sink.buf.extend_from_slice(payload);
+}
+
+// Emission path (named sink entry point).
+fn push_sg(sink: &mut Sink, payload: &[u8]) {
+    sink.buf.copy_from_slice(payload);
+}
+
+// Emission path (PacketSink::accept shape).
+fn accept(sink: &mut Sink, payload: &[u8]) {
+    sink.buf.extend_from_slice(payload);
+}

@@ -26,9 +26,10 @@
 //! Toeplitz RSS hash ([`flow`]).
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod batchparse;
 pub mod buffer;
 pub mod bytes;
 pub mod caravan;
@@ -50,7 +51,7 @@ pub use error::{Error, Result};
 pub use ethernet::{EtherType, EthernetFrame, EthernetRepr, MacAddr};
 pub use flow::{FlowKey, IpProtocol, RssHasher};
 pub use ipv4::{Ipv4Packet, Ipv4Repr};
-pub use pool::{BufPool, PacketSink, VecSink};
+pub use pool::{BufPool, PacketSink, SgPacket, SgRc, SgSource, VecSink};
 pub use tcp::{TcpFlags, TcpOption, TcpRepr, TcpSegment};
 pub use udp::{UdpDatagram, UdpRepr};
 

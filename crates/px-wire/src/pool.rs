@@ -18,6 +18,7 @@
 //! state.
 
 use crate::buffer::{PacketBuf, DEFAULT_HEADROOM};
+use std::cell::Cell;
 #[cfg(debug_assertions)]
 use std::collections::HashSet;
 
@@ -201,6 +202,158 @@ impl BufPool {
     }
 }
 
+/// A live-view counter for scatter-gather packets sharing one backing
+/// jumbo buffer.
+///
+/// The zero-copy split path hands out [`SgPacket`] views whose payload
+/// slices borrow the jumbo being split. Rust's borrow checker already
+/// guarantees no view outlives the jumbo; the counter makes the
+/// lifecycle *observable*: the owner recycles the jumbo's buffer only
+/// once `views()` has returned to zero, and the pool leak tests assert
+/// exactly that. Single-threaded by design (a `Cell`, not an atomic) —
+/// each engine splits on its own core, like the rest of the datapath.
+#[derive(Debug, Default)]
+pub struct SgRc(Cell<usize>);
+
+impl SgRc {
+    /// A counter with no live views.
+    pub fn new() -> Self {
+        SgRc(Cell::new(0))
+    }
+
+    /// Number of [`SgPacket`] views currently alive against this
+    /// counter.
+    pub fn views(&self) -> usize {
+        self.0.get()
+    }
+
+    fn inc(&self) {
+        self.0.set(self.0.get() + 1);
+    }
+
+    fn dec(&self) {
+        debug_assert!(self.0.get() > 0, "SgRc underflow");
+        self.0.set(self.0.get().saturating_sub(1));
+    }
+}
+
+/// A scatter-gather output packet: a pooled header segment plus a
+/// payload slice borrowed from the jumbo being split.
+///
+/// This is the zero-copy emission unit of the split engine. The header
+/// segment holds the rewritten IP+TCP headers (tens of bytes, built
+/// fresh per output packet); the payload is a view into the input
+/// jumbo — its bytes are never copied unless a sink without a
+/// [`PacketSink::push_sg`] override materialises the view. Dropping the
+/// view decrements its [`SgRc`], signalling the jumbo's owner when the
+/// backing buffer may be recycled.
+#[derive(Debug)]
+pub struct SgPacket<'a> {
+    /// Rewritten headers; `None` once a sink has taken it.
+    header: Option<PacketBuf>,
+    payload: &'a [u8],
+    rc: Option<&'a SgRc>,
+}
+
+impl<'a> SgPacket<'a> {
+    /// Builds a view and registers it with `rc`.
+    pub fn new(header: PacketBuf, payload: &'a [u8], rc: &'a SgRc) -> Self {
+        rc.inc();
+        SgPacket {
+            header: Some(header),
+            payload,
+            rc: Some(rc),
+        }
+    }
+
+    /// Builds an untracked view (tests and one-shot callers with no
+    /// recycle decision to make).
+    pub fn untracked(header: PacketBuf, payload: &'a [u8]) -> Self {
+        SgPacket {
+            header: Some(header),
+            payload,
+            rc: None,
+        }
+    }
+
+    /// The header segment's live bytes (empty once taken, or for
+    /// pass-through views that are all payload).
+    pub fn header(&self) -> &[u8] {
+        self.header.as_ref().map_or(&[], |h| h.as_slice())
+    }
+
+    /// The borrowed payload slice.
+    pub fn payload(&self) -> &'a [u8] {
+        self.payload
+    }
+
+    /// Total wire length of the packet this view represents.
+    pub fn total_len(&self) -> usize {
+        self.header.as_ref().map_or(0, |h| h.len()) + self.payload.len()
+    }
+
+    /// Detaches the header segment so the sink can fill or recycle it.
+    /// The view stays alive (and keeps its `rc` registration) until
+    /// dropped.
+    pub fn take_header(&mut self) -> PacketBuf {
+        debug_assert!(self.header.is_some(), "SgPacket header taken twice");
+        self.header
+            .take()
+            .unwrap_or_else(|| PacketBuf::with_headroom(0))
+    }
+}
+
+impl Drop for SgPacket<'_> {
+    fn drop(&mut self) {
+        if let Some(rc) = self.rc {
+            rc.dec();
+        }
+    }
+}
+
+/// Pairs a jumbo's backing buffer with its view counter: the owner-side
+/// handle of the scatter-gather lifecycle. Callers split out of
+/// `bytes()`, hand `rc()` to the splitter, and reclaim the buffer with
+/// [`SgSource::into_buf`] once emission is done.
+#[derive(Debug)]
+pub struct SgSource {
+    buf: PacketBuf,
+    rc: SgRc,
+}
+
+impl SgSource {
+    /// Wraps a filled jumbo buffer.
+    pub fn new(buf: PacketBuf) -> Self {
+        SgSource {
+            buf,
+            rc: SgRc::new(),
+        }
+    }
+
+    /// The jumbo's live bytes (what gets split).
+    pub fn bytes(&self) -> &[u8] {
+        self.buf.as_slice()
+    }
+
+    /// The view counter to register [`SgPacket`]s against.
+    pub fn rc(&self) -> &SgRc {
+        &self.rc
+    }
+
+    /// Live views against this source.
+    pub fn views(&self) -> usize {
+        self.rc.views()
+    }
+
+    /// Reclaims the backing buffer for pool recycling. Debug-asserts
+    /// that every view has been dropped — the "recycle only after the
+    /// last view" invariant.
+    pub fn into_buf(self) -> PacketBuf {
+        debug_assert_eq!(self.rc.views(), 0, "SgSource reclaimed with live views");
+        self.buf
+    }
+}
+
 /// Where engines deliver output packets.
 ///
 /// `accept` consumes one finished packet. Returning `Some(buf)` hands
@@ -210,6 +363,20 @@ impl BufPool {
 pub trait PacketSink {
     /// Delivers one output packet.
     fn accept(&mut self, buf: PacketBuf) -> Option<PacketBuf>;
+
+    /// Delivers one scatter-gather output packet.
+    ///
+    /// The default implementation materialises the view — appends the
+    /// payload into the header segment and routes through
+    /// [`PacketSink::accept`] — so every existing sink keeps working
+    /// unchanged. Sinks on the hot path override this to consume the
+    /// header and payload segments separately, which is what makes the
+    /// split emission path copy-free end to end.
+    fn push_sg(&mut self, mut pkt: SgPacket<'_>) -> Option<PacketBuf> {
+        let mut buf = pkt.take_header();
+        buf.extend_from_slice(pkt.payload());
+        self.accept(buf)
+    }
 }
 
 /// Closures `FnMut(PacketBuf) -> Option<PacketBuf>` are sinks.
@@ -246,6 +413,21 @@ impl PacketSink for VecSink {
     fn accept(&mut self, buf: PacketBuf) -> Option<PacketBuf> {
         self.pkts.push(buf.into_vec());
         None
+    }
+
+    /// Scatter-gather delivery with exactly one copy: header and payload
+    /// segments land directly in a right-sized `Vec`, and the header
+    /// buffer goes straight back to the caller for recycling. (The
+    /// default would copy the payload into the header buffer *and* then
+    /// convert that buffer — the double-copy this override removes.)
+    fn push_sg(&mut self, mut pkt: SgPacket<'_>) -> Option<PacketBuf> {
+        let header = pkt.take_header();
+        // px-analyze: allow(R3, reason = "VecSink is the Vec-returning compatibility shim; one exactly-sized Vec per packet is its contract")
+        let mut out = Vec::with_capacity(header.len() + pkt.payload().len());
+        out.extend_from_slice(header.as_slice());
+        out.extend_from_slice(pkt.payload());
+        self.pkts.push(out);
+        Some(header)
     }
 }
 
@@ -354,6 +536,92 @@ mod tests {
         assert!(sink.accept(a).is_none());
         assert!(sink.accept(b).is_none());
         assert_eq!(sink.into_pkts(), vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn sg_default_sink_materialises() {
+        // A sink with no push_sg override sees one flat packet,
+        // byte-identical to header || payload.
+        let mut pool = BufPool::new(8, 64, 8);
+        let rc = SgRc::new();
+        let jumbo = [7u8; 32];
+        let mut hdr = pool.get();
+        hdr.extend_from_slice(b"HD");
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        {
+            let mut sink = |b: PacketBuf| {
+                got.push(b.as_slice().to_vec());
+                Some(b)
+            };
+            let view = SgPacket::new(hdr, &jumbo[4..12], &rc);
+            assert_eq!(rc.views(), 1);
+            assert_eq!(view.total_len(), 10);
+            if let Some(b) = sink.push_sg(view) {
+                pool.put(b);
+            }
+        }
+        assert_eq!(rc.views(), 0, "view dropped inside push_sg scope");
+        assert_eq!(got, vec![b"HD\x07\x07\x07\x07\x07\x07\x07\x07".to_vec()]);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn vec_sink_push_sg_single_copies_and_returns_the_header() {
+        let mut pool = BufPool::new(8, 64, 8);
+        let rc = SgRc::new();
+        let payload = [9u8; 5];
+        let mut hdr = pool.get();
+        hdr.extend_from_slice(b"hdr!");
+        let mut sink = VecSink::new();
+        let back = sink.push_sg(SgPacket::new(hdr, &payload, &rc));
+        let b = back.expect("VecSink hands the header segment back");
+        pool.put(b);
+        assert_eq!(rc.views(), 0);
+        assert_eq!(pool.outstanding(), 0, "header recycled, nothing kept");
+        assert_eq!(sink.into_pkts(), vec![b"hdr!\x09\x09\x09\x09\x09".to_vec()]);
+    }
+
+    #[test]
+    fn sg_source_recycles_the_jumbo_exactly_once_after_views_drop() {
+        let mut pool = BufPool::new(8, 256, 8);
+        let mut jumbo = pool.get();
+        jumbo.extend_from_slice(&[0x55; 200]);
+        let jumbo_addr = jumbo.base_addr();
+        let src = SgSource::new(jumbo);
+        {
+            // Three concurrent views over disjoint payload ranges.
+            let views: Vec<SgPacket<'_>> = (0..3)
+                .map(|i| {
+                    let mut h = pool.get();
+                    h.extend_from_slice(&[i as u8]);
+                    SgPacket::new(h, &src.bytes()[i * 50..(i + 1) * 50], src.rc())
+                })
+                .collect();
+            assert_eq!(src.views(), 3);
+            for mut v in views {
+                pool.put(v.take_header());
+            }
+        }
+        assert_eq!(src.views(), 0, "all views dropped");
+        let puts_before = pool.stats.puts;
+        pool.put(src.into_buf());
+        assert_eq!(pool.stats.puts, puts_before + 1, "jumbo recycled once");
+        assert_eq!(pool.outstanding(), 0, "no leaks");
+        // The recycled jumbo is the next buffer handed out (LIFO).
+        let again = pool.get();
+        assert_eq!(again.base_addr(), jumbo_addr);
+        pool.put(again);
+    }
+
+    #[test]
+    fn untracked_views_and_empty_headers_work() {
+        let payload = b"all payload";
+        let mut view = SgPacket::untracked(PacketBuf::with_headroom(0), payload);
+        assert_eq!(view.header(), b"");
+        assert_eq!(view.total_len(), payload.len());
+        let mut sink = VecSink::new();
+        let _ = sink.push_sg(SgPacket::untracked(view.take_header(), payload));
+        assert_eq!(sink.into_pkts(), vec![payload.to_vec()]);
     }
 
     #[test]

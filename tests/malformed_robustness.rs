@@ -67,6 +67,7 @@ fn flip_bits(pkt: &mut [u8], flips: &[u32]) {
 /// flight recorder is armed on every engine; if a panic does slip
 /// through, the last 64 events per engine are printed before the panic
 /// is re-raised — the post-mortem the recorder exists for.
+#[allow(deprecated)] // deliberately keeps the legacy Vec wrappers under fuzz
 fn run_all_engines(pkt: &[u8]) {
     let obs = ObsConfig::default();
     let mut merge = MergeEngine::new(MergeConfig::default());
@@ -184,6 +185,7 @@ proptest! {
 
         let mut split = SplitEngine::new(1500);
         let before_drops = split.stats.dropped_df + split.stats.dropped_malformed;
+        #[allow(deprecated)]
         let out = split.push(pkt);
         let after_drops = split.stats.dropped_df + split.stats.dropped_malformed;
         if out.is_empty() {
