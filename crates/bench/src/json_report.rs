@@ -398,21 +398,47 @@ pub fn measure_robustness(scale: Scale) -> Robustness {
 }
 
 /// Runs the `px-analyze` workspace check so the benchmark record can
-/// attest the datapath invariants held for the measured build. Returns
-/// `(files_checked, violation_count)`; the count must be 0 for a
-/// publishable record.
-pub fn static_analysis_counts() -> (usize, usize) {
+/// attest the datapath invariants held for the measured build. Renders
+/// the `static_analysis` block: file/violation counts, per-rule tallies,
+/// call-graph size, and the waiver census. `violation_count` must be 0
+/// for a publishable record.
+pub fn static_analysis_json() -> String {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .map(std::path::Path::to_path_buf)
         .unwrap_or_else(|| std::path::PathBuf::from("."));
-    match px_analyze::run_check(&px_analyze::Config::default(), &root) {
-        Ok(report) => (report.files_checked, report.violations.len()),
+    let report = match px_analyze::run_check(&px_analyze::Config::default(), &root) {
+        Ok(r) => r,
         // A walk failure (e.g. record regenerated outside the repo) is
         // reported as an impossible violation count, never hidden.
-        Err(_) => (0, usize::MAX),
-    }
+        Err(_) => {
+            return format!(
+                "  \"static_analysis\": {{\"tool\": \"px-analyze\", \"files_checked\": 0, \"violation_count\": {}}},\n",
+                usize::MAX
+            );
+        }
+    };
+    let counts = report.rule_counts();
+    let rules = px_analyze::Rule::ALL
+        .iter()
+        .map(|r| format!("\"{}\": {}", r.name(), counts.get(r.name()).unwrap_or(&0)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let waivers = report
+        .stats
+        .waivers_used
+        .iter()
+        .map(|(rule, n)| format!("\"{rule}\": {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "  \"static_analysis\": {{\"tool\": \"px-analyze\", \"files_checked\": {}, \"violation_count\": {}, \"functions\": {}, \"call_edges\": {}, \"rules\": {{{rules}}}, \"waivers_used\": {{{waivers}}}}},\n",
+        report.files_checked,
+        report.violations.len(),
+        report.stats.functions,
+        report.stats.call_edges,
+    )
 }
 
 fn hist_summary_json(name: &str, h: &px_obs::Histo64) -> String {
@@ -457,10 +483,7 @@ pub fn render(
         ));
     }
     s.push_str("  },\n");
-    let (files_checked, violations) = static_analysis_counts();
-    s.push_str(&format!(
-        "  \"static_analysis\": {{\"tool\": \"px-analyze\", \"files_checked\": {files_checked}, \"violation_count\": {violations}}},\n"
-    ));
+    s.push_str(&static_analysis_json());
     s.push_str("  \"engine\": [\n");
     for (i, r) in engine.iter().enumerate() {
         s.push_str(&format!(

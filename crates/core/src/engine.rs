@@ -567,7 +567,9 @@ impl PacketSink for Accountant<'_> {
     /// presence falls back to materialise-then-accept.
     fn push_sg(&mut self, mut pkt: px_wire::SgPacket<'_>) -> Option<PacketBuf> {
         if self.digests.is_some() || self.capture.is_some() {
+            // px-analyze: allow(R3, reason = "auditor branch only: digests/capture need flat bytes, so the SG view is materialised through the pool-headroom constructor")
             let mut buf = pkt.take_header();
+            // px-analyze: allow(R7, reason = "auditor branch only: flattening the SG payload is the documented fallback when digests or capture are enabled; steady state takes the view path below")
             buf.extend_from_slice(pkt.payload());
             return self.accept(buf);
         }
@@ -679,8 +681,10 @@ impl Worker {
         self.events_carry.extend(events);
         self.hists_carry.merge(&hists);
         self.counters.worker_restarts += 1;
+        // px-analyze: allow(R6, R8, reason = "standing up the replacement engine allocates and seeds debug tracking by design: the rescue flush above ran alloc-free, and a rebuild that cannot allocate has nothing left to degrade to")
         let mut engine = CoreEngine::for_pipe(&self.pipe);
         if self.obs_cfg.enabled {
+            // px-analyze: allow(R6, reason = "re-arming the flight recorder allocates its ring up front, once per restart, not per packet")
             engine.enable_obs(self.obs_cfg);
         }
         engine.set_faults(self.faults.spec);
@@ -726,6 +730,7 @@ impl Worker {
     fn process_batch(&mut self, batch: Vec<(u64, Vec<u8>)>) {
         self.counters.batches += 1;
         let batch_start = if self.obs_on {
+            // px-analyze: allow(R8, reason = "wall clock feeds the batch-latency histogram only; digests and every forwarding decision derive from the simulated event clock, so replays stay bit-identical")
             Some(Instant::now())
         } else {
             None

@@ -13,7 +13,7 @@ use px_sim::stats::SizeHistogram;
 use px_wire::bytes;
 use px_wire::frag::fragment_into;
 use px_wire::ipv4::Ipv4Packet;
-use px_wire::pool::{BufPool, PacketSink, PoolStats, SgPacket, SgRc, VecSink};
+use px_wire::pool::{BufPool, PacketSink, PoolStats, SgPacket, SgRc};
 use px_wire::{IpProtocol, PacketBuf};
 
 /// A sink adapter that records every emitted packet's size into a
@@ -210,39 +210,25 @@ impl SplitEngine {
             },
         }
     }
-
-    /// [`push_into`](Self::push_into) collected into a `Vec` (tests and
-    /// non-hot callers).
-    #[deprecated(
-        since = "0.7.0",
-        note = "allocates one Vec per output packet; use push_into with a PacketSink"
-    )]
-    pub fn push(&mut self, pkt: Vec<u8>) -> Vec<Vec<u8>> {
-        let mtu = self.emtu;
-        #[allow(deprecated)]
-        self.push_to(pkt, mtu)
-    }
-
-    /// [`push_to_into`](Self::push_to_into) collected into a `Vec`.
-    #[deprecated(
-        since = "0.7.0",
-        note = "allocates one Vec per output packet; use push_to_into with a PacketSink"
-    )]
-    pub fn push_to(&mut self, pkt: Vec<u8>, mtu: usize) -> Vec<Vec<u8>> {
-        let mut sink = VecSink::new();
-        self.push_to_into(&pkt, mtu, &mut sink);
-        sink.into_pkts()
-    }
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the Vec wrappers stay exercised until removal
 mod tests {
     use super::*;
     use px_wire::ipv4::Ipv4Repr;
+    use px_wire::pool::VecSink;
     use px_wire::tcp::{SeqNum, TcpFlags, TcpRepr, TcpSegment};
     use px_wire::UdpRepr;
     use std::net::Ipv4Addr;
+
+    /// Sink-based split collected into `Vec`s — what the removed
+    /// `push`/`push_to` compatibility wrappers used to do, kept local to
+    /// the tests that assert on whole output packets.
+    fn push_vec(eng: &mut SplitEngine, pkt: &[u8]) -> Vec<Vec<u8>> {
+        let mut sink = VecSink::new();
+        eng.push_into(pkt, &mut sink);
+        sink.into_pkts()
+    }
 
     const SRC: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 2);
     const DST: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
@@ -270,7 +256,7 @@ mod tests {
     #[test]
     fn jumbo_tcp_splits_to_emtu() {
         let mut eng = SplitEngine::new(1500);
-        let out = eng.push(jumbo_tcp(8760));
+        let out = push_vec(&mut eng, &jumbo_tcp(8760));
         assert_eq!(out.len(), 6);
         for (i, p) in out.iter().enumerate() {
             assert!(p.len() <= 1500);
@@ -295,7 +281,7 @@ mod tests {
     fn small_packets_pass_through() {
         let mut eng = SplitEngine::new(1500);
         let pkt = jumbo_tcp(100);
-        let out = eng.push(pkt.clone());
+        let out = push_vec(&mut eng, &pkt);
         assert_eq!(out, vec![pkt]);
         assert_eq!(eng.stats.split, 0);
     }
@@ -312,7 +298,7 @@ mod tests {
             .build_packet(&dg)
             .unwrap();
         let mut eng = SplitEngine::new(1500);
-        let out = eng.push(pkt);
+        let out = push_vec(&mut eng, &pkt);
         assert!(out.len() >= 3);
         assert_eq!(eng.stats.fragmented, 1);
     }
@@ -329,7 +315,7 @@ mod tests {
         repr.dont_frag = true;
         let pkt = repr.build_packet(&dg).unwrap();
         let mut eng = SplitEngine::new(1500);
-        assert!(eng.push(pkt).is_empty());
+        assert!(push_vec(&mut eng, &pkt).is_empty());
         assert_eq!(eng.stats.dropped_df, 1);
     }
 
@@ -337,7 +323,7 @@ mod tests {
     fn flight_recorder_captures_split_emissions() {
         let mut eng = SplitEngine::new(1500);
         eng.enable_obs(px_obs::ObsConfig::default());
-        let out = eng.push(jumbo_tcp(8760));
+        let out = push_vec(&mut eng, &jumbo_tcp(8760));
         assert_eq!(out.len(), 6);
         let events = eng.obs.recent(64);
         let splits: Vec<_> = events
@@ -354,7 +340,7 @@ mod tests {
         assert_eq!(eng.obs.hists().out_bytes.count(), 6);
 
         // Malformed oversize input records a drop event.
-        assert!(eng.push(vec![0u8; 4000]).is_empty());
+        assert!(push_vec(&mut eng, &[0u8; 4000]).is_empty());
         assert!(eng
             .obs
             .recent(64)
@@ -369,7 +355,11 @@ mod tests {
             let mut sg = SplitEngine::new(1500);
             let mut flat = SplitEngine::new(1500);
             flat.set_sg(false);
-            assert_eq!(sg.push(pkt.clone()), flat.push(pkt), "len={len}");
+            assert_eq!(
+                push_vec(&mut sg, &pkt),
+                push_vec(&mut flat, &pkt),
+                "len={len}"
+            );
             assert_eq!(sg.stats.split, flat.stats.split);
             assert_eq!(sg.stats.segments_out, flat.stats.segments_out);
             assert_eq!(sg.stats.dropped_malformed, flat.stats.dropped_malformed);
@@ -423,7 +413,7 @@ mod tests {
         }
         assert_eq!(jumbo.len(), 1);
         let mut split = SplitEngine::new(1500);
-        let back = split.push(jumbo.pop().unwrap());
+        let back = push_vec(&mut split, &jumbo.pop().unwrap());
         assert_eq!(back.len(), 6);
         let mut off = 0u64;
         for p in &back {

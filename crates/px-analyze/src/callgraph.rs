@@ -1,0 +1,1100 @@
+//! Workspace call-graph construction for interprocedural rule scoping.
+//!
+//! One pass over the token stream per file extracts every function
+//! definition (with its `impl`/`trait` owner, lexical nesting, and
+//! `#[cfg(test)]` status), every call site (free, method, path-qualified,
+//! UFCS), and every rule-relevant *fact* (panic sources, allocations,
+//! payload copies, nondeterminism sources, blocking operations). The
+//! rule layer in `rules.rs` then builds a [`CallGraph`] over all files
+//! and decides which facts matter by *reachability* from rule entry
+//! points, producing blame chains like
+//! `push_into → combine_at_offset → fold_sum`.
+//!
+//! Resolution is name-based approximation, not type inference:
+//!
+//! * a method call `.m(…)` resolves to every non-test def named `m`
+//!   that lives in some `impl`/`trait` block — unless `m` is on the
+//!   [`AMBIENT_METHODS`] denylist of ubiquitous std names (`.push(`,
+//!   `.get(`, `.clone(`…) whose edges would wire the graph into a
+//!   near-clique;
+//! * a qualified call `Type::m(…)` resolves to defs named `m` owned by
+//!   `Type` (falling back to free functions for module paths like
+//!   `nic::m(…)`), and `<T as Trait>::m(…)` takes `T` as the qualifier;
+//! * a free call `m(…)` resolves to every free (ownerless) def named
+//!   `m`, which deliberately over-approximates shadowed/nested names.
+//!
+//! Over-approximation is safe for the checker (it can only ask for a
+//! waiver too many times, never miss by design); the ambient denylist is
+//! the one deliberate under-approximation and is documented in
+//! DESIGN.md §15.
+
+use crate::lexer::{lex, Tok, Token};
+
+/// What a fact *is*, independent of which rule ends up claiming it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactKind {
+    /// `.unwrap()`, `.expect(…)`, `panic!`-family macros.
+    Panic,
+    /// Partial-range slicing `b[a..c]` — panics on short buffers.
+    RangeSlice,
+    /// Heap allocation: ctor, `vec!`/`format!`, `.to_vec()`, `.clone()`.
+    Alloc,
+    /// Payload byte copy: `.extend_from_slice()` / `.copy_from_slice()`.
+    PayloadCopy,
+    /// `unsafe` without an adjacent `// SAFETY:` justification.
+    UnsafeUndoc,
+    /// Wall-clock read: `Instant::now`, `SystemTime::now`.
+    WallClock,
+    /// OS randomness: `thread_rng`, `from_entropy`, `RandomState`.
+    OsRandom,
+    /// `HashMap`/`HashSet` with the default (randomly seeded) hasher.
+    HashDefault,
+    /// Environment read: `env::var` and friends.
+    EnvRead,
+    /// Lock acquisition: `.lock()`.
+    Lock,
+    /// Blocking channel receive: `.recv()`, `.recv_timeout()`.
+    BlockingRecv,
+    /// Unbounded channel construction (`unbounded()`, `mpsc::channel`).
+    UnboundedChan,
+}
+
+/// One rule-relevant observation inside (or outside) a function body.
+#[derive(Debug, Clone)]
+pub struct Fact {
+    /// What kind of observation.
+    pub kind: FactKind,
+    /// Display form for diagnostics (`.unwrap()`, `Vec::new`, …).
+    pub what: String,
+    /// 1-indexed source line.
+    pub line: u32,
+    /// Inside a `#[cfg(test)]` region (exempt from every rule but R2).
+    pub in_test: bool,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (the final path segment).
+    pub name: String,
+    /// Immediate path qualifier: `Type` in `Type::m(…)`, `T` in
+    /// `<T as Trait>::m(…)`, `None` for free and method calls.
+    pub qual: Option<String>,
+    /// Whether this is a `.m(…)` method call.
+    pub is_method: bool,
+    /// 1-indexed source line of the call.
+    pub line: u32,
+}
+
+/// One function definition.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub owner: Option<String>,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: u32,
+    /// Defined inside a `#[cfg(test)]` region (excluded from the graph).
+    pub is_test: bool,
+    /// Names of lexically enclosing functions, outermost first.
+    pub enclosing: Vec<String>,
+    /// Call sites in this function's body (innermost function only).
+    pub calls: Vec<CallSite>,
+    /// Facts observed in this function's body.
+    pub facts: Vec<Fact>,
+}
+
+impl FnDef {
+    /// `Owner::name` display form for blame chains.
+    pub fn display(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Everything extracted from one source file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Function definitions, in source order.
+    pub defs: Vec<FnDef>,
+    /// Facts observed outside any function body (consts, statics).
+    pub toplevel_facts: Vec<Fact>,
+}
+
+/// Ubiquitous std method names that are never resolved to workspace
+/// defs as *method* calls: the collision noise (every `.push(` edging
+/// into `MergeEngine::push`) would drown real reachability. Qualified
+/// calls (`RingBuffer::push`) and free calls are unaffected, and the
+/// blocking/alloc *facts* for these names are still detected directly.
+pub const AMBIENT_METHODS: &[&str] = &[
+    "push",
+    "pop",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "len",
+    "is_empty",
+    "clear",
+    "contains",
+    "contains_key",
+    "clone",
+    "cmp",
+    "eq",
+    "ne",
+    "hash",
+    "fmt",
+    "next",
+    "iter",
+    "iter_mut",
+    "drain",
+    "take",
+    "replace",
+    "swap",
+    "extend",
+    "send",
+    "recv",
+    "recv_timeout",
+    "lock",
+    "write",
+    "read",
+    "flush",
+    "min",
+    "max",
+    "map",
+    "and_then",
+    "or_else",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok",
+    "err",
+    "as_ref",
+    "as_mut",
+    "as_slice",
+    "as_bytes",
+    "to_string",
+    "into",
+    "from",
+    "new",
+    "default",
+    "resize",
+    "truncate",
+    "reserve",
+    "split_at",
+    "split_off",
+    "first",
+    "last",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "retain",
+    "entry",
+    "or_insert",
+    "or_insert_with",
+    "position",
+    "find",
+    "any",
+    "all",
+    "fold",
+    "sum",
+    "count",
+    "rev",
+    "chain",
+    "zip",
+    "enumerate",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "for_each",
+    "copied",
+    "cloned",
+    "collect",
+    "starts_with",
+    "ends_with",
+    "load",
+    "store",
+    "fetch_add",
+    "join",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "get_or_insert",
+    "push_str",
+    "split",
+    "trim",
+    "parse",
+    "expect",
+    "unwrap",
+    "to_vec",
+    "to_owned",
+    "abs",
+    "clamp",
+    "keys",
+    "values",
+    "values_mut",
+    "windows",
+    "chunks",
+    "saturating_add",
+    "saturating_sub",
+    "wrapping_add",
+    "wrapping_sub",
+    "checked_add",
+    "checked_sub",
+    "checked_mul",
+];
+
+/// Identifiers that look like calls but never are.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "use", "impl", "mod", "let", "pub",
+    "unsafe", "move", "as", "in", "where", "else", "break", "continue", "struct", "enum", "trait",
+    "type", "const", "static", "ref", "mut", "dyn", "Self", "self", "super", "crate", "await",
+    "async", "box", "Some", "None", "Ok", "Err", "Fn", "FnMut", "FnOnce",
+];
+
+/// Skips a balanced `<…>` generic/turbofish list starting at `j`
+/// (which must index a `<`). Returns the index just past the matching
+/// `>`. `->` arrows inside (`Fn() -> u8`) do not close the list; a
+/// stray `{`/`;` bails out defensively.
+fn skip_angles(code: &[&Token], mut j: usize) -> usize {
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    while j < code.len() {
+        match &code[j].kind {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') if prev_dash => {}
+            Tok::Punct('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            Tok::Punct('{') | Tok::Punct(';') => return j,
+            _ => {}
+        }
+        prev_dash = matches!(&code[j].kind, Tok::Punct('-'));
+        j += 1;
+    }
+    j
+}
+
+/// R2 helper: whether a `SAFETY:` comment (or, for `unsafe fn`
+/// declarations, a `# Safety` doc section) immediately precedes the
+/// given `unsafe` token. "Immediately precedes" is statement-shaped:
+/// same-line prefixes and attributes are skipped on the way back.
+fn has_safety_comment(toks: &[Token], unsafe_tok: &Token) -> bool {
+    let pos = toks
+        .iter()
+        .position(|t| std::ptr::eq(t, unsafe_tok))
+        .unwrap_or(0);
+    let mut bracket_depth = 0usize;
+    for t in toks.iter().take(pos).rev() {
+        match &t.kind {
+            Tok::LineComment(text) | Tok::BlockComment(text) => {
+                if text.contains("SAFETY:") || text.contains("# Safety") {
+                    return true;
+                }
+            }
+            Tok::Punct(']') => bracket_depth += 1,
+            Tok::Punct('[') if bracket_depth > 0 => bracket_depth -= 1,
+            Tok::Punct('#') => {}
+            _ if bracket_depth > 0 => {}
+            _ if t.line == unsafe_tok.line && !matches!(t.kind, Tok::Punct(';' | '{' | '}')) => {}
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Scans one file into defs, calls, and facts.
+pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
+    let toks = lex(src);
+    let code: Vec<&Token> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, Tok::LineComment(_) | Tok::BlockComment(_)))
+        .collect();
+
+    let ident = |i: usize| -> Option<&str> {
+        match code.get(i).map(|t| &t.kind) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    };
+    let punct = |i: usize, c: char| -> bool {
+        matches!(code.get(i).map(|t| &t.kind), Some(Tok::Punct(p)) if *p == c)
+    };
+
+    let mut scan = FileScan::default();
+
+    let mut brace_depth: i32 = 0;
+    let mut test_region_until: Option<i32> = None;
+    let mut pending_cfg_test = false;
+
+    // (def index, brace depth of its body) for open function bodies.
+    let mut fn_stack: Vec<(usize, i32)> = Vec::new();
+    // A `fn name` seen, body `{` (or decl `;`) not yet reached.
+    let mut pending_fn: Option<usize> = None;
+    // An `impl`/`trait` header parsed, block `{` not yet reached.
+    let mut pending_owner: Option<String> = None;
+    // (owner name, brace depth of the impl/trait block).
+    let mut owner_stack: Vec<(String, i32)> = Vec::new();
+
+    // Records a fact into the innermost open function, or at toplevel.
+    macro_rules! fact {
+        ($kind:expr, $what:expr, $line:expr, $in_test:expr) => {{
+            let f = Fact {
+                kind: $kind,
+                what: $what.to_string(),
+                line: $line,
+                in_test: $in_test,
+            };
+            match fn_stack.last() {
+                Some((idx, _)) => scan.defs[*idx].facts.push(f),
+                None => scan.toplevel_facts.push(f),
+            }
+        }};
+    }
+
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = code[i];
+        let in_test = test_region_until.is_some();
+        let in_signature = pending_fn.is_some();
+        match &t.kind {
+            Tok::Punct('{') => {
+                brace_depth += 1;
+                if let Some(idx) = pending_fn.take() {
+                    fn_stack.push((idx, brace_depth));
+                    pending_owner = None;
+                } else if let Some(owner) = pending_owner.take() {
+                    owner_stack.push((owner, brace_depth));
+                }
+            }
+            Tok::Punct('}') => {
+                if let Some((_, d)) = fn_stack.last() {
+                    if *d == brace_depth {
+                        fn_stack.pop();
+                    }
+                }
+                if let Some((_, d)) = owner_stack.last() {
+                    if *d == brace_depth {
+                        owner_stack.pop();
+                    }
+                }
+                brace_depth -= 1;
+                if let Some(limit) = test_region_until {
+                    if brace_depth <= limit {
+                        test_region_until = None;
+                    }
+                }
+            }
+            Tok::Punct(';') => {
+                // Ends a bodyless trait-method declaration: the next `{`
+                // must not adopt it as a body.
+                pending_fn = None;
+            }
+            // Attributes are skipped wholesale so their contents never
+            // register as calls or facts. Covers both `#[…]` and `#![…]`.
+            Tok::Punct('#') if punct(i + 1, '[') || (punct(i + 1, '!') && punct(i + 2, '[')) => {
+                let mut j = if punct(i + 1, '[') { i + 2 } else { i + 3 };
+                let mut depth = 1usize;
+                let mut saw_cfg = false;
+                let mut saw_test = false;
+                while j < code.len() && depth > 0 {
+                    match &code[j].kind {
+                        Tok::Punct('[') => depth += 1,
+                        Tok::Punct(']') => depth -= 1,
+                        Tok::Ident(s) if s == "cfg" => saw_cfg = true,
+                        Tok::Ident(s) if s == "test" => saw_test = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if saw_cfg && saw_test {
+                    pending_cfg_test = true;
+                }
+                i = j;
+                continue;
+            }
+            Tok::Ident(name) => {
+                match name.as_str() {
+                    "fn" => {
+                        if let Some(fname) = ident(i + 1) {
+                            let def = FnDef {
+                                name: fname.to_string(),
+                                owner: owner_stack.last().map(|(o, _)| o.clone()),
+                                file: rel_path.to_string(),
+                                line: t.line,
+                                is_test: in_test || pending_cfg_test,
+                                enclosing: fn_stack
+                                    .iter()
+                                    .map(|(idx, _)| scan.defs[*idx].name.clone())
+                                    .collect(),
+                                calls: Vec::new(),
+                                facts: Vec::new(),
+                            };
+                            scan.defs.push(def);
+                            pending_fn = Some(scan.defs.len() - 1);
+                        }
+                        if pending_cfg_test {
+                            test_region_until.get_or_insert(brace_depth);
+                            pending_cfg_test = false;
+                        }
+                        i += 1;
+                        // Skip the name token itself so it never counts
+                        // as a call.
+                        i += 1;
+                        continue;
+                    }
+                    "impl" | "trait" => {
+                        // Only item position opens an owner block —
+                        // `-> impl Trait` / `&dyn Trait` are types.
+                        let item_pos = i == 0
+                            || matches!(
+                                code[i - 1].kind,
+                                Tok::Punct('{')
+                                    | Tok::Punct('}')
+                                    | Tok::Punct(';')
+                                    | Tok::Punct(']')
+                            )
+                            || matches!(ident(i - 1), Some("pub" | "unsafe" | "default"));
+                        if item_pos {
+                            let mut j = i + 1;
+                            if punct(j, '<') {
+                                j = skip_angles(&code, j);
+                            }
+                            let mut for_target: Option<String> = None;
+                            let mut first_ty: Option<String> = None;
+                            while j < code.len() && !punct(j, '{') && !punct(j, ';') {
+                                match ident(j) {
+                                    Some("for") if !punct(j + 1, '<') => {
+                                        // `impl Trait for Type` (non-HRTB
+                                        // `for`): owner is the next
+                                        // type-looking ident.
+                                        let mut k = j + 1;
+                                        while k < code.len() {
+                                            match &code[k].kind {
+                                                Tok::Ident(s)
+                                                    if !CALL_KEYWORDS.contains(&s.as_str()) =>
+                                                {
+                                                    for_target = Some(s.clone());
+                                                    break;
+                                                }
+                                                Tok::Punct('{') => break,
+                                                _ => {}
+                                            }
+                                            k += 1;
+                                        }
+                                    }
+                                    Some("where") => break,
+                                    Some(s)
+                                        if first_ty.is_none() && !CALL_KEYWORDS.contains(&s) =>
+                                    {
+                                        first_ty = Some(s.to_string());
+                                    }
+                                    _ => {}
+                                }
+                                j += 1;
+                            }
+                            pending_owner = for_target.or(first_ty);
+                        }
+                        if pending_cfg_test {
+                            test_region_until.get_or_insert(brace_depth);
+                            pending_cfg_test = false;
+                        }
+                    }
+                    "mod" | "struct" | "enum" | "use" | "const" | "static" if pending_cfg_test => {
+                        test_region_until.get_or_insert(brace_depth);
+                        pending_cfg_test = false;
+                    }
+                    "unsafe" if !has_safety_comment(&toks, t) => {
+                        fact!(FactKind::UnsafeUndoc, "unsafe", t.line, in_test);
+                    }
+                    _ => {}
+                }
+
+                // --- Fact patterns. ---
+                let is_method = i > 0 && punct(i - 1, '.');
+                let next_paren = punct(i + 1, '(');
+                let next_bang = punct(i + 1, '!');
+                let qual2 = |a: &str, b: &[&str]| -> Option<&str> {
+                    if name == a && punct(i + 1, ':') && punct(i + 2, ':') {
+                        ident(i + 3).filter(|n| b.contains(n))
+                    } else {
+                        None
+                    }
+                };
+                match name.as_str() {
+                    "unwrap" | "expect" if is_method && next_paren => {
+                        fact!(FactKind::Panic, format!(".{name}()"), t.line, in_test);
+                    }
+                    "panic" | "unreachable" | "todo" | "unimplemented" if next_bang => {
+                        fact!(FactKind::Panic, format!("{name}!"), t.line, in_test);
+                    }
+                    "vec" | "format" if next_bang => {
+                        fact!(FactKind::Alloc, format!("{name}!"), t.line, in_test);
+                    }
+                    "to_vec" | "to_owned" | "clone" if is_method && next_paren => {
+                        fact!(FactKind::Alloc, format!(".{name}()"), t.line, in_test);
+                    }
+                    "extend_from_slice" | "copy_from_slice" if is_method && next_paren => {
+                        fact!(FactKind::PayloadCopy, format!(".{name}()"), t.line, in_test);
+                    }
+                    "lock" if is_method && next_paren => {
+                        fact!(FactKind::Lock, ".lock()", t.line, in_test);
+                    }
+                    "recv" | "recv_timeout" | "recv_deadline" if is_method && next_paren => {
+                        fact!(
+                            FactKind::BlockingRecv,
+                            format!(".{name}()"),
+                            t.line,
+                            in_test
+                        );
+                    }
+                    "thread_rng" | "from_entropy" if next_paren => {
+                        fact!(FactKind::OsRandom, format!("{name}()"), t.line, in_test);
+                    }
+                    "unbounded" if next_paren && !is_method => {
+                        fact!(FactKind::UnboundedChan, "unbounded()", t.line, in_test);
+                    }
+                    "Vec" | "Box" | "String" | "Rc" | "Arc" => {
+                        if let Some(ctor) = qual2(name, &["new", "with_capacity", "from"]) {
+                            fact!(FactKind::Alloc, format!("{name}::{ctor}"), t.line, in_test);
+                        }
+                    }
+                    "Instant" | "SystemTime" => {
+                        if let Some(m) = qual2(name, &["now"]) {
+                            fact!(FactKind::WallClock, format!("{name}::{m}"), t.line, in_test);
+                        }
+                    }
+                    "HashMap" | "HashSet" => {
+                        if let Some(ctor) = qual2(name, &["new", "default", "with_capacity"]) {
+                            fact!(
+                                FactKind::HashDefault,
+                                format!("{name}::{ctor}"),
+                                t.line,
+                                in_test
+                            );
+                        }
+                    }
+                    "RandomState" => {
+                        if let Some(ctor) = qual2(name, &["new", "default"]) {
+                            fact!(
+                                FactKind::OsRandom,
+                                format!("{name}::{ctor}"),
+                                t.line,
+                                in_test
+                            );
+                        }
+                    }
+                    "env" => {
+                        if let Some(m) = qual2(name, &["var", "var_os", "vars"]) {
+                            fact!(FactKind::EnvRead, format!("env::{m}"), t.line, in_test);
+                        }
+                    }
+                    "mpsc" if qual2(name, &["channel"]).is_some() => {
+                        fact!(FactKind::UnboundedChan, "mpsc::channel", t.line, in_test);
+                    }
+                    _ => {}
+                }
+
+                // --- Call sites (innermost open function only). ---
+                if !fn_stack.is_empty()
+                    && !in_signature
+                    && !CALL_KEYWORDS.contains(&name.as_str())
+                    && !matches!(ident(i.wrapping_sub(1)), Some("fn"))
+                {
+                    // `name(`, or `name::<T>(` with a turbofish.
+                    let direct = next_paren;
+                    let turbofish = punct(i + 1, ':')
+                        && punct(i + 2, ':')
+                        && punct(i + 3, '<')
+                        && punct(skip_angles(&code, i + 3), '(');
+                    if direct || turbofish {
+                        let (qual, method) = if i >= 2 && punct(i - 1, ':') && punct(i - 2, ':') {
+                            // Last segment of a path call: the segment
+                            // before `::`, or the `<T as Trait>` subject.
+                            let q = if i >= 3 {
+                                match &code[i - 3].kind {
+                                    Tok::Ident(s) => Some(s.clone()),
+                                    Tok::Punct('>') => {
+                                        // UFCS `<T as Trait>::m`: walk back
+                                        // to the matching `<`, take the
+                                        // first ident after it.
+                                        let mut depth = 1i32;
+                                        let mut k = i - 3;
+                                        let mut subject = None;
+                                        while k > 0 && depth > 0 {
+                                            k -= 1;
+                                            match &code[k].kind {
+                                                Tok::Punct('>') => depth += 1,
+                                                Tok::Punct('<') => depth -= 1,
+                                                _ => {}
+                                            }
+                                        }
+                                        if depth == 0 {
+                                            if let Some(Tok::Ident(s)) =
+                                                code.get(k + 1).map(|t| &t.kind)
+                                            {
+                                                subject = Some(s.clone());
+                                            }
+                                        }
+                                        subject
+                                    }
+                                    _ => None,
+                                }
+                            } else {
+                                None
+                            };
+                            (q, false)
+                        } else if is_method {
+                            (None, true)
+                        } else {
+                            (None, false)
+                        };
+                        if let Some((idx, _)) = fn_stack.last() {
+                            scan.defs[*idx].calls.push(CallSite {
+                                name: name.clone(),
+                                qual,
+                                is_method: method,
+                                line: t.line,
+                            });
+                        }
+                    }
+                }
+            }
+            Tok::Punct('[') => {
+                // Indexing with a partial range (`b[a..]`, `b[..c]`,
+                // `b[a..c]`) panics on short buffers; full-range `b[..]`
+                // cannot. Only index positions count.
+                let is_index = i > 0
+                    && matches!(
+                        code[i - 1].kind,
+                        Tok::Ident(_) | Tok::Punct(')') | Tok::Punct(']') | Tok::Literal | Tok::Num
+                    );
+                if is_index {
+                    let mut depth = 1usize;
+                    let mut j = i + 1;
+                    let mut has_dotdot = false;
+                    let mut inner_tokens = 0usize;
+                    while j < code.len() && depth > 0 {
+                        match &code[j].kind {
+                            Tok::Punct('[') => depth += 1,
+                            Tok::Punct(']') => depth -= 1,
+                            Tok::DotDot if depth == 1 => has_dotdot = true,
+                            _ => {}
+                        }
+                        if depth > 0 {
+                            inner_tokens += 1;
+                        }
+                        j += 1;
+                    }
+                    if has_dotdot && inner_tokens > 1 {
+                        fact!(FactKind::RangeSlice, "range slicing", t.line, in_test);
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    scan
+}
+
+/// Reachability state of one def under one rule's BFS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reach {
+    /// Not reachable from any entry point.
+    No,
+    /// Is itself an entry point.
+    Entry,
+    /// Reached through a call edge from `parent` at `line`.
+    Via {
+        /// Caller def index.
+        parent: usize,
+        /// Line of the call site in the caller's file.
+        line: u32,
+    },
+}
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Callee def index.
+    pub callee: usize,
+    /// Line of the call site in the caller's file.
+    pub line: u32,
+}
+
+/// The workspace call graph: adjacency lists over a shared def slice.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// `edges[caller]` — outgoing resolved edges.
+    pub edges: Vec<Vec<Edge>>,
+    /// Total resolved edge count.
+    pub edge_count: usize,
+}
+
+impl CallGraph {
+    /// Builds the graph. `unit_ok(caller, callee)` gates edges on crate
+    /// dependency direction (and keeps tests/benches out of the callee
+    /// set); test defs get no edges in either direction.
+    pub fn build(defs: &[FnDef], unit_ok: &dyn Fn(usize, usize) -> bool) -> CallGraph {
+        use std::collections::HashMap;
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, d) in defs.iter().enumerate() {
+            if !d.is_test {
+                by_name.entry(d.name.as_str()).or_default().push(i);
+            }
+        }
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); defs.len()];
+        let mut edge_count = 0usize;
+        for (caller, d) in defs.iter().enumerate() {
+            if d.is_test {
+                continue;
+            }
+            for call in &d.calls {
+                let candidates: Vec<usize> = match (&call.qual, call.is_method) {
+                    (_, true) => {
+                        if AMBIENT_METHODS.contains(&call.name.as_str()) {
+                            Vec::new()
+                        } else {
+                            by_name
+                                .get(call.name.as_str())
+                                .map(|v| {
+                                    v.iter()
+                                        .copied()
+                                        .filter(|&c| defs[c].owner.is_some())
+                                        .collect()
+                                })
+                                .unwrap_or_default()
+                        }
+                    }
+                    (None, false) => by_name
+                        .get(call.name.as_str())
+                        .map(|v| {
+                            v.iter()
+                                .copied()
+                                .filter(|&c| defs[c].owner.is_none())
+                                .collect()
+                        })
+                        .unwrap_or_default(),
+                    (Some(q), false) => {
+                        let all = by_name.get(call.name.as_str());
+                        let want_owner: Option<&str> = if q == "Self" {
+                            d.owner.as_deref()
+                        } else {
+                            Some(q.as_str())
+                        };
+                        let owned: Vec<usize> = all
+                            .map(|v| {
+                                v.iter()
+                                    .copied()
+                                    .filter(|&c| defs[c].owner.as_deref() == want_owner)
+                                    .collect()
+                            })
+                            .unwrap_or_default();
+                        if owned.is_empty() && q != "Self" {
+                            // Module-qualified free call (`nic::m(…)`).
+                            all.map(|v| {
+                                v.iter()
+                                    .copied()
+                                    .filter(|&c| defs[c].owner.is_none())
+                                    .collect()
+                            })
+                            .unwrap_or_default()
+                        } else {
+                            owned
+                        }
+                    }
+                };
+                for c in candidates {
+                    if c == caller || !unit_ok(caller, c) {
+                        continue;
+                    }
+                    if edges[caller].iter().any(|e| e.callee == c) {
+                        continue;
+                    }
+                    edges[caller].push(Edge {
+                        callee: c,
+                        line: call.line,
+                    });
+                    edge_count += 1;
+                }
+            }
+        }
+        CallGraph { edges, edge_count }
+    }
+
+    /// BFS from `entries`, recording parent pointers for blame chains.
+    /// `blocked(def)` excludes a def entirely (transitive-exempt files);
+    /// `cut(caller, line)` severs an edge (waivers at call sites) and
+    /// may record the waiver as used.
+    pub fn reach(
+        &self,
+        entries: &[usize],
+        blocked: &dyn Fn(usize) -> bool,
+        cut: &mut dyn FnMut(usize, u32) -> bool,
+    ) -> Vec<Reach> {
+        let mut state = vec![Reach::No; self.edges.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &e in entries {
+            if !blocked(e) && matches!(state[e], Reach::No) {
+                state[e] = Reach::Entry;
+                queue.push_back(e);
+            }
+        }
+        while let Some(cur) = queue.pop_front() {
+            for edge in &self.edges[cur] {
+                if cut(cur, edge.line) {
+                    continue;
+                }
+                if blocked(edge.callee) {
+                    continue;
+                }
+                if matches!(state[edge.callee], Reach::No) {
+                    state[edge.callee] = Reach::Via {
+                        parent: cur,
+                        line: edge.line,
+                    };
+                    queue.push_back(edge.callee);
+                }
+            }
+        }
+        state
+    }
+
+    /// Reconstructs the blame chain entry → … → `idx` as display names.
+    pub fn chain(defs: &[FnDef], state: &[Reach], mut idx: usize) -> Vec<String> {
+        let mut rev = vec![defs[idx].display()];
+        let mut guard = 0usize;
+        while let Reach::Via { parent, .. } = state[idx] {
+            idx = parent;
+            rev.push(defs[idx].display());
+            guard += 1;
+            if guard > defs.len() {
+                break;
+            }
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> FileScan {
+        scan_file("crates/demo/src/lib.rs", src)
+    }
+
+    fn permissive(defs: &[FnDef]) -> CallGraph {
+        CallGraph::build(defs, &|_, _| true)
+    }
+
+    fn def_idx(defs: &[FnDef], name: &str) -> usize {
+        defs.iter().position(|d| d.name == name).unwrap()
+    }
+
+    fn has_edge(g: &CallGraph, from: usize, to: usize) -> bool {
+        g.edges[from].iter().any(|e| e.callee == to)
+    }
+
+    #[test]
+    fn free_and_method_defs_are_extracted_with_owners() {
+        let s = scan(
+            "fn free_one() {}\n\
+             struct T;\n\
+             impl T { fn meth(&self) {} }\n\
+             impl Clone for T { fn clone(&self) -> T { T } }\n\
+             trait Sink { fn accept(&mut self); }",
+        );
+        assert_eq!(s.defs.len(), 4);
+        assert_eq!(s.defs[0].owner, None);
+        assert_eq!(s.defs[1].owner.as_deref(), Some("T"));
+        // `impl Clone for T`: the owner is the implementing type.
+        assert_eq!(s.defs[2].owner.as_deref(), Some("T"));
+        assert_eq!(s.defs[3].owner.as_deref(), Some("Sink"));
+    }
+
+    #[test]
+    fn method_free_and_ufcs_calls_resolve() {
+        let s = scan(
+            "fn helper() {}\n\
+             struct T;\n\
+             impl T {\n\
+                 fn emit_row(&self) {}\n\
+                 fn drive(&self) { helper(); self.emit_row(); T::emit_row(self); }\n\
+                 fn ufcs(&self) { <T as Render>::emit_row(self); }\n\
+             }",
+        );
+        let g = permissive(&s.defs);
+        let drive = def_idx(&s.defs, "drive");
+        let ufcs = def_idx(&s.defs, "ufcs");
+        let helper = def_idx(&s.defs, "helper");
+        let emit_row = def_idx(&s.defs, "emit_row");
+        assert!(has_edge(&g, drive, helper), "free call");
+        assert!(has_edge(&g, drive, emit_row), "method + qualified call");
+        assert!(has_edge(&g, ufcs, emit_row), "UFCS call");
+    }
+
+    #[test]
+    fn turbofish_calls_still_resolve() {
+        let s = scan(
+            "fn decode_as() {}\n\
+             fn f() { decode_as::<u64>(); }",
+        );
+        let g = permissive(&s.defs);
+        assert!(has_edge(
+            &g,
+            def_idx(&s.defs, "f"),
+            def_idx(&s.defs, "decode_as")
+        ));
+    }
+
+    #[test]
+    fn shadowed_names_over_approximate_to_every_candidate() {
+        // Two free fns named `step` in different modules: a free call
+        // edges to both — the checker deliberately over-approximates.
+        let s = scan(
+            "mod a { pub fn step() {} }\n\
+             mod b { pub fn step() {} }\n\
+             fn f() { step(); }",
+        );
+        let g = permissive(&s.defs);
+        let f = def_idx(&s.defs, "f");
+        assert_eq!(g.edges[f].len(), 2);
+    }
+
+    #[test]
+    fn ambient_method_names_get_no_edges() {
+        let s = scan(
+            "struct Q;\n\
+             impl Q { fn push(&mut self) {} }\n\
+             fn f(v: &mut Vec<u8>) { v.push(1); }",
+        );
+        let g = permissive(&s.defs);
+        assert_eq!(g.edge_count, 0, "`.push(` is ambient");
+    }
+
+    #[test]
+    fn cfg_test_defs_are_excluded_from_the_graph() {
+        let s = scan(
+            "fn prod() { helper(); }\n\
+             fn helper() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn helper() {}\n\
+                 #[test]\n\
+                 fn t() { super::prod(); }\n\
+             }",
+        );
+        assert!(s.defs.iter().any(|d| d.is_test));
+        let g = permissive(&s.defs);
+        let prod = def_idx(&s.defs, "prod");
+        // prod → the real helper only, not the test shadow; the test fn
+        // gets no outgoing edges at all.
+        assert_eq!(g.edges[prod].len(), 1);
+        let t = s.defs.iter().position(|d| d.name == "t").unwrap();
+        assert!(g.edges[t].is_empty());
+    }
+
+    #[test]
+    fn reachability_terminates_on_cycles_and_chains_reconstruct() {
+        // a → b → c → a (cycle), plus c → leaf.
+        let s = scan(
+            "fn a() { b(); }\n\
+             fn b() { c(); }\n\
+             fn c() { a(); leaf(); }\n\
+             fn leaf() {}",
+        );
+        let g = permissive(&s.defs);
+        let a = def_idx(&s.defs, "a");
+        let leaf = def_idx(&s.defs, "leaf");
+        let state = g.reach(&[a], &|_| false, &mut |_, _| false);
+        assert!(matches!(state[leaf], Reach::Via { .. }));
+        let chain = CallGraph::chain(&s.defs, &state, leaf);
+        assert_eq!(chain, vec!["a", "b", "c", "leaf"]);
+    }
+
+    #[test]
+    fn blocked_and_cut_edges_stop_propagation() {
+        let s = scan(
+            "fn a() { b(); }\n\
+             fn b() { c(); }\n\
+             fn c() {}",
+        );
+        let g = permissive(&s.defs);
+        let a = def_idx(&s.defs, "a");
+        let b = def_idx(&s.defs, "b");
+        let c = def_idx(&s.defs, "c");
+        let state = g.reach(&[a], &|d| d == b, &mut |_, _| false);
+        assert!(matches!(state[c], Reach::No), "blocked def stops BFS");
+        let b_line = s.defs[b].calls[0].line;
+        let state = g.reach(&[a], &|_| false, &mut |cur, line| {
+            cur == b && line == b_line
+        });
+        assert!(matches!(state[c], Reach::No), "cut edge stops BFS");
+    }
+
+    #[test]
+    fn nondeterminism_and_blocking_facts_are_detected() {
+        let s = scan(
+            "fn f() {\n\
+                 let t = Instant::now();\n\
+                 let m: HashMap<u8, u8> = HashMap::new();\n\
+                 let v = std::env::var(\"X\");\n\
+                 let g = thread_rng();\n\
+             }\n\
+             fn g(rx: &Receiver<u8>, mu: &Mutex<u8>) {\n\
+                 let _ = mu.lock();\n\
+                 let _ = rx.recv();\n\
+                 let (tx, rx2) = unbounded();\n\
+             }",
+        );
+        let kinds: Vec<FactKind> = s.defs[0].facts.iter().map(|f| f.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FactKind::WallClock,
+                FactKind::HashDefault,
+                FactKind::EnvRead,
+                FactKind::OsRandom
+            ]
+        );
+        let kinds: Vec<FactKind> = s.defs[1].facts.iter().map(|f| f.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FactKind::Lock,
+                FactKind::BlockingRecv,
+                FactKind::UnboundedChan
+            ]
+        );
+    }
+
+    #[test]
+    fn hasher_pinned_maps_are_not_flagged() {
+        let s = scan("fn f() { let m = HashMap::with_hasher(FixedState::default()); }");
+        assert!(s.defs[0]
+            .facts
+            .iter()
+            .all(|f| f.kind != FactKind::HashDefault));
+    }
+
+    #[test]
+    fn impl_in_return_position_does_not_open_an_owner() {
+        let s = scan(
+            "fn make() -> impl Iterator<Item = u8> { std::iter::empty() }\n\
+             fn after() {}",
+        );
+        assert_eq!(s.defs[1].owner, None);
+    }
+}

@@ -1,49 +1,73 @@
-//! The six datapath-invariant rules and the waiver machinery.
+//! The nine datapath-invariant rules and the waiver machinery.
 //!
 //! | Rule | Scope | What it rejects |
 //! |------|-------|-----------------|
-//! | R1   | hot-path modules | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` and panicking range slicing `b[a..c]` |
+//! | R1   | hot-path modules + everything reachable from hot emission/recording functions | `unwrap`/`expect`/`panic!`-family and panicking range slicing `b[a..c]` |
 //! | R2   | every workspace file | `unsafe` not immediately preceded by a `// SAFETY:` comment |
-//! | R3   | hot-path emission functions | allocation (`Vec::new`, `vec!`, `Box::new`, `to_vec`, `clone`, `String` construction, `format!`) |
+//! | R3   | emission functions + everything they reach | allocation (`Vec::new`, `vec!`, `Box::new`, `to_vec`, `clone`, `String` construction, `format!`) |
 //! | R4   | crate roots | missing `#![forbid(unsafe_code)]`-class preamble or `[lints] workspace = true` |
-//! | R5   | observability recording functions | the same allocation set as R3 — `record*`/`observe*`/`push` run per packet inside the datapath and must not touch the allocator |
-//! | R6   | fault-handling functions, every module | *both* the R1 panic set and the R3 allocation set inside `degrade*`/`on_fault*`/`restart_worker*` — recovery code runs while the system is already degraded, so it may neither unwind nor lean on a possibly-exhausted allocator |
-//! | R7   | split-engine emission functions | payload byte copies (`.extend_from_slice()`, `.copy_from_slice()`) — the split path emits scatter-gather views, so payload bytes must never be re-copied on the way out |
+//! | R5   | recording functions + everything they reach | the R3 allocation set — `record*`/`observe*`/`push` run per packet inside the datapath |
+//! | R6   | fault-handling functions + everything they reach | *both* the R1 panic set and the R3 allocation set — recovery code runs while the system is already degraded |
+//! | R7   | split-engine emission functions + everything they reach | payload byte copies (`.extend_from_slice()`, `.copy_from_slice()`) |
+//! | R8   | everything reachable from the Deterministic-mode datapath | wall-clock reads (`Instant::now`, `SystemTime::now`), OS randomness (`thread_rng`, `RandomState`-default `HashMap`/`HashSet`), environment reads |
+//! | R9   | everything reachable from per-packet functions | lock acquisition (`.lock()`), blocking receives (`.recv()`), unbounded-channel construction — locks belong at batch boundaries |
 //!
-//! Code under `#[cfg(test)]` is exempt from R1/R3/R5 (tests may unwrap).
-//! Intentional exceptions elsewhere use inline waivers:
+//! R1/R3/R5/R6/R7 are *lexical* where they always were (so existing
+//! waivers keep their meaning) and additionally propagate **transitively**
+//! through the workspace call graph from their entry points; transitive
+//! findings carry a blame chain:
+//!
+//! ```text
+//! `Vec::new` allocates in `fold_sum`, reached from the emission path
+//! via `push_into → combine_at_offset → fold_sum`
+//! ```
+//!
+//! Code under `#[cfg(test)]` is exempt from everything but R2.
+//! Intentional exceptions use inline waivers:
 //!
 //! ```text
 //! // px-analyze: allow(R1, reason = "cold teardown, join propagates worker panics")
 //! ```
 //!
-//! A waiver covers its own line and the next code line, must carry a
-//! non-empty reason, and is itself an error if it never fires.
+//! A waiver covers its own line and the next code line (attributes are
+//! skipped, so a waiver above `#[inline]` covers the function it
+//! annotates), must carry a non-empty reason, and is itself an error if
+//! it never fires. A waiver whose covered line contains a *call* also
+//! severs that call edge for the named rule's transitive propagation —
+//! that is how a fault-handling function documents "this rebuild may
+//! allocate" without waiving every allocation in the callee.
 
+use crate::callgraph::{self, CallGraph, Fact, FactKind, FnDef, Reach};
 use crate::lexer::{lex, Tok, Token};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// A rule identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {
-    /// Panic-freedom in hot-path modules.
+    /// Panic-freedom in hot-path modules and everything they reach.
     R1,
     /// `// SAFETY:` comment on every `unsafe`.
     R2,
-    /// Alloc discipline in emission-path functions.
+    /// Alloc discipline on the emission paths.
     R3,
     /// Crate-root lint preamble conformance.
     R4,
-    /// Alloc discipline in observability recording functions.
+    /// Alloc discipline on the observability recording paths.
     R5,
-    /// Panic- and alloc-freedom in fault-handling/recovery functions.
+    /// Panic- and alloc-freedom in fault-handling/recovery paths.
     R6,
-    /// Copy-freedom in split-engine emission functions: the
-    /// scatter-gather split path must not re-copy payload bytes.
+    /// Copy-freedom on the split-engine emission paths.
     R7,
+    /// Determinism audit: no wall-clock, OS randomness, or env reads
+    /// reachable from the Deterministic-mode datapath.
+    R8,
+    /// Blocking audit: no locks, blocking receives, or unbounded
+    /// channels reachable from per-packet functions.
+    R9,
 }
 
 impl Rule {
-    /// The rule's display name (`R1`…`R5`).
+    /// The rule's display name (`R1`…`R9`).
     pub fn name(self) -> &'static str {
         match self {
             Rule::R1 => "R1",
@@ -53,6 +77,8 @@ impl Rule {
             Rule::R5 => "R5",
             Rule::R6 => "R6",
             Rule::R7 => "R7",
+            Rule::R8 => "R8",
+            Rule::R9 => "R9",
         }
     }
 
@@ -65,9 +91,24 @@ impl Rule {
             "R5" => Some(Rule::R5),
             "R6" => Some(Rule::R6),
             "R7" => Some(Rule::R7),
+            "R8" => Some(Rule::R8),
+            "R9" => Some(Rule::R9),
             _ => None,
         }
     }
+
+    /// All rules, for report tabulation.
+    pub const ALL: [Rule; 9] = [
+        Rule::R1,
+        Rule::R2,
+        Rule::R3,
+        Rule::R4,
+        Rule::R5,
+        Rule::R6,
+        Rule::R7,
+        Rule::R8,
+        Rule::R9,
+    ];
 }
 
 /// One reported violation.
@@ -80,8 +121,11 @@ pub struct Violation {
     /// The rule violated (`None` for waiver-hygiene errors, reported
     /// under the pseudo-rule `WAIVER`).
     pub rule: Option<Rule>,
-    /// Human-readable description.
+    /// Human-readable description (includes the blame chain, if any).
     pub message: String,
+    /// For transitive findings: the call chain entry → … → offending
+    /// function, as display names. Empty for direct/lexical findings.
+    pub chain: Vec<String>,
 }
 
 impl Violation {
@@ -117,6 +161,15 @@ pub struct Config {
     /// emission path, which must hand payload bytes onward as
     /// scatter-gather views rather than copying them.
     pub r7_modules: Vec<&'static str>,
+    /// Emission functions that sit at batch *boundaries* rather than on
+    /// the per-packet path: R9 does not use them as entry points (locks
+    /// are legal there by design).
+    pub r9_boundary_fns: Vec<&'static str>,
+    /// Path suffixes of modules the transitive BFS never *enters*:
+    /// deliberately off-invariant code (the rte_gro-style baseline, the
+    /// pcap capture tap) that hot entry points may name but whose
+    /// internals are not datapath. Lexical rules still apply inside.
+    pub transitive_exempt: Vec<&'static str>,
 }
 
 impl Default for Config {
@@ -187,6 +240,22 @@ impl Default for Config {
             ],
             r6_fn_prefixes: vec!["degrade", "on_fault", "restart_worker"],
             r7_modules: vec!["crates/core/src/split.rs"],
+            // process_batch drains a whole batch: it is where per-batch
+            // bookkeeping (and its locks) legitimately lives.
+            r9_boundary_fns: vec!["process_batch"],
+            transitive_exempt: vec![
+                // Models rte_gro's allocation churn as the comparison
+                // point; its callees are the baseline's business.
+                "crates/core/src/baseline.rs",
+                // The pcap capture tap materializes frames by design;
+                // it is a sim-side diagnostic, not a datapath stage.
+                "crates/px-sim/src/pcap.rs",
+                // Models NIC hardware TSO/GRO segmentation: the copies
+                // emulate the DMA a real NIC performs and every slice is
+                // behind the entry length check, so the software-datapath
+                // rules stop at this hardware boundary.
+                "crates/px-sim/src/nic.rs",
+            ],
         }
     }
 }
@@ -218,6 +287,10 @@ impl Config {
 
     fn is_r7(&self, rel_path: &str) -> bool {
         self.r7_modules.iter().any(|m| rel_path.ends_with(m))
+    }
+
+    fn is_exempt(&self, rel_path: &str) -> bool {
+        self.transitive_exempt.iter().any(|m| rel_path.ends_with(m))
     }
 }
 
@@ -276,25 +349,15 @@ fn parse_waiver(text: &str, line: u32) -> Option<Waiver> {
     })
 }
 
-/// Analyzes one Rust source file. `rel_path` is workspace-relative with
-/// forward slashes. Returns the violations found (waiver-suppressed ones
-/// excluded, waiver-hygiene problems included).
-pub fn check_source(cfg: &Config, rel_path: &str, src: &str) -> Vec<Violation> {
-    let toks = lex(src);
-    let r1 = cfg.is_r1(rel_path);
-    let r3 = cfg.is_r3(rel_path);
-    let r5 = cfg.is_r5(rel_path);
-    let r7 = cfg.is_r7(rel_path);
-
+/// Collects waivers from one file's token stream and assigns each the
+/// code line it covers. Attribute tokens — both `#[…]` outer and `#![…]`
+/// inner forms — do not count as the covered code line: a waiver above
+/// `#[inline] fn f…` covers the `fn` line.
+fn collect_waivers(toks: &[Token]) -> Vec<Waiver> {
     let mut waivers: Vec<Waiver> = Vec::new();
-    let mut raw: Vec<Violation> = Vec::new();
-
-    // --- Pass 1: waivers, and which code line each one covers. ---
-    // Attribute tokens (`#[...]`) do not count as the covered code line:
-    // a waiver above `#[allow(...)] stmt;` covers `stmt`.
     let mut attr_depth = 0usize;
     let mut prev_was_hash = false;
-    for t in &toks {
+    for t in toks {
         match &t.kind {
             Tok::LineComment(text) | Tok::BlockComment(text) => {
                 if let Some(w) = parse_waiver(text, t.line) {
@@ -307,6 +370,10 @@ pub fn check_source(cfg: &Config, rel_path: &str, src: &str) -> Vec<Violation> {
                         prev_was_hash = true;
                         true
                     }
+                    // The `!` of an inner attribute `#![…]`: still part
+                    // of the attribute, and `prev_was_hash` must survive
+                    // to the `[` that follows.
+                    Tok::Punct('!') if prev_was_hash => true,
                     Tok::Punct('[') if prev_was_hash || attr_depth > 0 => {
                         attr_depth += 1;
                         prev_was_hash = false;
@@ -332,299 +399,422 @@ pub fn check_source(cfg: &Config, rel_path: &str, src: &str) -> Vec<Violation> {
             }
         }
     }
+    waivers
+}
 
-    // --- Pass 2: token-stream scan. ---
-    // State for #[cfg(test)] regions: once the attribute is seen, the
-    // next item (delimited by braces, or ended by `;`) is test code.
-    let mut brace_depth: i32 = 0;
-    let mut test_region_until: Option<i32> = None; // exempt while depth > this
-    let mut pending_cfg_test = false;
+/// One input file for [`analyze`].
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// File contents.
+    pub src: String,
+    /// Compilation unit (crate package name) for edge filtering.
+    pub unit: String,
+    /// Test/bench/example code: may call anything, is never a callee.
+    pub aux: bool,
+}
 
-    // Function tracking for R3: a stack of (name, depth-at-entry).
-    let mut fn_stack: Vec<(String, i32)> = Vec::new();
-    let mut pending_fn: Option<String> = None;
+/// Transitive crate-dependency map: `deps[a]` contains every crate `a`
+/// may call into. An empty map permits only same-unit edges.
+#[derive(Debug, Default)]
+pub struct DepMap {
+    /// Crate name → transitively reachable dependency names.
+    pub deps: BTreeMap<String, BTreeSet<String>>,
+}
 
-    let code: Vec<&Token> = toks
-        .iter()
-        .filter(|t| !matches!(t.kind, Tok::LineComment(_) | Tok::BlockComment(_)))
-        .collect();
-
-    let ident = |i: usize| -> Option<&str> {
-        match code.get(i).map(|t| &t.kind) {
-            Some(Tok::Ident(s)) => Some(s.as_str()),
-            _ => None,
-        }
-    };
-    let punct = |i: usize, c: char| -> bool {
-        matches!(code.get(i).map(|t| &t.kind), Some(Tok::Punct(p)) if *p == c)
-    };
-
-    let mut i = 0usize;
-    while i < code.len() {
-        let t = code[i];
-        let in_test = test_region_until.is_some();
-        match &t.kind {
-            Tok::Punct('{') => {
-                brace_depth += 1;
-                if let Some(name) = pending_fn.take() {
-                    fn_stack.push((name, brace_depth));
-                }
-            }
-            Tok::Punct('}') => {
-                if let Some((_, d)) = fn_stack.last() {
-                    if *d == brace_depth {
-                        fn_stack.pop();
-                    }
-                }
-                brace_depth -= 1;
-                if let Some(limit) = test_region_until {
-                    if brace_depth <= limit {
-                        test_region_until = None;
-                    }
-                }
-            }
-            Tok::Punct('#') if punct(i + 1, '[') => {
-                // Attribute: detect #[cfg(test)] (and #[cfg(all(test, …))]).
-                let mut j = i + 2;
-                let mut depth = 1usize;
-                let mut saw_cfg = false;
-                let mut saw_test = false;
-                while j < code.len() && depth > 0 {
-                    match &code[j].kind {
-                        Tok::Punct('[') => depth += 1,
-                        Tok::Punct(']') => depth -= 1,
-                        Tok::Ident(s) if s == "cfg" => saw_cfg = true,
-                        Tok::Ident(s) if s == "test" => saw_test = true,
-                        _ => {}
-                    }
-                    j += 1;
-                }
-                if saw_cfg && saw_test {
-                    pending_cfg_test = true;
-                }
-                i = j;
-                continue;
-            }
-            Tok::Ident(name) => match name.as_str() {
-                "fn" => {
-                    if let Some(fname) = ident(i + 1) {
-                        pending_fn = Some(fname.to_string());
-                    }
-                    if pending_cfg_test {
-                        // #[cfg(test)] fn …: exempt its body.
-                        test_region_until.get_or_insert(brace_depth);
-                        pending_cfg_test = false;
-                    }
-                }
-                "mod" | "impl" | "struct" | "enum" | "use" | "const" | "static" | "trait"
-                    if pending_cfg_test =>
-                {
-                    test_region_until.get_or_insert(brace_depth);
-                    pending_cfg_test = false;
-                }
-                // R2: look backwards in the raw stream for a SAFETY
-                // comment immediately above this token.
-                "unsafe" if !has_safety_comment(&toks, t) => {
-                    raw.push(Violation {
-                        file: rel_path.into(),
-                        line: t.line,
-                        rule: Some(Rule::R2),
-                        message: "`unsafe` without an immediately preceding `// SAFETY:` comment"
-                            .into(),
-                    });
-                }
-                "unwrap" | "expect"
-                    if !in_test
-                        && punct(i + 1, '(')
-                        && i > 0
-                        && punct(i - 1, '.')
-                        && panic_scope(cfg, r1, &fn_stack).is_some() =>
-                {
-                    let rule = panic_scope(cfg, r1, &fn_stack).unwrap_or(Rule::R1);
-                    raw.push(Violation {
-                        file: rel_path.into(),
-                        line: t.line,
-                        rule: Some(rule),
-                        message: panic_msg(&format!(".{name}()"), rule, &fn_stack),
-                    });
-                }
-                "panic" | "unreachable" | "todo" | "unimplemented"
-                    if !in_test
-                        && punct(i + 1, '!')
-                        && panic_scope(cfg, r1, &fn_stack).is_some() =>
-                {
-                    let rule = panic_scope(cfg, r1, &fn_stack).unwrap_or(Rule::R1);
-                    raw.push(Violation {
-                        file: rel_path.into(),
-                        line: t.line,
-                        rule: Some(rule),
-                        message: panic_msg(&format!("{name}!"), rule, &fn_stack),
-                    });
-                }
-                "vec"
-                    if !in_test
-                        && punct(i + 1, '!')
-                        && alloc_scope(cfg, r3, r5, &fn_stack).is_some() =>
-                {
-                    let rule = alloc_scope(cfg, r3, r5, &fn_stack).unwrap_or(Rule::R3);
-                    raw.push(Violation {
-                        file: rel_path.into(),
-                        line: t.line,
-                        rule: Some(rule),
-                        message: alloc_msg("vec!", rule, &fn_stack),
-                    });
-                }
-                "format"
-                    if !in_test
-                        && punct(i + 1, '!')
-                        && alloc_scope(cfg, r3, r5, &fn_stack).is_some() =>
-                {
-                    let rule = alloc_scope(cfg, r3, r5, &fn_stack).unwrap_or(Rule::R3);
-                    raw.push(Violation {
-                        file: rel_path.into(),
-                        line: t.line,
-                        rule: Some(rule),
-                        message: alloc_msg("format!", rule, &fn_stack),
-                    });
-                }
-                "Vec" | "Box" | "String" | "Rc" | "Arc"
-                    if !in_test
-                        && punct(i + 1, ':')
-                        && punct(i + 2, ':')
-                        && matches!(ident(i + 3), Some("new" | "with_capacity" | "from"))
-                        && alloc_scope(cfg, r3, r5, &fn_stack).is_some() =>
-                {
-                    let rule = alloc_scope(cfg, r3, r5, &fn_stack).unwrap_or(Rule::R3);
-                    let ctor = ident(i + 3).unwrap_or("new");
-                    raw.push(Violation {
-                        file: rel_path.into(),
-                        line: t.line,
-                        rule: Some(rule),
-                        message: alloc_msg(&format!("{name}::{ctor}"), rule, &fn_stack),
-                    });
-                }
-                "to_vec" | "to_owned" | "clone"
-                    if !in_test
-                        && punct(i + 1, '(')
-                        && i > 0
-                        && punct(i - 1, '.')
-                        && alloc_scope(cfg, r3, r5, &fn_stack).is_some() =>
-                {
-                    let rule = alloc_scope(cfg, r3, r5, &fn_stack).unwrap_or(Rule::R3);
-                    raw.push(Violation {
-                        file: rel_path.into(),
-                        line: t.line,
-                        rule: Some(rule),
-                        message: alloc_msg(&format!(".{name}()"), rule, &fn_stack),
-                    });
-                }
-                // R7: the split emission path must never re-copy payload
-                // bytes — it emits scatter-gather views instead.
-                "extend_from_slice" | "copy_from_slice"
-                    if !in_test
-                        && r7
-                        && punct(i + 1, '(')
-                        && i > 0
-                        && punct(i - 1, '.')
-                        && in_emission(cfg, &fn_stack) =>
-                {
-                    let f = fn_stack
-                        .last()
-                        .map_or("<unknown>", |(name, _)| name.as_str());
-                    raw.push(Violation {
-                        file: rel_path.into(),
-                        line: t.line,
-                        rule: Some(Rule::R7),
-                        message: format!(
-                            "`.{name}()` copies payload bytes in split emission function `{f}`; emit an SgPacket view instead"
-                        ),
-                    });
-                }
-                _ => {}
-            },
-            Tok::Punct('[') if !in_test && panic_scope(cfg, r1, &fn_stack).is_some() => {
-                // Indexing with a partial range (`b[a..]`, `b[..c]`,
-                // `b[a..c]`) panics on short buffers. The full-range
-                // `b[..]` cannot and is allowed. Only index positions
-                // count: an index `[` directly follows an identifier,
-                // `)`, `]`, or a literal.
-                let is_index = i > 0
-                    && matches!(
-                        code[i - 1].kind,
-                        Tok::Ident(_) | Tok::Punct(')') | Tok::Punct(']') | Tok::Literal | Tok::Num
-                    );
-                if is_index {
-                    let mut depth = 1usize;
-                    let mut j = i + 1;
-                    let mut has_dotdot = false;
-                    let mut inner_tokens = 0usize;
-                    while j < code.len() && depth > 0 {
-                        match &code[j].kind {
-                            Tok::Punct('[') => depth += 1,
-                            Tok::Punct(']') => depth -= 1,
-                            Tok::DotDot if depth == 1 => has_dotdot = true,
-                            _ => {}
-                        }
-                        if depth > 0 {
-                            inner_tokens += 1;
-                        }
-                        j += 1;
-                    }
-                    if has_dotdot && inner_tokens > 1 {
-                        let rule = panic_scope(cfg, r1, &fn_stack).unwrap_or(Rule::R1);
-                        raw.push(Violation {
-                            file: rel_path.into(),
-                            line: t.line,
-                            rule: Some(rule),
-                            message: panic_msg("range slicing", rule, &fn_stack),
-                        });
-                    }
-                }
-            }
-            _ => {}
-        }
-        i += 1;
+impl DepMap {
+    /// Whether code in crate `a` can call code in crate `b`.
+    pub fn allows(&self, a: &str, b: &str) -> bool {
+        a == b || self.deps.get(a).is_some_and(|s| s.contains(b))
     }
+}
 
-    // --- Pass 3: apply waivers. ---
-    let mut out = Vec::new();
-    for v in raw {
-        let Some(rule) = v.rule else {
-            out.push(v);
-            continue;
+/// Whole-workspace analysis statistics for the JSON report.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Non-test function definitions in the call graph.
+    pub functions: usize,
+    /// Resolved call edges.
+    pub call_edges: usize,
+    /// Used waivers per rule name (the waiver census).
+    pub waivers_used: BTreeMap<&'static str, usize>,
+}
+
+struct WaiverBank {
+    per_file: HashMap<String, Vec<Waiver>>,
+}
+
+impl WaiverBank {
+    /// Finds a well-formed waiver in `file` covering `line` that names
+    /// `rule`, marks it used, and reports whether one fired.
+    fn try_use(&mut self, file: &str, line: u32, rule: Rule) -> bool {
+        let Some(ws) = self.per_file.get_mut(file) else {
+            return false;
         };
-        let waived = waivers.iter_mut().any(|w| {
-            let covers_line = w.line == v.line || w.covers == Some(v.line);
+        let mut hit = false;
+        for w in ws.iter_mut() {
+            let covers_line = w.line == line || w.covers == Some(line);
             if covers_line && w.rules.contains(&rule) && w.reason_ok {
                 w.used = true;
-                true
-            } else {
-                false
+                hit = true;
             }
-        });
-        if !waived {
-            out.push(v);
+        }
+        hit
+    }
+}
+
+/// Analyzes a set of source files as one program: lexical rules exactly
+/// as before, plus call-graph-transitive propagation of
+/// R1/R3/R5/R6/R7 and the R8/R9 audits. Returns violations in file
+/// order and the graph/waiver statistics.
+pub fn analyze(cfg: &Config, files: &[SourceFile], deps: &DepMap) -> (Vec<Violation>, Stats) {
+    // --- Scan every file; flatten defs; collect waivers. ---
+    let mut defs: Vec<FnDef> = Vec::new();
+    let mut def_file: Vec<usize> = Vec::new();
+    let mut toplevel: Vec<(usize, Vec<Fact>)> = Vec::new();
+    let mut bank = WaiverBank {
+        per_file: HashMap::new(),
+    };
+    for (fi, f) in files.iter().enumerate() {
+        let scan = callgraph::scan_file(&f.rel_path, &f.src);
+        for d in scan.defs {
+            defs.push(d);
+            def_file.push(fi);
+        }
+        toplevel.push((fi, scan.toplevel_facts));
+        bank.per_file
+            .insert(f.rel_path.clone(), collect_waivers(&lex(&f.src)));
+    }
+
+    // --- Build the graph with crate-dependency edge filtering. ---
+    let unit_ok = |a: usize, b: usize| -> bool {
+        let (fa, fb) = (&files[def_file[a]], &files[def_file[b]]);
+        if fb.aux {
+            return fa.rel_path == fb.rel_path;
+        }
+        if fa.aux {
+            return true;
+        }
+        deps.allows(&fa.unit, &fb.unit)
+    };
+    let graph = CallGraph::build(&defs, &unit_ok);
+
+    // --- Entry sets. ---
+    let mut hot = Vec::new(); // emission fns in R3 modules
+    let mut rec = Vec::new(); // recording fns in R5 modules
+    let mut r6e = Vec::new(); // fault-handling fns anywhere
+    let mut r7e = Vec::new(); // emission fns in R7 modules
+    for (i, d) in defs.iter().enumerate() {
+        if d.is_test || files[def_file[i]].aux || cfg.is_exempt(&d.file) {
+            continue;
+        }
+        if cfg.is_r3(&d.file) && cfg.is_emission_fn(&d.name) {
+            hot.push(i);
+        }
+        if cfg.is_r5(&d.file) && cfg.is_recording_fn(&d.name) {
+            rec.push(i);
+        }
+        if cfg.is_r6_fn(&d.name) {
+            r6e.push(i);
+        }
+        if cfg.is_r7(&d.file) && cfg.is_emission_fn(&d.name) {
+            r7e.push(i);
         }
     }
-    for w in &waivers {
-        if !w.reason_ok {
-            out.push(Violation {
-                file: rel_path.into(),
-                line: w.line,
-                rule: None,
-                message: "waiver without a non-empty `reason = \"…\"`".into(),
-            });
-        } else if !w.used && !w.rules.contains(&Rule::R4) {
-            out.push(Violation {
-                file: rel_path.into(),
-                line: w.line,
-                rule: None,
-                message: "unused waiver: nothing on the covered lines violates the waived rule"
-                    .into(),
-            });
+    let hot_rec: Vec<usize> = hot.iter().chain(rec.iter()).copied().collect();
+    let r8e: Vec<usize> = hot_rec.iter().chain(r6e.iter()).copied().collect();
+    let r9e: Vec<usize> = hot_rec
+        .iter()
+        .copied()
+        .filter(|&i| !cfg.r9_boundary_fns.contains(&defs[i].name.as_str()))
+        .collect();
+
+    // --- Per-rule reachability (waivers at call sites sever edges). ---
+    let blocked = |d: usize| cfg.is_exempt(&defs[d].file);
+    let run = |entries: &[usize], rule: Rule, bank: &mut WaiverBank| -> Vec<Reach> {
+        graph.reach(entries, &blocked, &mut |caller, line| {
+            bank.try_use(&defs[caller].file, line, rule)
+        })
+    };
+    let reach_r1 = run(&hot_rec, Rule::R1, &mut bank);
+    let reach_r3 = run(&hot, Rule::R3, &mut bank);
+    let reach_r5 = run(&rec, Rule::R5, &mut bank);
+    let reach_r6 = run(&r6e, Rule::R6, &mut bank);
+    let reach_r7 = run(&r7e, Rule::R7, &mut bank);
+    let reach_r8 = run(&r8e, Rule::R8, &mut bank);
+    let reach_r9 = run(&r9e, Rule::R9, &mut bank);
+
+    // --- Facts → violations, file by file. ---
+    let chain_of = |state: &[Reach], d: usize| -> Vec<String> {
+        match state[d] {
+            Reach::Via { .. } => CallGraph::chain(&defs, state, d),
+            _ => Vec::new(),
+        }
+    };
+    let via = |state: &[Reach], d: usize| matches!(state[d], Reach::Via { .. });
+    let entry = |state: &[Reach], d: usize| matches!(state[d], Reach::Entry);
+
+    let mut out: Vec<Violation> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        let mut raw: Vec<Violation> = Vec::new();
+        let file_r1 = cfg.is_r1(&f.rel_path);
+        let file_r3 = cfg.is_r3(&f.rel_path);
+        let file_r5 = cfg.is_r5(&f.rel_path);
+        let file_r7 = cfg.is_r7(&f.rel_path);
+
+        for (di, d) in defs.iter().enumerate() {
+            if def_file[di] != fi {
+                continue;
+            }
+            let stack: Vec<&str> = d
+                .enclosing
+                .iter()
+                .map(String::as_str)
+                .chain(std::iter::once(d.name.as_str()))
+                .collect();
+            let in_emission = stack.iter().any(|n| cfg.is_emission_fn(n));
+            let in_recording = stack.iter().any(|n| cfg.is_recording_fn(n));
+            let in_r6 = stack.iter().any(|n| cfg.is_r6_fn(n));
+
+            for fact in &d.facts {
+                if fact.kind == FactKind::UnsafeUndoc {
+                    raw.push(r2_violation(&f.rel_path, fact.line));
+                    continue;
+                }
+                if fact.in_test || d.is_test {
+                    continue;
+                }
+                let finding = match fact.kind {
+                    FactKind::Panic | FactKind::RangeSlice => {
+                        if file_r1 {
+                            Some((Rule::R1, Vec::new()))
+                        } else if in_r6 {
+                            Some((Rule::R6, Vec::new()))
+                        } else if via(&reach_r1, di) {
+                            Some((Rule::R1, chain_of(&reach_r1, di)))
+                        } else if via(&reach_r6, di) {
+                            Some((Rule::R6, chain_of(&reach_r6, di)))
+                        } else {
+                            None
+                        }
+                    }
+                    FactKind::Alloc => {
+                        if file_r3 && in_emission {
+                            Some((Rule::R3, Vec::new()))
+                        } else if file_r5 && in_recording {
+                            Some((Rule::R5, Vec::new()))
+                        } else if in_r6 {
+                            Some((Rule::R6, Vec::new()))
+                        } else if via(&reach_r3, di) {
+                            Some((Rule::R3, chain_of(&reach_r3, di)))
+                        } else if via(&reach_r5, di) {
+                            Some((Rule::R5, chain_of(&reach_r5, di)))
+                        } else if via(&reach_r6, di) {
+                            Some((Rule::R6, chain_of(&reach_r6, di)))
+                        } else {
+                            None
+                        }
+                    }
+                    FactKind::PayloadCopy => {
+                        if file_r7 && in_emission {
+                            Some((Rule::R7, Vec::new()))
+                        } else if via(&reach_r7, di) {
+                            Some((Rule::R7, chain_of(&reach_r7, di)))
+                        } else {
+                            None
+                        }
+                    }
+                    FactKind::WallClock
+                    | FactKind::OsRandom
+                    | FactKind::HashDefault
+                    | FactKind::EnvRead => {
+                        if entry(&reach_r8, di) {
+                            Some((Rule::R8, Vec::new()))
+                        } else if via(&reach_r8, di) {
+                            Some((Rule::R8, chain_of(&reach_r8, di)))
+                        } else {
+                            None
+                        }
+                    }
+                    FactKind::Lock | FactKind::BlockingRecv | FactKind::UnboundedChan => {
+                        if entry(&reach_r9, di) {
+                            Some((Rule::R9, Vec::new()))
+                        } else if via(&reach_r9, di) {
+                            Some((Rule::R9, chain_of(&reach_r9, di)))
+                        } else {
+                            None
+                        }
+                    }
+                    FactKind::UnsafeUndoc => unreachable!(),
+                };
+                if let Some((rule, chain)) = finding {
+                    raw.push(fact_violation(rule, fact, d, chain));
+                }
+            }
+        }
+
+        // Toplevel facts (consts/statics): R1 applies module-wide, R2
+        // everywhere; nothing else has a function scope to bind to.
+        for fact in &toplevel[fi].1 {
+            if fact.kind == FactKind::UnsafeUndoc {
+                raw.push(r2_violation(&f.rel_path, fact.line));
+            } else if !fact.in_test
+                && file_r1
+                && matches!(fact.kind, FactKind::Panic | FactKind::RangeSlice)
+            {
+                raw.push(Violation {
+                    file: f.rel_path.clone(),
+                    line: fact.line,
+                    rule: Some(Rule::R1),
+                    message: panic_msg(&fact.what, Rule::R1, None),
+                    chain: Vec::new(),
+                });
+            }
+        }
+
+        // Waiver suppression, then this file's waiver hygiene.
+        for v in raw {
+            let waived = v
+                .rule
+                .is_some_and(|rule| bank.try_use(&v.file, v.line, rule));
+            if !waived {
+                out.push(v);
+            }
+        }
+        if let Some(ws) = bank.per_file.get(&f.rel_path) {
+            for w in ws {
+                if !w.reason_ok {
+                    out.push(Violation {
+                        file: f.rel_path.clone(),
+                        line: w.line,
+                        rule: None,
+                        message: "waiver without a non-empty `reason = \"…\"`".into(),
+                        chain: Vec::new(),
+                    });
+                } else if !w.used && !w.rules.contains(&Rule::R4) {
+                    out.push(Violation {
+                        file: f.rel_path.clone(),
+                        line: w.line,
+                        rule: None,
+                        message:
+                            "unused waiver: nothing on the covered lines violates the waived rule"
+                                .into(),
+                        chain: Vec::new(),
+                    });
+                }
+            }
         }
     }
-    out
+
+    // --- Stats. ---
+    let mut stats = Stats {
+        functions: defs.iter().filter(|d| !d.is_test).count(),
+        call_edges: graph.edge_count,
+        waivers_used: BTreeMap::new(),
+    };
+    for ws in bank.per_file.values() {
+        for w in ws.iter().filter(|w| w.used) {
+            for r in &w.rules {
+                *stats.waivers_used.entry(r.name()).or_insert(0) += 1;
+            }
+        }
+    }
+    (out, stats)
+}
+
+fn r2_violation(file: &str, line: u32) -> Violation {
+    Violation {
+        file: file.to_string(),
+        line,
+        rule: Some(Rule::R2),
+        message: "`unsafe` without an immediately preceding `// SAFETY:` comment".into(),
+        chain: Vec::new(),
+    }
+}
+
+/// Builds the violation for a rule-claimed fact, direct or transitive.
+fn fact_violation(rule: Rule, fact: &Fact, d: &FnDef, chain: Vec<String>) -> Violation {
+    let what = &fact.what;
+    let name = d.display();
+    let message = if chain.is_empty() {
+        match rule {
+            Rule::R1 => panic_msg(what, rule, Some(&d.name)),
+            Rule::R6 if matches!(fact.kind, FactKind::Panic | FactKind::RangeSlice) => {
+                panic_msg(what, rule, Some(&d.name))
+            }
+            Rule::R3 | Rule::R5 | Rule::R6 => alloc_msg(what, rule, &d.name),
+            Rule::R7 => format!(
+                "`{what}` copies payload bytes in split emission function `{}`; emit an SgPacket view instead",
+                d.name
+            ),
+            Rule::R8 => format!(
+                "`{what}` is nondeterministic in Deterministic-mode datapath function `{}`; \
+                 derive from the event stream or gate behind Parallel mode",
+                d.name
+            ),
+            Rule::R9 => format!(
+                "`{what}` can block in per-packet function `{}`; locks belong at batch boundaries",
+                d.name
+            ),
+            Rule::R2 | Rule::R4 => unreachable!("handled elsewhere"),
+        }
+    } else {
+        let path = chain.join(" → ");
+        match rule {
+            Rule::R1 => format!(
+                "`{what}` in `{name}` is reachable from the hot path via `{path}`; \
+                 return a typed error or drop-and-count instead"
+            ),
+            Rule::R3 => format!(
+                "`{what}` allocates in `{name}`, reached from the emission path via `{path}`"
+            ),
+            Rule::R5 => format!(
+                "`{what}` allocates in `{name}`, reached from the recording path via `{path}`"
+            ),
+            Rule::R6 if matches!(fact.kind, FactKind::Panic | FactKind::RangeSlice) => format!(
+                "`{what}` in `{name}` is reachable from fault-handling code via `{path}`; \
+                 recovery code must not be able to panic"
+            ),
+            Rule::R6 => format!(
+                "`{what}` allocates in `{name}`, reached from fault-handling code via `{path}`; \
+                 recovery must not lean on a possibly-exhausted allocator"
+            ),
+            Rule::R7 => format!(
+                "`{what}` copies payload bytes in `{name}`, reached from split emission via \
+                 `{path}`; emit an SgPacket view instead"
+            ),
+            Rule::R8 => format!(
+                "`{what}` in `{name}` is nondeterministic, reachable from the Deterministic-mode \
+                 datapath via `{path}`; derive from the event stream or gate behind Parallel mode"
+            ),
+            Rule::R9 => format!(
+                "`{what}` in `{name}` can block, reachable from a per-packet path via `{path}`; \
+                 locks belong at batch boundaries"
+            ),
+            Rule::R2 | Rule::R4 => unreachable!("handled elsewhere"),
+        }
+    };
+    Violation {
+        file: d.file.clone(),
+        line: fact.line,
+        rule: Some(rule),
+        message,
+        chain,
+    }
+}
+
+/// Analyzes one Rust source file in isolation. `rel_path` is
+/// workspace-relative with forward slashes. Transitive propagation runs
+/// within the file; cross-file edges obviously need [`analyze`].
+pub fn check_source(cfg: &Config, rel_path: &str, src: &str) -> Vec<Violation> {
+    let files = [SourceFile {
+        rel_path: rel_path.to_string(),
+        src: src.to_string(),
+        unit: "solo".to_string(),
+        aux: false,
+    }];
+    analyze(cfg, &files, &DepMap::default()).0
 }
 
 /// Whether the token stream contains an R4 waiver (used by the crate-root
@@ -638,33 +828,9 @@ pub fn has_r4_waiver(src: &str) -> bool {
     })
 }
 
-fn in_emission(cfg: &Config, fn_stack: &[(String, i32)]) -> bool {
-    fn_stack.iter().any(|(name, _)| cfg.is_emission_fn(name))
-}
-
-fn in_r6(cfg: &Config, fn_stack: &[(String, i32)]) -> bool {
-    fn_stack.iter().any(|(name, _)| cfg.is_r6_fn(name))
-}
-
-/// Which panic-freedom rule (if any) covers the current position: R1
-/// module-wide in hot-path modules, otherwise R6 inside a fault-handling
-/// function of *any* module. R1 wins where both apply, so existing
-/// hot-path waivers keep naming the rule they were written for.
-fn panic_scope(cfg: &Config, r1: bool, fn_stack: &[(String, i32)]) -> Option<Rule> {
-    if r1 {
-        return Some(Rule::R1);
-    }
-    if in_r6(cfg, fn_stack) {
-        return Some(Rule::R6);
-    }
-    None
-}
-
-fn panic_msg(what: &str, rule: Rule, fn_stack: &[(String, i32)]) -> String {
+fn panic_msg(what: &str, rule: Rule, fn_name: Option<&str>) -> String {
     if rule == Rule::R6 {
-        let f = fn_stack
-            .last()
-            .map_or("<unknown>", |(name, _)| name.as_str());
+        let f = fn_name.unwrap_or("<unknown>");
         return format!(
             "`{what}` in fault-handling function `{f}`; recovery code must not be able to panic"
         );
@@ -677,80 +843,13 @@ fn panic_msg(what: &str, rule: Rule, fn_stack: &[(String, i32)]) -> String {
     }
 }
 
-fn in_recording(cfg: &Config, fn_stack: &[(String, i32)]) -> bool {
-    fn_stack.iter().any(|(name, _)| cfg.is_recording_fn(name))
-}
-
-/// Which alloc-discipline rule (if any) covers the current function:
-/// R3 inside an emission path of an R3 module, R5 inside a recording
-/// function of an R5 module, R6 inside a fault-handling function of
-/// any module (recovery must not lean on a possibly-exhausted
-/// allocator).
-fn alloc_scope(cfg: &Config, r3: bool, r5: bool, fn_stack: &[(String, i32)]) -> Option<Rule> {
-    if r3 && in_emission(cfg, fn_stack) {
-        return Some(Rule::R3);
-    }
-    if r5 && in_recording(cfg, fn_stack) {
-        return Some(Rule::R5);
-    }
-    if in_r6(cfg, fn_stack) {
-        return Some(Rule::R6);
-    }
-    None
-}
-
-fn alloc_msg(what: &str, rule: Rule, fn_stack: &[(String, i32)]) -> String {
-    let f = fn_stack
-        .last()
-        .map_or("<unknown>", |(name, _)| name.as_str());
+fn alloc_msg(what: &str, rule: Rule, fn_name: &str) -> String {
     let path = match rule {
         Rule::R5 => "recording-path",
         Rule::R6 => "fault-handling",
         _ => "emission-path",
     };
-    format!("`{what}` allocates inside {path} function `{f}`")
-}
-
-/// R2 helper: whether a `SAFETY:` comment (or, for `unsafe fn`
-/// declarations, a `# Safety` doc section) immediately precedes the
-/// given `unsafe` token.
-///
-/// "Immediately precedes" is statement-shaped, not token-shaped:
-/// walking backwards, tokens on the `unsafe` token's own line are
-/// skipped (so `let x = unsafe { … }` is justified by the comment above
-/// the statement), attributes are skipped (so `#[target_feature(…)]`
-/// between a doc comment and `pub unsafe fn` does not hide the doc),
-/// and then only comment tokens may remain between the justification
-/// and the `unsafe`.
-fn has_safety_comment(toks: &[Token], unsafe_tok: &Token) -> bool {
-    // Find this token's position in the raw stream by identity.
-    let pos = toks
-        .iter()
-        .position(|t| std::ptr::eq(t, unsafe_tok))
-        .unwrap_or(0);
-    // Attribute-bracket depth while scanning backwards: `]` opens,
-    // the matching `[` closes.
-    let mut bracket_depth = 0usize;
-    for t in toks.iter().take(pos).rev() {
-        match &t.kind {
-            Tok::LineComment(text) | Tok::BlockComment(text) => {
-                if text.contains("SAFETY:") || text.contains("# Safety") {
-                    return true;
-                }
-            }
-            Tok::Punct(']') => bracket_depth += 1,
-            Tok::Punct('[') if bracket_depth > 0 => bracket_depth -= 1,
-            // The `#` introducing an attribute whose brackets were just
-            // consumed.
-            Tok::Punct('#') => {}
-            _ if bracket_depth > 0 => {}
-            // Same-statement prefix on the `unsafe` token's line; a
-            // statement boundary ends the leeway.
-            _ if t.line == unsafe_tok.line && !matches!(t.kind, Tok::Punct(';' | '{' | '}')) => {}
-            _ => return false,
-        }
-    }
-    false
+    format!("`{what}` allocates inside {path} function `{fn_name}`")
 }
 
 #[cfg(test)]
@@ -865,5 +964,90 @@ mod tests {
         let no_reason = "fn f(x: Option<u8>) {\n    // px-analyze: allow(R1)\n    x.unwrap();\n}";
         // Waiver without reason: the unwrap stays AND the waiver errors.
         assert_eq!(check(HOT, no_reason).len(), 2);
+    }
+
+    #[test]
+    fn waiver_skips_outer_and_inner_attributes() {
+        // Waiver above an outer attribute covers the fn line it annotates.
+        let outer = "// px-analyze: allow(R1, reason = \"attr hop\")\n#[inline]\nfn f(x: Option<u8>) { x.unwrap(); }";
+        assert!(check(HOT, outer).is_empty(), "{:#?}", check(HOT, outer));
+        // Waiver above an *inner* attribute (`#![…]`) must also skip it:
+        // this was the regression — the `!` token broke attribute
+        // tracking and the waiver attached to the attribute line.
+        let inner = "// px-analyze: allow(R1, reason = \"attr hop\")\n#![allow(dead_code)]\nfn f(x: Option<u8>) { x.unwrap(); }";
+        assert!(check(HOT, inner).is_empty(), "{:#?}", check(HOT, inner));
+        // Stacked attributes are all skipped.
+        let stacked = "// px-analyze: allow(R1, reason = \"attr hop\")\n#[inline]\n#[cold]\nfn f(x: Option<u8>) { x.unwrap(); }";
+        assert!(check(HOT, stacked).is_empty(), "{:#?}", check(HOT, stacked));
+    }
+
+    #[test]
+    fn transitive_r3_carries_a_blame_chain() {
+        let src = "fn push_into(&mut self) { helper_a(); }\n\
+                   fn helper_a() { helper_b(); }\n\
+                   fn helper_b() { let v = Vec::new(); }";
+        let vs = check(HOT, src);
+        assert_eq!(vs.len(), 1, "{vs:#?}");
+        assert_eq!(vs[0].rule, Some(Rule::R3));
+        assert_eq!(vs[0].chain, vec!["push_into", "helper_a", "helper_b"]);
+        assert!(vs[0].message.contains("push_into → helper_a → helper_b"));
+        // The same helpers without a hot entry point are clean.
+        let cold_src = "fn setup(&mut self) { helper_a(); }\n\
+                        fn helper_a() { helper_b(); }\n\
+                        fn helper_b() { let v = Vec::new(); }";
+        assert!(check(HOT, cold_src).is_empty());
+    }
+
+    #[test]
+    fn transitive_r1_reaches_helpers_outside_hot_modules() {
+        // check_source scopes by path: in a cold file nothing fires,
+        // but R6 entries propagate anywhere.
+        let src = "fn degrade_link(&mut self) { helper(); }\n\
+                   fn helper(x: Option<u8>) { x.unwrap(); }";
+        let vs = check(COLD, src);
+        assert_eq!(vs.len(), 1, "{vs:#?}");
+        assert_eq!(vs[0].rule, Some(Rule::R6));
+        assert_eq!(vs[0].chain, vec!["degrade_link", "helper"]);
+    }
+
+    #[test]
+    fn r8_flags_nondeterminism_reachable_from_hot_entries() {
+        let direct = "fn push_into(&mut self) { let t = Instant::now(); }";
+        let vs = check(HOT, direct);
+        assert_eq!(vs.len(), 1, "{vs:#?}");
+        assert_eq!(vs[0].rule, Some(Rule::R8));
+        let transitive = "fn push_into(&mut self) { stamp(); }\n\
+                          fn stamp() { let t = Instant::now(); }";
+        let vs = check(HOT, transitive);
+        assert_eq!(vs.len(), 1, "{vs:#?}");
+        assert_eq!(vs[0].rule, Some(Rule::R8));
+        assert_eq!(vs[0].chain, vec!["push_into", "stamp"]);
+        // The same clock read with no path from an entry point is fine.
+        assert!(check(HOT, "fn bench_setup() { let t = Instant::now(); }").is_empty());
+    }
+
+    #[test]
+    fn r9_flags_blocking_on_per_packet_paths_but_not_batch_boundaries() {
+        let bad = "fn push_into(&mut self) { grab(); }\n\
+                   fn grab(&self) { let g = self.stats.lock(); }";
+        let vs = check(HOT, bad);
+        assert_eq!(vs.len(), 1, "{vs:#?}");
+        assert_eq!(vs[0].rule, Some(Rule::R9));
+        // process_batch is a declared batch boundary: locks are legal.
+        let boundary = "fn process_batch(&mut self) { let g = self.stats.lock(); }";
+        assert!(check(HOT, boundary).is_empty());
+    }
+
+    #[test]
+    fn call_site_waiver_severs_transitive_propagation() {
+        // The R6 waiver on the call line documents that the rebuild may
+        // allocate — the callee's internals are then out of scope.
+        let src = "fn restart_worker(&mut self) {\n\
+                       // px-analyze: allow(R6, reason = \"post-panic rebuild allocates outside the degraded path\")\n\
+                       rebuild();\n\
+                   }\n\
+                   fn rebuild() { let v = Vec::new(); }";
+        let vs = check(COLD, src);
+        assert!(vs.is_empty(), "{vs:#?}");
     }
 }

@@ -195,3 +195,91 @@ fn json_report_shape() {
     assert!(json.contains("\"violation_count\": 3"));
     assert!(json.contains("\"rule\": \"R4\""));
 }
+
+/// Analyzes several fixture files as one unit — exercises cross-file
+/// reachability, which `check_source`'s single-file wrapper cannot.
+fn check_pair(files: &[(&str, &str)]) -> Vec<px_analyze::Violation> {
+    let sources: Vec<px_analyze::SourceFile> = files
+        .iter()
+        .map(|(path, name)| px_analyze::SourceFile {
+            rel_path: path.to_string(),
+            src: fixture(name),
+            unit: "solo".to_string(),
+            aux: false,
+        })
+        .collect();
+    rules::analyze(&Config::default(), &sources, &px_analyze::DepMap::default()).0
+}
+
+#[test]
+fn r8_bad_flags_laundered_nondeterminism_with_blame_chains() {
+    let vs = check(HOT, "r8_bad.rs");
+    assert_eq!(count_rule(&vs, Rule::R8), 3, "{vs:#?}");
+    assert_eq!(vs.len(), 3, "{vs:#?}");
+    // The deepest finding names both call edges between entry and clock.
+    let deep = vs
+        .iter()
+        .find(|v| v.message.contains("Instant::now"))
+        .expect("wall-clock finding");
+    assert_eq!(deep.chain, vec!["push_into", "stamp", "seed"], "{vs:#?}");
+}
+
+#[test]
+fn r8_good_parallel_only_clock_is_out_of_reach() {
+    let vs = check(HOT, "r8_good.rs");
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn r9_bad_flags_blocking_reachable_from_per_packet_entries() {
+    let vs = check(HOT, "r9_bad.rs");
+    assert_eq!(count_rule(&vs, Rule::R9), 3, "{vs:#?}");
+    assert_eq!(vs.len(), 3, "{vs:#?}");
+    let recv = vs
+        .iter()
+        .find(|v| v.message.contains("recv"))
+        .expect("blocking-recv finding");
+    assert_eq!(
+        recv.chain,
+        vec!["push_into", "note_stat", "tally"],
+        "{vs:#?}"
+    );
+}
+
+#[test]
+fn r9_good_locks_at_the_batch_boundary_are_allowed() {
+    let vs = check(HOT, "r9_good.rs");
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn transitive_laundering_is_flagged_across_files_with_chains() {
+    let vs = check_pair(&[
+        (HOT, "transitive_entry_bad.rs"),
+        (COLD, "transitive_helpers.rs"),
+    ]);
+    assert_eq!(count_rule(&vs, Rule::R1), 1, "{vs:#?}");
+    assert_eq!(count_rule(&vs, Rule::R3), 1, "{vs:#?}");
+    assert_eq!(vs.len(), 2, "{vs:#?}");
+    let r1 = vs.iter().find(|v| v.rule == Some(Rule::R1)).unwrap();
+    assert_eq!(
+        r1.chain,
+        vec!["push_into", "scale_len", "depth_one", "first_len"],
+        "{vs:#?}"
+    );
+    assert!(
+        r1.file.ends_with("stats.rs"),
+        "finding lands on the helper file: {vs:#?}"
+    );
+    let r3 = vs.iter().find(|v| v.rule == Some(Rule::R3)).unwrap();
+    assert_eq!(r3.chain, vec!["flush_into", "widen", "staging"], "{vs:#?}");
+}
+
+#[test]
+fn transitive_clean_entry_ignores_unreachable_bad_helpers() {
+    let vs = check_pair(&[
+        (HOT, "transitive_entry_good.rs"),
+        (COLD, "transitive_helpers.rs"),
+    ]);
+    assert!(vs.is_empty(), "{vs:#?}");
+}

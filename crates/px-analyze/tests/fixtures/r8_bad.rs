@@ -1,0 +1,20 @@
+// Fixture: nondeterminism laundered through helpers — the emission
+// entry is clean on its own tokens, but R8 reaches the wall clock, the
+// env read, and the default-hasher map through the call graph.
+
+pub fn push_into(out: &mut Vec<u64>) {
+    stamp(out);
+}
+
+fn stamp(out: &mut Vec<u64>) {
+    let dedup: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let _ = dedup;
+    out.push(seed());
+}
+
+fn seed() -> u64 {
+    let t = std::time::Instant::now();
+    let e = std::env::var("PX_SEED").ok();
+    let n = e.map(|s| s.len() as u64).unwrap_or(1);
+    t.elapsed().as_nanos() as u64 ^ n
+}

@@ -1,0 +1,21 @@
+// Fixture: blocking primitives laundered into the per-packet path —
+// a lock one call deep, a channel round-trip two calls deep.
+
+pub fn push_into(out: &mut Vec<u64>, v: u64) {
+    note_stat(out, v);
+}
+
+static GAUGE: std::sync::Mutex<u64> = std::sync::Mutex::new(0);
+
+fn note_stat(out: &mut Vec<u64>, v: u64) {
+    if let Ok(mut g) = GAUGE.lock() {
+        *g += 1;
+    }
+    out.push(tally(v));
+}
+
+fn tally(v: u64) -> u64 {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let _ = tx.send(v);
+    rx.recv().unwrap_or(0)
+}

@@ -1,0 +1,18 @@
+// Fixture: the lock lives at the batch boundary, where it belongs.
+// `process_batch` merges stats once per batch; the per-packet entry it
+// drives stays lock-free, so R9 has nothing to say.
+
+static STATS: std::sync::Mutex<u64> = std::sync::Mutex::new(0);
+
+pub fn process_batch(pkts: &[u64], out: &mut Vec<u64>) {
+    for &p in pkts {
+        push_into(out, p);
+    }
+    if let Ok(mut g) = STATS.lock() {
+        *g += out.len() as u64;
+    }
+}
+
+pub fn push_into(out: &mut Vec<u64>, v: u64) {
+    out.push(v.rotate_left(3));
+}

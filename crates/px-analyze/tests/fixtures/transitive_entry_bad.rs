@@ -1,0 +1,12 @@
+// Fixture: hot-module entry points that are spotless on their own
+// tokens but launder a panic and an allocation through the cold
+// helpers in `transitive_helpers.rs`.
+
+pub fn push_into(out: &mut usize, pkt: &[u8]) {
+    *out += scale_len(pkt);
+}
+
+pub fn flush_into(out: &mut Vec<u8>, pkt: &[u8]) {
+    let w = widen(pkt);
+    out.extend(w);
+}

@@ -1,0 +1,7 @@
+// Fixture: an entry point that sticks to the clean helper — the bad
+// helpers exist in `transitive_helpers.rs` but stay unreachable, so
+// the reachability pass keeps quiet.
+
+pub fn push_into(out: &mut u64, a: u64, b: u64) {
+    *out ^= clean_mix(a, b);
+}

@@ -1,0 +1,29 @@
+// Fixture: helpers in a cold module that would launder hot-path
+// violations. Nothing here is flagged lexically — the panic and the
+// allocation only matter when an emission entry can reach them.
+
+pub fn scale_len(pkt: &[u8]) -> usize {
+    depth_one(pkt)
+}
+
+fn depth_one(pkt: &[u8]) -> usize {
+    first_len(pkt)
+}
+
+fn first_len(pkt: &[u8]) -> usize {
+    pkt.first().map(|&b| b as usize).unwrap()
+}
+
+pub fn widen(pkt: &[u8]) -> Vec<u8> {
+    staging(pkt)
+}
+
+fn staging(pkt: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(pkt.len() * 2);
+    v.extend(pkt);
+    v
+}
+
+pub fn clean_mix(a: u64, b: u64) -> u64 {
+    a ^ b.rotate_left(9)
+}

@@ -19,3 +19,22 @@ fn waived_over_attribute(x: Option<u8>) -> u8 {
     #[allow(unused_variables)]
     x.unwrap()
 }
+
+// Regression: a waiver directly above the attributes of the function it
+// annotates must skip every attribute line — outer, stacked, and inner
+// (`#![…]`) forms — before binding to the first code line.
+
+// px-analyze: allow(R1, reason = "fixture: waiver skips the fn attribute")
+#[inline]
+fn waived_over_fn_attribute(x: Option<u8>) -> u8 { x.unwrap() }
+
+// px-analyze: allow(R1, reason = "fixture: waiver skips stacked attributes")
+#[inline]
+#[allow(clippy::len_zero)]
+fn waived_over_stacked_attributes(b: &[u8]) -> u8 { b[1..3][0] }
+
+fn waived_over_inner_attribute(x: Option<u8>) -> u8 {
+    // px-analyze: allow(R1, reason = "fixture: waiver skips the inner attribute")
+    #![allow(unused)]
+    x.unwrap()
+}

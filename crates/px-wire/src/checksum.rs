@@ -118,6 +118,7 @@ fn best_available() -> Kernel {
 }
 
 fn resolve_kernel() -> Kernel {
+    // px-analyze: allow(R8, reason = "PX_CHECKSUM_FORCE is read once and cached in the process-global ACTIVE selector; it picks among bit-identical kernels (gated by kernel-matrix CI), so replay output never varies")
     if let Ok(v) = std::env::var("PX_CHECKSUM_FORCE") {
         if let Some(k) = Kernel::parse(&v) {
             if k.available() {

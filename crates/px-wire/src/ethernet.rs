@@ -117,7 +117,7 @@ impl<T: AsRef<[u8]>> EthernetFrame<T> {
 
     /// The frame payload (everything after the header).
     pub fn payload(&self) -> &[u8] {
-        &self.buffer.as_ref()[HEADER_LEN..]
+        bytes::range_from(self.buffer.as_ref(), HEADER_LEN)
     }
 
     /// Releases the inner buffer.
@@ -129,22 +129,22 @@ impl<T: AsRef<[u8]>> EthernetFrame<T> {
 impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
     /// Sets the destination MAC.
     pub fn set_dst(&mut self, mac: MacAddr) {
-        self.buffer.as_mut()[0..6].copy_from_slice(&mac.0);
+        bytes::put(self.buffer.as_mut(), 0, &mac.0);
     }
 
     /// Sets the source MAC.
     pub fn set_src(&mut self, mac: MacAddr) {
-        self.buffer.as_mut()[6..12].copy_from_slice(&mac.0);
+        bytes::put(self.buffer.as_mut(), 6, &mac.0);
     }
 
     /// Sets the EtherType.
     pub fn set_ethertype(&mut self, e: EtherType) {
-        self.buffer.as_mut()[12..14].copy_from_slice(&u16::from(e).to_be_bytes());
+        bytes::put_be16(self.buffer.as_mut(), 12, u16::from(e));
     }
 
     /// The payload, mutably.
     pub fn payload_mut(&mut self) -> &mut [u8] {
-        &mut self.buffer.as_mut()[HEADER_LEN..]
+        bytes::range_from_mut(self.buffer.as_mut(), HEADER_LEN)
     }
 }
 

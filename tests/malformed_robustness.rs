@@ -12,10 +12,20 @@ use packet_express::core::merge::{MergeConfig, MergeEngine};
 use packet_express::core::split::SplitEngine;
 use packet_express::obs::ObsConfig;
 use packet_express::wire::ipv4::{Ipv4Repr, CARAVAN_TOS};
+use packet_express::wire::pool::VecSink;
 use packet_express::wire::tcp::{SeqNum, TcpFlags, TcpRepr};
 use packet_express::wire::{IpProtocol, UdpRepr};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
+
+/// Sink-based split collected into `Vec`s — replaces the removed
+/// `SplitEngine::push`/`push_to` compatibility wrappers for tests that
+/// assert on whole output packets.
+fn split_vec(eng: &mut SplitEngine, pkt: &[u8], mtu: usize) -> Vec<Vec<u8>> {
+    let mut sink = VecSink::new();
+    eng.push_to_into(pkt, mtu, &mut sink);
+    sink.into_pkts()
+}
 
 const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
@@ -67,7 +77,6 @@ fn flip_bits(pkt: &mut [u8], flips: &[u32]) {
 /// flight recorder is armed on every engine; if a panic does slip
 /// through, the last 64 events per engine are printed before the panic
 /// is re-raised — the post-mortem the recorder exists for.
-#[allow(deprecated)] // deliberately keeps the legacy Vec wrappers under fuzz
 fn run_all_engines(pkt: &[u8]) {
     let obs = ObsConfig::default();
     let mut merge = MergeEngine::new(MergeConfig::default());
@@ -83,8 +92,8 @@ fn run_all_engines(pkt: &[u8]) {
         out.extend(merge.poll(deadline));
         out.extend(merge.flush_all());
 
-        out.extend(split.push(pkt.to_vec()));
-        out.extend(split.push_to(pkt.to_vec(), 576));
+        out.extend(split_vec(&mut split, pkt, 1500));
+        out.extend(split_vec(&mut split, pkt, 576));
 
         out.extend(caravan.push_inbound(0, pkt.to_vec()));
         out.extend(caravan.push_outbound(pkt.to_vec()));
@@ -185,8 +194,7 @@ proptest! {
 
         let mut split = SplitEngine::new(1500);
         let before_drops = split.stats.dropped_df + split.stats.dropped_malformed;
-        #[allow(deprecated)]
-        let out = split.push(pkt);
+        let out = split_vec(&mut split, &pkt, 1500);
         let after_drops = split.stats.dropped_df + split.stats.dropped_malformed;
         if out.is_empty() {
             prop_assert_eq!(after_drops, before_drops + 1,
