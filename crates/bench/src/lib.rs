@@ -35,6 +35,7 @@ pub mod single_core;
 pub mod summary;
 pub mod survey;
 pub mod table1;
+pub mod trace;
 
 /// How big to run an experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -264,4 +264,38 @@ mod tests {
         // A clean family passes.
         assert!(validate_prometheus("# HELP pxgw_x d\n# TYPE pxgw_x counter\npxgw_x 1\n").is_ok());
     }
+
+    #[test]
+    fn live_endpoint_serves_metrics_health_and_trace() {
+        // A Parallel run with the live endpoint armed on an ephemeral
+        // port: the handle in the report keeps serving from the shared
+        // registry after the run, so the smoke test scrapes post-run.
+        let mut pipe = PipelineConfig::fig5(SystemVariant::Px, WorkloadKind::Tcp, 2);
+        pipe.trace_pkts = 4_000;
+        let mut cfg = EngineConfig::new(pipe, EngineMode::Parallel);
+        cfg.obs.slo = px_obs::SloSpec::demo();
+        cfg.serve_port = Some(0);
+        let report = run_engine(cfg);
+        let handle = report.serve.as_ref().expect("endpoint must bind port 0");
+        let addr = handle.addr();
+
+        let (status, body) = px_obs::http_get(addr, "/metrics").expect("/metrics reachable");
+        assert_eq!(status, 200);
+        validate_prometheus(&body).expect("scraped exposition must validate");
+        assert!(body.contains("pxgw_pkts_in_total"));
+
+        // A healthy run under the demo objectives answers 200 with an
+        // ok verdict; breaches would flip it to 503.
+        let (status, body) = px_obs::http_get(addr, "/healthz").expect("/healthz reachable");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"ok\": true"), "{body}");
+
+        let (status, body) = px_obs::http_get(addr, "/trace?flow=1").expect("/trace reachable");
+        assert_eq!(status, 200);
+        assert!(body.starts_with("{\"traceEvents\": ["), "{body}");
+        assert_eq!(body.matches('{').count(), body.matches('}').count());
+
+        let (status, _) = px_obs::http_get(addr, "/nope").expect("unknown route still answers");
+        assert_eq!(status, 404);
+    }
 }

@@ -18,8 +18,8 @@
 //! fragmentation reveals the path MTU (§4.2).
 
 use crate::flowtable::FlowTable;
-use px_faults::{hash_bytes, FaultInjector, FaultSpec, PlannedFaults};
-use px_obs::{flow_id, EventKind, ObsConfig, Recorder};
+use px_faults::{cause, hash_bytes, FaultInjector, FaultSpec, PlannedFaults};
+use px_obs::{flow_id, EventKind, ObsConfig, Recorder, SpanCat};
 use px_sim::stats::SizeHistogram;
 use px_wire::bytes;
 use px_wire::caravan::{iter_bundle, MAX_INNER};
@@ -152,6 +152,11 @@ pub struct CaravanEngine {
     spare: Option<PacketBuf>,
     /// Whether the engine is currently in degraded (passthrough) mode.
     degraded: bool,
+    /// Monotone per-emission sequence: the low bits of every `Caravan`
+    /// span's causal link id (see [`CaravanEngine::set_span_link_base`]).
+    emit_seq: u64,
+    /// High-bit offset OR-ed into link ids for cross-core uniqueness.
+    link_base: u64,
 }
 
 impl CaravanEngine {
@@ -170,6 +175,8 @@ impl CaravanEngine {
             faults: PlannedFaults::off(),
             spare: Some(spare),
             degraded: false,
+            emit_seq: 0,
+            link_base: 0,
         }
     }
 
@@ -227,6 +234,19 @@ impl CaravanEngine {
         self.degraded
     }
 
+    /// Sets the high bits OR-ed into every `Caravan` span's link id so
+    /// links stay unique across cores (the engine driver passes
+    /// `(core + 1) << 48`). Link ids tie each emitted caravan to the
+    /// `Split` span that later unbundles it in the trace export.
+    pub fn set_span_link_base(&mut self, base: u64) {
+        self.link_base = base;
+    }
+
+    /// Emissions so far (the link sequence already consumed).
+    pub fn emit_seq(&self) -> u64 {
+        self.emit_seq
+    }
+
     /// Switches the flight recorder + histograms on.
     pub fn enable_obs(&mut self, cfg: ObsConfig) {
         self.obs = Recorder::new(cfg);
@@ -265,17 +285,41 @@ impl CaravanEngine {
     }
 
     /// Degraded passthrough: a pending bundle could not be created
-    /// (`cause` 1 = pool dry, 2 = table denial), so the datagram is
-    /// forwarded unbundled through the pool-independent spare buffer.
-    /// Never allocates and never panics (px-analyze R6); when even the
-    /// spare is gone the packet is dropped and counted as backpressure.
-    fn degrade_forward(&mut self, now: u64, pkt: &[u8], cause: u64, sink: &mut impl PacketSink) {
+    /// ([`cause::POOL`] = pool dry, [`cause::TABLE`] = table denial), so
+    /// the datagram is forwarded unbundled through the pool-independent
+    /// spare buffer. Never allocates and never panics (px-analyze R6);
+    /// when even the spare is gone the packet is dropped and counted as
+    /// backpressure.
+    fn degrade_forward(
+        &mut self,
+        now: u64,
+        pkt: &[u8],
+        flow: u32,
+        cause_code: u64,
+        sink: &mut impl PacketSink,
+    ) {
         if !self.degraded {
             self.degraded = true;
-            self.obs
-                .record(EventKind::DegradeEnter, now, pkt.len() as u32, 0, cause);
+            self.obs.record(
+                EventKind::DegradeEnter,
+                now,
+                pkt.len() as u32,
+                0,
+                cause_code,
+            );
         }
-        if cause == 1 {
+        // One span per degraded packet: the conservation law pins
+        // count(Degrade) == degraded_pkts + backpressure_drops.
+        self.obs.record_span(
+            SpanCat::Degrade,
+            now,
+            0,
+            pkt.len() as u32,
+            flow,
+            cause_code,
+            0,
+        );
+        if cause_code == cause::POOL {
             self.stats.pool_exhausted += 1;
         }
         match self.spare.take() {
@@ -308,7 +352,22 @@ impl CaravanEngine {
             // Single datagram: forward the original packet untouched.
             self.stats.passthrough += 1;
             self.stats.out_sizes.record(p.buf.len());
-            self.obs.observe_out_size(p.buf.len() as u64);
+            if self.obs.is_enabled() {
+                self.obs.observe_out_size(p.buf.len() as u64);
+                let flow = flow_id(p.src_port, p.dst_port);
+                let dwell = self.last_now.saturating_sub(p.born);
+                self.emit_seq += 1;
+                self.obs.record_span(
+                    SpanCat::Caravan,
+                    p.born,
+                    dwell,
+                    p.buf.len() as u32,
+                    flow,
+                    1,
+                    self.link_base | self.emit_seq,
+                );
+                self.obs.observe_flow(flow, 1, p.buf.len() as u64, dwell);
+            }
             if let Some(b) = sink.accept(p.buf) {
                 self.pool.put(b);
             }
@@ -358,16 +417,29 @@ impl CaravanEngine {
         self.stats.caravans_out += 1;
         self.stats.out_sizes.record(p.buf.len());
         if self.obs.is_enabled() {
+            let flow = flow_id(p.src_port, p.dst_port);
             let dwell = self.last_now.saturating_sub(p.born);
             self.obs.record(
                 EventKind::CaravanPack,
                 self.last_now,
                 p.buf.len() as u32,
-                flow_id(p.src_port, p.dst_port),
+                flow,
                 p.count as u64,
             );
             self.obs.observe_dwell(dwell);
             self.obs.observe_out_size(p.buf.len() as u64);
+            self.emit_seq += 1;
+            self.obs.record_span(
+                SpanCat::Caravan,
+                p.born,
+                dwell,
+                p.buf.len() as u32,
+                flow,
+                p.count as u64,
+                self.link_base | self.emit_seq,
+            );
+            self.obs
+                .observe_flow(flow, p.count as u64, p.buf.len() as u64, dwell);
         }
         if let Some(b) = sink.accept(p.buf) {
             self.pool.put(b);
@@ -401,13 +473,36 @@ impl CaravanEngine {
                 bytes::range(pkt, ip_hlen, ip_hlen + udp.length()),
             ))
         })();
+        if self.obs.is_enabled() {
+            // One Classify span per inbound packet: the conservation law
+            // pins count(Classify) == pkts_in per core. aux 1 = the
+            // packet classified as bundleable UDP.
+            let (flow, keyed) = match &parsed {
+                Some((_, _, _, _, sp, dp, _, _)) => (flow_id(*sp, *dp), 1),
+                None => (0, 0),
+            };
+            self.obs
+                .record_span(SpanCat::Classify, now, 0, pkt.len() as u32, flow, keyed, 0);
+        }
         let Some((key, ip_id, src, dst, sport, dport, ip_hlen, dgram)) = parsed else {
+            // aux 2 = passthrough (probe, non-UDP, fragment, caravan ToS).
+            self.obs
+                .record_span(SpanCat::Steer, now, 0, pkt.len() as u32, 0, 2, 0);
             self.forward_recorded(pkt, sink);
             return;
         };
 
         if dgram.len() > self.bundle_budget() {
             // Too large to bundle with anything.
+            self.obs.record_span(
+                SpanCat::Steer,
+                now,
+                0,
+                pkt.len() as u32,
+                flow_id(sport, dport),
+                2,
+                0,
+            );
             self.forward_recorded(pkt, sink);
             return;
         }
@@ -468,16 +563,16 @@ impl CaravanEngine {
         if self.faults.spec.enabled {
             let pkt_hash = hash_bytes(pkt);
             if self.faults.pool_dry(pkt_hash) {
-                self.degrade_forward(now, pkt, 1, sink);
+                self.degrade_forward(now, pkt, flow_id(sport, dport), cause::POOL, sink);
                 return;
             }
             if self.faults.table_deny(pkt_hash) {
-                self.degrade_forward(now, pkt, 2, sink);
+                self.degrade_forward(now, pkt, flow_id(sport, dport), cause::TABLE, sink);
                 return;
             }
         }
         let Some(mut buf) = self.pool.try_get() else {
-            self.degrade_forward(now, pkt, 1, sink);
+            self.degrade_forward(now, pkt, flow_id(sport, dport), cause::POOL, sink);
             return;
         };
         self.degrade_exit(now);
@@ -502,13 +597,11 @@ impl CaravanEngine {
         {
             // aux 2 = pressure: the bundle held unflushed datagrams and
             // is rescue-flushed below.
-            self.obs.record(
-                EventKind::FlowEvict,
-                now,
-                victim.buf.len() as u32,
-                flow_id(victim_key.src_port, victim_key.dst_port),
-                2,
-            );
+            let vflow = flow_id(victim_key.src_port, victim_key.dst_port);
+            self.obs
+                .record(EventKind::FlowEvict, now, victim.buf.len() as u32, vflow, 2);
+            self.obs
+                .record_span(SpanCat::Evict, now, 0, victim.buf.len() as u32, vflow, 2, 0);
             self.emit_pending(victim, sink);
         }
     }
@@ -585,7 +678,14 @@ impl CaravanEngine {
 
     /// Emits every bundle whose hold timer expired.
     pub fn poll_into(&mut self, now: u64, sink: &mut impl PacketSink) {
-        self.last_now = now;
+        // The end-of-run drain polls with a `u64::MAX` sentinel to
+        // expire every hold timer; keep the last *real* timestamp for
+        // dwell/event accounting so drained bundles don't report
+        // astronomical dwells (which also overflow the profiler's
+        // per-flow sums in debug builds).
+        if now != u64::MAX {
+            self.last_now = now;
+        }
         while let Some((_, p)) = self.table.pop_expired(now) {
             self.emit_pending(p, sink);
         }

@@ -37,7 +37,11 @@ use crossbeam::channel;
 use px_faults::{
     FaultInjector, FaultPlan, FaultSpec, Heartbeats, IngressStats, PlannedFaults, StallDetector,
 };
-use px_obs::{Event, EventKind, HistSet, ObsConfig, ObsReport, Recorder, TimeSample};
+use px_obs::{
+    evaluate_snapshot, perfetto_json, serve, BatchObs, BatchProfile, Event, EventKind, HistSet,
+    ObsConfig, ObsReport, Profiler, Recorder, Response, ServeHandle, SloSpec, SloWatchdog, Span,
+    SpanCat, TimeSample,
+};
 use px_sim::stats::{CoreCounters, StatsRegistry};
 use px_wire::batchparse::{self, ParsedMeta};
 use px_wire::ipv4::Ipv4Packet;
@@ -221,6 +225,40 @@ impl CoreEngine {
         self.obs_mut().map(Recorder::take).unwrap_or_default()
     }
 
+    /// Drains the recorder's span ring (oldest first; empty for the
+    /// baseline or when disabled).
+    pub fn take_spans(&mut self) -> Vec<Span> {
+        self.obs_mut().map(Recorder::take_spans).unwrap_or_default()
+    }
+
+    /// Drains the recorder's continuous profiler (default-empty for the
+    /// baseline or when disabled).
+    pub fn take_profiler(&mut self) -> Profiler {
+        self.obs_mut()
+            .map(Recorder::take_profiler)
+            .unwrap_or_default()
+    }
+
+    /// Sets the high bits of this engine's span link ids so causal
+    /// links stay unique across cores (no-op for the baseline).
+    pub fn set_span_link_base(&mut self, base: u64) {
+        match self {
+            CoreEngine::Baseline(_) => {}
+            CoreEngine::Merge(m) => m.set_span_link_base(base),
+            CoreEngine::Caravan(c) => c.set_span_link_base(base),
+        }
+    }
+
+    /// Whether the engine is currently on the degradation ladder
+    /// (always false for the baseline, which has no ladder).
+    pub fn is_degraded(&self) -> bool {
+        match self {
+            CoreEngine::Baseline(_) => false,
+            CoreEngine::Merge(m) => m.is_degraded(),
+            CoreEngine::Caravan(c) => c.is_degraded(),
+        }
+    }
+
     /// Arms (or disarms) resource-fault injection on the inner engine.
     /// No-op for the baseline — it models the comparison system, not
     /// the PXGW under test.
@@ -357,6 +395,12 @@ pub struct EngineConfig {
     /// [`MergeEngine::push_into`]. Output is bit-identical either way —
     /// the pinned digests are recorded with this on.
     pub batch_parse: bool,
+    /// Serve the live observability endpoint (`/metrics`, `/healthz`,
+    /// `/trace`) from the control thread while the run is in flight.
+    /// Parallel mode only (Deterministic runs own the calling thread);
+    /// port 0 binds an ephemeral port. The handle rides back on
+    /// [`EngineReport::serve`] so scraping can continue after the run.
+    pub serve_port: Option<u16>,
 }
 
 impl EngineConfig {
@@ -372,6 +416,7 @@ impl EngineConfig {
             capture_output: false,
             digests: true,
             batch_parse: true,
+            serve_port: None,
         }
     }
 }
@@ -435,7 +480,7 @@ fn flow_and_l4_payload(pkt: &[u8]) -> Option<(FlowKey, std::ops::Range<usize>)> 
 }
 
 /// The outcome of an engine run.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct EngineReport {
     /// Scheduling mode the run used.
     pub mode: EngineMode,
@@ -470,6 +515,11 @@ pub struct EngineReport {
     /// Every emitted packet, in core order then emission order. Empty
     /// unless [`EngineConfig::capture_output`] was set.
     pub captured_output: Vec<Vec<u8>>,
+    /// The live observability endpoint, when
+    /// [`EngineConfig::serve_port`] asked for one (Parallel mode only).
+    /// Holding the report keeps the endpoint serving; dropping it stops
+    /// the thread.
+    pub serve: Option<ServeHandle>,
 }
 
 /// One worker's private state: the translation engine plus local
@@ -498,6 +548,14 @@ struct Worker {
     /// restart loses telemetry no more than it loses flow state.
     events_carry: Vec<Event>,
     hists_carry: HistSet,
+    /// Span-tracer and profiler contents rescued across restarts, for
+    /// the same reason.
+    spans_carry: Vec<Span>,
+    profile_carry: Profiler,
+    /// The per-core SLO watchdog, evaluated at every batch boundary.
+    /// Lives on the worker (not the engine) so alert edge state and
+    /// tallies survive engine restarts.
+    slo: SloWatchdog,
     /// Copies of every emitted packet, when the run asked for capture
     /// ([`EngineConfig::capture_output`]); `None` keeps the hot path
     /// allocation-free.
@@ -603,6 +661,9 @@ impl Worker {
             engine.enable_obs(obs);
         }
         engine.set_faults(faults);
+        // Causal span links: core c's emissions get link ids in the
+        // (c + 1) << 48 block, unique across cores; 0 stays "unlinked".
+        engine.set_span_link_base(((core as u64) + 1) << 48);
         let obs_on = engine.obs_mut().is_some_and(|r| r.is_enabled());
         Worker {
             engine,
@@ -619,6 +680,12 @@ impl Worker {
             obs_cfg: obs,
             events_carry: Vec::new(),
             hists_carry: HistSet::default(),
+            spans_carry: Vec::new(),
+            // Sized like the live profiler: a default-constructed
+            // accumulator would have k = 0 and silently drop every
+            // sketch entry folded into it across restarts.
+            profile_carry: Profiler::new(obs.profile_topk, obs.profile_ring),
+            slo: SloWatchdog::new(obs.slo),
             captured: if capture { Some(Vec::new()) } else { None },
             digests_on,
             batch_parse,
@@ -679,7 +746,13 @@ impl Worker {
         self.absorb_engine_stats();
         let (events, hists) = self.engine.take_obs();
         self.events_carry.extend(events);
+        // px-analyze: allow(R6, reason = "salvage fold once per restart, not per packet: the unqualified merge also resolves to the profiler's fold, whose ring drain allocates a scratch snapshot")
         self.hists_carry.merge(&hists);
+        // px-analyze: allow(R6, reason = "draining the span ring re-arms it with one fresh allocation per restart, not per packet")
+        self.spans_carry.extend(self.engine.take_spans());
+        // px-analyze: allow(R6, reason = "detaching the profiler re-arms the sketch and ring with one fresh allocation per restart, not per packet")
+        let profile = self.engine.take_profiler();
+        self.profile_carry.merge(&profile);
         self.counters.worker_restarts += 1;
         // px-analyze: allow(R6, R8, reason = "standing up the replacement engine allocates and seeds debug tracking by design: the rescue flush above ran alloc-free, and a rebuild that cannot allocate has nothing left to degrade to")
         let mut engine = CoreEngine::for_pipe(&self.pipe);
@@ -688,9 +761,13 @@ impl Worker {
             engine.enable_obs(self.obs_cfg);
         }
         engine.set_faults(self.faults.spec);
+        engine.set_span_link_base(((self.core as u64) + 1) << 48);
         self.engine = engine;
         if let Some(rec) = self.engine.obs_mut() {
             rec.record(EventKind::WorkerRestart, now, batch_idx as u32, 0, rescued);
+            // A Restart crossing in the trace: aux carries the number of
+            // rescue-flushed packets, len the batch ordinal.
+            rec.record_span(SpanCat::Restart, now, 0, batch_idx as u32, 0, rescued, 0);
         }
     }
 
@@ -745,6 +822,9 @@ impl Worker {
         } else {
             self.parse_scratch.clear();
         }
+        // Stage attribution for the continuous profiler: everything up
+        // to here is the parse/classify stage.
+        let parse_ns = batch_start.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
         let n_pkts = batch.len() as u64;
         let mut last_now = 0u64;
         let Worker {
@@ -783,12 +863,61 @@ impl Worker {
         if let Some(t0) = batch_start {
             // The BatchDone *event* carries only logical facts (last
             // arrival ts, packet count) so the event stream stays
-            // deterministic; the batch's wall time goes to histograms,
-            // which are measurement-only.
+            // deterministic; the batch's wall time goes to histograms
+            // and batch profiles, which are measurement-only.
             let wall = t0.elapsed().as_nanos() as u64;
+            let batch_idx = self.counters.batches;
             if let Some(rec) = self.engine.obs_mut() {
                 rec.record(EventKind::BatchDone, last_now, n_pkts as u32, 0, 0);
                 rec.observe_batch(wall, n_pkts);
+                rec.observe_batch_profile(BatchProfile {
+                    batch: batch_idx,
+                    pkts: n_pkts as u32,
+                    wall_ns: wall,
+                    parse_ns,
+                });
+            }
+            self.check_slo(last_now, n_pkts);
+        }
+    }
+
+    /// Batch-boundary SLO evaluation. Every input except `p99_pkt_ns`
+    /// is a logical counter, so Deterministic-mode alerts replay
+    /// bit-identically; the wall-clock p99 is consulted only in
+    /// Parallel mode (`wall_stalls` doubles as the mode marker). A
+    /// rising-edge breach is recorded as one `Slo` span in the trace
+    /// stream (aux = breach mask).
+    fn check_slo(&mut self, logical_now: u64, n_pkts: u64) {
+        if !self.slo.spec().enabled {
+            return;
+        }
+        let evicted_pressure = self.counters.flows_evicted_pressure + self.engine.flow_stats().2;
+        let p99_pkt_ns = if self.wall_stalls {
+            self.engine.obs_mut().map(|r| r.hists().pkt_ns.p99())
+        } else {
+            None
+        };
+        let obs = BatchObs {
+            batch: self.counters.batches,
+            logical_now,
+            yield_ppm: (self.counters.conversion_yield() * 1e6) as u32,
+            yield_valid: self.counters.pkts_out_inband > 0,
+            degraded: self.engine.is_degraded(),
+            evicted_pressure,
+            p99_pkt_ns,
+        };
+        let mask = self.slo.evaluate(&obs);
+        if mask != 0 {
+            if let Some(rec) = self.engine.obs_mut() {
+                rec.record_span(
+                    SpanCat::Slo,
+                    logical_now,
+                    0,
+                    n_pkts as u32,
+                    0,
+                    u64::from(mask),
+                    0,
+                );
             }
         }
     }
@@ -829,9 +958,19 @@ impl Worker {
         registry.merge_core_hists(core, &self.hists_carry);
         let mut all_events = self.events_carry;
         all_events.extend(events);
+        let mut all_spans = self.spans_carry;
+        all_spans.extend(self.engine.take_spans());
+        let mut profiler = self.profile_carry;
+        profiler.merge(&self.engine.take_profiler());
+        // Final span publish so a live endpoint outliving the run keeps
+        // serving the complete window.
+        registry.publish_core_spans(core, all_spans.clone());
         WorkerOutput {
             digests: self.digests,
             events: all_events,
+            spans: all_spans,
+            profiler,
+            slo: self.slo,
             captured: self.captured.unwrap_or_default(),
         }
     }
@@ -911,6 +1050,12 @@ impl CoreDriver {
 struct WorkerOutput {
     digests: BTreeMap<FlowKey, FlowDigest>,
     events: Vec<Event>,
+    /// Span-tracer contents (oldest first; restarts' spans first).
+    spans: Vec<Span>,
+    /// The core's continuous profiler, restarts folded in.
+    profiler: Profiler,
+    /// The core's SLO watchdog tallies.
+    slo: SloWatchdog,
     /// Emitted-packet copies (empty unless capture was on).
     captured: Vec<Vec<u8>>,
 }
@@ -954,6 +1099,8 @@ struct ModeOutput {
     series: Vec<TimeSample>,
     /// Stall declarations from the Parallel-mode heartbeat monitor.
     stalls_detected: u64,
+    /// The live endpoint, when the run served one (Parallel mode only).
+    serve: Option<ServeHandle>,
 }
 
 /// Builds one time-series point from an aggregate counter snapshot.
@@ -1007,9 +1154,17 @@ pub fn run_engine_on_trace(cfg: EngineConfig, trace: Vec<(FlowKey, Vec<u8>)>) ->
 
     let mut flow_digests: BTreeMap<FlowKey, FlowDigest> = BTreeMap::new();
     let mut per_core_events = Vec::with_capacity(out.outputs.len());
+    let mut per_core_spans = Vec::with_capacity(out.outputs.len());
+    // The merged profiler needs real capacities: a default-constructed
+    // one (k = 0, ring 0) would silently drop every per-core entry.
+    let mut profile = Profiler::new(cfg.obs.profile_topk, cfg.obs.profile_ring);
+    let mut slo = SloWatchdog::new(cfg.obs.slo);
     let mut captured_output = Vec::new();
     for worker_out in out.outputs.drain(..) {
         per_core_events.push(worker_out.events);
+        per_core_spans.push(worker_out.spans);
+        profile.merge(&worker_out.profiler);
+        slo.merge(&worker_out.slo);
         captured_output.extend(worker_out.captured);
         for (key, d) in worker_out.digests {
             // RSS pins a flow to exactly one core, so keys never collide
@@ -1038,6 +1193,9 @@ pub fn run_engine_on_trace(cfg: EngineConfig, trace: Vec<(FlowKey, Vec<u8>)>) ->
             enabled: true,
             hists: registry.hist_aggregate(),
             per_core_events,
+            per_core_spans,
+            profile,
+            slo,
             time_series: out.series,
         }
     } else {
@@ -1061,7 +1219,64 @@ pub fn run_engine_on_trace(cfg: EngineConfig, trace: Vec<(FlowKey, Vec<u8>)>) ->
         ingress_faults: fault_plan.stats,
         stalls_detected: out.stalls_detected,
         captured_output,
+        serve: out.serve,
     }
+}
+
+/// Stands up the dependency-free live observability endpoint on `port`
+/// (0 = ephemeral): `/metrics` renders the registry's current aggregate
+/// in Prometheus exposition format, `/healthz` evaluates `spec` against
+/// the same aggregate (HTTP 503 on breach), and `/trace` exports the
+/// most recently published span windows as Perfetto JSON
+/// (`?flow=<id>` filters to one flow). Serving runs entirely on its own
+/// control thread reading the shared registry — nothing here is
+/// reachable from the per-packet entry points.
+pub fn serve_endpoint(
+    port: u16,
+    registry: Arc<StatsRegistry>,
+    spec: SloSpec,
+) -> std::io::Result<ServeHandle> {
+    serve(
+        port,
+        Box::new(move |path, query| match path {
+            "/metrics" => Response::ok(
+                "text/plain; version=0.0.4",
+                registry.metrics_snapshot().to_prometheus("pxgw"),
+            ),
+            "/healthz" => {
+                let totals = registry.aggregate();
+                let p99 = registry.hist_aggregate().pkt_ns.p99();
+                let verdict = evaluate_snapshot(
+                    &spec,
+                    p99,
+                    totals.conversion_yield(),
+                    totals.flows_evicted_pressure,
+                );
+                let body = format!("{}\n", verdict.to_json(""));
+                if verdict.ok {
+                    Response::ok("application/json", body)
+                } else {
+                    Response {
+                        status: 503,
+                        content_type: "application/json",
+                        body,
+                    }
+                }
+            }
+            "/trace" => {
+                let flow = query.and_then(|q| {
+                    q.split('&')
+                        .find_map(|kv| kv.strip_prefix("flow="))
+                        .and_then(|v| v.parse::<u32>().ok())
+                });
+                Response::ok(
+                    "application/json",
+                    perfetto_json(&registry.spans_snapshot(), flow),
+                )
+            }
+            _ => Response::not_found(),
+        }),
+    )
 }
 
 /// What the dispatcher sends a Parallel-mode worker.
@@ -1085,6 +1300,12 @@ fn run_parallel(
 ) -> ModeOutput {
     let cores = cfg.pipe.cores;
     let batches = shard_batches(cfg, trace);
+    // Live endpoint before the clock starts: serving runs on its own
+    // thread against the shared registry, so scrapes never touch the
+    // timed region's threads.
+    let serve_handle = cfg
+        .serve_port
+        .and_then(|port| serve_endpoint(port, Arc::clone(registry), cfg.obs.slo).ok());
     let start = Instant::now();
 
     // In-run sampler: while workers publish periodic counter snapshots,
@@ -1173,6 +1394,15 @@ fn run_parallel(
                         // writer).
                         if publish_every > 0 && w.counters.batches.is_multiple_of(publish_every) {
                             registry.set_core(core, &w.counters);
+                            // Publish the recent span window for live
+                            // `/trace` serving (cold path: every
+                            // `publish_every` batches, off the per-packet
+                            // loop).
+                            if let Some(rec) = w.engine.obs_mut() {
+                                if rec.spans_recorded() > 0 {
+                                    registry.publish_core_spans(core, rec.recent_spans(64));
+                                }
+                            }
                         }
                     }
                     WorkerMsg::Quiesce => w.quiesce(),
@@ -1241,6 +1471,7 @@ fn run_parallel(
         outputs,
         series,
         stalls_detected,
+        serve: serve_handle,
     }
 }
 
@@ -1306,6 +1537,7 @@ fn run_deterministic(
         outputs,
         series: Vec::new(),
         stalls_detected: 0,
+        serve: None,
     }
 }
 

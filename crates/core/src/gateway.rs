@@ -183,7 +183,12 @@ impl PxGateway {
                 self.split.obs.recent(usize::MAX),
                 self.caravan.obs.recent(usize::MAX),
             ],
-            time_series: Vec::new(),
+            per_core_spans: vec![
+                self.merge.obs.recent_spans(usize::MAX),
+                self.split.obs.recent_spans(usize::MAX),
+                self.caravan.obs.recent_spans(usize::MAX),
+            ],
+            ..ObsReport::disabled()
         }
     }
 

@@ -42,8 +42,8 @@
 
 use crate::flowtable::{FlowTable, FlowTableConfig};
 use crate::steer::{FlowClass, FlowClassifier, SteerConfig};
-use px_faults::{hash_bytes, FaultInjector, FaultSpec, PlannedFaults};
-use px_obs::{flow_id, EventKind, ObsConfig, Recorder};
+use px_faults::{cause, hash_bytes, FaultInjector, FaultSpec, PlannedFaults};
+use px_obs::{flow_id, EventKind, ObsConfig, Recorder, SpanCat};
 use px_sim::stats::SizeHistogram;
 use px_wire::batchparse::{self, ParsedMeta, SegFacts, Verdict};
 use px_wire::bytes;
@@ -191,6 +191,14 @@ pub struct MergeEngine {
     /// Small-flow classifier (§3/§4.1). `None` disables steering: every
     /// flow takes the merge path, exactly the historical behaviour.
     steer: Option<FlowClassifier>,
+    /// Monotone per-emission sequence, the low bits of every `Merge`
+    /// span's causal link id. Deterministic: driven purely by emission
+    /// order, never by wall clock.
+    emit_seq: u64,
+    /// High-bit offset OR-ed into link ids so links stay globally
+    /// unique when one engine runs per core (see
+    /// [`MergeEngine::set_span_link_base`]).
+    link_base: u64,
 }
 
 impl MergeEngine {
@@ -209,7 +217,25 @@ impl MergeEngine {
             spare: Some(spare),
             degraded: false,
             steer: None,
+            emit_seq: 0,
+            link_base: 0,
         }
+    }
+
+    /// Sets the high-bit offset OR-ed into this engine's span link ids.
+    /// The parallel engine passes `(core + 1) << 48` so merge→split
+    /// causal links from different cores never collide; link ids stay
+    /// nonzero (0 means "unlinked" in the trace export).
+    pub fn set_span_link_base(&mut self, base: u64) {
+        self.link_base = base;
+    }
+
+    /// Merge emissions so far — the low bits of the most recent span
+    /// link (`link = base | seq`, `seq` counting emissions from 1).
+    /// The trace harness replays emission order to stamp consuming
+    /// split spans with the producing merge span's link.
+    pub fn emit_seq(&self) -> u64 {
+        self.emit_seq
     }
 
     /// Arms (or disarms, with [`FaultSpec::off`]) resource-fault
@@ -329,19 +355,62 @@ impl MergeEngine {
         }
     }
 
-    /// Degraded passthrough: an aggregate could not be created (`cause`
-    /// 1 = pool dry, 2 = table denial), so the packet is forwarded
-    /// unmerged through the pool-independent spare buffer — the
-    /// byte stream stays correct, only the merge benefit is lost. Never
-    /// allocates and never panics (px-analyze R6); when even the spare
-    /// is gone the packet is dropped and counted as backpressure.
-    fn degrade_forward(&mut self, now: u64, pkt: &[u8], cause: u64, sink: &mut impl PacketSink) {
+    /// Records the span + flow profile for a single-packet merge
+    /// emission (already-iMTU input or the hold-disabled ablation), so
+    /// every merge output carries a `Merge` span and a causal link.
+    fn record_single_emit(&mut self, now: u64, len: usize, flow: u32) {
+        if self.obs.is_enabled() {
+            self.emit_seq += 1;
+            self.obs.record_span(
+                SpanCat::Merge,
+                now,
+                0,
+                len as u32,
+                flow,
+                1,
+                self.link_base | self.emit_seq,
+            );
+            self.obs.observe_flow(flow, 1, len as u64, 0);
+        }
+    }
+
+    /// Degraded passthrough: an aggregate could not be created
+    /// ([`cause::POOL`] = pool dry, [`cause::TABLE`] = table denial),
+    /// so the packet is forwarded unmerged through the pool-independent
+    /// spare buffer — the byte stream stays correct, only the merge
+    /// benefit is lost. Never allocates and never panics (px-analyze
+    /// R6); when even the spare is gone the packet is dropped and
+    /// counted as backpressure.
+    fn degrade_forward(
+        &mut self,
+        now: u64,
+        pkt: &[u8],
+        flow: u32,
+        cause_code: u64,
+        sink: &mut impl PacketSink,
+    ) {
         if !self.degraded {
             self.degraded = true;
-            self.obs
-                .record(EventKind::DegradeEnter, now, pkt.len() as u32, 0, cause);
+            self.obs.record(
+                EventKind::DegradeEnter,
+                now,
+                pkt.len() as u32,
+                0,
+                cause_code,
+            );
         }
-        if cause == 1 {
+        // One Degrade span per degraded packet: the conservation test
+        // pins `count(Degrade) == degraded_pkts + backpressure_drops`.
+        self.obs.record_span(
+            SpanCat::Degrade,
+            now,
+            0,
+            pkt.len() as u32,
+            flow,
+            cause_code,
+            0,
+        );
+        if cause_code == cause::POOL {
             self.stats.pool_exhausted += 1;
         }
         match self.spare.take() {
@@ -459,14 +528,30 @@ impl MergeEngine {
             let src_port = bytes::be16(p.buf.as_slice(), ip_hlen);
             let dst_port = bytes::be16(p.buf.as_slice(), ip_hlen + 2);
             let dwell = self.last_now.saturating_sub(p.born);
+            let flow = flow_id(src_port, dst_port);
             self.obs.record(
                 EventKind::MergeEmit,
                 self.last_now,
                 p.buf.len() as u32,
-                flow_id(src_port, dst_port),
+                flow,
                 dwell,
             );
             self.obs.observe_dwell(dwell);
+            // The aggregate's lifecycle span: born → emitted, aux = how
+            // many segments it swallowed, link = the causal id the
+            // consuming split span will carry.
+            self.emit_seq += 1;
+            self.obs.record_span(
+                SpanCat::Merge,
+                p.born,
+                dwell,
+                p.buf.len() as u32,
+                flow,
+                u64::from(p.segs),
+                self.link_base | self.emit_seq,
+            );
+            self.obs
+                .observe_flow(flow, u64::from(p.segs), p.buf.len() as u64, dwell);
         }
         self.emit(p.buf, sink);
     }
@@ -500,8 +585,30 @@ impl MergeEngine {
         self.stats.pkts_in += 1;
         self.last_now = now;
 
+        // One Classify span per input packet (aux 1 = flow-keyed, 0 =
+        // not): the span-conservation property test pins
+        // `count(Classify) == pkts_in` per core.
+        if self.obs.is_enabled() {
+            let flow = meta
+                .key
+                .as_ref()
+                .map_or(0, |k| flow_id(k.src_port, k.dst_port));
+            self.obs.record_span(
+                SpanCat::Classify,
+                now,
+                0,
+                pkt.len() as u32,
+                flow,
+                u64::from(meta.key.is_some()),
+                0,
+            );
+        }
+
         let Some(key) = meta.key else {
             self.stats.passthrough += 1;
+            // aux 2 = passthrough (vs 1 = steered mouse).
+            self.obs
+                .record_span(SpanCat::Steer, now, 0, pkt.len() as u32, 0, 2, 0);
             self.forward(pkt, sink);
             return;
         };
@@ -514,13 +621,9 @@ impl MergeEngine {
             let (class, evicted) = classifier.classify_with_evict(now, &key);
             if let Some(victim) = evicted {
                 // A classifier slot was churned out (aux 1 = idle).
-                self.obs.record(
-                    EventKind::FlowEvict,
-                    now,
-                    0,
-                    flow_id(victim.src_port, victim.dst_port),
-                    1,
-                );
+                let vflow = flow_id(victim.src_port, victim.dst_port);
+                self.obs.record(EventKind::FlowEvict, now, 0, vflow, 1);
+                self.obs.record_span(SpanCat::Evict, now, 0, 0, vflow, 1, 0);
             }
             if class == FlowClass::Mouse {
                 // A demoted flow may still hold an aggregate from its
@@ -531,6 +634,12 @@ impl MergeEngine {
                     self.finalize_emit(p, sink);
                 }
                 self.stats.steered_mice_pkts += 1;
+                if self.obs.is_enabled() {
+                    let flow = flow_id(key.src_port, key.dst_port);
+                    self.obs
+                        .record_span(SpanCat::Steer, now, 0, pkt.len() as u32, flow, 1, 0);
+                    self.obs.observe_flow(flow, 1, pkt.len() as u64, 0);
+                }
                 self.forward(pkt, sink);
                 return;
             }
@@ -551,6 +660,15 @@ impl MergeEngine {
                     self.finalize_emit(p, sink);
                 }
                 self.stats.passthrough += 1;
+                self.obs.record_span(
+                    SpanCat::Steer,
+                    now,
+                    0,
+                    pkt.len() as u32,
+                    flow_id(key.src_port, key.dst_port),
+                    2,
+                    0,
+                );
                 self.forward(pkt, sink);
                 return;
             }
@@ -597,9 +715,11 @@ impl MergeEngine {
             HadPending::None => {}
         }
 
+        let flow = flow_id(key.src_port, key.dst_port);
         if pkt.len() >= full_at {
             // Already iMTU-sized (e.g. traffic from another b-network).
             self.stats.flush_full += 1;
+            self.record_single_emit(now, pkt.len(), flow);
             let mut buf = self.pool.get();
             buf.extend_from_slice(pkt);
             self.emit(buf, sink);
@@ -607,6 +727,7 @@ impl MergeEngine {
         }
         if self.cfg.hold_ns == 0 {
             // Delayed merging disabled: emit immediately (ablation).
+            self.record_single_emit(now, pkt.len(), flow);
             let mut buf = self.pool.get();
             buf.extend_from_slice(pkt);
             self.emit(buf, sink);
@@ -619,16 +740,16 @@ impl MergeEngine {
         if self.faults.spec.enabled {
             let pkt_hash = hash_bytes(pkt);
             if self.faults.pool_dry(pkt_hash) {
-                self.degrade_forward(now, pkt, 1, sink);
+                self.degrade_forward(now, pkt, flow, cause::POOL, sink);
                 return;
             }
             if self.faults.table_deny(pkt_hash) {
-                self.degrade_forward(now, pkt, 2, sink);
+                self.degrade_forward(now, pkt, flow, cause::TABLE, sink);
                 return;
             }
         }
         let Some(mut buf) = self.pool.try_get() else {
-            self.degrade_forward(now, pkt, 1, sink);
+            self.degrade_forward(now, pkt, flow, cause::POOL, sink);
             return;
         };
         self.degrade_exit(now);
@@ -651,20 +772,25 @@ impl MergeEngine {
             self.stats.flush_evict += 1;
             // aux 2 = pressure: the victim held unflushed merge bytes
             // and was rescue-flushed below, never dropped.
-            self.obs.record(
-                EventKind::FlowEvict,
-                now,
-                p.buf.len() as u32,
-                flow_id(victim.src_port, victim.dst_port),
-                2,
-            );
+            let vflow = flow_id(victim.src_port, victim.dst_port);
+            self.obs
+                .record(EventKind::FlowEvict, now, p.buf.len() as u32, vflow, 2);
+            self.obs
+                .record_span(SpanCat::Evict, now, 0, p.buf.len() as u32, vflow, 2, 0);
             self.finalize_emit(p, sink);
         }
     }
 
     /// Emits every aggregate whose hold timer has expired.
     pub fn poll_into(&mut self, now: u64, sink: &mut impl PacketSink) {
-        self.last_now = now;
+        // The end-of-run drain polls with a `u64::MAX` sentinel to
+        // expire every hold timer; keep the last *real* timestamp for
+        // dwell/event accounting so drained aggregates don't report
+        // astronomical dwells (which also overflow the profiler's
+        // per-flow sums in debug builds).
+        if now != u64::MAX {
+            self.last_now = now;
+        }
         while let Some((_, p)) = self.table.pop_expired(now) {
             self.stats.flush_timeout += 1;
             self.finalize_emit(p, sink);

@@ -7,7 +7,7 @@
 //! fragmentation when DF allows (UDP caravans never reach this engine —
 //! [`crate::caravan_gw`] unbundles them first).
 
-use px_obs::{flow_id, EventKind, ObsConfig, Recorder};
+use px_obs::{flow_id, EventKind, ObsConfig, Recorder, SpanCat};
 use px_sim::nic::{tso_split_into, tso_split_sg_into};
 use px_sim::stats::SizeHistogram;
 use px_wire::bytes;
@@ -30,20 +30,33 @@ pub(crate) struct RecordingSink<'a, S> {
     pub ts: u64,
     /// Flow id of the packet being split (all emissions share it).
     pub flow: u32,
+    /// Causal link id tying every emitted `Split` span back to the
+    /// producing `Merge`/`Caravan` span (0 = unlinked).
+    pub link: u64,
     pub inner: &'a mut S,
+}
+
+impl<S: PacketSink> RecordingSink<'_, S> {
+    fn note_emit(&mut self, len: usize) {
+        self.sizes.record(len);
+        self.obs
+            .record(EventKind::SplitEmit, self.ts, len as u32, self.flow, 0);
+        self.obs.record_span(
+            SpanCat::Split,
+            self.ts,
+            0,
+            len as u32,
+            self.flow,
+            0,
+            self.link,
+        );
+        self.obs.observe_out_size(len as u64);
+    }
 }
 
 impl<S: PacketSink> PacketSink for RecordingSink<'_, S> {
     fn accept(&mut self, buf: PacketBuf) -> Option<PacketBuf> {
-        self.sizes.record(buf.len());
-        self.obs.record(
-            EventKind::SplitEmit,
-            self.ts,
-            buf.len() as u32,
-            self.flow,
-            0,
-        );
-        self.obs.observe_out_size(buf.len() as u64);
+        self.note_emit(buf.len());
         self.inner.accept(buf)
     }
 
@@ -52,10 +65,7 @@ impl<S: PacketSink> PacketSink for RecordingSink<'_, S> {
     /// its zero-copy opportunity.
     fn push_sg(&mut self, pkt: SgPacket<'_>) -> Option<PacketBuf> {
         let len = pkt.total_len();
-        self.sizes.record(len);
-        self.obs
-            .record(EventKind::SplitEmit, self.ts, len as u32, self.flow, 0);
-        self.obs.observe_out_size(len as u64);
+        self.note_emit(len);
         self.inner.push_sg(pkt)
     }
 }
@@ -101,6 +111,10 @@ pub struct SplitEngine {
     /// `push_to_into` returns — the debug assertion that proves the
     /// caller may reuse the input buffer immediately.
     view_rc: SgRc,
+    /// Causal link id stamped on the `Split` spans of the *next* pushed
+    /// packet (0 = unlinked). Set by the trace harness, which knows
+    /// which producing `Merge`/`Caravan` span the packet came from.
+    span_link: u64,
 }
 
 impl SplitEngine {
@@ -113,7 +127,16 @@ impl SplitEngine {
             obs: Recorder::off(),
             sg: true,
             view_rc: SgRc::new(),
+            span_link: 0,
         }
+    }
+
+    /// Stamps the `Split` spans of subsequently pushed packets with a
+    /// causal link id (0 clears it). The trace exporter draws a flow
+    /// arrow from the producing `Merge`/`Caravan` span to every `Split`
+    /// span sharing its link id.
+    pub fn set_span_link(&mut self, link: u64) {
+        self.span_link = link;
     }
 
     /// Selects scatter-gather (true, default) or flat-copy (false)
@@ -175,6 +198,7 @@ impl SplitEngine {
             obs: &mut self.obs,
             ts,
             flow,
+            link: self.span_link,
             inner: sink,
         };
         match ip.protocol() {

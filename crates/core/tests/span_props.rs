@@ -1,0 +1,100 @@
+//! Property tests for tier-2 span tracing: per-core span streams
+//! conserve packets against the engine's own counters.
+//!
+//! The conservation law — for every core, over a Deterministic run
+//! whose span rings are large enough that nothing is overwritten:
+//!
+//! * `count(Classify)` == `pkts_in` (both engines record one classifier
+//!   verdict per input packet),
+//! * `count(Steer, aux = 1)` == `steered_mice_pkts`,
+//! * `count(Degrade)` == `degraded_pkts + backpressure_drops`,
+//! * `count(Evict)` == `flows_evicted_idle + flows_evicted_pressure`.
+//!
+//! Holding this across 1/2/4/8 cores, both workloads, and
+//! steering-on/off means no recording site is missing, doubled, or
+//! misattributed — the span stream is a faithful retelling of what the
+//! counters tally.
+
+use proptest::prelude::*;
+use px_core::engine::{run_engine, EngineConfig, EngineMode};
+use px_core::pipeline::{PipelineConfig, SystemVariant, WorkloadKind};
+use px_core::steer::SteerConfig;
+use px_obs::{ObsConfig, SloSpec, Span, SpanCat};
+
+fn count(spans: &[Span], cat: SpanCat) -> u64 {
+    spans.iter().filter(|s| s.cat == cat).count() as u64
+}
+
+fn count_aux(spans: &[Span], cat: SpanCat, aux: u64) -> u64 {
+    spans
+        .iter()
+        .filter(|s| s.cat == cat && s.aux == aux)
+        .count() as u64
+}
+
+proptest! {
+    // Each case is a full (small) engine run; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn span_streams_conserve_packets(
+        cores_idx in 0usize..4,
+        tcp in any::<bool>(),
+        steer_on in any::<bool>(),
+        trace_pkts in 128usize..768,
+    ) {
+        let cores_sel = [1usize, 2, 4, 8][cores_idx];
+        let workload = if tcp { WorkloadKind::Tcp } else { WorkloadKind::Udp };
+        let mut pipe = PipelineConfig::fig5(SystemVariant::Px, workload, cores_sel);
+        pipe.trace_pkts = trace_pkts;
+        if steer_on {
+            // An aggressive elephant threshold so both steered mice and
+            // merged elephants appear even in short runs.
+            pipe.steer = Some(SteerConfig {
+                elephant_pkts: 4,
+                ..SteerConfig::default()
+            });
+        }
+        let mut cfg = EngineConfig::new(pipe, EngineMode::Deterministic);
+        cfg.obs = ObsConfig {
+            // Large enough that no span of the run is overwritten —
+            // conservation counting needs the complete stream.
+            span_capacity: 1 << 16,
+            slo: SloSpec::demo(),
+            ..ObsConfig::default()
+        };
+        let r = run_engine(cfg);
+
+        prop_assert_eq!(r.obs.per_core_spans.len(), cores_sel);
+        prop_assert_eq!(r.per_core.len(), cores_sel);
+        let mut classify_total = 0u64;
+        for (core, (spans, counters)) in
+            r.obs.per_core_spans.iter().zip(r.per_core.iter()).enumerate()
+        {
+            let classify = count(spans, SpanCat::Classify);
+            prop_assert_eq!(
+                classify, counters.pkts_in,
+                "core {}: Classify spans vs pkts_in", core
+            );
+            classify_total += classify;
+            prop_assert_eq!(
+                count_aux(spans, SpanCat::Steer, 1),
+                counters.steered_mice_pkts,
+                "core {}: Steer(mice) spans vs steered_mice_pkts", core
+            );
+            prop_assert_eq!(
+                count(spans, SpanCat::Degrade),
+                counters.degraded_pkts + counters.backpressure_drops,
+                "core {}: Degrade spans vs degraded + dropped", core
+            );
+            prop_assert_eq!(
+                count(spans, SpanCat::Evict),
+                counters.flows_evicted_idle + counters.flows_evicted_pressure,
+                "core {}: Evict spans vs evictions", core
+            );
+        }
+        // Cross-core closure: the classifier saw every traced packet.
+        prop_assert_eq!(classify_total, r.totals.pkts_in);
+        prop_assert_eq!(r.totals.pkts_in, trace_pkts as u64);
+    }
+}

@@ -57,6 +57,11 @@ pub enum FactKind {
     BlockingRecv,
     /// Unbounded channel construction (`unbounded()`, `mpsc::channel`).
     UnboundedChan,
+    /// Socket serving/dialing: `TcpListener::bind`, `TcpStream::connect`.
+    /// Detected only in qualified form — `.accept()` as a method call is
+    /// deliberately NOT a fact, because `PacketSink::accept` is the hot
+    /// path's emission entry point.
+    BlockingServe,
 }
 
 /// One rule-relevant observation inside (or outside) a function body.
@@ -600,6 +605,16 @@ pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
                     }
                     "mpsc" if qual2(name, &["channel"]).is_some() => {
                         fact!(FactKind::UnboundedChan, "mpsc::channel", t.line, in_test);
+                    }
+                    "TcpListener" | "TcpStream" => {
+                        if let Some(m) = qual2(name, &["bind", "connect"]) {
+                            fact!(
+                                FactKind::BlockingServe,
+                                format!("{name}::{m}"),
+                                t.line,
+                                in_test
+                            );
+                        }
                     }
                     _ => {}
                 }

@@ -10,7 +10,7 @@
 //! | R6   | fault-handling functions + everything they reach | *both* the R1 panic set and the R3 allocation set — recovery code runs while the system is already degraded |
 //! | R7   | split-engine emission functions + everything they reach | payload byte copies (`.extend_from_slice()`, `.copy_from_slice()`) |
 //! | R8   | everything reachable from the Deterministic-mode datapath | wall-clock reads (`Instant::now`, `SystemTime::now`), OS randomness (`thread_rng`, `RandomState`-default `HashMap`/`HashSet`), environment reads |
-//! | R9   | everything reachable from per-packet functions | lock acquisition (`.lock()`), blocking receives (`.recv()`), unbounded-channel construction — locks belong at batch boundaries |
+//! | R9   | everything reachable from per-packet functions | lock acquisition (`.lock()`), blocking receives (`.recv()`), unbounded-channel construction, socket serving/dialing (`TcpListener::bind`, `TcpStream::connect`) — locks belong at batch boundaries and HTTP serving on the control plane |
 //!
 //! R1/R3/R5/R6/R7 are *lexical* where they always were (so existing
 //! waivers keep their meaning) and additionally propagate **transitively**
@@ -199,6 +199,11 @@ impl Default for Config {
                 "crates/px-obs/src/ring.rs",
                 "crates/px-obs/src/hist.rs",
                 "crates/px-obs/src/recorder.rs",
+                // Tier 2: span rings, the hot-flow sketch, and the SLO
+                // watchdog also run inline on the workers.
+                "crates/px-obs/src/span.rs",
+                "crates/px-obs/src/profile.rs",
+                "crates/px-obs/src/slo.rs",
             ],
             // `baseline.rs` models DPDK rte_gro's per-packet allocation
             // churn on purpose — it is the paper's comparison point, so
@@ -237,6 +242,9 @@ impl Default for Config {
                 "crates/px-obs/src/ring.rs",
                 "crates/px-obs/src/hist.rs",
                 "crates/px-obs/src/recorder.rs",
+                "crates/px-obs/src/span.rs",
+                "crates/px-obs/src/profile.rs",
+                "crates/px-obs/src/slo.rs",
             ],
             r6_fn_prefixes: vec!["degrade", "on_fault", "restart_worker"],
             r7_modules: vec!["crates/core/src/split.rs"],
@@ -278,7 +286,13 @@ impl Config {
     }
 
     fn is_recording_fn(&self, name: &str) -> bool {
-        name.starts_with("record") || name.starts_with("observe") || name == "push"
+        // `evaluate` is the SLO watchdog's per-batch check: it runs
+        // inline on the worker between batches, so it is held to the
+        // same alloc/blocking discipline as the recording fns proper.
+        name.starts_with("record")
+            || name.starts_with("observe")
+            || name == "push"
+            || name == "evaluate"
     }
 
     fn is_r6_fn(&self, name: &str) -> bool {
@@ -637,7 +651,10 @@ pub fn analyze(cfg: &Config, files: &[SourceFile], deps: &DepMap) -> (Vec<Violat
                             None
                         }
                     }
-                    FactKind::Lock | FactKind::BlockingRecv | FactKind::UnboundedChan => {
+                    FactKind::Lock
+                    | FactKind::BlockingRecv
+                    | FactKind::UnboundedChan
+                    | FactKind::BlockingServe => {
                         if entry(&reach_r9, di) {
                             Some((Rule::R9, Vec::new()))
                         } else if via(&reach_r9, di) {
@@ -753,6 +770,11 @@ fn fact_violation(rule: Rule, fact: &Fact, d: &FnDef, chain: Vec<String>) -> Vio
                  derive from the event stream or gate behind Parallel mode",
                 d.name
             ),
+            Rule::R9 if fact.kind == FactKind::BlockingServe => format!(
+                "`{what}` opens a socket in per-packet function `{}`; serving belongs on the \
+                 control plane (px-obs::serve), never on the datapath",
+                d.name
+            ),
             Rule::R9 => format!(
                 "`{what}` can block in per-packet function `{}`; locks belong at batch boundaries",
                 d.name
@@ -787,6 +809,10 @@ fn fact_violation(rule: Rule, fact: &Fact, d: &FnDef, chain: Vec<String>) -> Vio
             Rule::R8 => format!(
                 "`{what}` in `{name}` is nondeterministic, reachable from the Deterministic-mode \
                  datapath via `{path}`; derive from the event stream or gate behind Parallel mode"
+            ),
+            Rule::R9 if fact.kind == FactKind::BlockingServe => format!(
+                "`{what}` in `{name}` opens a socket, reachable from a per-packet path via \
+                 `{path}`; HTTP serving must stay on the control plane"
             ),
             Rule::R9 => format!(
                 "`{what}` in `{name}` can block, reachable from a per-packet path via `{path}`; \

@@ -253,6 +253,29 @@ fn r9_good_locks_at_the_batch_boundary_are_allowed() {
 }
 
 #[test]
+fn r9_serve_bad_flags_sockets_reachable_from_per_packet_entries() {
+    let vs = check(HOT, "r9_serve_bad.rs");
+    assert_eq!(count_rule(&vs, Rule::R9), 2, "{vs:#?}");
+    assert_eq!(vs.len(), 2, "{vs:#?}");
+    let dial = vs
+        .iter()
+        .find(|v| v.message.contains("TcpStream::connect"))
+        .expect("dial-out finding");
+    assert_eq!(
+        dial.chain,
+        vec!["push_into", "export_stat", "notify"],
+        "{vs:#?}"
+    );
+    assert!(dial.message.contains("control plane"), "{vs:#?}");
+}
+
+#[test]
+fn r9_serve_good_control_plane_listener_and_hot_accept_are_clean() {
+    let vs = check(HOT, "r9_serve_good.rs");
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
 fn transitive_laundering_is_flagged_across_files_with_chains() {
     let vs = check_pair(&[
         (HOT, "transitive_entry_bad.rs"),

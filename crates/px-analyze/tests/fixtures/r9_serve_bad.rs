@@ -1,0 +1,21 @@
+// Fixture: sockets laundered into the per-packet path — a listener
+// bound one call deep, a dial-out two calls deep. Serving belongs on
+// the control plane (px-obs::serve), never inside an emission fn.
+
+pub fn push_into(out: &mut Vec<u64>, v: u64) {
+    export_stat(v);
+    out.push(v);
+}
+
+fn export_stat(v: u64) {
+    if let Ok(l) = std::net::TcpListener::bind("127.0.0.1:0") {
+        drop(l);
+    }
+    notify(v);
+}
+
+fn notify(v: u64) {
+    if let Ok(s) = std::net::TcpStream::connect("127.0.0.1:9") {
+        drop((s, v));
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: the live endpoint sits on the control plane. `serve_stats`
+// binds a listener, but no per-packet entry reaches it — and the hot
+// path's own `.accept()` is an emission method (PacketSink-style), not
+// a socket accept, so it must never register as a serving fact.
+
+pub fn push_into(out: &mut Vec<u64>, v: u64) {
+    out.push(v.rotate_left(7));
+}
+
+pub struct Sink {
+    total: u64,
+}
+
+impl Sink {
+    pub fn accept(&mut self, pkt: &[u64]) {
+        self.total += pkt.len() as u64;
+    }
+}
+
+pub fn serve_stats() -> std::io::Result<std::net::TcpListener> {
+    std::net::TcpListener::bind("127.0.0.1:0")
+}

@@ -41,5 +41,5 @@ pub use backoff::DetBackoff;
 pub use inject::{decide_ppm, hash_bytes, FaultInjector, NoFaults, PlannedFaults};
 pub use plan::{FaultPlan, IngressStats};
 pub use rng::{splitmix64, XorShift64};
-pub use spec::FaultSpec;
+pub use spec::{cause, FaultSpec};
 pub use supervisor::{Heartbeats, StallDetector};

@@ -2,6 +2,26 @@
 
 use crate::rng::splitmix64;
 
+/// Degrade cause codes, shared by the engines' `DegradeEnter` events
+/// and `Degrade` spans so every consumer (flight recorder, trace
+/// export, Prometheus labels) agrees on the encoding.
+pub mod cause {
+    /// The buffer pool was dry at aggregate/bundle creation.
+    pub const POOL: u64 = 1;
+    /// The flow table denied the insertion.
+    pub const TABLE: u64 = 2;
+
+    /// Human-readable cause name (`"pool"`, `"table"`, `"?"`).
+    #[must_use]
+    pub fn name(code: u64) -> &'static str {
+        match code {
+            POOL => "pool",
+            TABLE => "table",
+            _ => "?",
+        }
+    }
+}
+
 /// A complete fault schedule description: which faults, at what rates,
 /// from which seed. `Copy` so it rides inside `EngineConfig` the same
 /// way `ObsConfig` does; [`FaultSpec::off`] is the all-zero spec every

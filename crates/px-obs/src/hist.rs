@@ -198,6 +198,90 @@ mod tests {
         assert_eq!(Histo64::bucket_upper(63), u64::MAX);
     }
 
+    /// Exhaustive bucket-edge audit: every power of two, both
+    /// neighbours of every bucket boundary, 0, and `u64::MAX`. Pins the
+    /// invariant that bucket `i` holds exactly `[2^i, 2^(i+1) - 1]`
+    /// (with 0 folded into bucket 0) and that `bucket_upper` is the
+    /// true inclusive upper edge — no off-by-one survives on either
+    /// side of any boundary.
+    #[test]
+    fn bucket_edges_are_exhaustively_pinned() {
+        assert_eq!(Histo64::bucket_of(0), 0);
+        assert_eq!(Histo64::bucket_of(u64::MAX), 63);
+        for i in 0..64usize {
+            let p = 1u64 << i;
+            // The power itself opens bucket i …
+            assert_eq!(Histo64::bucket_of(p), i, "bucket_of(2^{i})");
+            // … and its predecessor closes bucket i-1 (1 - 1 = 0 stays
+            // in bucket 0 by the zero rule).
+            if i > 0 {
+                assert_eq!(Histo64::bucket_of(p - 1), i - 1, "bucket_of(2^{i}-1)");
+                if i < 63 {
+                    assert_eq!(Histo64::bucket_of(p + 1), i, "bucket_of(2^{i}+1)");
+                }
+            }
+            // bucket_upper(i) is in bucket i; its successor is not.
+            let upper = Histo64::bucket_upper(i);
+            assert_eq!(Histo64::bucket_of(upper), i, "bucket_of(upper({i}))");
+            if i < 63 {
+                assert_eq!(upper, (p << 1) - 1, "upper({i}) == 2^{}-1", i + 1);
+                assert_eq!(
+                    Histo64::bucket_of(upper + 1),
+                    i + 1,
+                    "bucket_of(upper({i})+1)"
+                );
+            } else {
+                assert_eq!(upper, u64::MAX);
+            }
+        }
+    }
+
+    /// Quantile interpolation pinned against a known one-sample-per-
+    /// bucket distribution, plus the degenerate 0-valued and single-
+    /// sample cases, plus monotonicity over a q grid.
+    #[test]
+    fn quantile_interpolation_is_pinned_at_boundaries() {
+        // One sample at the lower edge of every bucket: 2^0 .. 2^63.
+        let mut h = Histo64::new();
+        for i in 0..64 {
+            h.record(1u64 << i);
+        }
+        assert_eq!(h.count(), 64);
+        // target = ceil(q * 64) picks the target-th smallest sample,
+        // which lives in bucket target-1.
+        assert_eq!(h.quantile(1.0 / 64.0), Histo64::bucket_upper(0));
+        assert_eq!(h.quantile(0.5), Histo64::bucket_upper(31));
+        assert_eq!(h.quantile(33.0 / 64.0), Histo64::bucket_upper(32));
+        // The top bucket's upper edge is capped at the exact max.
+        assert_eq!(h.quantile(1.0), 1u64 << 63);
+        // q <= 0 clamps to the first sample, q >= 1 to the last.
+        assert_eq!(h.quantile(0.0), Histo64::bucket_upper(0));
+
+        // Monotone over a fine grid.
+        let mut prev = 0u64;
+        for k in 0..=100 {
+            let v = h.quantile(k as f64 / 100.0);
+            assert!(v >= prev, "quantile not monotone at q={}", k as f64 / 100.0);
+            prev = v;
+        }
+
+        // All-zero samples: every quantile is exactly 0 (bucket 0's
+        // upper edge is 1, but the max cap brings it back to 0).
+        let mut z = Histo64::new();
+        for _ in 0..10 {
+            z.record(0);
+        }
+        assert_eq!(z.quantile(0.5), 0);
+        assert_eq!(z.quantile(1.0), 0);
+
+        // Single sample: every quantile is that sample's bucket upper
+        // capped at the sample itself.
+        let mut s = Histo64::new();
+        s.record(u64::MAX);
+        assert_eq!(s.quantile(0.01), u64::MAX);
+        assert_eq!(s.quantile(1.0), u64::MAX);
+    }
+
     #[test]
     fn quantiles_track_the_distribution() {
         let mut h = Histo64::new();

@@ -32,6 +32,23 @@
 //! ring has zero capacity (no allocation at all) and every `record`/
 //! `observe_*` call is a single predicted branch.
 //!
+//! **Tier 2** adds four more pillars with the same discipline:
+//!
+//! * **Flow-scoped span tracing** ([`Span`], [`SpanRing`]) — logical-time
+//!   lifecycle intervals (classify → steer/merge → emit → split/caravan
+//!   → evict, plus degrade/restart crossings) with causal links from
+//!   merge/caravan emissions to the split spans consuming them,
+//!   exportable as Perfetto JSON ([`perfetto_json`]).
+//! * **Continuous profiling** ([`Profiler`], [`TopK`]) — a space-saving
+//!   top-K sketch of hot flows plus a ring of per-batch stage
+//!   attributions, fixed footprint, alloc-free updates.
+//! * **SLO watchdog** ([`SloSpec`], [`SloWatchdog`]) — declarative
+//!   objectives evaluated at batch boundaries, edge-triggered alert
+//!   spans, deterministic where digests must be.
+//! * **Live endpoint** ([`serve`]) — a dependency-free HTTP listener on
+//!   the control thread serving `/metrics`, `/healthz`, and
+//!   `/trace?flow=` from a running Parallel-mode engine.
+//!
 //! px-analyze rule **R5** statically audits this crate's recording
 //! paths (`record*`, `observe*`, `push`) for allocation, the same way
 //! R3 audits the engines' emission paths.
@@ -41,12 +58,20 @@
 
 pub mod event;
 pub mod hist;
+pub mod profile;
 pub mod recorder;
 pub mod ring;
+pub mod serve;
+pub mod slo;
 pub mod snapshot;
+pub mod span;
 
 pub use event::{flow_id, Event, EventKind};
 pub use hist::{HistSet, Histo64};
+pub use profile::{BatchProfile, FlowStat, ProfileRing, Profiler, TopK};
 pub use recorder::{ObsConfig, ObsReport, Recorder};
 pub use ring::EventRing;
+pub use serve::{http_get, serve, Response, ServeHandle};
+pub use slo::{evaluate_snapshot, BatchObs, SloSpec, SloVerdict, SloWatchdog};
 pub use snapshot::{time_series_json, MetricsSnapshot, TimeSample};
+pub use span::{perfetto_json, Span, SpanCat, SpanRing};

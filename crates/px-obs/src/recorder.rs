@@ -3,8 +3,11 @@
 
 use crate::event::{Event, EventKind};
 use crate::hist::HistSet;
+use crate::profile::{BatchProfile, Profiler};
 use crate::ring::EventRing;
+use crate::slo::SloSpec;
 use crate::snapshot::TimeSample;
+use crate::span::{Span, SpanCat, SpanRing};
 
 /// Observability configuration, embedded (by `Copy`) in engine configs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,6 +17,17 @@ pub struct ObsConfig {
     pub enabled: bool,
     /// Flight-recorder capacity per engine, in events.
     pub ring_capacity: usize,
+    /// Span-tracer capacity per engine, in spans (tier 2; 0 disables
+    /// span tracing while keeping events on).
+    pub span_capacity: usize,
+    /// Continuous-profiler top-K sketch size (hot flows tracked per
+    /// core; 0 disables the sketch).
+    pub profile_topk: usize,
+    /// Continuous-profiler batch-profile ring capacity (0 disables the
+    /// per-batch stage attribution ring).
+    pub profile_ring: usize,
+    /// The SLO watchdog objectives evaluated at batch boundaries.
+    pub slo: SloSpec,
     /// In Parallel mode, workers publish their counters to the shared
     /// registry every this many batches (0 = only at the end) so
     /// mid-run snapshots and the sampler thread see progress.
@@ -28,6 +42,10 @@ impl Default for ObsConfig {
         ObsConfig {
             enabled: true,
             ring_capacity: 256,
+            span_capacity: 1024,
+            profile_topk: 16,
+            profile_ring: 64,
+            slo: SloSpec::default(),
             publish_every_batches: 16,
             sample_interval_us: 1000,
         }
@@ -35,11 +53,16 @@ impl Default for ObsConfig {
 }
 
 impl ObsConfig {
-    /// The all-off configuration: no ring, no histograms, no sampler.
+    /// The all-off configuration: no rings, no histograms, no sampler,
+    /// no profiler, no watchdog.
     pub fn disabled() -> Self {
         ObsConfig {
             enabled: false,
             ring_capacity: 0,
+            span_capacity: 0,
+            profile_topk: 0,
+            profile_ring: 0,
+            slo: SloSpec::off(),
             publish_every_batches: 0,
             sample_interval_us: 0,
         }
@@ -55,15 +78,26 @@ impl ObsConfig {
 pub struct Recorder {
     enabled: bool,
     ring: EventRing,
+    spans: SpanRing,
+    profile: Profiler,
     hists: HistSet,
 }
 
 impl Recorder {
-    /// Builds a recorder for `cfg`, preallocating the ring when enabled.
+    /// Builds a recorder for `cfg`, preallocating the event/span rings
+    /// and the profiler when enabled (so nothing on the recording path
+    /// ever allocates).
     pub fn new(cfg: ObsConfig) -> Self {
+        let on = cfg.enabled;
         Recorder {
-            enabled: cfg.enabled,
-            ring: EventRing::with_capacity(if cfg.enabled { cfg.ring_capacity } else { 0 }),
+            enabled: on,
+            ring: EventRing::with_capacity(if on { cfg.ring_capacity } else { 0 }),
+            spans: SpanRing::with_capacity(if on { cfg.span_capacity } else { 0 }),
+            profile: if on {
+                Profiler::new(cfg.profile_topk, cfg.profile_ring)
+            } else {
+                Profiler::default()
+            },
             hists: HistSet::default(),
         }
     }
@@ -92,6 +126,54 @@ impl Recorder {
             len,
             kind,
         });
+    }
+
+    /// Records one flow-lifecycle span. Alloc-free; no-op when
+    /// disabled. `start_ns`/`dur_ns` must be logical time.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_span(
+        &mut self,
+        cat: SpanCat,
+        start_ns: u64,
+        dur_ns: u64,
+        len: u32,
+        flow: u32,
+        aux: u64,
+        link: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.spans.push(Span {
+            start_ns,
+            dur_ns,
+            aux,
+            link,
+            flow,
+            len,
+            cat,
+        });
+    }
+
+    /// Attributes emission work to a flow in the continuous profiler's
+    /// top-K sketch. Alloc-free; no-op when disabled.
+    #[inline]
+    pub fn observe_flow(&mut self, flow: u32, pkts: u64, bytes: u64, dwell_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.profile.observe_flow(flow, pkts, bytes, dwell_ns);
+    }
+
+    /// Records one batch's stage-time attribution in the continuous
+    /// profiler. Alloc-free; no-op when disabled.
+    #[inline]
+    pub fn observe_batch_profile(&mut self, p: BatchProfile) {
+        if !self.enabled {
+            return;
+        }
+        self.profile.observe_batch_profile(p);
     }
 
     /// Records one batch's wall time and derives the per-packet cost.
@@ -135,6 +217,21 @@ impl Recorder {
         self.ring.written()
     }
 
+    /// Total spans recorded (including ones the ring overwrote).
+    pub fn spans_recorded(&self) -> u64 {
+        self.spans.written()
+    }
+
+    /// The last `n` spans, oldest first (cold path; allocates).
+    pub fn recent_spans(&self, n: usize) -> Vec<Span> {
+        self.spans.recent(n)
+    }
+
+    /// The continuous profiler's current state.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profile
+    }
+
     /// The last `n` events, oldest first (cold path; allocates).
     pub fn recent(&self, n: usize) -> Vec<Event> {
         self.ring.recent(n)
@@ -174,6 +271,23 @@ impl Recorder {
         self.hists = HistSet::default();
         (events, hists)
     }
+
+    /// Consumes the span ring for report assembly (oldest first).
+    pub fn take_spans(&mut self) -> Vec<Span> {
+        let spans = self
+            .spans
+            .recent(self.spans.capacity().max(self.spans.len()));
+        self.spans = SpanRing::with_capacity(self.spans.capacity());
+        spans
+    }
+
+    /// Consumes the profiler for report assembly, leaving an empty one
+    /// of the same shape behind.
+    pub fn take_profiler(&mut self) -> Profiler {
+        let k = self.profile.topk.capacity();
+        let ring = self.profile.ring.capacity();
+        std::mem::replace(&mut self.profile, Profiler::new(k, ring))
+    }
 }
 
 /// Observability results attached to an engine run report.
@@ -185,6 +299,12 @@ pub struct ObsReport {
     pub hists: HistSet,
     /// Each core's flight-recorder contents (oldest first).
     pub per_core_events: Vec<Vec<Event>>,
+    /// Each core's span-tracer contents (oldest first; tier 2).
+    pub per_core_spans: Vec<Vec<Span>>,
+    /// The continuous profiler, merged over every core (tier 2).
+    pub profile: Profiler,
+    /// The SLO watchdog tallies, merged over every core (tier 2).
+    pub slo: crate::slo::SloWatchdog,
     /// Periodic whole-engine samples from the in-run sampler thread
     /// (Parallel mode; a single final sample otherwise).
     pub time_series: Vec<TimeSample>,
@@ -270,10 +390,48 @@ mod tests {
     }
 
     #[test]
+    fn tier2_records_spans_and_profiles() {
+        let mut r = Recorder::new(ObsConfig::default());
+        r.record_span(
+            SpanCat::Merge,
+            100,
+            50_000,
+            8760,
+            crate::flow_id(5000, 80),
+            6,
+            1,
+        );
+        r.observe_flow(crate::flow_id(5000, 80), 6, 8760, 50_000);
+        r.observe_batch_profile(BatchProfile {
+            batch: 0,
+            pkts: 32,
+            wall_ns: 4000,
+            parse_ns: 1000,
+        });
+        assert_eq!(r.spans_recorded(), 1);
+        assert_eq!(r.recent_spans(4).len(), 1);
+        assert_eq!(r.profiler().batches, 1);
+        assert_eq!(r.profiler().topk.len(), 1);
+        let spans = r.take_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].cat, SpanCat::Merge);
+        assert_eq!(r.spans_recorded(), 0, "take resets the span ring");
+        let prof = r.take_profiler();
+        assert_eq!(prof.batches, 1);
+        assert_eq!(r.profiler().batches, 0, "take resets the profiler");
+        assert_eq!(r.profiler().topk.capacity(), 16, "shape survives take");
+
+        let mut off = Recorder::new(ObsConfig::disabled());
+        off.record_span(SpanCat::Split, 1, 0, 0, 0, 0, 0);
+        off.observe_flow(1, 1, 1, 1);
+        assert_eq!(off.spans_recorded(), 0);
+        assert!(off.profiler().topk.is_empty());
+    }
+
+    #[test]
     fn obs_report_dump_groups_by_core() {
         let report = ObsReport {
             enabled: true,
-            hists: HistSet::default(),
             per_core_events: vec![
                 vec![Event::EMPTY; 3],
                 vec![Event {
@@ -281,7 +439,7 @@ mod tests {
                     ..Event::EMPTY
                 }],
             ],
-            time_series: Vec::new(),
+            ..ObsReport::disabled()
         };
         let dump = report.dump_recent(2);
         assert!(dump.contains("core 0 (last 2 of 3 events):"), "{dump}");

@@ -1,0 +1,289 @@
+//! A minimal dependency-free HTTP/1.1 listener for the live
+//! observability endpoint.
+//!
+//! One background thread (the *control* thread — never the datapath)
+//! accepts loopback connections and answers `GET` requests through a
+//! caller-supplied routing closure. The engine wires `/metrics`
+//! (Prometheus text exposition), `/healthz` (SLO verdict JSON), and
+//! `/trace?flow=` (Perfetto span JSON) on top of this.
+//!
+//! Design constraints, in order:
+//!
+//! * **std::net only** — the workspace takes no new dependencies, and
+//!   this crate keeps `#![forbid(unsafe_code)]`.
+//! * **Isolated from the datapath** — the serving thread touches only
+//!   the shared stats registry behind its own locks at its own pace;
+//!   px-analyze R9 proves no serving function is reachable from any
+//!   per-packet entry point.
+//! * **Prompt shutdown** — the listener runs non-blocking with a short
+//!   accept poll so dropping the [`ServeHandle`] stops the thread
+//!   within one poll interval, without needing a wake-up connection.
+
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One HTTP response from the routing closure.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code (200, 404, 503, …).
+    pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` response.
+    pub fn ok(content_type: &'static str, body: String) -> Self {
+        Response {
+            status: 200,
+            content_type,
+            body,
+        }
+    }
+
+    /// The catch-all `404 Not Found` response.
+    pub fn not_found() -> Self {
+        Response {
+            status: 404,
+            content_type: "text/plain",
+            body: String::from("not found\n"),
+        }
+    }
+}
+
+/// The routing closure: `(path, query) -> response`. `query` is the
+/// raw string after `?`, if any.
+pub type Handler = dyn Fn(&str, Option<&str>) -> Response + Send + Sync;
+
+/// A running endpoint: the bound address plus the stop switch. Dropping
+/// the handle (or calling [`ServeHandle::stop`]) shuts the serving
+/// thread down.
+#[derive(Debug)]
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the serving thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Per-connection read/write deadline: a stalled scraper cannot wedge
+/// the control thread.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+/// Longest request head accepted.
+const MAX_REQUEST: usize = 4096;
+
+/// Binds `127.0.0.1:port` (0 picks a free port) and serves `handler`
+/// on a background thread until the returned handle is dropped.
+pub fn serve(port: u16, handler: Box<Handler>) -> std::io::Result<ServeHandle> {
+    let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port))?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name(String::from("px-obs-serve"))
+        .spawn(move || {
+            while !stop_flag.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // One request per connection, served inline: the
+                        // endpoint is a diagnostics tap, not a web server.
+                        let _ = handle_connection(stream, handler.as_ref());
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+        })?;
+    Ok(ServeHandle {
+        addr,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+/// Reads one request head, routes it, writes one response.
+fn handle_connection(mut stream: TcpStream, handler: &Handler) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.set_nonblocking(false)?;
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        head.extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_REQUEST {
+            break;
+        }
+    }
+    let response = route(&head, handler);
+    write_response(&mut stream, &response)
+}
+
+/// Parses the request line out of `head` and routes it. Anything that
+/// is not a well-formed `GET` becomes a 400.
+fn route(head: &[u8], handler: &Handler) -> Response {
+    let text = String::from_utf8_lossy(head);
+    let Some(request_line) = text.lines().next() else {
+        return bad_request();
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return bad_request();
+    };
+    if method != "GET" {
+        return Response {
+            status: 405,
+            content_type: "text/plain",
+            body: String::from("only GET is supported\n"),
+        };
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    handler(path, query)
+}
+
+fn bad_request() -> Response {
+    Response {
+        status: 400,
+        content_type: "text/plain",
+        body: String::from("bad request\n"),
+    }
+}
+
+fn write_response(stream: &mut TcpStream, r: &Response) -> std::io::Result<()> {
+    let reason = match r.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Response",
+    };
+    let head = format!(
+        "HTTP/1.1 {} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        r.status,
+        r.content_type,
+        r.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(r.body.as_bytes())?;
+    stream.flush()
+}
+
+/// A tiny client for tests and CLI smoke checks: one `GET` to a local
+/// endpoint, returning `(status, body)`.
+pub fn http_get(addr: SocketAddr, path_and_query: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let req =
+        format!("GET {path_and_query} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf)?;
+    let status = buf
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse::<u16>().ok())
+        .unwrap_or(0);
+    let body = match buf.split_once("\r\n\r\n") {
+        Some((_, b)) => b.to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start() -> ServeHandle {
+        serve(
+            0,
+            Box::new(|path, query| match path {
+                "/metrics" => Response::ok("text/plain", String::from("pxgw_up 1\n")),
+                "/healthz" => Response::ok("application/json", String::from("{\"ok\": true}")),
+                "/echo" => Response::ok("text/plain", format!("q={}", query.unwrap_or("<none>"))),
+                _ => Response::not_found(),
+            }),
+        )
+        .expect("bind loopback")
+    }
+
+    #[test]
+    fn serves_routes_and_queries() {
+        let h = start();
+        let (status, body) = http_get(h.addr(), "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "pxgw_up 1\n");
+        let (status, body) = http_get(h.addr(), "/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\": true"));
+        let (status, body) = http_get(h.addr(), "/echo?flow=327680080").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "q=flow=327680080");
+        let (status, _) = http_get(h.addr(), "/nope").unwrap();
+        assert_eq!(status, 404);
+        h.stop();
+    }
+
+    #[test]
+    fn non_get_is_rejected_and_shutdown_is_prompt() {
+        let h = start();
+        let addr = h.addr();
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            let mut buf = String::new();
+            s.read_to_string(&mut buf).unwrap();
+            assert!(buf.starts_with("HTTP/1.1 405"), "{buf}");
+        }
+        h.stop();
+        // The port is released: a fresh bind to the same address works
+        // (or connect fails) — either way the thread is gone quickly.
+        assert!(TcpListener::bind(addr).is_ok() || TcpStream::connect(addr).is_err());
+    }
+}

@@ -30,6 +30,11 @@ pub struct TimeSample {
 pub struct MetricsSnapshot {
     /// Monotonic counters (`_total`-suffixed by convention).
     pub counters: Vec<(&'static str, u64)>,
+    /// Labelled counter samples: `(family, label_set, value)` where
+    /// `label_set` is the raw inside-the-braces text (e.g.
+    /// `reason="idle"`). Consecutive entries sharing a family render
+    /// under one `HELP`/`TYPE` header, per the exposition format.
+    pub labelled: Vec<(&'static str, &'static str, u64)>,
     /// Point-in-time gauges.
     pub gauges: Vec<(&'static str, f64)>,
     /// Named histograms.
@@ -47,6 +52,17 @@ impl MetricsSnapshot {
             ));
             out.push_str(&format!("# TYPE {prefix}_{name} counter\n"));
             out.push_str(&format!("{prefix}_{name} {v}\n"));
+        }
+        let mut open_family: Option<&str> = None;
+        for (family, labels, v) in &self.labelled {
+            if open_family != Some(family) {
+                out.push_str(&format!(
+                    "# HELP {prefix}_{family} Cumulative {family} by label.\n"
+                ));
+                out.push_str(&format!("# TYPE {prefix}_{family} counter\n"));
+                open_family = Some(family);
+            }
+            out.push_str(&format!("{prefix}_{family}{{{labels}}} {v}\n"));
         }
         for (name, v) in &self.gauges {
             out.push_str(&format!("# HELP {prefix}_{name} Current {name}.\n"));
@@ -87,6 +103,13 @@ impl MetricsSnapshot {
         for (i, (name, v)) in self.counters.iter().enumerate() {
             let comma = if i + 1 < self.counters.len() { "," } else { "" };
             out.push_str(&format!("{indent}    \"{name}\": {v}{comma}\n"));
+        }
+        out.push_str(&format!("{indent}  }},\n"));
+        out.push_str(&format!("{indent}  \"labelled\": {{\n"));
+        for (i, (family, labels, v)) in self.labelled.iter().enumerate() {
+            let comma = if i + 1 < self.labelled.len() { "," } else { "" };
+            let key = format!("{family}{{{labels}}}").replace('"', "\\\"");
+            out.push_str(&format!("{indent}    \"{key}\": {v}{comma}\n"));
         }
         out.push_str(&format!("{indent}  }},\n"));
         out.push_str(&format!("{indent}  \"gauges\": {{\n"));
@@ -154,6 +177,11 @@ mod tests {
         h.record(200);
         MetricsSnapshot {
             counters: vec![("pkts_in_total", 42), ("dropped_malformed_total", 0)],
+            labelled: vec![
+                ("flow_evictions_total", "reason=\"idle\"", 5),
+                ("flow_evictions_total", "reason=\"pressure\"", 2),
+                ("degrade_ladder_pkts_total", "rung=\"passthrough\"", 9),
+            ],
             gauges: vec![("conversion_yield", 0.93)],
             hists: vec![("batch_ns", h)],
         }
@@ -165,6 +193,21 @@ mod tests {
         assert!(text.contains("# TYPE pxgw_pkts_in_total counter"));
         assert!(text.contains("pxgw_pkts_in_total 42"));
         assert!(text.contains("# TYPE pxgw_conversion_yield gauge"));
+        // Labelled families: one HELP/TYPE header, one sample per label
+        // set, rendered between plain counters and gauges.
+        assert!(text.contains("# TYPE pxgw_flow_evictions_total counter"));
+        assert!(text.contains("pxgw_flow_evictions_total{reason=\"idle\"} 5"));
+        assert!(text.contains("pxgw_flow_evictions_total{reason=\"pressure\"} 2"));
+        assert!(
+            text.contains("pxgw_degrade_ladder_pkts_total{rung=\"passthrough\"} 9"),
+            "{text}"
+        );
+        assert_eq!(
+            text.matches("# TYPE pxgw_flow_evictions_total counter")
+                .count(),
+            1,
+            "one TYPE header per labelled family"
+        );
         assert!(text.contains("# TYPE pxgw_batch_ns histogram"));
         assert!(text.contains("pxgw_batch_ns_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("pxgw_batch_ns_sum 300"));
@@ -181,6 +224,7 @@ mod tests {
     fn json_shape() {
         let json = snap().to_json("");
         assert!(json.contains("\"pkts_in_total\": 42"));
+        assert!(json.contains("\"flow_evictions_total{reason=\\\"idle\\\"}\": 5"));
         assert!(json.contains("\"conversion_yield\": 0.93"));
         assert!(json.contains("\"count\": 2"));
         assert!(json.contains("\"p99\": "));

@@ -1,0 +1,335 @@
+//! Flow-scoped span tracing — tier 2 of the flight recorder.
+//!
+//! Where [`Event`](crate::Event)s are point samples, a [`Span`] covers
+//! an *interval* of a flow's lifecycle: the dwell of a merge aggregate
+//! from first segment to emission, a caravan bundle's fill window, a
+//! degradation episode from enter to exit, a worker-restart crossing.
+//! Spans carry **logical time only** (trace arrival timestamps or
+//! per-engine packet counters), so recording them in Deterministic mode
+//! cannot perturb digests and span streams are bit-identical across
+//! reruns.
+//!
+//! Spans live in per-core [`SpanRing`]s with the same discipline as the
+//! event ring: preallocated at enable time, recording is a
+//! bounds-checked store (px-analyze R5), overwrite-oldest when full.
+//!
+//! Causality: an emission span (category [`SpanCat::Merge`] or
+//! [`SpanCat::Caravan`]) carries a nonzero `link` identifier; the split
+//! spans consuming that jumbo on the egress side carry the same `link`.
+//! [`perfetto_json`] turns each shared identifier into a
+//! chrome://tracing flow arrow (`ph:"s"` / `ph:"f"`), so the producing
+//! merge and the consuming split render connected in Perfetto.
+
+/// What stage of a flow's lifecycle a span covers.
+///
+/// The discriminants are stable (they appear in exported traces) and
+/// the names double as Perfetto categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SpanCat {
+    /// First sighting of a flow: classifier verdict on table insert
+    /// (`aux`: 0 = default/merge, 1 = elephant, 2 = not-mergeable).
+    Classify = 0,
+    /// A packet steered past merging by the mice/elephant classifier.
+    Steer = 1,
+    /// A TCP merge aggregate's dwell: first held segment → emission
+    /// (`aux` = segments merged, `link` = causal emission id).
+    Merge = 2,
+    /// A UDP caravan bundle's fill window: first datagram → emission
+    /// (`aux` = inner datagrams, `link` = causal emission id).
+    Caravan = 3,
+    /// A split-engine emission consuming a jumbo (`link` matches the
+    /// producing Merge/Caravan span when known).
+    Split = 4,
+    /// A flow-table eviction (`aux`: 1 = idle, 2 = pressure).
+    Evict = 5,
+    /// A degradation episode: ladder enter → exit (`aux` = packets
+    /// forwarded on the passthrough rung during the episode).
+    Degrade = 6,
+    /// A worker-restart crossing (`aux` = flows rescue-flushed).
+    Restart = 7,
+    /// An SLO watchdog alert (`aux` = breach bitmask, see
+    /// [`crate::slo`]).
+    Slo = 8,
+}
+
+impl SpanCat {
+    /// The category's display name (also the Perfetto `cat` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanCat::Classify => "classify",
+            SpanCat::Steer => "steer",
+            SpanCat::Merge => "merge",
+            SpanCat::Caravan => "caravan",
+            SpanCat::Split => "split",
+            SpanCat::Evict => "evict",
+            SpanCat::Degrade => "degrade",
+            SpanCat::Restart => "restart",
+            SpanCat::Slo => "slo",
+        }
+    }
+}
+
+/// One flow-lifecycle span. `Copy`, 40 bytes, no heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Logical start time (trace-arrival ns or per-engine counter).
+    pub start_ns: u64,
+    /// Logical duration (0 for instantaneous markers).
+    pub dur_ns: u64,
+    /// Category-specific payload (segment counts, eviction reason,
+    /// breach bitmask — see [`SpanCat`]).
+    pub aux: u64,
+    /// Causal link identifier (0 = unlinked). Shared between a
+    /// merge/caravan emission span and the split spans consuming it.
+    pub link: u64,
+    /// The flow the span belongs to ([`crate::flow_id`] packing).
+    pub flow: u32,
+    /// Bytes involved (emitted packet length, bundle size, …).
+    pub len: u32,
+    /// Lifecycle stage.
+    pub cat: SpanCat,
+}
+
+impl Span {
+    /// The all-zero placeholder used to prefill rings.
+    pub const EMPTY: Span = Span {
+        start_ns: 0,
+        dur_ns: 0,
+        aux: 0,
+        link: 0,
+        flow: 0,
+        len: 0,
+        cat: SpanCat::Classify,
+    };
+
+    /// One-line human-readable rendering (post-mortem dumps).
+    pub fn render(&self) -> String {
+        let src = (self.flow >> 16) as u16;
+        let dst = (self.flow & 0xFFFF) as u16;
+        format!(
+            "[t={}ns +{}ns] {} len={} flow={src}->{dst} aux={} link={}",
+            self.start_ns,
+            self.dur_ns,
+            self.cat.name(),
+            self.len,
+            self.aux,
+            self.link
+        )
+    }
+}
+
+/// A fixed-capacity overwrite-oldest ring of [`Span`]s — the span-side
+/// twin of [`crate::EventRing`], with the same time-separated
+/// single-producer/single-consumer discipline (no atomics needed; the
+/// handoff is the worker-thread join).
+#[derive(Debug, Clone, Default)]
+pub struct SpanRing {
+    buf: Box<[Span]>,
+    /// Next slot to write (== oldest slot once the ring has wrapped).
+    next: usize,
+    /// Total spans ever pushed (keeps counting past capacity).
+    written: u64,
+}
+
+impl SpanRing {
+    /// Creates a ring holding up to `capacity` spans, preallocated.
+    /// Capacity 0 (the disabled configuration) makes pushes no-ops
+    /// without allocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SpanRing {
+            buf: vec![Span::EMPTY; capacity].into_boxed_slice(),
+            next: 0,
+            written: 0,
+        }
+    }
+
+    /// Records one span, overwriting the oldest when full. Alloc-free.
+    #[inline]
+    pub fn push(&mut self, sp: Span) {
+        let cap = self.buf.len();
+        if cap == 0 {
+            return;
+        }
+        if let Some(slot) = self.buf.get_mut(self.next) {
+            *slot = sp;
+        }
+        self.next += 1;
+        if self.next == cap {
+            self.next = 0;
+        }
+        self.written = self.written.wrapping_add(1);
+    }
+
+    /// Ring capacity in spans.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Total spans ever pushed (including overwritten ones).
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Spans currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        usize::try_from(self.written)
+            .unwrap_or(usize::MAX)
+            .min(self.buf.len())
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.written == 0
+    }
+
+    /// The last `n` spans, oldest first. Allocates (cold path only).
+    pub fn recent(&self, n: usize) -> Vec<Span> {
+        let held = self.len();
+        let take = n.min(held);
+        let cap = self.buf.len();
+        let mut out = Vec::with_capacity(take);
+        for i in 0..take {
+            let idx = (self.next + cap - take + i) % cap.max(1);
+            if let Some(sp) = self.buf.get(idx) {
+                out.push(*sp);
+            }
+        }
+        out
+    }
+}
+
+/// Escapes nothing: span fields are all numeric and category names are
+/// static identifiers, so the JSON below needs no string escaping.
+fn push_span_json(out: &mut String, sp: &Span, tid: usize, first: &mut bool) {
+    let src = (sp.flow >> 16) as u16;
+    let dst = (sp.flow & 0xFFFF) as u16;
+    let ts_us = sp.start_ns as f64 / 1000.0;
+    let dur_us = sp.dur_ns as f64 / 1000.0;
+    let sep = if *first { "" } else { ",\n" };
+    *first = false;
+    out.push_str(&format!(
+        "{sep}  {{\"name\": \"{name} {src}->{dst}\", \"cat\": \"{cat}\", \"ph\": \"X\", \
+         \"ts\": {ts_us:.3}, \"dur\": {dur_us:.3}, \"pid\": 1, \"tid\": {tid}, \
+         \"args\": {{\"flow\": {flow}, \"len\": {len}, \"aux\": {aux}, \"link\": {link}}}}}",
+        name = sp.cat.name(),
+        cat = sp.cat.name(),
+        flow = sp.flow,
+        len = sp.len,
+        aux = sp.aux,
+        link = sp.link,
+    ));
+    if sp.link != 0 {
+        // Producer side starts the flow arrow; consumers finish it.
+        let (ph, extra) = match sp.cat {
+            SpanCat::Merge | SpanCat::Caravan => ("s", ""),
+            _ => ("f", ", \"bp\": \"e\""),
+        };
+        out.push_str(&format!(
+            ",\n  {{\"name\": \"jumbo\", \"cat\": \"link\", \"ph\": \"{ph}\", \"id\": {link}, \
+             \"ts\": {ts:.3}, \"pid\": 1, \"tid\": {tid}{extra}}}",
+            link = sp.link,
+            ts = ts_us + dur_us,
+        ));
+    }
+}
+
+/// Renders per-core span streams as Perfetto / chrome://tracing JSON
+/// (the `traceEvents` object form). `flow_filter` restricts the export
+/// to one flow id; links are emitted as chrome flow-event pairs.
+pub fn perfetto_json(per_core: &[Vec<Span>], flow_filter: Option<u32>) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    let mut first = true;
+    for (core, spans) in per_core.iter().enumerate() {
+        let sep = if first { "" } else { ",\n" };
+        out.push_str(&format!(
+            "{sep}  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {core}, \
+             \"args\": {{\"name\": \"core {core}\"}}}}",
+        ));
+        first = false;
+        for sp in spans {
+            if flow_filter.is_some_and(|f| sp.flow != f) {
+                continue;
+            }
+            push_span_json(&mut out, sp, core, &mut first);
+        }
+    }
+    out.push_str("\n], \"displayTimeUnit\": \"ns\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(start: u64, cat: SpanCat) -> Span {
+        Span {
+            start_ns: start,
+            dur_ns: 10,
+            cat,
+            flow: crate::flow_id(5000, 80),
+            len: 1460,
+            ..Span::EMPTY
+        }
+    }
+
+    #[test]
+    fn zero_capacity_ring_is_a_noop() {
+        let mut r = SpanRing::with_capacity(0);
+        r.push(sp(1, SpanCat::Merge));
+        assert_eq!(r.written(), 0);
+        assert!(r.recent(10).is_empty());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_oldest_first() {
+        let mut r = SpanRing::with_capacity(4);
+        for t in 0..9 {
+            r.push(sp(t, SpanCat::Split));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.written(), 9);
+        let got: Vec<u64> = r.recent(64).iter().map(|s| s.start_ns).collect();
+        assert_eq!(got, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn span_render_decodes_ports() {
+        let s = sp(42, SpanCat::Caravan);
+        let line = s.render();
+        assert!(line.contains("caravan"), "{line}");
+        assert!(line.contains("5000->80"), "{line}");
+        assert!(line.contains("t=42ns"), "{line}");
+    }
+
+    #[test]
+    fn perfetto_json_is_valid_and_linked() {
+        let mut producer = sp(100, SpanCat::Merge);
+        producer.link = 7;
+        let mut consumer = sp(200, SpanCat::Split);
+        consumer.link = 7;
+        let text = perfetto_json(&[vec![producer], vec![consumer]], None);
+        assert!(text.starts_with("{\"traceEvents\": ["));
+        assert!(text.contains("\"ph\": \"X\""));
+        assert!(text.contains("\"ph\": \"s\""), "{text}");
+        assert!(text.contains("\"ph\": \"f\""), "{text}");
+        assert!(text.contains("\"cat\": \"merge\""));
+        assert!(text.contains("\"cat\": \"split\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let opens = text.matches('{').count();
+        let closes = text.matches('}').count();
+        assert_eq!(opens, closes, "{text}");
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+
+    #[test]
+    fn flow_filter_restricts_export() {
+        let a = sp(1, SpanCat::Merge);
+        let mut b = sp(2, SpanCat::Merge);
+        b.flow = crate::flow_id(6000, 80);
+        let text = perfetto_json(&[vec![a, b]], Some(a.flow));
+        assert!(text.contains(&format!("\"flow\": {}", a.flow)));
+        assert!(!text.contains(&format!("\"flow\": {}", b.flow)));
+    }
+}

@@ -175,10 +175,13 @@ fn steady_state_hot_loops_do_not_allocate() {
     const MEASURED: usize = 24;
     let mut sunk = 0u64;
 
-    // The flight recorder is armed on every engine: its ring and
-    // histograms preallocate at enable time, so recording must add
-    // ZERO allocations to the measured regions below.
+    // The flight recorder is armed on every engine — including tier 2:
+    // the default config preallocates the event ring, the span-tracer
+    // ring, and the continuous profiler at enable time, so recording
+    // events, spans, AND profile updates must add ZERO allocations to
+    // the measured regions below.
     let obs = ObsConfig::default();
+    assert!(obs.span_capacity > 0 && obs.profile_topk > 0);
 
     // ---- merge: contiguous 6-segment rounds on two flows, aggregates
     // emitted by the reached-iMTU check (flush_full path).
@@ -319,5 +322,15 @@ fn steady_state_hot_loops_do_not_allocate() {
     assert!(
         caravan.obs.events_recorded() > 0,
         "caravan recorder was idle"
+    );
+
+    // Tier 2 was live in the same regions: lifecycle spans were traced
+    // while the allocation counter stayed at zero, so the 0-allocs-per-
+    // packet invariant covers span tracing and profiling too.
+    assert!(merge.obs.spans_recorded() > 0, "merge span tracer was idle");
+    assert!(split.obs.spans_recorded() > 0, "split span tracer was idle");
+    assert!(
+        caravan.obs.spans_recorded() > 0,
+        "caravan span tracer was idle"
     );
 }
