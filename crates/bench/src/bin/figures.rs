@@ -60,6 +60,7 @@ fn run_json(scale: Scale) -> String {
     let obs = px_bench::json_report::measure_observability(scale);
     let tracing = px_bench::json_report::measure_tracing(scale);
     let robust = px_bench::json_report::measure_robustness(scale);
+    let adversarial = px_bench::json_report::measure_adversarial(scale);
     let json = px_bench::json_report::render(
         scale,
         &hot,
@@ -69,6 +70,7 @@ fn run_json(scale: Scale) -> String {
         &obs,
         &tracing,
         &robust,
+        &adversarial,
     );
     let path = "BENCH_engine.json";
     std::fs::write(path, &json).expect("write BENCH_engine.json");

@@ -12,7 +12,7 @@
 
 use crate::Scale;
 use px_core::caravan_gw::{CaravanConfig, CaravanEngine};
-use px_core::engine::{run_engine, EngineConfig, EngineMode};
+use px_core::engine::{run_engine, run_engine_on_trace, EngineConfig, EngineMode};
 use px_core::merge::{MergeConfig, MergeEngine};
 use px_core::pipeline::{PipelineConfig, SystemVariant, WorkloadKind};
 use px_core::split::SplitEngine;
@@ -476,6 +476,120 @@ pub fn measure_robustness(scale: Scale) -> Robustness {
     }
 }
 
+/// Throughput and drop taxonomy under the seeded attack matrix
+/// (DESIGN.md §17): the same workload clean and with an on-path
+/// injector spliced in, plus the F-PMTUD guard's ledger against an
+/// off-path spoof storm.
+#[derive(Debug, Clone)]
+pub struct Adversarial {
+    /// Best-of-N throughput on the attack-free trace.
+    pub clean_bps: f64,
+    /// Best-of-N throughput with injection/overlap/duplicate attacks
+    /// spliced into the same trace.
+    pub attacked_bps: f64,
+    /// Attack packets the generator spliced in.
+    pub attack_pkts: u64,
+    /// Bit-identical duplicate replays among them (dropped silently).
+    pub benign_dups: u64,
+    /// Injections caught as inconsistent overlaps (typed drops).
+    pub dropped_inconsistent_overlap: u64,
+    /// Below-base straddles refused as evasion attempts.
+    pub dropped_overlap_evasion: u64,
+    /// Packets lost to backpressure under attack — must stay 0.
+    pub backpressure_drops: u64,
+    /// Forged F-PMTUD reports thrown at the guard.
+    pub spoof_reports: u64,
+    /// Of those, rejected by nonce/probe-id attestation.
+    pub spoof_rejected: u64,
+    /// Attested below-floor claims clamped at `pmtu_floor`.
+    pub floor_clamps: u64,
+    /// The PMTU estimate after the storm and the recovery re-probe
+    /// (must be back at the genuine value).
+    pub pmtu_after_storm: usize,
+}
+
+impl Adversarial {
+    /// Under-attack throughput relative to clean.
+    pub fn attacked_frac(&self) -> f64 {
+        if self.clean_bps <= 0.0 {
+            return 0.0;
+        }
+        self.attacked_bps / self.clean_bps
+    }
+}
+
+/// Measures the adversarial block: clean vs under-attack throughput on
+/// the 4-core TCP Parallel datapath over the seeded attack generator's
+/// traces (best-of-N each), and the guard's counters after a 500-report
+/// spoof storm plus a handful of attested below-floor claims.
+pub fn measure_adversarial(scale: Scale) -> Adversarial {
+    let (flows, segs_per_flow) = match scale {
+        Scale::Full => (32usize, 256usize),
+        Scale::Quick => (16usize, 64usize),
+    };
+    let seed = 0xADB5;
+    let reps = 3;
+    let cores = 4usize;
+    let best_of = |trace: &[(px_wire::FlowKey, Vec<u8>)]| {
+        let mut best: Option<px_core::engine::EngineReport> = None;
+        for _ in 0..reps {
+            let mut pipe = PipelineConfig::fig5(SystemVariant::Px, WorkloadKind::Tcp, cores);
+            pipe.n_flows = flows;
+            let cfg = EngineConfig::new(pipe, EngineMode::Parallel);
+            let r = run_engine_on_trace(cfg, trace.to_vec());
+            if best
+                .as_ref()
+                .is_none_or(|b| r.throughput_bps > b.throughput_bps)
+            {
+                best = Some(r);
+            }
+        }
+        best.expect("reps > 0")
+    };
+
+    let clean = best_of(&px_faults::attack::tcp_clean_trace(
+        seed,
+        flows,
+        segs_per_flow,
+    ));
+    let attack_trace = px_faults::attack::tcp_attack_trace(seed, flows, segs_per_flow);
+    let attacked = best_of(&attack_trace.pkts);
+
+    // The off-path spoofer against the hardened guard: one genuine
+    // report establishes 9000, then a seeded storm of forgeries and a
+    // few attested-but-absurd shrink claims.
+    let mut guard = px_pmtud::PmtudGuard::new(px_pmtud::GuardConfig::new(9000, seed));
+    let (id, nonce) = guard.next_probe();
+    guard.on_report(id, nonce, &[9000]);
+    let spoofs = px_faults::attack::spoof_report_stream(seed, 500, 8);
+    let spoof_reports = spoofs.len() as u64;
+    for s in &spoofs {
+        guard.on_report(s.probe_id, s.nonce, &s.sizes);
+    }
+    for _ in 0..4 {
+        let (id, nonce) = guard.next_probe();
+        guard.on_report(id, nonce, &[64]);
+    }
+    // The recovery re-probe: one genuine attested report restores the
+    // true estimate after the held/clamped shrink episode.
+    let (id, nonce) = guard.next_probe();
+    guard.on_report(id, nonce, &[9000]);
+
+    Adversarial {
+        clean_bps: clean.throughput_bps,
+        attacked_bps: attacked.throughput_bps,
+        attack_pkts: attack_trace.attack_pkts,
+        benign_dups: attack_trace.benign_dups,
+        dropped_inconsistent_overlap: attacked.totals.dropped_inconsistent_overlap,
+        dropped_overlap_evasion: attacked.totals.dropped_overlap_evasion,
+        backpressure_drops: attacked.totals.backpressure_drops,
+        spoof_reports,
+        spoof_rejected: guard.stats.spoof_rejected,
+        floor_clamps: guard.stats.floor_clamps,
+        pmtu_after_storm: guard.pmtu(),
+    }
+}
+
 /// Runs the `px-analyze` workspace check so the benchmark record can
 /// attest the datapath invariants held for the measured build. Renders
 /// the `static_analysis` block: file/violation counts, per-rule tallies,
@@ -544,6 +658,7 @@ pub fn render(
     obs: &ObsOverhead,
     tracing: &TracingBench,
     robust: &Robustness,
+    adversarial: &Adversarial,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -714,6 +829,31 @@ pub fn render(
         robust.self_healing_frac(),
         robust.worker_restarts
     ));
+    s.push_str("  },\n");
+    s.push_str("  \"adversarial\": {\n");
+    s.push_str(&format!(
+        "    \"clean_bps\": {:.0},\n    \"attacked_bps\": {:.0},\n    \"attacked_relative\": {:.4},\n",
+        adversarial.clean_bps,
+        adversarial.attacked_bps,
+        adversarial.attacked_frac()
+    ));
+    s.push_str(&format!(
+        "    \"attack_pkts\": {}, \"benign_dups\": {},\n",
+        adversarial.attack_pkts, adversarial.benign_dups
+    ));
+    s.push_str(&format!(
+        "    \"drops\": {{\"inconsistent_overlap\": {}, \"overlap_evasion\": {}, \"backpressure\": {}}},\n",
+        adversarial.dropped_inconsistent_overlap,
+        adversarial.dropped_overlap_evasion,
+        adversarial.backpressure_drops
+    ));
+    s.push_str(&format!(
+        "    \"pmtud\": {{\"spoof_reports\": {}, \"spoof_rejected\": {}, \"floor_clamps\": {}, \"pmtu_after_storm\": {}}}\n",
+        adversarial.spoof_reports,
+        adversarial.spoof_rejected,
+        adversarial.floor_clamps,
+        adversarial.pmtu_after_storm
+    ));
     s.push_str("  }\n");
     s.push_str("}\n");
     s
@@ -740,6 +880,7 @@ mod tests {
         let obs = measure_observability(Scale::Quick);
         let tracing = measure_tracing(Scale::Quick);
         let robust = measure_robustness(Scale::Quick);
+        let adversarial = measure_adversarial(Scale::Quick);
         let json = render(
             Scale::Quick,
             &hot,
@@ -749,6 +890,7 @@ mod tests {
             &obs,
             &tracing,
             &robust,
+            &adversarial,
         );
         assert!(json.contains("\"hot_path_allocs\""));
         assert!(json.contains("\"engine\""));
@@ -767,8 +909,31 @@ mod tests {
         assert!(json.contains("\"hot_flows\""));
         assert!(json.contains("\"breach_edges\""));
         assert!(json.contains("\"robustness\""));
+        assert!(json.contains("\"adversarial\""));
+        assert!(json.contains("\"attacked_relative\""));
+        assert!(json.contains("\"inconsistent_overlap\""));
+        assert!(json.contains("\"spoof_rejected\""));
         assert!(json.trim_end().ends_with('}'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn adversarial_measure_fires_the_whole_drop_taxonomy() {
+        let a = measure_adversarial(Scale::Quick);
+        assert!(a.clean_bps > 0.0);
+        assert!(a.attacked_bps > 0.0);
+        // The generator actually attacked, and the engine caught it as
+        // typed drops — never as backpressure loss.
+        assert!(a.attack_pkts > 0, "{a:#?}");
+        assert!(a.benign_dups > 0, "{a:#?}");
+        assert!(a.dropped_inconsistent_overlap > 0, "{a:#?}");
+        assert_eq!(a.backpressure_drops, 0, "{a:#?}");
+        // The guard's ledger: every forgery rejected, every below-floor
+        // claim clamped, the estimate back at the genuine PMTU.
+        assert_eq!(a.spoof_reports, 500, "{a:#?}");
+        assert_eq!(a.spoof_rejected, 500, "{a:#?}");
+        assert_eq!(a.floor_clamps, 4, "{a:#?}");
+        assert_eq!(a.pmtu_after_storm, 9000, "{a:#?}");
     }
 
     #[test]

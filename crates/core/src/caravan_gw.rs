@@ -633,8 +633,10 @@ impl CaravanEngine {
             return;
         };
         // Validate the whole bundle first: a corrupt bundle is dropped in
-        // full rather than partially forwarded as garbage.
-        if iter_bundle(bundle).any(|r| r.is_err()) {
+        // full rather than partially forwarded as garbage. The strict
+        // walk also rejects inner records whose length fields under- or
+        // over-claim bytes (overlapping-claim smuggling).
+        if px_wire::caravan::validate_bundle(bundle).is_err() {
             self.stats.dropped_malformed += 1;
             self.obs.record(
                 EventKind::DropMalformed,

@@ -189,13 +189,29 @@ impl CoreEngine {
     }
 
     /// Packets this engine dropped because validation failed (malformed
-    /// headers, corrupt caravan bundles). The merge engine never drops —
-    /// unmergeable or corrupt segments pass through for the endpoints to
-    /// judge — so only the caravan engine contributes here.
+    /// headers, corrupt caravan bundles). Unmergeable or corrupt TCP
+    /// segments pass through the merge engine for the endpoints to
+    /// judge, so only the caravan engine contributes here; the merge
+    /// engine's only drops are the adversarial-overlap rejections
+    /// reported by [`security_drops`](Self::security_drops).
     pub fn dropped_malformed(&self) -> u64 {
         match self {
             CoreEngine::Baseline(_) | CoreEngine::Merge(_) => 0,
             CoreEngine::Caravan(c) => c.stats.dropped_malformed,
+        }
+    }
+
+    /// Adversarial-overlap rejections as `(dropped_inconsistent_overlap,
+    /// dropped_overlap_evasion)`: segments whose claimed sequence ranges
+    /// conflicted with bytes the merge engine already attested (see
+    /// [`crate::coalesce`]). Zero for the baseline and caravan engines.
+    pub fn security_drops(&self) -> (u64, u64) {
+        match self {
+            CoreEngine::Baseline(_) | CoreEngine::Caravan(_) => (0, 0),
+            CoreEngine::Merge(m) => (
+                m.stats.dropped_inconsistent_overlap,
+                m.stats.dropped_overlap_evasion,
+            ),
         }
     }
 
@@ -780,6 +796,9 @@ impl Worker {
         self.counters.pool_exhausted += exhausted;
         self.counters.backpressure_drops += drops;
         self.counters.dropped_malformed += self.engine.dropped_malformed();
+        let (inconsistent, evasion) = self.engine.security_drops();
+        self.counters.dropped_inconsistent_overlap += inconsistent;
+        self.counters.dropped_overlap_evasion += evasion;
         // Monotonic flow-state counters fold per engine instance; the
         // flows_live gauge is sampled only at finish (a restarted
         // engine's surviving flows would otherwise double-count).

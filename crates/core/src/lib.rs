@@ -39,6 +39,7 @@
 pub mod advert;
 pub mod baseline;
 pub mod caravan_gw;
+pub mod coalesce;
 pub mod engine;
 pub mod flowtable;
 pub mod gateway;

@@ -2,14 +2,22 @@
 //! merging*.
 //!
 //! The engine keeps at most one pending aggregate per flow. Incoming data
-//! segments coalesce onto it when they are exactly contiguous (the LRO
-//! conditions, same gates as [`px_sim::nic::try_coalesce`]). A pending
-//! aggregate is emitted when:
+//! segments coalesce onto it under the LRO header gates (same as
+//! [`px_sim::nic::try_coalesce`]) with *ordered coalescing* placement
+//! ([`crate::coalesce`]): exactly contiguous segments append in place,
+//! mildly out-of-order segments park in a small fixed stash until their
+//! gap fills, straddling retransmissions append their new tail, and
+//! bit-identical duplicates drop silently. Overlaps whose bytes conflict
+//! with what the aggregate already holds are *injection attempts* — typed,
+//! counted drops (`dropped_inconsistent_overlap`, `dropped_overlap_evasion`);
+//! the engine never emits a merged byte that was not consistently attested
+//! by every segment claiming its range. A pending aggregate is emitted
+//! when:
 //!
 //! * it is full: no further eMTU-sized segment fits under the iMTU;
 //! * a non-mergeable packet of the same flow arrives (control flags,
-//!   pure ACK, out-of-order data) — emitted *first* to preserve per-flow
-//!   ordering;
+//!   pure ACK, header-incompatible data) — emitted *first* to preserve
+//!   per-flow ordering;
 //! * its **hold timer** expires (delayed merging, §4.1: "delayed packet
 //!   merging to maximize the number of iMTU-bound packets"): instead of
 //!   flushing at every RX batch boundary like the DPDK-GRO baseline, PXGW
@@ -40,8 +48,10 @@
 //! The `Vec`-returning [`MergeEngine::push`]/[`MergeEngine::poll`] are
 //! thin wrappers over the sink API for tests and non-hot callers.
 
+use crate::coalesce::{self, OverlapVerdict, SegStash, StashedSeg};
 use crate::flowtable::{FlowTable, FlowTableConfig};
 use crate::steer::{FlowClass, FlowClassifier, SteerConfig};
+use px_wire::FlowKey;
 use px_faults::{cause, hash_bytes, FaultInjector, FaultSpec, PlannedFaults};
 use px_obs::{flow_id, EventKind, ObsConfig, Recorder, SpanCat};
 use px_sim::stats::SizeHistogram;
@@ -117,6 +127,32 @@ pub struct MergeStats {
     /// machinery (§3/§4.1 steering): forwarded verbatim, no flow-table
     /// slot, no pool buffer, no merge state touched.
     pub steered_mice_pkts: u64,
+    /// Data segments dropped because they claimed a sequence range the
+    /// flow's aggregate already holds *with different bytes* — an
+    /// injection attempt (or corruption that survived checksums). The
+    /// conflicting bytes are never merged and never forwarded.
+    pub dropped_inconsistent_overlap: u64,
+    /// Data segments dropped because they straddled the aggregate's
+    /// lower edge: part of the claimed range can no longer be attested,
+    /// the overlapping-fragment evasion pattern.
+    pub dropped_overlap_evasion: u64,
+    /// Bit-identical retransmissions of bytes already held, dropped
+    /// silently (the receiver-side byte stream is unchanged).
+    pub dropped_duplicate_segs: u64,
+    /// Data segments entirely below the aggregate's base (old data),
+    /// forwarded verbatim with their original end-to-end checksums.
+    pub below_window_forwarded: u64,
+    /// Out-of-order segments parked in the reorder stash.
+    pub stashed_segs: u64,
+    /// Stashed segments that coalesced onto their aggregate once the
+    /// gap filled — reordering the old engine would have flushed on.
+    pub stash_appends: u64,
+    /// Stashed segments forwarded verbatim when their flow's aggregate
+    /// was finalized with the gap still open.
+    pub stash_leftovers: u64,
+    /// Out-of-order segments that could not be parked (stash or pool
+    /// full) and fell back to the historical flush-and-restart path.
+    pub stash_fallback_flushes: u64,
 }
 
 impl MergeStats {
@@ -199,6 +235,9 @@ pub struct MergeEngine {
     /// unique when one engine runs per core (see
     /// [`MergeEngine::set_span_link_base`]).
     link_base: u64,
+    /// Fixed-capacity parking lot for out-of-order segments (empty on
+    /// the in-order hot path: one predicted branch).
+    stash: SegStash,
 }
 
 impl MergeEngine {
@@ -219,6 +258,7 @@ impl MergeEngine {
             steer: None,
             emit_seq: 0,
             link_base: 0,
+            stash: SegStash::new(coalesce::STASH_CAP, coalesce::STASH_PER_FLOW),
         }
     }
 
@@ -439,12 +479,15 @@ impl MergeEngine {
         }
     }
 
-    /// Whether `meta`'s packet can coalesce onto `pending` — the same
-    /// gates as [`px_sim::nic::try_coalesce`], answered from cached state
-    /// and fixed-offset header reads instead of re-parsing. The flow key
+    /// Whether `meta`'s packet shares enough header state with `pending`
+    /// to coalesce at all — the non-positional LRO gates, same as
+    /// [`px_sim::nic::try_coalesce`], answered from cached state and
+    /// fixed-offset header reads instead of re-parsing. The flow key
     /// already guarantees equal addresses, ports, and protocol; the
-    /// aggregate's flags are plain by construction.
-    fn can_append(pending: &Pending, meta: &SegFacts, pkt: &[u8], imtu: usize) -> bool {
+    /// aggregate's flags are plain by construction. *Where* the segment
+    /// lands (contiguous / overlapping / future) is [`coalesce::classify`]'s
+    /// job, not this gate's.
+    fn headers_compatible(pending: &Pending, meta: &SegFacts, pkt: &[u8]) -> bool {
         let a = pending.buf.as_slice();
         let a_ip = usize::from(pending.ip_hlen);
         let b_ip = usize::from(meta.ip_hlen);
@@ -455,41 +498,42 @@ impl MergeEngine {
         {
             return false;
         }
-        // Exactly contiguous in sequence space.
-        if meta.seq != pending.next_seq {
-            return false;
-        }
         // Identical TCP option layout (kinds and lengths; values may
         // differ — the aggregate keeps its own options, as Linux GRO
         // does).
         let a_opts = bytes::range(a, a_ip + 20, a_ip + usize::from(pending.tcp_hlen));
         let b_opts = bytes::range(pkt, b_ip + 20, b_ip + usize::from(meta.tcp_hlen));
-        if !options_layout_compatible(a_opts, b_opts) {
-            return false;
-        }
-        let payload_len = meta.payload_len();
-        let merged_len = pending.total_len() + payload_len;
-        merged_len <= imtu && merged_len <= px_wire::ipv4::MAX_TOTAL_LEN
+        options_layout_compatible(a_opts, b_opts)
     }
 
-    /// Appends `meta`'s payload onto `pending` in place: one `memcpy`
-    /// plus a partial-sum fold. Checksums and length fields are patched
-    /// once, at emission.
-    fn append(pending: &mut Pending, meta: &SegFacts, pkt: &[u8]) {
+    /// The aggregate's accumulated TCP payload (`buf` may carry trailing
+    /// link padding only while `segs == 1`; the range excludes it).
+    fn held_payload(pending: &Pending) -> &[u8] {
+        let hdrs = usize::from(pending.ip_hlen) + usize::from(pending.tcp_hlen);
+        bytes::range(pending.buf.as_slice(), hdrs, pending.total_len())
+    }
+
+    /// Sequence number of the aggregate's first payload byte.
+    fn base_seq(pending: &Pending) -> u32 {
+        pending.next_seq.wrapping_sub(pending.payload_len)
+    }
+
+    /// Appends a payload tail onto `pending` in place: one `memcpy` plus
+    /// a partial-sum fold. `trim` skips leading bytes the aggregate
+    /// already holds (verified identical by [`coalesce::classify`]);
+    /// the trimmed tail's partial sum is rescanned, the `trim == 0` fast
+    /// path folds the cached segment sum. Checksums and length fields
+    /// are patched once, at emission.
+    fn append_tail(pending: &mut Pending, payload: &[u8], sum: u16, psh: bool) {
         if pending.segs == 1 {
             // Drop any bytes beyond the IP total length (e.g. link-layer
             // padding) before growing the aggregate.
             pending.buf.truncate(pending.total_len());
         }
-        let hdrs = usize::from(meta.ip_hlen) + usize::from(meta.tcp_hlen);
-        let payload = bytes::range(pkt, hdrs, usize::from(meta.total_len));
-        pending.payload_sum = checksum::combine_at_offset(
-            pending.payload_sum,
-            meta.payload_sum,
-            pending.payload_len % 2 == 1,
-        );
+        pending.payload_sum =
+            checksum::combine_at_offset(pending.payload_sum, sum, pending.payload_len % 2 == 1);
         pending.buf.extend_from_slice(payload);
-        if meta.psh {
+        if psh {
             let flags_at = usize::from(pending.ip_hlen) + 13;
             pending.buf.as_mut_slice()[flags_at] |= 0x08;
         }
@@ -554,6 +598,176 @@ impl MergeEngine {
                 .observe_flow(flow, u64::from(p.segs), p.buf.len() as u64, dwell);
         }
         self.emit(p.buf, sink);
+    }
+
+    /// Finishes a flow: emits its aggregate, then forwards — verbatim,
+    /// in sequence order — any segments still parked in the reorder
+    /// stash for it (their gaps never filled before the flush). Every
+    /// site that removes a pending aggregate goes through here, which is
+    /// what maintains the stash invariant: parked segments only ever
+    /// belong to flows with live aggregates.
+    fn finalize_flow(&mut self, key: &FlowKey, p: Pending, sink: &mut impl PacketSink) {
+        let base = Self::base_seq(&p);
+        self.finalize_emit(p, sink);
+        if self.stash.is_empty() {
+            return;
+        }
+        self.forward_stash_leftovers(key, base, sink);
+    }
+
+    /// Forwards every stashed segment of `key` in sequence order (their
+    /// end-to-end checksums are intact — they were never modified).
+    fn forward_stash_leftovers(&mut self, key: &FlowKey, base: u32, sink: &mut impl PacketSink) {
+        while let Some(seg) = self.stash.take_min(key, base) {
+            self.stats.stash_leftovers += 1;
+            let len = seg.buf.len();
+            let flow = flow_id(key.src_port, key.dst_port);
+            self.record_single_emit(self.last_now, len, flow);
+            self.emit(seg.buf, sink);
+        }
+    }
+
+    /// Parks an out-of-order segment (trimmed to its IP total length)
+    /// in the reorder stash. `false` when the stash allowance or the
+    /// pool has no room — the caller falls back to the historical
+    /// flush-and-restart path.
+    fn try_stash(&mut self, key: &FlowKey, facts: &SegFacts, pkt: &[u8]) -> bool {
+        let Some(mut buf) = self.pool.try_get() else {
+            return false;
+        };
+        buf.extend_from_slice(bytes::range(pkt, 0, usize::from(facts.total_len)));
+        let seg = StashedSeg {
+            key: *key,
+            seq: facts.seq,
+            psh: facts.psh,
+            ip_hlen: facts.ip_hlen,
+            tcp_hlen: facts.tcp_hlen,
+            payload_sum: facts.payload_sum,
+            buf,
+        };
+        match self.stash.insert(seg) {
+            Ok(()) => true,
+            Err(seg) => {
+                self.pool.put(seg.buf);
+                false
+            }
+        }
+    }
+
+    /// After an append advanced the contiguous edge, repeatedly pulls
+    /// newly actionable stashed segments of `key` onto its aggregate
+    /// until only future gaps (or nothing) remain. Stashed segments get
+    /// the same overlap scrutiny as arriving ones: inconsistent bytes
+    /// are typed, counted drops, never merged. May flush the aggregate
+    /// full.
+    fn drain_stash(&mut self, now: u64, key: &FlowKey, sink: &mut impl PacketSink) {
+        if self.stash.is_empty() {
+            return;
+        }
+        let full_at = self.full_threshold();
+        let imtu = self.cfg.imtu;
+        enum Act {
+            Recycle,
+            Inconsistent,
+            Unreachable,
+            Overflow,
+        }
+        loop {
+            let (base, next) = {
+                let Some(p) = self.table.get_mut(key) else {
+                    return;
+                };
+                (Self::base_seq(p), p.next_seq)
+            };
+            let Some(seg) = self.stash.take_actionable(key, base, next) else {
+                return;
+            };
+            let mut became_full = false;
+            let act = {
+                let Some(p) = self.table.get_mut(key) else {
+                    // Defensive: the flow vanished between the two
+                    // lookups (cannot happen single-threaded).
+                    self.pool.put(seg.buf);
+                    return;
+                };
+                let verdict =
+                    coalesce::classify(Self::held_payload(p), base, seg.seq, seg.payload());
+                match verdict {
+                    OverlapVerdict::Append { trim } => {
+                        let payload = bytes::range_from(seg.payload(), trim);
+                        let merged = p.total_len() + payload.len();
+                        if merged <= imtu && merged <= px_wire::ipv4::MAX_TOTAL_LEN {
+                            let sum = if trim == 0 {
+                                seg.payload_sum
+                            } else {
+                                checksum::ones_complement_sum(payload)
+                            };
+                            Self::append_tail(p, payload, sum, seg.psh);
+                            became_full = p.total_len() >= full_at;
+                            Act::Recycle
+                        } else {
+                            Act::Overflow
+                        }
+                    }
+                    OverlapVerdict::Duplicate => {
+                        self.stats.dropped_duplicate_segs += 1;
+                        Act::Recycle
+                    }
+                    OverlapVerdict::Inconsistent => Act::Inconsistent,
+                    // A stashed segment was `Future` (strictly above the
+                    // edge) when parked and the base never moves down,
+                    // so these are unreachable; drop defensively.
+                    OverlapVerdict::Evasion
+                    | OverlapVerdict::Below
+                    | OverlapVerdict::Future => Act::Unreachable,
+                }
+            };
+            match act {
+                Act::Recycle => {
+                    if became_full {
+                        self.stats.stash_appends += 1;
+                        if let Some(p) = self.table.remove(key) {
+                            self.stats.flush_full += 1;
+                            self.finalize_flow(key, p, sink);
+                        }
+                        self.pool.put(seg.buf);
+                        return;
+                    }
+                    self.stats.stash_appends += 1;
+                    self.pool.put(seg.buf);
+                }
+                Act::Inconsistent => {
+                    self.stats.dropped_inconsistent_overlap += 1;
+                    self.obs.record(
+                        EventKind::DropInconsistentOverlap,
+                        now,
+                        seg.buf.len() as u32,
+                        flow_id(key.src_port, key.dst_port),
+                        0,
+                    );
+                    self.pool.put(seg.buf);
+                }
+                Act::Unreachable => {
+                    self.stats.dropped_overlap_evasion += 1;
+                    self.pool.put(seg.buf);
+                }
+                Act::Overflow => {
+                    // The aggregate cannot grow further: flush it full,
+                    // then forward this segment and the flow's remaining
+                    // stash verbatim, in order.
+                    if let Some(p) = self.table.remove(key) {
+                        self.stats.flush_full += 1;
+                        self.finalize_emit(p, sink);
+                    }
+                    self.stats.stash_leftovers += 1;
+                    let len = seg.buf.len();
+                    self.record_single_emit(now, len, flow_id(key.src_port, key.dst_port));
+                    self.emit(seg.buf, sink);
+                    self.forward_stash_leftovers(key, base, sink);
+                    return;
+                }
+            }
+        }
     }
 
     /// Processes one packet arriving from the eMTU side, delivering any
@@ -631,7 +845,7 @@ impl MergeEngine {
                 // packets never reorder across the two paths.
                 if let Some(p) = self.table.remove(&key) {
                     self.stats.flush_order += 1;
-                    self.finalize_emit(p, sink);
+                    self.finalize_flow(&key, p, sink);
                 }
                 self.stats.steered_mice_pkts += 1;
                 if self.obs.is_enabled() {
@@ -657,7 +871,7 @@ impl MergeEngine {
                 }
                 if let Some(p) = self.table.remove(&key) {
                     self.stats.flush_order += 1;
-                    self.finalize_emit(p, sink);
+                    self.finalize_flow(&key, p, sink);
                 }
                 self.stats.passthrough += 1;
                 self.obs.record_span(
@@ -677,45 +891,133 @@ impl MergeEngine {
         self.stats.data_segs_in += 1;
         let full_at = self.full_threshold();
         let imtu = self.cfg.imtu;
+        let flow = flow_id(key.src_port, key.dst_port);
 
-        enum HadPending {
+        enum PendingAct {
             Appended { full: bool },
-            Incompatible,
+            FlushRestart,
+            DropDuplicate,
+            DropInconsistent,
+            DropEvasion,
+            ForwardBelow,
+            Stash,
             None,
         }
-        let had = match self.table.get_mut(&key) {
+        let hdrs = usize::from(facts.ip_hlen) + usize::from(facts.tcp_hlen);
+        let act = match self.table.get_mut(&key) {
             Some(pending) => {
-                if Self::can_append(pending, &facts, pkt, imtu) {
-                    Self::append(pending, &facts, pkt);
-                    HadPending::Appended {
-                        full: pending.total_len() >= full_at,
-                    }
+                if !Self::headers_compatible(pending, &facts, pkt) {
+                    // Different ACK/window/ToS/options: flush, restart —
+                    // the historical incompatibility path.
+                    PendingAct::FlushRestart
                 } else {
-                    HadPending::Incompatible
+                    let base = Self::base_seq(pending);
+                    let seg_payload = bytes::range(pkt, hdrs, usize::from(facts.total_len));
+                    let verdict = coalesce::classify(
+                        Self::held_payload(pending),
+                        base,
+                        facts.seq,
+                        seg_payload,
+                    );
+                    match verdict {
+                        OverlapVerdict::Append { trim } => {
+                            let payload = bytes::range_from(seg_payload, trim);
+                            let merged = pending.total_len() + payload.len();
+                            if merged <= imtu && merged <= px_wire::ipv4::MAX_TOTAL_LEN {
+                                let sum = if trim == 0 {
+                                    facts.payload_sum
+                                } else {
+                                    checksum::ones_complement_sum(payload)
+                                };
+                                Self::append_tail(pending, payload, sum, facts.psh);
+                                PendingAct::Appended {
+                                    full: pending.total_len() >= full_at,
+                                }
+                            } else {
+                                PendingAct::FlushRestart
+                            }
+                        }
+                        OverlapVerdict::Duplicate => PendingAct::DropDuplicate,
+                        OverlapVerdict::Inconsistent => PendingAct::DropInconsistent,
+                        OverlapVerdict::Evasion => PendingAct::DropEvasion,
+                        OverlapVerdict::Below => PendingAct::ForwardBelow,
+                        OverlapVerdict::Future => PendingAct::Stash,
+                    }
                 }
             }
-            None => HadPending::None,
+            None => PendingAct::None,
         };
-        match had {
-            HadPending::Appended { full: true } => {
+        match act {
+            PendingAct::Appended { full: true } => {
                 if let Some(p) = self.table.remove(&key) {
                     self.stats.flush_full += 1;
-                    self.finalize_emit(p, sink);
+                    self.finalize_flow(&key, p, sink);
                 }
                 return;
             }
-            HadPending::Appended { full: false } => return,
-            HadPending::Incompatible => {
-                // Not contiguous (reorder/retransmit): flush, start anew.
+            PendingAct::Appended { full: false } => {
+                // The contiguous edge moved: parked segments may now
+                // coalesce (no-op while the stash is empty).
+                self.drain_stash(now, &key, sink);
+                return;
+            }
+            PendingAct::DropDuplicate => {
+                // Bit-identical retransmission of held bytes: dropping
+                // it leaves the receiver-side byte stream unchanged.
+                self.stats.dropped_duplicate_segs += 1;
+                return;
+            }
+            PendingAct::DropInconsistent => {
+                self.stats.dropped_inconsistent_overlap += 1;
+                self.obs.record(
+                    EventKind::DropInconsistentOverlap,
+                    now,
+                    pkt.len() as u32,
+                    flow,
+                    0,
+                );
+                return;
+            }
+            PendingAct::DropEvasion => {
+                self.stats.dropped_overlap_evasion += 1;
+                self.obs.record(
+                    EventKind::DropInconsistentOverlap,
+                    now,
+                    pkt.len() as u32,
+                    flow,
+                    1,
+                );
+                return;
+            }
+            PendingAct::ForwardBelow => {
+                // Old data from before this aggregate existed: not
+                // mergeable, not suspicious — forward verbatim with its
+                // original end-to-end checksum.
+                self.stats.below_window_forwarded += 1;
+                self.forward(pkt, sink);
+                return;
+            }
+            PendingAct::Stash => {
+                if self.try_stash(&key, &facts, pkt) {
+                    self.stats.stashed_segs += 1;
+                    return;
+                }
+                // No stash or pool room: the historical flush-and-restart.
+                self.stats.stash_fallback_flushes += 1;
                 if let Some(p) = self.table.remove(&key) {
                     self.stats.flush_order += 1;
-                    self.finalize_emit(p, sink);
+                    self.finalize_flow(&key, p, sink);
                 }
             }
-            HadPending::None => {}
+            PendingAct::FlushRestart => {
+                if let Some(p) = self.table.remove(&key) {
+                    self.stats.flush_order += 1;
+                    self.finalize_flow(&key, p, sink);
+                }
+            }
+            PendingAct::None => {}
         }
 
-        let flow = flow_id(key.src_port, key.dst_port);
         if pkt.len() >= full_at {
             // Already iMTU-sized (e.g. traffic from another b-network).
             self.stats.flush_full += 1;
@@ -777,7 +1079,7 @@ impl MergeEngine {
                 .record(EventKind::FlowEvict, now, p.buf.len() as u32, vflow, 2);
             self.obs
                 .record_span(SpanCat::Evict, now, 0, p.buf.len() as u32, vflow, 2, 0);
-            self.finalize_emit(p, sink);
+            self.finalize_flow(&victim, p, sink);
         }
     }
 
@@ -791,9 +1093,9 @@ impl MergeEngine {
         if now != u64::MAX {
             self.last_now = now;
         }
-        while let Some((_, p)) = self.table.pop_expired(now) {
+        while let Some((key, p)) = self.table.pop_expired(now) {
             self.stats.flush_timeout += 1;
-            self.finalize_emit(p, sink);
+            self.finalize_flow(&key, p, sink);
         }
     }
 
@@ -805,10 +1107,13 @@ impl MergeEngine {
 
     /// Drains everything (shutdown), delivering to `sink`.
     pub fn flush_all_into(&mut self, sink: &mut impl PacketSink) {
-        for (_, p) in self.table.drain() {
+        for (key, p) in self.table.drain() {
             self.stats.flush_timeout += 1;
-            self.finalize_emit(p, sink);
+            self.finalize_flow(&key, p, sink);
         }
+        // The stash invariant (parked segments belong to live pending
+        // flows only) guarantees the per-flow drains above emptied it.
+        debug_assert!(self.stash.is_empty(), "stash drained with the table");
     }
 
     /// [`push_into`](Self::push_into) collected into a `Vec` (tests and
@@ -968,13 +1273,143 @@ mod tests {
     }
 
     #[test]
-    fn out_of_order_data_flushes() {
+    fn out_of_order_data_parks_in_the_stash() {
         let mut eng = MergeEngine::new(MergeConfig::default());
         eng.push(0, data_pkt(5000, 0, 1000));
-        // Gap: next segment is not contiguous.
+        // Gap: the future segment parks instead of forcing a flush.
         let out = eng.push(1, data_pkt(5000, 5000, 1000));
-        assert_eq!(out.len(), 1, "old aggregate flushed");
-        assert_eq!(eng.table.len(), 1, "new segment becomes pending");
+        assert!(out.is_empty(), "nothing emitted");
+        assert_eq!(eng.table.len(), 1, "aggregate still pending");
+        assert_eq!(eng.stats.stashed_segs, 1);
+        assert_eq!(eng.stats.flush_order, 0, "no flush on mild reordering");
+        // The gap never fills: the flush forwards the aggregate first,
+        // then the parked segment, in sequence order.
+        let drained = eng.flush_all();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(total_payload(&drained), 2000);
+        assert_eq!(eng.stats.stash_leftovers, 1);
+        assert!(eng.stash.is_empty(), "stash drained with the flush");
+    }
+
+    /// Satellite regression: a single reordered segment used to flush
+    /// the aggregate (`can_append`'s `seq != next_seq` branch), cratering
+    /// conversion yield. With the ordered coalescer, a swapped pair
+    /// still merges into one full jumbo.
+    #[test]
+    fn mild_reordering_preserves_merge_yield() {
+        let cfg = MergeConfig::default();
+        let mut eng = MergeEngine::new(cfg);
+        let mut out = Vec::new();
+        // Segments 0..6, with the middle pair swapped: 0 1 3 2 4 5.
+        for &i in &[0u32, 1, 3, 2, 4, 5] {
+            out.extend(eng.push(0, data_pkt(5000, i * 1460, 1460)));
+        }
+        assert_eq!(out.len(), 1, "one full aggregate despite the swap");
+        assert_eq!(out[0].len(), 40 + 6 * 1460);
+        assert_eq!(total_payload(&out), 6 * 1460);
+        let ip = Ipv4Packet::new_checked(&out[0][..]).unwrap();
+        assert!(ip.verify_checksum());
+        let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+        assert!(tcp.verify_checksum(ip.src(), ip.dst()));
+        assert_eq!(px_tcp::verify_pattern(0, tcp.payload()), None);
+        assert_eq!(eng.stats.stashed_segs, 1, "segment 3 parked");
+        assert_eq!(eng.stats.stash_appends, 1, "and coalesced when 2 arrived");
+        assert_eq!(eng.stats.flush_order, 0, "no reorder flush");
+        assert_eq!(
+            eng.stats.conversion_yield(&cfg),
+            1.0,
+            "full yield under mild reordering"
+        );
+        assert!(eng.stash.is_empty(), "parked segment consumed");
+    }
+
+    #[test]
+    fn injected_overlap_is_a_typed_drop() {
+        let mut eng = MergeEngine::new(MergeConfig::default());
+        eng.enable_obs(px_obs::ObsConfig::default());
+        assert!(eng.push(0, data_pkt(5000, 0, 1000)).is_empty());
+        // Same range as held bytes 200..500, but a different fill
+        // pattern (seeded differently) — an injection attempt.
+        let mut attack = data_pkt(5000, 200, 300);
+        {
+            // Flip payload bytes and refresh the checksum so the packet
+            // is wire-valid (an on-path attacker can do this).
+            let ip = Ipv4Packet::new_checked(&attack[..]).unwrap();
+            let (ihl, src, dst) = (ip.header_len(), ip.src(), ip.dst());
+            for b in &mut attack[ihl + 20..] {
+                *b = !*b;
+            }
+            let seg_len = (attack.len() - ihl) as u16;
+            attack[ihl + 16..ihl + 18].copy_from_slice(&[0, 0]);
+            let sum = checksum::combine(
+                checksum::pseudo_header_sum(src, dst, IpProtocol::Tcp.into(), seg_len),
+                checksum::ones_complement_sum(&attack[ihl..]),
+            );
+            let ck = !sum;
+            attack[ihl + 16..ihl + 18].copy_from_slice(&ck.to_be_bytes());
+        }
+        let out = eng.push(1, attack);
+        assert!(out.is_empty(), "attacker segment never forwarded");
+        assert_eq!(eng.stats.dropped_inconsistent_overlap, 1);
+        let kinds: Vec<EventKind> = eng.obs.recent(8).iter().map(|e| e.kind).collect();
+        assert!(
+            kinds.contains(&EventKind::DropInconsistentOverlap),
+            "{kinds:?}"
+        );
+        // The legit aggregate is intact and still merges.
+        let out = eng.push(2, data_pkt(5000, 1000, 1000));
+        assert!(out.is_empty());
+        let drained = eng.flush_all();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(total_payload(&drained), 2000);
+        let ip = Ipv4Packet::new_checked(&drained[0][..]).unwrap();
+        let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+        assert_eq!(
+            px_tcp::verify_pattern(0, tcp.payload()),
+            None,
+            "no attacker byte in the emitted stream"
+        );
+    }
+
+    #[test]
+    fn duplicate_retransmission_drops_silently() {
+        let mut eng = MergeEngine::new(MergeConfig::default());
+        let pkt = data_pkt(5000, 0, 1000);
+        assert!(eng.push(0, pkt.clone()).is_empty());
+        assert!(eng.push(1, pkt).is_empty(), "exact duplicate absorbed");
+        assert_eq!(eng.stats.dropped_duplicate_segs, 1);
+        let out = eng.flush_all();
+        assert_eq!(total_payload(&out), 1000, "bytes counted once");
+    }
+
+    #[test]
+    fn straddling_retransmit_appends_only_the_new_tail() {
+        let mut eng = MergeEngine::new(MergeConfig::default());
+        assert!(eng.push(0, data_pkt(5000, 0, 1000)).is_empty());
+        // Retransmit covering 500..1500: bytes 500..1000 match what is
+        // held (same deterministic fill), 1000..1500 are new.
+        assert!(eng.push(1, data_pkt(5000, 500, 1000)).is_empty());
+        let out = eng.flush_all();
+        assert_eq!(out.len(), 1);
+        assert_eq!(total_payload(&out), 1500, "tail merged once");
+        let ip = Ipv4Packet::new_checked(&out[0][..]).unwrap();
+        assert!(ip.verify_checksum());
+        let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+        assert!(
+            tcp.verify_checksum(ip.src(), ip.dst()),
+            "checksum covers the trimmed append"
+        );
+    }
+
+    #[test]
+    fn below_window_old_data_forwards_verbatim() {
+        let mut eng = MergeEngine::new(MergeConfig::default());
+        assert!(eng.push(0, data_pkt(5000, 10_000, 1000)).is_empty());
+        let old = data_pkt(5000, 2000, 500);
+        let out = eng.push(1, old.clone());
+        assert_eq!(out, vec![old], "old retransmission passes through");
+        assert_eq!(eng.stats.below_window_forwarded, 1);
+        assert_eq!(eng.table.len(), 1, "aggregate undisturbed");
     }
 
     #[test]

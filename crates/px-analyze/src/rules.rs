@@ -9,7 +9,7 @@
 //! | R5   | recording functions + everything they reach | the R3 allocation set — `record*`/`observe*`/`push` run per packet inside the datapath |
 //! | R6   | fault-handling functions + everything they reach | *both* the R1 panic set and the R3 allocation set — recovery code runs while the system is already degraded |
 //! | R7   | split-engine emission functions + everything they reach | payload byte copies (`.extend_from_slice()`, `.copy_from_slice()`) |
-//! | R8   | everything reachable from the Deterministic-mode datapath | wall-clock reads (`Instant::now`, `SystemTime::now`), OS randomness (`thread_rng`, `RandomState`-default `HashMap`/`HashSet`), environment reads |
+//! | R8   | everything reachable from the Deterministic-mode datapath, plus every function in the seeded attack/fault-generator modules | wall-clock reads (`Instant::now`, `SystemTime::now`), OS randomness (`thread_rng`, `RandomState`-default `HashMap`/`HashSet`), environment reads |
 //! | R9   | everything reachable from per-packet functions | lock acquisition (`.lock()`), blocking receives (`.recv()`), unbounded-channel construction, socket serving/dialing (`TcpListener::bind`, `TcpStream::connect`) — locks belong at batch boundaries and HTTP serving on the control plane |
 //!
 //! R1/R3/R5/R6/R7 are *lexical* where they always were (so existing
@@ -161,6 +161,14 @@ pub struct Config {
     /// emission path, which must hand payload bytes onward as
     /// scatter-gather views rather than copying them.
     pub r7_modules: Vec<&'static str>,
+    /// Path suffixes of modules whose *every* function is an R8 entry
+    /// point: the seeded adversarial/fault generators. Their whole
+    /// contract is that identical seeds give identical schedules — the
+    /// attack matrix replays each schedule at four core counts and
+    /// compares digests — so a wall-clock read, ambient RNG, or
+    /// `RandomState` map anywhere inside (or reachable from) them
+    /// silently breaks every replay-based gate in the tree.
+    pub r8_modules: Vec<&'static str>,
     /// Emission functions that sit at batch *boundaries* rather than on
     /// the per-packet path: R9 does not use them as entry points (locks
     /// are legal there by design).
@@ -177,6 +185,7 @@ impl Default for Config {
         Config {
             r1_modules: vec![
                 "crates/core/src/merge.rs",
+                "crates/core/src/coalesce.rs",
                 "crates/core/src/split.rs",
                 "crates/core/src/caravan_gw.rs",
                 "crates/core/src/engine.rs",
@@ -211,6 +220,7 @@ impl Default for Config {
             // which gates merge/split/caravan only).
             r3_modules: vec![
                 "crates/core/src/merge.rs",
+                "crates/core/src/coalesce.rs",
                 "crates/core/src/split.rs",
                 "crates/core/src/caravan_gw.rs",
                 "crates/core/src/engine.rs",
@@ -246,8 +256,20 @@ impl Default for Config {
                 "crates/px-obs/src/profile.rs",
                 "crates/px-obs/src/slo.rs",
             ],
-            r6_fn_prefixes: vec!["degrade", "on_fault", "restart_worker"],
+            // `forward_stash_leftovers` is the stash-overflow fallback
+            // (a flow already under reordering or attack pressure) and
+            // `on_report` is the F-PMTUD guard's spoof-classification
+            // path — both run precisely when an adversary is pushing,
+            // so they get the degraded-path panic/alloc discipline.
+            r6_fn_prefixes: vec![
+                "degrade",
+                "on_fault",
+                "restart_worker",
+                "forward_stash_leftovers",
+                "on_report",
+            ],
             r7_modules: vec!["crates/core/src/split.rs"],
+            r8_modules: vec!["crates/px-faults/src/attack.rs"],
             // process_batch drains a whole batch: it is where per-batch
             // bookkeeping (and its locks) legitimately lives.
             r9_boundary_fns: vec!["process_batch"],
@@ -301,6 +323,10 @@ impl Config {
 
     fn is_r7(&self, rel_path: &str) -> bool {
         self.r7_modules.iter().any(|m| rel_path.ends_with(m))
+    }
+
+    fn is_r8_module(&self, rel_path: &str) -> bool {
+        self.r8_modules.iter().any(|m| rel_path.ends_with(m))
     }
 
     fn is_exempt(&self, rel_path: &str) -> bool {
@@ -519,6 +545,7 @@ pub fn analyze(cfg: &Config, files: &[SourceFile], deps: &DepMap) -> (Vec<Violat
     let mut rec = Vec::new(); // recording fns in R5 modules
     let mut r6e = Vec::new(); // fault-handling fns anywhere
     let mut r7e = Vec::new(); // emission fns in R7 modules
+    let mut r8x = Vec::new(); // every fn in the seeded-generator modules
     for (i, d) in defs.iter().enumerate() {
         if d.is_test || files[def_file[i]].aux || cfg.is_exempt(&d.file) {
             continue;
@@ -535,9 +562,17 @@ pub fn analyze(cfg: &Config, files: &[SourceFile], deps: &DepMap) -> (Vec<Violat
         if cfg.is_r7(&d.file) && cfg.is_emission_fn(&d.name) {
             r7e.push(i);
         }
+        if cfg.is_r8_module(&d.file) {
+            r8x.push(i);
+        }
     }
     let hot_rec: Vec<usize> = hot.iter().chain(rec.iter()).copied().collect();
-    let r8e: Vec<usize> = hot_rec.iter().chain(r6e.iter()).copied().collect();
+    let r8e: Vec<usize> = hot_rec
+        .iter()
+        .chain(r6e.iter())
+        .chain(r8x.iter())
+        .copied()
+        .collect();
     let r9e: Vec<usize> = hot_rec
         .iter()
         .copied()

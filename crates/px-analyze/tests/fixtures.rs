@@ -15,6 +15,8 @@ const COLD: &str = "crates/px-sim/src/stats.rs";
 const OBS: &str = "crates/px-obs/src/recorder.rs";
 /// The R7 copy-freedom module: the split engine's emission path.
 const SPLIT: &str = "crates/core/src/split.rs";
+/// The seeded attack-generator module: every fn is an R8 entry.
+const ATTACK: &str = "crates/px-faults/src/attack.rs";
 
 fn fixture(name: &str) -> String {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
@@ -227,6 +229,24 @@ fn r8_bad_flags_laundered_nondeterminism_with_blame_chains() {
 #[test]
 fn r8_good_parallel_only_clock_is_out_of_reach() {
     let vs = check(HOT, "r8_good.rs");
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn r8_attack_bad_flags_every_fn_of_a_generator_module() {
+    // Under the attack-generator module path every function is an R8
+    // entry: the laundered wall clock, the env read, and the
+    // default-hasher set all surface — no emission-style names needed.
+    let vs = check(ATTACK, "r8_attack_bad.rs");
+    assert_eq!(count_rule(&vs, Rule::R8), 3, "{vs:#?}");
+    assert_eq!(vs.len(), 3, "{vs:#?}");
+    // The same file in a cold module has no R8 entries at all.
+    assert!(check(COLD, "r8_attack_bad.rs").is_empty());
+}
+
+#[test]
+fn r8_attack_good_seeded_generators_are_clean() {
+    let vs = check(ATTACK, "r8_attack_good.rs");
     assert!(vs.is_empty(), "{vs:#?}");
 }
 

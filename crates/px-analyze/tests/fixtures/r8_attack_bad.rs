@@ -1,0 +1,40 @@
+// Fixture: a "seeded" attack generator that cheats. Analyzed under the
+// attack-generator module path every function here is an R8 entry — the
+// schedule must be a pure function of the seed, because the attack
+// matrix replays it at four core counts and compares digests. The wall
+// clock is laundered through a helper, the env override and the
+// RandomState set sit in the entries themselves; all three surface
+// even though nothing is named like an emission path.
+
+pub fn tcp_attack_trace(seed: u64, n: usize) -> Vec<u64> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.push(seed ^ jitter(i));
+    }
+    out
+}
+
+fn jitter(i: usize) -> u64 {
+    // Wall clock inside a generator helper: replays diverge.
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64 + i as u64
+}
+
+pub fn spoof_report_stream(seed: u64, n: usize) -> Vec<u32> {
+    // Env read: the schedule now depends on ambient machine state.
+    let boost = std::env::var("PX_ATTACK_BOOST").is_ok();
+    // Default-hasher set: iteration order varies per process.
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(n);
+    let mut s = seed | 1;
+    for _ in 0..n {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let id = (s >> 32) as u32;
+        if seen.insert(id) {
+            out.push(if boost { id | 1 } else { id });
+        }
+    }
+    out
+}

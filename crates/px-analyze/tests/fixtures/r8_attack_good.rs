@@ -1,0 +1,36 @@
+// Fixture: a properly seeded attack generator — every draw comes from
+// the caller's seed through a splitmix/xorshift chain, so identical
+// seeds give bit-identical schedules at any core count. All functions
+// are R8 entries under the attack-generator module path; none trips.
+
+pub fn tcp_attack_trace(seed: u64, n: usize) -> Vec<u64> {
+    let mut s = splitmix(seed);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(step(&mut s));
+    }
+    out
+}
+
+pub fn spoof_report_stream(seed: u64, n: usize) -> Vec<u32> {
+    let mut s = splitmix(seed ^ 0x9E37_79B9);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((step(&mut s) >> 32) as u32);
+    }
+    out
+}
+
+fn splitmix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) | 1
+}
+
+fn step(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}

@@ -23,13 +23,20 @@
 //!   F-PMTUD prober and the PMTUD client retry on.
 //! - [`Heartbeats`] / [`StallDetector`] — the supervisor primitives the
 //!   parallel engine uses to detect and restart stalled workers.
+//! - [`attack`] — seeded *adversarial* generators (vs. the merely
+//!   unreliable network the fault plan models): TCP injection/overlap
+//!   schedules, malformed caravan bundles with ground truth, and
+//!   spoofed F-PMTUD report streams, all pure functions of a seed so
+//!   the attack matrix replays identically at any core count.
 //!
-//! The crate is dependency-free and never allocates on the per-packet
-//! decision paths.
+//! The fault primitives are dependency-free (the attack generators pull
+//! in `px-wire` to build real checksummed packets) and never allocate on
+//! the per-packet decision paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attack;
 pub mod backoff;
 pub mod inject;
 pub mod plan;

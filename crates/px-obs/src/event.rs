@@ -48,6 +48,16 @@ pub enum EventKind {
     /// = flows rescued (flushed) from the dead worker's table, `len` =
     /// the batch index the fault hit.
     WorkerRestart = 9,
+    /// The merge engine refused a data segment whose bytes conflicted
+    /// with what its flow's aggregate already attests. `aux` = 0 for an
+    /// inconsistent overlap (same range, different bytes — injection),
+    /// 1 for overlap evasion (a segment straddling the aggregate's base,
+    /// smuggling bytes the engine can no longer verify).
+    DropInconsistentOverlap = 10,
+    /// The F-PMTUD prober/guard rejected a report that failed its nonce
+    /// check or sanity band. `aux` = the rejected report's claimed
+    /// fragment size (0 when unparsable).
+    PmtudSpoofRejected = 11,
 }
 
 impl EventKind {
@@ -64,6 +74,8 @@ impl EventKind {
             EventKind::DegradeEnter => "DegradeEnter",
             EventKind::DegradeExit => "DegradeExit",
             EventKind::WorkerRestart => "WorkerRestart",
+            EventKind::DropInconsistentOverlap => "DropInconsistentOverlap",
+            EventKind::PmtudSpoofRejected => "PmtudSpoofRejected",
         }
     }
 }

@@ -14,11 +14,12 @@
 //! narrowest link allowed. One RTT, no ICMP, works through blackholes.
 
 use crate::{ECHO_PORT, FPMTUD_PORT};
-use px_faults::DetBackoff;
+use px_faults::{splitmix64, DetBackoff};
 use px_sim::node::{Ctx, Node, PortId};
 use px_sim::Nanos;
 pub use px_wire::fpmtud::{
-    parse_report, probe_payload, report_payload, ECHO_MAGIC, PROBE_MAGIC, REPORT_MAGIC,
+    parse_report, parse_report_tagged, probe_nonce, probe_payload, probe_payload_tagged,
+    report_payload, report_payload_tagged, ECHO_MAGIC, PROBE_MAGIC, REPORT_MAGIC,
 };
 use px_wire::frag::{Reassembler, ReassemblyResult};
 use px_wire::ipv4::{Ipv4Packet, Ipv4Repr};
@@ -124,7 +125,10 @@ impl FpmtudDaemon {
                     return;
                 }
                 let probe_id = u32::from_be_bytes(pl[4..8].try_into().unwrap());
-                let report = report_payload(probe_id, &sizes);
+                // Echo the probe's attestation nonce (0 for legacy
+                // untagged probes; untagged receivers parse the tagged
+                // report unchanged since the nonce trails the size list).
+                let report = report_payload_tagged(probe_id, probe_nonce(pl), &sizes);
                 self.reports_sent += 1;
                 self.send_udp(ctx, ip.src(), FPMTUD_PORT, udp.src_port(), &report);
             }
@@ -188,6 +192,14 @@ pub struct ProberConfig {
     /// PMTU to clamp to when every retry times out (blackhole
     /// detection). `0` keeps the plain [`ProbeOutcome::TimedOut`].
     pub fallback_pmtu: usize,
+    /// Hard lower bound on the discovered PMTU: a report claiming a
+    /// largest fragment below this clamps to it (and is counted) rather
+    /// than being believed — spoofed-shrink damage control.
+    pub pmtu_floor: usize,
+    /// Seed the per-probe attestation nonces are derived from. Probes
+    /// carry the nonce, the daemon echoes it, and a report whose nonce
+    /// does not match is rejected as a spoof.
+    pub nonce_seed: u64,
 }
 
 impl ProberConfig {
@@ -203,6 +215,8 @@ impl ProberConfig {
             max_tries: 3,
             backoff_max: Nanos::from_secs(16),
             fallback_pmtu: 0,
+            pmtu_floor: 576,
+            nonce_seed: 0x5058_4757_F9A7_0001, // deterministic default
         }
     }
 }
@@ -212,13 +226,18 @@ pub struct FpmtudProber {
     /// Configuration.
     pub cfg: ProberConfig,
     next_id: u32,
-    sent_at: HashMap<u32, Nanos>,
+    /// Outstanding probes: id → (send time, expected attestation nonce).
+    sent_at: HashMap<u32, (Nanos, u64)>,
     tries: u32,
     ident: u16,
     started_at: Nanos,
     backoff: DetBackoff,
     /// Result, once known.
     pub outcome: Option<ProbeOutcome>,
+    /// Reports rejected for a wrong or missing attestation nonce.
+    pub spoof_rejected: u64,
+    /// Discoveries clamped up to [`ProberConfig::pmtu_floor`].
+    pub floor_clamps: u64,
 }
 
 impl FpmtudProber {
@@ -233,6 +252,8 @@ impl FpmtudProber {
             started_at: Nanos::ZERO,
             backoff: DetBackoff::new(cfg.timeout.0, cfg.backoff_max.0.max(cfg.timeout.0)),
             outcome: None,
+            spoof_rejected: 0,
+            floor_clamps: 0,
         }
     }
 
@@ -240,7 +261,9 @@ impl FpmtudProber {
         let id = self.next_id;
         self.next_id += 1;
         self.tries += 1;
-        let payload = probe_payload(id, self.cfg.probe_size);
+        // `| 1` keeps the nonce nonzero: 0 is the untagged-probe marker.
+        let nonce = splitmix64(self.cfg.nonce_seed ^ u64::from(id)) | 1;
+        let payload = probe_payload_tagged(id, nonce, self.cfg.probe_size);
         let dg = UdpRepr {
             src_port: FPMTUD_PORT,
             dst_port: FPMTUD_PORT,
@@ -252,7 +275,7 @@ impl FpmtudProber {
         ip.ident = self.ident;
         self.ident = self.ident.wrapping_add(1);
         let pkt = ip.build_packet(&dg).expect("probe fits IP");
-        self.sent_at.insert(id, ctx.now);
+        self.sent_at.insert(id, (ctx.now, nonce));
         ctx.send(PortId(0), PacketBuf::from_payload(&pkt));
         // Deterministic exponential backoff: 1× timeout for the first
         // probe, 2× for the second, … capped at `backoff_max`.
@@ -280,13 +303,27 @@ impl Node for FpmtudProber {
         let Ok(udp) = UdpDatagram::new_checked(ip.payload()) else {
             return;
         };
-        let Some((id, sizes)) = parse_report(udp.payload()) else {
+        let Some((id, nonce, sizes)) = parse_report_tagged(udp.payload()) else {
             return;
         };
-        let Some(sent) = self.sent_at.remove(&id) else {
+        let Some(&(sent, expected)) = self.sent_at.get(&id) else {
             return;
         };
-        let pmtu = sizes.iter().copied().max().unwrap_or(0);
+        if nonce != expected {
+            // Forged (or mangled) report: the nonce never left this
+            // prober and the daemon echoes it verbatim. Keep the probe
+            // outstanding so the genuine report is not locked out.
+            self.spoof_rejected += 1;
+            return;
+        }
+        self.sent_at.remove(&id);
+        let mut pmtu = sizes.iter().copied().max().unwrap_or(0);
+        if pmtu < self.cfg.pmtu_floor {
+            // Even an attested report never drags the PMTU below the
+            // floor — a lying daemon degrades us only so far.
+            self.floor_clamps += 1;
+            pmtu = self.cfg.pmtu_floor;
+        }
         self.outcome = Some(ProbeOutcome::Discovered {
             pmtu,
             elapsed: ctx.now - sent,

@@ -1,0 +1,357 @@
+//! Report attestation and sanity band for hardened F-PMTUD.
+//!
+//! F-PMTUD's report channel is plain UDP: an off-path attacker who can
+//! guess `(addresses, ports, probe_id)` could forge a report claiming a
+//! tiny largest-fragment size and talk the prober down to a pathological
+//! PMTU (the classic PMTUD-spoofing degradation attack, transplanted).
+//! [`PmtudGuard`] closes that hole with three independent checks:
+//!
+//! 1. **Nonce attestation** — every probe carries a 64-bit nonce derived
+//!    from a private seed ([`px_faults::splitmix64`]); the daemon echoes
+//!    it in the report. A report with an unknown probe id or a wrong
+//!    nonce is rejected outright: off-path forgery now requires guessing
+//!    64 random bits per attempt.
+//! 2. **Absolute floor** — a discovered PMTU is never allowed below
+//!    [`GuardConfig::pmtu_floor`] (default 576 B, the IPv4 minimum-reassembly
+//!    datagram), no matter what the report claims. Claims below the
+//!    floor clamp to it and are counted.
+//! 3. **Hysteretic shrink** — a *shrink* only takes effect after
+//!    [`GuardConfig::confirm_reports`] consecutive attested reports agree
+//!    on the same size band, and each confirmed step shrinks by at most
+//!    half (the monotone-shrink rate limit). A single spoofed-but-lucky
+//!    report therefore moves nothing; the guard flags the flow as
+//!    *suspect* and asks for a recovery re-probe instead
+//!    ([`PmtudGuard::wants_reprobe`]). Growth back toward the true PMTU
+//!    needs no confirmation — an attested report can only describe
+//!    fragments that actually traversed the path.
+//!
+//! The guard is pure protocol logic (no sockets, no clock): the prober
+//! feeds it parsed reports and sends whatever probes it asks for, which
+//! is also what makes it drivable by the seeded attack matrix.
+
+use px_faults::splitmix64;
+use std::collections::HashMap;
+
+/// Tuning for [`PmtudGuard`].
+#[derive(Debug, Clone, Copy)]
+pub struct GuardConfig {
+    /// Starting PMTU estimate (typically the first-hop MTU / probe size).
+    pub init_pmtu: usize,
+    /// Hard lower bound: no report can drag the PMTU below this.
+    pub pmtu_floor: usize,
+    /// Consecutive agreeing, attested reports required before a shrink
+    /// is applied. `1` disables hysteresis (first attested report wins).
+    pub confirm_reports: u32,
+    /// Private seed the per-probe nonces are derived from.
+    pub nonce_seed: u64,
+}
+
+impl GuardConfig {
+    /// Defaults: 576 B floor (IPv4 minimum reassembly size), two
+    /// confirming reports per shrink.
+    #[must_use]
+    pub fn new(init_pmtu: usize, nonce_seed: u64) -> Self {
+        GuardConfig {
+            init_pmtu,
+            pmtu_floor: 576,
+            confirm_reports: 2,
+            nonce_seed,
+        }
+    }
+}
+
+/// What [`PmtudGuard::on_report`] decided about one report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportVerdict {
+    /// Attested and sane: the PMTU estimate moved (or was confirmed) to
+    /// `pmtu`.
+    Accepted {
+        /// The new (post-clamp, post-rate-limit) PMTU estimate.
+        pmtu: usize,
+    },
+    /// Unknown probe id or wrong nonce — dropped, estimate untouched.
+    SpoofRejected,
+    /// The report claimed a size below the floor; the estimate stopped
+    /// at `pmtu` (the floor) instead.
+    FloorClamped {
+        /// The floored PMTU the estimate was clamped to.
+        pmtu: usize,
+    },
+    /// An attested shrink claim that is not yet confirmed: the estimate
+    /// is unchanged and the guard wants a recovery re-probe.
+    Suspect {
+        /// The claimed (unconfirmed) largest-fragment size.
+        claimed: usize,
+    },
+}
+
+/// Counters the guard keeps; mirror the Prometheus series
+/// `pmtud_spoof_rejected_total` and `pmtu_floor_clamps_total`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Reports that passed attestation and moved/confirmed the estimate.
+    pub accepted: u64,
+    /// Reports rejected for an unknown probe id or a nonce mismatch.
+    pub spoof_rejected: u64,
+    /// Shrink claims clamped at the configured floor.
+    pub floor_clamps: u64,
+    /// Attested shrink claims held back awaiting confirmation.
+    pub suspect_holds: u64,
+    /// Upward estimate moves after a suspected-spoof episode.
+    pub recoveries: u64,
+}
+
+/// Nonce book-keeping plus the sanity band over a single probed path.
+#[derive(Debug)]
+pub struct PmtudGuard {
+    cfg: GuardConfig,
+    pmtu: usize,
+    next_id: u32,
+    /// Outstanding probes: id → expected nonce.
+    outstanding: HashMap<u32, u64>,
+    /// A shrink awaiting confirmation: (claimed band, attested reports
+    /// seen so far agreeing with it).
+    pending_shrink: Option<(usize, u32)>,
+    /// Counters.
+    pub stats: GuardStats,
+}
+
+/// Two largest-fragment claims belong to the same shrink band when they
+/// differ by at most 12.5 % — generous enough to absorb the ≤ 8-byte
+/// fragment-boundary rounding, tight enough that a forged 600 B claim
+/// cannot "confirm" a genuine 1500 B one.
+fn same_band(a: usize, b: usize) -> bool {
+    a.abs_diff(b) * 8 <= a.max(b)
+}
+
+impl PmtudGuard {
+    /// Creates a guard; the initial estimate is `init_pmtu`, floored.
+    #[must_use]
+    pub fn new(cfg: GuardConfig) -> Self {
+        PmtudGuard {
+            pmtu: cfg.init_pmtu.max(cfg.pmtu_floor),
+            cfg,
+            next_id: 1,
+            outstanding: HashMap::new(),
+            pending_shrink: None,
+            stats: GuardStats::default(),
+        }
+    }
+
+    /// The current PMTU estimate. Never below the floor.
+    pub fn pmtu(&self) -> usize {
+        self.pmtu
+    }
+
+    /// Registers the next probe and returns `(probe_id, nonce)` for the
+    /// wire encoder ([`px_wire::fpmtud::probe_payload_tagged`]).
+    pub fn next_probe(&mut self) -> (u32, u64) {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        let nonce = splitmix64(self.cfg.nonce_seed ^ u64::from(id)) | 1;
+        self.outstanding.insert(id, nonce);
+        (id, nonce)
+    }
+
+    /// True while a shrink claim sits unconfirmed: the prober should
+    /// send a recovery probe so the claim is confirmed or refuted by an
+    /// attested report rather than lingering.
+    pub fn wants_reprobe(&self) -> bool {
+        self.pending_shrink.is_some()
+    }
+
+    /// Judges one parsed report (`px_wire::fpmtud::parse_report_tagged`
+    /// output) and updates the estimate per the rules above.
+    pub fn on_report(&mut self, probe_id: u32, nonce: u64, sizes: &[usize]) -> ReportVerdict {
+        let Some(expected) = self.outstanding.get(&probe_id).copied() else {
+            self.stats.spoof_rejected += 1;
+            return ReportVerdict::SpoofRejected;
+        };
+        if nonce != expected {
+            // Leave the entry outstanding: the genuine report for this
+            // probe may still arrive and must not be locked out by a
+            // racing forgery.
+            self.stats.spoof_rejected += 1;
+            return ReportVerdict::SpoofRejected;
+        }
+        self.outstanding.remove(&probe_id);
+        let claimed = sizes.iter().copied().max().unwrap_or(0);
+        if claimed == 0 {
+            self.stats.spoof_rejected += 1;
+            return ReportVerdict::SpoofRejected;
+        }
+
+        if claimed >= self.pmtu {
+            // Growth (or exact confirmation). An attested report only
+            // describes fragments that really crossed the path, so this
+            // is safe to take immediately — it is how the estimate
+            // recovers after a suspected-spoof hold. Capped at the probe
+            // size: nothing larger can physically have been measured.
+            let grew = claimed > self.pmtu;
+            self.pmtu = claimed.min(self.cfg.init_pmtu).max(self.cfg.pmtu_floor);
+            if grew {
+                self.stats.recoveries += 1;
+            }
+            self.pending_shrink = None;
+            self.stats.accepted += 1;
+            return ReportVerdict::Accepted { pmtu: self.pmtu };
+        }
+
+        // A shrink claim. Count floor violations even while unconfirmed —
+        // they are the attack signature the matrix asserts on.
+        let floored = claimed < self.cfg.pmtu_floor;
+        if floored {
+            self.stats.floor_clamps += 1;
+        }
+        let target = claimed.max(self.cfg.pmtu_floor);
+
+        let confirms = match self.pending_shrink {
+            Some((band, n)) if same_band(band, target) => n + 1,
+            _ => 1,
+        };
+        if confirms < self.cfg.confirm_reports {
+            self.pending_shrink = Some((target, confirms));
+            self.stats.suspect_holds += 1;
+            return ReportVerdict::Suspect { claimed };
+        }
+
+        // Confirmed: apply, but shrink at most half-way per confirmed
+        // step. A still-smaller true PMTU walks down over further
+        // confirmed rounds instead of cratering in one report.
+        let stepped = target.max(self.pmtu / 2).max(self.cfg.pmtu_floor);
+        self.pmtu = stepped;
+        self.pending_shrink = if stepped > target {
+            Some((target, self.cfg.confirm_reports.saturating_sub(1)))
+        } else {
+            None
+        };
+        self.stats.accepted += 1;
+        if floored && stepped == self.cfg.pmtu_floor {
+            ReportVerdict::FloorClamped { pmtu: self.pmtu }
+        } else {
+            ReportVerdict::Accepted { pmtu: self.pmtu }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guard() -> PmtudGuard {
+        PmtudGuard::new(GuardConfig::new(9000, 0xDEAD_BEEF))
+    }
+
+    #[test]
+    fn attested_report_moves_the_estimate() {
+        let mut g = guard();
+        let (id, nonce) = g.next_probe();
+        // First shrink claim is held (hysteresis)…
+        assert_eq!(
+            g.on_report(id, nonce, &[1500, 1500, 996]),
+            ReportVerdict::Suspect { claimed: 1500 }
+        );
+        assert_eq!(g.pmtu(), 9000);
+        assert!(g.wants_reprobe());
+        // …the confirming report applies it (9000/2 = 4500 rate limit,
+        // then 4500/2 ≥ 1500 ⇒ two more rounds to land).
+        let (id, nonce) = g.next_probe();
+        assert_eq!(
+            g.on_report(id, nonce, &[1500]),
+            ReportVerdict::Accepted { pmtu: 4500 }
+        );
+        let (id, nonce) = g.next_probe();
+        assert_eq!(
+            g.on_report(id, nonce, &[1500]),
+            ReportVerdict::Accepted { pmtu: 2250 }
+        );
+        let (id, nonce) = g.next_probe();
+        assert_eq!(
+            g.on_report(id, nonce, &[1500]),
+            ReportVerdict::Accepted { pmtu: 1500 }
+        );
+        assert!(!g.wants_reprobe());
+        assert_eq!(g.stats.accepted, 3);
+    }
+
+    #[test]
+    fn wrong_nonce_is_rejected_and_does_not_lock_out_the_real_report() {
+        let mut g = guard();
+        let (id, nonce) = g.next_probe();
+        assert_eq!(
+            g.on_report(id, nonce ^ 1, &[100]),
+            ReportVerdict::SpoofRejected
+        );
+        assert_eq!(g.pmtu(), 9000, "forgery moved nothing");
+        // The genuine report still lands.
+        assert_eq!(
+            g.on_report(id, nonce, &[9000]),
+            ReportVerdict::Accepted { pmtu: 9000 }
+        );
+        assert_eq!(g.stats.spoof_rejected, 1);
+    }
+
+    #[test]
+    fn unknown_probe_id_is_rejected() {
+        let mut g = guard();
+        assert_eq!(g.on_report(77, 1, &[100]), ReportVerdict::SpoofRejected);
+        assert_eq!(g.stats.spoof_rejected, 1);
+    }
+
+    #[test]
+    fn floor_is_absolute() {
+        let mut g = guard();
+        for _ in 0..16 {
+            let (id, nonce) = g.next_probe();
+            g.on_report(id, nonce, &[8]);
+            assert!(g.pmtu() >= 576, "pmtu {} fell through the floor", g.pmtu());
+        }
+        assert_eq!(g.pmtu(), 576);
+        assert!(g.stats.floor_clamps >= 1);
+    }
+
+    #[test]
+    fn single_spoofed_shrink_is_held_and_recovery_restores() {
+        let mut g = guard();
+        let (id, nonce) = g.next_probe();
+        // One lucky forgery (attacker somehow got the nonce once).
+        assert!(matches!(
+            g.on_report(id, nonce, &[600]),
+            ReportVerdict::Suspect { .. }
+        ));
+        assert_eq!(g.pmtu(), 9000, "held, not applied");
+        // The recovery probe's genuine report disagrees ⇒ estimate
+        // restored/kept, pending claim dissolved.
+        let (id, nonce) = g.next_probe();
+        assert_eq!(
+            g.on_report(id, nonce, &[9000]),
+            ReportVerdict::Accepted { pmtu: 9000 }
+        );
+        assert!(!g.wants_reprobe());
+        assert_eq!(g.stats.suspect_holds, 1);
+    }
+
+    #[test]
+    fn disagreeing_shrink_claims_do_not_confirm_each_other() {
+        let mut g = guard();
+        let (id, nonce) = g.next_probe();
+        g.on_report(id, nonce, &[1500]);
+        let (id, nonce) = g.next_probe();
+        // A very different claim restarts the confirmation count.
+        assert!(matches!(
+            g.on_report(id, nonce, &[700]),
+            ReportVerdict::Suspect { .. }
+        ));
+        assert_eq!(g.pmtu(), 9000);
+    }
+
+    #[test]
+    fn nonces_are_distinct_and_nonzero() {
+        let mut g = guard();
+        let (_, a) = g.next_probe();
+        let (_, b) = g.next_probe();
+        assert_ne!(a, b);
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+    }
+}

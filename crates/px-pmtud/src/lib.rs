@@ -14,6 +14,9 @@
 //! * [`plpmtud`] — RFC 4821-style packetization-layer search (what
 //!   Scamper implements): DF probes acknowledged by the destination,
 //!   binary search over sizes, timeout-driven — correct but slow.
+//! * [`guard`] — hardening for F-PMTUD's report channel: per-probe
+//!   nonce attestation, an absolute PMTU floor, and hysteretic
+//!   confirm-before-shrink against spoofed reports.
 //! * [`survey`] — the 389k-server fragmented-request survey, reproduced
 //!   over a synthetic population with the same packet-level code path.
 //! * [`topology`] — helpers that build multi-router WAN paths with
@@ -24,11 +27,13 @@
 
 pub mod classic;
 pub mod fpmtud;
+pub mod guard;
 pub mod plpmtud;
 pub mod survey;
 pub mod topology;
 
 pub use fpmtud::{FpmtudDaemon, FpmtudProber, ProbeOutcome};
+pub use guard::{GuardConfig, GuardStats, PmtudGuard, ReportVerdict};
 
 /// Well-known UDP port of the F-PMTUD daemon (single source of truth in
 /// [`px_wire::fpmtud`], shared with PXGW and daemon-capable hosts).

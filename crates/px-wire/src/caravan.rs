@@ -150,6 +150,28 @@ pub fn split_bundle(bundle: &[u8]) -> Result<Vec<&[u8]>> {
     iter_bundle(bundle).collect()
 }
 
+/// Strict single-pass bundle validation for attacker-facing unpackers.
+///
+/// On top of the structural walk ([`iter_bundle`]: truncated headers,
+/// length fields that over-claim into or past the next record, the
+/// [`MAX_INNER`] cap), every inner datagram must pass
+/// [`UdpDatagram::new_checked`] and its length field must equal its byte
+/// length exactly — an inner record can neither under-claim (leaving
+/// unattributed bytes the walk would misparse as a following header) nor
+/// over-claim (absorbing a neighbour's bytes). Returns the inner count.
+pub fn validate_bundle(bundle: &[u8]) -> Result<usize> {
+    let mut n = 0;
+    for r in iter_bundle(bundle) {
+        let dg = r?;
+        let v = UdpDatagram::new_checked(dg)?;
+        if v.length() != dg.len() {
+            return Err(Error::Malformed);
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
 /// Validates that every inner datagram of a bundle shares the same UDP
 /// ports (caravans bundle one flow, or at least one destination — the
 /// strict same-flow variant is what PXGW produces by default).
@@ -277,5 +299,29 @@ mod tests {
         let b = CaravanBuilder::new(100);
         assert!(b.is_empty());
         assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn validate_bundle_counts_and_rejects() {
+        let good = [dg(1, 2, b"aa"), dg(1, 2, b"bbbb")].concat();
+        assert_eq!(validate_bundle(&good), Ok(2));
+        assert_eq!(validate_bundle(&[]), Ok(0));
+
+        // Truncated tail header.
+        let mut trunc = dg(1, 2, b"abcdef");
+        trunc.extend_from_slice(&[0u8; 3]);
+        assert_eq!(validate_bundle(&trunc), Err(Error::Truncated));
+
+        // Length field over-claiming into the next record: the walk
+        // absorbs the neighbour's header bytes, then the leftover tail
+        // misparses. Either way the bundle as a whole is rejected.
+        let mut overlap = [dg(1, 2, b"abcd"), dg(1, 2, b"efgh")].concat();
+        overlap[4..6].copy_from_slice(&16u16.to_be_bytes()); // 12 real + 4 stolen
+        assert!(validate_bundle(&overlap).is_err());
+
+        // Length field shorter than the UDP header.
+        let mut shorty = dg(1, 2, b"abcd");
+        shorty[4..6].copy_from_slice(&4u16.to_be_bytes());
+        assert_eq!(validate_bundle(&shorty), Err(Error::Malformed));
     }
 }

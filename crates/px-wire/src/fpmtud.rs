@@ -40,6 +40,28 @@ pub fn parse_probe(data: &[u8]) -> Option<u32> {
     Some(u32::from_be_bytes(data[4..8].try_into().ok()?))
 }
 
+/// Builds a nonce-tagged probe payload. The 8-byte nonce occupies probe
+/// bytes 8..16, which untagged probes leave as zero padding, so daemons
+/// that predate the tag parse these probes unchanged. The payload is
+/// floored at 16 bytes so the nonce always fits.
+pub fn probe_payload_tagged(probe_id: u32, nonce: u64, probe_size: usize) -> Vec<u8> {
+    let udp_payload_len = probe_size.saturating_sub(20 + 8).max(16);
+    let mut p = vec![0u8; udp_payload_len];
+    p[0..4].copy_from_slice(&PROBE_MAGIC);
+    p[4..8].copy_from_slice(&probe_id.to_be_bytes());
+    p[8..16].copy_from_slice(&nonce.to_be_bytes());
+    p
+}
+
+/// Extracts the nonce from a probe payload. Untagged (short or
+/// zero-padded) probes yield nonce 0.
+pub fn probe_nonce(data: &[u8]) -> u64 {
+    if data.len() < 16 || data[0..4] != PROBE_MAGIC {
+        return 0;
+    }
+    u64::from_be_bytes(data[8..16].try_into().unwrap_or([0; 8]))
+}
+
 /// Serializes a fragment-size report: magic + probe id + count + sizes.
 pub fn report_payload(probe_id: u32, sizes: &[usize]) -> Vec<u8> {
     let mut out = Vec::with_capacity(10 + sizes.len() * 2);
@@ -66,6 +88,28 @@ pub fn parse_report(data: &[u8]) -> Option<(u32, Vec<usize>)> {
         .map(|i| usize::from(crate::bytes::be16(data, 10 + 2 * i)))
         .collect();
     Some((id, sizes))
+}
+
+/// Serializes a nonce-tagged report: the untagged layout with the
+/// 8-byte nonce appended after the size list. [`parse_report`] tolerates
+/// trailing bytes, so untagged receivers parse tagged reports unchanged.
+pub fn report_payload_tagged(probe_id: u32, nonce: u64, sizes: &[usize]) -> Vec<u8> {
+    let mut out = report_payload(probe_id, sizes);
+    out.extend_from_slice(&nonce.to_be_bytes());
+    out
+}
+
+/// Parses a report and its nonce tag. Untagged reports (no trailing
+/// nonce) yield nonce 0, which tagged receivers reject as unattested.
+pub fn parse_report_tagged(data: &[u8]) -> Option<(u32, u64, Vec<usize>)> {
+    let (id, sizes) = parse_report(data)?;
+    let tail = 10 + 2 * sizes.len();
+    let nonce = if data.len() >= tail + 8 {
+        u64::from_be_bytes(data[tail..tail + 8].try_into().ok()?)
+    } else {
+        0
+    };
+    Some((id, nonce, sizes))
 }
 
 #[cfg(test)]
@@ -96,5 +140,34 @@ mod tests {
         let p = probe_payload(1, 10); // below headers: floor at 8 bytes
         assert_eq!(p.len(), 8);
         assert_eq!(parse_probe(&p), Some(1));
+    }
+
+    #[test]
+    fn tagged_probe_is_backward_compatible() {
+        let p = probe_payload_tagged(42, 0xDEAD_BEEF_CAFE_F00D, 1500);
+        assert_eq!(p.len(), 1500 - 28);
+        assert_eq!(parse_probe(&p), Some(42));
+        assert_eq!(probe_nonce(&p), 0xDEAD_BEEF_CAFE_F00D);
+        // Untagged probes read back as nonce 0.
+        assert_eq!(probe_nonce(&probe_payload(42, 1500)), 0);
+        // Tiny tagged probes still carry the full nonce.
+        let tiny = probe_payload_tagged(1, 7, 10);
+        assert_eq!(tiny.len(), 16);
+        assert_eq!(probe_nonce(&tiny), 7);
+    }
+
+    #[test]
+    fn tagged_report_is_backward_compatible() {
+        let sizes = vec![996, 532];
+        let r = report_payload_tagged(9, 0x1234_5678_9ABC_DEF0, &sizes);
+        // Untagged parser ignores the trailing nonce.
+        assert_eq!(parse_report(&r), Some((9, sizes.clone())));
+        assert_eq!(
+            parse_report_tagged(&r),
+            Some((9, 0x1234_5678_9ABC_DEF0, sizes.clone()))
+        );
+        // Untagged reports parse with nonce 0.
+        let plain = report_payload(9, &sizes);
+        assert_eq!(parse_report_tagged(&plain), Some((9, 0, sizes)));
     }
 }
